@@ -1,0 +1,89 @@
+// Reproduces Fig. 1 of the paper: the experimental framework, executed
+// end-to-end on the case study — system model, candidate mutations,
+// reasoning, hazard identification, CEGAR refinement, quantitative risk
+// analysis, and mitigation strategy — with per-stage outputs and timings.
+#include <chrono>
+#include <cstdio>
+
+#include "core/assessment.hpp"
+#include "core/watertank.hpp"
+#include "security/threat_actor.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main() {
+    std::printf("== Fig. 1: experimental framework — end-to-end pipeline ==\n\n");
+
+    // 1. System model.
+    auto t0 = Clock::now();
+    auto built = cprisk::core::WaterTankCaseStudy::build();
+    if (!built.ok()) {
+        std::printf("build failed: %s\n", built.error().c_str());
+        return 1;
+    }
+    const auto& cs = built.value();
+    std::printf("[1] system model            : %zu components, %zu relations  (%.2f ms)\n",
+                cs.system.component_count(), cs.system.relation_count(), ms_since(t0));
+
+    // 2. Candidate system mutations.
+    t0 = Clock::now();
+    cprisk::security::ScenarioSpaceOptions space_options;
+    space_options.max_simultaneous_faults = 2;
+    const auto space = cprisk::security::ScenarioSpace::build(
+        cs.system, cs.matrix, cprisk::security::standard_threat_actors(), space_options);
+    std::printf("[2] candidate mutations     : %zu scenarios (%zu distinct mutations)  (%.2f ms)\n",
+                space.size(), space.mutation_universe().size(), ms_since(t0));
+
+    // 3-7 via the assessment facade (reasoning, hazard id, refinement, risk,
+    // mitigation).
+    t0 = Clock::now();
+    cprisk::core::RiskAssessment assessment(cs.system, cs.requirements,
+                                            cs.topology_requirements, cs.matrix,
+                                            cs.mitigations);
+    cprisk::core::AssessmentConfig config;
+    config.horizon = cs.horizon;
+    config.max_simultaneous_faults = 2;
+    config.phase_budget = 6;
+    auto report = assessment.run(config);
+    if (!report.ok()) {
+        std::printf("assessment failed: %s\n", report.error().c_str());
+        return 1;
+    }
+    const auto& r = report.value();
+    const double total_ms = ms_since(t0);
+
+    std::printf("[3] reasoning               : model + requirements compiled to ASP (temporal "
+                "horizon %d)\n", cs.horizon);
+    for (const auto& iteration : r.cegar_iterations) {
+        std::printf("[4] hazard identification   : stage %-18s %zu candidates -> %zu hazards\n",
+                    iteration.stage_name.c_str(), iteration.candidates_in,
+                    iteration.hazards_out);
+    }
+    std::printf("[5] model refinement        : %zu spurious solutions eliminated (CEGAR)\n",
+                r.spurious_eliminated);
+    std::printf("[6] quantitative risk       : %zu hazards rated (O-RA + IEC 61508)\n",
+                r.risks.size());
+    std::printf("%s\n", r.risk_table().render().c_str());
+    std::printf("[7] mitigation strategy     : cost %lld, residual loss %lld\n",
+                static_cast<long long>(r.selection.mitigation_cost),
+                static_cast<long long>(r.selection.residual_loss));
+    std::printf("%s\n", r.mitigation_table().render().c_str());
+    std::printf("pipeline stages 3-7 total   : %.2f ms\n", total_ms);
+
+    // Shape checks: hazards exist, refinement pruned something, a plan came
+    // out.
+    const bool ok = !r.hazards.empty() && r.spurious_eliminated > 0 &&
+                    (!r.selection.chosen.empty() || r.selection.residual_loss == 0);
+    std::printf("\nshape check: hazards>0=%d spurious>0=%d plan-proposed=%d -> %s\n",
+                !r.hazards.empty(), r.spurious_eliminated > 0, !r.selection.chosen.empty(),
+                ok ? "OK" : "FAIL");
+    return ok ? 0 : 1;
+}

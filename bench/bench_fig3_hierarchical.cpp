@@ -1,0 +1,87 @@
+// Reproduces Fig. 3 of the paper: the hierarchical evaluation matrix (asset
+// refinements x threat refinements) and its three evaluation focuses, run on
+// the case study. Shows how the CEGAR pipeline shrinks the abstract hazard
+// set without losing any confirmed hazard, and how focus 3 attaches a
+// mitigation plan.
+#include <cstdio>
+
+#include "core/watertank.hpp"
+#include "hierarchy/evaluation_matrix.hpp"
+#include "security/threat_actor.hpp"
+
+int main() {
+    std::printf("== Fig. 3: hierarchical evaluation ==\n\n");
+    std::printf("%s\n", cprisk::hierarchy::evaluation_matrix_table().render().c_str());
+
+    auto built = cprisk::core::WaterTankCaseStudy::build();
+    if (!built.ok()) {
+        std::printf("build failed: %s\n", built.error().c_str());
+        return 1;
+    }
+    const auto& cs = built.value();
+
+    // Refined variant of the model (Fig. 4 asset refinement applied).
+    auto refined = cs.system;
+    auto applied = refined.refine(cprisk::core::WaterTankCaseStudy::workstation_refinement());
+    if (!applied.ok()) {
+        std::printf("refinement failed: %s\n", applied.error().c_str());
+        return 1;
+    }
+
+    cprisk::security::ScenarioSpaceOptions space_options;
+    space_options.max_simultaneous_faults = 2;
+    space_options.include_attack_scenarios = false;
+    const auto space = cprisk::security::ScenarioSpace::build(
+        cs.system, cs.matrix, cprisk::security::standard_threat_actors(), space_options);
+
+    cprisk::hierarchy::HierarchicalConfig config;
+    config.abstract_model = &cs.system;
+    config.abstract_requirements = cs.topology_requirements;
+    config.detailed_requirements = cs.requirements;
+    config.horizon = cs.horizon;
+
+    auto result = cprisk::hierarchy::run_hierarchical_evaluation(config, space, cs.matrix,
+                                                                 cs.mitigations);
+    if (!result.ok()) {
+        std::printf("hierarchical evaluation failed: %s\n", result.error().c_str());
+        return 1;
+    }
+    const auto& r = result.value();
+
+    std::printf("scenario space: %zu scenarios\n\n", space.size());
+    for (const auto& iteration : r.cegar.iterations) {
+        std::printf("  %-22s candidates in: %3zu   hazards out: %3zu   spurious eliminated: "
+                    "%zu\n",
+                    iteration.stage_name.c_str(), iteration.candidates_in, iteration.hazards_out,
+                    iteration.spurious_eliminated);
+    }
+    std::printf("\nfocus 1 (topology-based propagation) : %zu candidate hazards\n",
+                r.focus1_hazards);
+    std::printf("focus 2 (detailed propagation)       : %zu confirmed hazards\n",
+                r.focus2_hazards);
+    std::printf("spurious solutions eliminated        : %zu\n", r.spurious_eliminated);
+    std::printf("focus 3 (mitigation plan)            : {");
+    for (std::size_t i = 0; i < r.mitigation_plan.chosen.size(); ++i) {
+        std::printf("%s%s", i > 0 ? ", " : "", r.mitigation_plan.chosen[i].c_str());
+    }
+    std::printf("} cost=%lld residual=%lld\n",
+                static_cast<long long>(r.mitigation_plan.mitigation_cost),
+                static_cast<long long>(r.mitigation_plan.residual_loss));
+
+    std::printf("\nconfirmed hazards after refinement:\n");
+    for (const auto& hazard : r.cegar.confirmed) {
+        std::printf("  %-6s severity=%s violations:", hazard.scenario_id.c_str(),
+                    std::string(cprisk::qual::to_short_string(hazard.severity)).c_str());
+        for (const auto& req : hazard.violated_requirements) std::printf(" %s", req.c_str());
+        std::printf("\n");
+    }
+
+    // Shape checks: abstraction over-approximates (focus1 >= focus2), some
+    // spurious candidates were eliminated, focus2 found real hazards.
+    const bool shape_ok = r.focus1_hazards >= r.focus2_hazards && r.spurious_eliminated > 0 &&
+                          r.focus2_hazards > 0;
+    std::printf("\nshape check: focus1>=focus2=%d spurious>0=%d focus2>0=%d -> %s\n",
+                r.focus1_hazards >= r.focus2_hazards, r.spurious_eliminated > 0,
+                r.focus2_hazards > 0, shape_ok ? "OK" : "FAIL");
+    return shape_ok ? 0 : 1;
+}

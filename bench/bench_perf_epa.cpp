@@ -1,0 +1,139 @@
+// EPA scaling: scenario evaluation cost as a function of model size
+// (propagation chain length), temporal horizon, and scenario-space size —
+// plus the DESIGN.md ablation 4 (topology-only vs behavioural focus cost).
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "epa/epa.hpp"
+
+namespace {
+
+using namespace cprisk;
+
+model::SystemModel chain_model(int n) {
+    model::SystemModel m;
+    for (int i = 0; i < n; ++i) {
+        model::Component c;
+        c.id = "c" + std::to_string(i);
+        c.name = c.id;
+        c.type = i + 1 == n ? model::ElementType::Equipment : model::ElementType::Controller;
+        c.asset_value = i + 1 == n ? qual::Level::VeryHigh : qual::Level::Medium;
+        c.fault_modes = {model::FaultMode{"fail", model::FaultEffect::Corruption, "",
+                                          qual::Level::Medium, qual::Level::Low}};
+        (void)m.add_component(std::move(c));
+    }
+    for (int i = 0; i + 1 < n; ++i) {
+        (void)m.add_relation({"c" + std::to_string(i), "c" + std::to_string(i + 1),
+                              model::RelationType::SignalFlow, ""});
+    }
+    return m;
+}
+
+security::AttackScenario head_fault() {
+    security::AttackScenario s;
+    s.id = "bench";
+    s.mutations = {{"c0", "fail"}};
+    s.likelihood = qual::Level::Low;
+    return s;
+}
+
+void BM_EvaluateChain(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    auto m = chain_model(n);
+    epa::EpaOptions options;
+    options.focus = epa::AnalysisFocus::Topology;
+    options.horizon = n + 1;  // enough steps to traverse the chain
+    auto analysis = epa::ErrorPropagationAnalysis::create(
+        m, {epa::Requirement::no_error_reaches("c" + std::to_string(n - 1))}, {}, options);
+    auto scenario = head_fault();
+    for (auto _ : state) {
+        auto verdict = analysis.value().evaluate(scenario, {});
+        benchmark::DoNotOptimize(verdict);
+    }
+    state.SetComplexityN(n);
+}
+BENCHMARK(BM_EvaluateChain)->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Complexity();
+
+void BM_HorizonSweep(benchmark::State& state) {
+    const int horizon = static_cast<int>(state.range(0));
+    auto m = chain_model(6);
+    epa::EpaOptions options;
+    options.focus = epa::AnalysisFocus::Topology;
+    options.horizon = horizon;
+    auto analysis = epa::ErrorPropagationAnalysis::create(
+        m, {epa::Requirement::no_error_reaches("c5")}, {}, options);
+    auto scenario = head_fault();
+    for (auto _ : state) {
+        auto verdict = analysis.value().evaluate(scenario, {});
+        benchmark::DoNotOptimize(verdict);
+    }
+}
+BENCHMARK(BM_HorizonSweep)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_ScenarioSpaceSweep(benchmark::State& state) {
+    // Exhaustive evaluation cost over a growing scenario space
+    // (k single-fault scenarios on a fixed chain).
+    const int n = 6;
+    auto m = chain_model(n);
+    epa::EpaOptions options;
+    options.focus = epa::AnalysisFocus::Topology;
+    options.horizon = n + 1;
+    auto analysis = epa::ErrorPropagationAnalysis::create(
+        m, {epa::Requirement::no_error_reaches("c5")}, {}, options);
+
+    const int scenarios = static_cast<int>(state.range(0));
+    std::vector<security::AttackScenario> space;
+    for (int i = 0; i < scenarios; ++i) {
+        security::AttackScenario s;
+        s.id = "s" + std::to_string(i);
+        s.mutations = {{"c" + std::to_string(i % n), "fail"}};
+        space.push_back(std::move(s));
+    }
+    for (auto _ : state) {
+        for (const auto& scenario : space) {
+            auto verdict = analysis.value().evaluate(scenario, {});
+            benchmark::DoNotOptimize(verdict);
+        }
+    }
+    state.counters["scenarios"] = scenarios;
+}
+BENCHMARK(BM_ScenarioSpaceSweep)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_FocusAblation_Topology(benchmark::State& state) {
+    // Ablation 4a: topology-only analysis of a behaviour-rich model.
+    auto m = chain_model(6);
+    (void)m.add_behavior("c0", "#program always. alarm :- error(c0).");
+    epa::EpaOptions options;
+    options.focus = epa::AnalysisFocus::Topology;
+    options.horizon = 7;
+    auto analysis = epa::ErrorPropagationAnalysis::create(
+        m, {epa::Requirement::no_error_reaches("c5")}, {}, options);
+    auto scenario = head_fault();
+    for (auto _ : state) {
+        auto verdict = analysis.value().evaluate(scenario, {});
+        benchmark::DoNotOptimize(verdict);
+    }
+}
+BENCHMARK(BM_FocusAblation_Topology);
+
+void BM_FocusAblation_Behavioral(benchmark::State& state) {
+    // Ablation 4b: same model with the behaviour fragments compiled in.
+    auto m = chain_model(6);
+    (void)m.add_behavior("c0", "#program always. alarm :- error(c0).");
+    epa::EpaOptions options;
+    options.focus = epa::AnalysisFocus::Behavioral;
+    options.horizon = 7;
+    auto analysis = epa::ErrorPropagationAnalysis::create(
+        m, {epa::Requirement::no_error_reaches("c5")}, {}, options);
+    auto scenario = head_fault();
+    for (auto _ : state) {
+        auto verdict = analysis.value().evaluate(scenario, {});
+        benchmark::DoNotOptimize(verdict);
+    }
+}
+BENCHMARK(BM_FocusAblation_Behavioral);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,133 @@
+// Simulator throughput plus DESIGN.md ablation 3: agreement between the
+// qualitative EPA verdicts and the concrete fault-injection campaign on the
+// quantitative water-tank plant (the abstraction must never miss a hazard).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/watertank.hpp"
+#include "sim/campaign.hpp"
+
+namespace {
+
+using namespace cprisk;
+
+void BM_SimulatorRun(benchmark::State& state) {
+    sim::WaterTankSimulator simulator;
+    const double duration = static_cast<double>(state.range(0));
+    for (auto _ : state) {
+        auto result = simulator.run(duration, {});
+        benchmark::DoNotOptimize(result);
+    }
+    state.counters["sim_seconds"] = duration;
+}
+BENCHMARK(BM_SimulatorRun)->Arg(60)->Arg(300)->Arg(1200);
+
+void BM_SimulatorWithFaults(benchmark::State& state) {
+    sim::WaterTankSimulator simulator;
+    for (auto _ : state) {
+        auto result = simulator.run(
+            120.0, {{5.0, sim::PlantFault::OutputValveStuckClosed},
+                    {5.0, sim::PlantFault::HmiNoSignal}});
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_SimulatorWithFaults);
+
+void BM_FullCampaign(benchmark::State& state) {
+    sim::WaterTankSimulator simulator;
+    sim::CampaignOptions options;
+    options.max_simultaneous_faults = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        auto records = sim::run_campaign(simulator, options);
+        benchmark::DoNotOptimize(records);
+    }
+}
+BENCHMARK(BM_FullCampaign)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_TraceAbstraction(benchmark::State& state) {
+    sim::WaterTankSimulator simulator;
+    auto result = simulator.run(600.0, {{5.0, sim::PlantFault::OutputValveStuckClosed}});
+    auto abstractor = simulator.abstractor();
+    for (auto _ : state) {
+        auto trajectory = abstractor.abstract_trace(result.trace);
+        benchmark::DoNotOptimize(trajectory);
+    }
+    state.counters["samples"] = static_cast<double>(result.trace.size());
+}
+BENCHMARK(BM_TraceAbstraction);
+
+/// Maps simulator faults to case-study mutations for the agreement check.
+security::Mutation to_mutation(sim::PlantFault fault) {
+    using sim::PlantFault;
+    switch (fault) {
+        case PlantFault::InputValveStuckOpen: return {"input_valve", "stuck_at_open"};
+        case PlantFault::OutputValveStuckClosed: return {"output_valve", "stuck_at_closed"};
+        case PlantFault::HmiNoSignal: return {"hmi", "no_signal"};
+        case PlantFault::WorkstationCompromise: return {"workstation", "infected"};
+        case PlantFault::SensorFrozen: return {"level_sensor", "frozen_reading"};
+    }
+    return {"", ""};
+}
+
+/// Ablation 3: qualitative-vs-quantitative verdict agreement over the
+/// campaign (excluding SensorFrozen, which the qualitative case-study model
+/// intentionally abstracts away — reported separately).
+void print_validation_summary() {
+    auto built = core::WaterTankCaseStudy::build();
+    if (!built.ok()) {
+        std::printf("validation: case study failed: %s\n", built.error().c_str());
+        return;
+    }
+    const auto& cs = built.value();
+    epa::EpaOptions options;
+    options.focus = epa::AnalysisFocus::Behavioral;
+    options.horizon = cs.horizon;
+    auto analysis = epa::ErrorPropagationAnalysis::create(cs.system, cs.requirements,
+                                                          cs.mitigations, options);
+    if (!analysis.ok()) {
+        std::printf("validation: EPA failed: %s\n", analysis.error().c_str());
+        return;
+    }
+
+    sim::WaterTankSimulator simulator;
+    sim::CampaignOptions campaign_options;
+    campaign_options.max_simultaneous_faults = 3;
+    const auto records = sim::run_campaign(simulator, campaign_options);
+
+    int compared = 0;
+    int agree = 0;
+    int qualitative_missed = 0;  // concrete hazard the abstraction missed (must be 0)
+    for (const auto& record : records) {
+        bool modeled = true;
+        security::AttackScenario scenario;
+        scenario.id = "v";
+        for (sim::PlantFault fault : record.faults) {
+            if (fault == sim::PlantFault::SensorFrozen) modeled = false;
+            scenario.mutations.push_back(to_mutation(fault));
+        }
+        if (!modeled) continue;
+        auto verdict = analysis.value().evaluate(scenario, {});
+        if (!verdict.ok()) continue;
+        ++compared;
+        const bool q_r1 = verdict.value().violates("r1");
+        const bool q_r2 = verdict.value().violates("r2");
+        if (q_r1 == record.violates_r1() && q_r2 == record.violates_r2()) ++agree;
+        if ((record.violates_r1() && !q_r1) || (record.violates_r2() && !q_r2)) {
+            ++qualitative_missed;
+        }
+    }
+    std::printf(
+        "validation (qualitative EPA vs concrete simulation): %d/%d combinations agree; "
+        "hazards missed by the abstraction: %d (soundness requires 0)\n",
+        agree, compared, qualitative_missed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_validation_summary();
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

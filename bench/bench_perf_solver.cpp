@@ -1,0 +1,151 @@
+// Performance of the embedded ASP engine (grounder + stable-model solver):
+// grounding throughput, satisfiability search, full enumeration, and
+// temporal unrolling — the scaling knobs behind the paper's exhaustive
+// hazard identification. Also covers DESIGN.md ablation 2 by comparing a
+// stratified (propagation-only) program against one requiring stable-model
+// search.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "asp/asp.hpp"
+
+namespace {
+
+using namespace cprisk::asp;
+
+std::string chain_program(int n) {
+    std::string p = "edge(0,1).\n";
+    for (int i = 1; i < n; ++i) {
+        p += "edge(" + std::to_string(i) + "," + std::to_string(i + 1) + ").\n";
+    }
+    p += "reach(X,Y) :- edge(X,Y).\n";
+    p += "reach(X,Z) :- reach(X,Y), edge(Y,Z).\n";
+    return p;
+}
+
+void BM_GroundTransitiveClosure(benchmark::State& state) {
+    const std::string text = chain_program(static_cast<int>(state.range(0)));
+    auto program = parse_program(text).value();
+    for (auto _ : state) {
+        auto grounded = ground(program);
+        benchmark::DoNotOptimize(grounded);
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GroundTransitiveClosure)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Complexity();
+
+void BM_SolveStratified(benchmark::State& state) {
+    // Deterministic (stratified) program: a single answer set found without
+    // search — the common case for EPA scenario programs.
+    const std::string text = chain_program(static_cast<int>(state.range(0)));
+    auto program = parse_program(text).value();
+    auto grounded = ground(program).value();
+    for (auto _ : state) {
+        auto result = solve(grounded);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_SolveStratified)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SolveGraphColoringFirstModel(benchmark::State& state) {
+    // Stable-model *search*: 3-coloring of a cycle, stop at the first model.
+    const int n = static_cast<int>(state.range(0));
+    std::string text = "node(1.." + std::to_string(n) + "). color(r). color(g). color(b).\n";
+    for (int i = 1; i < n; ++i) {
+        text += "edge(" + std::to_string(i) + "," + std::to_string(i + 1) + ").\n";
+    }
+    text += "edge(" + std::to_string(n) + ",1).\n";
+    text += "1 { assign(N,C) : color(C) } 1 :- node(N).\n";
+    text += ":- edge(X,Y), assign(X,C), assign(Y,C).\n";
+    auto program = parse_program(text).value();
+    auto grounded = ground(program).value();
+    SolveOptions options;
+    options.max_models = 1;
+    for (auto _ : state) {
+        auto result = solve(grounded, options);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_SolveGraphColoringFirstModel)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_EnumerateChoiceSpace(benchmark::State& state) {
+    // Exhaustive enumeration of 2^k answer sets (the scenario-space shape).
+    const int k = static_cast<int>(state.range(0));
+    std::string text = "item(1.." + std::to_string(k) + "). { pick(X) : item(X) }.\n";
+    auto grounded = ground(parse_program(text).value()).value();
+    for (auto _ : state) {
+        auto result = solve(grounded);
+        benchmark::DoNotOptimize(result);
+    }
+    state.counters["models"] = static_cast<double>(1 << k);
+}
+BENCHMARK(BM_EnumerateChoiceSpace)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_TemporalUnroll(benchmark::State& state) {
+    // Telingo-style unrolling + solving of a frame-axiom program over a
+    // growing horizon (the EPA's temporal depth knob).
+    const int horizon = static_cast<int>(state.range(0));
+    const std::string text =
+        "#const horizon = " + std::to_string(horizon) + ".\n" +
+        "#program initial. level(normal).\n"
+        "#program dynamic. level(X) :- prev_level(X).\n"
+        "#program always. observed :- level(normal).\n";
+    auto program = parse_program(text).value();
+    PipelineOptions options;
+    for (auto _ : state) {
+        auto result = solve_program(program, options);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_TemporalUnroll)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_OptimizationBranchAndBound(benchmark::State& state) {
+    // Weak-constraint optimization over k binary choices.
+    const int k = static_cast<int>(state.range(0));
+    std::string text = "item(1.." + std::to_string(k) + "). { pick(X) : item(X) }.\n";
+    text += "covered :- pick(X), item(X).\n:- not covered.\n";
+    text += ":~ pick(X), item(X). [X@1, X]\n";
+    auto grounded = ground(parse_program(text).value()).value();
+    for (auto _ : state) {
+        auto result = solve(grounded);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_OptimizationBranchAndBound)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_BoundPropagationAblation(benchmark::State& state) {
+    // Ablation: cardinality-bound propagation on vs leaf-only checking,
+    // on a tightly-bounded coloring instance.
+    const int n = 8;
+    std::string text = "node(1.." + std::to_string(n) + "). color(r). color(g). color(b).\n";
+    for (int i = 1; i < n; ++i) {
+        text += "edge(" + std::to_string(i) + "," + std::to_string(i + 1) + ").\n";
+    }
+    text += "edge(" + std::to_string(n) + ",1).\n";
+    text += "1 { assign(N,C) : color(C) } 1 :- node(N).\n";
+    text += ":- edge(X,Y), assign(X,C), assign(Y,C).\n";
+    auto grounded = ground(parse_program(text).value()).value();
+    SolveOptions options;
+    options.max_models = 1;
+    options.propagate_bounds = state.range(0) != 0;
+    for (auto _ : state) {
+        auto result = solve(grounded, options);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetLabel(options.propagate_bounds ? "propagation_on" : "leaf_only");
+}
+BENCHMARK(BM_BoundPropagationAblation)->Arg(1)->Arg(0);
+
+void BM_ParseLargeProgram(benchmark::State& state) {
+    const std::string text = chain_program(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto program = parse_program(text);
+        benchmark::DoNotOptimize(program);
+    }
+}
+BENCHMARK(BM_ParseLargeProgram)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

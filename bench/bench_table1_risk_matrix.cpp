@@ -1,0 +1,49 @@
+// Reproduces Table I of the paper: the O-RA 5x5 risk matrix (LM x LEF).
+// Self-checking: exits non-zero if any cell deviates from the table as
+// printed in the paper.
+#include <cstdio>
+#include <string>
+
+#include "risk/ora.hpp"
+
+namespace {
+
+using cprisk::qual::Level;
+using cprisk::qual::to_short_string;
+
+// Table I as printed (rows LM descending VH..VL; columns LEF VL..VH).
+constexpr const char* kExpected[5][5] = {
+    {"M", "H", "VH", "VH", "VH"},   // LM = VH
+    {"L", "M", "H", "VH", "VH"},    // LM = H
+    {"VL", "L", "M", "H", "VH"},    // LM = M
+    {"VL", "VL", "L", "M", "H"},    // LM = L
+    {"VL", "VL", "VL", "L", "M"},   // LM = VL
+};
+
+}  // namespace
+
+int main() {
+    std::printf("== Table I: O-RA risk matrix (Risk = f(LM, LEF)) ==\n\n");
+    std::printf("%s\n", cprisk::risk::ora_risk_matrix().render().render().c_str());
+
+    int mismatches = 0;
+    for (int row = 0; row < 5; ++row) {
+        const Level lm = cprisk::qual::level_from_index(4 - row);
+        for (int col = 0; col < 5; ++col) {
+            const Level lef = cprisk::qual::level_from_index(col);
+            const std::string got(to_short_string(cprisk::risk::ora_risk(lm, lef)));
+            if (got != kExpected[row][col]) {
+                std::printf("MISMATCH at LM=%s LEF=%s: paper=%s ours=%s\n",
+                            std::string(to_short_string(lm)).c_str(),
+                            std::string(to_short_string(lef)).c_str(), kExpected[row][col],
+                            got.c_str());
+                ++mismatches;
+            }
+        }
+    }
+    std::printf("paper-vs-ours: %d/25 cells match%s\n", 25 - mismatches,
+                mismatches == 0 ? " (exact reproduction)" : "");
+    std::printf("matrix monotone in both attributes: %s\n",
+                cprisk::risk::ora_risk_matrix().is_monotone() ? "yes" : "NO");
+    return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,36 @@
+# Bench binaries: one per paper table/figure (self-checking reproduction
+# harnesses) plus google-benchmark performance/ablation suites. All binaries
+# land in build/bench/.
+
+function(cprisk_add_bench name)
+  cmake_parse_arguments(ARG "" "" "LIBS" ${ARGN})
+  add_executable(${name} ${ARG_UNPARSED_ARGUMENTS})
+  target_link_libraries(${name} PRIVATE ${ARG_LIBS})
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+cprisk_add_bench(bench_table1_risk_matrix bench/bench_table1_risk_matrix.cpp
+  LIBS cprisk_risk)
+cprisk_add_bench(bench_table2_case_study bench/bench_table2_case_study.cpp
+  LIBS cprisk_core)
+cprisk_add_bench(bench_fig1_pipeline bench/bench_fig1_pipeline.cpp
+  LIBS cprisk_core)
+cprisk_add_bench(bench_fig2_risk_attributes bench/bench_fig2_risk_attributes.cpp
+  LIBS cprisk_risk cprisk_uncertainty)
+cprisk_add_bench(bench_fig3_hierarchical bench/bench_fig3_hierarchical.cpp
+  LIBS cprisk_core)
+cprisk_add_bench(bench_fig4_refinement bench/bench_fig4_refinement.cpp
+  LIBS cprisk_core)
+
+cprisk_add_bench(bench_ablation_baselines bench/bench_ablation_baselines.cpp
+  LIBS cprisk_core cprisk_fta cprisk_markov benchmark::benchmark)
+
+cprisk_add_bench(bench_perf_solver bench/bench_perf_solver.cpp
+  LIBS cprisk_asp benchmark::benchmark)
+cprisk_add_bench(bench_perf_epa bench/bench_perf_epa.cpp
+  LIBS cprisk_epa benchmark::benchmark)
+cprisk_add_bench(bench_perf_optimizer bench/bench_perf_optimizer.cpp
+  LIBS cprisk_mitigation benchmark::benchmark)
+cprisk_add_bench(bench_perf_sim bench/bench_perf_sim.cpp
+  LIBS cprisk_sim cprisk_core benchmark::benchmark)

@@ -1,0 +1,89 @@
+// Attack-surface exploration: match the CWE/CVE/CAPEC-style catalogs against
+// a refined model (version-specific vulnerability matching, §VI), generate
+// per-actor attack graphs, and check which factors the risk verdict is
+// actually sensitive to (rough-set view of the scenario table).
+#include <algorithm>
+#include <cstdio>
+
+#include "core/watertank.hpp"
+#include "security/attack_graph.hpp"
+#include "security/threat_actor.hpp"
+#include "uncertainty/rough_set.hpp"
+
+using namespace cprisk;
+
+int main() {
+    auto built = core::WaterTankCaseStudy::build();
+    if (!built.ok()) {
+        std::printf("case study failed: %s\n", built.error().c_str());
+        return 1;
+    }
+    auto model = built.value().system;
+    require(model.refine(core::WaterTankCaseStudy::workstation_refinement()).ok(),
+            "refinement failed");
+
+    // 1. Catalog matching per component (version-specific where known).
+    const auto catalog = security::SecurityCatalog::standard_ics();
+    std::printf("=== vulnerability matching over the refined model ===\n");
+    for (const auto& component : model.components()) {
+        const auto vulnerabilities = catalog.vulnerabilities_for(component);
+        if (vulnerabilities.empty()) continue;
+        std::printf("%-18s (version '%s')\n", component.id.c_str(),
+                    component.version.empty() ? "-" : component.version.c_str());
+        for (const auto* v : vulnerabilities) {
+            std::printf("  %-12s cvss=%.1f (%s) -> activates '%s'\n", v->id.c_str(), v->cvss,
+                        std::string(qual::to_short_string(v->severity_level())).c_str(),
+                        v->caused_fault.c_str());
+        }
+    }
+
+    // 2. Attack graphs per actor.
+    const auto matrix = security::AttackMatrix::standard_ics();
+    std::printf("\n=== attack paths to the tank controller, per actor ===\n");
+    for (const auto& actor : security::standard_threat_actors()) {
+        auto graph = security::AttackGraph::build(model, matrix, actor);
+        auto paths = graph.paths_to(core::watertank_ids::kOutValveCtrl, 4);
+        std::printf("%-10s entries=%zu paths=%zu\n", actor.id.c_str(),
+                    graph.entry_points().size(), paths.size());
+        for (const auto& path : paths) std::printf("  %s\n", path.to_string().c_str());
+    }
+
+    // 3. Rough-set view: can (exposure, layer) alone explain which
+    //    components are on some attack path? Boundary cases need refinement.
+    std::printf("\n=== rough-set approximation: 'reachable by the cybercriminal' ===\n");
+    security::ThreatActor crime;
+    for (const auto& actor : security::standard_threat_actors()) {
+        if (actor.id == "A-CRIME") crime = actor;
+    }
+    auto graph = security::AttackGraph::build(model, matrix, crime);
+    const auto compromisable = graph.compromisable();
+
+    uncertainty::InformationSystem table;
+    std::vector<std::string> names;
+    for (const auto& component : model.components()) {
+        const bool reached =
+            std::find(compromisable.begin(), compromisable.end(), component.id) !=
+            compromisable.end();
+        auto added = table.add_object(
+            {{"exposure", std::string(to_string(component.exposure))},
+             {"layer", std::string(to_string(layer_of(component.type)))}},
+            reached ? "reachable" : "safe");
+        require(added.ok(), added.error());
+        names.push_back(component.id);
+    }
+    const auto regions = table.regions("reachable", {"exposure", "layer"});
+    auto print_region = [&](const char* label, const std::set<std::size_t>& region) {
+        std::printf("%-10s:", label);
+        for (std::size_t object : region) std::printf(" %s", names[object].c_str());
+        std::printf("\n");
+    };
+    print_region("positive", regions.positive);
+    print_region("boundary", regions.boundary);
+    print_region("negative", regions.negative);
+    std::printf(
+        "dependency degree of (exposure, layer) on reachability: %.2f\n"
+        "boundary components cannot be classified from coarse attributes alone —\n"
+        "exactly the cases the paper routes to model refinement.\n",
+        table.dependency_degree({"exposure", "layer"}));
+    return 0;
+}

@@ -1,0 +1,112 @@
+// Baseline comparison (paper §III-A): the same hazard — water-tank overflow
+// — analyzed three ways:
+//
+//   1. qualitative EPA (the paper's approach): one declarative model, the
+//      engine finds violating scenarios and propagation paths;
+//   2. classic FTA: the fault tree is *synthesized from* the EPA verdicts
+//      (the incorporation the paper suggests), then minimal cut sets and the
+//      qualitative top likelihood are computed;
+//   3. a discrete-time Markov chain: the dominant cut sets calibrated to
+//      per-step probabilities give bounded overflow probabilities.
+//
+// The point the paper makes becomes visible: the EPA model is component-
+// local and reusable, while the FTA/DTMC artifacts are hazard-specific and
+// must be rebuilt per top event.
+#include <cstdio>
+
+#include "core/watertank.hpp"
+#include "fta/fault_tree.hpp"
+#include "markov/chain.hpp"
+#include "security/threat_actor.hpp"
+
+using namespace cprisk;
+
+int main() {
+    auto built = core::WaterTankCaseStudy::build();
+    if (!built.ok()) {
+        std::printf("case study failed: %s\n", built.error().c_str());
+        return 1;
+    }
+    const auto& cs = built.value();
+
+    // --- view 1: qualitative EPA -------------------------------------------
+    epa::EpaOptions options;
+    options.focus = epa::AnalysisFocus::Behavioral;
+    options.horizon = cs.horizon;
+    auto epa = epa::ErrorPropagationAnalysis::create(cs.system, cs.requirements, cs.mitigations,
+                                                     options);
+    require(epa.ok(), epa.error());
+
+    security::ScenarioSpaceOptions space_options;
+    space_options.max_simultaneous_faults = 2;
+    space_options.include_attack_scenarios = false;
+    const auto space = security::ScenarioSpace::build(
+        cs.system, cs.matrix, security::standard_threat_actors(), space_options);
+    auto verdicts = epa.value().evaluate_all(space, {});
+    require(verdicts.ok(), verdicts.error());
+
+    std::size_t violating = 0;
+    for (const auto& verdict : verdicts.value()) {
+        if (verdict.violates("r1")) ++violating;
+    }
+    std::printf("=== view 1: qualitative EPA ===\n");
+    std::printf("scenarios evaluated: %zu; violating R1 (overflow): %zu\n\n", space.size(),
+                violating);
+
+    // --- view 2: FTA synthesized from the EPA ------------------------------
+    auto tree = fta::from_verdicts("r1", verdicts.value(), cs.system);
+    require(tree.ok(), tree.error());
+    std::printf("=== view 2: fault tree (synthesized from EPA verdicts) ===\n");
+    std::printf("%s\n", tree.value().to_string().c_str());
+    auto cut_sets = tree.value().minimal_cut_sets();
+    require(cut_sets.ok(), cut_sets.error());
+    std::printf("minimal cut sets:\n");
+    for (const auto& cut : cut_sets.value()) {
+        std::printf("  {");
+        bool first = true;
+        for (const auto& event : cut) {
+            std::printf("%s%s", first ? "" : ", ", event.c_str());
+            first = false;
+        }
+        std::printf("}\n");
+    }
+    auto top = tree.value().top_likelihood();
+    require(top.ok(), top.error());
+    std::printf("qualitative top-event likelihood: %s\n\n",
+                std::string(qual::to_short_string(top.value())).c_str());
+
+    // --- view 3: DTMC over the dominant causes ------------------------------
+    std::printf("=== view 3: Markov chain over the first-order causes ===\n");
+    markov::MarkovChain chain;
+    require(chain.add_state("nominal").ok(), "state");
+    require(chain.add_state("overflow").ok(), "state");
+    double p_any = 0.0;
+    for (const auto& cut : cut_sets.value()) {
+        if (cut.size() != 1) continue;  // first-order causes only
+        // Extract the likelihood of the single basic event from the model.
+        const std::string& event = *cut.begin();
+        const auto dot = event.find('.');
+        const std::string component = event.substr(0, dot);
+        const std::string fault = event.substr(dot + 1);
+        const auto* mode = cs.system.component(component).find_fault_mode(fault);
+        const double p = markov::level_to_probability(
+            mode != nullptr ? mode->likelihood : qual::Level::Medium);
+        std::printf("  cause %-32s per-step p=%.4f\n", event.c_str(), p);
+        p_any = 1.0 - (1.0 - p_any) * (1.0 - p);  // independent causes
+    }
+    require(chain.set_transition("nominal", "overflow", p_any).ok(), "t");
+    require(chain.set_transition("nominal", "nominal", 1.0 - p_any).ok(), "t");
+    require(chain.make_absorbing("overflow").ok(), "t");
+    for (std::size_t horizon : {10u, 100u, 1000u}) {
+        auto p = chain.reach_probability("nominal", {"overflow"}, horizon);
+        require(p.ok(), p.error());
+        std::printf("  P(overflow within %4zu steps) = %.4f\n", horizon, p.value());
+    }
+
+    std::printf(
+        "\nTakeaway: all three views agree on *what* causes the overflow; the\n"
+        "qualitative EPA needed only the reusable component models, while the\n"
+        "FTA/DTMC artifacts above are per-hazard constructions (the expertise\n"
+        "asymmetry the paper argues motivates qualitative EPA for SMEs).\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: model a three-component control chain, inject a fault, and ask
+// the qualitative EPA whether a safety requirement can be violated.
+//
+//   sensor --> controller --> pump     (signal flows)
+//
+// Requirement: no error may ever reach the pump.
+#include <cstdio>
+
+#include "epa/epa.hpp"
+
+using namespace cprisk;
+
+int main() {
+    // 1. Build the system model.
+    model::SystemModel system;
+    auto add = [&](const char* id, model::ElementType type) {
+        model::Component c;
+        c.id = id;
+        c.name = id;
+        c.type = type;
+        c.fault_modes = {model::FaultMode{"fail", model::FaultEffect::Corruption, "",
+                                          qual::Level::Medium, qual::Level::Low}};
+        require(system.add_component(std::move(c)).ok(), "add_component failed");
+    };
+    add("sensor", model::ElementType::Sensor);
+    add("controller", model::ElementType::Controller);
+    add("pump", model::ElementType::Actuator);
+    require(system.add_relation({"sensor", "controller",
+                                 model::RelationType::SignalFlow, "reading"}).ok(),
+            "relation failed");
+    require(system.add_relation({"controller", "pump",
+                                 model::RelationType::SignalFlow, "command"}).ok(),
+            "relation failed");
+
+    // 2. State the requirement and set up the analysis.
+    auto epa = epa::ErrorPropagationAnalysis::create(
+        system, {epa::Requirement::no_error_reaches("pump")}, epa::MitigationMap{});
+    if (!epa.ok()) {
+        std::printf("setup failed: %s\n", epa.error().c_str());
+        return 1;
+    }
+
+    // 3. Evaluate a scenario: the sensor fails.
+    security::AttackScenario scenario;
+    scenario.id = "sensor_failure";
+    scenario.mutations = {{"sensor", "fail"}};
+    scenario.likelihood = qual::Level::Low;
+
+    auto verdict = epa.value().evaluate(scenario, /*active_mitigations=*/{});
+    if (!verdict.ok()) {
+        std::printf("evaluation failed: %s\n", verdict.error().c_str());
+        return 1;
+    }
+
+    // 4. Inspect the result.
+    std::printf("scenario '%s': %s\n", scenario.id.c_str(),
+                verdict.value().any_violation() ? "VIOLATES requirements" : "safe");
+    for (const auto& requirement : verdict.value().violated_requirements) {
+        std::printf("  violated: %s\n", requirement.c_str());
+    }
+    std::printf("  propagation path:");
+    for (const auto& step : verdict.value().propagation) {
+        std::printf(" t%d:%s", step.time, step.component.c_str());
+    }
+    std::printf("\n  impact severity: %s\n",
+                std::string(qual::to_short_string(verdict.value().severity)).c_str());
+    return 0;
+}

@@ -1,0 +1,57 @@
+// The paper's full workflow on its own case study: run the seven-step
+// preliminary risk assessment of the water-tank system (Fig. 1 pipeline) and
+// print the analyst-facing report — hazards, O-RA/IEC 61508 risk ratings,
+// and the budget-constrained multi-phase mitigation plan.
+#include <cstdio>
+
+#include "core/assessment.hpp"
+#include "core/watertank.hpp"
+
+using namespace cprisk;
+
+int main() {
+    auto built = core::WaterTankCaseStudy::build();
+    if (!built.ok()) {
+        std::printf("case study failed: %s\n", built.error().c_str());
+        return 1;
+    }
+    const auto& cs = built.value();
+
+    core::RiskAssessment assessment(cs.system, cs.requirements, cs.topology_requirements,
+                                    cs.matrix, cs.mitigations);
+
+    core::AssessmentConfig config;
+    config.horizon = cs.horizon;
+    config.max_simultaneous_faults = 2;
+    config.include_attack_scenarios = false;  // fault-combination view
+    config.phase_budget = 6;                  // yearly security budget units
+
+    auto report = assessment.run(config);
+    if (!report.ok()) {
+        std::printf("assessment failed: %s\n", report.error().c_str());
+        return 1;
+    }
+    const auto& r = report.value();
+
+    std::printf("=== Preliminary risk assessment: water-tank IT/OT system ===\n\n");
+    std::printf("model: %zu components, %zu relations; scenario space: %zu\n",
+                r.component_count, r.relation_count, r.scenario_count);
+    std::printf("hazards confirmed: %zu (after eliminating %zu spurious candidates)\n\n",
+                r.hazards.size(), r.spurious_eliminated);
+
+    std::printf("-- confirmed hazards --\n%s\n", r.hazard_table().render().c_str());
+    std::printf("-- qualitative risk ratings (O-RA Table I + IEC 61508) --\n%s\n",
+                r.risk_table().render().c_str());
+    std::printf("-- multi-phase mitigation plan (budget %lld/phase) --\n%s\n",
+                static_cast<long long>(config.phase_budget),
+                r.mitigation_table().render().c_str());
+
+    std::printf("single-shot optimum: cost=%lld residual=%lld chosen={",
+                static_cast<long long>(r.selection.mitigation_cost),
+                static_cast<long long>(r.selection.residual_loss));
+    for (std::size_t i = 0; i < r.selection.chosen.size(); ++i) {
+        std::printf("%s%s", i > 0 ? ", " : "", r.selection.chosen[i].c_str());
+    }
+    std::printf("}\n");
+    return 0;
+}

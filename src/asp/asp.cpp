@@ -1,0 +1,48 @@
+#include "asp/asp.hpp"
+
+namespace cprisk::asp {
+
+Result<SolveResult> solve_program(const Program& program, const PipelineOptions& options) {
+    const Program* effective = &program;
+    Program unrolled;
+    if (program.is_temporal()) {
+        UnrollOptions unroll_options;
+        unroll_options.horizon = options.horizon;
+        for (const auto& [name, value] : program.consts()) {
+            if (name == "horizon" && value.is_integer()) {
+                unroll_options.horizon = static_cast<int>(value.as_int());
+            }
+        }
+        auto result = unroll(program, unroll_options);
+        if (!result.ok()) return Result<SolveResult>::failure(result.error());
+        unrolled = std::move(result).value();
+        effective = &unrolled;
+    }
+    auto grounded = ground(*effective, options.grounder);
+    if (!grounded.ok()) return Result<SolveResult>::failure(grounded.error());
+    return solve(grounded.value(), options.solve);
+}
+
+Result<SolveResult> solve_text(std::string_view source, const PipelineOptions& options) {
+    auto program = parse_program(source);
+    if (!program.ok()) return Result<SolveResult>::failure(program.error());
+    return solve_program(program.value(), options);
+}
+
+ltl::Trace trace_from_answer(const AnswerSet& answer, int horizon) {
+    ltl::Trace trace(static_cast<std::size_t>(horizon) + 1);
+    for (const Atom& atom : answer.atoms) {
+        if (atom.args.empty()) continue;
+        const Term& last = atom.args.back();
+        if (!last.is_integer()) continue;
+        const long long t = last.as_int();
+        if (t < 0 || t > horizon) continue;
+        Atom stripped;
+        stripped.predicate = atom.predicate;
+        stripped.args.assign(atom.args.begin(), atom.args.end() - 1);
+        trace[static_cast<std::size_t>(t)].insert(std::move(stripped));
+    }
+    return trace;
+}
+
+}  // namespace cprisk::asp

@@ -1,0 +1,42 @@
+// cprisk/asp/asp.hpp
+//
+// Convenience façade over the embedded ASP engine: parse -> (unroll) ->
+// ground -> solve in one call. Most cprisk subsystems interact with the
+// reasoner through these entry points.
+#pragma once
+
+#include <string_view>
+
+#include "asp/ground_program.hpp"
+#include "asp/grounder.hpp"
+#include "asp/ltl.hpp"
+#include "asp/parser.hpp"
+#include "asp/solver.hpp"
+#include "asp/syntax.hpp"
+#include "asp/temporal.hpp"
+#include "asp/term.hpp"
+#include "common/result.hpp"
+
+namespace cprisk::asp {
+
+struct PipelineOptions {
+    SolveOptions solve;
+    GrounderOptions grounder;
+    /// Horizon for temporal programs. Ignored when the program defines
+    /// `#const horizon = N.`, which takes precedence.
+    int horizon = 1;
+};
+
+/// Solves an already-parsed program, unrolling temporal sections if present.
+Result<SolveResult> solve_program(const Program& program, const PipelineOptions& options = {});
+
+/// Parses and solves program text.
+Result<SolveResult> solve_text(std::string_view source, const PipelineOptions& options = {});
+
+/// Reconstructs the temporal trace encoded in an answer set: every shown
+/// atom whose last argument is an integer in [0, horizon] is interpreted as
+/// a time-stamped atom; the stamp is stripped and the atom recorded at that
+/// step. Used to model-check LTL requirements against answer sets.
+ltl::Trace trace_from_answer(const AnswerSet& answer, int horizon);
+
+}  // namespace cprisk::asp

@@ -1,0 +1,181 @@
+#include "asp/eval.hpp"
+
+#include <cstdlib>
+
+namespace cprisk::asp {
+
+Term substitute(const Term& term, const Binding& binding) {
+    switch (term.kind()) {
+        case Term::Kind::Integer:
+        case Term::Kind::Symbol: return term;
+        case Term::Kind::Variable: {
+            auto it = binding.find(term.name());
+            return it == binding.end() ? term : it->second;
+        }
+        case Term::Kind::Compound: {
+            std::vector<Term> args;
+            args.reserve(term.args().size());
+            for (const Term& a : term.args()) args.push_back(substitute(a, binding));
+            return Term::compound(term.name(), std::move(args));
+        }
+    }
+    return term;
+}
+
+Atom substitute(const Atom& atom, const Binding& binding) {
+    Atom out;
+    out.predicate = atom.predicate;
+    out.args.reserve(atom.args.size());
+    for (const Term& a : atom.args) out.args.push_back(substitute(a, binding));
+    return out;
+}
+
+namespace {
+
+bool is_arith_functor(const std::string& name, std::size_t arity) {
+    if (arity == 2) {
+        return name == "+" || name == "-" || name == "*" || name == "/" || name == "mod";
+    }
+    if (arity == 1) return name == "abs";
+    return false;
+}
+
+}  // namespace
+
+Result<Term> eval_term(const Term& term) {
+    switch (term.kind()) {
+        case Term::Kind::Integer:
+        case Term::Kind::Symbol: return term;
+        case Term::Kind::Variable:
+            return Result<Term>::failure("eval: unbound variable '" + term.name() + "'");
+        case Term::Kind::Compound: {
+            std::vector<Term> args;
+            args.reserve(term.args().size());
+            for (const Term& a : term.args()) {
+                auto r = eval_term(a);
+                if (!r.ok()) return r;
+                args.push_back(std::move(r).value());
+            }
+            const std::string& f = term.name();
+            if (f == "..") {
+                if (!args[0].is_integer() || !args[1].is_integer()) {
+                    return Result<Term>::failure("eval: interval endpoints must be integers in " +
+                                                 term.to_string());
+                }
+                return Term::compound("..", std::move(args));
+            }
+            if (is_arith_functor(f, args.size())) {
+                for (const Term& a : args) {
+                    if (!a.is_integer()) {
+                        return Result<Term>::failure("eval: arithmetic on non-integer term " +
+                                                     a.to_string());
+                    }
+                }
+                if (args.size() == 1) {  // abs
+                    return Term::integer(std::llabs(args[0].as_int()));
+                }
+                const long long x = args[0].as_int();
+                const long long y = args[1].as_int();
+                if (f == "+") return Term::integer(x + y);
+                if (f == "-") return Term::integer(x - y);
+                if (f == "*") return Term::integer(x * y);
+                if (f == "/" || f == "mod") {
+                    if (y == 0) {
+                        return Result<Term>::failure("eval: division by zero in " +
+                                                     term.to_string());
+                    }
+                    return Term::integer(f == "/" ? x / y : x % y);
+                }
+            }
+            return Term::compound(f, std::move(args));
+        }
+    }
+    return Result<Term>::failure("eval: unreachable");
+}
+
+bool compare_terms(const Term& lhs, CompareOp op, const Term& rhs) {
+    switch (op) {
+        case CompareOp::Eq: return lhs == rhs;
+        case CompareOp::Ne: return !(lhs == rhs);
+        case CompareOp::Lt: return lhs < rhs;
+        case CompareOp::Le: return lhs < rhs || lhs == rhs;
+        case CompareOp::Gt: return rhs < lhs;
+        case CompareOp::Ge: return rhs < lhs || lhs == rhs;
+    }
+    return false;
+}
+
+std::vector<Term> expand_ranges(const Term& term) {
+    switch (term.kind()) {
+        case Term::Kind::Integer:
+        case Term::Kind::Symbol:
+        case Term::Kind::Variable: return {term};
+        case Term::Kind::Compound: {
+            if (term.name() == ".." && term.args().size() == 2 && term.args()[0].is_integer() &&
+                term.args()[1].is_integer()) {
+                std::vector<Term> out;
+                for (long long v = term.args()[0].as_int(); v <= term.args()[1].as_int(); ++v) {
+                    out.push_back(Term::integer(v));
+                }
+                return out;
+            }
+            // Cartesian product over expanded arguments.
+            std::vector<std::vector<Term>> expanded;
+            expanded.reserve(term.args().size());
+            for (const Term& a : term.args()) expanded.push_back(expand_ranges(a));
+            std::vector<std::vector<Term>> tuples = {{}};
+            for (const auto& choices : expanded) {
+                std::vector<std::vector<Term>> next;
+                for (const auto& prefix : tuples) {
+                    for (const Term& choice : choices) {
+                        auto tuple = prefix;
+                        tuple.push_back(choice);
+                        next.push_back(std::move(tuple));
+                    }
+                }
+                tuples = std::move(next);
+            }
+            std::vector<Term> out;
+            out.reserve(tuples.size());
+            for (auto& tuple : tuples) out.push_back(Term::compound(term.name(), std::move(tuple)));
+            return out;
+        }
+    }
+    return {term};
+}
+
+std::vector<Atom> expand_atom_ranges(const Atom& atom) {
+    std::vector<std::vector<Term>> expanded;
+    expanded.reserve(atom.args.size());
+    bool any_range = false;
+    for (const Term& a : atom.args) {
+        auto choices = expand_ranges(a);
+        if (choices.size() != 1 || !(choices[0] == a)) any_range = true;
+        expanded.push_back(std::move(choices));
+    }
+    if (!any_range) return {atom};
+
+    std::vector<std::vector<Term>> tuples = {{}};
+    for (const auto& choices : expanded) {
+        std::vector<std::vector<Term>> next;
+        for (const auto& prefix : tuples) {
+            for (const Term& choice : choices) {
+                auto tuple = prefix;
+                tuple.push_back(choice);
+                next.push_back(std::move(tuple));
+            }
+        }
+        tuples = std::move(next);
+    }
+    std::vector<Atom> out;
+    out.reserve(tuples.size());
+    for (auto& tuple : tuples) {
+        Atom a;
+        a.predicate = atom.predicate;
+        a.args = std::move(tuple);
+        out.push_back(std::move(a));
+    }
+    return out;
+}
+
+}  // namespace cprisk::asp

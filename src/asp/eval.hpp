@@ -1,0 +1,47 @@
+// cprisk/asp/eval.hpp
+//
+// Ground-term evaluation used by the grounder: variable substitution,
+// arithmetic reduction, comparison evaluation, and interval (`a..b`)
+// expansion.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "asp/syntax.hpp"
+#include "asp/term.hpp"
+#include "common/result.hpp"
+
+namespace cprisk::asp {
+
+/// Variable bindings accumulated while matching a rule body.
+using Binding = std::map<std::string, Term>;
+
+/// Replaces bound variables in `term`; unbound variables are left intact.
+Term substitute(const Term& term, const Binding& binding);
+
+/// Replaces bound variables in all arguments of `atom`.
+Atom substitute(const Atom& atom, const Binding& binding);
+
+/// Reduces arithmetic in a ground term: `+ - * /` and functors `mod`, `abs`
+/// over integers. Intervals `a..b` are normalized to ranges of evaluated
+/// endpoints but not expanded (see `expand_ranges`). Fails on unbound
+/// variables, non-integer arithmetic or division by zero.
+Result<Term> eval_term(const Term& term);
+
+/// Evaluates a comparison between two *evaluated* ground terms using the ASP
+/// total term order (integers numerically, then symbols lexicographically,
+/// then compounds structurally).
+bool compare_terms(const Term& lhs, CompareOp op, const Term& rhs);
+
+/// Expands every interval inside an evaluated ground term into the list of
+/// concrete instances (cartesian product over nested ranges). A term without
+/// ranges expands to itself. An empty range (a..b with a > b) yields no
+/// instances.
+std::vector<Term> expand_ranges(const Term& term);
+
+/// Expands ranges in every argument of a ground atom.
+std::vector<Atom> expand_atom_ranges(const Atom& atom);
+
+}  // namespace cprisk::asp

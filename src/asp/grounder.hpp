@@ -1,0 +1,30 @@
+// cprisk/asp/grounder.hpp
+//
+// Bottom-up grounder: instantiates the rules of a (Base-section) program
+// over the herbrand domain derived from facts and rule heads, producing a
+// GroundProgram for the solver. Negation-as-failure literals are treated as
+// possibly-true during grounding, so the grounded atom domain safely
+// over-approximates every answer set.
+#pragma once
+
+#include <cstddef>
+
+#include "asp/ground_program.hpp"
+#include "asp/syntax.hpp"
+#include "common/result.hpp"
+
+namespace cprisk::asp {
+
+struct GrounderOptions {
+    /// Safety valve against non-terminating programs (e.g. p(X+1) :- p(X)).
+    std::size_t max_atoms = 2'000'000;
+    std::size_t max_iterations = 10'000;
+};
+
+/// Grounds `program`. Temporal programs must be unrolled first (see
+/// asp/temporal.hpp); passing a program with non-Base sections fails.
+/// Fails on unsafe rules (variables not bound by a positive literal or
+/// assignment) and on domain explosion past the configured limits.
+Result<GroundProgram> ground(const Program& program, const GrounderOptions& options = {});
+
+}  // namespace cprisk::asp

@@ -1,0 +1,217 @@
+#include "asp/lexer.hpp"
+
+#include <cctype>
+
+namespace cprisk::asp {
+
+std::string to_string(TokenKind kind) {
+    switch (kind) {
+        case TokenKind::Identifier: return "identifier";
+        case TokenKind::Variable: return "variable";
+        case TokenKind::Integer: return "integer";
+        case TokenKind::Directive: return "directive";
+        case TokenKind::Dot: return "'.'";
+        case TokenKind::DotDot: return "'..'";
+        case TokenKind::Comma: return "','";
+        case TokenKind::Semicolon: return "';'";
+        case TokenKind::Colon: return "':'";
+        case TokenKind::If: return "':-'";
+        case TokenKind::WeakIf: return "':~'";
+        case TokenKind::LParen: return "'('";
+        case TokenKind::RParen: return "')'";
+        case TokenKind::LBrace: return "'{'";
+        case TokenKind::RBrace: return "'}'";
+        case TokenKind::LBracket: return "'['";
+        case TokenKind::RBracket: return "']'";
+        case TokenKind::At: return "'@'";
+        case TokenKind::Plus: return "'+'";
+        case TokenKind::Minus: return "'-'";
+        case TokenKind::Star: return "'*'";
+        case TokenKind::Slash: return "'/'";
+        case TokenKind::Eq: return "'='";
+        case TokenKind::Ne: return "'!='";
+        case TokenKind::Lt: return "'<'";
+        case TokenKind::Le: return "'<='";
+        case TokenKind::Gt: return "'>'";
+        case TokenKind::Ge: return "'>='";
+        case TokenKind::Not: return "'not'";
+        case TokenKind::End: return "end of input";
+    }
+    return "?";
+}
+
+namespace {
+
+class Cursor {
+public:
+    explicit Cursor(std::string_view source) : source_(source) {}
+
+    bool done() const { return pos_ >= source_.size(); }
+    char peek(std::size_t ahead = 0) const {
+        return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+    }
+    char advance() {
+        char c = source_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            column_ = 1;
+        } else {
+            ++column_;
+        }
+        return c;
+    }
+    int line() const { return line_; }
+    int column() const { return column_; }
+
+private:
+    std::string_view source_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> tokenize(std::string_view source) {
+    std::vector<Token> tokens;
+    Cursor cur(source);
+
+    auto push = [&](TokenKind kind, std::string text, int line, int column,
+                    long long value = 0) {
+        Token t;
+        t.kind = kind;
+        t.text = std::move(text);
+        t.int_value = value;
+        t.line = line;
+        t.column = column;
+        tokens.push_back(std::move(t));
+    };
+
+    while (!cur.done()) {
+        const int line = cur.line();
+        const int column = cur.column();
+        const char c = cur.peek();
+
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            cur.advance();
+            continue;
+        }
+        if (c == '%') {  // comment to end of line
+            while (!cur.done() && cur.peek() != '\n') cur.advance();
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::string digits;
+            while (!cur.done() && std::isdigit(static_cast<unsigned char>(cur.peek()))) {
+                digits += cur.advance();
+            }
+            push(TokenKind::Integer, digits, line, column, std::stoll(digits));
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::string word;
+            while (!cur.done() && (std::isalnum(static_cast<unsigned char>(cur.peek())) ||
+                                   cur.peek() == '_' || cur.peek() == '\'')) {
+                word += cur.advance();
+            }
+            if (word == "not") {
+                push(TokenKind::Not, word, line, column);
+            } else if (std::isupper(static_cast<unsigned char>(word[0])) || word[0] == '_') {
+                push(TokenKind::Variable, word, line, column);
+            } else {
+                push(TokenKind::Identifier, word, line, column);
+            }
+            continue;
+        }
+        if (c == '#') {
+            cur.advance();
+            std::string word;
+            while (!cur.done() && std::isalpha(static_cast<unsigned char>(cur.peek()))) {
+                word += cur.advance();
+            }
+            if (word.empty()) {
+                return Result<std::vector<Token>>::failure(
+                    "lexer: dangling '#' at line " + std::to_string(line));
+            }
+            push(TokenKind::Directive, word, line, column);
+            continue;
+        }
+
+        cur.advance();
+        switch (c) {
+            case '.':
+                if (cur.peek() == '.') {
+                    cur.advance();
+                    push(TokenKind::DotDot, "..", line, column);
+                } else {
+                    push(TokenKind::Dot, ".", line, column);
+                }
+                break;
+            case ',': push(TokenKind::Comma, ",", line, column); break;
+            case ';': push(TokenKind::Semicolon, ";", line, column); break;
+            case ':':
+                if (cur.peek() == '-') {
+                    cur.advance();
+                    push(TokenKind::If, ":-", line, column);
+                } else if (cur.peek() == '~') {
+                    cur.advance();
+                    push(TokenKind::WeakIf, ":~", line, column);
+                } else {
+                    push(TokenKind::Colon, ":", line, column);
+                }
+                break;
+            case '(': push(TokenKind::LParen, "(", line, column); break;
+            case ')': push(TokenKind::RParen, ")", line, column); break;
+            case '{': push(TokenKind::LBrace, "{", line, column); break;
+            case '}': push(TokenKind::RBrace, "}", line, column); break;
+            case '[': push(TokenKind::LBracket, "[", line, column); break;
+            case ']': push(TokenKind::RBracket, "]", line, column); break;
+            case '@': push(TokenKind::At, "@", line, column); break;
+            case '+': push(TokenKind::Plus, "+", line, column); break;
+            case '-': push(TokenKind::Minus, "-", line, column); break;
+            case '*': push(TokenKind::Star, "*", line, column); break;
+            case '/': push(TokenKind::Slash, "/", line, column); break;
+            case '=':
+                if (cur.peek() == '=') cur.advance();
+                push(TokenKind::Eq, "=", line, column);
+                break;
+            case '!':
+                if (cur.peek() == '=') {
+                    cur.advance();
+                    push(TokenKind::Ne, "!=", line, column);
+                } else {
+                    return Result<std::vector<Token>>::failure(
+                        "lexer: unexpected '!' at line " + std::to_string(line));
+                }
+                break;
+            case '<':
+                if (cur.peek() == '=') {
+                    cur.advance();
+                    push(TokenKind::Le, "<=", line, column);
+                } else if (cur.peek() == '>') {
+                    cur.advance();
+                    push(TokenKind::Ne, "<>", line, column);
+                } else {
+                    push(TokenKind::Lt, "<", line, column);
+                }
+                break;
+            case '>':
+                if (cur.peek() == '=') {
+                    cur.advance();
+                    push(TokenKind::Ge, ">=", line, column);
+                } else {
+                    push(TokenKind::Gt, ">", line, column);
+                }
+                break;
+            default:
+                return Result<std::vector<Token>>::failure(
+                    std::string("lexer: unexpected character '") + c + "' at line " +
+                    std::to_string(line) + ", column " + std::to_string(column));
+        }
+    }
+
+    push(TokenKind::End, "", cur.line(), cur.column());
+    return tokens;
+}
+
+}  // namespace cprisk::asp

@@ -1,0 +1,62 @@
+// cprisk/asp/lexer.hpp
+//
+// Tokenizer for the embedded ASP language. `%` starts a line comment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace cprisk::asp {
+
+enum class TokenKind : std::uint8_t {
+    Identifier,  // lowercase-leading: predicate / constant / functor
+    Variable,    // uppercase- or '_'-leading
+    Integer,
+    Directive,   // #show, #minimize, #const, #program
+    Dot,         // .
+    DotDot,      // ..
+    Comma,       // ,
+    Semicolon,   // ;
+    Colon,       // :
+    If,          // :-
+    WeakIf,      // :~
+    LParen,      // (
+    RParen,      // )
+    LBrace,      // {
+    RBrace,      // }
+    LBracket,    // [
+    RBracket,    // ]
+    At,          // @
+    Plus,        // +
+    Minus,       // -
+    Star,        // *
+    Slash,       // /
+    Eq,          // = or ==
+    Ne,          // != or <>
+    Lt,          // <
+    Le,          // <=
+    Gt,          // >
+    Ge,          // >=
+    Not,         // keyword "not"
+    End,         // end of input
+};
+
+std::string to_string(TokenKind kind);
+
+struct Token {
+    TokenKind kind = TokenKind::End;
+    std::string text;       ///< identifier/variable/directive text, or digits
+    long long int_value = 0;
+    int line = 1;           ///< 1-based source line, for error messages
+    int column = 1;
+};
+
+/// Tokenizes `source`; returns a failure with line/column info on an
+/// unexpected character. The result always ends with an `End` token.
+Result<std::vector<Token>> tokenize(std::string_view source);
+
+}  // namespace cprisk::asp

@@ -1,0 +1,261 @@
+#include "asp/ltl.hpp"
+
+#include "common/error.hpp"
+
+namespace cprisk::asp::ltl {
+
+Formula Formula::make(Op op, Formula* l, Formula* r) {
+    auto node = std::make_shared<Node>();
+    node->op = op;
+    if (l != nullptr) node->left = l->node_;
+    if (r != nullptr) node->right = r->node_;
+    return Formula(std::move(node));
+}
+
+Formula Formula::atom(Atom a) {
+    auto node = std::make_shared<Node>();
+    node->op = Op::Atom;
+    node->atom = std::move(a);
+    return Formula(std::move(node));
+}
+
+Formula Formula::truth() { return make(Op::True, nullptr, nullptr); }
+Formula Formula::falsity() { return make(Op::False, nullptr, nullptr); }
+Formula Formula::negate(Formula f) { return make(Op::Not, &f, nullptr); }
+Formula Formula::conj(Formula l, Formula r) { return make(Op::And, &l, &r); }
+Formula Formula::disj(Formula l, Formula r) { return make(Op::Or, &l, &r); }
+Formula Formula::implies(Formula l, Formula r) { return make(Op::Implies, &l, &r); }
+Formula Formula::next(Formula f) { return make(Op::Next, &f, nullptr); }
+Formula Formula::weak_next(Formula f) { return make(Op::WeakNext, &f, nullptr); }
+Formula Formula::always(Formula f) { return make(Op::Always, &f, nullptr); }
+Formula Formula::eventually(Formula f) { return make(Op::Eventually, &f, nullptr); }
+Formula Formula::until(Formula l, Formula r) { return make(Op::Until, &l, &r); }
+Formula Formula::release(Formula l, Formula r) { return make(Op::Release, &l, &r); }
+
+Formula Formula::left() const {
+    require(node_->left != nullptr, "Formula: no left child");
+    return Formula(node_->left);
+}
+
+Formula Formula::right() const {
+    require(node_->right != nullptr, "Formula: no right child");
+    return Formula(node_->right);
+}
+
+bool Formula::evaluate(const Trace& trace, std::size_t pos) const {
+    if (trace.empty() || pos >= trace.size()) return node_->op == Op::True;
+    return eval_node(*node_, trace, pos);
+}
+
+bool Formula::eval_node(const Node& node, const Trace& trace, std::size_t pos) {
+    switch (node.op) {
+        case Op::Atom: return trace[pos].count(node.atom) > 0;
+        case Op::True: return true;
+        case Op::False: return false;
+        case Op::Not: return !eval_node(*node.left, trace, pos);
+        case Op::And:
+            return eval_node(*node.left, trace, pos) && eval_node(*node.right, trace, pos);
+        case Op::Or:
+            return eval_node(*node.left, trace, pos) || eval_node(*node.right, trace, pos);
+        case Op::Implies:
+            return !eval_node(*node.left, trace, pos) || eval_node(*node.right, trace, pos);
+        case Op::Next:
+            return pos + 1 < trace.size() && eval_node(*node.left, trace, pos + 1);
+        case Op::WeakNext:
+            return pos + 1 >= trace.size() || eval_node(*node.left, trace, pos + 1);
+        case Op::Always:
+            for (std::size_t q = pos; q < trace.size(); ++q) {
+                if (!eval_node(*node.left, trace, q)) return false;
+            }
+            return true;
+        case Op::Eventually:
+            for (std::size_t q = pos; q < trace.size(); ++q) {
+                if (eval_node(*node.left, trace, q)) return true;
+            }
+            return false;
+        case Op::Until:
+            for (std::size_t q = pos; q < trace.size(); ++q) {
+                if (eval_node(*node.right, trace, q)) return true;
+                if (!eval_node(*node.left, trace, q)) return false;
+            }
+            return false;
+        case Op::Release:
+            for (std::size_t q = pos; q < trace.size(); ++q) {
+                if (!eval_node(*node.right, trace, q)) return false;
+                if (eval_node(*node.left, trace, q)) return true;  // released at q
+            }
+            return true;  // right held to the end
+    }
+    return false;
+}
+
+std::string Formula::to_string() const {
+    const Node& n = *node_;
+    switch (n.op) {
+        case Op::Atom: return n.atom.to_string();
+        case Op::True: return "true";
+        case Op::False: return "false";
+        case Op::Not: return "!(" + Formula(n.left).to_string() + ")";
+        case Op::And:
+            return "(" + Formula(n.left).to_string() + " & " + Formula(n.right).to_string() + ")";
+        case Op::Or:
+            return "(" + Formula(n.left).to_string() + " | " + Formula(n.right).to_string() + ")";
+        case Op::Implies:
+            return "(" + Formula(n.left).to_string() + " -> " + Formula(n.right).to_string() + ")";
+        case Op::Next: return "X(" + Formula(n.left).to_string() + ")";
+        case Op::WeakNext: return "wX(" + Formula(n.left).to_string() + ")";
+        case Op::Always: return "G(" + Formula(n.left).to_string() + ")";
+        case Op::Eventually: return "F(" + Formula(n.left).to_string() + ")";
+        case Op::Until:
+            return "(" + Formula(n.left).to_string() + " U " + Formula(n.right).to_string() + ")";
+        case Op::Release:
+            return "(" + Formula(n.left).to_string() + " R " + Formula(n.right).to_string() + ")";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------------------
+// LTLf -> ASP compiler
+// ---------------------------------------------------------------------------
+
+class Compiler {
+public:
+    Compiler(Program& program, std::string name, int horizon, std::string time_predicate)
+        : program_(program),
+          name_(std::move(name)),
+          horizon_(horizon),
+          time_predicate_(std::move(time_predicate)) {}
+
+    /// Entry point: emits rules for the whole formula.
+    std::string emit_root(const Formula& formula) { return emit(*formula.node_); }
+
+    /// Emits rules for `node`; returns the aux predicate deriving its truth.
+    std::string emit(const Formula::Node& node) {
+        const std::string self = fresh();
+        const Term t = Term::variable("T");
+        const Term t2 = Term::variable("T2");
+        const Atom self_t{self, {t}};
+        const Atom self_t2{self, {t2}};
+        const Literal time_t = Literal::positive(Atom{time_predicate_, {t}});
+        const Literal step =
+            Literal::comparison(t2, CompareOp::Eq, Term::compound("+", {t, Term::integer(1)}));
+
+        switch (node.op) {
+            case Formula::Op::Atom: {
+                // self(T) :- p(args, T).
+                Atom stamped = node.atom;
+                stamped.args.push_back(t);
+                add_rule(self_t, {Literal::positive(stamped)});
+                break;
+            }
+            case Formula::Op::True:
+                add_rule(self_t, {time_t});
+                break;
+            case Formula::Op::False:
+                break;  // never derivable
+            case Formula::Op::Not: {
+                const std::string child = emit(*node.left);
+                add_rule(self_t, {time_t, Literal::negative(Atom{child, {t}})});
+                break;
+            }
+            case Formula::Op::And: {
+                const std::string l = emit(*node.left);
+                const std::string r = emit(*node.right);
+                add_rule(self_t, {Literal::positive(Atom{l, {t}}),
+                                  Literal::positive(Atom{r, {t}})});
+                break;
+            }
+            case Formula::Op::Or: {
+                const std::string l = emit(*node.left);
+                const std::string r = emit(*node.right);
+                add_rule(self_t, {Literal::positive(Atom{l, {t}})});
+                add_rule(self_t, {Literal::positive(Atom{r, {t}})});
+                break;
+            }
+            case Formula::Op::Implies: {
+                const std::string l = emit(*node.left);
+                const std::string r = emit(*node.right);
+                add_rule(self_t, {time_t, Literal::negative(Atom{l, {t}})});
+                add_rule(self_t, {Literal::positive(Atom{r, {t}})});
+                break;
+            }
+            case Formula::Op::Next: {
+                // self(T) :- __t(T), T2 = T+1, child(T2).   (false at horizon)
+                const std::string child = emit(*node.left);
+                add_rule(self_t, {time_t, step, Literal::positive(Atom{child, {t2}})});
+                break;
+            }
+            case Formula::Op::WeakNext: {
+                const std::string child = emit(*node.left);
+                add_rule(self_t, {time_t, step, Literal::positive(Atom{child, {t2}})});
+                add_rule(Atom{self, {Term::integer(horizon_)}}, {});  // vacuous at the end
+                break;
+            }
+            case Formula::Op::Always: {
+                // self(H) :- child(H).  self(T) :- child(T), self(T+1).
+                const std::string child = emit(*node.left);
+                add_rule(Atom{self, {Term::integer(horizon_)}},
+                         {Literal::positive(Atom{child, {Term::integer(horizon_)}})});
+                add_rule(self_t, {time_t, Literal::positive(Atom{child, {t}}), step,
+                                  Literal::positive(self_t2)});
+                break;
+            }
+            case Formula::Op::Eventually: {
+                const std::string child = emit(*node.left);
+                add_rule(self_t, {Literal::positive(Atom{child, {t}})});
+                add_rule(self_t, {time_t, step, Literal::positive(self_t2)});
+                break;
+            }
+            case Formula::Op::Until: {
+                const std::string l = emit(*node.left);
+                const std::string r = emit(*node.right);
+                add_rule(self_t, {Literal::positive(Atom{r, {t}})});
+                add_rule(self_t, {time_t, Literal::positive(Atom{l, {t}}), step,
+                                  Literal::positive(self_t2)});
+                break;
+            }
+            case Formula::Op::Release: {
+                const std::string l = emit(*node.left);
+                const std::string r = emit(*node.right);
+                add_rule(Atom{self, {Term::integer(horizon_)}},
+                         {Literal::positive(Atom{r, {Term::integer(horizon_)}})});
+                add_rule(self_t, {Literal::positive(Atom{r, {t}}),
+                                  Literal::positive(Atom{l, {t}})});
+                add_rule(self_t, {time_t, Literal::positive(Atom{r, {t}}), step,
+                                  Literal::positive(self_t2)});
+                break;
+            }
+        }
+        return self;
+    }
+
+    void add_rule(Atom head, std::vector<Literal> body) {
+        Rule rule;
+        rule.head = Head::make_atom(std::move(head));
+        rule.body = std::move(body);
+        program_.add_rule(std::move(rule));
+    }
+
+    std::string fresh() { return "__ltl_" + name_ + "_" + std::to_string(counter_++); }
+
+private:
+    Program& program_;
+    std::string name_;
+    int horizon_;
+    std::string time_predicate_;
+    int counter_ = 0;
+};
+
+void compile_requirement(Program& program, const std::string& name, const Formula& formula,
+                         int horizon, const std::string& time_predicate,
+                         const std::string& violated_predicate) {
+    require(horizon >= 0, "compile_requirement: horizon must be non-negative");
+    Compiler compiler(program, name, horizon, time_predicate);
+    const std::string root = compiler.emit_root(formula);
+    Rule violated;
+    violated.head = Head::make_atom(Atom{violated_predicate, {Term::symbol(name)}});
+    violated.body = {Literal::negative(Atom{root, {Term::integer(0)}})};
+    program.add_rule(std::move(violated));
+}
+
+}  // namespace cprisk::asp::ltl

@@ -1,0 +1,102 @@
+// cprisk/asp/ltl.hpp
+//
+// Finite-trace linear temporal logic (LTLf) used to express system
+// requirements over the qualitative behaviour ("QR extended with temporal
+// logic", paper §II-B; requirements R1/R2 in §VII are safety formulas).
+//
+// Two evaluation paths are provided and cross-validated in the tests:
+//
+//  * `Formula::evaluate` — direct model checking over an explicit trace
+//    (sequence of atom sets), with standard LTLf semantics (strong Next is
+//    false at the last state; weak Next is true).
+//  * `compile_requirement` — compilation into ASP rules over time-stamped
+//    atoms (as produced by asp::unroll), deriving `violated(<name>)` iff the
+//    formula does NOT hold at t = 0. This is how requirements participate in
+//    the exhaustive hazard identification.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "asp/syntax.hpp"
+#include "asp/term.hpp"
+
+namespace cprisk::asp::ltl {
+
+/// A trace: the set of true atoms at each time step 0..H.
+using Trace = std::vector<std::set<Atom>>;
+
+/// Immutable LTLf formula (shared subtrees are cheap to copy).
+class Formula {
+public:
+    enum class Op {
+        Atom,        ///< ground atom holds at the current step
+        True,
+        False,
+        Not,
+        And,
+        Or,
+        Implies,
+        Next,        ///< strong next: requires a successor state
+        WeakNext,    ///< weak next: true at the last state
+        Always,      ///< G
+        Eventually,  ///< F
+        Until,       ///< left U right (strong until)
+        Release,     ///< left R right
+    };
+
+    static Formula atom(Atom a);
+    static Formula truth();
+    static Formula falsity();
+    static Formula negate(Formula f);
+    static Formula conj(Formula l, Formula r);
+    static Formula disj(Formula l, Formula r);
+    static Formula implies(Formula l, Formula r);
+    static Formula next(Formula f);
+    static Formula weak_next(Formula f);
+    static Formula always(Formula f);
+    static Formula eventually(Formula f);
+    static Formula until(Formula l, Formula r);
+    static Formula release(Formula l, Formula r);
+
+    Op op() const { return node_->op; }
+    const Atom& atom_value() const { return node_->atom; }
+    Formula left() const;
+    Formula right() const;
+
+    /// LTLf satisfaction at position `pos` of `trace`. An empty trace
+    /// satisfies nothing except `truth()`.
+    bool evaluate(const Trace& trace, std::size_t pos = 0) const;
+
+    std::string to_string() const;
+
+private:
+    struct Node {
+        Op op = Op::True;
+        Atom atom;
+        std::shared_ptr<const Node> left;
+        std::shared_ptr<const Node> right;
+    };
+    explicit Formula(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+    static Formula make(Op op, Formula* l, Formula* r);
+
+    static bool eval_node(const Node& node, const Trace& trace, std::size_t pos);
+
+    std::shared_ptr<const Node> node_;
+
+    friend class Compiler;
+};
+
+/// Compiles `formula` into ASP rules over time-stamped atoms: each atom
+/// p(a1,...,an) in the formula is read as p(a1,...,an,T). Appends to
+/// `program` rules deriving `violated(name)` iff the formula is false at
+/// t = 0, using the time-domain predicate `time_predicate` with the final
+/// time step `horizon` (matching asp::UnrollOptions). Auxiliary predicates
+/// are prefixed with `__ltl_<name>_`.
+void compile_requirement(Program& program, const std::string& name, const Formula& formula,
+                         int horizon, const std::string& time_predicate = "__t",
+                         const std::string& violated_predicate = "violated");
+
+}  // namespace cprisk::asp::ltl

@@ -1,0 +1,396 @@
+#include "asp/parser.hpp"
+
+#include <optional>
+
+#include "asp/lexer.hpp"
+#include "common/error.hpp"
+
+namespace cprisk::asp {
+
+namespace {
+
+/// Parse error carrying a message; converted to Result failure at the API
+/// boundary so internal code can use exceptions for control flow.
+class ParseError : public Error {
+public:
+    using Error::Error;
+};
+
+class Parser {
+public:
+    explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+    Program parse_program() {
+        Program program;
+        SectionKind section = SectionKind::Base;
+        while (!at(TokenKind::End)) {
+            if (at(TokenKind::Directive)) {
+                parse_directive(program, section);
+            } else if (at(TokenKind::WeakIf)) {
+                program.add_weak(parse_weak(), section);
+            } else {
+                program.add_rule(parse_rule(), section);
+            }
+        }
+        return program;
+    }
+
+    Term parse_single_term() {
+        Term t = parse_term();
+        expect(TokenKind::End, "end of term");
+        return t;
+    }
+
+    Atom parse_single_atom() {
+        Atom a = parse_atom();
+        expect(TokenKind::End, "end of atom");
+        return a;
+    }
+
+private:
+    // --- token helpers -----------------------------------------------------
+
+    const Token& peek(std::size_t ahead = 0) const {
+        std::size_t i = pos_ + ahead;
+        if (i >= tokens_.size()) i = tokens_.size() - 1;  // End token
+        return tokens_[i];
+    }
+    bool at(TokenKind kind) const { return peek().kind == kind; }
+    Token advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+    bool accept(TokenKind kind) {
+        if (at(kind)) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+    Token expect(TokenKind kind, const std::string& what) {
+        if (!at(kind)) fail("expected " + what + ", found " + describe(peek()));
+        return advance();
+    }
+    [[noreturn]] void fail(const std::string& message) const {
+        const Token& t = peek();
+        throw ParseError("parse error at line " + std::to_string(t.line) + ", column " +
+                         std::to_string(t.column) + ": " + message);
+    }
+    static std::string describe(const Token& t) {
+        std::string out = to_string(t.kind);
+        if (!t.text.empty()) out += " '" + t.text + "'";
+        return out;
+    }
+
+    // --- terms -------------------------------------------------------------
+
+    // term := additive ('..' additive)?
+    Term parse_term() {
+        Term lhs = parse_additive();
+        if (accept(TokenKind::DotDot)) {
+            Term rhs = parse_additive();
+            return Term::compound("..", {std::move(lhs), std::move(rhs)});
+        }
+        return lhs;
+    }
+
+    Term parse_additive() {
+        Term lhs = parse_multiplicative();
+        while (at(TokenKind::Plus) || at(TokenKind::Minus)) {
+            std::string op = advance().text;
+            Term rhs = parse_multiplicative();
+            lhs = Term::compound(op, {std::move(lhs), std::move(rhs)});
+        }
+        return lhs;
+    }
+
+    Term parse_multiplicative() {
+        Term lhs = parse_unary();
+        while (at(TokenKind::Star) || at(TokenKind::Slash)) {
+            std::string op = advance().text;
+            Term rhs = parse_unary();
+            lhs = Term::compound(op, {std::move(lhs), std::move(rhs)});
+        }
+        return lhs;
+    }
+
+    Term parse_unary() {
+        if (accept(TokenKind::Minus)) {
+            Term operand = parse_unary();
+            if (operand.is_integer()) return Term::integer(-operand.as_int());
+            return Term::compound("-", {Term::integer(0), std::move(operand)});
+        }
+        return parse_primary();
+    }
+
+    Term parse_primary() {
+        if (at(TokenKind::Integer)) return Term::integer(advance().int_value);
+        if (at(TokenKind::Variable)) return Term::variable(advance().text);
+        if (accept(TokenKind::LParen)) {
+            Term inner = parse_term();
+            expect(TokenKind::RParen, "')'");
+            return inner;
+        }
+        if (at(TokenKind::Identifier)) {
+            std::string name = advance().text;
+            if (accept(TokenKind::LParen)) {
+                std::vector<Term> args;
+                if (!at(TokenKind::RParen)) {
+                    args.push_back(parse_term());
+                    while (accept(TokenKind::Comma)) args.push_back(parse_term());
+                }
+                expect(TokenKind::RParen, "')'");
+                return Term::compound(std::move(name), std::move(args));
+            }
+            return Term::symbol(std::move(name));
+        }
+        fail("expected a term");
+    }
+
+    // --- atoms & literals ----------------------------------------------------
+
+    Atom parse_atom() {
+        Token name = expect(TokenKind::Identifier, "predicate name");
+        Atom atom;
+        atom.predicate = name.text;
+        if (accept(TokenKind::LParen)) {
+            if (!at(TokenKind::RParen)) {
+                atom.args.push_back(parse_term());
+                while (accept(TokenKind::Comma)) atom.args.push_back(parse_term());
+            }
+            expect(TokenKind::RParen, "')'");
+        }
+        return atom;
+    }
+
+    std::optional<CompareOp> peek_compare_op() const {
+        switch (peek().kind) {
+            case TokenKind::Eq: return CompareOp::Eq;
+            case TokenKind::Ne: return CompareOp::Ne;
+            case TokenKind::Lt: return CompareOp::Lt;
+            case TokenKind::Le: return CompareOp::Le;
+            case TokenKind::Gt: return CompareOp::Gt;
+            case TokenKind::Ge: return CompareOp::Ge;
+            default: return std::nullopt;
+        }
+    }
+
+    // #sum { W,T : cond ; ... } <= B    /    #count { T : cond } >= N
+    Literal parse_aggregate() {
+        Token directive = expect(TokenKind::Directive, "aggregate");
+        const AggregateKind kind =
+            directive.text == "sum" ? AggregateKind::Sum : AggregateKind::Count;
+        expect(TokenKind::LBrace, "'{'");
+        std::vector<AggregateElement> elements;
+        if (!at(TokenKind::RBrace)) {
+            while (true) {
+                AggregateElement element;
+                element.tuple.push_back(parse_term());
+                while (accept(TokenKind::Comma)) element.tuple.push_back(parse_term());
+                if (accept(TokenKind::Colon)) {
+                    element.condition.push_back(parse_literal());
+                    while (accept(TokenKind::Comma)) element.condition.push_back(parse_literal());
+                }
+                elements.push_back(std::move(element));
+                if (!accept(TokenKind::Semicolon)) break;
+            }
+        }
+        expect(TokenKind::RBrace, "'}'");
+        auto op = peek_compare_op();
+        if (!op) fail("expected a comparison after the aggregate");
+        advance();
+        Term bound = parse_term();
+        return Literal::aggregate(kind, std::move(elements), *op, std::move(bound));
+    }
+
+    Literal parse_literal() {
+        if (accept(TokenKind::Not)) return Literal::negative(parse_atom());
+        if (at(TokenKind::Directive) &&
+            (peek().text == "sum" || peek().text == "count")) {
+            return parse_aggregate();
+        }
+        // Could be an atom or a comparison; parse a term and look ahead.
+        Term lhs = parse_term();
+        if (auto op = peek_compare_op()) {
+            advance();
+            Term rhs = parse_term();
+            return Literal::comparison(std::move(lhs), *op, std::move(rhs));
+        }
+        return Literal::positive(term_to_atom(std::move(lhs)));
+    }
+
+    Atom term_to_atom(Term t) {
+        if (t.is_symbol()) {
+            Atom a;
+            a.predicate = t.name();
+            return a;
+        }
+        if (t.is_compound()) {
+            Atom a;
+            a.predicate = t.name();
+            a.args = t.args();
+            return a;
+        }
+        fail("expected an atom, found term " + t.to_string());
+    }
+
+    std::vector<Literal> parse_body() {
+        std::vector<Literal> body;
+        body.push_back(parse_literal());
+        while (accept(TokenKind::Comma)) body.push_back(parse_literal());
+        return body;
+    }
+
+    // --- rules ---------------------------------------------------------------
+
+    ChoiceElement parse_choice_element() {
+        ChoiceElement element;
+        element.atom = parse_atom();
+        if (accept(TokenKind::Colon)) {
+            element.condition.push_back(parse_literal());
+            while (accept(TokenKind::Comma)) element.condition.push_back(parse_literal());
+        }
+        return element;
+    }
+
+    Head parse_choice_head() {
+        std::optional<long long> lower;
+        if (at(TokenKind::Integer)) lower = advance().int_value;
+        expect(TokenKind::LBrace, "'{'");
+        std::vector<ChoiceElement> elements;
+        if (!at(TokenKind::RBrace)) {
+            elements.push_back(parse_choice_element());
+            while (accept(TokenKind::Semicolon)) elements.push_back(parse_choice_element());
+        }
+        expect(TokenKind::RBrace, "'}'");
+        std::optional<long long> upper;
+        if (at(TokenKind::Integer)) upper = advance().int_value;
+        return Head::make_choice(std::move(elements), lower, upper);
+    }
+
+    Rule parse_rule() {
+        Rule rule;
+        if (at(TokenKind::If)) {  // constraint
+            advance();
+            rule.head = Head::make_constraint();
+            rule.body = parse_body();
+        } else {
+            if (at(TokenKind::LBrace) || (at(TokenKind::Integer) && peek(1).kind == TokenKind::LBrace)) {
+                rule.head = parse_choice_head();
+            } else {
+                rule.head = Head::make_atom(parse_atom());
+            }
+            if (accept(TokenKind::If)) rule.body = parse_body();
+        }
+        expect(TokenKind::Dot, "'.' at end of rule");
+        return rule;
+    }
+
+    WeakConstraint parse_weak() {
+        expect(TokenKind::WeakIf, "':~'");
+        WeakConstraint weak;
+        weak.body = parse_body();
+        expect(TokenKind::Dot, "'.'");
+        expect(TokenKind::LBracket, "'[' cost annotation");
+        weak.weight = parse_term();
+        if (accept(TokenKind::At)) {
+            Term prio = parse_term();
+            if (!prio.is_integer()) fail("weak-constraint priority must be an integer");
+            weak.priority = prio.as_int();
+        }
+        while (accept(TokenKind::Comma)) weak.tuple.push_back(parse_term());
+        expect(TokenKind::RBracket, "']'");
+        return weak;
+    }
+
+    // --- directives ------------------------------------------------------------
+
+    void parse_directive(Program& program, SectionKind& section) {
+        Token directive = expect(TokenKind::Directive, "directive");
+        if (directive.text == "show") {
+            if (accept(TokenKind::Dot)) return;  // "#show." resets nothing here
+            Token pred = expect(TokenKind::Identifier, "predicate name");
+            expect(TokenKind::Slash, "'/' in #show");
+            Token arity = expect(TokenKind::Integer, "arity");
+            expect(TokenKind::Dot, "'.'");
+            program.add_show(Signature{pred.text, static_cast<std::size_t>(arity.int_value)});
+        } else if (directive.text == "const") {
+            Token name = expect(TokenKind::Identifier, "constant name");
+            expect(TokenKind::Eq, "'='");
+            Term value = parse_term();
+            expect(TokenKind::Dot, "'.'");
+            program.set_const(name.text, std::move(value));
+        } else if (directive.text == "program") {
+            Token name = expect(TokenKind::Identifier, "section name");
+            expect(TokenKind::Dot, "'.'");
+            if (name.text == "base") {
+                section = SectionKind::Base;
+            } else if (name.text == "initial") {
+                section = SectionKind::Initial;
+            } else if (name.text == "dynamic") {
+                section = SectionKind::Dynamic;
+            } else if (name.text == "always") {
+                section = SectionKind::Always;
+            } else if (name.text == "final") {
+                section = SectionKind::Final;
+            } else {
+                fail("unknown #program section '" + name.text + "'");
+            }
+        } else if (directive.text == "minimize" || directive.text == "maximize") {
+            parse_minimize(program, section, directive.text == "maximize");
+        } else {
+            fail("unknown directive '#" + directive.text + "'");
+        }
+    }
+
+    // #minimize { W@P,tuple : body ; ... }.  -> one weak constraint per element
+    void parse_minimize(Program& program, SectionKind section, bool maximize) {
+        expect(TokenKind::LBrace, "'{'");
+        while (true) {
+            WeakConstraint weak;
+            weak.weight = parse_term();
+            if (accept(TokenKind::At)) {
+                Term prio = parse_term();
+                if (!prio.is_integer()) fail("#minimize priority must be an integer");
+                weak.priority = prio.as_int();
+            }
+            while (accept(TokenKind::Comma)) weak.tuple.push_back(parse_term());
+            if (accept(TokenKind::Colon)) weak.body = parse_body();
+            if (maximize) {
+                weak.weight = Term::compound("-", {Term::integer(0), std::move(weak.weight)});
+            }
+            program.add_weak(std::move(weak), section);
+            if (!accept(TokenKind::Semicolon)) break;
+        }
+        expect(TokenKind::RBrace, "'}'");
+        expect(TokenKind::Dot, "'.'");
+    }
+
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+};
+
+template <typename T, typename Fn>
+Result<T> run_parser(std::string_view source, Fn&& fn) {
+    auto tokens = tokenize(source);
+    if (!tokens.ok()) return Result<T>::failure(tokens.error());
+    try {
+        Parser parser(std::move(tokens).value());
+        return fn(parser);
+    } catch (const ParseError& e) {
+        return Result<T>::failure(e.what());
+    }
+}
+
+}  // namespace
+
+Result<Program> parse_program(std::string_view source) {
+    return run_parser<Program>(source, [](Parser& p) { return p.parse_program(); });
+}
+
+Result<Term> parse_term(std::string_view source) {
+    return run_parser<Term>(source, [](Parser& p) { return p.parse_single_term(); });
+}
+
+Result<Atom> parse_atom(std::string_view source) {
+    return run_parser<Atom>(source, [](Parser& p) { return p.parse_single_atom(); });
+}
+
+}  // namespace cprisk::asp

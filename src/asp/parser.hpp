@@ -1,0 +1,25 @@
+// cprisk/asp/parser.hpp
+//
+// Recursive-descent parser for the embedded ASP language (see syntax.hpp for
+// the grammar summary). `#minimize`/`#maximize` directives desugar into weak
+// constraints; `#program` directives switch the temporal section.
+#pragma once
+
+#include <string_view>
+
+#include "asp/syntax.hpp"
+#include "common/result.hpp"
+
+namespace cprisk::asp {
+
+/// Parses a full program; returns a failure with source location info on the
+/// first syntax error.
+Result<Program> parse_program(std::string_view source);
+
+/// Parses a single ground or non-ground term (for tests and tooling).
+Result<Term> parse_term(std::string_view source);
+
+/// Parses a single atom such as "component_state(tank, overflow)".
+Result<Atom> parse_atom(std::string_view source);
+
+}  // namespace cprisk::asp

@@ -1,0 +1,77 @@
+// cprisk/asp/solver.hpp
+//
+// Stable-model (answer set) solver over ground programs. The algorithm is
+// classic completion-based search:
+//
+//  1. Clark completion: one auxiliary variable per ground rule body; clauses
+//     tie bodies to their literals, heads to their bodies, and every atom to
+//     the disjunction of its potentially supporting bodies.
+//  2. DPLL search with counter-based unit propagation enumerates supported
+//     models.
+//  3. Each supported model passes a stability check (least model of the
+//     reduct == true atoms). Unstable models are cut with a loop-formula
+//     style clause over the unfounded set, which is valid for every answer
+//     set, so no stable model is lost.
+//  4. Choice-rule cardinality bounds are verified on total assignments.
+//  5. Weak constraints are aggregated per priority (distinct tuples counted
+//     once, clingo-style); branch & bound prunes when all weights are
+//     non-negative.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "asp/ground_program.hpp"
+#include "asp/term.hpp"
+#include "common/result.hpp"
+
+namespace cprisk::asp {
+
+/// One answer set, projected onto the #show signatures.
+struct AnswerSet {
+    std::vector<Atom> atoms;               ///< shown atoms, sorted
+    std::map<long long, long long> cost;   ///< priority -> accumulated cost
+
+    bool contains(const Atom& atom) const;
+    /// True if any shown atom has this predicate name (any arity/args).
+    bool contains_predicate(const std::string& predicate) const;
+    /// All shown atoms with the given predicate name.
+    std::vector<Atom> with_predicate(const std::string& predicate) const;
+
+    std::string to_string() const;
+};
+
+struct SolveOptions {
+    /// Stop after this many (projected, distinct) models; 0 = no limit.
+    std::size_t max_models = 0;
+    /// When weak constraints are present, keep only optimal models.
+    bool optimize = true;
+    /// Search budget guard; exceeded searches fail.
+    std::size_t max_decisions = 50'000'000;
+    /// Propagate cardinality bounds of choice rules during search (ablation
+    /// knob; leaf-only checking remains correct but exponentially slower on
+    /// tightly-bounded programs).
+    bool propagate_bounds = true;
+};
+
+struct SolveStats {
+    std::size_t decisions = 0;
+    std::size_t propagations = 0;
+    std::size_t conflicts = 0;
+    std::size_t stability_rejects = 0;
+    std::size_t models_enumerated = 0;  ///< pre-projection, pre-optimality filter
+};
+
+struct SolveResult {
+    bool satisfiable = false;
+    std::vector<AnswerSet> models;          ///< distinct projected answer sets
+    std::map<long long, long long> best_cost;  ///< optimum, when optimizing
+    SolveStats stats;
+};
+
+/// Solves `program`. Fails only on exhausted search budget.
+Result<SolveResult> solve(const GroundProgram& program, const SolveOptions& options = {});
+
+}  // namespace cprisk::asp

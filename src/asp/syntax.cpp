@@ -1,0 +1,248 @@
+#include "asp/syntax.hpp"
+
+#include <ostream>
+
+namespace cprisk::asp {
+
+std::string to_string(CompareOp op) {
+    switch (op) {
+        case CompareOp::Eq: return "=";
+        case CompareOp::Ne: return "!=";
+        case CompareOp::Lt: return "<";
+        case CompareOp::Le: return "<=";
+        case CompareOp::Gt: return ">";
+        case CompareOp::Ge: return ">=";
+    }
+    return "?";
+}
+
+Literal Literal::positive(Atom a) {
+    Literal l;
+    l.kind = Kind::Atom;
+    l.atom = std::move(a);
+    l.negated = false;
+    return l;
+}
+
+Literal Literal::negative(Atom a) {
+    Literal l;
+    l.kind = Kind::Atom;
+    l.atom = std::move(a);
+    l.negated = true;
+    return l;
+}
+
+Literal Literal::comparison(Term lhs, CompareOp op, Term rhs) {
+    Literal l;
+    l.kind = Kind::Comparison;
+    l.lhs = std::move(lhs);
+    l.op = op;
+    l.rhs = std::move(rhs);
+    return l;
+}
+
+Literal Literal::aggregate(AggregateKind kind, std::vector<AggregateElement> elements,
+                           CompareOp op, Term bound) {
+    Literal l;
+    l.kind = Kind::Aggregate;
+    l.aggregate_kind = kind;
+    l.elements = std::move(elements);
+    l.op = op;
+    l.rhs = std::move(bound);
+    return l;
+}
+
+std::string to_string(AggregateKind kind) {
+    return kind == AggregateKind::Count ? "#count" : "#sum";
+}
+
+std::string AggregateElement::to_string() const {
+    std::string out;
+    for (std::size_t i = 0; i < tuple.size(); ++i) {
+        if (i > 0) out += ",";
+        out += tuple[i].to_string();
+    }
+    if (!condition.empty()) {
+        out += " : ";
+        for (std::size_t i = 0; i < condition.size(); ++i) {
+            if (i > 0) out += ", ";
+            out += condition[i].to_string();
+        }
+    }
+    return out;
+}
+
+std::string Literal::to_string() const {
+    if (kind == Kind::Comparison) {
+        return lhs.to_string() + " " + asp::to_string(op) + " " + rhs.to_string();
+    }
+    if (kind == Kind::Aggregate) {
+        std::string out = asp::to_string(aggregate_kind) + " { ";
+        for (std::size_t i = 0; i < elements.size(); ++i) {
+            if (i > 0) out += " ; ";
+            out += elements[i].to_string();
+        }
+        out += " } " + asp::to_string(op) + " " + rhs.to_string();
+        return out;
+    }
+    return (negated ? "not " : "") + atom.to_string();
+}
+
+std::string ChoiceElement::to_string() const {
+    std::string out = atom.to_string();
+    if (!condition.empty()) {
+        out += " : ";
+        for (std::size_t i = 0; i < condition.size(); ++i) {
+            if (i > 0) out += ", ";
+            out += condition[i].to_string();
+        }
+    }
+    return out;
+}
+
+Head Head::make_atom(Atom a) {
+    Head h;
+    h.kind = Kind::Atom;
+    h.atom = std::move(a);
+    return h;
+}
+
+Head Head::make_constraint() {
+    Head h;
+    h.kind = Kind::Constraint;
+    return h;
+}
+
+Head Head::make_choice(std::vector<ChoiceElement> elements, std::optional<long long> lower,
+                       std::optional<long long> upper) {
+    Head h;
+    h.kind = Kind::Choice;
+    h.elements = std::move(elements);
+    h.lower_bound = lower;
+    h.upper_bound = upper;
+    return h;
+}
+
+std::string Head::to_string() const {
+    switch (kind) {
+        case Kind::Atom: return atom.to_string();
+        case Kind::Constraint: return "";
+        case Kind::Choice: {
+            std::string out;
+            if (lower_bound) out += std::to_string(*lower_bound) + " ";
+            out += "{ ";
+            for (std::size_t i = 0; i < elements.size(); ++i) {
+                if (i > 0) out += "; ";
+                out += elements[i].to_string();
+            }
+            out += " }";
+            if (upper_bound) out += " " + std::to_string(*upper_bound);
+            return out;
+        }
+    }
+    return "";
+}
+
+std::string Rule::to_string() const {
+    std::string out = head.to_string();
+    if (!body.empty()) {
+        out += out.empty() ? ":- " : " :- ";
+        for (std::size_t i = 0; i < body.size(); ++i) {
+            if (i > 0) out += ", ";
+            out += body[i].to_string();
+        }
+    } else if (out.empty()) {
+        out = ":- ";  // degenerate empty constraint (always violated)
+    }
+    return out + ".";
+}
+
+std::string WeakConstraint::to_string() const {
+    std::string out = ":~ ";
+    for (std::size_t i = 0; i < body.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += body[i].to_string();
+    }
+    out += ". [" + weight.to_string() + "@" + std::to_string(priority);
+    for (const Term& t : tuple) out += ", " + t.to_string();
+    return out + "]";
+}
+
+std::string to_string(SectionKind kind) {
+    switch (kind) {
+        case SectionKind::Base: return "base";
+        case SectionKind::Initial: return "initial";
+        case SectionKind::Dynamic: return "dynamic";
+        case SectionKind::Always: return "always";
+        case SectionKind::Final: return "final";
+    }
+    return "?";
+}
+
+void Program::add_rule(Rule rule, SectionKind section) {
+    rules_.push_back(SectionedRule{std::move(rule), section});
+}
+
+void Program::add_weak(WeakConstraint weak, SectionKind section) {
+    weaks_.push_back(SectionedWeak{std::move(weak), section});
+}
+
+void Program::add_show(Signature sig) { shows_.push_back(std::move(sig)); }
+
+void Program::set_const(const std::string& name, Term value) {
+    for (auto& [n, v] : consts_) {
+        if (n == name) {
+            v = std::move(value);
+            return;
+        }
+    }
+    consts_.emplace_back(name, std::move(value));
+}
+
+bool Program::is_temporal() const {
+    for (const auto& r : rules_) {
+        if (r.section != SectionKind::Base) return true;
+    }
+    for (const auto& w : weaks_) {
+        if (w.section != SectionKind::Base) return true;
+    }
+    return false;
+}
+
+void Program::append(const Program& other) {
+    for (const auto& r : other.rules_) rules_.push_back(r);
+    for (const auto& w : other.weaks_) weaks_.push_back(w);
+    for (const auto& s : other.shows_) shows_.push_back(s);
+    for (const auto& [n, v] : other.consts_) set_const(n, v);
+}
+
+std::string Program::to_string() const {
+    std::string out;
+    for (const auto& [name, value] : consts_) {
+        out += "#const " + name + " = " + value.to_string() + ".\n";
+    }
+    SectionKind current = SectionKind::Base;
+    auto emit_section = [&](SectionKind s) {
+        if (s != current) {
+            out += "#program " + asp::to_string(s) + ".\n";
+            current = s;
+        }
+    };
+    for (const auto& r : rules_) {
+        emit_section(r.section);
+        out += r.rule.to_string() + "\n";
+    }
+    for (const auto& w : weaks_) {
+        emit_section(w.section);
+        out += w.weak.to_string() + "\n";
+    }
+    emit_section(SectionKind::Base);
+    for (const auto& s : shows_) {
+        out += "#show " + s.to_string() + ".\n";
+    }
+    return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Program& p) { return os << p.to_string(); }
+
+}  // namespace cprisk::asp

@@ -1,0 +1,186 @@
+// cprisk/asp/syntax.hpp
+//
+// Abstract syntax of the embedded ASP language. The language is a pragmatic
+// clingo subset sufficient for the paper's models:
+//
+//   fact(a).                        % facts
+//   head(X) :- body(X), not bad(X). % normal rules w/ negation as failure
+//   :- violated(X).                 % integrity constraints
+//   { pick(X) : item(X) }.          % choice rules
+//   1 { pick(X) : item(X) } 2.      % cardinality-bounded choices
+//   X = Y + 1, X != 3, X = 1..5     % comparisons / assignments / intervals
+//   :~ cost(X,C). [C@1, X]          % weak constraints
+//   #minimize { C@1,X : cost(X,C) }.
+//   #show violated/1.
+//   #const horizon = 5.
+//   #program initial|dynamic|final|always|base.  % temporal sections
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asp/term.hpp"
+
+namespace cprisk::asp {
+
+/// Comparison / assignment operators usable in rule bodies.
+enum class CompareOp { Eq, Ne, Lt, Le, Gt, Ge };
+
+std::string to_string(CompareOp op);
+
+/// Aggregate function kind for body aggregates.
+enum class AggregateKind : std::uint8_t { Count, Sum };
+
+std::string to_string(AggregateKind kind);
+
+struct Literal;
+
+/// One element of a body aggregate: `t1,...,tn : cond1, ..., condk`. The
+/// tuple is the element identity (distinct tuples contribute once); for
+/// `#sum` the first tuple term is the weight.
+struct AggregateElement {
+    std::vector<Term> tuple;
+    std::vector<Literal> condition;
+
+    std::string to_string() const;
+};
+
+/// A body element: an atom literal (possibly negated by `not`), a comparison
+/// between two terms (`X = expr` with an unbound X acts as an assignment,
+/// including interval expansion for `X = a..b`), or a body aggregate
+/// `#sum { W,T : cond } <= B` / `#count { T : cond } >= N` (aggregates are
+/// only admitted in integrity-constraint bodies; see grounder.hpp).
+struct Literal {
+    enum class Kind { Atom, Comparison, Aggregate };
+
+    Kind kind = Kind::Atom;
+
+    // Kind::Atom
+    Atom atom;
+    bool negated = false;  ///< negation as failure ("not p(X)")
+
+    // Kind::Comparison — also reused by Kind::Aggregate: `op` and `rhs` hold
+    // the guard (e.g. `<= budget`).
+    CompareOp op = CompareOp::Eq;
+    Term lhs = Term::integer(0);
+    Term rhs = Term::integer(0);
+
+    // Kind::Aggregate
+    AggregateKind aggregate_kind = AggregateKind::Count;
+    std::vector<AggregateElement> elements;
+
+    static Literal positive(Atom a);
+    static Literal negative(Atom a);
+    static Literal comparison(Term lhs, CompareOp op, Term rhs);
+    static Literal aggregate(AggregateKind kind, std::vector<AggregateElement> elements,
+                             CompareOp op, Term bound);
+
+    std::string to_string() const;
+};
+
+/// One element of a choice head: `atom : cond1, ..., condn` (the condition
+/// may be empty).
+struct ChoiceElement {
+    Atom atom;
+    std::vector<Literal> condition;
+
+    std::string to_string() const;
+};
+
+/// Head of a rule.
+struct Head {
+    enum class Kind {
+        Atom,        ///< normal rule
+        Constraint,  ///< headless integrity constraint
+        Choice,      ///< (bounded) choice rule
+    };
+
+    Kind kind = Kind::Constraint;
+    Atom atom;                             // Kind::Atom
+    std::vector<ChoiceElement> elements;   // Kind::Choice
+    std::optional<long long> lower_bound;  // Kind::Choice
+    std::optional<long long> upper_bound;  // Kind::Choice
+
+    static Head make_atom(Atom a);
+    static Head make_constraint();
+    static Head make_choice(std::vector<ChoiceElement> elements,
+                            std::optional<long long> lower = std::nullopt,
+                            std::optional<long long> upper = std::nullopt);
+
+    std::string to_string() const;
+};
+
+/// A rule `head :- body.`; facts have an empty body.
+struct Rule {
+    Head head;
+    std::vector<Literal> body;
+
+    std::string to_string() const;
+};
+
+/// A weak constraint `:~ body. [weight@priority, t1, ..., tn]`. Distinct
+/// ground tuples (weight, priority, terms) each contribute `weight` to the
+/// priority level's cost when the body holds.
+struct WeakConstraint {
+    std::vector<Literal> body;
+    Term weight = Term::integer(1);
+    long long priority = 0;
+    std::vector<Term> tuple;
+
+    std::string to_string() const;
+};
+
+/// Temporal section kind for Telingo-style programs (asp/temporal.hpp).
+enum class SectionKind {
+    Base,     ///< time-independent facts and rules (default)
+    Initial,  ///< holds at t = 0
+    Dynamic,  ///< holds at t > 0; `prev_p(X)` in bodies refers to p(X) at t-1
+    Always,   ///< holds at every t
+    Final,    ///< holds at t = horizon
+};
+
+std::string to_string(SectionKind kind);
+
+/// A parsed program: rules, weak constraints and directives, each tagged
+/// with the temporal section it appeared in (Base for plain programs).
+class Program {
+public:
+    struct SectionedRule {
+        Rule rule;
+        SectionKind section = SectionKind::Base;
+    };
+    struct SectionedWeak {
+        WeakConstraint weak;
+        SectionKind section = SectionKind::Base;
+    };
+
+    void add_rule(Rule rule, SectionKind section = SectionKind::Base);
+    void add_weak(WeakConstraint weak, SectionKind section = SectionKind::Base);
+    void add_show(Signature sig);
+    void set_const(const std::string& name, Term value);
+
+    const std::vector<SectionedRule>& rules() const { return rules_; }
+    const std::vector<SectionedWeak>& weaks() const { return weaks_; }
+    const std::vector<Signature>& shows() const { return shows_; }
+    const std::vector<std::pair<std::string, Term>>& consts() const { return consts_; }
+
+    /// True if any statement is in a non-Base section.
+    bool is_temporal() const;
+
+    /// Appends all statements of `other` into this program.
+    void append(const Program& other);
+
+    std::string to_string() const;
+
+private:
+    std::vector<SectionedRule> rules_;
+    std::vector<SectionedWeak> weaks_;
+    std::vector<Signature> shows_;
+    std::vector<std::pair<std::string, Term>> consts_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Program& p);
+
+}  // namespace cprisk::asp

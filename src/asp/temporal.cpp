@@ -1,0 +1,244 @@
+#include "asp/temporal.hpp"
+
+#include <set>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace cprisk::asp {
+
+namespace {
+
+constexpr std::string_view kPrevPrefix = "prev_";
+
+class UnrollError : public Error {
+public:
+    using Error::Error;
+};
+
+class Unroller {
+public:
+    Unroller(const Program& program, const UnrollOptions& options)
+        : program_(program), options_(options) {
+        require(options.horizon >= 0, "unroll: horizon must be non-negative");
+        classify_predicates();
+    }
+
+    Program run() {
+        Program out;
+        for (const auto& [name, value] : program_.consts()) out.set_const(name, value);
+
+        // Time domain facts: __t(0..horizon).
+        Rule time_fact;
+        time_fact.head = Head::make_atom(Atom{
+            options_.time_predicate,
+            {Term::compound("..", {Term::integer(0), Term::integer(options_.horizon)})}});
+        out.add_rule(std::move(time_fact));
+
+        for (const auto& sectioned : program_.rules()) {
+            switch (sectioned.section) {
+                case SectionKind::Base: out.add_rule(sectioned.rule); break;
+                case SectionKind::Initial:
+                    out.add_rule(instantiate(sectioned.rule, 0, SectionKind::Initial));
+                    break;
+                case SectionKind::Final:
+                    out.add_rule(
+                        instantiate(sectioned.rule, options_.horizon, SectionKind::Final));
+                    break;
+                case SectionKind::Always:
+                    for (int t = 0; t <= options_.horizon; ++t) {
+                        out.add_rule(instantiate(sectioned.rule, t, SectionKind::Always));
+                    }
+                    break;
+                case SectionKind::Dynamic:
+                    for (int t = 1; t <= options_.horizon; ++t) {
+                        out.add_rule(instantiate(sectioned.rule, t, SectionKind::Dynamic));
+                    }
+                    break;
+            }
+        }
+        for (const auto& sectioned : program_.weaks()) {
+            switch (sectioned.section) {
+                case SectionKind::Base: out.add_weak(sectioned.weak); break;
+                case SectionKind::Initial:
+                    out.add_weak(instantiate(sectioned.weak, 0));
+                    break;
+                case SectionKind::Final:
+                    out.add_weak(instantiate(sectioned.weak, options_.horizon));
+                    break;
+                case SectionKind::Always:
+                    for (int t = 0; t <= options_.horizon; ++t) {
+                        out.add_weak(instantiate(sectioned.weak, t));
+                    }
+                    break;
+                case SectionKind::Dynamic:
+                    for (int t = 1; t <= options_.horizon; ++t) {
+                        out.add_weak(instantiate(sectioned.weak, t));
+                    }
+                    break;
+            }
+        }
+        for (const Signature& show : program_.shows()) {
+            if (temporal_.count(show.predicate) > 0) {
+                out.add_show(Signature{show.predicate, show.arity + 1});
+            } else {
+                out.add_show(show);
+            }
+        }
+        return out;
+    }
+
+private:
+    static std::string strip_prev(const std::string& predicate) {
+        return predicate.substr(kPrevPrefix.size());
+    }
+    static bool has_prev(const std::string& predicate) {
+        return starts_with(predicate, kPrevPrefix);
+    }
+
+    void note_head_atom(const Atom& atom, SectionKind section) {
+        if (section == SectionKind::Base) {
+            static_defined_.insert(atom.predicate);
+        } else {
+            if (has_prev(atom.predicate)) {
+                throw UnrollError("unroll: '" + atom.predicate +
+                                  "' — prev_ atoms cannot appear in rule heads");
+            }
+            temporal_.insert(atom.predicate);
+        }
+    }
+
+    void note_body_literal(const Literal& lit) {
+        if (lit.kind == Literal::Kind::Aggregate) {
+            for (const auto& element : lit.elements) {
+                for (const auto& condition : element.condition) note_body_literal(condition);
+            }
+            return;
+        }
+        if (lit.kind != Literal::Kind::Atom) return;
+        if (has_prev(lit.atom.predicate)) temporal_.insert(strip_prev(lit.atom.predicate));
+    }
+
+    void classify_predicates() {
+        for (const auto& sectioned : program_.rules()) {
+            const Rule& rule = sectioned.rule;
+            switch (rule.head.kind) {
+                case Head::Kind::Atom: note_head_atom(rule.head.atom, sectioned.section); break;
+                case Head::Kind::Constraint: break;
+                case Head::Kind::Choice:
+                    for (const auto& element : rule.head.elements) {
+                        note_head_atom(element.atom, sectioned.section);
+                        for (const auto& lit : element.condition) note_body_literal(lit);
+                    }
+                    break;
+            }
+            for (const auto& lit : rule.body) note_body_literal(lit);
+        }
+        for (const auto& sectioned : program_.weaks()) {
+            for (const auto& lit : sectioned.weak.body) note_body_literal(lit);
+        }
+        for (const std::string& predicate : temporal_) {
+            if (static_defined_.count(predicate) > 0) {
+                throw UnrollError("unroll: predicate '" + predicate +
+                                  "' is defined in both base and temporal sections");
+            }
+        }
+    }
+
+    Atom stamp(const Atom& atom, int t, SectionKind section) const {
+        Atom out = atom;
+        if (has_prev(atom.predicate)) {
+            if (section == SectionKind::Initial) {
+                throw UnrollError("unroll: '" + atom.predicate +
+                                  "' referenced in the initial section (no previous state)");
+            }
+            if (t == 0) {
+                throw UnrollError("unroll: '" + atom.predicate + "' referenced at t = 0");
+            }
+            out.predicate = strip_prev(atom.predicate);
+            out.args.push_back(Term::integer(t - 1));
+            return out;
+        }
+        if (temporal_.count(atom.predicate) > 0) {
+            out.args.push_back(Term::integer(t));
+        }
+        return out;
+    }
+
+    Literal stamp(const Literal& lit, int t, SectionKind section) const {
+        if (lit.kind == Literal::Kind::Comparison) return lit;
+        Literal out = lit;
+        if (lit.kind == Literal::Kind::Atom) {
+            out.atom = stamp(lit.atom, t, section);
+            return out;
+        }
+        // Aggregate: stamp every condition literal (tuple terms carry no
+        // predicates).
+        for (auto& element : out.elements) {
+            for (auto& condition : element.condition) {
+                condition = stamp(condition, t, section);
+            }
+        }
+        return out;
+    }
+
+    Rule instantiate(const Rule& rule, int t, SectionKind section) const {
+        Rule out;
+        switch (rule.head.kind) {
+            case Head::Kind::Atom:
+                out.head = Head::make_atom(stamp(rule.head.atom, t, section));
+                break;
+            case Head::Kind::Constraint: out.head = Head::make_constraint(); break;
+            case Head::Kind::Choice: {
+                std::vector<ChoiceElement> elements;
+                elements.reserve(rule.head.elements.size());
+                for (const auto& element : rule.head.elements) {
+                    ChoiceElement stamped;
+                    stamped.atom = stamp(element.atom, t, section);
+                    for (const auto& lit : element.condition) {
+                        stamped.condition.push_back(stamp(lit, t, section));
+                    }
+                    elements.push_back(std::move(stamped));
+                }
+                out.head = Head::make_choice(std::move(elements), rule.head.lower_bound,
+                                             rule.head.upper_bound);
+                break;
+            }
+        }
+        for (const auto& lit : rule.body) out.body.push_back(stamp(lit, t, section));
+        return out;
+    }
+
+    WeakConstraint instantiate(const WeakConstraint& weak, int t) const {
+        WeakConstraint out = weak;
+        out.body.clear();
+        for (const auto& lit : weak.body) {
+            // Weak constraints in always/dynamic may read prev_ state too.
+            out.body.push_back(stamp(lit, t, SectionKind::Always));
+        }
+        // Distinguish tuples per time step so each step contributes cost.
+        out.tuple.push_back(Term::integer(t));
+        return out;
+    }
+
+    const Program& program_;
+    const UnrollOptions& options_;
+    std::set<std::string> temporal_;
+    std::set<std::string> static_defined_;
+};
+
+}  // namespace
+
+Result<Program> unroll(const Program& program, const UnrollOptions& options) {
+    try {
+        Unroller unroller(program, options);
+        return unroller.run();
+    } catch (const UnrollError& e) {
+        return Result<Program>::failure(e.what());
+    } catch (const Error& e) {
+        return Result<Program>::failure(e.what());
+    }
+}
+
+}  // namespace cprisk::asp

@@ -1,0 +1,42 @@
+// cprisk/asp/temporal.hpp
+//
+// Telingo-style temporal programs ("telingo = ASP + time", paper ref [10]).
+//
+// A temporal program is an ordinary Program whose statements are tagged with
+// sections:
+//
+//   #program base.     % time-independent facts/rules (component catalog...)
+//   #program initial.  % holds at t = 0
+//   #program dynamic.  % holds at every t >= 1; `prev_p(X)` reads p(X) at t-1
+//   #program always.   % holds at every t
+//   #program final.    % holds at t = horizon
+//
+// `unroll` compiles such a program into a plain (Base-only) program over a
+// bounded horizon by appending a time argument to every *temporal* predicate
+// and instantiating each section at its time points. This matches the
+// paper's own encoding style (Listing 2 uses an explicit
+// `prev_component_state` predicate).
+//
+// A predicate is temporal iff it appears in the head of any non-Base rule,
+// or is referenced via a `prev_` prefix. All other predicates are static and
+// keep their arity.
+#pragma once
+
+#include "asp/syntax.hpp"
+#include "common/result.hpp"
+
+namespace cprisk::asp {
+
+struct UnrollOptions {
+    int horizon = 1;  ///< last time point; states exist for t = 0..horizon
+    /// Name of the generated time-domain predicate (facts 0..horizon).
+    std::string time_predicate = "__t";
+};
+
+/// Compiles the temporal sections of `program` into a Base-only program over
+/// `options.horizon` time steps. Fails on `prev_` references in the initial
+/// section or on a predicate that is both static (defined in base) and
+/// temporal (defined in a timed section).
+Result<Program> unroll(const Program& program, const UnrollOptions& options);
+
+}  // namespace cprisk::asp

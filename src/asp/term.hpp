@@ -1,0 +1,102 @@
+// cprisk/asp/term.hpp
+//
+// Term and atom model for the embedded Answer Set Programming engine (the
+// paper's reasoning substrate, §II-C). Terms follow the usual ASP value
+// universe: integers, symbolic constants (lowercase), variables (uppercase),
+// and compound terms f(t1,...,tn). Arithmetic (`+`, `-`, `*`, `/`, `mod`,
+// `abs`) and intervals (`..`) are represented as compound terms and reduced
+// during grounding (see eval.hpp).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cprisk::asp {
+
+/// A first-order term with value semantics and a total order (usable as a
+/// map/set key). The order is: integers < symbols < variables < compounds,
+/// then by value.
+class Term {
+public:
+    enum class Kind : std::uint8_t { Integer, Symbol, Variable, Compound };
+
+    /// Integer constant.
+    static Term integer(long long value);
+    /// Symbolic constant; `name` should start with a lowercase letter.
+    static Term symbol(std::string name);
+    /// Variable; `name` should start with an uppercase letter or '_'.
+    static Term variable(std::string name);
+    /// Compound term functor(args...). Also used for arithmetic operators.
+    static Term compound(std::string functor, std::vector<Term> args);
+
+    Kind kind() const { return kind_; }
+    bool is_integer() const { return kind_ == Kind::Integer; }
+    bool is_symbol() const { return kind_ == Kind::Symbol; }
+    bool is_variable() const { return kind_ == Kind::Variable; }
+    bool is_compound() const { return kind_ == Kind::Compound; }
+
+    /// Integer value; requires `is_integer()`.
+    long long as_int() const;
+    /// Symbol name, variable name, or compound functor.
+    const std::string& name() const;
+    /// Compound arguments; requires `is_compound()`.
+    const std::vector<Term>& args() const;
+
+    /// True if the term contains no variables.
+    bool is_ground() const;
+
+    /// Collects variable names (depth-first, with duplicates) into `out`.
+    void collect_variables(std::vector<std::string>& out) const;
+
+    bool operator==(const Term& other) const;
+    bool operator!=(const Term& other) const { return !(*this == other); }
+    bool operator<(const Term& other) const;
+
+    std::string to_string() const;
+
+private:
+    Term() = default;
+    Kind kind_ = Kind::Symbol;
+    long long int_ = 0;
+    std::string name_;
+    std::vector<Term> args_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Term& t);
+
+/// A predicate applied to terms: p(t1,...,tn). Arity-0 atoms print without
+/// parentheses.
+struct Atom {
+    std::string predicate;
+    std::vector<Term> args;
+
+    bool is_ground() const;
+    std::size_t arity() const { return args.size(); }
+
+    bool operator==(const Atom& other) const;
+    bool operator!=(const Atom& other) const { return !(*this == other); }
+    bool operator<(const Atom& other) const;
+
+    std::string to_string() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Atom& a);
+
+/// Predicate name/arity pair ("signature"), used by #show and dependency
+/// analysis.
+struct Signature {
+    std::string predicate;
+    std::size_t arity = 0;
+
+    bool operator==(const Signature&) const = default;
+    bool operator<(const Signature& other) const {
+        if (predicate != other.predicate) return predicate < other.predicate;
+        return arity < other.arity;
+    }
+    std::string to_string() const { return predicate + "/" + std::to_string(arity); }
+};
+
+}  // namespace cprisk::asp

@@ -1,0 +1,25 @@
+// cprisk/common/error.hpp
+//
+// Error type used across the cprisk libraries. Unrecoverable usage errors
+// (malformed programs, inconsistent models, out-of-range lookups) throw
+// `cprisk::Error`; recoverable conditions travel through `cprisk::Result<T>`
+// (see result.hpp).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cprisk {
+
+/// Exception thrown on unrecoverable API misuse or malformed input.
+class Error : public std::runtime_error {
+public:
+    explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
+};
+
+/// Throws `Error` with `message` when `condition` is false.
+inline void require(bool condition, const std::string& message) {
+    if (!condition) throw Error(message);
+}
+
+}  // namespace cprisk

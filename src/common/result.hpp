@@ -1,0 +1,80 @@
+// cprisk/common/result.hpp
+//
+// Minimal expected-like result type (the toolchain targets C++20, so
+// std::expected is unavailable). A `Result<T>` holds either a value or an
+// error message describing a recoverable failure (e.g. a parse error in a
+// user-supplied ASP program).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace cprisk {
+
+template <typename T>
+class [[nodiscard]] Result {
+public:
+    /// Successful result.
+    Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+    /// Failed result carrying a human-readable reason.
+    static Result failure(std::string message) {
+        Result r;
+        r.error_ = std::move(message);
+        return r;
+    }
+
+    bool ok() const { return value_.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    /// Error message; empty for successful results.
+    const std::string& error() const { return error_; }
+
+    /// Access the value; throws `Error` if the result failed.
+    const T& value() const& {
+        require(ok(), "Result::value() on failed result: " + error_);
+        return *value_;
+    }
+    T& value() & {
+        require(ok(), "Result::value() on failed result: " + error_);
+        return *value_;
+    }
+    T&& value() && {
+        require(ok(), "Result::value() on failed result: " + error_);
+        return std::move(*value_);
+    }
+
+    const T& value_or(const T& fallback) const {
+        return ok() ? *value_ : fallback;
+    }
+
+private:
+    Result() = default;
+    std::optional<T> value_;
+    std::string error_;
+};
+
+/// Result specialization conveying success/failure only.
+template <>
+class [[nodiscard]] Result<void> {
+public:
+    Result() = default;
+    static Result failure(std::string message) {
+        Result r;
+        r.ok_ = false;
+        r.error_ = std::move(message);
+        return r;
+    }
+    bool ok() const { return ok_; }
+    explicit operator bool() const { return ok_; }
+    const std::string& error() const { return error_; }
+
+private:
+    bool ok_ = true;
+    std::string error_;
+};
+
+}  // namespace cprisk

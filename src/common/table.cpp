@@ -1,0 +1,76 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cprisk {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+    require(!header_.empty(), "TextTable: header must be non-empty");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+    require(row.size() == header_.size(),
+            "TextTable: row arity mismatch (" + std::to_string(row.size()) + " vs " +
+                std::to_string(header_.size()) + ")");
+    rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        std::string line = "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            line += ' ';
+            line += row[c];
+            line.append(width[c] - row[c].size(), ' ');
+            line += " |";
+        }
+        return line + "\n";
+    };
+    auto rule = [&]() {
+        std::string line = "+";
+        for (std::size_t c = 0; c < width.size(); ++c) {
+            line.append(width[c] + 2, '-');
+            line += '+';
+        }
+        return line + "\n";
+    };
+
+    std::string out = rule() + emit_row(header_) + rule();
+    for (const auto& row : rows_) out += emit_row(row);
+    out += rule();
+    return out;
+}
+
+std::string TextTable::render_csv() const {
+    auto quote = [](const std::string& field) {
+        if (field.find_first_of(",\"\n") == std::string::npos) return field;
+        std::string out = "\"";
+        for (char c : field) {
+            if (c == '"') out += '"';
+            out += c;
+        }
+        out += '"';
+        return out;
+    };
+    auto emit = [&](const std::vector<std::string>& row) {
+        std::string line;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c > 0) line += ',';
+            line += quote(row[c]);
+        }
+        return line + "\n";
+    };
+    std::string out = emit(header_);
+    for (const auto& row : rows_) out += emit(row);
+    return out;
+}
+
+}  // namespace cprisk

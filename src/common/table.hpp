@@ -1,0 +1,38 @@
+// cprisk/common/table.hpp
+//
+// Plain-text table rendering used by the bench binaries to reprint the
+// paper's tables (Table I, Table II) and by report emitters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cprisk {
+
+/// A rectangular text table with a header row, rendered with aligned
+/// ASCII-art borders similar to the paper's tabular layout.
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /// Appends one row; must have the same arity as the header.
+    void add_row(std::vector<std::string> row);
+
+    std::size_t rows() const { return rows_.size(); }
+    std::size_t columns() const { return header_.size(); }
+
+    const std::vector<std::string>& header() const { return header_; }
+    const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+    /// Renders with `|`-separated aligned columns and a header rule.
+    std::string render() const;
+
+    /// Renders as RFC-4180-ish CSV (quotes fields containing commas).
+    std::string render_csv() const;
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cprisk

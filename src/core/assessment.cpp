@@ -1,0 +1,167 @@
+#include "core/assessment.hpp"
+
+#include <algorithm>
+
+#include "security/threat_actor.hpp"
+
+namespace cprisk::core {
+
+namespace {
+
+std::string level_str(qual::Level level) { return std::string(qual::to_short_string(level)); }
+
+}  // namespace
+
+TextTable AssessmentReport::hazard_table() const {
+    TextTable table({"Scenario", "Mutations", "Violated", "Severity", "Likelihood"});
+    for (const epa::ScenarioVerdict& hazard : hazards) {
+        std::string mutations;
+        for (const auto& mutation : hazard.mutations) {
+            if (!mutations.empty()) mutations += ", ";
+            mutations += mutation.to_string();
+        }
+        std::string violated;
+        for (const auto& requirement : hazard.violated_requirements) {
+            if (!violated.empty()) violated += ", ";
+            violated += requirement;
+        }
+        table.add_row({hazard.scenario_id, mutations, violated, level_str(hazard.severity),
+                       level_str(hazard.likelihood)});
+    }
+    return table;
+}
+
+TextTable AssessmentReport::risk_table() const {
+    TextTable table({"Scenario", "LM", "LEF", "Risk", "IEC 61508", "Violated"});
+    for (const ScenarioRisk& risk : risks) {
+        std::string violated;
+        for (const auto& requirement : risk.violated_requirements) {
+            if (!violated.empty()) violated += ", ";
+            violated += requirement;
+        }
+        table.add_row({risk.scenario_id, level_str(risk.loss_magnitude),
+                       level_str(risk.loss_event_frequency), level_str(risk.risk),
+                       std::string(risk::to_string(risk.iec_class)), violated});
+    }
+    return table;
+}
+
+TextTable AssessmentReport::mitigation_table() const {
+    TextTable table({"Phase", "Chosen mitigations", "Cost", "Residual loss"});
+    if (phases.empty()) {
+        std::string chosen;
+        for (const auto& id : selection.chosen) {
+            if (!chosen.empty()) chosen += ", ";
+            chosen += id;
+        }
+        table.add_row({"-", chosen, std::to_string(selection.mitigation_cost),
+                       std::to_string(selection.residual_loss)});
+        return table;
+    }
+    for (const mitigation::Phase& phase : phases) {
+        std::string chosen;
+        for (const auto& id : phase.selection.chosen) {
+            if (!chosen.empty()) chosen += ", ";
+            chosen += id;
+        }
+        table.add_row({std::to_string(phase.number), chosen,
+                       std::to_string(phase.selection.mitigation_cost),
+                       std::to_string(phase.selection.residual_loss)});
+    }
+    return table;
+}
+
+RiskAssessment::RiskAssessment(const model::SystemModel& system,
+                               std::vector<epa::Requirement> behavioral_requirements,
+                               std::vector<epa::Requirement> topology_requirements,
+                               const security::AttackMatrix& matrix,
+                               const epa::MitigationMap& mitigations,
+                               const security::SecurityCatalog* catalog)
+    : system_(&system),
+      behavioral_requirements_(std::move(behavioral_requirements)),
+      topology_requirements_(std::move(topology_requirements)),
+      matrix_(&matrix),
+      mitigations_(&mitigations),
+      catalog_(catalog) {}
+
+Result<AssessmentReport> RiskAssessment::run(const AssessmentConfig& config) const {
+    AssessmentReport report;
+    report.component_count = system_->component_count();
+    report.relation_count = system_->relation_count();
+
+    // Step 2: candidate mutations / scenario space.
+    security::ScenarioSpaceOptions space_options;
+    space_options.max_simultaneous_faults = config.max_simultaneous_faults;
+    space_options.include_attack_scenarios = config.include_attack_scenarios;
+    const security::ScenarioSpace space = security::ScenarioSpace::build(
+        *system_, *matrix_, security::standard_threat_actors(), space_options, catalog_);
+    report.scenario_count = space.size();
+
+    // Steps 3-5: reasoning, hazard identification, CEGAR refinement.
+    std::vector<hierarchy::CegarStage> stages;
+    if (config.use_cegar) {
+        stages.push_back(hierarchy::CegarStage{"topology", system_, epa::AnalysisFocus::Topology,
+                                               topology_requirements_, config.horizon});
+    }
+    stages.push_back(hierarchy::CegarStage{"behavioral", system_, epa::AnalysisFocus::Behavioral,
+                                           behavioral_requirements_, config.horizon});
+    auto cegar =
+        hierarchy::run_cegar(stages, space, *mitigations_, config.active_mitigations);
+    if (!cegar.ok()) return Result<AssessmentReport>::failure(cegar.error());
+    report.hazards = cegar.value().confirmed;
+    report.cegar_iterations = cegar.value().iterations;
+    report.spurious_eliminated = cegar.value().total_spurious();
+
+    // Step 6: quantitative (rough-granular) risk analysis.
+    for (const epa::ScenarioVerdict& hazard : report.hazards) {
+        ScenarioRisk risk;
+        risk.scenario_id = hazard.scenario_id;
+        risk.loss_magnitude = hazard.severity;
+        risk.loss_event_frequency = hazard.likelihood;
+        risk.risk = risk::ora_risk(risk.loss_magnitude, risk.loss_event_frequency);
+        risk.iec_class = risk::iec61508_class(risk::likelihood_from_level(hazard.likelihood),
+                                              risk::consequence_from_level(hazard.severity));
+        risk.violated_requirements = hazard.violated_requirements;
+        report.risks.push_back(std::move(risk));
+    }
+    std::sort(report.risks.begin(), report.risks.end(),
+              [](const ScenarioRisk& a, const ScenarioRisk& b) {
+                  if (a.risk != b.risk) return b.risk < a.risk;
+                  return a.scenario_id < b.scenario_id;
+              });
+
+    // Step 7: mitigation strategy.
+    const mitigation::MitigationProblem problem = mitigation::MitigationProblem::build(
+        space, report.hazards, *matrix_, *mitigations_, config.loss_scale);
+    mitigation::OptimizerOptions optimizer_options;
+    optimizer_options.budget = config.budget;
+    report.selection = mitigation::optimize_exact(problem, optimizer_options);
+    if (config.phase_budget > 0) {
+        report.phases = mitigation::plan_phases(problem, config.phase_budget);
+    }
+    return report;
+}
+
+Result<std::vector<epa::ScenarioVerdict>> RiskAssessment::evaluate_scenarios(
+    const std::vector<security::AttackScenario>& scenarios,
+    const std::vector<std::string>& active_mitigations, int horizon) const {
+    epa::EpaOptions options;
+    options.focus = epa::AnalysisFocus::Behavioral;
+    options.horizon = horizon;
+    auto epa = epa::ErrorPropagationAnalysis::create(*system_, behavioral_requirements_,
+                                                     *mitigations_, options);
+    if (!epa.ok()) return Result<std::vector<epa::ScenarioVerdict>>::failure(epa.error());
+
+    std::vector<epa::ScenarioVerdict> verdicts;
+    verdicts.reserve(scenarios.size());
+    for (const security::AttackScenario& scenario : scenarios) {
+        auto verdict = epa.value().evaluate(scenario, active_mitigations);
+        if (!verdict.ok()) {
+            return Result<std::vector<epa::ScenarioVerdict>>::failure(verdict.error());
+        }
+        verdicts.push_back(std::move(verdict).value());
+    }
+    return verdicts;
+}
+
+}  // namespace cprisk::core

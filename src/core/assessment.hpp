@@ -1,0 +1,97 @@
+// cprisk/core/assessment.hpp
+//
+// The top-level façade running the paper's seven-step pipeline (Fig. 1):
+//
+//   1. system model          — supplied merged SystemModel;
+//   2. candidate mutations   — ScenarioSpace from fault modes + attack paths;
+//   3. reasoning             — model + requirements compiled to ASP;
+//   4. hazard identification — exhaustive evaluation of every scenario;
+//   5. model refinement      — CEGAR: topology-level candidates re-checked
+//                              behaviourally, spurious solutions eliminated;
+//   6. quantitative risk     — O-RA risk per hazard (LM x LEF -> Table I)
+//                              plus IEC 61508 classification;
+//   7. mitigation strategy   — cost-benefit optimization and multi-phase
+//                              planning under budget constraints.
+#pragma once
+
+#include <optional>
+
+#include "common/table.hpp"
+#include "hierarchy/evaluation_matrix.hpp"
+#include "mitigation/optimizer.hpp"
+#include "risk/iec61508.hpp"
+#include "risk/ora.hpp"
+
+namespace cprisk::core {
+
+/// Step-6 output for one confirmed hazard.
+struct ScenarioRisk {
+    std::string scenario_id;
+    qual::Level loss_magnitude = qual::Level::VeryLow;       ///< from impact severity
+    qual::Level loss_event_frequency = qual::Level::VeryLow; ///< from scenario likelihood
+    qual::Level risk = qual::Level::VeryLow;                 ///< O-RA Table I
+    risk::RiskClass iec_class = risk::RiskClass::IV;
+    std::vector<std::string> violated_requirements;
+};
+
+struct AssessmentConfig {
+    int horizon = 6;
+    std::size_t max_simultaneous_faults = 2;
+    bool include_attack_scenarios = true;
+    /// Run the two-stage CEGAR (topology then behavioural); false runs the
+    /// behavioural analysis directly on every scenario.
+    bool use_cegar = true;
+    std::optional<long long> budget;            ///< step-7 budget constraint
+    long long phase_budget = 0;                 ///< >0 enables multi-phase planning
+    long long loss_scale = 10;                  ///< severity -> cost conversion
+    std::vector<std::string> active_mitigations;  ///< already-deployed controls
+};
+
+struct AssessmentReport {
+    // Step 1-2.
+    std::size_t component_count = 0;
+    std::size_t relation_count = 0;
+    std::size_t scenario_count = 0;
+    // Step 4-5.
+    std::vector<epa::ScenarioVerdict> hazards;  ///< confirmed violating scenarios
+    std::vector<hierarchy::CegarIterationStats> cegar_iterations;
+    std::size_t spurious_eliminated = 0;
+    // Step 6.
+    std::vector<ScenarioRisk> risks;  ///< sorted by descending risk
+    // Step 7.
+    mitigation::Selection selection;
+    std::vector<mitigation::Phase> phases;
+
+    TextTable hazard_table() const;
+    TextTable risk_table() const;
+    TextTable mitigation_table() const;
+};
+
+class RiskAssessment {
+public:
+    /// All inputs are borrowed; they must outlive the assessment object.
+    /// `catalog` (optional) enables vulnerability-driven scenarios in step 2.
+    RiskAssessment(const model::SystemModel& system,
+                   std::vector<epa::Requirement> behavioral_requirements,
+                   std::vector<epa::Requirement> topology_requirements,
+                   const security::AttackMatrix& matrix, const epa::MitigationMap& mitigations,
+                   const security::SecurityCatalog* catalog = nullptr);
+
+    /// Runs the full pipeline.
+    Result<AssessmentReport> run(const AssessmentConfig& config = {}) const;
+
+    /// Steps 4-6 for a fixed scenario list (used by the Table II bench).
+    Result<std::vector<epa::ScenarioVerdict>> evaluate_scenarios(
+        const std::vector<security::AttackScenario>& scenarios,
+        const std::vector<std::string>& active_mitigations, int horizon) const;
+
+private:
+    const model::SystemModel* system_;
+    std::vector<epa::Requirement> behavioral_requirements_;
+    std::vector<epa::Requirement> topology_requirements_;
+    const security::AttackMatrix* matrix_;
+    const epa::MitigationMap* mitigations_;
+    const security::SecurityCatalog* catalog_;
+};
+
+}  // namespace cprisk::core

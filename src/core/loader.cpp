@@ -1,0 +1,139 @@
+#include "core/loader.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "asp/parser.hpp"
+#include "common/strings.hpp"
+#include "model/dsl.hpp"
+
+namespace cprisk::core {
+
+const std::vector<epa::Requirement>& Bundle::effective_behavioral() const {
+    return behavioral_requirements.empty() ? topology_requirements : behavioral_requirements;
+}
+
+const std::vector<epa::Requirement>& Bundle::effective_topology() const {
+    return topology_requirements.empty() ? behavioral_requirements : topology_requirements;
+}
+
+namespace {
+
+/// Splits a requirement line into fields honouring double quotes (same
+/// convention as the model DSL).
+std::vector<std::string> split_quoted(const std::string& line) {
+    std::vector<std::string> fields;
+    std::string current;
+    bool in_quotes = false;
+    for (char c : line) {
+        if (in_quotes) {
+            if (c == '"') {
+                in_quotes = false;
+            } else {
+                current += c;
+            }
+            continue;
+        }
+        if (c == '"') {
+            in_quotes = true;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            if (!current.empty()) {
+                fields.push_back(std::move(current));
+                current.clear();
+            }
+            continue;
+        }
+        current += c;
+    }
+    if (!current.empty()) fields.push_back(std::move(current));
+    return fields;
+}
+
+}  // namespace
+
+Result<Bundle> load_bundle(std::string_view text) {
+    Bundle bundle;
+    std::string model_text;
+    std::istringstream stream{std::string(text)};
+    std::string raw;
+    int line_no = 0;
+    bool in_behavior_block = false;
+
+    auto fail = [](int line, const std::string& message) {
+        return Result<Bundle>::failure("line " + std::to_string(line) + ": " + message);
+    };
+
+    while (std::getline(stream, raw)) {
+        ++line_no;
+        const std::string line{trim(raw)};
+        // Requirement lines inside behaviour blocks belong to the ASP text.
+        if (in_behavior_block) {
+            model_text += raw + "\n";
+            if (line == ">>>") in_behavior_block = false;
+            continue;
+        }
+        if (starts_with(line, "behavior ")) in_behavior_block = line.find("<<<") != std::string::npos;
+        if (!starts_with(line, "requirement ")) {
+            model_text += raw + "\n";
+            continue;
+        }
+
+        const auto fields = split_quoted(line);
+        if (fields.size() < 4) {
+            return fail(line_no, "requirement needs: id kind args...");
+        }
+        const std::string& id = fields[1];
+        const std::string& kind = fields[2];
+        if (kind == "never") {
+            auto atom = asp::parse_atom(fields[3]);
+            if (!atom.ok()) return fail(line_no, atom.error());
+            bundle.behavioral_requirements.push_back(
+                epa::Requirement::never(id, line, std::move(atom).value()));
+        } else if (kind == "responds") {
+            if (fields.size() < 5) {
+                return fail(line_no, "responds needs: trigger response");
+            }
+            auto trigger = asp::parse_atom(fields[3]);
+            if (!trigger.ok()) return fail(line_no, trigger.error());
+            auto response = asp::parse_atom(fields[4]);
+            if (!response.ok()) return fail(line_no, response.error());
+            bundle.behavioral_requirements.push_back(epa::Requirement::responds(
+                id, line, std::move(trigger).value(), std::move(response).value()));
+        } else if (kind == "protects") {
+            epa::Requirement requirement = epa::Requirement::no_error_reaches(fields[3]);
+            requirement.id = id;
+            bundle.topology_requirements.push_back(std::move(requirement));
+        } else {
+            return fail(line_no, "unknown requirement kind '" + kind +
+                                     "' (expected never/responds/protects)");
+        }
+    }
+
+    auto model = model::parse_model(model_text);
+    if (!model.ok()) return Result<Bundle>::failure(model.error());
+    bundle.model = std::move(model).value();
+
+    // `protects` requirements must reference existing components.
+    for (const epa::Requirement& requirement : bundle.topology_requirements) {
+        const asp::Atom& atom = requirement.formula.left().left().atom_value();
+        if (atom.args.size() == 1 && atom.args[0].is_symbol() &&
+            !bundle.model.has_component(atom.args[0].name())) {
+            return Result<Bundle>::failure("requirement '" + requirement.id +
+                                           "' protects unknown component '" +
+                                           atom.args[0].name() + "'");
+        }
+    }
+    return bundle;
+}
+
+Result<Bundle> load_bundle_file(const std::string& path) {
+    std::ifstream file(path);
+    if (!file) return Result<Bundle>::failure("cannot open '" + path + "'");
+    std::ostringstream content;
+    content << file.rdbuf();
+    return load_bundle(content.str());
+}
+
+}  // namespace cprisk::core

@@ -1,0 +1,43 @@
+// cprisk/core/loader.hpp
+//
+// Loads a complete assessment bundle from one text file: the model DSL
+// (model/dsl.hpp) extended with requirement declarations, so an analyst can
+// keep the whole assessment input in version control:
+//
+//   requirement <id> never <atom>                 # G !atom
+//   requirement <id> responds <trigger> <response>  # G(trigger -> F response)
+//   requirement <id> protects <component>         # topology: G !error(c)
+//
+// Atoms containing spaces/commas are quoted: never "level(tank, overflow)".
+// Requirements declared `protects` are used at the topology focus; `never`
+// and `responds` requirements at the behavioural focus. A bundle without
+// behavioural requirements falls back to its topology requirements for both.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "epa/requirement.hpp"
+#include "model/system_model.hpp"
+
+namespace cprisk::core {
+
+struct Bundle {
+    model::SystemModel model;
+    std::vector<epa::Requirement> behavioral_requirements;
+    std::vector<epa::Requirement> topology_requirements;
+
+    /// Behavioural requirements, or the topology ones when none exist.
+    const std::vector<epa::Requirement>& effective_behavioral() const;
+    /// Topology requirements, or the behavioural ones when none exist.
+    const std::vector<epa::Requirement>& effective_topology() const;
+};
+
+/// Parses the extended format.
+Result<Bundle> load_bundle(std::string_view text);
+
+/// Reads and parses a bundle file from disk.
+Result<Bundle> load_bundle_file(const std::string& path);
+
+}  // namespace cprisk::core

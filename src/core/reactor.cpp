@@ -1,0 +1,202 @@
+#include "core/reactor.hpp"
+
+#include "asp/parser.hpp"
+
+namespace cprisk::core {
+
+namespace ids = reactor_ids;
+using model::Component;
+using model::ElementType;
+using model::Exposure;
+using model::FaultEffect;
+using model::FaultMode;
+using model::Relation;
+using model::RelationType;
+
+namespace {
+
+/// Temperature ladder + evolution under heater/cooling positions.
+constexpr const char* kThermalBehavior = R"(
+#program base.
+t_up(cold, normal). t_up(normal, hot). t_up(hot, critical). t_up(critical, critical).
+t_down(critical, hot). t_down(hot, normal). t_down(normal, cold). t_down(cold, cold).
+
+#program initial.
+temp(reactor, normal).
+
+#program dynamic.
+% Heating: heater on, cooling closed.
+temp(reactor, X2) :- prev_temp(reactor, X), hpos(on), cpos(closed), t_up(X, X2).
+% The cooling circuit dominates the heater when open.
+temp(reactor, X2) :- prev_temp(reactor, X), cpos(open), t_down(X, X2).
+% Idle: heater off, cooling closed — the batch holds its temperature.
+temp(reactor, X) :- prev_temp(reactor, X), hpos(off), cpos(closed).
+)";
+
+/// Controller acting on the *sensed* temperature of the previous step.
+constexpr const char* kControllerBehavior = R"(
+#program dynamic.
+hcmd(on) :- prev_sensed(cold).
+hcmd(on) :- prev_sensed(normal).
+hcmd(off) :- prev_sensed(hot).
+hcmd(off) :- prev_sensed(critical).
+ccmd(open) :- prev_sensed(hot).
+ccmd(open) :- prev_sensed(critical).
+ccmd(closed) :- prev_sensed(cold).
+ccmd(closed) :- prev_sensed(normal).
+)";
+
+/// Actuators with stuck-at overrides.
+constexpr const char* kActuatorBehavior = R"(
+#program dynamic.
+hpos(on) :- hcmd(on).
+hpos(on) :- eff_fault(heater, stuck_on).
+hpos(off) :- hcmd(off), not eff_fault(heater, stuck_on).
+cpos(open) :- ccmd(open), not eff_fault(cooling_valve, stuck_closed).
+cpos(closed) :- ccmd(closed).
+cpos(closed) :- eff_fault(cooling_valve, stuck_closed).
+)";
+
+/// Temperature sensor with a freezable reading.
+constexpr const char* kSensorBehavior = R"(
+#program initial.
+sensed(normal).
+#program dynamic.
+sensed(X) :- temp(reactor, X), not eff_fault(temp_sensor, frozen_reading).
+sensed(X) :- prev_sensed(X), eff_fault(temp_sensor, frozen_reading).
+)";
+
+/// Pressure physics, relief valve, rupture, and alerting.
+constexpr const char* kPressureBehavior = R"(
+#program always.
+pressure(high) :- temp(reactor, hot).
+pressure(critical) :- temp(reactor, critical).
+rpos(open) :- pressure(critical), not eff_fault(relief_valve, stuck_closed).
+rupture :- pressure(critical), not rpos(open).
+alert :- pressure(critical), not eff_fault(alarm_unit, no_signal).
+#program dynamic.
+alert :- prev_alert.
+rupture :- prev_rupture.
+)";
+
+/// SCADA compromise: full process-sabotage pattern.
+constexpr const char* kScadaBehavior = R"(
+#program always.
+eff_fault(C, F) :- active_fault(C, F).
+eff_fault(heater, stuck_on) :- active_fault(scada, compromised).
+eff_fault(cooling_valve, stuck_closed) :- active_fault(scada, compromised).
+eff_fault(relief_valve, stuck_closed) :- active_fault(scada, compromised).
+eff_fault(alarm_unit, no_signal) :- active_fault(scada, compromised).
+)";
+
+Component make(const char* id, const char* name, ElementType type, qual::Level asset,
+               Exposure exposure = Exposure::None) {
+    Component c;
+    c.id = id;
+    c.name = name;
+    c.type = type;
+    c.asset_value = asset;
+    c.exposure = exposure;
+    return c;
+}
+
+}  // namespace
+
+Result<ReactorCaseStudy> ReactorCaseStudy::build() {
+    ReactorCaseStudy cs;
+
+    Component reactor = make(ids::kReactor, "Batch Reactor", ElementType::Equipment,
+                             qual::Level::VeryHigh);
+    Component heater = make(ids::kHeater, "Heater", ElementType::Actuator, qual::Level::High);
+    heater.fault_modes = {FaultMode{"stuck_on", FaultEffect::StuckAt, "on", qual::Level::High,
+                                    qual::Level::Low}};
+    Component cooling = make(ids::kCoolingValve, "Cooling Valve", ElementType::Actuator,
+                             qual::Level::High);
+    cooling.fault_modes = {FaultMode{"stuck_closed", FaultEffect::StuckAt, "closed",
+                                     qual::Level::High, qual::Level::Low}};
+    Component relief = make(ids::kReliefValve, "Pressure Relief Valve", ElementType::Actuator,
+                            qual::Level::VeryHigh);
+    relief.fault_modes = {FaultMode{"stuck_closed", FaultEffect::StuckAt, "closed",
+                                    qual::Level::VeryHigh, qual::Level::VeryLow}};
+    Component temp_sensor = make(ids::kTempSensor, "Temperature Sensor", ElementType::Sensor,
+                                 qual::Level::Medium);
+    temp_sensor.fault_modes = {FaultMode{"frozen_reading", FaultEffect::StuckAt, "",
+                                         qual::Level::High, qual::Level::Low}};
+    Component pressure_sensor = make(ids::kPressureSensor, "Pressure Sensor",
+                                     ElementType::Sensor, qual::Level::Medium);
+    Component controller = make(ids::kController, "Reactor Controller", ElementType::Controller,
+                                qual::Level::High, Exposure::Internal);
+    Component alarm = make(ids::kAlarmUnit, "Alarm Unit", ElementType::HumanMachineInterface,
+                           qual::Level::Medium, Exposure::Internal);
+    alarm.fault_modes = {FaultMode{"no_signal", FaultEffect::Omission, "", qual::Level::High,
+                                   qual::Level::Low}};
+    Component scada = make(ids::kScada, "SCADA Server", ElementType::Node, qual::Level::High,
+                           Exposure::Internal);
+    scada.fault_modes = {FaultMode{"compromised", FaultEffect::Compromise, "",
+                                   qual::Level::VeryHigh, qual::Level::Medium}};
+
+    for (Component* component : {&reactor, &heater, &cooling, &relief, &temp_sensor,
+                                 &pressure_sensor, &controller, &alarm, &scada}) {
+        auto added = cs.system.add_component(*component);
+        if (!added.ok()) return Result<ReactorCaseStudy>::failure(added.error());
+    }
+
+    const std::vector<Relation> relations = {
+        {ids::kHeater, ids::kReactor, RelationType::QuantityFlow, "heat"},
+        {ids::kReactor, ids::kCoolingValve, RelationType::QuantityFlow, "coolant"},
+        {ids::kReactor, ids::kReliefValve, RelationType::QuantityFlow, "vent"},
+        {ids::kReactor, ids::kTempSensor, RelationType::SignalFlow, "temperature"},
+        {ids::kReactor, ids::kPressureSensor, RelationType::SignalFlow, "pressure"},
+        {ids::kTempSensor, ids::kController, RelationType::SignalFlow, "measurement"},
+        {ids::kPressureSensor, ids::kController, RelationType::SignalFlow, "measurement"},
+        {ids::kController, ids::kHeater, RelationType::Triggering, "actuate"},
+        {ids::kController, ids::kCoolingValve, RelationType::Triggering, "actuate"},
+        {ids::kController, ids::kAlarmUnit, RelationType::SignalFlow, "alarm"},
+        {ids::kScada, ids::kController, RelationType::SignalFlow, "supervise"},
+        {ids::kScada, ids::kAlarmUnit, RelationType::SignalFlow, "admin"},
+        {ids::kScada, ids::kReliefValve, RelationType::SignalFlow, "reconfigure"},
+    };
+    for (const Relation& relation : relations) {
+        auto added = cs.system.add_relation(relation);
+        if (!added.ok()) return Result<ReactorCaseStudy>::failure(added.error());
+    }
+
+    struct Behavior {
+        const char* component;
+        const char* fragment;
+    };
+    const std::vector<Behavior> behaviors = {
+        {ids::kReactor, kThermalBehavior},   {ids::kController, kControllerBehavior},
+        {ids::kHeater, kActuatorBehavior},   {ids::kTempSensor, kSensorBehavior},
+        {ids::kReliefValve, kPressureBehavior}, {ids::kScada, kScadaBehavior},
+    };
+    for (const Behavior& behavior : behaviors) {
+        auto added = cs.system.add_behavior(behavior.component, behavior.fragment);
+        if (!added.ok()) return Result<ReactorCaseStudy>::failure(added.error());
+    }
+
+    cs.requirements = {
+        epa::Requirement::never("r1", "the reactor must not rupture",
+                                asp::parse_atom("rupture").value()),
+        epa::Requirement::responds("r2", "critical pressure must raise an alert",
+                                   asp::parse_atom("pressure(critical)").value(),
+                                   asp::parse_atom("alert").value()),
+    };
+    cs.topology_requirements = {
+        epa::Requirement::never("r1", "no error may reach the reactor",
+                                asp::parse_atom("error(reactor)").value()),
+        epa::Requirement::never("r2", "no error may reach the alarm unit",
+                                asp::parse_atom("error(alarm_unit)").value()),
+    };
+
+    cs.matrix = security::AttackMatrix::standard_ics();
+    cs.mitigations = epa::MitigationMap::from_attack_matrix(cs.system, cs.matrix);
+    // Hardening the SCADA breaks the sabotage pattern.
+    cs.mitigations.add("M-ENDPOINT", ids::kScada, "compromised");
+    cs.mitigations.add("M-SEGMENT", ids::kScada, "compromised");
+
+    cs.horizon = 7;
+    return cs;
+}
+
+}  // namespace cprisk::core

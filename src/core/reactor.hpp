@@ -1,0 +1,58 @@
+// cprisk/core/reactor.hpp
+//
+// A second IT/OT case study exercising the framework on a different physical
+// domain: a chemical batch reactor with a heater, a cooling valve, a
+// pressure-relief valve, temperature/pressure instrumentation, an alarm
+// unit, and a SCADA node through which an attacker can reconfigure the
+// actuators (the same IT->OT pathology as the paper's §VII study, but with a
+// two-variable physics: temperature drives pressure).
+//
+// Safety requirements:
+//   R1 (never)    — the reactor must not rupture;
+//   R2 (responds) — critical pressure must raise an operator alert.
+//
+// Fault modes:
+//   heater.stuck_on, cooling_valve.stuck_closed, relief_valve.stuck_closed,
+//   temp_sensor.frozen_reading, alarm_unit.no_signal, scada.compromised
+//   (the compromise forces the heater on, blocks cooling and relief, and
+//   silences the alarm — a full process-sabotage pattern).
+//
+// Designed outcomes (verified in tests/core/reactor_test.cpp):
+//   any single actuator/sensor fault is compensated (defence in depth);
+//   heater-on + cooling-blocked reaches critical pressure but the healthy
+//   relief valve prevents rupture; adding the relief failure ruptures
+//   (R1); the SCADA compromise ruptures silently (R1 + R2).
+#pragma once
+
+#include <vector>
+
+#include "epa/epa.hpp"
+#include "model/system_model.hpp"
+#include "security/attack_matrix.hpp"
+
+namespace cprisk::core {
+
+namespace reactor_ids {
+inline constexpr const char* kReactor = "reactor";
+inline constexpr const char* kHeater = "heater";
+inline constexpr const char* kCoolingValve = "cooling_valve";
+inline constexpr const char* kReliefValve = "relief_valve";
+inline constexpr const char* kTempSensor = "temp_sensor";
+inline constexpr const char* kPressureSensor = "pressure_sensor";
+inline constexpr const char* kController = "reactor_ctrl";
+inline constexpr const char* kAlarmUnit = "alarm_unit";
+inline constexpr const char* kScada = "scada";
+}  // namespace reactor_ids
+
+struct ReactorCaseStudy {
+    model::SystemModel system;
+    std::vector<epa::Requirement> requirements;           ///< behavioural R1, R2
+    std::vector<epa::Requirement> topology_requirements;  ///< abstract stand-ins
+    security::AttackMatrix matrix;
+    epa::MitigationMap mitigations;
+    int horizon = 7;
+
+    static Result<ReactorCaseStudy> build();
+};
+
+}  // namespace cprisk::core

@@ -1,0 +1,125 @@
+#include "core/report.hpp"
+
+#include "risk/ora.hpp"
+#include "uncertainty/sensitivity.hpp"
+
+namespace cprisk::core {
+
+namespace {
+
+std::string level_str(qual::Level level) { return std::string(qual::to_short_string(level)); }
+
+std::string join_list(const std::vector<std::string>& items) {
+    std::string out;
+    for (const auto& item : items) {
+        if (!out.empty()) out += ", ";
+        out += item;
+    }
+    return out;
+}
+
+/// Markdown table from a TextTable.
+std::string markdown_table(const TextTable& table) {
+    auto row_line = [&](const std::vector<std::string>& cells) {
+        std::string line = "|";
+        for (const auto& cell : cells) line += " " + cell + " |";
+        return line + "\n";
+    };
+    std::string out = row_line(table.header());
+    out += "|";
+    for (std::size_t i = 0; i < table.columns(); ++i) out += "---|";
+    out += "\n";
+    for (std::size_t r = 0; r < table.rows(); ++r) out += row_line(table.row(r));
+    return out;
+}
+
+}  // namespace
+
+std::vector<ParameterCriticality> analyze_parameter_criticality(const AssessmentReport& report) {
+    std::vector<ParameterCriticality> out;
+    out.reserve(report.risks.size());
+    for (const ScenarioRisk& risk : report.risks) {
+        ParameterCriticality c;
+        c.scenario_id = risk.scenario_id;
+        c.rating = risk.risk;
+        const qual::LevelRange severity_band(qual::shift(risk.loss_magnitude, -1),
+                                             qual::shift(risk.loss_magnitude, 1));
+        const qual::LevelRange likelihood_band(qual::shift(risk.loss_event_frequency, -1),
+                                               qual::shift(risk.loss_event_frequency, 1));
+        c.rating_range_severity = uncertainty::sweep(
+            [&](qual::Level lm) { return risk::ora_risk(lm, risk.loss_event_frequency); },
+            severity_band);
+        c.rating_range_likelihood = uncertainty::sweep(
+            [&](qual::Level lef) { return risk::ora_risk(risk.loss_magnitude, lef); },
+            likelihood_band);
+        c.sensitive_to_severity = !c.rating_range_severity.is_exact();
+        c.sensitive_to_likelihood = !c.rating_range_likelihood.is_exact();
+        out.push_back(std::move(c));
+    }
+    return out;
+}
+
+std::string render_markdown(const AssessmentReport& report, const ReportOptions& options) {
+    std::string md = "# " + options.title + "\n\n";
+
+    md += "## System\n\n";
+    md += "- components: " + std::to_string(report.component_count) + "\n";
+    md += "- relations: " + std::to_string(report.relation_count) + "\n";
+    md += "- scenario space: " + std::to_string(report.scenario_count) + " scenarios\n";
+    md += "- confirmed hazards: " + std::to_string(report.hazards.size()) + " (spurious "
+          "eliminated: " + std::to_string(report.spurious_eliminated) + ")\n\n";
+
+    if (options.include_cegar_trace && !report.cegar_iterations.empty()) {
+        md += "## Refinement trace (CEGAR)\n\n";
+        md += "| stage | candidates in | hazards out | spurious eliminated |\n";
+        md += "|---|---|---|---|\n";
+        for (const auto& iteration : report.cegar_iterations) {
+            md += "| " + iteration.stage_name + " | " +
+                  std::to_string(iteration.candidates_in) + " | " +
+                  std::to_string(iteration.hazards_out) + " | " +
+                  std::to_string(iteration.spurious_eliminated) + " |\n";
+        }
+        md += "\n";
+    }
+
+    md += "## Hazards and qualitative risk (O-RA / IEC 61508)\n\n";
+    md += markdown_table(report.risk_table());
+    md += "\n";
+
+    if (options.include_sensitivity) {
+        md += "## Critical parameter estimates (sensitivity support)\n\n";
+        md += "| scenario | rating | severity +/-1 | likelihood +/-1 | review |\n";
+        md += "|---|---|---|---|---|\n";
+        for (const auto& c : analyze_parameter_criticality(report)) {
+            const bool review = c.sensitive_to_severity || c.sensitive_to_likelihood;
+            md += "| " + c.scenario_id + " | " + level_str(c.rating) + " | " +
+                  level_str(c.rating_range_severity.lo) + ".." +
+                  level_str(c.rating_range_severity.hi) + " | " +
+                  level_str(c.rating_range_likelihood.lo) + ".." +
+                  level_str(c.rating_range_likelihood.hi) + " | " +
+                  (review ? "**yes**" : "no") + " |\n";
+        }
+        md += "\n";
+    }
+
+    md += "## Mitigation strategy\n\n";
+    md += "- optimal set: {" + join_list(report.selection.chosen) + "}\n";
+    md += "- mitigation cost: " + std::to_string(report.selection.mitigation_cost) + "\n";
+    md += "- residual loss: " + std::to_string(report.selection.residual_loss) + "\n";
+    if (!report.selection.unblocked.empty()) {
+        md += "- unblocked scenarios: " + join_list(report.selection.unblocked) + "\n";
+    }
+    md += "\n";
+    if (!report.phases.empty()) {
+        md += "### Phased roll-out\n\n";
+        md += markdown_table(report.mitigation_table());
+        md += "\n";
+    }
+    return md;
+}
+
+std::string render_risk_csv(const AssessmentReport& report) {
+    return report.risk_table().render_csv();
+}
+
+}  // namespace cprisk::core

@@ -1,0 +1,47 @@
+// cprisk/core/report.hpp
+//
+// Analyst-facing report rendering — the role of the Jupyter notebook in the
+// paper's toolchain ("the results of the evaluation can be examined in a
+// form of a Jupyter Notebook", §VII). Emits Markdown (for humans / version
+// control) and CSV (for spreadsheets) from an AssessmentReport, including
+// the §II-A sensitivity support: which per-scenario parameter estimates the
+// final risk rating is sensitive to, so the analyst knows which modeling
+// decisions are critical.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/assessment.hpp"
+
+namespace cprisk::core {
+
+/// §II-A modeling support: per confirmed hazard, whether a one-step
+/// mis-estimation of the impact severity (LM) or the likelihood (LEF) would
+/// change the O-RA risk rating — the "critical decisions" the analyst must
+/// double-check.
+struct ParameterCriticality {
+    std::string scenario_id;
+    qual::Level rating = qual::Level::VeryLow;
+    bool sensitive_to_severity = false;
+    bool sensitive_to_likelihood = false;
+    qual::LevelRange rating_range_severity;    ///< rating across severity +/-1
+    qual::LevelRange rating_range_likelihood;  ///< rating across likelihood +/-1
+};
+
+/// Analyzes every rated hazard of the report.
+std::vector<ParameterCriticality> analyze_parameter_criticality(const AssessmentReport& report);
+
+struct ReportOptions {
+    bool include_sensitivity = true;
+    bool include_cegar_trace = true;
+    std::string title = "Preliminary risk assessment";
+};
+
+/// Renders the full report as Markdown.
+std::string render_markdown(const AssessmentReport& report, const ReportOptions& options = {});
+
+/// Renders the risk table as CSV (header + one row per hazard).
+std::string render_risk_csv(const AssessmentReport& report);
+
+}  // namespace cprisk::core

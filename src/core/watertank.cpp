@@ -1,0 +1,264 @@
+#include "core/watertank.hpp"
+
+#include "asp/parser.hpp"
+
+namespace cprisk::core {
+
+namespace ids = watertank_ids;
+using model::Relation;
+using model::RelationType;
+using security::AttackScenario;
+using security::Mutation;
+using security::ScenarioOrigin;
+
+namespace {
+
+/// Level quantity-space transitions shared by the tank dynamics.
+constexpr const char* kTankBehavior = R"(
+#program base.
+level_value(low). level_value(normal). level_value(high). level_value(overflow).
+next_up(low, normal). next_up(normal, high). next_up(high, overflow).
+next_up(overflow, overflow).
+next_down(overflow, high). next_down(high, normal). next_down(normal, low).
+next_down(low, low).
+
+#program initial.
+level(tank, normal).
+
+#program dynamic.
+% Filling: feed open, drain closed.
+level(tank, L2) :- prev_level(tank, L), vpos(input_valve, open),
+                   vpos(output_valve, closed), next_up(L, L2).
+% Draining: the drain rate exceeds the feed, so an open output valve lowers
+% the level regardless of the input valve.
+level(tank, L2) :- prev_level(tank, L), vpos(output_valve, open), next_down(L, L2).
+% Holding: both valves closed.
+level(tank, L) :- prev_level(tank, L), vpos(input_valve, closed),
+                  vpos(output_valve, closed).
+)";
+
+/// Tank controller: regulates the level through the output valve; the input
+/// valve is the production feed and stays commanded open.
+constexpr const char* kControllerBehavior = R"(
+#program dynamic.
+cmd(output_valve, open) :- prev_level(tank, high).
+cmd(output_valve, open) :- prev_level(tank, overflow).
+cmd(output_valve, closed) :- prev_level(tank, normal).
+cmd(output_valve, closed) :- prev_level(tank, low).
+cmd(input_valve, open) :- prev_level(tank, _).
+)";
+
+/// Valve actuators: stuck-at faults override commands (paper Listing 2).
+constexpr const char* kValveBehavior = R"(
+#program base.
+valve(input_valve). valve(output_valve).
+#program dynamic.
+vpos(V, open) :- cmd(V, open), not eff_fault(V, stuck_at_closed).
+vpos(V, closed) :- cmd(V, closed), not eff_fault(V, stuck_at_open).
+vpos(V, open) :- valve(V), eff_fault(V, stuck_at_open), not eff_fault(V, stuck_at_closed).
+vpos(V, closed) :- valve(V), eff_fault(V, stuck_at_closed), not eff_fault(V, stuck_at_open).
+)";
+
+/// HMI: raises a persistent alert on overflow unless suppressed.
+constexpr const char* kHmiBehavior = R"(
+#program always.
+alert :- level(tank, overflow), not eff_fault(hmi, no_signal).
+#program dynamic.
+alert :- prev_alert.
+)";
+
+/// Workstation compromise (F4) induces F1, F2 and F3: the attacker
+/// reconfigures both actuators through the engineering interface and
+/// suppresses the operator alarm.
+constexpr const char* kWorkstationBehavior = R"(
+#program always.
+eff_fault(C, F) :- active_fault(C, F).
+eff_fault(input_valve, stuck_at_open) :- active_fault(workstation, infected).
+eff_fault(output_valve, stuck_at_closed) :- active_fault(workstation, infected).
+eff_fault(hmi, no_signal) :- active_fault(workstation, infected).
+)";
+
+}  // namespace
+
+Result<WaterTankCaseStudy> WaterTankCaseStudy::build() {
+    WaterTankCaseStudy cs;
+    const model::ComponentLibrary library = model::ComponentLibrary::standard_cps();
+
+    struct Spec {
+        const char* type;
+        const char* id;
+        const char* name;
+    };
+    const std::vector<Spec> specs = {
+        {"water_tank", ids::kTank, "Water Tank"},
+        {"valve_actuator", ids::kInputValve, "Input Valve"},
+        {"valve_actuator", ids::kOutputValve, "Output Valve"},
+        {"valve_controller", ids::kInValveCtrl, "Input Valve Controller"},
+        {"valve_controller", ids::kOutValveCtrl, "Output Valve Controller"},
+        {"level_sensor", ids::kLevelSensor, "Water Level Sensor"},
+        {"plant_controller", ids::kTankCtrl, "Water Tank Controller"},
+        {"hmi", ids::kHmi, "Human-Machine Interface"},
+        {"engineering_workstation", ids::kWorkstation, "Engineering Workstation"},
+    };
+    for (const Spec& spec : specs) {
+        auto added = library.instantiate(spec.type, spec.id, spec.name, cs.system);
+        if (!added.ok()) return Result<WaterTankCaseStudy>::failure(added.error());
+    }
+
+    const std::vector<Relation> relations = {
+        // Physical water path.
+        {ids::kInputValve, ids::kTank, RelationType::QuantityFlow, "water"},
+        {ids::kTank, ids::kOutputValve, RelationType::QuantityFlow, "water"},
+        // Measurement and control loop.
+        {ids::kTank, ids::kLevelSensor, RelationType::SignalFlow, "level"},
+        {ids::kLevelSensor, ids::kTankCtrl, RelationType::SignalFlow, "measurement"},
+        {ids::kTankCtrl, ids::kInValveCtrl, RelationType::SignalFlow, "control_msg"},
+        {ids::kTankCtrl, ids::kOutValveCtrl, RelationType::SignalFlow, "control_msg"},
+        {ids::kInValveCtrl, ids::kInputValve, RelationType::Triggering, "actuate"},
+        {ids::kOutValveCtrl, ids::kOutputValve, RelationType::Triggering, "actuate"},
+        // Operator view.
+        {ids::kTankCtrl, ids::kHmi, RelationType::SignalFlow, "status"},
+        // Engineering workstation: manual reconfiguration paths (the IT/OT
+        // bridge that lets F4 cause F1, F2, F3).
+        {ids::kWorkstation, ids::kInValveCtrl, RelationType::SignalFlow, "reconfigure"},
+        {ids::kWorkstation, ids::kOutValveCtrl, RelationType::SignalFlow, "reconfigure"},
+        {ids::kWorkstation, ids::kHmi, RelationType::SignalFlow, "admin"},
+    };
+    for (const Relation& relation : relations) {
+        auto added = cs.system.add_relation(relation);
+        if (!added.ok()) return Result<WaterTankCaseStudy>::failure(added.error());
+    }
+
+    // Behaviour fragments (qualitative dynamics).
+    struct Behavior {
+        const char* component;
+        const char* fragment;
+    };
+    const std::vector<Behavior> behaviors = {
+        {ids::kTank, kTankBehavior},
+        {ids::kTankCtrl, kControllerBehavior},
+        {ids::kInputValve, kValveBehavior},
+        {ids::kHmi, kHmiBehavior},
+        {ids::kWorkstation, kWorkstationBehavior},
+    };
+    for (const Behavior& behavior : behaviors) {
+        auto added = cs.system.add_behavior(behavior.component, behavior.fragment);
+        if (!added.ok()) return Result<WaterTankCaseStudy>::failure(added.error());
+    }
+
+    // Requirements.
+    cs.requirements = {
+        epa::Requirement::never(
+            "r1", "the water tank must not overflow",
+            asp::parse_atom("level(tank, overflow)").value()),
+        epa::Requirement::responds(
+            "r2", "an alert must reach the operator in case of overflow",
+            asp::parse_atom("level(tank, overflow)").value(),
+            asp::parse_atom("alert").value()),
+    };
+    // Abstract (topology-focus) stand-ins: an error reaching the tank
+    // endangers R1; an error reaching the HMI endangers R2.
+    cs.topology_requirements = {
+        epa::Requirement::never("r1", "no error may reach the water tank",
+                                asp::parse_atom("error(tank)").value()),
+        epa::Requirement::never("r2", "no error may reach the HMI",
+                                asp::parse_atom("error(hmi)").value()),
+    };
+
+    cs.matrix = security::AttackMatrix::standard_ics();
+    cs.catalog = security::SecurityCatalog::standard_ics();
+
+    // Mitigation map: technique-derived suppressions plus the paper's
+    // explicit M1/M2 -> F4 mapping (user training and endpoint security
+    // both break the infection chain).
+    cs.mitigations = epa::MitigationMap::from_attack_matrix(cs.system, cs.matrix);
+    cs.mitigations.add("M-TRAIN", ids::kWorkstation, "infected");
+    cs.mitigations.add("M-ENDPOINT", ids::kWorkstation, "infected");
+
+    cs.horizon = 6;
+    return cs;
+}
+
+model::RefinementSpec WaterTankCaseStudy::workstation_refinement() {
+    model::RefinementSpec spec;
+    spec.parent = ids::kWorkstation;
+
+    model::Component email;
+    email.id = "email_client";
+    email.name = "E-mail Client";
+    email.type = model::ElementType::ApplicationComponent;
+    email.exposure = model::Exposure::Public;
+    email.asset_value = qual::Level::Low;
+    email.fault_modes = {model::FaultMode{"phishing_link_opened", model::FaultEffect::Compromise,
+                                          "", qual::Level::Medium, qual::Level::High}};
+    email.properties["template"] = "email_client";
+
+    model::Component browser;
+    browser.id = "browser";
+    browser.name = "Browser";
+    browser.type = model::ElementType::ApplicationComponent;
+    browser.exposure = model::Exposure::Public;
+    browser.asset_value = qual::Level::Low;
+    browser.version = "98.0";
+    browser.fault_modes = {model::FaultMode{"malware_download", model::FaultEffect::Compromise,
+                                            "", qual::Level::High, qual::Level::Medium}};
+    browser.properties["template"] = "web_browser";
+
+    model::Component infected;
+    infected.id = "infected_computer";
+    infected.name = "Infected Computer";
+    infected.type = model::ElementType::Node;
+    infected.exposure = model::Exposure::Internal;
+    infected.asset_value = qual::Level::High;
+    infected.fault_modes = {model::FaultMode{"infected", model::FaultEffect::Compromise, "",
+                                             qual::Level::VeryHigh, qual::Level::Medium}};
+    infected.properties["template"] = "engineering_workstation";
+
+    spec.parts = {email, browser, infected};
+    spec.internal_relations = {
+        {"email_client", "browser", RelationType::SignalFlow, "opened_link"},
+        {"browser", "infected_computer", RelationType::SignalFlow, "downloaded_malware"},
+    };
+    spec.entry = "email_client";
+    spec.exit = "infected_computer";
+    return spec;
+}
+
+std::vector<Table2Row> WaterTankCaseStudy::table2_rows() const {
+    const std::vector<std::string> both = {"M-TRAIN", "M-ENDPOINT"};
+    const Mutation f1{ids::kInputValve, "stuck_at_open"};
+    const Mutation f2{ids::kOutputValve, "stuck_at_closed"};
+    const Mutation f3{ids::kHmi, "no_signal"};
+    const Mutation f4{ids::kWorkstation, "infected"};
+
+    auto scenario = [](std::string id, std::vector<Mutation> mutations,
+                       qual::Level likelihood) {
+        AttackScenario s;
+        s.id = std::move(id);
+        s.origin = ScenarioOrigin::FaultCombination;
+        s.mutations = std::move(mutations);
+        s.likelihood = likelihood;
+        return s;
+    };
+
+    return {
+        // S1: no faults, mitigations active.
+        {scenario("s1", {}, qual::Level::VeryLow), both},
+        // S2: compromised workstation, no mitigations.
+        {scenario("s2", {f4}, qual::Level::Medium), {}},
+        // S3: F1 only.
+        {scenario("s3", {f1}, qual::Level::Low), both},
+        // S4: F2 only.
+        {scenario("s4", {f2}, qual::Level::Low), both},
+        // S5: F2 + F3 (the most severe two-fault combination). Two-fault
+        // rows sit one step below the single faults; the triple-fault S7 is
+        // "much lower" still (paper §VII closing discussion).
+        {scenario("s5", {f2, f3}, qual::Level::Low), both},
+        // S6: F1 + F3.
+        {scenario("s6", {f1, f3}, qual::Level::Low), both},
+        // S7: F1 + F2 + F3.
+        {scenario("s7", {f1, f2, f3}, qual::Level::VeryLow), both},
+    };
+}
+
+}  // namespace cprisk::core

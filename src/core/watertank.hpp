@@ -1,0 +1,78 @@
+// cprisk/core/watertank.hpp
+//
+// The paper's §VII case study: a water-tank system (TEP-inspired) with input
+// and output valve actuators and their controllers, a water-level sensor, a
+// tank controller, an HMI, and an Engineering Workstation through which the
+// actuators can be manually reconfigured.
+//
+// Safety requirements:  R1 — the tank must not overflow (G !overflow);
+//                       R2 — the operator must be alerted on overflow
+//                            (G(overflow -> F alert)).
+// Fault modes:          F1 — input valve stuck-at-open;
+//                       F2 — output valve stuck-at-closed;
+//                       F3 — HMI no-signal;
+//                       F4 — infected workstation (causes F1, F2 and F3).
+// Mitigations:          M1 — User Training; M2 — Endpoint Security.
+//
+// Qualitative dynamics (behaviour fragments attached to the components):
+// the input valve is the production feed (normally open); the tank
+// controller regulates the level through the output valve (open at
+// high/overflow); the level rises while filling, falls whenever the output
+// valve is open (its drain rate exceeds the feed), and the HMI raises a
+// persistent alert on overflow unless its signal is suppressed.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "epa/epa.hpp"
+#include "model/component_library.hpp"
+#include "model/system_model.hpp"
+#include "security/attack_matrix.hpp"
+#include "security/catalog.hpp"
+#include "security/scenario.hpp"
+
+namespace cprisk::core {
+
+/// Component ids used by the case-study model.
+namespace watertank_ids {
+inline constexpr const char* kTank = "tank";
+inline constexpr const char* kInputValve = "input_valve";
+inline constexpr const char* kOutputValve = "output_valve";
+inline constexpr const char* kInValveCtrl = "in_valve_ctrl";
+inline constexpr const char* kOutValveCtrl = "out_valve_ctrl";
+inline constexpr const char* kLevelSensor = "level_sensor";
+inline constexpr const char* kTankCtrl = "tank_ctrl";
+inline constexpr const char* kHmi = "hmi";
+inline constexpr const char* kWorkstation = "workstation";
+}  // namespace watertank_ids
+
+/// A Table-II row request: the scenario plus the mitigations active for it.
+struct Table2Row {
+    security::AttackScenario scenario;
+    std::vector<std::string> active_mitigations;
+};
+
+struct WaterTankCaseStudy {
+    model::SystemModel system;
+    std::vector<epa::Requirement> requirements;           ///< behavioural R1, R2
+    std::vector<epa::Requirement> topology_requirements;  ///< abstract stand-ins
+    security::AttackMatrix matrix;
+    security::SecurityCatalog catalog;
+    epa::MitigationMap mitigations;
+    int horizon = 6;
+
+    /// Builds the complete case study (model + behaviours + requirements +
+    /// catalogs + mitigation map).
+    static Result<WaterTankCaseStudy> build();
+
+    /// The Fig. 4 asset refinement of the Engineering Workstation:
+    /// E-mail Client -> Browser -> Infected Computer.
+    static model::RefinementSpec workstation_refinement();
+
+    /// The exact S1-S7 rows of Table II (fault-mode combinations with their
+    /// mitigation settings as printed in the paper).
+    std::vector<Table2Row> table2_rows() const;
+};
+
+}  // namespace cprisk::core

@@ -1,0 +1,248 @@
+#include "epa/epa.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.hpp"
+#include "model/to_asp.hpp"
+
+namespace cprisk::epa {
+
+using asp::Atom;
+using asp::Term;
+using model::ComponentId;
+using security::Mutation;
+
+void MitigationMap::add(const std::string& mitigation_id, const ComponentId& component,
+                        const std::string& fault_id) {
+    entries_.push_back(Entry{mitigation_id, component, fault_id});
+}
+
+MitigationMap MitigationMap::from_attack_matrix(const model::SystemModel& model,
+                                                const security::AttackMatrix& matrix) {
+    MitigationMap map;
+    for (const model::Component& component : model.components()) {
+        for (const security::Technique* technique : matrix.techniques_for(component)) {
+            if (technique->caused_fault.empty()) continue;
+            if (!component.has_fault_mode(technique->caused_fault)) continue;
+            for (const security::Mitigation* mitigation : matrix.mitigations_for(*technique)) {
+                map.add(mitigation->id, component.id, technique->caused_fault);
+            }
+        }
+    }
+    return map;
+}
+
+bool ScenarioVerdict::violates(const std::string& requirement_id) const {
+    return std::find(violated_requirements.begin(), violated_requirements.end(),
+                     requirement_id) != violated_requirements.end();
+}
+
+namespace {
+
+/// Generic propagation semantics shared by both analysis focuses: fault
+/// activation per Listing 1, error injection, persistence, and spread along
+/// the topology.
+constexpr const char* kPropagationRules = R"(
+#program base.
+suppressed(C, F) :- scenario_fault(C, F), mitigates(M, C, F), active_mitigation(M).
+injected_fault(C, F) :- scenario_fault(C, F), not suppressed(C, F).
+injected_any(C) :- injected_fault(C, _).
+#program always.
+active_fault(C, F) :- injected_fault(C, F).
+#program initial.
+error(C) :- injected_any(C).
+#program dynamic.
+error(C) :- prev_error(C).
+error(C2) :- prev_error(C1), connected(C1, C2).
+)";
+
+}  // namespace
+
+Result<ErrorPropagationAnalysis> ErrorPropagationAnalysis::create(
+    const model::SystemModel& model, std::vector<Requirement> requirements,
+    const MitigationMap& mitigations, const EpaOptions& options) {
+    auto valid = model.validate();
+    if (!valid.ok()) {
+        return Result<ErrorPropagationAnalysis>::failure("EPA: invalid model: " + valid.error());
+    }
+
+    ErrorPropagationAnalysis epa;
+    epa.model_ = &model;
+    epa.options_ = options;
+
+    model::ToAspOptions to_asp_options;
+    to_asp_options.include_behaviors = options.focus == AnalysisFocus::Behavioral;
+    auto facts = model::to_asp(model, to_asp_options);
+    if (!facts.ok()) return Result<ErrorPropagationAnalysis>::failure(facts.error());
+    epa.base_program_ = std::move(facts).value();
+
+    auto propagation = asp::parse_program(kPropagationRules);
+    require(propagation.ok(), "EPA: internal propagation rules failed to parse: " +
+                                  propagation.error());
+    epa.base_program_.append(propagation.value());
+
+    // Mitigation suppression facts.
+    for (const MitigationMap::Entry& entry : mitigations.entries()) {
+        asp::Rule fact;
+        fact.head = asp::Head::make_atom(Atom{"mitigates",
+                                              {Term::symbol(to_identifier(entry.mitigation_id)),
+                                               Term::symbol(entry.component),
+                                               Term::symbol(entry.fault_id)}});
+        epa.base_program_.add_rule(std::move(fact));
+    }
+
+    // Requirements: id normalized to an ASP constant; compiled to
+    // violated/1 derivation rules.
+    for (Requirement& requirement : requirements) {
+        requirement.id = to_identifier(requirement.id);
+        asp::ltl::compile_requirement(epa.base_program_, requirement.id, requirement.formula,
+                                      options.horizon);
+    }
+    epa.requirements_ = std::move(requirements);
+    epa.mitigations_ = mitigations;
+
+    if (!options.collect_trace) {
+        // Projection keeps the solver's answer sets small; with
+        // collect_trace every atom stays visible for trace reconstruction.
+        epa.base_program_.add_show(asp::Signature{"violated", 1});
+        epa.base_program_.add_show(asp::Signature{"error", 1});  // bumped to /2 by unroll
+        epa.base_program_.add_show(asp::Signature{"injected_fault", 2});
+    }
+    return epa;
+}
+
+Result<ScenarioVerdict> ErrorPropagationAnalysis::evaluate(
+    const security::AttackScenario& scenario,
+    const std::vector<std::string>& active_mitigations) const {
+    asp::Program program = base_program_;
+
+    for (const Mutation& mutation : scenario.mutations) {
+        if (!model_->has_component(mutation.component)) {
+            return Result<ScenarioVerdict>::failure("scenario " + scenario.id +
+                                                    ": unknown component '" + mutation.component +
+                                                    "'");
+        }
+        asp::Rule fact;
+        fact.head = asp::Head::make_atom(
+            Atom{"scenario_fault",
+                 {Term::symbol(mutation.component), Term::symbol(mutation.fault_id)}});
+        program.add_rule(std::move(fact));
+    }
+    for (const std::string& mitigation : active_mitigations) {
+        asp::Rule fact;
+        fact.head = asp::Head::make_atom(
+            Atom{"active_mitigation", {Term::symbol(to_identifier(mitigation))}});
+        program.add_rule(std::move(fact));
+    }
+
+    asp::PipelineOptions pipeline;
+    pipeline.horizon = options_.horizon;
+    auto solved = asp::solve_program(program, pipeline);
+    if (!solved.ok()) {
+        return Result<ScenarioVerdict>::failure("scenario " + scenario.id + ": " +
+                                                solved.error());
+    }
+    const asp::SolveResult& result = solved.value();
+    if (!result.satisfiable) {
+        return Result<ScenarioVerdict>::failure("scenario " + scenario.id +
+                                                ": inconsistent model (no answer set)");
+    }
+
+    ScenarioVerdict verdict;
+    verdict.scenario_id = scenario.id;
+    verdict.mutations = scenario.mutations;
+    verdict.active_mitigations = active_mitigations;
+    verdict.likelihood = scenario.likelihood;
+
+    // Union over models: over-abstraction may make behaviour
+    // non-deterministic; no hazard may be overlooked (paper step 5).
+    std::set<std::string> violations;
+    std::set<std::pair<int, ComponentId>> propagation;
+    std::set<Mutation> injected;
+    for (const asp::AnswerSet& model : result.models) {
+        for (const Atom& atom : model.with_predicate("violated")) {
+            if (atom.args.size() == 1 && atom.args[0].is_symbol()) {
+                violations.insert(atom.args[0].name());
+            }
+        }
+        for (const Atom& atom : model.with_predicate("error")) {
+            if (atom.args.size() == 2 && atom.args[0].is_symbol() && atom.args[1].is_integer()) {
+                propagation.insert({static_cast<int>(atom.args[1].as_int()),
+                                    atom.args[0].name()});
+            }
+        }
+        for (const Atom& atom : model.with_predicate("injected_fault")) {
+            if (atom.args.size() == 2 && atom.args[0].is_symbol() && atom.args[1].is_symbol()) {
+                injected.insert(Mutation{atom.args[0].name(), atom.args[1].name()});
+            }
+        }
+    }
+    verdict.violated_requirements.assign(violations.begin(), violations.end());
+    verdict.injected.assign(injected.begin(), injected.end());
+
+    if (options_.collect_trace && !result.models.empty()) {
+        // Reconstruct the counterexample trace from the first model,
+        // dropping internal (double-underscore) predicates.
+        asp::ltl::Trace raw = asp::trace_from_answer(result.models.front(), options_.horizon);
+        verdict.trace.resize(raw.size());
+        for (std::size_t t = 0; t < raw.size(); ++t) {
+            for (const Atom& atom : raw[t]) {
+                if (atom.predicate.rfind("__", 0) == 0) continue;
+                verdict.trace[t].insert(atom);
+            }
+        }
+    }
+
+    std::set<ComponentId> seen_components;
+    for (const auto& [time, component] : propagation) {
+        if (!seen_components.insert(component).second) continue;
+        verdict.propagation.push_back(PropagationStep{time, component});
+    }
+
+    // Severity: the highest asset value an error reaches, combined with the
+    // local severity of the injected faults.
+    qual::Level severity = qual::Level::VeryLow;
+    for (const PropagationStep& step : verdict.propagation) {
+        if (model_->has_component(step.component)) {
+            severity = qual::qmax(severity, model_->component(step.component).asset_value);
+        }
+    }
+    for (const Mutation& mutation : verdict.injected) {
+        const model::FaultMode* mode =
+            model_->component(mutation.component).find_fault_mode(mutation.fault_id);
+        if (mode != nullptr) severity = qual::qmax(severity, mode->severity);
+    }
+    verdict.severity = severity;
+    return verdict;
+}
+
+Result<std::optional<int>> ErrorPropagationAnalysis::min_violation_horizon(
+    const security::AttackScenario& scenario,
+    const std::vector<std::string>& active_mitigations) const {
+    for (int horizon = 0; horizon <= options_.horizon; ++horizon) {
+        EpaOptions shallow = options_;
+        shallow.horizon = horizon;
+        auto analysis = create(*model_, requirements_, mitigations_, shallow);
+        if (!analysis.ok()) return Result<std::optional<int>>::failure(analysis.error());
+        auto verdict = analysis.value().evaluate(scenario, active_mitigations);
+        if (!verdict.ok()) return Result<std::optional<int>>::failure(verdict.error());
+        if (verdict.value().any_violation()) return std::optional<int>(horizon);
+    }
+    return std::optional<int>();
+}
+
+Result<std::vector<ScenarioVerdict>> ErrorPropagationAnalysis::evaluate_all(
+    const security::ScenarioSpace& space,
+    const std::vector<std::string>& active_mitigations) const {
+    std::vector<ScenarioVerdict> verdicts;
+    verdicts.reserve(space.size());
+    for (const security::AttackScenario& scenario : space.scenarios()) {
+        auto verdict = evaluate(scenario, active_mitigations);
+        if (!verdict.ok()) return Result<std::vector<ScenarioVerdict>>::failure(verdict.error());
+        verdicts.push_back(std::move(verdict).value());
+    }
+    return verdicts;
+}
+
+}  // namespace cprisk::epa

@@ -1,0 +1,146 @@
+// cprisk/epa/epa.hpp
+//
+// Qualitative error propagation analysis (the paper's embedded EPA core,
+// ref [4]): assess the system-level impact of local faults/attacks by
+// exhaustive reasoning over the merged model.
+//
+// For each scenario (a set of candidate mutations) the engine:
+//  1. translates the model to ASP facts (model/to_asp.hpp);
+//  2. adds the fault-activation rule of Listing 1 (a scenario fault is
+//     injected unless an active mitigation suppresses it);
+//  3. adds propagation semantics — generic topology rules (errors persist
+//     and flow along `connected/2`) and/or the per-component qualitative
+//     behaviour fragments (detailed focus, Fig. 3);
+//  4. compiles each requirement's LTLf formula to `violated/1` rules;
+//  5. solves and reports violations, the propagation path and impact
+//     severity.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asp/asp.hpp"
+#include "epa/requirement.hpp"
+#include "model/system_model.hpp"
+#include "security/attack_matrix.hpp"
+#include "security/scenario.hpp"
+
+namespace cprisk::epa {
+
+/// Hierarchical evaluation focus (paper §VI, Fig. 3).
+enum class AnalysisFocus : std::uint8_t {
+    Topology,    ///< focus 1: main assets, generic propagation only
+    Behavioral,  ///< focus 2: detailed propagation via behaviour models
+};
+
+/// Maps mitigations to the (component, fault) pairs they suppress.
+/// Derivable from an AttackMatrix (techniques blocked by a mitigation no
+/// longer activate their fault) or hand-authored.
+class MitigationMap {
+public:
+    void add(const std::string& mitigation_id, const model::ComponentId& component,
+             const std::string& fault_id);
+
+    /// Derives suppressions from `matrix` over `model`: for each technique
+    /// and each component it applies to, every mitigation of the technique
+    /// suppresses the technique's caused fault on that component.
+    static MitigationMap from_attack_matrix(const model::SystemModel& model,
+                                            const security::AttackMatrix& matrix);
+
+    struct Entry {
+        std::string mitigation_id;
+        model::ComponentId component;
+        std::string fault_id;
+    };
+    const std::vector<Entry>& entries() const { return entries_; }
+
+private:
+    std::vector<Entry> entries_;
+};
+
+/// One step of an extracted propagation path.
+struct PropagationStep {
+    int time = 0;
+    model::ComponentId component;
+};
+
+/// Verdict for one scenario.
+struct ScenarioVerdict {
+    std::string scenario_id;
+    std::vector<security::Mutation> mutations;
+    std::vector<std::string> active_mitigations;
+    std::vector<std::string> violated_requirements;  ///< requirement ids, sorted
+    std::vector<security::Mutation> injected;  ///< mutations actually activated
+    std::vector<PropagationStep> propagation;  ///< error spread over time
+    qual::Level severity = qual::Level::VeryLow;    ///< impact (max reached asset value)
+    qual::Level likelihood = qual::Level::VeryLow;  ///< scenario likelihood
+    /// Full qualitative counterexample trace (state atoms per time step),
+    /// populated when EpaOptions::collect_trace is set.
+    asp::ltl::Trace trace;
+
+    bool violates(const std::string& requirement_id) const;
+    bool any_violation() const { return !violated_requirements.empty(); }
+};
+
+struct EpaOptions {
+    AnalysisFocus focus = AnalysisFocus::Behavioral;
+    int horizon = 4;  ///< temporal unrolling depth
+    /// Collect the full qualitative trace into each verdict (projects every
+    /// atom instead of the violation summary — slower, for explanation).
+    bool collect_trace = false;
+};
+
+class ErrorPropagationAnalysis {
+public:
+    /// Fails if the model does not validate or a behaviour fragment does not
+    /// parse. The analysis *borrows* `model`: it must stay alive (and at the
+    /// same address — beware of moving the owning object) for the lifetime
+    /// of the returned analysis.
+    static Result<ErrorPropagationAnalysis> create(const model::SystemModel& model,
+                                                   std::vector<Requirement> requirements,
+                                                   const MitigationMap& mitigations,
+                                                   const EpaOptions& options = {});
+
+    /// Evaluates one scenario under a set of active mitigations.
+    Result<ScenarioVerdict> evaluate(const security::AttackScenario& scenario,
+                                     const std::vector<std::string>& active_mitigations) const;
+
+    /// Exhaustively evaluates every scenario of the space (paper step 4:
+    /// "all the candidate attack scenarios over the joint model undergo
+    /// exhaustive analysis").
+    Result<std::vector<ScenarioVerdict>> evaluate_all(
+        const security::ScenarioSpace& space,
+        const std::vector<std::string>& active_mitigations) const;
+
+    /// Bounded-model-checking style time-to-hazard: the smallest horizon at
+    /// which the scenario violates any requirement (re-running the analysis
+    /// at increasing depth), or nullopt if no violation up to this
+    /// analysis's configured horizon. A small value marks fast-acting
+    /// hazards that leave little reaction time. Caveat: under finite-trace
+    /// (LTLf) semantics, response requirements (G(p -> F q)) can report
+    /// violations at horizons too short for the response to arrive; the
+    /// metric is crisp for safety (never) requirements.
+    Result<std::optional<int>> min_violation_horizon(
+        const security::AttackScenario& scenario,
+        const std::vector<std::string>& active_mitigations) const;
+
+    const std::vector<Requirement>& requirements() const { return requirements_; }
+    const model::SystemModel& system_model() const { return *model_; }
+
+    /// The assembled base program (facts + propagation + requirements), for
+    /// inspection/debugging.
+    const asp::Program& base_program() const { return base_program_; }
+
+private:
+    ErrorPropagationAnalysis() = default;
+
+    const model::SystemModel* model_ = nullptr;
+    std::vector<Requirement> requirements_;
+    MitigationMap mitigations_;
+    EpaOptions options_;
+    asp::Program base_program_;
+};
+
+}  // namespace cprisk::epa

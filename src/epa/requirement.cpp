@@ -1,0 +1,33 @@
+#include "epa/requirement.hpp"
+
+namespace cprisk::epa {
+
+using asp::Atom;
+using asp::Term;
+using asp::ltl::Formula;
+
+Requirement Requirement::never(std::string id, std::string description, Atom bad_state) {
+    Requirement r;
+    r.id = std::move(id);
+    r.description = std::move(description);
+    r.formula = Formula::always(Formula::negate(Formula::atom(std::move(bad_state))));
+    return r;
+}
+
+Requirement Requirement::responds(std::string id, std::string description, Atom trigger,
+                                  Atom response) {
+    Requirement r;
+    r.id = std::move(id);
+    r.description = std::move(description);
+    r.formula = Formula::always(Formula::implies(
+        Formula::atom(std::move(trigger)),
+        Formula::eventually(Formula::atom(std::move(response)))));
+    return r;
+}
+
+Requirement Requirement::no_error_reaches(const model::ComponentId& component) {
+    return never("protect_" + component, "errors must not reach " + component,
+                 Atom{"error", {Term::symbol(component)}});
+}
+
+}  // namespace cprisk::epa

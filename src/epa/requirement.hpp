@@ -1,0 +1,34 @@
+// cprisk/epa/requirement.hpp
+//
+// System safety requirements for the EPA: named LTLf formulas over the
+// temporal state predicates of the qualitative model (paper §VII: R1 "the
+// water tank should not overflow" = G !overflow-state; R2 "alert should be
+// sent to the operator in case of overflow" = G(overflow -> F alert)).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "asp/ltl.hpp"
+#include "model/component.hpp"
+
+namespace cprisk::epa {
+
+struct Requirement {
+    std::string id;           ///< e.g. "r1"
+    std::string description;  ///< human-readable statement
+    asp::ltl::Formula formula = asp::ltl::Formula::truth();
+
+    /// Safety requirement G !bad for a single ground atom.
+    static Requirement never(std::string id, std::string description, asp::Atom bad_state);
+
+    /// Response requirement G (trigger -> F response).
+    static Requirement responds(std::string id, std::string description, asp::Atom trigger,
+                                asp::Atom response);
+
+    /// Topology-focus requirement: errors must never reach `component`
+    /// (G !error(component)).
+    static Requirement no_error_reaches(const model::ComponentId& component);
+};
+
+}  // namespace cprisk::epa

@@ -1,0 +1,94 @@
+#include "epa/uncertain.hpp"
+
+#include <algorithm>
+
+namespace cprisk::epa {
+
+std::string_view to_string(HazardRegion region) {
+    switch (region) {
+        case HazardRegion::Positive: return "positive";
+        case HazardRegion::Negative: return "negative";
+        case HazardRegion::Boundary: return "boundary";
+    }
+    return "?";
+}
+
+bool UncertainVerdict::certainly_hazardous() const {
+    for (const auto& [requirement, region] : regions) {
+        (void)requirement;
+        if (region == HazardRegion::Positive) return true;
+    }
+    return false;
+}
+
+bool UncertainVerdict::possibly_hazardous() const {
+    for (const auto& [requirement, region] : regions) {
+        (void)requirement;
+        if (region != HazardRegion::Negative) return true;
+    }
+    return false;
+}
+
+std::vector<std::string> UncertainVerdict::boundary_requirements() const {
+    std::vector<std::string> out;
+    for (const auto& [requirement, region] : regions) {
+        if (region == HazardRegion::Boundary) out.push_back(requirement);
+    }
+    return out;
+}
+
+Result<UncertainVerdict> evaluate_uncertain(const ErrorPropagationAnalysis& analysis,
+                                            const UncertainScenario& scenario,
+                                            const std::vector<std::string>& active_mitigations,
+                                            const UncertainOptions& options) {
+    const std::size_t k = scenario.uncertain.size();
+    if (k > options.max_uncertain_mutations) {
+        return Result<UncertainVerdict>::failure(
+            "uncertain scenario '" + scenario.id + "': " + std::to_string(k) +
+            " uncertain mutations exceed the exhaustive-evaluation guard (" +
+            std::to_string(options.max_uncertain_mutations) + ")");
+    }
+
+    UncertainVerdict verdict;
+    verdict.scenario_id = scenario.id;
+
+    std::map<std::string, std::size_t> violated_count;
+    const std::size_t worlds = static_cast<std::size_t>(1) << k;
+    for (std::size_t mask = 0; mask < worlds; ++mask) {
+        security::AttackScenario world;
+        world.id = scenario.id + "_w" + std::to_string(mask);
+        world.likelihood = scenario.likelihood;
+        world.mutations = scenario.certain;
+        for (std::size_t bit = 0; bit < k; ++bit) {
+            if (mask & (static_cast<std::size_t>(1) << bit)) {
+                world.mutations.push_back(scenario.uncertain[bit]);
+            }
+        }
+        std::sort(world.mutations.begin(), world.mutations.end());
+        world.mutations.erase(std::unique(world.mutations.begin(), world.mutations.end()),
+                              world.mutations.end());
+
+        auto evaluated = analysis.evaluate(world, active_mitigations);
+        if (!evaluated.ok()) return Result<UncertainVerdict>::failure(evaluated.error());
+        for (const std::string& requirement : evaluated.value().violated_requirements) {
+            ++violated_count[requirement];
+        }
+    }
+    verdict.worlds_evaluated = worlds;
+
+    for (const Requirement& requirement : analysis.requirements()) {
+        const std::size_t violated =
+            violated_count.count(requirement.id) > 0 ? violated_count.at(requirement.id) : 0;
+        verdict.violating_worlds[requirement.id] = violated;
+        HazardRegion region = HazardRegion::Boundary;
+        if (violated == 0) {
+            region = HazardRegion::Negative;
+        } else if (violated == worlds) {
+            region = HazardRegion::Positive;
+        }
+        verdict.regions[requirement.id] = region;
+    }
+    return verdict;
+}
+
+}  // namespace cprisk::epa

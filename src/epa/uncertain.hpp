@@ -1,0 +1,64 @@
+// cprisk/epa/uncertain.hpp
+//
+// Rough-set-extended EPA (paper §V-B, ref [32]): epistemic uncertainty about
+// which fault modes are actually active is handled by evaluating the
+// *possible worlds* spanned by the uncertain mutations and classifying each
+// requirement into the three RST regions:
+//
+//   Positive  — violated in every possible world (certain hazard);
+//   Negative  — violated in no possible world (certainly safe);
+//   Boundary  — violated in some worlds only: the available knowledge cannot
+//               decide, so the analyst must refine the model or consult an
+//               expert (exactly the §V-A escalation rule).
+//
+// The classification is exact: propagation is not assumed monotone in the
+// injected fault set (conflicting stuck-at faults can mask each other), so
+// all 2^k subsets of the uncertain mutations are evaluated (k is bounded).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "epa/epa.hpp"
+
+namespace cprisk::epa {
+
+/// A scenario whose mutation set is only partially known.
+struct UncertainScenario {
+    std::string id;
+    std::vector<security::Mutation> certain;    ///< definitely active
+    std::vector<security::Mutation> uncertain;  ///< possibly active
+    qual::Level likelihood = qual::Level::Medium;
+};
+
+enum class HazardRegion : std::uint8_t { Positive, Negative, Boundary };
+
+std::string_view to_string(HazardRegion region);
+
+struct UncertainVerdict {
+    std::string scenario_id;
+    /// Region per requirement id.
+    std::map<std::string, HazardRegion> regions;
+    std::size_t worlds_evaluated = 0;
+    /// Worlds in which each requirement is violated (counts, for reporting).
+    std::map<std::string, std::size_t> violating_worlds;
+
+    bool certainly_hazardous() const;   ///< some requirement in Positive
+    bool possibly_hazardous() const;    ///< some requirement not Negative
+    std::vector<std::string> boundary_requirements() const;
+};
+
+struct UncertainOptions {
+    /// Guard: 2^k worlds are evaluated; larger scenarios fail.
+    std::size_t max_uncertain_mutations = 12;
+};
+
+/// Classifies each requirement of `analysis` into RST regions for the given
+/// uncertain scenario.
+Result<UncertainVerdict> evaluate_uncertain(const ErrorPropagationAnalysis& analysis,
+                                            const UncertainScenario& scenario,
+                                            const std::vector<std::string>& active_mitigations,
+                                            const UncertainOptions& options = {});
+
+}  // namespace cprisk::epa

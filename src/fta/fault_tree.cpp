@@ -1,0 +1,254 @@
+#include "fta/fault_tree.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace cprisk::fta {
+
+std::string_view to_string(GateType type) {
+    return type == GateType::And ? "AND" : "OR";
+}
+
+Result<void> FaultTree::add_event(BasicEvent event) {
+    if (event.id.empty()) return Result<void>::failure("basic event id must be non-empty");
+    if (has_node(event.id)) return Result<void>::failure("duplicate node id '" + event.id + "'");
+    events_.emplace(event.id, std::move(event));
+    return {};
+}
+
+Result<void> FaultTree::add_gate(Gate gate) {
+    if (gate.id.empty()) return Result<void>::failure("gate id must be non-empty");
+    if (has_node(gate.id)) return Result<void>::failure("duplicate node id '" + gate.id + "'");
+    if (gate.inputs.empty()) return Result<void>::failure("gate '" + gate.id + "' has no inputs");
+    gates_.emplace(gate.id, std::move(gate));
+    return {};
+}
+
+Result<void> FaultTree::set_top(const std::string& id) {
+    if (!has_node(id)) return Result<void>::failure("top node '" + id + "' unknown");
+    top_ = id;
+    return {};
+}
+
+bool FaultTree::has_node(const std::string& id) const {
+    return events_.count(id) > 0 || gates_.count(id) > 0;
+}
+
+const Gate* FaultTree::find_gate(const std::string& id) const {
+    auto it = gates_.find(id);
+    return it == gates_.end() ? nullptr : &it->second;
+}
+
+const BasicEvent* FaultTree::find_event(const std::string& id) const {
+    auto it = events_.find(id);
+    return it == events_.end() ? nullptr : &it->second;
+}
+
+Result<void> FaultTree::validate() const {
+    if (top_.empty()) return Result<void>::failure("fault tree has no top event");
+    // All gate inputs resolve; DFS cycle check.
+    for (const auto& [id, gate] : gates_) {
+        for (const std::string& input : gate.inputs) {
+            if (!has_node(input)) {
+                return Result<void>::failure("gate '" + id + "' references unknown node '" +
+                                             input + "'");
+            }
+        }
+    }
+    std::set<std::string> visiting;
+    std::set<std::string> done;
+    std::function<Result<void>(const std::string&)> visit =
+        [&](const std::string& id) -> Result<void> {
+        if (done.count(id) > 0) return {};
+        if (!visiting.insert(id).second) {
+            return Result<void>::failure("cycle through node '" + id + "'");
+        }
+        if (const Gate* gate = find_gate(id)) {
+            for (const std::string& input : gate->inputs) {
+                auto r = visit(input);
+                if (!r.ok()) return r;
+            }
+        }
+        visiting.erase(id);
+        done.insert(id);
+        return {};
+    };
+    return visit(top_);
+}
+
+Result<std::vector<CutSet>> FaultTree::minimal_cut_sets() const {
+    auto valid = validate();
+    if (!valid.ok()) return Result<std::vector<CutSet>>::failure(valid.error());
+
+    // Top-down expansion: each node yields a list of cut sets.
+    std::function<std::vector<CutSet>(const std::string&)> expand =
+        [&](const std::string& id) -> std::vector<CutSet> {
+        if (find_event(id) != nullptr) return {CutSet{id}};
+        const Gate* gate = find_gate(id);
+        std::vector<CutSet> result;
+        if (gate->type == GateType::Or) {
+            for (const std::string& input : gate->inputs) {
+                auto sub = expand(input);
+                result.insert(result.end(), sub.begin(), sub.end());
+            }
+        } else {  // And: cross product unions
+            result = {CutSet{}};
+            for (const std::string& input : gate->inputs) {
+                auto sub = expand(input);
+                std::vector<CutSet> next;
+                for (const CutSet& left : result) {
+                    for (const CutSet& right : sub) {
+                        CutSet merged = left;
+                        merged.insert(right.begin(), right.end());
+                        next.push_back(std::move(merged));
+                    }
+                }
+                result = std::move(next);
+            }
+        }
+        return result;
+    };
+
+    std::vector<CutSet> raw = expand(top_);
+    // Absorption: drop supersets and duplicates; smaller sets first.
+    std::sort(raw.begin(), raw.end(), [](const CutSet& a, const CutSet& b) {
+        if (a.size() != b.size()) return a.size() < b.size();
+        return a < b;
+    });
+    std::vector<CutSet> minimal;
+    for (const CutSet& candidate : raw) {
+        const bool absorbed = std::any_of(
+            minimal.begin(), minimal.end(), [&](const CutSet& kept) {
+                return std::includes(candidate.begin(), candidate.end(), kept.begin(),
+                                     kept.end());
+            });
+        if (!absorbed) minimal.push_back(candidate);
+    }
+    return minimal;
+}
+
+qual::Level cut_set_likelihood(const CutSet& cut, const FaultTree& tree,
+                               const std::map<std::string, qual::Level>& likelihoods) {
+    (void)tree;
+    if (cut.empty()) return qual::Level::VeryHigh;  // empty cut: always occurs
+    qual::Level combined = qual::Level::VeryHigh;
+    bool first = true;
+    for (const std::string& id : cut) {
+        auto it = likelihoods.find(id);
+        const qual::Level l = it == likelihoods.end() ? qual::Level::Medium : it->second;
+        if (first) {
+            combined = l;
+            first = false;
+        } else {
+            combined = qual::shift(qual::qmin(combined, l), -1);
+        }
+    }
+    return combined;
+}
+
+Result<qual::Level> FaultTree::top_likelihood() const {
+    auto cut_sets = minimal_cut_sets();
+    if (!cut_sets.ok()) return Result<qual::Level>::failure(cut_sets.error());
+    std::map<std::string, qual::Level> likelihoods;
+    for (const auto& [id, event] : events_) likelihoods.emplace(id, event.likelihood);
+    qual::Level top = qual::Level::VeryLow;
+    for (const CutSet& cut : cut_sets.value()) {
+        top = qual::qmax(top, cut_set_likelihood(cut, *this, likelihoods));
+    }
+    return top;
+}
+
+Result<qual::Level> FaultTree::importance(const std::string& event_id) const {
+    if (find_event(event_id) == nullptr) {
+        return Result<qual::Level>::failure("unknown basic event '" + event_id + "'");
+    }
+    auto cut_sets = minimal_cut_sets();
+    if (!cut_sets.ok()) return Result<qual::Level>::failure(cut_sets.error());
+    std::map<std::string, qual::Level> likelihoods;
+    for (const auto& [id, event] : events_) likelihoods.emplace(id, event.likelihood);
+    qual::Level best = qual::Level::VeryLow;
+    bool member = false;
+    for (const CutSet& cut : cut_sets.value()) {
+        if (cut.count(event_id) == 0) continue;
+        member = true;
+        best = qual::qmax(best, cut_set_likelihood(cut, *this, likelihoods));
+    }
+    return member ? best : qual::Level::VeryLow;
+}
+
+std::string FaultTree::to_string() const {
+    std::string out;
+    std::function<void(const std::string&, int)> render = [&](const std::string& id, int depth) {
+        out.append(static_cast<std::size_t>(depth) * 2, ' ');
+        if (const BasicEvent* event = find_event(id)) {
+            out += id + " [" + std::string(qual::to_short_string(event->likelihood)) + "]";
+            if (!event->description.empty()) out += " — " + event->description;
+            out += "\n";
+            return;
+        }
+        const Gate* gate = find_gate(id);
+        out += id + " (" + std::string(fta::to_string(gate->type)) + ")\n";
+        for (const std::string& input : gate->inputs) render(input, depth + 1);
+    };
+    if (!top_.empty()) render(top_, 0);
+    return out;
+}
+
+Result<FaultTree> from_verdicts(const std::string& requirement_id,
+                                const std::vector<epa::ScenarioVerdict>& verdicts,
+                                const model::SystemModel& model) {
+    FaultTree tree;
+    Gate top;
+    top.id = "violation_" + requirement_id;
+    top.type = GateType::Or;
+
+    for (const epa::ScenarioVerdict& verdict : verdicts) {
+        if (!verdict.violates(requirement_id)) continue;
+        if (verdict.injected.empty()) continue;
+
+        // Basic events: the injected mutations, with model likelihoods.
+        std::vector<std::string> event_ids;
+        for (const security::Mutation& mutation : verdict.injected) {
+            const std::string event_id = mutation.component + "." + mutation.fault_id;
+            if (!tree.has_node(event_id)) {
+                BasicEvent event;
+                event.id = event_id;
+                event.description = mutation.fault_id + " on " + mutation.component;
+                if (model.has_component(mutation.component)) {
+                    const model::FaultMode* mode =
+                        model.component(mutation.component).find_fault_mode(mutation.fault_id);
+                    if (mode != nullptr) event.likelihood = mode->likelihood;
+                }
+                auto added = tree.add_event(std::move(event));
+                if (!added.ok()) return Result<FaultTree>::failure(added.error());
+            }
+            event_ids.push_back(event_id);
+        }
+
+        if (event_ids.size() == 1) {
+            top.inputs.push_back(event_ids[0]);
+        } else {
+            Gate scenario_gate;
+            scenario_gate.id = "scenario_" + verdict.scenario_id + "_" + requirement_id;
+            scenario_gate.type = GateType::And;
+            scenario_gate.inputs = event_ids;
+            auto added = tree.add_gate(std::move(scenario_gate));
+            if (!added.ok()) return Result<FaultTree>::failure(added.error());
+            top.inputs.push_back("scenario_" + verdict.scenario_id + "_" + requirement_id);
+        }
+    }
+    if (top.inputs.empty()) {
+        return Result<FaultTree>::failure("no scenario violates requirement '" + requirement_id +
+                                          "'");
+    }
+    // Deduplicate direct inputs.
+    std::sort(top.inputs.begin(), top.inputs.end());
+    top.inputs.erase(std::unique(top.inputs.begin(), top.inputs.end()), top.inputs.end());
+    auto added = tree.add_gate(std::move(top));
+    if (!added.ok()) return Result<FaultTree>::failure(added.error());
+    auto set = tree.set_top("violation_" + requirement_id);
+    if (!set.ok()) return Result<FaultTree>::failure(set.error());
+    return tree;
+}
+
+}  // namespace cprisk::fta

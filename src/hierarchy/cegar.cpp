@@ -1,0 +1,84 @@
+#include "hierarchy/cegar.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace cprisk::hierarchy {
+
+std::size_t CegarResult::total_spurious() const {
+    std::size_t total = 0;
+    for (const auto& stage : eliminated_per_stage) total += stage.size();
+    return total;
+}
+
+Result<CegarResult> run_cegar(const std::vector<CegarStage>& stages,
+                              const security::ScenarioSpace& space,
+                              const epa::MitigationMap& mitigations,
+                              const std::vector<std::string>& active_mitigations) {
+    if (stages.empty()) return Result<CegarResult>::failure("CEGAR: no stages given");
+
+    CegarResult result;
+
+    // Candidates: all scenarios initially.
+    std::vector<const security::AttackScenario*> candidates;
+    candidates.reserve(space.size());
+    for (const security::AttackScenario& scenario : space.scenarios()) {
+        candidates.push_back(&scenario);
+    }
+
+    std::map<std::string, epa::ScenarioVerdict> last_verdicts;
+
+    for (const CegarStage& stage : stages) {
+        if (stage.model == nullptr) {
+            return Result<CegarResult>::failure("CEGAR: stage '" + stage.name + "' has no model");
+        }
+        epa::EpaOptions options;
+        options.focus = stage.focus;
+        options.horizon = stage.horizon;
+        auto epa = epa::ErrorPropagationAnalysis::create(*stage.model, stage.requirements,
+                                                         mitigations, options);
+        if (!epa.ok()) {
+            return Result<CegarResult>::failure("CEGAR stage '" + stage.name +
+                                                "': " + epa.error());
+        }
+
+        CegarIterationStats stats;
+        stats.stage_name = stage.name;
+        stats.candidates_in = candidates.size();
+
+        std::vector<const security::AttackScenario*> survivors;
+        std::vector<std::string> eliminated;
+        for (const security::AttackScenario* scenario : candidates) {
+            auto verdict = epa.value().evaluate(*scenario, active_mitigations);
+            if (!verdict.ok()) return Result<CegarResult>::failure(verdict.error());
+            if (verdict.value().any_violation()) {
+                survivors.push_back(scenario);
+                last_verdicts[scenario->id] = std::move(verdict).value();
+            } else {
+                eliminated.push_back(scenario->id);
+                last_verdicts.erase(scenario->id);
+            }
+        }
+
+        stats.hazards_out = survivors.size();
+        // Round 1 filters non-hazards (not "spurious" — they were never
+        // flagged); later rounds eliminate previously flagged candidates.
+        stats.spurious_eliminated = (&stage == &stages.front()) ? 0 : eliminated.size();
+        result.iterations.push_back(stats);
+        result.eliminated_per_stage.push_back(&stage == &stages.front()
+                                                  ? std::vector<std::string>{}
+                                                  : std::move(eliminated));
+        candidates = std::move(survivors);
+    }
+
+    for (const security::AttackScenario* scenario : candidates) {
+        result.confirmed.push_back(last_verdicts.at(scenario->id));
+    }
+    std::sort(result.confirmed.begin(), result.confirmed.end(),
+              [](const epa::ScenarioVerdict& a, const epa::ScenarioVerdict& b) {
+                  return a.scenario_id < b.scenario_id;
+              });
+    return result;
+}
+
+}  // namespace cprisk::hierarchy

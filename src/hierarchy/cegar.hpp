@@ -1,0 +1,61 @@
+// cprisk/hierarchy/cegar.hpp
+//
+// CEGAR-styled hazard refinement (paper step 5): "the shortlist of
+// potentially successful attacks may contain spurious solutions due to
+// over-abstraction (but the method guarantees that no actual hazardous
+// attack is overlooked). This way, a successive iteration after CEGAR-styled
+// model refinement and re-analysis ... is needed to eliminate false
+// solutions."
+//
+// Round 1 runs the abstract (topology-focus) analysis over the scenario
+// space, producing candidate hazards. Each further round re-evaluates only
+// the surviving candidates under a more precise analysis (behavioural
+// focus, optionally on a structurally refined model); candidates that stop
+// violating are recorded as spurious and eliminated. The soundness property
+// — every hazard confirmed at the concrete level was already flagged
+// abstractly — is property-tested in tests/hierarchy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "epa/epa.hpp"
+#include "security/scenario.hpp"
+
+namespace cprisk::hierarchy {
+
+/// One refinement stage: an analysis configuration of increasing precision.
+struct CegarStage {
+    std::string name;  ///< e.g. "topology", "behavioral", "behavioral+refined"
+    const model::SystemModel* model = nullptr;
+    epa::AnalysisFocus focus = epa::AnalysisFocus::Topology;
+    std::vector<epa::Requirement> requirements;
+    int horizon = 4;
+};
+
+struct CegarIterationStats {
+    std::string stage_name;
+    std::size_t candidates_in = 0;   ///< scenarios entering this round
+    std::size_t hazards_out = 0;     ///< still violating after this round
+    std::size_t spurious_eliminated = 0;
+};
+
+struct CegarResult {
+    /// Verdicts of scenarios still hazardous after the last stage.
+    std::vector<epa::ScenarioVerdict> confirmed;
+    /// Scenario ids eliminated as spurious, per stage.
+    std::vector<std::vector<std::string>> eliminated_per_stage;
+    std::vector<CegarIterationStats> iterations;
+
+    std::size_t total_spurious() const;
+};
+
+/// Runs the staged refinement over `space`. Stages must be ordered from the
+/// most abstract to the most precise; every scenario is evaluated at stage
+/// 0, and only surviving candidates are re-evaluated at later stages.
+Result<CegarResult> run_cegar(const std::vector<CegarStage>& stages,
+                              const security::ScenarioSpace& space,
+                              const epa::MitigationMap& mitigations,
+                              const std::vector<std::string>& active_mitigations);
+
+}  // namespace cprisk::hierarchy

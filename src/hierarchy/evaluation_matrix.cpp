@@ -1,0 +1,64 @@
+#include "hierarchy/evaluation_matrix.hpp"
+
+namespace cprisk::hierarchy {
+
+std::string_view to_string(AssetLevel level) {
+    switch (level) {
+        case AssetLevel::MainAssets: return "main assets";
+        case AssetLevel::RefinedAssets: return "refined assets";
+    }
+    return "?";
+}
+
+std::string_view to_string(ThreatLevel level) {
+    switch (level) {
+        case ThreatLevel::HighLevelAspects: return "high-level aspects";
+        case ThreatLevel::SpecificFaults: return "specific faults/vulnerabilities";
+        case ThreatLevel::Mitigations: return "mitigation mechanisms";
+    }
+    return "?";
+}
+
+TextTable evaluation_matrix_table() {
+    TextTable table({"Assets \\ Threats", "high-level aspects", "specific faults/vulns",
+                     "mitigation mechanisms"});
+    table.add_row({"main assets", "1. topology-based propagation", "-", "-"});
+    table.add_row({"refined assets", "-", "2. detailed propagation analysis",
+                   "3. mitigation plan"});
+    return table;
+}
+
+Result<HierarchicalResult> run_hierarchical_evaluation(
+    const HierarchicalConfig& config, const security::ScenarioSpace& space,
+    const security::AttackMatrix& matrix, const epa::MitigationMap& mitigations,
+    const std::vector<std::string>& active_mitigations) {
+    if (config.abstract_model == nullptr) {
+        return Result<HierarchicalResult>::failure("hierarchical evaluation: no abstract model");
+    }
+    const model::SystemModel* refined =
+        config.refined_model != nullptr ? config.refined_model : config.abstract_model;
+
+    // Focus 1 -> focus 2 as a two-stage CEGAR pipeline.
+    std::vector<CegarStage> stages;
+    stages.push_back(CegarStage{"focus1:topology", config.abstract_model,
+                                epa::AnalysisFocus::Topology, config.abstract_requirements,
+                                config.horizon});
+    stages.push_back(CegarStage{"focus2:behavioral", refined, epa::AnalysisFocus::Behavioral,
+                                config.detailed_requirements, config.horizon});
+    auto cegar = run_cegar(stages, space, mitigations, active_mitigations);
+    if (!cegar.ok()) return Result<HierarchicalResult>::failure(cegar.error());
+
+    HierarchicalResult result;
+    result.cegar = std::move(cegar).value();
+    result.focus1_hazards = result.cegar.iterations.front().hazards_out;
+    result.focus2_hazards = result.cegar.iterations.back().hazards_out;
+    result.spurious_eliminated = result.cegar.total_spurious();
+
+    // Focus 3: mitigation plan over the confirmed hazards.
+    mitigation::MitigationProblem problem = mitigation::MitigationProblem::build(
+        space, result.cegar.confirmed, matrix, mitigations);
+    result.mitigation_plan = mitigation::optimize_exact(problem);
+    return result;
+}
+
+}  // namespace cprisk::hierarchy

@@ -1,0 +1,59 @@
+// cprisk/hierarchy/evaluation_matrix.hpp
+//
+// The hierarchical evaluation matrix of Fig. 3: asset-type refinements
+// arranged on one axis, threat refinements on the other, with the three key
+// evaluation focuses placed in the cells:
+//
+//   1. topology-based propagation  — main assets x high-level aspects;
+//   2. detailed propagation        — refined assets x specific faults;
+//   3. mitigation plan             — refined assets x mitigation mechanisms.
+//
+// `HierarchicalEvaluation` orchestrates the three focuses over a model (and
+// optionally its refined variant), feeding focus-1 candidates through the
+// CEGAR loop into focus 2 and handing confirmed hazards to the focus-3
+// mitigation optimizer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "hierarchy/cegar.hpp"
+#include "mitigation/optimizer.hpp"
+
+namespace cprisk::hierarchy {
+
+/// Asset refinement levels (vertical axis of Fig. 3).
+enum class AssetLevel : std::uint8_t { MainAssets, RefinedAssets };
+/// Threat refinement levels (horizontal axis of Fig. 3).
+enum class ThreatLevel : std::uint8_t { HighLevelAspects, SpecificFaults, Mitigations };
+
+std::string_view to_string(AssetLevel level);
+std::string_view to_string(ThreatLevel level);
+
+/// Renders the Fig. 3 matrix: which evaluation focus occupies which cell.
+TextTable evaluation_matrix_table();
+
+struct HierarchicalConfig {
+    const model::SystemModel* abstract_model = nullptr;  ///< main assets
+    const model::SystemModel* refined_model = nullptr;   ///< after asset refinement
+    std::vector<epa::Requirement> abstract_requirements;  ///< high-level aspects
+    std::vector<epa::Requirement> detailed_requirements;  ///< specific faults
+    int horizon = 4;
+};
+
+struct HierarchicalResult {
+    CegarResult cegar;                       ///< focus 1 -> focus 2 pipeline
+    mitigation::Selection mitigation_plan;   ///< focus 3 outcome
+    std::size_t focus1_hazards = 0;
+    std::size_t focus2_hazards = 0;
+    std::size_t spurious_eliminated = 0;
+};
+
+/// Runs the full three-focus hierarchical evaluation.
+Result<HierarchicalResult> run_hierarchical_evaluation(
+    const HierarchicalConfig& config, const security::ScenarioSpace& space,
+    const security::AttackMatrix& matrix, const epa::MitigationMap& mitigations,
+    const std::vector<std::string>& active_mitigations = {});
+
+}  // namespace cprisk::hierarchy

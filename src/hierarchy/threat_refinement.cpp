@@ -1,0 +1,110 @@
+#include "hierarchy/threat_refinement.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace cprisk::hierarchy {
+
+std::string_view to_string(ThreatAspect aspect) {
+    switch (aspect) {
+        case ThreatAspect::Availability: return "availability";
+        case ThreatAspect::Integrity: return "integrity";
+    }
+    return "?";
+}
+
+namespace {
+
+/// Effect class -> endangered aspect. Omission/delay stop the service
+/// (availability); value-domain effects corrupt it (integrity); a
+/// compromise endangers both.
+bool endangers(model::FaultEffect effect, ThreatAspect aspect) {
+    switch (effect) {
+        case model::FaultEffect::Omission:
+        case model::FaultEffect::Delay:
+            return aspect == ThreatAspect::Availability;
+        case model::FaultEffect::StuckAt:
+        case model::FaultEffect::Corruption:
+            return aspect == ThreatAspect::Integrity;
+        case model::FaultEffect::Compromise: return true;
+    }
+    return false;
+}
+
+}  // namespace
+
+ThreatRefinementResult refine_threats(const model::SystemModel& model,
+                                      const std::vector<epa::ScenarioVerdict>& verdicts,
+                                      const epa::MitigationMap& mitigation_map) {
+    ThreatRefinementResult result;
+
+    // --- level 1: endangered aspects of OT assets --------------------------
+    for (const model::Component& asset : model.components()) {
+        if (!model::is_ot(asset.type)) continue;
+        if (model.is_refined(asset.id)) continue;
+        for (ThreatAspect aspect : {ThreatAspect::Availability, ThreatAspect::Integrity}) {
+            EndangeredAspect finding;
+            finding.asset = asset.id;
+            finding.aspect = aspect;
+            for (const model::Component& source : model.components()) {
+                if (model.is_refined(source.id)) continue;
+                const bool has_matching_fault = std::any_of(
+                    source.fault_modes.begin(), source.fault_modes.end(),
+                    [&](const model::FaultMode& mode) { return endangers(mode.effect, aspect); });
+                if (!has_matching_fault) continue;
+                const bool reaches =
+                    source.id == asset.id || model.reachable_from(source.id).count(asset.id) > 0;
+                if (reaches) finding.sources.push_back(source.id);
+            }
+            if (!finding.sources.empty()) result.endangered.push_back(std::move(finding));
+        }
+    }
+
+    // --- level 2: concrete threats from the EPA verdicts --------------------
+    std::map<std::string, ConcreteThreat> ranked;
+    for (const epa::ScenarioVerdict& verdict : verdicts) {
+        if (!verdict.any_violation()) continue;
+        for (const security::Mutation& mutation : verdict.injected) {
+            auto [it, inserted] =
+                ranked.emplace(mutation.to_string(), ConcreteThreat{mutation});
+            it->second.severity = qual::qmax(it->second.severity, verdict.severity);
+        }
+    }
+    for (auto& [key, value] : ranked) {
+        (void)key;
+        result.concrete_threats.push_back(std::move(value));
+    }
+    std::sort(result.concrete_threats.begin(), result.concrete_threats.end(),
+              [](const ConcreteThreat& a, const ConcreteThreat& b) {
+                  if (a.severity != b.severity) return b.severity < a.severity;
+                  return a.mutation < b.mutation;
+              });
+
+    // --- level 3: mitigation attachment --------------------------------------
+    for (const ConcreteThreat& threat : result.concrete_threats) {
+        std::vector<std::string> applicable;
+        for (const epa::MitigationMap::Entry& entry : mitigation_map.entries()) {
+            if (entry.component == threat.mutation.component &&
+                entry.fault_id == threat.mutation.fault_id) {
+                if (std::find(applicable.begin(), applicable.end(), entry.mitigation_id) ==
+                    applicable.end()) {
+                    applicable.push_back(entry.mitigation_id);
+                }
+            }
+        }
+        if (!applicable.empty()) {
+            result.mitigations.emplace(threat.mutation.to_string(), applicable);
+        }
+    }
+    return result;
+}
+
+std::vector<security::Mutation> ThreatRefinementResult::unmitigated() const {
+    std::vector<security::Mutation> out;
+    for (const ConcreteThreat& threat : concrete_threats) {
+        if (mitigations.count(threat.mutation.to_string()) == 0) out.push_back(threat.mutation);
+    }
+    return out;
+}
+
+}  // namespace cprisk::hierarchy

@@ -1,0 +1,69 @@
+// cprisk/hierarchy/threat_refinement.hpp
+//
+// The three threat refinement levels of the paper's §VI: "The first level is
+// concerned with high-level aspects such as reliability, availability, and
+// timeliness. At the second level, specific faults and vulnerabilities in
+// the system are identified. Finally, at the lowest level, mitigation
+// mechanisms are introduced."
+//
+//   Level 1 — per critical asset, which dependability aspects are endangered
+//             at all (derived from the fault-effect classes that can reach
+//             the asset through the topology);
+//   Level 2 — the concrete (component, fault-mode) pairs confirmed by the
+//             EPA to cause requirement violations;
+//   Level 3 — the mitigation mechanisms attached to those concrete threats.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "epa/epa.hpp"
+#include "security/scenario.hpp"
+
+namespace cprisk::hierarchy {
+
+/// Dependability aspects tracked at refinement level 1.
+enum class ThreatAspect : std::uint8_t {
+    Availability,  ///< service delivery can stop (omission/delay effects)
+    Integrity,     ///< service can go wrong (corruption/stuck-at/compromise)
+};
+
+std::string_view to_string(ThreatAspect aspect);
+
+/// Level-1 finding: an endangered aspect of a critical asset.
+struct EndangeredAspect {
+    model::ComponentId asset;
+    ThreatAspect aspect = ThreatAspect::Integrity;
+    /// Fault sources that can reach the asset with a matching effect class.
+    std::vector<model::ComponentId> sources;
+};
+
+/// Level-2 finding: a mutation confirmed to participate in some requirement
+/// violation, with the worst impact severity it was involved in.
+struct ConcreteThreat {
+    security::Mutation mutation;
+    qual::Level severity = qual::Level::VeryLow;
+};
+
+struct ThreatRefinementResult {
+    /// Level 1: endangered aspects of OT assets (topology + effect class).
+    std::vector<EndangeredAspect> endangered;
+    /// Level 2: concrete threats, most severe first.
+    std::vector<ConcreteThreat> concrete_threats;
+    /// Level 3: mitigation ids applicable to each concrete threat
+    /// (keyed by Mutation::to_string()). Threats without entries have no
+    /// known mitigation — residual risk.
+    std::map<std::string, std::vector<std::string>> mitigations;
+
+    /// Concrete threats with no applicable mitigation.
+    std::vector<security::Mutation> unmitigated() const;
+};
+
+/// Runs all three refinement levels. `verdicts` must come from an EPA run
+/// over `model` (any focus).
+ThreatRefinementResult refine_threats(const model::SystemModel& model,
+                                      const std::vector<epa::ScenarioVerdict>& verdicts,
+                                      const epa::MitigationMap& mitigation_map);
+
+}  // namespace cprisk::hierarchy

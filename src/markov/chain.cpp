@@ -1,0 +1,151 @@
+#include "markov/chain.hpp"
+
+#include <cmath>
+
+namespace cprisk::markov {
+
+Result<std::size_t> MarkovChain::add_state(std::string id) {
+    if (id.empty()) return Result<std::size_t>::failure("state id must be non-empty");
+    if (has_state(id)) return Result<std::size_t>::failure("duplicate state '" + id + "'");
+    const std::size_t index = names_.size();
+    ids_.emplace(id, index);
+    names_.push_back(std::move(id));
+    for (auto& row : p_) row.push_back(0.0);
+    p_.emplace_back(names_.size(), 0.0);
+    return index;
+}
+
+bool MarkovChain::has_state(const std::string& id) const { return ids_.count(id) > 0; }
+
+const std::string& MarkovChain::state_name(std::size_t index) const {
+    require(index < names_.size(), "MarkovChain: state index out of range");
+    return names_[index];
+}
+
+Result<std::size_t> MarkovChain::state_index(const std::string& id) const {
+    auto it = ids_.find(id);
+    if (it == ids_.end()) return Result<std::size_t>::failure("unknown state '" + id + "'");
+    return it->second;
+}
+
+Result<void> MarkovChain::set_transition(const std::string& from, const std::string& to,
+                                         double probability) {
+    auto i = state_index(from);
+    if (!i.ok()) return Result<void>::failure(i.error());
+    auto j = state_index(to);
+    if (!j.ok()) return Result<void>::failure(j.error());
+    if (probability < 0.0 || probability > 1.0) {
+        return Result<void>::failure("probability out of [0,1]");
+    }
+    p_[i.value()][j.value()] = probability;
+    return {};
+}
+
+Result<void> MarkovChain::make_absorbing(const std::string& state) {
+    auto i = state_index(state);
+    if (!i.ok()) return Result<void>::failure(i.error());
+    for (double& cell : p_[i.value()]) cell = 0.0;
+    p_[i.value()][i.value()] = 1.0;
+    return {};
+}
+
+Result<void> MarkovChain::validate() const {
+    if (names_.empty()) return Result<void>::failure("chain has no states");
+    for (std::size_t i = 0; i < p_.size(); ++i) {
+        double sum = 0.0;
+        for (double cell : p_[i]) sum += cell;
+        if (std::abs(sum - 1.0) > 1e-9) {
+            return Result<void>::failure("row '" + names_[i] + "' sums to " +
+                                         std::to_string(sum) + ", expected 1");
+        }
+    }
+    return {};
+}
+
+Result<std::vector<double>> MarkovChain::distribution_after(const std::string& initial,
+                                                            std::size_t steps) const {
+    auto valid = validate();
+    if (!valid.ok()) return Result<std::vector<double>>::failure(valid.error());
+    auto start = state_index(initial);
+    if (!start.ok()) return Result<std::vector<double>>::failure(start.error());
+
+    std::vector<double> dist(names_.size(), 0.0);
+    dist[start.value()] = 1.0;
+    std::vector<double> next(names_.size(), 0.0);
+    for (std::size_t step = 0; step < steps; ++step) {
+        std::fill(next.begin(), next.end(), 0.0);
+        for (std::size_t i = 0; i < names_.size(); ++i) {
+            if (dist[i] == 0.0) continue;
+            for (std::size_t j = 0; j < names_.size(); ++j) {
+                next[j] += dist[i] * p_[i][j];
+            }
+        }
+        dist.swap(next);
+    }
+    return dist;
+}
+
+Result<double> MarkovChain::reach_probability(const std::string& initial,
+                                              const std::vector<std::string>& targets,
+                                              std::size_t horizon) const {
+    // Copy with targets absorbing, then sum their mass after `horizon`.
+    MarkovChain absorbed = *this;
+    for (const std::string& target : targets) {
+        auto made = absorbed.make_absorbing(target);
+        if (!made.ok()) return Result<double>::failure(made.error());
+    }
+    auto dist = absorbed.distribution_after(initial, horizon);
+    if (!dist.ok()) return Result<double>::failure(dist.error());
+    double mass = 0.0;
+    for (const std::string& target : targets) {
+        mass += dist.value()[absorbed.state_index(target).value()];
+    }
+    return mass;
+}
+
+Result<std::vector<double>> MarkovChain::stationary(std::size_t iterations,
+                                                    double tolerance) const {
+    auto valid = validate();
+    if (!valid.ok()) return Result<std::vector<double>>::failure(valid.error());
+    std::vector<double> dist(names_.size(), 1.0 / static_cast<double>(names_.size()));
+    std::vector<double> next(names_.size(), 0.0);
+    for (std::size_t iteration = 0; iteration < iterations; ++iteration) {
+        std::fill(next.begin(), next.end(), 0.0);
+        for (std::size_t i = 0; i < names_.size(); ++i) {
+            for (std::size_t j = 0; j < names_.size(); ++j) {
+                next[j] += dist[i] * p_[i][j];
+            }
+        }
+        double delta = 0.0;
+        for (std::size_t i = 0; i < names_.size(); ++i) {
+            delta += std::abs(next[i] - dist[i]);
+        }
+        dist.swap(next);
+        if (delta < tolerance) break;
+    }
+    return dist;
+}
+
+double level_to_probability(qual::Level level) {
+    switch (level) {
+        case qual::Level::VeryLow: return 1e-4;
+        case qual::Level::Low: return 1e-3;
+        case qual::Level::Medium: return 1e-2;
+        case qual::Level::High: return 1e-1;
+        case qual::Level::VeryHigh: return 0.5;
+    }
+    return 1e-2;
+}
+
+MarkovChain single_fault_chain(qual::Level likelihood) {
+    MarkovChain chain;
+    (void)chain.add_state("ok");
+    (void)chain.add_state("failed");
+    const double p = level_to_probability(likelihood);
+    (void)chain.set_transition("ok", "failed", p);
+    (void)chain.set_transition("ok", "ok", 1.0 - p);
+    (void)chain.make_absorbing("failed");
+    return chain;
+}
+
+}  // namespace cprisk::markov

@@ -1,0 +1,73 @@
+// cprisk/markov/chain.hpp
+//
+// Discrete-time Markov chains — the second classical EPA baseline the paper
+// discusses (§III-A: "Markov chains and Petri nets are other approaches for
+// EPA but require specific expert knowledge"). The module provides the
+// generic DTMC substrate plus the calibration bridge from the qualitative
+// five-point likelihood scale to per-step probabilities, so qualitative EPA
+// verdicts can be sanity-checked against a probabilistic model (and the
+// expertise gap the paper talks about becomes tangible: compare the model
+// size here with the one-line qualitative statements).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "qualitative/level.hpp"
+
+namespace cprisk::markov {
+
+class MarkovChain {
+public:
+    /// Adds a state; returns its index.
+    Result<std::size_t> add_state(std::string id);
+
+    bool has_state(const std::string& id) const;
+    std::size_t state_count() const { return ids_.size(); }
+    const std::string& state_name(std::size_t index) const;
+    Result<std::size_t> state_index(const std::string& id) const;
+
+    /// Sets P(from -> to). Rows must sum to 1 at validation time.
+    Result<void> set_transition(const std::string& from, const std::string& to,
+                                double probability);
+
+    /// Makes `state` absorbing (self-loop probability 1).
+    Result<void> make_absorbing(const std::string& state);
+
+    /// Every row must be a probability distribution (sum 1 +/- eps).
+    Result<void> validate() const;
+
+    /// Distribution after `steps` transitions from `initial` (a point mass).
+    Result<std::vector<double>> distribution_after(const std::string& initial,
+                                                   std::size_t steps) const;
+
+    /// Probability of reaching any state in `targets` within `horizon` steps
+    /// from `initial` (targets treated as absorbing for the computation).
+    Result<double> reach_probability(const std::string& initial,
+                                     const std::vector<std::string>& targets,
+                                     std::size_t horizon) const;
+
+    /// Stationary distribution by power iteration (for ergodic chains).
+    Result<std::vector<double>> stationary(std::size_t iterations = 10'000,
+                                           double tolerance = 1e-12) const;
+
+private:
+    std::vector<std::string> names_;
+    std::map<std::string, std::size_t> ids_;
+    // row-major transition matrix, lazily sized
+    std::vector<std::vector<double>> p_;
+};
+
+/// Calibration of the qualitative scale to a per-step activation
+/// probability (logarithmic ladder: VL=1e-4, L=1e-3, M=1e-2, H=1e-1,
+/// VH=0.5). The absolute values are analyst-tunable; the *ordering* is what
+/// the qualitative abstraction preserves.
+double level_to_probability(qual::Level level);
+
+/// Builds the standard two-state availability chain of one fault mode:
+/// `ok` --(p)-> `failed` (absorbing), with p from the fault likelihood.
+MarkovChain single_fault_chain(qual::Level likelihood);
+
+}  // namespace cprisk::markov

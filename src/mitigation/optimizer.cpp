@@ -1,0 +1,279 @@
+#include "mitigation/optimizer.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+
+#include "asp/asp.hpp"
+#include "common/strings.hpp"
+
+namespace cprisk::mitigation {
+
+namespace {
+
+Selection finalize(const MitigationProblem& problem, std::vector<std::string> chosen) {
+    std::sort(chosen.begin(), chosen.end());
+    Selection selection;
+    selection.chosen = std::move(chosen);
+    for (const Candidate& candidate : problem.candidates) {
+        if (std::find(selection.chosen.begin(), selection.chosen.end(), candidate.id) !=
+            selection.chosen.end()) {
+            selection.mitigation_cost += candidate.cost;
+        }
+    }
+    for (const Threat& threat : problem.threats) {
+        if (!MitigationProblem::blocks(threat, selection.chosen)) {
+            selection.residual_loss += threat.loss;
+            selection.unblocked.push_back(threat.scenario_id);
+        }
+    }
+    return selection;
+}
+
+}  // namespace
+
+Selection optimize_exact(const MitigationProblem& problem, const OptimizerOptions& options) {
+    const std::size_t n = problem.candidates.size();
+    std::vector<std::string> chosen;
+    std::vector<std::string> best_chosen;
+    long long best_total = std::numeric_limits<long long>::max();
+    long long chosen_cost = 0;
+
+    // Unavoidable loss lower bound: threats no selection of the remaining
+    // candidates (plus current choices) could block.
+    std::function<long long(std::size_t)> unavoidable = [&](std::size_t next) {
+        long long loss = 0;
+        for (const Threat& threat : problem.threats) {
+            bool might_block = true;
+            for (const auto& covers : threat.mutation_covers) {
+                bool coverable = false;
+                for (const std::string& m : covers) {
+                    // Already chosen, or still selectable?
+                    if (std::find(chosen.begin(), chosen.end(), m) != chosen.end()) {
+                        coverable = true;
+                        break;
+                    }
+                    for (std::size_t j = next; j < n; ++j) {
+                        if (problem.candidates[j].id == m) {
+                            coverable = true;
+                            break;
+                        }
+                    }
+                    if (coverable) break;
+                }
+                if (!coverable) {
+                    might_block = false;
+                    break;
+                }
+            }
+            if (!might_block) loss += threat.loss;
+        }
+        return loss;
+    };
+
+    std::function<void(std::size_t)> dfs = [&](std::size_t index) {
+        if (chosen_cost + unavoidable(index) >= best_total) return;  // bound
+        if (index == n) {
+            const long long total = problem.total_cost(chosen);
+            if (total < best_total) {
+                best_total = total;
+                best_chosen = chosen;
+            }
+            return;
+        }
+        const Candidate& candidate = problem.candidates[index];
+        // Include (if within budget).
+        if (!options.budget || chosen_cost + candidate.cost <= *options.budget) {
+            chosen.push_back(candidate.id);
+            chosen_cost += candidate.cost;
+            dfs(index + 1);
+            chosen_cost -= candidate.cost;
+            chosen.pop_back();
+        }
+        // Exclude.
+        dfs(index + 1);
+    };
+    dfs(0);
+    return finalize(problem, best_chosen);
+}
+
+std::string encode_asp(const MitigationProblem& problem) {
+    std::string program;
+    for (const Candidate& candidate : problem.candidates) {
+        const std::string id = to_identifier(candidate.id);
+        program += "cand(" + id + "). cost(" + id + ", " + std::to_string(candidate.cost) +
+                   ").\n";
+    }
+    program += "{ active(M) : cand(M) }.\n";
+    for (const Threat& threat : problem.threats) {
+        const std::string sid = to_identifier(threat.scenario_id);
+        program += "scen(" + sid + "). loss(" + sid + ", " + std::to_string(threat.loss) +
+                   ").\n";
+        for (std::size_t i = 0; i < threat.mutation_covers.size(); ++i) {
+            program += "mut(" + sid + ", " + std::to_string(i) + ").\n";
+            for (const std::string& mitigation : threat.mutation_covers[i]) {
+                program += "covers(" + to_identifier(mitigation) + ", " + sid + ", " +
+                           std::to_string(i) + ").\n";
+            }
+        }
+    }
+    program +=
+        "blocked_mut(S, I) :- covers(M, S, I), active(M).\n"
+        "unblocked(S) :- mut(S, I), not blocked_mut(S, I).\n"
+        ":~ active(M), cost(M, C). [C@1, M]\n"
+        ":~ unblocked(S), loss(S, L). [L@1, S]\n"
+        "#show active/1.\n";
+    return program;
+}
+
+Result<Selection> optimize_asp(const MitigationProblem& problem,
+                               const OptimizerOptions& options) {
+    // Map normalized ids back to original ids.
+    std::map<std::string, std::string> id_map;
+    for (const Candidate& candidate : problem.candidates) {
+        id_map.emplace(to_identifier(candidate.id), candidate.id);
+    }
+
+    std::string program = encode_asp(problem);
+    if (options.budget) {
+        // Native budget constraint via a #sum body aggregate.
+        program += ":- #sum { C, M : active(M), cost(M, C) } > " +
+                   std::to_string(*options.budget) + ".\n";
+    }
+    auto solved = asp::solve_text(program);
+    if (!solved.ok()) return Result<Selection>::failure(solved.error());
+    if (!solved.value().satisfiable || solved.value().models.empty()) {
+        return Result<Selection>::failure("mitigation optimization: no answer set");
+    }
+    const asp::AnswerSet& model = solved.value().models.front();
+    std::vector<std::string> chosen;
+    for (const asp::Atom& atom : model.with_predicate("active")) {
+        if (atom.args.size() == 1 && atom.args[0].is_symbol()) {
+            auto it = id_map.find(atom.args[0].name());
+            if (it != id_map.end()) chosen.push_back(it->second);
+        }
+    }
+    return finalize(problem, std::move(chosen));
+}
+
+HardeningResult harden_attack_cost(const MitigationProblem& problem, long long budget) {
+    const std::size_t n = problem.candidates.size();
+    std::vector<std::string> chosen;
+    long long chosen_cost = 0;
+
+    // Objective of a full selection: (floor, residual, cost) with floor
+    // maximized first (LLONG_MAX when no attacker threat survives).
+    struct Score {
+        long long floor = std::numeric_limits<long long>::min();
+        long long residual = std::numeric_limits<long long>::max();
+        long long cost = std::numeric_limits<long long>::max();
+
+        bool better_than(const Score& other) const {
+            if (floor != other.floor) return floor > other.floor;
+            if (residual != other.residual) return residual < other.residual;
+            return cost < other.cost;
+        }
+    };
+
+    auto evaluate = [&](const std::vector<std::string>& selection,
+                        long long selection_cost) {
+        Score score;
+        score.floor = std::numeric_limits<long long>::max();
+        score.residual = 0;
+        score.cost = selection_cost;
+        for (const Threat& threat : problem.threats) {
+            if (MitigationProblem::blocks(threat, selection)) continue;
+            score.residual += threat.loss;
+            if (threat.attack_cost > 0) {
+                score.floor = std::min(score.floor, threat.attack_cost);
+            }
+        }
+        return score;
+    };
+
+    Score best;
+    std::vector<std::string> best_chosen;
+    bool have_best = false;
+
+    std::function<void(std::size_t)> dfs = [&](std::size_t index) {
+        if (index == n) {
+            const Score score = evaluate(chosen, chosen_cost);
+            if (!have_best || score.better_than(best)) {
+                best = score;
+                best_chosen = chosen;
+                have_best = true;
+            }
+            return;
+        }
+        const Candidate& candidate = problem.candidates[index];
+        if (chosen_cost + candidate.cost <= budget) {
+            chosen.push_back(candidate.id);
+            chosen_cost += candidate.cost;
+            dfs(index + 1);
+            chosen_cost -= candidate.cost;
+            chosen.pop_back();
+        }
+        dfs(index + 1);
+    };
+    dfs(0);
+
+    HardeningResult result;
+    result.selection = finalize(problem, best_chosen);
+    if (best.floor != std::numeric_limits<long long>::max()) {
+        result.cheapest_remaining_attack = best.floor;
+    }
+    return result;
+}
+
+std::vector<Phase> plan_phases(const MitigationProblem& problem, long long budget_per_phase,
+                               std::size_t max_phases) {
+    std::vector<Phase> phases;
+    MitigationProblem residual = problem;
+
+    for (std::size_t phase_number = 1; phase_number <= max_phases; ++phase_number) {
+        OptimizerOptions options;
+        options.budget = budget_per_phase;
+        Selection selection = optimize_exact(residual, options);
+        if (selection.chosen.empty()) break;
+
+        Phase phase;
+        phase.number = static_cast<int>(phase_number);
+        phase.selection = selection;
+        phases.push_back(phase);
+
+        // Commit: drop blocked threats and consumed candidates.
+        std::vector<Threat> remaining;
+        for (const Threat& threat : residual.threats) {
+            if (!MitigationProblem::blocks(threat, selection.chosen)) {
+                remaining.push_back(threat);
+            }
+        }
+        // Mitigations committed in this phase stay active for free later:
+        // drop mutations they already suppress from the residual threats.
+        for (Threat& threat : remaining) {
+            std::vector<std::vector<std::string>> open_covers;
+            for (const auto& covers : threat.mutation_covers) {
+                const bool already_covered = std::any_of(
+                    covers.begin(), covers.end(), [&](const std::string& m) {
+                        return std::find(selection.chosen.begin(), selection.chosen.end(), m) !=
+                               selection.chosen.end();
+                    });
+                if (!already_covered) open_covers.push_back(covers);
+            }
+            threat.mutation_covers = std::move(open_covers);
+        }
+        residual.threats = std::move(remaining);
+        std::vector<Candidate> leftover;
+        for (const Candidate& candidate : residual.candidates) {
+            if (std::find(selection.chosen.begin(), selection.chosen.end(), candidate.id) ==
+                selection.chosen.end()) {
+                leftover.push_back(candidate);
+            }
+        }
+        residual.candidates = std::move(leftover);
+        if (residual.threats.empty()) break;
+    }
+    return phases;
+}
+
+}  // namespace cprisk::mitigation

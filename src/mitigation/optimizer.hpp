@@ -1,0 +1,73 @@
+// cprisk/mitigation/optimizer.hpp
+//
+// Cost-benefit optimization engines (paper §IV-D): select the mitigation
+// set minimizing mitigation cost + residual loss, optionally under a
+// mitigation budget. Two interchangeable engines are provided — an exact
+// branch-and-bound and an ASP encoding solved by the embedded reasoner —
+// and benchmarked against each other (DESIGN.md ablation 1).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "mitigation/problem.hpp"
+
+namespace cprisk::mitigation {
+
+struct Selection {
+    std::vector<std::string> chosen;      ///< mitigation ids, sorted
+    long long mitigation_cost = 0;
+    long long residual_loss = 0;          ///< losses of unblocked threats
+    std::vector<std::string> unblocked;   ///< scenario ids left unblocked
+
+    long long total_cost() const { return mitigation_cost + residual_loss; }
+};
+
+struct OptimizerOptions {
+    /// Cap on the sum of chosen mitigation costs; nullopt = unconstrained
+    /// ("constraint on the mitigation budgets", §IV-D).
+    std::optional<long long> budget;
+};
+
+/// Exact branch & bound over mitigation subsets.
+Selection optimize_exact(const MitigationProblem& problem, const OptimizerOptions& options = {});
+
+/// The same problem encoded as an ASP program with choice rules and weak
+/// constraints, solved by the embedded engine. Budget is handled by
+/// iterative tightening (the core language has no sum aggregates).
+Result<Selection> optimize_asp(const MitigationProblem& problem,
+                               const OptimizerOptions& options = {});
+
+/// Renders the ASP encoding of `problem` (for inspection and tests).
+std::string encode_asp(const MitigationProblem& problem);
+
+/// "Raise the bar" hardening (paper §IV-D "most efficient attack"): choose
+/// mitigations, within `budget`, that maximize the attacker's cheapest
+/// remaining option — the minimum `attack_cost` over unblocked attacker
+/// threats (threats with attack_cost 0 are spontaneous faults and are
+/// ignored by this objective). Ties break toward lower residual loss, then
+/// lower mitigation cost. When every attacker threat can be blocked within
+/// budget, the result reports `hardened_floor == nullopt` (no attack left).
+struct HardeningResult {
+    Selection selection;
+    /// Cheapest attack still available, if any.
+    std::optional<long long> cheapest_remaining_attack;
+};
+
+HardeningResult harden_attack_cost(const MitigationProblem& problem, long long budget);
+
+/// Multi-phase security consolidation (paper §IV-D: "a multi-phase strategy
+/// where the actions can be prioritized"): repeatedly solve under the
+/// per-phase budget, commit the chosen mitigations, and continue on the
+/// residual threats until nothing more can be blocked.
+struct Phase {
+    int number = 1;
+    Selection selection;
+};
+
+std::vector<Phase> plan_phases(const MitigationProblem& problem, long long budget_per_phase,
+                               std::size_t max_phases = 8);
+
+}  // namespace cprisk::mitigation

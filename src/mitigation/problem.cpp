@@ -1,0 +1,85 @@
+#include "mitigation/problem.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace cprisk::mitigation {
+
+bool Threat::blockable() const {
+    return std::all_of(mutation_covers.begin(), mutation_covers.end(),
+                       [](const std::vector<std::string>& covers) { return !covers.empty(); });
+}
+
+MitigationProblem MitigationProblem::build(const security::ScenarioSpace& space,
+                                           const std::vector<epa::ScenarioVerdict>& verdicts,
+                                           const security::AttackMatrix& matrix,
+                                           const epa::MitigationMap& map, long long loss_scale) {
+    MitigationProblem problem;
+    for (const security::Mitigation& m : matrix.mitigations()) {
+        problem.candidates.push_back(Candidate{m.id, m.name, m.cost});
+    }
+
+    // Index verdicts by scenario id.
+    std::map<std::string, const epa::ScenarioVerdict*> by_id;
+    for (const epa::ScenarioVerdict& verdict : verdicts) {
+        by_id.emplace(verdict.scenario_id, &verdict);
+    }
+
+    for (const security::AttackScenario& scenario : space.scenarios()) {
+        auto it = by_id.find(scenario.id);
+        if (it == by_id.end() || !it->second->any_violation()) continue;
+
+        Threat threat;
+        threat.scenario_id = scenario.id;
+        // Exponential loss ladder: each severity level doubles the loss.
+        threat.loss = loss_scale * (1LL << qual::index_of(it->second->severity));
+        // Attacker expenditure for attack-path scenarios (sum of technique
+        // costs), feeding the raise-the-bar objective.
+        if (scenario.origin == security::ScenarioOrigin::AttackPath) {
+            for (const std::string& technique_id : scenario.technique_ids) {
+                const security::Technique* technique = matrix.find_technique(technique_id);
+                threat.attack_cost += technique != nullptr ? technique->attack_cost : 1;
+            }
+        }
+        for (const security::Mutation& mutation : scenario.mutations) {
+            std::vector<std::string> covers;
+            for (const epa::MitigationMap::Entry& entry : map.entries()) {
+                if (entry.component == mutation.component && entry.fault_id == mutation.fault_id) {
+                    if (std::find(covers.begin(), covers.end(), entry.mitigation_id) ==
+                        covers.end()) {
+                        covers.push_back(entry.mitigation_id);
+                    }
+                }
+            }
+            threat.mutation_covers.push_back(std::move(covers));
+        }
+        problem.threats.push_back(std::move(threat));
+    }
+    return problem;
+}
+
+bool MitigationProblem::blocks(const Threat& threat, const std::vector<std::string>& chosen) {
+    for (const std::vector<std::string>& covers : threat.mutation_covers) {
+        const bool suppressed = std::any_of(
+            covers.begin(), covers.end(), [&](const std::string& mitigation) {
+                return std::find(chosen.begin(), chosen.end(), mitigation) != chosen.end();
+            });
+        if (!suppressed) return false;
+    }
+    return true;
+}
+
+long long MitigationProblem::total_cost(const std::vector<std::string>& chosen) const {
+    long long cost = 0;
+    for (const Candidate& candidate : candidates) {
+        if (std::find(chosen.begin(), chosen.end(), candidate.id) != chosen.end()) {
+            cost += candidate.cost;
+        }
+    }
+    for (const Threat& threat : threats) {
+        if (!blocks(threat, chosen)) cost += threat.loss;
+    }
+    return cost;
+}
+
+}  // namespace cprisk::mitigation

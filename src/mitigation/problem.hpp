@@ -1,0 +1,66 @@
+// cprisk/mitigation/problem.hpp
+//
+// The mitigation selection problem (paper §IV-C/§IV-D): choose a set of
+// mitigations that blocks attack scenarios at minimal total cost, under
+// optional budget constraints.
+//
+// Blocking semantics (matching the EPA's Listing-1 fault activation): a
+// scenario is blocked when *every* one of its mutations is suppressed by at
+// least one chosen mitigation. Each mutation therefore contributes a
+// "cover option" set; scenarios whose mutations have no cover options are
+// unblockable and always contribute their residual loss.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "epa/epa.hpp"
+#include "security/attack_matrix.hpp"
+#include "security/scenario.hpp"
+
+namespace cprisk::mitigation {
+
+/// A candidate mitigation with its implementation cost.
+struct Candidate {
+    std::string id;
+    std::string name;
+    long long cost = 1;
+};
+
+/// One scenario to defend against.
+struct Threat {
+    std::string scenario_id;
+    long long loss = 0;  ///< expected loss if the scenario goes unblocked
+    /// Resources the attacker must expend to realize the scenario (paper
+    /// §IV-D "Attack Cost"); used by the raise-the-bar objective. 0 for
+    /// spontaneous faults (no attacker).
+    long long attack_cost = 0;
+    /// Per mutation: ids of mitigations any one of which suppresses it.
+    std::vector<std::vector<std::string>> mutation_covers;
+
+    /// True if every mutation has at least one cover option.
+    bool blockable() const;
+};
+
+struct MitigationProblem {
+    std::vector<Candidate> candidates;
+    std::vector<Threat> threats;
+
+    /// Builds the problem from a scenario space: candidate set = the
+    /// matrix's mitigations; covers derived from `map`; per-scenario loss =
+    /// severity-weighted cost from `verdicts` (only violating scenarios
+    /// become threats). `loss_scale` converts the ordinal severity level
+    /// (0..4) into cost units via loss = loss_scale * 2^severity.
+    static MitigationProblem build(const security::ScenarioSpace& space,
+                                   const std::vector<epa::ScenarioVerdict>& verdicts,
+                                   const security::AttackMatrix& matrix,
+                                   const epa::MitigationMap& map, long long loss_scale = 10);
+
+    /// True when the chosen set blocks the threat.
+    static bool blocks(const Threat& threat, const std::vector<std::string>& chosen);
+
+    /// Total cost of a selection: chosen mitigation costs + residual losses.
+    long long total_cost(const std::vector<std::string>& chosen) const;
+};
+
+}  // namespace cprisk::mitigation

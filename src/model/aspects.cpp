@@ -1,0 +1,28 @@
+#include "model/aspects.hpp"
+
+namespace cprisk::model {
+
+std::string_view to_string(Aspect aspect) {
+    switch (aspect) {
+        case Aspect::Architecture: return "architecture";
+        case Aspect::Dynamics: return "dynamics";
+        case Aspect::Deployment: return "deployment";
+    }
+    return "?";
+}
+
+Result<SystemModel> merge_aspects(const std::vector<AspectModel>& aspects) {
+    SystemModel merged;
+    for (const AspectModel& aspect : aspects) {
+        auto result = merged.merge(aspect.model);
+        if (!result.ok()) {
+            return Result<SystemModel>::failure("merging " + std::string(to_string(aspect.aspect)) +
+                                                " aspect: " + result.error());
+        }
+    }
+    auto valid = merged.validate();
+    if (!valid.ok()) return Result<SystemModel>::failure(valid.error());
+    return merged;
+}
+
+}  // namespace cprisk::model

@@ -1,0 +1,36 @@
+// cprisk/model/aspects.hpp
+//
+// Aspect models (paper step 1): "the system model results from merging the
+// different aspect models (like architecture, dynamics, and deployment) of
+// the complete IT/OT system into a single model". Each aspect is itself a
+// SystemModel fragment; `merge_aspects` folds them into the analysis model.
+//
+//  * Architecture — components + structural relations.
+//  * Dynamics     — per-component qualitative behaviour rules (ASP dynamic
+//                   fragments) and signal/quantity flows.
+//  * Deployment   — Assignment relations from application components to the
+//                   nodes hosting them.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "model/system_model.hpp"
+
+namespace cprisk::model {
+
+enum class Aspect : std::uint8_t { Architecture, Dynamics, Deployment };
+
+std::string_view to_string(Aspect aspect);
+
+struct AspectModel {
+    Aspect aspect = Aspect::Architecture;
+    SystemModel model;
+};
+
+/// Merges aspect models into a single analysis model. Components may appear
+/// in several aspects (identically); relations and behaviours are unioned.
+/// The merged model is validated before being returned.
+Result<SystemModel> merge_aspects(const std::vector<AspectModel>& aspects);
+
+}  // namespace cprisk::model

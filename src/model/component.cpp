@@ -1,0 +1,36 @@
+#include "model/component.hpp"
+
+namespace cprisk::model {
+
+std::string_view to_string(Exposure exposure) {
+    switch (exposure) {
+        case Exposure::None: return "none";
+        case Exposure::Internal: return "internal";
+        case Exposure::Public: return "public";
+    }
+    return "?";
+}
+
+std::string_view to_string(FaultEffect effect) {
+    switch (effect) {
+        case FaultEffect::StuckAt: return "stuck_at";
+        case FaultEffect::Omission: return "omission";
+        case FaultEffect::Corruption: return "corruption";
+        case FaultEffect::Delay: return "delay";
+        case FaultEffect::Compromise: return "compromise";
+    }
+    return "?";
+}
+
+bool Component::has_fault_mode(std::string_view fault_id) const {
+    return find_fault_mode(fault_id) != nullptr;
+}
+
+const FaultMode* Component::find_fault_mode(std::string_view fault_id) const {
+    for (const FaultMode& mode : fault_modes) {
+        if (mode.id == fault_id) return &mode;
+    }
+    return nullptr;
+}
+
+}  // namespace cprisk::model

@@ -1,0 +1,76 @@
+// cprisk/model/component.hpp
+//
+// Component instances and typed relations of the system model. Components
+// carry the security metadata the risk assessment consumes: network
+// exposure, software version (for version-specific weakness matching, §VI),
+// fault modes with local effects, and asset value.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/element.hpp"
+#include "qualitative/level.hpp"
+
+namespace cprisk::model {
+
+/// Stable component identifier (lower_snake_case; doubles as the ASP
+/// constant naming the component).
+using ComponentId = std::string;
+
+/// How a component can be reached by an attacker.
+enum class Exposure : std::uint8_t {
+    None,      ///< air-gapped / purely physical
+    Internal,  ///< reachable from the internal network
+    Public,    ///< reachable from a public network
+};
+
+std::string_view to_string(Exposure exposure);
+
+/// The local effect class of a fault mode, following classic EPA error
+/// taxonomies: how the component's output deviates when the fault is active.
+enum class FaultEffect : std::uint8_t {
+    StuckAt,    ///< output frozen at its current/forced value
+    Omission,   ///< no output produced ("no signal")
+    Corruption, ///< wrong value produced
+    Delay,      ///< output late
+    Compromise, ///< component under attacker control (can cause any effect)
+};
+
+std::string_view to_string(FaultEffect effect);
+
+/// A fault mode attached to a component type or instance. `forced_value` is
+/// meaningful for StuckAt faults (e.g. "open", "closed").
+struct FaultMode {
+    std::string id;            ///< e.g. "stuck_at_open"
+    FaultEffect effect = FaultEffect::StuckAt;
+    std::string forced_value;  ///< StuckAt target state, if any
+    qual::Level severity = qual::Level::Medium;   ///< local severity estimate
+    qual::Level likelihood = qual::Level::Medium; ///< occurrence likelihood
+};
+
+/// A component instance in the system model.
+struct Component {
+    ComponentId id;
+    std::string name;          ///< human-readable label
+    ElementType type = ElementType::Node;
+    Exposure exposure = Exposure::None;
+    std::string version;       ///< software/firmware version, may be empty
+    qual::Level asset_value = qual::Level::Medium;  ///< loss magnitude anchor
+    std::vector<FaultMode> fault_modes;
+    std::map<std::string, std::string> properties;  ///< free-form metadata
+
+    bool has_fault_mode(std::string_view fault_id) const;
+    const FaultMode* find_fault_mode(std::string_view fault_id) const;
+};
+
+/// A typed, directed relation between two components.
+struct Relation {
+    ComponentId source;
+    ComponentId target;
+    RelationType type = RelationType::Association;
+    std::string label;  ///< optional flow label (e.g. "control_msg", "water")
+};
+
+}  // namespace cprisk::model

@@ -1,0 +1,203 @@
+#include "model/component_library.hpp"
+
+namespace cprisk::model {
+
+void ComponentLibrary::register_template(ComponentTemplate tmpl) {
+    templates_.insert_or_assign(tmpl.type_name, std::move(tmpl));
+}
+
+bool ComponentLibrary::has(const std::string& type_name) const {
+    return templates_.count(type_name) > 0;
+}
+
+Result<ComponentTemplate> ComponentLibrary::get(const std::string& type_name) const {
+    auto it = templates_.find(type_name);
+    if (it == templates_.end()) {
+        return Result<ComponentTemplate>::failure("unknown component template '" + type_name +
+                                                  "'");
+    }
+    return it->second;
+}
+
+std::vector<std::string> ComponentLibrary::type_names() const {
+    std::vector<std::string> names;
+    names.reserve(templates_.size());
+    for (const auto& [name, tmpl] : templates_) names.push_back(name);
+    return names;
+}
+
+namespace {
+
+std::string replace_self(std::string text, const std::string& id) {
+    const std::string placeholder = "$self";
+    std::size_t pos = 0;
+    while ((pos = text.find(placeholder, pos)) != std::string::npos) {
+        text.replace(pos, placeholder.size(), id);
+        pos += id.size();
+    }
+    return text;
+}
+
+}  // namespace
+
+Result<void> ComponentLibrary::instantiate(const std::string& type_name, const ComponentId& id,
+                                           const std::string& display_name,
+                                           SystemModel& model) const {
+    auto tmpl = get(type_name);
+    if (!tmpl.ok()) return Result<void>::failure(tmpl.error());
+    const ComponentTemplate& t = tmpl.value();
+
+    Component component;
+    component.id = id;
+    component.name = display_name;
+    component.type = t.element_type;
+    component.exposure = t.default_exposure;
+    component.asset_value = t.default_asset_value;
+    component.fault_modes = t.fault_modes;
+    component.properties = t.properties;
+    component.properties["template"] = type_name;
+
+    auto added = model.add_component(std::move(component));
+    if (!added.ok()) return added;
+    for (const std::string& fragment : t.behavior_fragments) {
+        auto behavior = model.add_behavior(id, replace_self(fragment, id));
+        if (!behavior.ok()) return behavior;
+    }
+    return {};
+}
+
+ComponentLibrary ComponentLibrary::standard_cps() {
+    ComponentLibrary library;
+
+    library.register_template(ComponentTemplate{
+        "water_tank",
+        ElementType::Equipment,
+        Exposure::None,
+        qual::Level::VeryHigh,
+        {},  // the tank itself fails only through its valves/sensor
+        {},
+        {{"medium", "water"}}});
+
+    library.register_template(ComponentTemplate{
+        "valve_actuator",
+        ElementType::Actuator,
+        Exposure::None,
+        qual::Level::High,
+        {FaultMode{"stuck_at_open", FaultEffect::StuckAt, "open", qual::Level::High,
+                   qual::Level::Low},
+         FaultMode{"stuck_at_closed", FaultEffect::StuckAt, "closed", qual::Level::High,
+                   qual::Level::Low}},
+        {},
+        {}});
+
+    library.register_template(ComponentTemplate{
+        "valve_controller",
+        ElementType::Controller,
+        Exposure::Internal,
+        qual::Level::Medium,
+        {FaultMode{"no_command", FaultEffect::Omission, "", qual::Level::Medium,
+                   qual::Level::Low},
+         FaultMode{"wrong_command", FaultEffect::Corruption, "", qual::Level::High,
+                   qual::Level::VeryLow}},
+        {},
+        {}});
+
+    library.register_template(ComponentTemplate{
+        "level_sensor",
+        ElementType::Sensor,
+        Exposure::None,
+        qual::Level::Medium,
+        {FaultMode{"frozen_reading", FaultEffect::StuckAt, "", qual::Level::High,
+                   qual::Level::Low},
+         FaultMode{"no_reading", FaultEffect::Omission, "", qual::Level::Medium,
+                   qual::Level::Low}},
+        {},
+        {}});
+
+    library.register_template(ComponentTemplate{
+        "plant_controller",
+        ElementType::Controller,
+        Exposure::Internal,
+        qual::Level::High,
+        {FaultMode{"no_control", FaultEffect::Omission, "", qual::Level::High,
+                   qual::Level::VeryLow},
+         FaultMode{"compromised", FaultEffect::Compromise, "", qual::Level::VeryHigh,
+                   qual::Level::VeryLow}},
+        {},
+        {}});
+
+    library.register_template(ComponentTemplate{
+        "hmi",
+        ElementType::HumanMachineInterface,
+        Exposure::Internal,
+        qual::Level::Medium,
+        {FaultMode{"no_signal", FaultEffect::Omission, "", qual::Level::High,
+                   qual::Level::Low}},
+        {},
+        {}});
+
+    library.register_template(ComponentTemplate{
+        "engineering_workstation",
+        ElementType::Node,
+        Exposure::Internal,
+        qual::Level::High,
+        {FaultMode{"infected", FaultEffect::Compromise, "", qual::Level::VeryHigh,
+                   qual::Level::Medium}},
+        {},
+        {{"os", "windows"}}});
+
+    library.register_template(ComponentTemplate{
+        "office_network",
+        ElementType::CommunicationNetwork,
+        Exposure::Public,
+        qual::Level::Medium,
+        {FaultMode{"intrusion", FaultEffect::Compromise, "", qual::Level::High,
+                   qual::Level::Medium}},
+        {},
+        {}});
+
+    library.register_template(ComponentTemplate{
+        "control_network",
+        ElementType::CommunicationNetwork,
+        Exposure::Internal,
+        qual::Level::High,
+        {FaultMode{"intrusion", FaultEffect::Compromise, "", qual::Level::VeryHigh,
+                   qual::Level::Low}},
+        {},
+        {}});
+
+    library.register_template(ComponentTemplate{
+        "email_client",
+        ElementType::ApplicationComponent,
+        Exposure::Public,
+        qual::Level::Low,
+        {FaultMode{"phishing_link_opened", FaultEffect::Compromise, "", qual::Level::Medium,
+                   qual::Level::High}},
+        {},
+        {}});
+
+    library.register_template(ComponentTemplate{
+        "web_browser",
+        ElementType::ApplicationComponent,
+        Exposure::Public,
+        qual::Level::Low,
+        {FaultMode{"malware_download", FaultEffect::Compromise, "", qual::Level::High,
+                   qual::Level::Medium}},
+        {},
+        {}});
+
+    library.register_template(ComponentTemplate{
+        "plc",
+        ElementType::Controller,
+        Exposure::Internal,
+        qual::Level::VeryHigh,
+        {FaultMode{"logic_tampered", FaultEffect::Compromise, "", qual::Level::VeryHigh,
+                   qual::Level::VeryLow},
+         FaultMode{"halt", FaultEffect::Omission, "", qual::Level::High, qual::Level::Low}},
+        {},
+        {}});
+
+    return library;
+}
+
+}  // namespace cprisk::model

@@ -1,0 +1,58 @@
+// cprisk/model/component_library.hpp
+//
+// Component-type library (paper step 1: "component-type libraries support
+// reusing already existing sub-models"). A ComponentTemplate bundles the
+// element type, its default fault modes, default behaviour fragments and
+// default security metadata; instantiating it stamps a Component plus its
+// behaviour into a model. A standard CPS library (tanks, valves, sensors,
+// controllers, HMIs, workstations, networks) ships built in.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "model/system_model.hpp"
+
+namespace cprisk::model {
+
+/// A reusable component type with its validated sub-model defaults.
+struct ComponentTemplate {
+    std::string type_name;  ///< library key, e.g. "valve_actuator"
+    ElementType element_type = ElementType::Node;
+    Exposure default_exposure = Exposure::None;
+    qual::Level default_asset_value = qual::Level::Medium;
+    std::vector<FaultMode> fault_modes;
+    /// ASP behaviour fragments; occurrences of "$self" are replaced with the
+    /// instance id at instantiation time.
+    std::vector<std::string> behavior_fragments;
+    std::map<std::string, std::string> properties;
+};
+
+class ComponentLibrary {
+public:
+    /// Registers (or replaces) a template.
+    void register_template(ComponentTemplate tmpl);
+
+    bool has(const std::string& type_name) const;
+    Result<ComponentTemplate> get(const std::string& type_name) const;
+    std::vector<std::string> type_names() const;
+    std::size_t size() const { return templates_.size(); }
+
+    /// Creates a component from a template and inserts it (with its
+    /// behaviour fragments) into `model`.
+    Result<void> instantiate(const std::string& type_name, const ComponentId& id,
+                             const std::string& display_name, SystemModel& model) const;
+
+    /// The built-in CPS library used by the case study and examples:
+    /// water_tank, valve_actuator, valve_controller, level_sensor,
+    /// plant_controller, hmi, engineering_workstation, office_network,
+    /// control_network, email_client, web_browser, plc.
+    static ComponentLibrary standard_cps();
+
+private:
+    std::map<std::string, ComponentTemplate> templates_;
+};
+
+}  // namespace cprisk::model

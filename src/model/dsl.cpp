@@ -1,0 +1,257 @@
+#include "model/dsl.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace cprisk::model {
+
+namespace {
+
+template <typename Enum>
+Result<Enum> parse_by_name(std::string_view name, Enum last, const char* what) {
+    for (int i = 0; i <= static_cast<int>(last); ++i) {
+        const auto candidate = static_cast<Enum>(i);
+        if (to_string(candidate) == name) return candidate;
+    }
+    return Result<Enum>::failure(std::string("unknown ") + what + " '" + std::string(name) +
+                                 "'");
+}
+
+/// Splits one DSL line into whitespace-separated fields, honouring
+/// double-quoted strings ("multi word") as single fields.
+Result<std::vector<std::string>> split_fields(const std::string& line, int line_no) {
+    std::vector<std::string> fields;
+    std::string current;
+    bool in_quotes = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (in_quotes) {
+            if (c == '"') {
+                in_quotes = false;
+            } else {
+                current += c;
+            }
+            continue;
+        }
+        if (c == '"') {
+            in_quotes = true;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            if (!current.empty()) {
+                fields.push_back(std::move(current));
+                current.clear();
+            }
+            continue;
+        }
+        current += c;
+    }
+    if (in_quotes) {
+        return Result<std::vector<std::string>>::failure(
+            "line " + std::to_string(line_no) + ": unterminated string");
+    }
+    if (!current.empty()) fields.push_back(std::move(current));
+    return fields;
+}
+
+/// Parses trailing key=value options from `fields[start..]`.
+Result<std::map<std::string, std::string>> parse_options(
+    const std::vector<std::string>& fields, std::size_t start, int line_no) {
+    std::map<std::string, std::string> options;
+    for (std::size_t i = start; i < fields.size(); ++i) {
+        const auto eq = fields[i].find('=');
+        if (eq == std::string::npos || eq == 0) {
+            return Result<std::map<std::string, std::string>>::failure(
+                "line " + std::to_string(line_no) + ": expected key=value, found '" + fields[i] +
+                "'");
+        }
+        options[fields[i].substr(0, eq)] = fields[i].substr(eq + 1);
+    }
+    return options;
+}
+
+}  // namespace
+
+Result<ElementType> parse_element_type(std::string_view name) {
+    return parse_by_name(name, ElementType::Material, "element type");
+}
+
+Result<RelationType> parse_relation_type(std::string_view name) {
+    return parse_by_name(name, RelationType::Association, "relation type");
+}
+
+Result<FaultEffect> parse_fault_effect(std::string_view name) {
+    return parse_by_name(name, FaultEffect::Compromise, "fault effect");
+}
+
+Result<Exposure> parse_exposure(std::string_view name) {
+    return parse_by_name(name, Exposure::Public, "exposure");
+}
+
+Result<SystemModel> parse_model(std::string_view text) {
+    SystemModel model;
+    std::istringstream stream{std::string(text)};
+    std::string raw;
+    int line_no = 0;
+
+    auto fail = [](int line, const std::string& message) {
+        return Result<SystemModel>::failure("line " + std::to_string(line) + ": " + message);
+    };
+
+    while (std::getline(stream, raw)) {
+        ++line_no;
+        const std::string line{trim(raw)};
+        if (line.empty() || line[0] == '#') continue;
+
+        auto fields_result = split_fields(line, line_no);
+        if (!fields_result.ok()) return Result<SystemModel>::failure(fields_result.error());
+        const auto& fields = fields_result.value();
+        const std::string& keyword = fields[0];
+
+        if (keyword == "component") {
+            if (fields.size() < 3) return fail(line_no, "component needs: id element_type");
+            auto type = parse_element_type(fields[2]);
+            if (!type.ok()) return fail(line_no, type.error());
+            auto options = parse_options(fields, 3, line_no);
+            if (!options.ok()) return Result<SystemModel>::failure(options.error());
+
+            Component component;
+            component.id = fields[1];
+            component.name = fields[1];
+            component.type = type.value();
+            for (const auto& [key, value] : options.value()) {
+                if (key == "name") {
+                    component.name = value;
+                } else if (key == "exposure") {
+                    auto exposure = parse_exposure(value);
+                    if (!exposure.ok()) return fail(line_no, exposure.error());
+                    component.exposure = exposure.value();
+                } else if (key == "version") {
+                    component.version = value;
+                } else if (key == "asset") {
+                    auto level = qual::parse_level(value);
+                    if (!level.ok()) return fail(line_no, level.error());
+                    component.asset_value = level.value();
+                } else {
+                    component.properties[key] = value;
+                }
+            }
+            auto added = model.add_component(std::move(component));
+            if (!added.ok()) return fail(line_no, added.error());
+        } else if (keyword == "fault") {
+            if (fields.size() < 4) return fail(line_no, "fault needs: component fault_id effect");
+            if (!model.has_component(fields[1])) {
+                return fail(line_no, "unknown component '" + fields[1] + "'");
+            }
+            auto effect = parse_fault_effect(fields[3]);
+            if (!effect.ok()) return fail(line_no, effect.error());
+            auto options = parse_options(fields, 4, line_no);
+            if (!options.ok()) return Result<SystemModel>::failure(options.error());
+
+            FaultMode mode;
+            mode.id = fields[2];
+            mode.effect = effect.value();
+            for (const auto& [key, value] : options.value()) {
+                if (key == "severity") {
+                    auto level = qual::parse_level(value);
+                    if (!level.ok()) return fail(line_no, level.error());
+                    mode.severity = level.value();
+                } else if (key == "likelihood") {
+                    auto level = qual::parse_level(value);
+                    if (!level.ok()) return fail(line_no, level.error());
+                    mode.likelihood = level.value();
+                } else if (key == "forced") {
+                    mode.forced_value = value;
+                } else {
+                    return fail(line_no, "unknown fault option '" + key + "'");
+                }
+            }
+            model.component_mutable(fields[1]).fault_modes.push_back(std::move(mode));
+        } else if (keyword == "relation") {
+            if (fields.size() < 4) {
+                return fail(line_no, "relation needs: source relation_type target");
+            }
+            auto type = parse_relation_type(fields[2]);
+            if (!type.ok()) return fail(line_no, type.error());
+            auto options = parse_options(fields, 4, line_no);
+            if (!options.ok()) return Result<SystemModel>::failure(options.error());
+            Relation relation{fields[1], fields[3], type.value(), ""};
+            auto label = options.value().find("label");
+            if (label != options.value().end()) relation.label = label->second;
+            auto added = model.add_relation(std::move(relation));
+            if (!added.ok()) return fail(line_no, added.error());
+        } else if (keyword == "behavior") {
+            if (fields.size() < 3 || fields[2] != "<<<") {
+                return fail(line_no, "behavior needs: component <<<");
+            }
+            std::string fragment;
+            bool closed = false;
+            while (std::getline(stream, raw)) {
+                ++line_no;
+                if (std::string(trim(raw)) == ">>>") {
+                    closed = true;
+                    break;
+                }
+                fragment += raw;
+                fragment += '\n';
+            }
+            if (!closed) return fail(line_no, "behavior block not closed with >>>");
+            auto added = model.add_behavior(fields[1], std::move(fragment));
+            if (!added.ok()) return fail(line_no, added.error());
+        } else {
+            return fail(line_no, "unknown keyword '" + keyword + "'");
+        }
+    }
+
+    auto valid = model.validate();
+    if (!valid.ok()) return Result<SystemModel>::failure(valid.error());
+    return model;
+}
+
+std::string serialize_model(const SystemModel& model) {
+    std::string out = "# cprisk model\n";
+    for (const Component& component : model.components()) {
+        out += "component " + component.id + " " + std::string(to_string(component.type));
+        if (component.name != component.id) out += " name=\"" + component.name + "\"";
+        if (component.exposure != Exposure::None) {
+            out += " exposure=" + std::string(to_string(component.exposure));
+        }
+        if (!component.version.empty()) out += " version=" + component.version;
+        if (component.asset_value != qual::Level::Medium) {
+            out += " asset=" + std::string(qual::to_short_string(component.asset_value));
+        }
+        for (const auto& [key, value] : component.properties) {
+            out += " " + key + "=" + value;
+        }
+        out += "\n";
+        for (const FaultMode& mode : component.fault_modes) {
+            out += "fault " + component.id + " " + mode.id + " " +
+                   std::string(to_string(mode.effect));
+            if (mode.severity != qual::Level::Medium) {
+                out += " severity=" + std::string(qual::to_short_string(mode.severity));
+            }
+            if (mode.likelihood != qual::Level::Medium) {
+                out += " likelihood=" + std::string(qual::to_short_string(mode.likelihood));
+            }
+            if (!mode.forced_value.empty()) out += " forced=" + mode.forced_value;
+            out += "\n";
+        }
+    }
+    for (const Relation& relation : model.relations()) {
+        out += "relation " + relation.source + " " + std::string(to_string(relation.type)) +
+               " " + relation.target;
+        if (!relation.label.empty()) out += " label=\"" + relation.label + "\"";
+        out += "\n";
+    }
+    for (const Component& component : model.components()) {
+        for (const std::string& fragment : model.behaviors(component.id)) {
+            out += "behavior " + component.id + " <<<\n" + fragment;
+            if (!fragment.empty() && fragment.back() != '\n') out += "\n";
+            out += ">>>\n";
+        }
+    }
+    return out;
+}
+
+}  // namespace cprisk::model

@@ -1,0 +1,42 @@
+// cprisk/model/dsl.hpp
+//
+// A lightweight textual model format — the role Archimate files play in the
+// paper's toolchain ("a common language and toolkit between the analyst and
+// the engineers", §II-C). Line-oriented, '#' comments:
+//
+//   component <id> <element_type> [name="..."] [exposure=none|internal|public]
+//             [version=...] [asset=VL|L|M|H|VH]
+//   fault <component_id> <fault_id> <effect>
+//             [severity=VL..VH] [likelihood=VL..VH] [forced=<value>]
+//   relation <source> <relation_type> <target> [label="..."]
+//   behavior <component_id> <<<
+//     ... embedded ASP fragment ...
+//   >>>
+//
+// `parse_model` and `serialize_model` round-trip (modulo comments and
+// ordering), so models can be stored in version control next to the code.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.hpp"
+#include "model/system_model.hpp"
+
+namespace cprisk::model {
+
+/// Parses the textual format into a validated SystemModel.
+Result<SystemModel> parse_model(std::string_view text);
+
+/// Serializes a model into the textual format (components, faults,
+/// relations, behaviours; refinement state is structural and re-emerges from
+/// the Composition relations).
+std::string serialize_model(const SystemModel& model);
+
+/// Element/relation type lookups by their `to_string` names.
+Result<ElementType> parse_element_type(std::string_view name);
+Result<RelationType> parse_relation_type(std::string_view name);
+Result<FaultEffect> parse_fault_effect(std::string_view name);
+Result<Exposure> parse_exposure(std::string_view name);
+
+}  // namespace cprisk::model

@@ -1,0 +1,98 @@
+#include "model/element.hpp"
+
+namespace cprisk::model {
+
+std::string_view to_string(Layer layer) {
+    switch (layer) {
+        case Layer::Business: return "business";
+        case Layer::Application: return "application";
+        case Layer::Technology: return "technology";
+        case Layer::Physical: return "physical";
+    }
+    return "?";
+}
+
+std::string_view to_string(ElementType type) {
+    switch (type) {
+        case ElementType::Actor: return "actor";
+        case ElementType::BusinessProcess: return "business_process";
+        case ElementType::ApplicationComponent: return "application_component";
+        case ElementType::ApplicationService: return "application_service";
+        case ElementType::DataObject: return "data_object";
+        case ElementType::Node: return "node";
+        case ElementType::Device: return "device";
+        case ElementType::SystemSoftware: return "system_software";
+        case ElementType::CommunicationNetwork: return "communication_network";
+        case ElementType::Equipment: return "equipment";
+        case ElementType::Sensor: return "sensor";
+        case ElementType::Actuator: return "actuator";
+        case ElementType::Controller: return "controller";
+        case ElementType::HumanMachineInterface: return "hmi";
+        case ElementType::Material: return "material";
+    }
+    return "?";
+}
+
+Layer layer_of(ElementType type) {
+    switch (type) {
+        case ElementType::Actor:
+        case ElementType::BusinessProcess: return Layer::Business;
+        case ElementType::ApplicationComponent:
+        case ElementType::ApplicationService:
+        case ElementType::DataObject: return Layer::Application;
+        case ElementType::Node:
+        case ElementType::Device:
+        case ElementType::SystemSoftware:
+        case ElementType::CommunicationNetwork: return Layer::Technology;
+        case ElementType::Equipment:
+        case ElementType::Sensor:
+        case ElementType::Actuator:
+        case ElementType::Controller:
+        case ElementType::HumanMachineInterface:
+        case ElementType::Material: return Layer::Physical;
+    }
+    return Layer::Technology;
+}
+
+bool is_ot(ElementType type) {
+    switch (type) {
+        case ElementType::Equipment:
+        case ElementType::Sensor:
+        case ElementType::Actuator:
+        case ElementType::Controller:
+        case ElementType::Material: return true;
+        default: return false;
+    }
+}
+
+std::string_view to_string(RelationType type) {
+    switch (type) {
+        case RelationType::Composition: return "composition";
+        case RelationType::Assignment: return "assignment";
+        case RelationType::Serving: return "serving";
+        case RelationType::Access: return "access";
+        case RelationType::Triggering: return "triggering";
+        case RelationType::SignalFlow: return "signal_flow";
+        case RelationType::QuantityFlow: return "quantity_flow";
+        case RelationType::Association: return "association";
+    }
+    return "?";
+}
+
+bool propagates(RelationType type) {
+    switch (type) {
+        case RelationType::Serving:
+        case RelationType::Access:
+        case RelationType::Triggering:
+        case RelationType::SignalFlow:
+        case RelationType::QuantityFlow:
+        case RelationType::Assignment: return true;
+        case RelationType::Composition:
+        case RelationType::Association: return false;
+    }
+    return false;
+}
+
+bool is_bidirectional(RelationType type) { return type == RelationType::QuantityFlow; }
+
+}  // namespace cprisk::model

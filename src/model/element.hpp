@@ -1,0 +1,84 @@
+// cprisk/model/element.hpp
+//
+// Element and relation taxonomy for the system model. The vocabulary mirrors
+// the TOGAF/Archimate layers the paper uses for "lightweight modeling of
+// IT/OT systems" (§II-C): business, application and technology layers for
+// the IT side, and a physical layer for the OT side. The taxonomy also
+// captures the paper's central modeling distinction (§II-B): *signal flows*
+// are directional IT connections, while physical components share
+// *quantities under conservation laws* (undirected in-out variables).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace cprisk::model {
+
+/// Archimate-style layer.
+enum class Layer : std::uint8_t {
+    Business,     ///< actors, processes
+    Application,  ///< software components and services
+    Technology,   ///< nodes, networks, system software
+    Physical,     ///< OT equipment, material flows
+};
+
+std::string_view to_string(Layer layer);
+
+/// Element types, a pragmatic Archimate subset extended with the CPS roles
+/// (sensor/actuator/controller) the case study needs.
+enum class ElementType : std::uint8_t {
+    // Business layer
+    Actor,
+    BusinessProcess,
+    // Application layer
+    ApplicationComponent,
+    ApplicationService,
+    DataObject,
+    // Technology layer
+    Node,
+    Device,
+    SystemSoftware,
+    CommunicationNetwork,
+    // Physical / OT layer
+    Equipment,
+    Sensor,
+    Actuator,
+    Controller,
+    HumanMachineInterface,
+    Material,
+};
+
+std::string_view to_string(ElementType type);
+
+/// Layer an element type belongs to.
+Layer layer_of(ElementType type);
+
+/// True for element types living on the OT (physical / control) side. The
+/// security-dependability interdependence of the paper flows from IT
+/// elements into these.
+bool is_ot(ElementType type);
+
+/// Relation types. `SignalFlow` is directional (IT data); `QuantityFlow` is
+/// the physical shared-quantity connection (modeled directed source->sink
+/// for propagation purposes but flagged undirected).
+enum class RelationType : std::uint8_t {
+    Composition,   ///< whole -> part (used by hierarchical refinement)
+    Assignment,    ///< deployment: behaviour element -> node
+    Serving,       ///< service provider -> consumer
+    Access,        ///< component -> data object
+    Triggering,    ///< control/causal trigger
+    SignalFlow,    ///< directional IT data flow
+    QuantityFlow,  ///< physical conserved-quantity coupling
+    Association,   ///< untyped association
+};
+
+std::string_view to_string(RelationType type);
+
+/// True if error propagation follows this relation from source to target.
+bool propagates(RelationType type);
+
+/// True if the relation also propagates target -> source (conservation-law
+/// couplings are bidirectional).
+bool is_bidirectional(RelationType type);
+
+}  // namespace cprisk::model

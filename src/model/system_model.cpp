@@ -1,0 +1,262 @@
+#include "model/system_model.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/error.hpp"
+
+namespace cprisk::model {
+
+Result<void> SystemModel::add_component(Component component) {
+    if (component.id.empty()) return Result<void>::failure("component id must be non-empty");
+    if (index_.count(component.id) > 0) {
+        return Result<void>::failure("duplicate component id '" + component.id + "'");
+    }
+    index_.emplace(component.id, components_.size());
+    components_.push_back(std::move(component));
+    return {};
+}
+
+Result<void> SystemModel::add_relation(Relation relation) {
+    if (index_.count(relation.source) == 0) {
+        return Result<void>::failure("relation source '" + relation.source + "' unknown");
+    }
+    if (index_.count(relation.target) == 0) {
+        return Result<void>::failure("relation target '" + relation.target + "' unknown");
+    }
+    relations_.push_back(std::move(relation));
+    return {};
+}
+
+Result<void> SystemModel::add_behavior(const ComponentId& id, std::string asp_fragment) {
+    if (index_.count(id) == 0) {
+        return Result<void>::failure("behavior target '" + id + "' unknown");
+    }
+    behaviors_[id].push_back(std::move(asp_fragment));
+    return {};
+}
+
+namespace {
+
+bool same_component(const Component& a, const Component& b) {
+    return a.id == b.id && a.name == b.name && a.type == b.type && a.exposure == b.exposure &&
+           a.version == b.version && a.asset_value == b.asset_value &&
+           a.fault_modes.size() == b.fault_modes.size() && a.properties == b.properties;
+}
+
+bool same_relation(const Relation& a, const Relation& b) {
+    return a.source == b.source && a.target == b.target && a.type == b.type && a.label == b.label;
+}
+
+}  // namespace
+
+Result<void> SystemModel::merge(const SystemModel& other) {
+    for (const Component& component : other.components_) {
+        if (has_component(component.id)) {
+            if (!same_component(this->component(component.id), component)) {
+                return Result<void>::failure("merge conflict on component '" + component.id +
+                                             "'");
+            }
+            continue;
+        }
+        auto added = add_component(component);
+        if (!added.ok()) return added;
+    }
+    for (const Relation& relation : other.relations_) {
+        const bool duplicate = std::any_of(
+            relations_.begin(), relations_.end(),
+            [&](const Relation& existing) { return same_relation(existing, relation); });
+        if (duplicate) continue;
+        auto added = add_relation(relation);
+        if (!added.ok()) return added;
+    }
+    for (const auto& [id, fragments] : other.behaviors_) {
+        for (const std::string& fragment : fragments) {
+            auto& mine = behaviors_[id];
+            if (std::find(mine.begin(), mine.end(), fragment) == mine.end()) {
+                mine.push_back(fragment);
+            }
+        }
+    }
+    for (const ComponentId& id : other.refined_) refined_.insert(id);
+    return {};
+}
+
+Result<void> SystemModel::refine(const RefinementSpec& spec) {
+    if (!has_component(spec.parent)) {
+        return Result<void>::failure("refine: unknown parent '" + spec.parent + "'");
+    }
+    if (is_refined(spec.parent)) {
+        return Result<void>::failure("refine: '" + spec.parent + "' already refined");
+    }
+    if (spec.parts.empty()) return Result<void>::failure("refine: no parts given");
+
+    auto part_exists = [&](const ComponentId& id) {
+        return std::any_of(spec.parts.begin(), spec.parts.end(),
+                           [&](const Component& c) { return c.id == id; });
+    };
+    if (!part_exists(spec.entry)) {
+        return Result<void>::failure("refine: entry '" + spec.entry + "' is not a part");
+    }
+    if (!part_exists(spec.exit)) {
+        return Result<void>::failure("refine: exit '" + spec.exit + "' is not a part");
+    }
+
+    for (const Component& part : spec.parts) {
+        auto added = add_component(part);
+        if (!added.ok()) return added;
+    }
+    for (const Relation& relation : spec.internal_relations) {
+        auto added = add_relation(relation);
+        if (!added.ok()) return added;
+    }
+    // Composition links parent -> parts.
+    for (const Component& part : spec.parts) {
+        auto added = add_relation(Relation{spec.parent, part.id, RelationType::Composition, ""});
+        if (!added.ok()) return added;
+    }
+    // Rewire propagating relations: inbound to parent -> entry part,
+    // outbound from parent -> exit part.
+    for (Relation& relation : relations_) {
+        if (!propagates(relation.type)) continue;
+        if (relation.target == spec.parent) relation.target = spec.entry;
+        if (relation.source == spec.parent) relation.source = spec.exit;
+    }
+    refined_.insert(spec.parent);
+    return {};
+}
+
+bool SystemModel::has_component(const ComponentId& id) const { return index_.count(id) > 0; }
+
+const Component& SystemModel::component(const ComponentId& id) const {
+    auto it = index_.find(id);
+    require(it != index_.end(), "SystemModel: unknown component '" + id + "'");
+    return components_[it->second];
+}
+
+Component& SystemModel::component_mutable(const ComponentId& id) {
+    auto it = index_.find(id);
+    require(it != index_.end(), "SystemModel: unknown component '" + id + "'");
+    return components_[it->second];
+}
+
+bool SystemModel::is_refined(const ComponentId& id) const { return refined_.count(id) > 0; }
+
+std::vector<ComponentId> SystemModel::parts_of(const ComponentId& id) const {
+    std::vector<ComponentId> parts;
+    for (const Relation& relation : relations_) {
+        if (relation.type == RelationType::Composition && relation.source == id) {
+            parts.push_back(relation.target);
+        }
+    }
+    return parts;
+}
+
+const std::vector<std::string>& SystemModel::behaviors(const ComponentId& id) const {
+    static const std::vector<std::string> kEmpty;
+    auto it = behaviors_.find(id);
+    return it == behaviors_.end() ? kEmpty : it->second;
+}
+
+std::vector<ComponentId> SystemModel::propagation_successors(const ComponentId& id) const {
+    std::vector<ComponentId> successors;
+    if (is_refined(id)) return successors;
+    auto push_unique = [&](const ComponentId& c) {
+        if (c != id && !is_refined(c) &&
+            std::find(successors.begin(), successors.end(), c) == successors.end()) {
+            successors.push_back(c);
+        }
+    };
+    for (const Relation& relation : relations_) {
+        if (!propagates(relation.type)) continue;
+        if (relation.source == id) push_unique(relation.target);
+        if (is_bidirectional(relation.type) && relation.target == id) push_unique(relation.source);
+    }
+    return successors;
+}
+
+std::vector<Relation> SystemModel::relations_from(const ComponentId& id) const {
+    std::vector<Relation> out;
+    for (const Relation& relation : relations_) {
+        if (relation.source == id) out.push_back(relation);
+    }
+    return out;
+}
+
+std::vector<Relation> SystemModel::relations_to(const ComponentId& id) const {
+    std::vector<Relation> out;
+    for (const Relation& relation : relations_) {
+        if (relation.target == id) out.push_back(relation);
+    }
+    return out;
+}
+
+std::set<ComponentId> SystemModel::reachable_from(const ComponentId& id) const {
+    std::set<ComponentId> visited;
+    std::vector<ComponentId> stack = propagation_successors(id);
+    while (!stack.empty()) {
+        ComponentId current = stack.back();
+        stack.pop_back();
+        if (!visited.insert(current).second) continue;
+        for (const ComponentId& next : propagation_successors(current)) {
+            if (visited.count(next) == 0) stack.push_back(next);
+        }
+    }
+    return visited;
+}
+
+std::vector<std::vector<ComponentId>> SystemModel::find_paths(const ComponentId& from,
+                                                              const ComponentId& to,
+                                                              std::size_t max_length) const {
+    std::vector<std::vector<ComponentId>> paths;
+    if (from == to) {
+        paths.push_back({from});
+        return paths;
+    }
+    std::vector<ComponentId> current = {from};
+    std::set<ComponentId> on_path = {from};
+
+    // Depth-first enumeration of simple paths.
+    std::function<void()> dfs = [&]() {
+        if (current.back() == to) {
+            paths.push_back(current);
+            return;
+        }
+        if (current.size() >= max_length) return;
+        for (const ComponentId& next : propagation_successors(current.back())) {
+            if (on_path.count(next) > 0) continue;
+            current.push_back(next);
+            on_path.insert(next);
+            dfs();
+            on_path.erase(next);
+            current.pop_back();
+        }
+    };
+    dfs();
+    return paths;
+}
+
+Result<void> SystemModel::validate() const {
+    for (const Relation& relation : relations_) {
+        if (!has_component(relation.source)) {
+            return Result<void>::failure("dangling relation source '" + relation.source + "'");
+        }
+        if (!has_component(relation.target)) {
+            return Result<void>::failure("dangling relation target '" + relation.target + "'");
+        }
+    }
+    for (const ComponentId& id : refined_) {
+        if (parts_of(id).empty()) {
+            return Result<void>::failure("refined composite '" + id + "' has no parts");
+        }
+    }
+    for (const auto& [id, fragments] : behaviors_) {
+        (void)fragments;
+        if (!has_component(id)) {
+            return Result<void>::failure("behavior attached to unknown component '" + id + "'");
+        }
+    }
+    return {};
+}
+
+}  // namespace cprisk::model

@@ -1,0 +1,102 @@
+// cprisk/model/system_model.hpp
+//
+// The merged system model: a typed component/relation graph with optional
+// per-component qualitative behaviour rules. This is the "single model
+// sharing a uniform mathematical paradigm" of the paper's step 1 — aspect
+// models (architecture / dynamics / deployment, see aspects.hpp) merge into
+// one SystemModel, which the EPA then translates to ASP.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "model/component.hpp"
+
+namespace cprisk::model {
+
+/// Hierarchical refinement of one component into an internal sub-model
+/// (paper §VI, Fig. 4): the parent stays in the model as a composite; its
+/// propagating relations are rewired to the sub-model's entry/exit
+/// components.
+struct RefinementSpec {
+    ComponentId parent;                 ///< component to refine
+    std::vector<Component> parts;       ///< internal components
+    std::vector<Relation> internal_relations;
+    ComponentId entry;                  ///< receives the parent's inbound flows
+    ComponentId exit;                   ///< sources the parent's outbound flows
+};
+
+class SystemModel {
+public:
+    // --- construction -------------------------------------------------------
+
+    /// Adds a component; fails on duplicate id or empty id.
+    Result<void> add_component(Component component);
+
+    /// Adds a relation; fails if either endpoint is unknown.
+    Result<void> add_relation(Relation relation);
+
+    /// Attaches a qualitative behaviour fragment (ASP text, dynamic-section
+    /// rules) to a component; appended to earlier fragments.
+    Result<void> add_behavior(const ComponentId& id, std::string asp_fragment);
+
+    /// Merges `other` into this model. Identical duplicate components are
+    /// tolerated; conflicting duplicates fail. Relations are unioned.
+    Result<void> merge(const SystemModel& other);
+
+    /// Applies a hierarchical refinement (see RefinementSpec).
+    Result<void> refine(const RefinementSpec& spec);
+
+    // --- queries ------------------------------------------------------------
+
+    bool has_component(const ComponentId& id) const;
+    const Component& component(const ComponentId& id) const;
+    Component& component_mutable(const ComponentId& id);
+    const std::vector<Component>& components() const { return components_; }
+    const std::vector<Relation>& relations() const { return relations_; }
+
+    /// True if `id` was refined into a sub-model (it no longer propagates).
+    bool is_refined(const ComponentId& id) const;
+
+    /// Parts of a refined composite (direct children via Composition).
+    std::vector<ComponentId> parts_of(const ComponentId& id) const;
+
+    const std::vector<std::string>& behaviors(const ComponentId& id) const;
+
+    /// Components an error in `id` can propagate to in one step: targets of
+    /// propagating relations from `id`, plus sources of bidirectional
+    /// relations into `id`. Refined composites propagate nothing.
+    std::vector<ComponentId> propagation_successors(const ComponentId& id) const;
+
+    std::vector<Relation> relations_from(const ComponentId& id) const;
+    std::vector<Relation> relations_to(const ComponentId& id) const;
+
+    /// All components reachable from `id` along propagating relations
+    /// (excluding `id` itself unless it lies on a cycle).
+    std::set<ComponentId> reachable_from(const ComponentId& id) const;
+
+    /// All simple propagation paths from `from` to `to`, up to `max_length`
+    /// components per path.
+    std::vector<std::vector<ComponentId>> find_paths(const ComponentId& from,
+                                                     const ComponentId& to,
+                                                     std::size_t max_length = 16) const;
+
+    /// Structural sanity: every relation endpoint resolves; every refined
+    /// composite has parts.
+    Result<void> validate() const;
+
+    std::size_t component_count() const { return components_.size(); }
+    std::size_t relation_count() const { return relations_.size(); }
+
+private:
+    std::vector<Component> components_;
+    std::map<ComponentId, std::size_t> index_;
+    std::vector<Relation> relations_;
+    std::set<ComponentId> refined_;
+    std::map<ComponentId, std::vector<std::string>> behaviors_;
+};
+
+}  // namespace cprisk::model

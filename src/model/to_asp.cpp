@@ -1,0 +1,86 @@
+#include "model/to_asp.hpp"
+
+#include "asp/parser.hpp"
+#include "qualitative/level.hpp"
+
+namespace cprisk::model {
+
+namespace {
+
+using asp::Atom;
+using asp::Head;
+using asp::Program;
+using asp::Rule;
+using asp::Term;
+
+void fact(Program& program, Atom atom) {
+    Rule rule;
+    rule.head = Head::make_atom(std::move(atom));
+    program.add_rule(std::move(rule));
+}
+
+Term sym(std::string_view text) { return Term::symbol(std::string(text)); }
+
+}  // namespace
+
+Result<asp::Program> to_asp(const SystemModel& model, const ToAspOptions& options) {
+    Program program;
+
+    for (const Component& component : model.components()) {
+        const Term id = sym(component.id);
+        fact(program, Atom{"component", {id}});
+        fact(program, Atom{"component_type", {id, sym(to_string(component.type))}});
+        fact(program, Atom{"component_layer", {id, sym(to_string(layer_of(component.type)))}});
+        fact(program, Atom{is_ot(component.type) ? "ot_component" : "it_component", {id}});
+        fact(program, Atom{"exposure", {id, sym(to_string(component.exposure))}});
+        fact(program,
+             Atom{"asset_value", {id, Term::integer(qual::index_of(component.asset_value))}});
+        if (model.is_refined(component.id)) fact(program, Atom{"refined", {id}});
+
+        if (options.include_fault_facts) {
+            for (const FaultMode& mode : component.fault_modes) {
+                const Term fault_id = sym(mode.id);
+                fact(program, Atom{"fault", {id, fault_id}});
+                fact(program, Atom{"fault_effect", {id, fault_id, sym(to_string(mode.effect))}});
+                fact(program, Atom{"fault_severity",
+                                   {id, fault_id, Term::integer(qual::index_of(mode.severity))}});
+                fact(program,
+                     Atom{"fault_likelihood",
+                          {id, fault_id, Term::integer(qual::index_of(mode.likelihood))}});
+            }
+        }
+    }
+
+    for (const Relation& relation : model.relations()) {
+        const Term source = sym(relation.source);
+        const Term target = sym(relation.target);
+        fact(program, Atom{"relation", {source, target, sym(to_string(relation.type))}});
+        if (relation.type == RelationType::Composition) {
+            fact(program, Atom{"part_of", {source, target}});
+        }
+        if (propagates(relation.type) && !model.is_refined(relation.source) &&
+            !model.is_refined(relation.target)) {
+            fact(program, Atom{"connected", {source, target}});
+            if (is_bidirectional(relation.type)) {
+                fact(program, Atom{"connected", {target, source}});
+            }
+        }
+    }
+
+    if (options.include_behaviors) {
+        for (const Component& component : model.components()) {
+            for (const std::string& fragment : model.behaviors(component.id)) {
+                auto parsed = asp::parse_program(fragment);
+                if (!parsed.ok()) {
+                    return Result<asp::Program>::failure("behavior of '" + component.id +
+                                                         "': " + parsed.error());
+                }
+                program.append(parsed.value());
+            }
+        }
+    }
+
+    return program;
+}
+
+}  // namespace cprisk::model

@@ -1,0 +1,38 @@
+// cprisk/model/to_asp.hpp
+//
+// Translation of the merged system model into ASP facts — the bridge
+// between the Archimate-style engineering model and the logic reasoner
+// ("this system validation model can then be used as input to the logic
+// reasoner engine", paper §II-C).
+//
+// Emitted predicates (base section):
+//   component(C).                      component_type(C, Type).
+//   component_layer(C, Layer).        ot_component(C). it_component(C).
+//   exposure(C, none|internal|public).
+//   asset_value(C, 0..4).             % VL..VH as integers for optimization
+//   fault(C, F).                      fault_effect(C, F, Effect).
+//   fault_severity(C, F, 0..4).       fault_likelihood(C, F, 0..4).
+//   connected(Src, Dst).              % one fact per propagating direction
+//   relation(Src, Dst, Type).
+//   refined(C).                       part_of(Parent, Part).
+//
+// Behaviour fragments attached to components are parsed and appended with
+// their own (possibly temporal) sections.
+#pragma once
+
+#include "asp/syntax.hpp"
+#include "common/result.hpp"
+#include "model/system_model.hpp"
+
+namespace cprisk::model {
+
+struct ToAspOptions {
+    bool include_behaviors = true;
+    bool include_fault_facts = true;
+};
+
+/// Translates `model` into an ASP program of facts (+ behaviour rules).
+/// Fails if a behaviour fragment does not parse.
+Result<asp::Program> to_asp(const SystemModel& model, const ToAspOptions& options = {});
+
+}  // namespace cprisk::model

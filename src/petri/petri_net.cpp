@@ -1,0 +1,164 @@
+#include "petri/petri_net.hpp"
+
+#include <deque>
+#include <set>
+
+namespace cprisk::petri {
+
+Result<std::size_t> PetriNet::add_place(std::string id, int initial_tokens) {
+    if (id.empty()) return Result<std::size_t>::failure("place id must be non-empty");
+    if (place_ids_.count(id) > 0 || transition_ids_.count(id) > 0) {
+        return Result<std::size_t>::failure("duplicate node id '" + id + "'");
+    }
+    if (initial_tokens < 0) return Result<std::size_t>::failure("negative initial tokens");
+    const std::size_t index = places_.size();
+    place_ids_.emplace(id, index);
+    places_.push_back(std::move(id));
+    initial_.push_back(initial_tokens);
+    return index;
+}
+
+Result<std::size_t> PetriNet::add_transition(std::string id) {
+    if (id.empty()) return Result<std::size_t>::failure("transition id must be non-empty");
+    if (place_ids_.count(id) > 0 || transition_ids_.count(id) > 0) {
+        return Result<std::size_t>::failure("duplicate node id '" + id + "'");
+    }
+    const std::size_t index = transitions_.size();
+    transition_ids_.emplace(id, index);
+    transitions_.push_back(std::move(id));
+    inputs_.emplace_back();
+    outputs_.emplace_back();
+    return index;
+}
+
+Result<void> PetriNet::add_input_arc(const std::string& place, const std::string& transition,
+                                     int weight) {
+    auto p = place_index(place);
+    if (!p.ok()) return Result<void>::failure(p.error());
+    auto t = transition_index(transition);
+    if (!t.ok()) return Result<void>::failure(t.error());
+    if (weight <= 0) return Result<void>::failure("arc weight must be positive");
+    inputs_[t.value()].push_back(Arc{p.value(), weight});
+    return {};
+}
+
+Result<void> PetriNet::add_output_arc(const std::string& transition, const std::string& place,
+                                      int weight) {
+    auto p = place_index(place);
+    if (!p.ok()) return Result<void>::failure(p.error());
+    auto t = transition_index(transition);
+    if (!t.ok()) return Result<void>::failure(t.error());
+    if (weight <= 0) return Result<void>::failure("arc weight must be positive");
+    outputs_[t.value()].push_back(Arc{p.value(), weight});
+    return {};
+}
+
+Result<std::size_t> PetriNet::place_index(const std::string& id) const {
+    auto it = place_ids_.find(id);
+    if (it == place_ids_.end()) return Result<std::size_t>::failure("unknown place '" + id + "'");
+    return it->second;
+}
+
+Result<std::size_t> PetriNet::transition_index(const std::string& id) const {
+    auto it = transition_ids_.find(id);
+    if (it == transition_ids_.end()) {
+        return Result<std::size_t>::failure("unknown transition '" + id + "'");
+    }
+    return it->second;
+}
+
+const std::string& PetriNet::place_name(std::size_t index) const {
+    require(index < places_.size(), "PetriNet: place index out of range");
+    return places_[index];
+}
+
+const std::string& PetriNet::transition_name(std::size_t index) const {
+    require(index < transitions_.size(), "PetriNet: transition index out of range");
+    return transitions_[index];
+}
+
+Marking PetriNet::initial_marking() const { return initial_; }
+
+bool PetriNet::enabled(std::size_t transition, const Marking& marking) const {
+    require(transition < transitions_.size(), "PetriNet: transition index out of range");
+    require(marking.size() == places_.size(), "PetriNet: marking arity mismatch");
+    for (const Arc& arc : inputs_[transition]) {
+        if (marking[arc.place] < arc.weight) return false;
+    }
+    return true;
+}
+
+std::vector<std::size_t> PetriNet::enabled_transitions(const Marking& marking) const {
+    std::vector<std::size_t> out;
+    for (std::size_t t = 0; t < transitions_.size(); ++t) {
+        if (enabled(t, marking)) out.push_back(t);
+    }
+    return out;
+}
+
+Result<Marking> PetriNet::fire(std::size_t transition, const Marking& marking) const {
+    if (!enabled(transition, marking)) {
+        return Result<Marking>::failure("transition '" + transitions_[transition] +
+                                        "' not enabled");
+    }
+    Marking next = marking;
+    for (const Arc& arc : inputs_[transition]) next[arc.place] -= arc.weight;
+    for (const Arc& arc : outputs_[transition]) next[arc.place] += arc.weight;
+    return next;
+}
+
+PetriNet::Exploration PetriNet::explore(std::size_t max_markings) const {
+    Exploration exploration;
+    std::set<Marking> seen;
+    std::deque<Marking> frontier;
+    frontier.push_back(initial_marking());
+    seen.insert(initial_marking());
+
+    while (!frontier.empty()) {
+        if (seen.size() > max_markings) return exploration;  // exhausted=false
+        Marking current = std::move(frontier.front());
+        frontier.pop_front();
+
+        const auto enabled_list = enabled_transitions(current);
+        if (enabled_list.empty()) exploration.deadlocks.push_back(current);
+        for (std::size_t t : enabled_list) {
+            Marking next = fire(t, current).value();
+            if (seen.insert(next).second) frontier.push_back(next);
+        }
+        exploration.markings.push_back(std::move(current));
+    }
+    exploration.exhausted = true;
+    return exploration;
+}
+
+Result<bool> PetriNet::can_reach(const std::function<bool(const Marking&)>& predicate,
+                                 std::size_t max_markings) const {
+    std::set<Marking> seen;
+    std::deque<Marking> frontier;
+    frontier.push_back(initial_marking());
+    seen.insert(initial_marking());
+
+    while (!frontier.empty()) {
+        Marking current = std::move(frontier.front());
+        frontier.pop_front();
+        if (predicate(current)) return true;
+        if (seen.size() > max_markings) {
+            return Result<bool>::failure("reachability exploration exceeded " +
+                                         std::to_string(max_markings) + " markings");
+        }
+        for (std::size_t t : enabled_transitions(current)) {
+            Marking next = fire(t, current).value();
+            if (seen.insert(next).second) frontier.push_back(std::move(next));
+        }
+    }
+    return false;
+}
+
+Result<int> PetriNet::tokens(const std::string& place, const Marking& marking) const {
+    auto p = place_index(place);
+    if (!p.ok()) return Result<int>::failure(p.error());
+    if (marking.size() != places_.size()) return Result<int>::failure("marking arity mismatch");
+    return marking[p.value()];
+}
+
+}  // namespace cprisk::petri

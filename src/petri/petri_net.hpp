@@ -1,0 +1,86 @@
+// cprisk/petri/petri_net.hpp
+//
+// Place/transition Petri nets — the third classical EPA approach the paper
+// names (§III-A: "Markov chains and Petri nets are other approaches for EPA
+// but require specific expert knowledge"). Provides the standard P/T net
+// semantics (weighted arcs, token firing), bounded reachability exploration,
+// and deadlock detection, so the qualitative EPA verdicts can be
+// cross-checked against a token-game model of the plant.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace cprisk::petri {
+
+/// A marking: token count per place, indexed by place insertion order.
+using Marking = std::vector<int>;
+
+class PetriNet {
+public:
+    /// Adds a place with an initial token count; returns its index.
+    Result<std::size_t> add_place(std::string id, int initial_tokens = 0);
+    /// Adds a transition; returns its index.
+    Result<std::size_t> add_transition(std::string id);
+
+    /// Input arc: `place` must carry >= `weight` tokens to enable
+    /// `transition`; firing consumes them.
+    Result<void> add_input_arc(const std::string& place, const std::string& transition,
+                               int weight = 1);
+    /// Output arc: firing `transition` produces `weight` tokens on `place`.
+    Result<void> add_output_arc(const std::string& transition, const std::string& place,
+                                int weight = 1);
+
+    std::size_t place_count() const { return places_.size(); }
+    std::size_t transition_count() const { return transitions_.size(); }
+    Result<std::size_t> place_index(const std::string& id) const;
+    Result<std::size_t> transition_index(const std::string& id) const;
+    const std::string& place_name(std::size_t index) const;
+    const std::string& transition_name(std::size_t index) const;
+
+    /// The initial marking.
+    Marking initial_marking() const;
+
+    bool enabled(std::size_t transition, const Marking& marking) const;
+    std::vector<std::size_t> enabled_transitions(const Marking& marking) const;
+
+    /// Fires `transition` (must be enabled) and returns the new marking.
+    Result<Marking> fire(std::size_t transition, const Marking& marking) const;
+
+    struct Exploration {
+        std::vector<Marking> markings;    ///< reachable markings (<= cap)
+        bool exhausted = false;            ///< true if fully explored
+        std::vector<Marking> deadlocks;    ///< markings with no enabled transition
+    };
+
+    /// BFS over the reachability graph, capped at `max_markings` states.
+    Exploration explore(std::size_t max_markings = 100'000) const;
+
+    /// True if a reachable marking (within the cap) satisfies `predicate`.
+    /// Fails when the cap is hit before a witness is found and the space was
+    /// not exhausted (the answer would be unreliable).
+    Result<bool> can_reach(const std::function<bool(const Marking&)>& predicate,
+                           std::size_t max_markings = 100'000) const;
+
+    /// Tokens on `place` under `marking`.
+    Result<int> tokens(const std::string& place, const Marking& marking) const;
+
+private:
+    struct Arc {
+        std::size_t place = 0;
+        int weight = 1;
+    };
+    std::vector<std::string> places_;
+    std::vector<int> initial_;
+    std::vector<std::string> transitions_;
+    std::vector<std::vector<Arc>> inputs_;   ///< per transition
+    std::vector<std::vector<Arc>> outputs_;  ///< per transition
+    std::map<std::string, std::size_t> place_ids_;
+    std::map<std::string, std::size_t> transition_ids_;
+};
+
+}  // namespace cprisk::petri

@@ -1,0 +1,40 @@
+#include "qualitative/abstraction.hpp"
+
+#include "common/error.hpp"
+
+namespace cprisk::qual {
+
+void TraceAbstractor::register_space(QuantitySpace space) {
+    const std::string variable = space.variable();
+    spaces_.insert_or_assign(variable, std::move(space));
+}
+
+bool TraceAbstractor::has_space(const std::string& variable) const {
+    return spaces_.find(variable) != spaces_.end();
+}
+
+const QuantitySpace& TraceAbstractor::space(const std::string& variable) const {
+    auto it = spaces_.find(variable);
+    require(it != spaces_.end(), "TraceAbstractor: no quantity space for '" + variable + "'");
+    return it->second;
+}
+
+QualitativeState TraceAbstractor::abstract_sample(const TraceSample& sample) const {
+    QualitativeState state;
+    for (const auto& [variable, value] : sample.values) {
+        auto it = spaces_.find(variable);
+        if (it == spaces_.end()) continue;
+        state.set(variable, it->second.classify_name(value));
+    }
+    return state;
+}
+
+QualitativeTrajectory TraceAbstractor::abstract_trace(const NumericTrace& trace) const {
+    QualitativeTrajectory trajectory;
+    for (const auto& sample : trace) {
+        trajectory.append(sample.time, abstract_sample(sample));
+    }
+    return trajectory;
+}
+
+}  // namespace cprisk::qual

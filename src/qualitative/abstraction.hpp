@@ -1,0 +1,49 @@
+// cprisk/qualitative/abstraction.hpp
+//
+// Bridge from quantitative traces (produced by the simulator substrate) to
+// qualitative trajectories. This is the abstraction direction of the
+// CEGAR-style loop: the qualitative model must *over-approximate* the
+// concrete behaviour, so hazards visible in a concrete trace must also be
+// visible in its abstraction (property-tested in tests/qualitative).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "qualitative/domain.hpp"
+#include "qualitative/state.hpp"
+
+namespace cprisk::qual {
+
+/// One sample of a multi-variable numeric trace.
+struct TraceSample {
+    double time = 0.0;
+    std::map<std::string, double> values;  ///< variable name -> numeric value
+};
+
+/// A recorded numeric trace.
+using NumericTrace = std::vector<TraceSample>;
+
+/// Abstracts numeric traces into qualitative trajectories using one quantity
+/// space per variable. Variables without a registered space are dropped.
+class TraceAbstractor {
+public:
+    /// Registers the quantity space used for `space.variable()`.
+    void register_space(QuantitySpace space);
+
+    bool has_space(const std::string& variable) const;
+    const QuantitySpace& space(const std::string& variable) const;
+
+    /// Maps one sample to a qualitative state.
+    QualitativeState abstract_sample(const TraceSample& sample) const;
+
+    /// Maps a full trace; consecutive identical states are merged, so the
+    /// result records landmark crossings only.
+    QualitativeTrajectory abstract_trace(const NumericTrace& trace) const;
+
+private:
+    std::map<std::string, QuantitySpace> spaces_;
+};
+
+}  // namespace cprisk::qual

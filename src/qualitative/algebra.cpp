@@ -1,0 +1,24 @@
+#include "qualitative/algebra.hpp"
+
+#include <ostream>
+
+namespace cprisk::qual {
+
+std::ostream& operator<<(std::ostream& os, const LevelRange& r) {
+    if (r.is_exact()) return os << r.lo;
+    return os << '[' << r.lo << ".." << r.hi << ']';
+}
+
+std::string_view to_string(Sign s) {
+    switch (s) {
+        case Sign::Negative: return "-";
+        case Sign::Zero: return "0";
+        case Sign::Positive: return "+";
+        case Sign::Ambiguous: return "?";
+    }
+    return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, Sign s) { return os << to_string(s); }
+
+}  // namespace cprisk::qual

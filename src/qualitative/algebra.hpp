@@ -1,0 +1,117 @@
+// cprisk/qualitative/algebra.hpp
+//
+// Qualitative algebra over the ordinal scale and Forbus-style sign algebra
+// for qualitative-physics influence reasoning (paper §II-B, refs [3], [6]).
+//
+// Two algebras live here:
+//  * ordinal combination operators on `Level` (saturating add, weighted
+//    combine, ranges for uncertain values), used by the risk calculus;
+//  * the classic {-, 0, +, ?} sign algebra for derivatives/influences, used
+//    by the dynamics aspect of system models (e.g. inflow +, outflow -).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+
+#include "qualitative/level.hpp"
+
+namespace cprisk::qual {
+
+// ---------------------------------------------------------------------------
+// Ordinal (Level) algebra
+// ---------------------------------------------------------------------------
+
+/// Saturating ordinal sum: index(a) + index(b) clipped to the scale. Models
+/// compounding of two contributions on a severity-like scale.
+constexpr Level saturating_add(Level a, Level b) {
+    return level_from_index(index_of(a) + index_of(b));
+}
+
+/// Saturating ordinal difference: models risk reduction by a mitigation of
+/// a given strength (reducing H risk with an M-strength control gives L).
+constexpr Level saturating_sub(Level a, Level b) {
+    return level_from_index(index_of(a) - index_of(b));
+}
+
+/// Rounded ordinal midpoint, biased upward on ties (conservative: a risk
+/// aggregation should not understate).
+constexpr Level midpoint_up(Level a, Level b) {
+    return level_from_index((index_of(a) + index_of(b) + 1) / 2);
+}
+
+/// A closed interval of levels [lo, hi] used when a factor's value is only
+/// known approximately (paper §V-A sensitivity analysis input).
+struct LevelRange {
+    Level lo = Level::VeryLow;
+    Level hi = Level::VeryHigh;
+
+    constexpr LevelRange() = default;
+    constexpr LevelRange(Level single) : lo(single), hi(single) {}  // NOLINT
+    constexpr LevelRange(Level lo_, Level hi_) : lo(qmin(lo_, hi_)), hi(qmax(lo_, hi_)) {}
+
+    constexpr bool contains(Level l) const { return lo <= l && l <= hi; }
+    constexpr bool is_exact() const { return lo == hi; }
+    constexpr int width() const { return index_of(hi) - index_of(lo); }
+
+    constexpr bool operator==(const LevelRange&) const = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const LevelRange& r);
+
+// ---------------------------------------------------------------------------
+// Sign algebra
+// ---------------------------------------------------------------------------
+
+/// Qualitative sign with the usual "ambiguous" element.
+enum class Sign : std::uint8_t {
+    Negative = 0,
+    Zero = 1,
+    Positive = 2,
+    Ambiguous = 3,  ///< unknown / both directions possible
+};
+
+std::string_view to_string(Sign s);
+std::ostream& operator<<(std::ostream& os, Sign s);
+
+/// Sign of a numeric value.
+constexpr Sign sign_of(double v) {
+    if (v > 0) return Sign::Positive;
+    if (v < 0) return Sign::Negative;
+    return Sign::Zero;
+}
+
+/// Qualitative addition: + plus - is ambiguous.
+constexpr Sign qadd(Sign a, Sign b) {
+    if (a == Sign::Ambiguous || b == Sign::Ambiguous) return Sign::Ambiguous;
+    if (a == Sign::Zero) return b;
+    if (b == Sign::Zero) return a;
+    if (a == b) return a;
+    return Sign::Ambiguous;
+}
+
+/// Qualitative multiplication (exact: no ambiguity introduced).
+constexpr Sign qmul(Sign a, Sign b) {
+    if (a == Sign::Ambiguous || b == Sign::Ambiguous) {
+        // 0 * ? == 0; otherwise unknown.
+        if (a == Sign::Zero || b == Sign::Zero) return Sign::Zero;
+        return Sign::Ambiguous;
+    }
+    if (a == Sign::Zero || b == Sign::Zero) return Sign::Zero;
+    return a == b ? Sign::Positive : Sign::Negative;
+}
+
+/// Qualitative negation.
+constexpr Sign qneg(Sign a) {
+    switch (a) {
+        case Sign::Negative: return Sign::Positive;
+        case Sign::Positive: return Sign::Negative;
+        default: return a;
+    }
+}
+
+/// True if `a` refines `b` (every behaviour of `a` is allowed by `b`);
+/// Ambiguous is the top element of the refinement order.
+constexpr bool refines(Sign a, Sign b) { return b == Sign::Ambiguous || a == b; }
+
+}  // namespace cprisk::qual

@@ -1,0 +1,96 @@
+#include "qualitative/domain.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cprisk::qual {
+
+QuantitySpace::QuantitySpace(std::string variable, std::vector<std::string> region_names,
+                             std::vector<double> landmarks)
+    : variable_(std::move(variable)),
+      region_names_(std::move(region_names)),
+      landmarks_(std::move(landmarks)) {
+    require(region_names_.size() == landmarks_.size() + 1,
+            "QuantitySpace '" + variable_ + "': need exactly one more region than landmarks");
+    require(std::adjacent_find(landmarks_.begin(), landmarks_.end(),
+                               [](double a, double b) { return a >= b; }) == landmarks_.end(),
+            "QuantitySpace '" + variable_ + "': landmarks must be strictly increasing");
+}
+
+QuantitySpace QuantitySpace::five_level(std::string variable, std::vector<double> landmarks) {
+    require(landmarks.size() == 4, "five_level space needs exactly 4 landmarks");
+    return QuantitySpace(std::move(variable),
+                         {"very_low", "low", "medium", "high", "very_high"},
+                         std::move(landmarks));
+}
+
+const std::string& QuantitySpace::region_name(int index) const {
+    require(index >= 0 && index < static_cast<int>(region_names_.size()),
+            "QuantitySpace '" + variable_ + "': region index out of range");
+    return region_names_[static_cast<std::size_t>(index)];
+}
+
+int QuantitySpace::classify(double value) const {
+    int index = 0;
+    for (double landmark : landmarks_) {
+        if (value < landmark) break;
+        ++index;
+    }
+    return index;
+}
+
+const std::string& QuantitySpace::classify_name(double value) const {
+    return region_names_[static_cast<std::size_t>(classify(value))];
+}
+
+Result<int> QuantitySpace::region_index(std::string_view name) const {
+    for (std::size_t i = 0; i < region_names_.size(); ++i) {
+        if (region_names_[i] == name) return static_cast<int>(i);
+    }
+    return Result<int>::failure("QuantitySpace '" + variable_ + "': no region named '" +
+                                std::string(name) + "'");
+}
+
+Level QuantitySpace::to_level(int region_index) const {
+    require(region_index >= 0 && region_index < static_cast<int>(region_names_.size()),
+            "QuantitySpace '" + variable_ + "': region index out of range");
+    if (region_names_.size() <= 1) return Level::Medium;
+    const double frac =
+        static_cast<double>(region_index) / static_cast<double>(region_names_.size() - 1);
+    return level_from_index(static_cast<int>(std::lround(frac * (kLevelCount - 1))));
+}
+
+double QuantitySpace::representative(int index) const {
+    require(index >= 0 && index < static_cast<int>(region_names_.size()),
+            "QuantitySpace '" + variable_ + "': region index out of range");
+    if (landmarks_.empty()) return 0.0;
+    const double span = landmarks_.back() - landmarks_.front();
+    const double margin = (span > 0 ? span : 1.0) * 0.5;
+    if (index == 0) return landmarks_.front() - margin;
+    if (index == static_cast<int>(landmarks_.size())) return landmarks_.back() + margin;
+    return 0.5 * (landmarks_[static_cast<std::size_t>(index - 1)] +
+                  landmarks_[static_cast<std::size_t>(index)]);
+}
+
+OrderedDomain::OrderedDomain(std::string name, std::vector<std::string> values)
+    : name_(std::move(name)), values_(std::move(values)) {
+    require(!values_.empty(), "OrderedDomain '" + name_ + "': needs at least one value");
+}
+
+const std::string& OrderedDomain::value(int index) const {
+    require(index >= 0 && index < static_cast<int>(values_.size()),
+            "OrderedDomain '" + name_ + "': index out of range");
+    return values_[static_cast<std::size_t>(index)];
+}
+
+Result<int> OrderedDomain::index_of(std::string_view value) const {
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        if (values_[i] == value) return static_cast<int>(i);
+    }
+    return Result<int>::failure("OrderedDomain '" + name_ + "': no value '" + std::string(value) +
+                                "'");
+}
+
+}  // namespace cprisk::qual

@@ -1,0 +1,88 @@
+// cprisk/qualitative/domain.hpp
+//
+// Quantity spaces: "Qualitative modeling partitions continuous domains into
+// different clusters of identical or similar behavior along landmarks and
+// represents them by a discrete model at the granularity level of clusters"
+// (paper §II-B). A `QuantitySpace` is an ordered list of named regions
+// separated by numeric landmarks; it abstracts a continuous variable (water
+// level, workload, temperature) to a categorical ordered variable.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "qualitative/level.hpp"
+
+namespace cprisk::qual {
+
+/// One ordered region of a quantity space.
+struct Region {
+    std::string name;  ///< e.g. "normal", "overloaded"
+    int index = 0;     ///< ordinal position, 0-based from the lowest region
+};
+
+/// An ordered partition of a continuous domain along landmark values.
+///
+/// With landmarks l1 < l2 < ... < ln, the space has n+1 regions:
+/// (-inf, l1), [l1, l2), ..., [ln, +inf). Region i covers [l_i, l_{i+1}).
+class QuantitySpace {
+public:
+    /// Builds a space from region names and the landmarks separating them.
+    /// `region_names.size()` must equal `landmarks.size() + 1`, and landmarks
+    /// must be strictly increasing.
+    QuantitySpace(std::string variable, std::vector<std::string> region_names,
+                  std::vector<double> landmarks);
+
+    /// Convenience factory: a five-region space aligned with the uniform
+    /// VL/L/M/H/VH scale, calibrated by four landmarks.
+    static QuantitySpace five_level(std::string variable, std::vector<double> landmarks);
+
+    const std::string& variable() const { return variable_; }
+    std::size_t region_count() const { return region_names_.size(); }
+    const std::vector<double>& landmarks() const { return landmarks_; }
+
+    const std::string& region_name(int index) const;
+
+    /// Ordinal region index of a numeric value.
+    int classify(double value) const;
+
+    /// Region name of a numeric value.
+    const std::string& classify_name(double value) const;
+
+    /// Region index by name.
+    Result<int> region_index(std::string_view name) const;
+
+    /// Maps a region index onto the uniform five-point scale by proportional
+    /// position (exact when the space has five regions).
+    Level to_level(int region_index) const;
+
+    /// A representative numeric value inside region `index` (midpoint of the
+    /// region, or landmark +/- an epsilon-sized offset for the open ends).
+    double representative(int index) const;
+
+private:
+    std::string variable_;
+    std::vector<std::string> region_names_;
+    std::vector<double> landmarks_;
+};
+
+/// A purely categorical ordered domain without numeric landmarks (e.g. a
+/// component health domain: ok < degraded < failed).
+class OrderedDomain {
+public:
+    OrderedDomain(std::string name, std::vector<std::string> values);
+
+    const std::string& name() const { return name_; }
+    std::size_t size() const { return values_.size(); }
+    const std::string& value(int index) const;
+    Result<int> index_of(std::string_view value) const;
+    const std::vector<std::string>& values() const { return values_; }
+
+private:
+    std::string name_;
+    std::vector<std::string> values_;
+};
+
+}  // namespace cprisk::qual

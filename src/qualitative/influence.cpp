@@ -1,0 +1,91 @@
+#include "qualitative/influence.hpp"
+
+namespace cprisk::qual {
+
+void InfluenceGraph::add_variable(const std::string& name) {
+    if (ids_.count(name) > 0) return;
+    ids_.emplace(name, variables_.size());
+    variables_.push_back(name);
+}
+
+Result<void> InfluenceGraph::add_influence(const std::string& source, const std::string& target,
+                                           Sign polarity) {
+    if (polarity != Sign::Positive && polarity != Sign::Negative) {
+        return Result<void>::failure("influence polarity must be + or -");
+    }
+    if (source == target) return Result<void>::failure("self-influence not allowed");
+    add_variable(source);
+    add_variable(target);
+    influences_.push_back(Influence{source, target, polarity});
+    return {};
+}
+
+bool InfluenceGraph::has_variable(const std::string& name) const { return ids_.count(name) > 0; }
+
+namespace {
+
+/// Join in the sign information lattice: Zero < {+,-} < Ambiguous.
+Sign sign_join(Sign a, Sign b) {
+    if (a == Sign::Zero) return b;
+    if (b == Sign::Zero) return a;
+    if (a == b) return a;
+    return Sign::Ambiguous;
+}
+
+}  // namespace
+
+Result<std::map<std::string, Sign>> InfluenceGraph::propagate(const std::string& variable,
+                                                              Sign direction) const {
+    if (!has_variable(variable)) {
+        return Result<std::map<std::string, Sign>>::failure("unknown variable '" + variable +
+                                                            "'");
+    }
+    if (direction != Sign::Positive && direction != Sign::Negative) {
+        return Result<std::map<std::string, Sign>>::failure(
+            "perturbation direction must be + or -");
+    }
+
+    std::map<std::string, Sign> trend;
+    for (const std::string& name : variables_) trend[name] = Sign::Zero;
+    trend[variable] = direction;
+
+    // Monotone fixpoint over the finite sign lattice.
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        for (const Influence& influence : influences_) {
+            const Sign incoming = qmul(trend[influence.source], influence.polarity);
+            // The perturbed root keeps its exogenous direction.
+            if (influence.target == variable) continue;
+            const Sign joined = sign_join(trend[influence.target], incoming);
+            if (joined != trend[influence.target]) {
+                trend[influence.target] = joined;
+                progressed = true;
+            }
+        }
+    }
+    return trend;
+}
+
+Result<Sign> InfluenceGraph::effect(const std::string& source, Sign direction,
+                                    const std::string& target) const {
+    if (!has_variable(target)) {
+        return Result<Sign>::failure("unknown variable '" + target + "'");
+    }
+    auto trend = propagate(source, direction);
+    if (!trend.ok()) return Result<Sign>::failure(trend.error());
+    return trend.value().at(target);
+}
+
+Result<std::vector<std::string>> InfluenceGraph::ambiguous_under(const std::string& variable,
+                                                                 Sign direction) const {
+    auto trend = propagate(variable, direction);
+    if (!trend.ok()) return Result<std::vector<std::string>>::failure(trend.error());
+    std::vector<std::string> out;
+    for (const auto& [name, sign] : trend.value()) {
+        if (sign == Sign::Ambiguous) out.push_back(name);
+    }
+    return out;
+}
+
+}  // namespace cprisk::qual

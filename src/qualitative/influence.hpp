@@ -1,0 +1,67 @@
+// cprisk/qualitative/influence.hpp
+//
+// Qualitative influence graphs — the Forbus-style "qualitative physics"
+// core the paper builds on (§II-B, refs [3],[6]): variables connected by
+// signed influences (I+ / I-), with perturbations propagated through the
+// sign algebra. Answers analyst questions like "if the input valve opens
+// further, which way does the tank level move?" without numeric models, and
+// reports ambiguity honestly when opposing influences meet.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "qualitative/algebra.hpp"
+
+namespace cprisk::qual {
+
+/// A directed, signed influence: `source` pushes `target` in direction
+/// `polarity` (Positive: increase begets increase; Negative: inverse).
+struct Influence {
+    std::string source;
+    std::string target;
+    Sign polarity = Sign::Positive;
+};
+
+class InfluenceGraph {
+public:
+    /// Declares a variable (idempotent).
+    void add_variable(const std::string& name);
+
+    /// Adds an influence edge; endpoints are auto-declared. Polarity must be
+    /// Positive or Negative.
+    Result<void> add_influence(const std::string& source, const std::string& target,
+                               Sign polarity);
+
+    bool has_variable(const std::string& name) const;
+    std::size_t variable_count() const { return variables_.size(); }
+    const std::vector<Influence>& influences() const { return influences_; }
+
+    /// Propagates a perturbation of `variable` in direction `direction`
+    /// through the graph to a sign fixpoint: each variable's resulting trend
+    /// is the qualitative sum over its incoming influences. Opposing
+    /// contributions yield Ambiguous; untouched variables report Zero.
+    /// Cycles converge because the sign lattice is finite and monotone
+    /// (Zero < {+,-} < Ambiguous).
+    Result<std::map<std::string, Sign>> propagate(const std::string& variable,
+                                                  Sign direction) const;
+
+    /// The trend of `target` after perturbing `source` (convenience).
+    Result<Sign> effect(const std::string& source, Sign direction,
+                        const std::string& target) const;
+
+    /// Variables whose trend is Ambiguous under the perturbation — the spots
+    /// where qualitative knowledge alone cannot decide and refinement (or a
+    /// quantitative model) is needed.
+    Result<std::vector<std::string>> ambiguous_under(const std::string& variable,
+                                                     Sign direction) const;
+
+private:
+    std::vector<std::string> variables_;
+    std::map<std::string, std::size_t> ids_;
+    std::vector<Influence> influences_;
+};
+
+}  // namespace cprisk::qual

@@ -1,0 +1,45 @@
+#include "qualitative/level.hpp"
+
+#include <ostream>
+
+#include "common/strings.hpp"
+
+namespace cprisk::qual {
+
+std::string_view to_short_string(Level l) {
+    switch (l) {
+        case Level::VeryLow: return "VL";
+        case Level::Low: return "L";
+        case Level::Medium: return "M";
+        case Level::High: return "H";
+        case Level::VeryHigh: return "VH";
+    }
+    return "?";
+}
+
+std::string_view to_long_string(Level l) {
+    switch (l) {
+        case Level::VeryLow: return "very low";
+        case Level::Low: return "low";
+        case Level::Medium: return "medium";
+        case Level::High: return "high";
+        case Level::VeryHigh: return "very high";
+    }
+    return "?";
+}
+
+Result<Level> parse_level(std::string_view text) {
+    const std::string t = to_lower(trim(text));
+    if (t == "vl" || t == "very low" || t == "very_low" || t == "verylow") return Level::VeryLow;
+    if (t == "l" || t == "low") return Level::Low;
+    if (t == "m" || t == "medium" || t == "med") return Level::Medium;
+    if (t == "h" || t == "high") return Level::High;
+    if (t == "vh" || t == "very high" || t == "very_high" || t == "veryhigh") {
+        return Level::VeryHigh;
+    }
+    return Result<Level>::failure("unknown qualitative level: '" + std::string(text) + "'");
+}
+
+std::ostream& operator<<(std::ostream& os, Level l) { return os << to_short_string(l); }
+
+}  // namespace cprisk::qual

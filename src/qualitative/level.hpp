@@ -1,0 +1,65 @@
+// cprisk/qualitative/level.hpp
+//
+// The uniform five-point qualitative scale used throughout the paper for
+// risk attributes (§IV-B): very low (VL), low (L), medium (M), high (H),
+// very high (VH). "The domain and the analyst determine which values for
+// each attribute fall into each category" — calibration lives in
+// qualitative/domain.hpp; this header is the ordinal scale itself.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "common/result.hpp"
+
+namespace cprisk::qual {
+
+/// Ordered five-point qualitative category.
+enum class Level : std::uint8_t {
+    VeryLow = 0,
+    Low = 1,
+    Medium = 2,
+    High = 3,
+    VeryHigh = 4,
+};
+
+inline constexpr std::size_t kLevelCount = 5;
+
+/// All levels, in ascending order.
+inline constexpr std::array<Level, kLevelCount> kAllLevels = {
+    Level::VeryLow, Level::Low, Level::Medium, Level::High, Level::VeryHigh};
+
+/// Ordinal index (0 = VeryLow .. 4 = VeryHigh).
+constexpr int index_of(Level l) { return static_cast<int>(l); }
+
+/// Level from ordinal index, saturating to the scale ends.
+constexpr Level level_from_index(int index) {
+    if (index < 0) return Level::VeryLow;
+    if (index >= static_cast<int>(kLevelCount)) return Level::VeryHigh;
+    return static_cast<Level>(index);
+}
+
+/// Short label used in the paper's tables: "VL", "L", "M", "H", "VH".
+std::string_view to_short_string(Level l);
+
+/// Long label: "very low" .. "very high".
+std::string_view to_long_string(Level l);
+
+/// Parses either the short or the long form (case-insensitive).
+Result<Level> parse_level(std::string_view text);
+
+/// Saturating shift on the ordinal scale (e.g. `shift(Level::Low, +2)` = H).
+constexpr Level shift(Level l, int delta) { return level_from_index(index_of(l) + delta); }
+
+constexpr Level qmax(Level a, Level b) { return index_of(a) >= index_of(b) ? a : b; }
+constexpr Level qmin(Level a, Level b) { return index_of(a) <= index_of(b) ? a : b; }
+
+constexpr auto operator<=>(Level a, Level b) { return index_of(a) <=> index_of(b); }
+
+std::ostream& operator<<(std::ostream& os, Level l);
+
+}  // namespace cprisk::qual

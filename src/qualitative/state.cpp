@@ -1,0 +1,84 @@
+#include "qualitative/state.hpp"
+
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace cprisk::qual {
+
+void QualitativeState::set(std::string variable, std::string region) {
+    assignment_[std::move(variable)] = std::move(region);
+}
+
+bool QualitativeState::has(std::string_view variable) const {
+    return assignment_.find(std::string(variable)) != assignment_.end();
+}
+
+Result<std::string> QualitativeState::get(std::string_view variable) const {
+    auto it = assignment_.find(std::string(variable));
+    if (it == assignment_.end()) {
+        return Result<std::string>::failure("QualitativeState: variable '" +
+                                            std::string(variable) + "' unassigned");
+    }
+    return it->second;
+}
+
+std::string QualitativeState::get_or(std::string_view variable, std::string fallback) const {
+    auto it = assignment_.find(std::string(variable));
+    return it == assignment_.end() ? std::move(fallback) : it->second;
+}
+
+std::string QualitativeState::to_string() const {
+    std::string out;
+    for (const auto& [var, region] : assignment_) {
+        if (!out.empty()) out += ", ";
+        out += var + "=" + region;
+    }
+    return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const QualitativeState& s) {
+    return os << s.to_string();
+}
+
+void QualitativeTrajectory::append(double time, QualitativeState state) {
+    if (!steps_.empty()) {
+        require(time >= steps_.back().time,
+                "QualitativeTrajectory: time must be non-decreasing");
+        if (steps_.back().state == state) return;
+    }
+    steps_.push_back(TrajectoryStep{time, std::move(state)});
+}
+
+const TrajectoryStep& QualitativeTrajectory::step(std::size_t i) const {
+    require(i < steps_.size(), "QualitativeTrajectory: step index out of range");
+    return steps_[i];
+}
+
+bool QualitativeTrajectory::ever(std::string_view variable, std::string_view region) const {
+    for (const auto& step : steps_) {
+        auto r = step.state.get(variable);
+        if (r.ok() && r.value() == region) return true;
+    }
+    return false;
+}
+
+bool QualitativeTrajectory::always(std::string_view variable, std::string_view region) const {
+    for (const auto& step : steps_) {
+        auto r = step.state.get(variable);
+        if (r.ok() && r.value() != region) return false;
+    }
+    return true;
+}
+
+Result<double> QualitativeTrajectory::first_time(std::string_view variable,
+                                                 std::string_view region) const {
+    for (const auto& step : steps_) {
+        auto r = step.state.get(variable);
+        if (r.ok() && r.value() == region) return step.time;
+    }
+    return Result<double>::failure("QualitativeTrajectory: '" + std::string(variable) +
+                                   "' never enters '" + std::string(region) + "'");
+}
+
+}  // namespace cprisk::qual

@@ -1,0 +1,81 @@
+// cprisk/qualitative/state.hpp
+//
+// Qualitative states and trajectories: a state assigns each variable a
+// region of its quantity space; a trajectory is the time-ordered sequence of
+// distinct states a system passes through. The EPA reasons over these
+// discrete states; the simulator bridge (abstraction.hpp) produces them from
+// numeric traces.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace cprisk::qual {
+
+/// An assignment of qualitative region names to variables.
+class QualitativeState {
+public:
+    QualitativeState() = default;
+
+    void set(std::string variable, std::string region);
+    bool has(std::string_view variable) const;
+
+    /// Region of `variable`; fails if unassigned.
+    Result<std::string> get(std::string_view variable) const;
+
+    /// Region of `variable`, or `fallback` if unassigned.
+    std::string get_or(std::string_view variable, std::string fallback) const;
+
+    std::size_t size() const { return assignment_.size(); }
+    const std::map<std::string, std::string>& assignment() const { return assignment_; }
+
+    bool operator==(const QualitativeState&) const = default;
+
+    /// "var1=reg1, var2=reg2, ..." in variable order.
+    std::string to_string() const;
+
+private:
+    std::map<std::string, std::string> assignment_;
+};
+
+std::ostream& operator<<(std::ostream& os, const QualitativeState& s);
+
+/// One step of a trajectory: the state and the time at which it was entered.
+struct TrajectoryStep {
+    double time = 0.0;
+    QualitativeState state;
+};
+
+/// A time-ordered sequence of qualitative states. Consecutive duplicate
+/// states are merged on append, so a trajectory records *changes* (landmark
+/// crossings), matching the event-oriented view of qualitative simulation.
+class QualitativeTrajectory {
+public:
+    /// Appends a state observed at `time`; ignored if it equals the last
+    /// state (times must be non-decreasing).
+    void append(double time, QualitativeState state);
+
+    std::size_t size() const { return steps_.size(); }
+    bool empty() const { return steps_.empty(); }
+    const TrajectoryStep& step(std::size_t i) const;
+    const std::vector<TrajectoryStep>& steps() const { return steps_; }
+
+    /// True if any state in the trajectory maps `variable` to `region`.
+    bool ever(std::string_view variable, std::string_view region) const;
+
+    /// True if every state that assigns `variable` maps it to `region`.
+    bool always(std::string_view variable, std::string_view region) const;
+
+    /// First time at which `variable` enters `region`, if ever.
+    Result<double> first_time(std::string_view variable, std::string_view region) const;
+
+private:
+    std::vector<TrajectoryStep> steps_;
+};
+
+}  // namespace cprisk::qual

@@ -1,0 +1,110 @@
+#include "risk/iec61508.hpp"
+
+#include <array>
+
+#include "common/strings.hpp"
+
+namespace cprisk::risk {
+
+std::string_view to_string(Likelihood likelihood) {
+    switch (likelihood) {
+        case Likelihood::Incredible: return "incredible";
+        case Likelihood::Improbable: return "improbable";
+        case Likelihood::Remote: return "remote";
+        case Likelihood::Occasional: return "occasional";
+        case Likelihood::Probable: return "probable";
+        case Likelihood::Frequent: return "frequent";
+    }
+    return "?";
+}
+
+std::string_view to_string(Consequence consequence) {
+    switch (consequence) {
+        case Consequence::Negligible: return "negligible";
+        case Consequence::Marginal: return "marginal";
+        case Consequence::Critical: return "critical";
+        case Consequence::Catastrophic: return "catastrophic";
+    }
+    return "?";
+}
+
+std::string_view to_string(RiskClass risk_class) {
+    switch (risk_class) {
+        case RiskClass::I: return "I";
+        case RiskClass::II: return "II";
+        case RiskClass::III: return "III";
+        case RiskClass::IV: return "IV";
+    }
+    return "?";
+}
+
+Result<Likelihood> parse_likelihood(std::string_view text) {
+    const std::string t = to_lower(trim(text));
+    for (int i = 0; i <= static_cast<int>(Likelihood::Frequent); ++i) {
+        if (t == to_string(static_cast<Likelihood>(i))) return static_cast<Likelihood>(i);
+    }
+    return Result<Likelihood>::failure("unknown likelihood '" + std::string(text) + "'");
+}
+
+Result<Consequence> parse_consequence(std::string_view text) {
+    const std::string t = to_lower(trim(text));
+    for (int i = 0; i <= static_cast<int>(Consequence::Catastrophic); ++i) {
+        if (t == to_string(static_cast<Consequence>(i))) return static_cast<Consequence>(i);
+    }
+    return Result<Consequence>::failure("unknown consequence '" + std::string(text) + "'");
+}
+
+RiskClass iec61508_class(Likelihood likelihood, Consequence consequence) {
+    // IEC 61508-5 example calibration. Rows ascending frequency
+    // (incredible..frequent); columns ascending severity
+    // (negligible..catastrophic).
+    static constexpr std::array<std::array<RiskClass, 4>, 6> kTable = {{
+        /* incredible */ {RiskClass::IV, RiskClass::IV, RiskClass::IV, RiskClass::IV},
+        /* improbable */ {RiskClass::IV, RiskClass::IV, RiskClass::III, RiskClass::III},
+        /* remote     */ {RiskClass::IV, RiskClass::III, RiskClass::III, RiskClass::II},
+        /* occasional */ {RiskClass::III, RiskClass::III, RiskClass::II, RiskClass::I},
+        /* probable   */ {RiskClass::III, RiskClass::II, RiskClass::I, RiskClass::I},
+        /* frequent   */ {RiskClass::II, RiskClass::I, RiskClass::I, RiskClass::I},
+    }};
+    return kTable[static_cast<std::size_t>(likelihood)][static_cast<std::size_t>(consequence)];
+}
+
+TextTable iec61508_matrix_table() {
+    TextTable table({"Likelihood \\ Consequence", "negligible", "marginal", "critical",
+                     "catastrophic"});
+    for (int l = static_cast<int>(Likelihood::Frequent); l >= 0; --l) {
+        std::vector<std::string> row = {std::string(to_string(static_cast<Likelihood>(l)))};
+        for (int c = 0; c <= static_cast<int>(Consequence::Catastrophic); ++c) {
+            row.emplace_back(
+                to_string(iec61508_class(static_cast<Likelihood>(l), static_cast<Consequence>(c))));
+        }
+        table.add_row(std::move(row));
+    }
+    return table;
+}
+
+Likelihood likelihood_from_level(qual::Level level) {
+    // VL..VH -> improbable..frequent (incredible is reserved for events the
+    // qualitative model rules out entirely).
+    switch (level) {
+        case qual::Level::VeryLow: return Likelihood::Improbable;
+        case qual::Level::Low: return Likelihood::Remote;
+        case qual::Level::Medium: return Likelihood::Occasional;
+        case qual::Level::High: return Likelihood::Probable;
+        case qual::Level::VeryHigh: return Likelihood::Frequent;
+    }
+    return Likelihood::Occasional;
+}
+
+Consequence consequence_from_level(qual::Level level) {
+    switch (level) {
+        case qual::Level::VeryLow:
+        case qual::Level::Low: return Consequence::Negligible;
+        case qual::Level::Medium: return Consequence::Marginal;
+        case qual::Level::High: return Consequence::Critical;
+        case qual::Level::VeryHigh: return Consequence::Catastrophic;
+    }
+    return Consequence::Marginal;
+}
+
+}  // namespace cprisk::risk

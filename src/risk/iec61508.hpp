@@ -1,0 +1,62 @@
+// cprisk/risk/iec61508.hpp
+//
+// IEC 61508 qualitative hazard analysis (paper §IV-B): "six categories of
+// the likelihood of occurrence and 4 of consequence that are combined in a
+// risk class matrix". The class matrix follows IEC 61508-5 (example risk
+// graph calibration).
+#pragma once
+
+#include <string_view>
+
+#include "common/result.hpp"
+#include "common/table.hpp"
+#include "qualitative/level.hpp"
+
+namespace cprisk::risk {
+
+/// Six likelihood-of-occurrence categories, ascending frequency.
+enum class Likelihood : std::uint8_t {
+    Incredible = 0,
+    Improbable = 1,
+    Remote = 2,
+    Occasional = 3,
+    Probable = 4,
+    Frequent = 5,
+};
+
+/// Four consequence categories, ascending severity.
+enum class Consequence : std::uint8_t {
+    Negligible = 0,
+    Marginal = 1,
+    Critical = 2,
+    Catastrophic = 3,
+};
+
+/// Risk classes: I (intolerable) .. IV (negligible).
+enum class RiskClass : std::uint8_t {
+    I = 0,    ///< intolerable risk
+    II = 1,   ///< undesirable; tolerable only if reduction impracticable
+    III = 2,  ///< tolerable if cost of reduction exceeds improvement (ALARP)
+    IV = 3,   ///< negligible risk
+};
+
+std::string_view to_string(Likelihood likelihood);
+std::string_view to_string(Consequence consequence);
+std::string_view to_string(RiskClass risk_class);
+
+Result<Likelihood> parse_likelihood(std::string_view text);
+Result<Consequence> parse_consequence(std::string_view text);
+
+/// The IEC 61508 risk class for a likelihood/consequence pair.
+RiskClass iec61508_class(Likelihood likelihood, Consequence consequence);
+
+/// Renders the full 6x4 matrix (rows descending frequency, as the standard
+/// prints it).
+TextTable iec61508_matrix_table();
+
+/// Bridges the five-point qualitative scale to the 6/4-category scheme so
+/// EPA severity/likelihood estimates can be classified under IEC 61508.
+Likelihood likelihood_from_level(qual::Level level);
+Consequence consequence_from_level(qual::Level level);
+
+}  // namespace cprisk::risk

@@ -1,0 +1,52 @@
+#include "risk/matrix.hpp"
+
+#include "common/error.hpp"
+
+namespace cprisk::risk {
+
+using qual::index_of;
+using qual::kAllLevels;
+using qual::kLevelCount;
+using qual::Level;
+
+RiskMatrix::RiskMatrix(std::string row_name, std::string col_name,
+                       std::vector<std::vector<Level>> cells)
+    : row_name_(std::move(row_name)), col_name_(std::move(col_name)), cells_(std::move(cells)) {
+    require(cells_.size() == kLevelCount, "RiskMatrix: need 5 rows");
+    for (const auto& row : cells_) {
+        require(row.size() == kLevelCount, "RiskMatrix: need 5 columns per row");
+    }
+}
+
+Level RiskMatrix::lookup(Level row, Level col) const {
+    return cells_[static_cast<std::size_t>(index_of(row))]
+                 [static_cast<std::size_t>(index_of(col))];
+}
+
+bool RiskMatrix::is_monotone() const {
+    for (std::size_t r = 0; r < kLevelCount; ++r) {
+        for (std::size_t c = 0; c < kLevelCount; ++c) {
+            if (r + 1 < kLevelCount && cells_[r + 1][c] < cells_[r][c]) return false;
+            if (c + 1 < kLevelCount && cells_[r][c + 1] < cells_[r][c]) return false;
+        }
+    }
+    return true;
+}
+
+TextTable RiskMatrix::render() const {
+    std::vector<std::string> header = {row_name_ + " \\ " + col_name_};
+    for (Level col : kAllLevels) header.emplace_back(qual::to_short_string(col));
+    TextTable table(std::move(header));
+    // Paper layout: rows descending VH..VL.
+    for (int r = static_cast<int>(kLevelCount) - 1; r >= 0; --r) {
+        std::vector<std::string> row = {
+            std::string(qual::to_short_string(static_cast<Level>(r)))};
+        for (std::size_t c = 0; c < kLevelCount; ++c) {
+            row.emplace_back(qual::to_short_string(cells_[static_cast<std::size_t>(r)][c]));
+        }
+        table.add_row(std::move(row));
+    }
+    return table;
+}
+
+}  // namespace cprisk::risk

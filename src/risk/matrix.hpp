@@ -1,0 +1,45 @@
+// cprisk/risk/matrix.hpp
+//
+// Generic qualitative risk matrix: a rectangular lookup table mapping two
+// ordinal attributes to an output category. Instances: the O-RA 5x5 risk
+// matrix (Table I of the paper) and the IEC 61508 risk-class matrix.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "qualitative/level.hpp"
+
+namespace cprisk::risk {
+
+/// A rows x cols lookup matrix over the five-point scale. Rows index the
+/// first attribute *descending* in rendered output (as printed in the
+/// paper's Table I) but are accessed by Level ascending here.
+class RiskMatrix {
+public:
+    /// `cells[row][col]` with row = index_of(row_level), col =
+    /// index_of(col_level); both ascending VL..VH.
+    RiskMatrix(std::string row_name, std::string col_name,
+               std::vector<std::vector<qual::Level>> cells);
+
+    qual::Level lookup(qual::Level row, qual::Level col) const;
+
+    const std::string& row_name() const { return row_name_; }
+    const std::string& col_name() const { return col_name_; }
+
+    /// Monotonicity sanity: output never decreases when either input
+    /// increases (a well-formed risk matrix must satisfy this).
+    bool is_monotone() const;
+
+    /// Renders in the paper's layout: rows descending VH..VL, columns
+    /// ascending VL..VH.
+    TextTable render() const;
+
+private:
+    std::string row_name_;
+    std::string col_name_;
+    std::vector<std::vector<qual::Level>> cells_;
+};
+
+}  // namespace cprisk::risk

@@ -1,0 +1,119 @@
+#include "risk/ora.hpp"
+
+namespace cprisk::risk {
+
+using qual::index_of;
+using qual::Level;
+using qual::level_from_index;
+
+const RiskMatrix& ora_risk_matrix() {
+    // Table I of the paper (O-RA standard), rows = LM ascending VL..VH,
+    // columns = LEF ascending VL..VH.
+    static const RiskMatrix kMatrix(
+        "LM", "LEF",
+        {
+            /* LM=VL */ {Level::VeryLow, Level::VeryLow, Level::VeryLow, Level::Low,
+                         Level::Medium},
+            /* LM=L  */ {Level::VeryLow, Level::VeryLow, Level::Low, Level::Medium, Level::High},
+            /* LM=M  */ {Level::VeryLow, Level::Low, Level::Medium, Level::High, Level::VeryHigh},
+            /* LM=H  */ {Level::Low, Level::Medium, Level::High, Level::VeryHigh, Level::VeryHigh},
+            /* LM=VH */ {Level::Medium, Level::High, Level::VeryHigh, Level::VeryHigh,
+                         Level::VeryHigh},
+        });
+    return kMatrix;
+}
+
+qual::Level ora_risk(qual::Level loss_magnitude, qual::Level loss_event_frequency) {
+    return ora_risk_matrix().lookup(loss_magnitude, loss_event_frequency);
+}
+
+RiskCalculus RiskCalculus::standard() { return RiskCalculus{}; }
+
+Level RiskCalculus::tef(Level contact_frequency, Level probability_of_action) const {
+    // A threat event needs contact AND action: Łukasiewicz t-norm
+    // (index(a) + index(b) - 4, saturating at VL) — both factors must be
+    // high for TEF to be high, matching O-RA's multiplicative intuition.
+    return level_from_index(index_of(contact_frequency) + index_of(probability_of_action) - 4);
+}
+
+Level RiskCalculus::vulnerability(Level threat_capability, Level resistance_strength) const {
+    // Vulnerability is the margin of attacker capability over resistance,
+    // centred at Medium: equal strengths -> M; TCap two steps above RS -> VH.
+    return level_from_index(2 + index_of(threat_capability) - index_of(resistance_strength));
+}
+
+Level RiskCalculus::lef(Level tef, Level vulnerability) const {
+    // Loss events are the subset of threat events that succeed: LEF can
+    // never exceed TEF, and a low vulnerability suppresses it further.
+    return qual::qmin(tef, level_from_index(index_of(tef) + index_of(vulnerability) - 2));
+}
+
+Level RiskCalculus::lm(Level primary, Level secondary) const {
+    // Conservative: the larger of primary and secondary loss dominates.
+    return qual::qmax(primary, secondary);
+}
+
+Level RiskCalculus::risk(Level lm, Level lef) const { return ora_risk(lm, lef); }
+
+namespace {
+
+Level value_or_medium(const std::optional<Level>& value, const char* name,
+                      std::vector<std::string>& explanation) {
+    if (value) return *value;
+    explanation.push_back(std::string(name) + " not estimated; defaulting to M");
+    return Level::Medium;
+}
+
+std::string step(const char* name, Level value) {
+    return std::string(name) + " = " + std::string(qual::to_short_string(value));
+}
+
+}  // namespace
+
+RiskDerivation RiskCalculus::derive(const RiskInputs& inputs) const {
+    RiskDerivation d;
+
+    if (inputs.threat_event_frequency) {
+        d.threat_event_frequency = *inputs.threat_event_frequency;
+        d.explanation.push_back(step("TEF (given)", d.threat_event_frequency));
+    } else {
+        const Level cf = value_or_medium(inputs.contact_frequency, "CF", d.explanation);
+        const Level poa = value_or_medium(inputs.probability_of_action, "PoA", d.explanation);
+        d.threat_event_frequency = tef(cf, poa);
+        d.explanation.push_back(step("TEF(CF,PoA)", d.threat_event_frequency));
+    }
+
+    if (inputs.vulnerability) {
+        d.vulnerability = *inputs.vulnerability;
+        d.explanation.push_back(step("Vuln (given)", d.vulnerability));
+    } else {
+        const Level tcap = value_or_medium(inputs.threat_capability, "TCap", d.explanation);
+        const Level rs = value_or_medium(inputs.resistance_strength, "RS", d.explanation);
+        d.vulnerability = vulnerability(tcap, rs);
+        d.explanation.push_back(step("Vuln(TCap,RS)", d.vulnerability));
+    }
+
+    if (inputs.loss_event_frequency) {
+        d.loss_event_frequency = *inputs.loss_event_frequency;
+        d.explanation.push_back(step("LEF (given)", d.loss_event_frequency));
+    } else {
+        d.loss_event_frequency = lef(d.threat_event_frequency, d.vulnerability);
+        d.explanation.push_back(step("LEF(TEF,Vuln)", d.loss_event_frequency));
+    }
+
+    if (inputs.loss_magnitude) {
+        d.loss_magnitude = *inputs.loss_magnitude;
+        d.explanation.push_back(step("LM (given)", d.loss_magnitude));
+    } else {
+        const Level pl = value_or_medium(inputs.primary_loss, "PL", d.explanation);
+        const Level sl = value_or_medium(inputs.secondary_loss, "SL", d.explanation);
+        d.loss_magnitude = lm(pl, sl);
+        d.explanation.push_back(step("LM(PL,SL)", d.loss_magnitude));
+    }
+
+    d.risk = risk(d.loss_magnitude, d.loss_event_frequency);
+    d.explanation.push_back(step("Risk(LM,LEF)", d.risk));
+    return d;
+}
+
+}  // namespace cprisk::risk

@@ -1,0 +1,102 @@
+// cprisk/risk/ora.hpp
+//
+// Open FAIR / O-RA qualitative risk calculus (paper §IV-B, Fig. 2, Table I).
+//
+// The attribute taxonomy (Fig. 2):
+//
+//   Risk
+//   ├── Loss Event Frequency (LEF)
+//   │   ├── Threat Event Frequency (TEF)
+//   │   │   ├── Contact Frequency (CF)
+//   │   │   └── Probability of Action (PoA)
+//   │   └── Vulnerability (Vuln)
+//   │       ├── Threat Capability (TCap)
+//   │       └── Resistance Strength (RS)
+//   └── Loss Magnitude (LM)
+//       ├── Primary Loss (PL)
+//       └── Secondary Loss (SL)
+//
+// Risk(LM, LEF) uses the O-RA risk matrix exactly as printed in Table I.
+// The intermediate combination operators are not tabulated in the paper;
+// the defaults below follow the O-RA guidance (conservative t-norms) and
+// are replaceable via RiskCalculus for domain calibration ("parameters may
+// need to be adjusted based on the nature of the industry", §IV-B).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qualitative/algebra.hpp"
+#include "qualitative/level.hpp"
+#include "risk/matrix.hpp"
+
+namespace cprisk::risk {
+
+/// The O-RA 5x5 risk matrix, cell-for-cell Table I of the paper.
+const RiskMatrix& ora_risk_matrix();
+
+/// Leaf (and optionally intermediate) attribute estimates for one scenario.
+/// Intermediates, when provided, override derivation from leaves.
+struct RiskInputs {
+    // LEF branch leaves
+    std::optional<qual::Level> contact_frequency;
+    std::optional<qual::Level> probability_of_action;
+    std::optional<qual::Level> threat_capability;
+    std::optional<qual::Level> resistance_strength;
+    // LM branch leaves
+    std::optional<qual::Level> primary_loss;
+    std::optional<qual::Level> secondary_loss;
+    // Intermediate overrides
+    std::optional<qual::Level> threat_event_frequency;
+    std::optional<qual::Level> vulnerability;
+    std::optional<qual::Level> loss_event_frequency;
+    std::optional<qual::Level> loss_magnitude;
+};
+
+/// Fully derived attribute values, recorded for explainability ("the
+/// interpretability of each step ... of priority concern", §II-A).
+struct RiskDerivation {
+    qual::Level threat_event_frequency = qual::Level::Medium;
+    qual::Level vulnerability = qual::Level::Medium;
+    qual::Level loss_event_frequency = qual::Level::Medium;
+    qual::Level loss_magnitude = qual::Level::Medium;
+    qual::Level risk = qual::Level::Medium;
+    /// Human-readable step-by-step explanation of the derivation.
+    std::vector<std::string> explanation;
+};
+
+/// The pluggable qualitative combination operators.
+class RiskCalculus {
+public:
+    /// O-RA-flavoured defaults (see the .cpp for each operator's rationale).
+    static RiskCalculus standard();
+
+    /// TEF from contact frequency and probability of action.
+    qual::Level tef(qual::Level contact_frequency, qual::Level probability_of_action) const;
+
+    /// Vulnerability from threat capability vs resistance strength.
+    qual::Level vulnerability(qual::Level threat_capability,
+                              qual::Level resistance_strength) const;
+
+    /// LEF from TEF and vulnerability.
+    qual::Level lef(qual::Level tef, qual::Level vulnerability) const;
+
+    /// LM from primary and secondary loss.
+    qual::Level lm(qual::Level primary, qual::Level secondary) const;
+
+    /// Risk from LM and LEF via the O-RA matrix (Table I).
+    qual::Level risk(qual::Level lm, qual::Level lef) const;
+
+    /// Full Fig. 2 derivation. Missing leaves default to Medium (recorded in
+    /// the explanation); provided intermediates short-circuit their branch.
+    RiskDerivation derive(const RiskInputs& inputs) const;
+
+private:
+    RiskCalculus() = default;
+};
+
+/// Convenience: Risk(LM, LEF) from Table I.
+qual::Level ora_risk(qual::Level loss_magnitude, qual::Level loss_event_frequency);
+
+}  // namespace cprisk::risk

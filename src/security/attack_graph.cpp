@@ -1,0 +1,149 @@
+#include "security/attack_graph.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace cprisk::security {
+
+using model::ComponentId;
+
+std::string AttackPath::to_string() const {
+    std::string out = actor_id + ":";
+    for (const AttackStep& step : steps) {
+        out += " -> " + step.component + "[" + step.technique_id + "]";
+    }
+    return out;
+}
+
+AttackGraph AttackGraph::build(const model::SystemModel& model, const AttackMatrix& matrix,
+                               const ThreatActor& actor) {
+    AttackGraph graph;
+    graph.model_ = &model;
+    graph.matrix_ = &matrix;
+    graph.actor_ = actor;
+
+    for (const model::Component& component : model.components()) {
+        if (model.is_refined(component.id)) continue;
+        if (!actor.can_reach(component.exposure)) continue;
+        for (const Technique* technique : matrix.techniques_for(component)) {
+            if (technique->tactic != Tactic::InitialAccess &&
+                technique->tactic != Tactic::Execution) {
+                continue;
+            }
+            if (!actor.capable_of(technique->required_capability)) continue;
+            graph.entries_.push_back(
+                AttackStep{component.id, technique->id, technique->caused_fault});
+        }
+    }
+    return graph;
+}
+
+std::vector<AttackStep> AttackGraph::lateral_steps(const ComponentId& component) const {
+    std::vector<AttackStep> steps;
+    if (model_ == nullptr || model_->is_refined(component)) return steps;
+    for (const Technique* technique : matrix_->techniques_for(model_->component(component))) {
+        if (technique->tactic == Tactic::InitialAccess) continue;
+        if (!actor_.capable_of(technique->required_capability)) continue;
+        steps.push_back(AttackStep{component, technique->id, technique->caused_fault});
+    }
+    return steps;
+}
+
+std::vector<AttackPath> AttackGraph::paths_to(const ComponentId& target, std::size_t max_paths,
+                                              std::size_t max_length) const {
+    std::vector<AttackPath> paths;
+    if (model_ == nullptr) return paths;
+
+    std::vector<AttackStep> current;
+    std::set<ComponentId> visited;
+
+    std::function<void(const ComponentId&)> dfs = [&](const ComponentId& at) {
+        if (paths.size() >= max_paths) return;
+        if (at == target) {
+            paths.push_back(AttackPath{actor_.id, current});
+            return;
+        }
+        if (current.size() >= max_length) return;
+        for (const ComponentId& next : model_->propagation_successors(at)) {
+            if (visited.count(next) > 0) continue;
+            const auto steps = lateral_steps(next);
+            if (steps.empty() && next != target) continue;
+            visited.insert(next);
+            if (next == target) {
+                // The error/compromise reaches the target by pure
+                // propagation — no further technique needed.
+                dfs(next);
+            }
+            for (const AttackStep& step : steps) {
+                if (paths.size() >= max_paths) break;
+                current.push_back(step);
+                dfs(next);
+                current.pop_back();
+            }
+            visited.erase(next);
+        }
+    };
+
+    for (const AttackStep& entry : entries_) {
+        if (paths.size() >= max_paths) break;
+        visited.insert(entry.component);
+        current.push_back(entry);
+        dfs(entry.component);
+        current.pop_back();
+        visited.erase(entry.component);
+    }
+    return paths;
+}
+
+long long AttackGraph::path_cost(const AttackPath& path) const {
+    long long cost = 0;
+    if (matrix_ == nullptr) return cost;
+    for (const AttackStep& step : path.steps) {
+        const Technique* technique = matrix_->find_technique(step.technique_id);
+        cost += technique != nullptr ? technique->attack_cost : 1;
+    }
+    return cost;
+}
+
+Result<AttackPath> AttackGraph::cheapest_path_to(const ComponentId& target,
+                                                 std::size_t max_paths,
+                                                 std::size_t max_length) const {
+    const auto paths = paths_to(target, max_paths, max_length);
+    if (paths.empty()) {
+        return Result<AttackPath>::failure("no attack path from actor '" + actor_.id + "' to '" +
+                                           target + "'");
+    }
+    const AttackPath* best = &paths.front();
+    long long best_cost = path_cost(*best);
+    for (const AttackPath& path : paths) {
+        const long long cost = path_cost(path);
+        if (cost < best_cost) {
+            best = &path;
+            best_cost = cost;
+        }
+    }
+    return *best;
+}
+
+std::vector<ComponentId> AttackGraph::compromisable() const {
+    std::set<ComponentId> reached;
+    if (model_ == nullptr) return {};
+    std::vector<ComponentId> stack;
+    for (const AttackStep& entry : entries_) {
+        if (reached.insert(entry.component).second) stack.push_back(entry.component);
+    }
+    while (!stack.empty()) {
+        const ComponentId at = stack.back();
+        stack.pop_back();
+        for (const ComponentId& next : model_->propagation_successors(at)) {
+            if (reached.count(next) > 0) continue;
+            if (lateral_steps(next).empty()) continue;
+            reached.insert(next);
+            stack.push_back(next);
+        }
+    }
+    return {reached.begin(), reached.end()};
+}
+
+}  // namespace cprisk::security

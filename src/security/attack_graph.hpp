@@ -1,0 +1,75 @@
+// cprisk/security/attack_graph.hpp
+//
+// Attack graph generation over the system model, reproducing the capability
+// the paper cites from [15]/[18]: nodes are components, edges are technique
+// applications, and paths trace multi-stage attacks (e.g. Fig. 4's E-mail
+// Client -> Browser -> Infected Computer chain) from actor-reachable entry
+// points to targets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/system_model.hpp"
+#include "security/attack_matrix.hpp"
+#include "security/threat_actor.hpp"
+
+namespace cprisk::security {
+
+/// One technique application in an attack path.
+struct AttackStep {
+    model::ComponentId component;
+    std::string technique_id;
+    std::string caused_fault;  ///< fault mode activated on this component
+};
+
+/// A multi-stage attack: steps in causal order.
+struct AttackPath {
+    std::string actor_id;
+    std::vector<AttackStep> steps;
+
+    std::string to_string() const;
+};
+
+class AttackGraph {
+public:
+    /// Builds the graph of techniques `actor` can execute against `model`:
+    /// entry components are those whose exposure the actor reaches with an
+    /// initial-access technique; lateral edges follow the model's
+    /// propagating relations.
+    static AttackGraph build(const model::SystemModel& model, const AttackMatrix& matrix,
+                             const ThreatActor& actor);
+
+    /// Components the actor can initially compromise.
+    const std::vector<AttackStep>& entry_points() const { return entries_; }
+
+    /// Techniques executable on `component` once the attacker is adjacent.
+    std::vector<AttackStep> lateral_steps(const model::ComponentId& component) const;
+
+    /// All attack paths reaching `target`, bounded by `max_paths` and
+    /// `max_length` steps.
+    std::vector<AttackPath> paths_to(const model::ComponentId& target,
+                                     std::size_t max_paths = 64,
+                                     std::size_t max_length = 8) const;
+
+    /// Every component compromisable by the actor (transitively).
+    std::vector<model::ComponentId> compromisable() const;
+
+    /// Total attacker expenditure of a path (sum of technique costs,
+    /// paper §IV-D "Attack Cost").
+    long long path_cost(const AttackPath& path) const;
+
+    /// The cheapest attack reaching `target` — the paper's "most efficient
+    /// attack" query. Fails when the target is unreachable.
+    Result<AttackPath> cheapest_path_to(const model::ComponentId& target,
+                                        std::size_t max_paths = 256,
+                                        std::size_t max_length = 8) const;
+
+private:
+    const model::SystemModel* model_ = nullptr;
+    const AttackMatrix* matrix_ = nullptr;
+    ThreatActor actor_;
+    std::vector<AttackStep> entries_;
+};
+
+}  // namespace cprisk::security

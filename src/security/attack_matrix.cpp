@@ -1,0 +1,156 @@
+#include "security/attack_matrix.hpp"
+
+#include <algorithm>
+
+namespace cprisk::security {
+
+using model::ElementType;
+
+std::string_view to_string(Tactic tactic) {
+    switch (tactic) {
+        case Tactic::InitialAccess: return "initial_access";
+        case Tactic::Execution: return "execution";
+        case Tactic::Persistence: return "persistence";
+        case Tactic::LateralMovement: return "lateral_movement";
+        case Tactic::ImpairProcessControl: return "impair_process_control";
+        case Tactic::InhibitResponseFunction: return "inhibit_response_function";
+        case Tactic::Impact: return "impact";
+    }
+    return "?";
+}
+
+void AttackMatrix::add_technique(Technique technique) {
+    techniques_.push_back(std::move(technique));
+}
+
+void AttackMatrix::add_mitigation(Mitigation mitigation) {
+    mitigations_.push_back(std::move(mitigation));
+}
+
+const Technique* AttackMatrix::find_technique(std::string_view id) const {
+    for (const Technique& t : techniques_) {
+        if (t.id == id) return &t;
+    }
+    return nullptr;
+}
+
+const Mitigation* AttackMatrix::find_mitigation(std::string_view id) const {
+    for (const Mitigation& m : mitigations_) {
+        if (m.id == id) return &m;
+    }
+    return nullptr;
+}
+
+std::vector<const Technique*> AttackMatrix::techniques_for(
+    const model::Component& component) const {
+    std::vector<const Technique*> out;
+    for (const Technique& t : techniques_) {
+        if (std::find(t.applies_to.begin(), t.applies_to.end(), component.type) !=
+            t.applies_to.end()) {
+            out.push_back(&t);
+        }
+    }
+    return out;
+}
+
+std::vector<const Technique*> AttackMatrix::techniques_in(Tactic tactic) const {
+    std::vector<const Technique*> out;
+    for (const Technique& t : techniques_) {
+        if (t.tactic == tactic) out.push_back(&t);
+    }
+    return out;
+}
+
+std::vector<const Mitigation*> AttackMatrix::mitigations_for(const Technique& technique) const {
+    std::vector<const Mitigation*> out;
+    for (const std::string& id : technique.mitigated_by) {
+        if (const Mitigation* m = find_mitigation(id)) out.push_back(m);
+    }
+    return out;
+}
+
+AttackMatrix AttackMatrix::standard_ics() {
+    AttackMatrix matrix;
+
+    // Mitigations (the paper's M1/M2 first).
+    matrix.add_mitigation(Mitigation{"M-TRAIN", "User Training", 2, qual::Level::Medium});
+    matrix.add_mitigation(Mitigation{"M-ENDPOINT", "Endpoint Security", 4, qual::Level::High});
+    matrix.add_mitigation(Mitigation{"M-SEGMENT", "Network Segmentation", 6, qual::Level::High});
+    matrix.add_mitigation(Mitigation{"M-PATCH", "Software Update / Patching", 3,
+                                     qual::Level::Medium});
+    matrix.add_mitigation(Mitigation{"M-AUTHZ", "Authorization Enforcement", 5,
+                                     qual::Level::High});
+    matrix.add_mitigation(Mitigation{"M-FWSIGN", "Code/Firmware Signing", 4, qual::Level::High});
+    matrix.add_mitigation(Mitigation{"M-BACKUP", "Alarm Redundancy / Out-of-band Monitoring", 3,
+                                     qual::Level::Medium});
+
+    // Initial access.
+    matrix.add_technique(Technique{
+        "T-SPEARPHISH", "Spearphishing Attachment", Tactic::InitialAccess,
+        {ElementType::ApplicationComponent, ElementType::Node},
+        "phishing_link_opened", qual::Level::Low,
+        {"M-TRAIN"},
+        2});
+    matrix.add_technique(Technique{
+        "T-DRIVEBY", "Drive-by Compromise", Tactic::InitialAccess,
+        {ElementType::ApplicationComponent},
+        "malware_download", qual::Level::Medium,
+        {"M-ENDPOINT", "M-PATCH"},
+        3});
+    matrix.add_technique(Technique{
+        "T-EXT-REMOTE", "External Remote Services", Tactic::InitialAccess,
+        {ElementType::Node, ElementType::CommunicationNetwork},
+        "intrusion", qual::Level::Medium,
+        {"M-SEGMENT", "M-AUTHZ"},
+        4});
+
+    // Execution / persistence on IT hosts.
+    matrix.add_technique(Technique{
+        "T-USER-EXec", "User Execution (Malicious File)", Tactic::Execution,
+        {ElementType::Node, ElementType::ApplicationComponent},
+        "infected", qual::Level::Low,
+        {"M-TRAIN", "M-ENDPOINT"},
+        1});
+
+    // Lateral movement into OT.
+    matrix.add_technique(Technique{
+        "T-REMOTE-EXPLOIT", "Exploitation of Remote Services", Tactic::LateralMovement,
+        {ElementType::Node, ElementType::Controller, ElementType::SystemSoftware},
+        "infected", qual::Level::High,
+        {"M-PATCH", "M-SEGMENT"},
+        6});
+
+    // Impair process control.
+    matrix.add_technique(Technique{
+        "T-MOD-PARAM", "Modify Parameter", Tactic::ImpairProcessControl,
+        {ElementType::Controller, ElementType::Actuator},
+        "wrong_command", qual::Level::High,
+        {"M-AUTHZ"},
+        5});
+    matrix.add_technique(Technique{
+        "T-MOD-LOGIC", "Modify Controller Logic", Tactic::ImpairProcessControl,
+        {ElementType::Controller},
+        "logic_tampered", qual::Level::VeryHigh,
+        {"M-AUTHZ", "M-FWSIGN"},
+        8});
+
+    // Inhibit response function.
+    matrix.add_technique(Technique{
+        "T-ALARM-SUPPRESS", "Alarm Suppression", Tactic::InhibitResponseFunction,
+        {ElementType::HumanMachineInterface},
+        "no_signal", qual::Level::High,
+        {"M-BACKUP", "M-AUTHZ"},
+        4});
+
+    // Impact.
+    matrix.add_technique(Technique{
+        "T-DAMAGE", "Damage to Property", Tactic::Impact,
+        {ElementType::Equipment, ElementType::Actuator},
+        "stuck_at_open", qual::Level::VeryHigh,
+        {"M-AUTHZ", "M-SEGMENT"},
+        7});
+
+    return matrix;
+}
+
+}  // namespace cprisk::security

@@ -1,0 +1,85 @@
+// cprisk/security/attack_matrix.hpp
+//
+// MITRE ATT&CK (ICS)-style tactic/technique/mitigation matrix (paper §IV-A:
+// "MITRE ATT&CK (ICS) matrices were also used to assess what techniques and
+// tactics are potentially exploitable"; §IV-C: "by incorporating MITRE
+// ATT&CK Mitigation, the aim is to generate a Mitigation Solution Space").
+// The shipped matrix is a representative ICS subset with the structure of
+// the real matrix (the corpus itself is external data; see DESIGN.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/component.hpp"
+#include "qualitative/level.hpp"
+
+namespace cprisk::security {
+
+/// Kill-chain stage (ATT&CK ICS tactics, abbreviated set).
+enum class Tactic : std::uint8_t {
+    InitialAccess,
+    Execution,
+    Persistence,
+    LateralMovement,
+    ImpairProcessControl,
+    InhibitResponseFunction,
+    Impact,
+};
+
+std::string_view to_string(Tactic tactic);
+
+/// An attack technique: what the adversary does, to which component types,
+/// and which fault mode it activates on success.
+struct Technique {
+    std::string id;    ///< e.g. "T0865-like"
+    std::string name;  ///< e.g. "Spearphishing Attachment"
+    Tactic tactic = Tactic::InitialAccess;
+    std::vector<model::ElementType> applies_to;
+    std::string caused_fault;             ///< fault mode id activated on success
+    qual::Level required_capability = qual::Level::Medium;  ///< attacker skill floor
+    std::vector<std::string> mitigated_by;  ///< mitigation ids
+    /// Resources the attacker must expend (paper §IV-D "Attack Cost": time,
+    /// hardware, exploit acquisition), in the same units as mitigation cost.
+    long long attack_cost = 1;
+};
+
+/// A defensive mitigation with an implementation cost (used by the
+/// cost-benefit optimization, §IV-D).
+struct Mitigation {
+    std::string id;    ///< e.g. "M0917-like"
+    std::string name;  ///< e.g. "User Training"
+    long long cost = 1;              ///< implementation + upkeep cost units
+    qual::Level strength = qual::Level::Medium;  ///< resistance added
+};
+
+class AttackMatrix {
+public:
+    void add_technique(Technique technique);
+    void add_mitigation(Mitigation mitigation);
+
+    const std::vector<Technique>& techniques() const { return techniques_; }
+    const std::vector<Mitigation>& mitigations() const { return mitigations_; }
+
+    const Technique* find_technique(std::string_view id) const;
+    const Mitigation* find_mitigation(std::string_view id) const;
+
+    /// Techniques applicable to a component type.
+    std::vector<const Technique*> techniques_for(const model::Component& component) const;
+
+    /// Techniques of one tactic.
+    std::vector<const Technique*> techniques_in(Tactic tactic) const;
+
+    /// Mitigations that block a given technique.
+    std::vector<const Mitigation*> mitigations_for(const Technique& technique) const;
+
+    /// The embedded ICS-style matrix used by the case study; includes the
+    /// paper's M1 "User Training" and M2 "Endpoint Security".
+    static AttackMatrix standard_ics();
+
+private:
+    std::vector<Technique> techniques_;
+    std::vector<Mitigation> mitigations_;
+};
+
+}  // namespace cprisk::security

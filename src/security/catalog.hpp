@@ -1,0 +1,97 @@
+// cprisk/security/catalog.hpp
+//
+// Security knowledge catalogs modeled after the public databases the paper
+// injects as "validated information on component security faults" (step 2):
+// CWE-style weaknesses, CVE-style vulnerabilities (CVSS-scored) and
+// CAPEC-style attack patterns. The shipped entries are a synthetic,
+// ICS-flavoured subset: the real corpora are not redistributable, but the
+// analysis only depends on the schema (id, applicability, caused fault
+// effect, severity), which is preserved (see DESIGN.md substitutions).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/component.hpp"
+#include "qualitative/level.hpp"
+
+namespace cprisk::security {
+
+/// CWE-style weakness: a class of flaw that component types can exhibit.
+struct Weakness {
+    std::string id;           ///< e.g. "CWE-787-like"
+    std::string name;
+    std::vector<model::ElementType> applies_to;
+    std::string description;
+};
+
+/// CVE-style vulnerability: a concrete, version-specific instance of a
+/// weakness with a CVSS base score (either a plain number or an
+/// authoritative v3.1 vector string — see security/cvss.hpp).
+struct Vulnerability {
+    std::string id;           ///< e.g. "CVE-2021-XXXX-like"
+    std::string weakness_id;  ///< owning weakness
+    std::string affected_template;  ///< component template key, empty = any
+    std::string affected_version;   ///< exact version match, empty = any
+    double cvss = 5.0;              ///< 0.0 .. 10.0 base score
+    std::string caused_fault;       ///< fault mode id it activates
+    std::string description;
+    /// Optional CVSS v3.1 vector; when set it overrides `cvss` (the score is
+    /// computed by the spec formula).
+    std::string cvss_vector;
+
+    /// Effective base score (from the vector when present).
+    double effective_cvss() const;
+
+    /// CVSS bands mapped onto the qualitative scale (0-2 VL, 2-4 L, 4-6 M,
+    /// 6-8 H, 8-10 VH).
+    qual::Level severity_level() const;
+};
+
+/// CAPEC-style attack pattern: how an adversary exploits weaknesses.
+struct AttackPattern {
+    std::string id;           ///< e.g. "CAPEC-98-like"
+    std::string name;
+    std::vector<std::string> exploits_weaknesses;  ///< weakness ids
+    qual::Level typical_likelihood = qual::Level::Medium;
+    qual::Level typical_severity = qual::Level::Medium;
+};
+
+class SecurityCatalog {
+public:
+    void add_weakness(Weakness weakness);
+    void add_vulnerability(Vulnerability vulnerability);
+    void add_pattern(AttackPattern pattern);
+
+    const std::vector<Weakness>& weaknesses() const { return weaknesses_; }
+    const std::vector<Vulnerability>& vulnerabilities() const { return vulnerabilities_; }
+    const std::vector<AttackPattern>& patterns() const { return patterns_; }
+
+    const Weakness* find_weakness(std::string_view id) const;
+    const Vulnerability* find_vulnerability(std::string_view id) const;
+    const AttackPattern* find_pattern(std::string_view id) const;
+
+    /// Weaknesses applicable to a component (by element type).
+    std::vector<const Weakness*> weaknesses_for(const model::Component& component) const;
+
+    /// Vulnerabilities applicable to a component. Template applicability
+    /// matches the component's "template" property; version-specific entries
+    /// require an exact version match (paper §VI: "many databases of known
+    /// vulnerabilities are version-specific").
+    std::vector<const Vulnerability*> vulnerabilities_for(
+        const model::Component& component) const;
+
+    /// Attack patterns exploiting any weakness of the component's type.
+    std::vector<const AttackPattern*> patterns_for(const model::Component& component) const;
+
+    /// The embedded ICS-flavoured subset used by the case study.
+    static SecurityCatalog standard_ics();
+
+private:
+    std::vector<Weakness> weaknesses_;
+    std::vector<Vulnerability> vulnerabilities_;
+    std::vector<AttackPattern> patterns_;
+};
+
+}  // namespace cprisk::security

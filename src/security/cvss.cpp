@@ -1,0 +1,202 @@
+#include "security/cvss.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "common/strings.hpp"
+
+namespace cprisk::security {
+
+namespace {
+
+double av_weight(CvssBase::AttackVector v) {
+    switch (v) {
+        case CvssBase::AttackVector::Network: return 0.85;
+        case CvssBase::AttackVector::Adjacent: return 0.62;
+        case CvssBase::AttackVector::Local: return 0.55;
+        case CvssBase::AttackVector::Physical: return 0.2;
+    }
+    return 0.0;
+}
+
+double ac_weight(CvssBase::AttackComplexity v) {
+    return v == CvssBase::AttackComplexity::Low ? 0.77 : 0.44;
+}
+
+double pr_weight(CvssBase::PrivilegesRequired v, CvssBase::Scope scope) {
+    const bool changed = scope == CvssBase::Scope::Changed;
+    switch (v) {
+        case CvssBase::PrivilegesRequired::None: return 0.85;
+        case CvssBase::PrivilegesRequired::Low: return changed ? 0.68 : 0.62;
+        case CvssBase::PrivilegesRequired::High: return changed ? 0.5 : 0.27;
+    }
+    return 0.0;
+}
+
+double ui_weight(CvssBase::UserInteraction v) {
+    return v == CvssBase::UserInteraction::None ? 0.85 : 0.62;
+}
+
+double impact_weight(CvssBase::Impact v) {
+    switch (v) {
+        case CvssBase::Impact::High: return 0.56;
+        case CvssBase::Impact::Low: return 0.22;
+        case CvssBase::Impact::None: return 0.0;
+    }
+    return 0.0;
+}
+
+/// Spec "Roundup": smallest number with one decimal >= input (with the
+/// 10^-5 epsilon dance from the official pseudocode).
+double roundup(double value) {
+    const long long scaled = static_cast<long long>(std::round(value * 100000.0));
+    if (scaled % 10000 == 0) return static_cast<double>(scaled) / 100000.0;
+    return (std::floor(static_cast<double>(scaled) / 10000.0) + 1.0) / 10.0;
+}
+
+}  // namespace
+
+double CvssBase::base_score() const {
+    const double iss = 1.0 - (1.0 - impact_weight(confidentiality)) *
+                                 (1.0 - impact_weight(integrity)) *
+                                 (1.0 - impact_weight(availability));
+    double impact = 0.0;
+    if (scope == Scope::Unchanged) {
+        impact = 6.42 * iss;
+    } else {
+        impact = 7.52 * (iss - 0.029) - 3.25 * std::pow(iss - 0.02, 15.0);
+    }
+    const double exploitability = 8.22 * av_weight(attack_vector) *
+                                  ac_weight(attack_complexity) *
+                                  pr_weight(privileges_required, scope) *
+                                  ui_weight(user_interaction);
+    if (impact <= 0.0) return 0.0;
+    if (scope == Scope::Unchanged) {
+        return roundup(std::min(impact + exploitability, 10.0));
+    }
+    return roundup(std::min(1.08 * (impact + exploitability), 10.0));
+}
+
+qual::Level CvssBase::severity_level() const {
+    const double score = base_score();
+    if (score < 0.1) return qual::Level::VeryLow;
+    if (score < 4.0) return qual::Level::Low;
+    if (score < 7.0) return qual::Level::Medium;
+    if (score < 9.0) return qual::Level::High;
+    return qual::Level::VeryHigh;
+}
+
+std::string CvssBase::to_vector() const {
+    auto av = [this]() {
+        switch (attack_vector) {
+            case AttackVector::Network: return "N";
+            case AttackVector::Adjacent: return "A";
+            case AttackVector::Local: return "L";
+            case AttackVector::Physical: return "P";
+        }
+        return "?";
+    };
+    auto impact = [](Impact v) {
+        switch (v) {
+            case Impact::High: return "H";
+            case Impact::Low: return "L";
+            case Impact::None: return "N";
+        }
+        return "?";
+    };
+    std::string out = "CVSS:3.1/AV:";
+    out += av();
+    out += std::string("/AC:") + (attack_complexity == AttackComplexity::Low ? "L" : "H");
+    out += std::string("/PR:") +
+           (privileges_required == PrivilegesRequired::None
+                ? "N"
+                : privileges_required == PrivilegesRequired::Low ? "L" : "H");
+    out += std::string("/UI:") + (user_interaction == UserInteraction::None ? "N" : "R");
+    out += std::string("/S:") + (scope == Scope::Unchanged ? "U" : "C");
+    out += std::string("/C:") + impact(confidentiality);
+    out += std::string("/I:") + impact(integrity);
+    out += std::string("/A:") + impact(availability);
+    return out;
+}
+
+Result<CvssBase> parse_cvss(std::string_view vector) {
+    std::string text(trim(vector));
+    if (starts_with(text, "CVSS:3.1/")) text = text.substr(9);
+    if (starts_with(text, "CVSS:3.0/")) text = text.substr(9);
+
+    CvssBase base;
+    bool seen_av = false, seen_ac = false, seen_pr = false, seen_ui = false, seen_s = false,
+         seen_c = false, seen_i = false, seen_a = false;
+
+    for (const std::string& field : split(text, '/')) {
+        const auto colon = field.find(':');
+        if (colon == std::string::npos) {
+            return Result<CvssBase>::failure("CVSS: malformed metric '" + field + "'");
+        }
+        const std::string key = field.substr(0, colon);
+        const std::string value = field.substr(colon + 1);
+        auto bad = [&]() {
+            return Result<CvssBase>::failure("CVSS: invalid value '" + value + "' for " + key);
+        };
+        if (key == "AV") {
+            seen_av = true;
+            if (value == "N") base.attack_vector = CvssBase::AttackVector::Network;
+            else if (value == "A") base.attack_vector = CvssBase::AttackVector::Adjacent;
+            else if (value == "L") base.attack_vector = CvssBase::AttackVector::Local;
+            else if (value == "P") base.attack_vector = CvssBase::AttackVector::Physical;
+            else return bad();
+        } else if (key == "AC") {
+            seen_ac = true;
+            if (value == "L") base.attack_complexity = CvssBase::AttackComplexity::Low;
+            else if (value == "H") base.attack_complexity = CvssBase::AttackComplexity::High;
+            else return bad();
+        } else if (key == "PR") {
+            seen_pr = true;
+            if (value == "N") base.privileges_required = CvssBase::PrivilegesRequired::None;
+            else if (value == "L") base.privileges_required = CvssBase::PrivilegesRequired::Low;
+            else if (value == "H") base.privileges_required = CvssBase::PrivilegesRequired::High;
+            else return bad();
+        } else if (key == "UI") {
+            seen_ui = true;
+            if (value == "N") base.user_interaction = CvssBase::UserInteraction::None;
+            else if (value == "R") base.user_interaction = CvssBase::UserInteraction::Required;
+            else return bad();
+        } else if (key == "S") {
+            seen_s = true;
+            if (value == "U") base.scope = CvssBase::Scope::Unchanged;
+            else if (value == "C") base.scope = CvssBase::Scope::Changed;
+            else return bad();
+        } else if (key == "C" || key == "I" || key == "A") {
+            CvssBase::Impact impact;
+            if (value == "H") impact = CvssBase::Impact::High;
+            else if (value == "L") impact = CvssBase::Impact::Low;
+            else if (value == "N") impact = CvssBase::Impact::None;
+            else return bad();
+            if (key == "C") {
+                base.confidentiality = impact;
+                seen_c = true;
+            } else if (key == "I") {
+                base.integrity = impact;
+                seen_i = true;
+            } else {
+                base.availability = impact;
+                seen_a = true;
+            }
+        } else {
+            // Temporal/environmental metrics are ignored (base score only).
+        }
+    }
+    if (!(seen_av && seen_ac && seen_pr && seen_ui && seen_s && seen_c && seen_i && seen_a)) {
+        return Result<CvssBase>::failure("CVSS: missing base metrics in '" +
+                                         std::string(vector) + "'");
+    }
+    return base;
+}
+
+Result<double> cvss_base_score(std::string_view vector) {
+    auto parsed = parse_cvss(vector);
+    if (!parsed.ok()) return Result<double>::failure(parsed.error());
+    return parsed.value().base_score();
+}
+
+}  // namespace cprisk::security

@@ -1,0 +1,54 @@
+// cprisk/security/cvss.hpp
+//
+// CVSS v3.1 base-score computation from vector strings (paper §III-B: "the
+// vulnerabilities in CVE are measured by the Common Vulnerability Scoring
+// System (CVSS) that denotes its severity via a calculated score"). The
+// implementation follows the FIRST.org specification (ref [12]) exactly, so
+// catalog entries can carry the authoritative vector instead of a hand-typed
+// number.
+#pragma once
+
+#include <string_view>
+
+#include "common/result.hpp"
+#include "qualitative/level.hpp"
+
+namespace cprisk::security {
+
+/// Parsed CVSS v3.1 base metrics.
+struct CvssBase {
+    enum class AttackVector : std::uint8_t { Network, Adjacent, Local, Physical };
+    enum class AttackComplexity : std::uint8_t { Low, High };
+    enum class PrivilegesRequired : std::uint8_t { None, Low, High };
+    enum class UserInteraction : std::uint8_t { None, Required };
+    enum class Scope : std::uint8_t { Unchanged, Changed };
+    enum class Impact : std::uint8_t { None, Low, High };
+
+    AttackVector attack_vector = AttackVector::Network;
+    AttackComplexity attack_complexity = AttackComplexity::Low;
+    PrivilegesRequired privileges_required = PrivilegesRequired::None;
+    UserInteraction user_interaction = UserInteraction::None;
+    Scope scope = Scope::Unchanged;
+    Impact confidentiality = Impact::None;
+    Impact integrity = Impact::None;
+    Impact availability = Impact::None;
+
+    /// Base score per the v3.1 formula (0.0 .. 10.0, one decimal, rounded up).
+    double base_score() const;
+
+    /// Official severity bands: None/Low 0-3.9 -> VL/L, Medium 4-6.9 -> M,
+    /// High 7-8.9 -> H, Critical 9-10 -> VH.
+    qual::Level severity_level() const;
+
+    /// Canonical vector string ("CVSS:3.1/AV:N/AC:L/...").
+    std::string to_vector() const;
+};
+
+/// Parses a vector like "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H" (the
+/// "CVSS:3.1/" prefix is optional). All eight base metrics are required.
+Result<CvssBase> parse_cvss(std::string_view vector);
+
+/// Convenience: base score straight from a vector string.
+Result<double> cvss_base_score(std::string_view vector);
+
+}  // namespace cprisk::security

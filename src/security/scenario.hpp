@@ -1,0 +1,91 @@
+// cprisk/security/scenario.hpp
+//
+// The attack/fault scenario space (paper step 2 and §IV-A): "the outcome of
+// the step is the so-called 'scenario space' that contains all potential
+// scenarios that can lead to failures/losses". A scenario is a *set of
+// candidate system mutations* — fault modes activated on components —
+// optionally annotated with the attack path that causes them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/system_model.hpp"
+#include "qualitative/level.hpp"
+#include "security/attack_graph.hpp"
+#include "security/attack_matrix.hpp"
+#include "security/catalog.hpp"
+#include "security/threat_actor.hpp"
+
+namespace cprisk::security {
+
+/// One candidate system mutation: a fault mode activated on a component.
+struct Mutation {
+    model::ComponentId component;
+    std::string fault_id;
+
+    bool operator==(const Mutation&) const = default;
+    bool operator<(const Mutation& other) const {
+        if (component != other.component) return component < other.component;
+        return fault_id < other.fault_id;
+    }
+    std::string to_string() const { return component + "." + fault_id; }
+};
+
+/// How a scenario was generated.
+enum class ScenarioOrigin : std::uint8_t {
+    FaultCombination,  ///< dependability view: spontaneous fault-mode subset
+    AttackPath,        ///< security view: derived from an attack path
+    Vulnerability,     ///< security view: a catalog vulnerability exploited
+};
+
+struct AttackScenario {
+    std::string id;  ///< "S1", "S2", ...
+    ScenarioOrigin origin = ScenarioOrigin::FaultCombination;
+    std::string actor_id;             ///< empty for pure fault combinations
+    std::vector<Mutation> mutations;  ///< sorted, unique
+    std::vector<std::string> technique_ids;     ///< for AttackPath scenarios
+    std::string vulnerability_id;     ///< for Vulnerability scenarios
+    qual::Level likelihood = qual::Level::Medium;
+
+    std::string to_string() const;
+};
+
+struct ScenarioSpaceOptions {
+    /// Maximum number of simultaneous fault modes in dependability
+    /// combinations ("in security, most attacks are based on exploiting a
+    /// combination of vulnerabilities", §IV — but the spontaneous-fault view
+    /// bounds simultaneity).
+    std::size_t max_simultaneous_faults = 2;
+    bool include_fault_combinations = true;
+    bool include_attack_scenarios = true;
+    /// One scenario per applicable catalog vulnerability (paper step 2:
+    /// injection from "validated public collections"); requires a catalog
+    /// in `build`.
+    bool include_vulnerability_scenarios = true;
+    std::size_t max_attack_paths_per_target = 16;
+};
+
+/// Enumerates the scenario space for `model`.
+class ScenarioSpace {
+public:
+    static ScenarioSpace build(const model::SystemModel& model, const AttackMatrix& matrix,
+                               const std::vector<ThreatActor>& actors,
+                               const ScenarioSpaceOptions& options = {},
+                               const SecurityCatalog* catalog = nullptr);
+
+    const std::vector<AttackScenario>& scenarios() const { return scenarios_; }
+    std::size_t size() const { return scenarios_.size(); }
+
+    /// All distinct mutations appearing anywhere in the space.
+    std::vector<Mutation> mutation_universe() const;
+
+private:
+    std::vector<AttackScenario> scenarios_;
+};
+
+/// Combined likelihood of simultaneous independent fault modes: one ordinal
+/// step down per extra fault (rare events compound), floored at VL.
+qual::Level combined_likelihood(const std::vector<qual::Level>& likelihoods);
+
+}  // namespace cprisk::security

@@ -1,0 +1,26 @@
+#include "security/threat_actor.hpp"
+
+#include <algorithm>
+
+namespace cprisk::security {
+
+bool ThreatActor::can_reach(model::Exposure exposure) const {
+    return std::find(reachable_exposures.begin(), reachable_exposures.end(), exposure) !=
+           reachable_exposures.end();
+}
+
+std::vector<ThreatActor> standard_threat_actors() {
+    using model::Exposure;
+    return {
+        ThreatActor{"A-SCRIPT", "Opportunistic Attacker", qual::Level::Low, qual::Level::Medium,
+                    {Exposure::Public}},
+        ThreatActor{"A-CRIME", "Cybercriminal Group", qual::Level::High, qual::Level::High,
+                    {Exposure::Public}},
+        ThreatActor{"A-INSIDER", "Malicious Insider", qual::Level::Medium, qual::Level::Medium,
+                    {Exposure::Public, Exposure::Internal}},
+        ThreatActor{"A-APT", "State-sponsored Actor", qual::Level::VeryHigh, qual::Level::High,
+                    {Exposure::Public, Exposure::Internal}},
+    };
+}
+
+}  // namespace cprisk::security

@@ -1,0 +1,34 @@
+// cprisk/security/threat_actor.hpp
+//
+// Threat actor profiles (paper §IV: "an attacker's ability to exploit a
+// vulnerability depends on factors such as their attack profile, skill, and
+// motivation"; §IV-A step 3: threat actor identification).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/component.hpp"
+#include "qualitative/level.hpp"
+
+namespace cprisk::security {
+
+struct ThreatActor {
+    std::string id;
+    std::string name;
+    qual::Level capability = qual::Level::Medium;   ///< TCap in FAIR terms
+    qual::Level motivation = qual::Level::Medium;   ///< drives probability of action
+    /// Exposure classes this actor can initially reach.
+    std::vector<model::Exposure> reachable_exposures;
+
+    /// True if the actor can initially contact a component with `exposure`.
+    bool can_reach(model::Exposure exposure) const;
+
+    /// True if the actor can execute a technique needing `required` skill.
+    bool capable_of(qual::Level required) const { return capability >= required; }
+};
+
+/// The standard actor roster used by the examples and benches.
+std::vector<ThreatActor> standard_threat_actors();
+
+}  // namespace cprisk::security

@@ -1,0 +1,61 @@
+#include "sim/campaign.hpp"
+
+#include <functional>
+
+namespace cprisk::sim {
+
+std::string CampaignRecord::to_string() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += std::string(sim::to_string(faults[i]));
+    }
+    out += "} overflow=" + std::string(overflow ? "yes" : "no") +
+           " alert=" + std::string(alert_raised ? "yes" : "no");
+    return out;
+}
+
+CampaignRecord run_single(const WaterTankSimulator& simulator,
+                          const std::vector<PlantFault>& faults,
+                          const CampaignOptions& options) {
+    std::vector<FaultInjection> injections;
+    injections.reserve(faults.size());
+    for (PlantFault fault : faults) {
+        injections.push_back(FaultInjection{options.injection_time, fault});
+    }
+    const SimulationResult result = simulator.run(options.duration, injections);
+    CampaignRecord record;
+    record.faults = faults;
+    record.overflow = result.overflow;
+    record.alert_raised = result.alert_raised;
+    return record;
+}
+
+std::vector<CampaignRecord> run_campaign(const WaterTankSimulator& simulator,
+                                         const CampaignOptions& options) {
+    const std::vector<PlantFault> universe = {
+        PlantFault::InputValveStuckOpen, PlantFault::OutputValveStuckClosed,
+        PlantFault::HmiNoSignal, PlantFault::SensorFrozen,
+        PlantFault::WorkstationCompromise,
+    };
+
+    std::vector<CampaignRecord> records;
+    std::vector<PlantFault> current;
+
+    // Golden (fault-free) run first.
+    records.push_back(run_single(simulator, {}, options));
+
+    std::function<void(std::size_t)> choose = [&](std::size_t start) {
+        if (!current.empty()) records.push_back(run_single(simulator, current, options));
+        if (current.size() >= options.max_simultaneous_faults) return;
+        for (std::size_t i = start; i < universe.size(); ++i) {
+            current.push_back(universe[i]);
+            choose(i + 1);
+            current.pop_back();
+        }
+    };
+    choose(0);
+    return records;
+}
+
+}  // namespace cprisk::sim

@@ -1,0 +1,46 @@
+// cprisk/sim/campaign.hpp
+//
+// Fault-injection campaigns over the quantitative plant: run every fault
+// combination, record concrete outcomes (overflow / alert), and compare
+// against the qualitative requirement semantics. Used by the validation
+// benches (qualitative EPA verdicts vs concrete simulation) and by the
+// abstraction-soundness property tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/watertank.hpp"
+
+namespace cprisk::sim {
+
+/// Concrete outcome of one injected fault combination.
+struct CampaignRecord {
+    std::vector<PlantFault> faults;
+    bool overflow = false;
+    bool alert_raised = false;
+    /// R1 "the tank should not overflow" violated concretely.
+    bool violates_r1() const { return overflow; }
+    /// R2 "alert on overflow" violated concretely.
+    bool violates_r2() const { return overflow && !alert_raised; }
+
+    std::string to_string() const;
+};
+
+struct CampaignOptions {
+    double duration = 60.0;    ///< simulated seconds per run
+    double injection_time = 5.0;
+    std::size_t max_simultaneous_faults = 3;
+};
+
+/// Runs the full campaign: every combination of the injectable faults up to
+/// `max_simultaneous_faults` (including the fault-free golden run first).
+std::vector<CampaignRecord> run_campaign(const WaterTankSimulator& simulator,
+                                         const CampaignOptions& options = {});
+
+/// Runs a single combination.
+CampaignRecord run_single(const WaterTankSimulator& simulator,
+                          const std::vector<PlantFault>& faults,
+                          const CampaignOptions& options = {});
+
+}  // namespace cprisk::sim

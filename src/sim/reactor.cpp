@@ -1,0 +1,128 @@
+#include "sim/reactor.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cprisk::sim {
+
+std::string_view to_string(ReactorFault fault) {
+    switch (fault) {
+        case ReactorFault::HeaterStuckOn: return "heater_stuck_on";
+        case ReactorFault::CoolingValveStuckClosed: return "cooling_valve_stuck_closed";
+        case ReactorFault::ReliefValveStuckClosed: return "relief_valve_stuck_closed";
+        case ReactorFault::TempSensorFrozen: return "temp_sensor_frozen";
+        case ReactorFault::AlarmNoSignal: return "alarm_no_signal";
+        case ReactorFault::ScadaCompromise: return "scada_compromise";
+    }
+    return "?";
+}
+
+ReactorSimulator::ReactorSimulator(ReactorParams params) : params_(params) {
+    require(params_.dt > 0, "ReactorSimulator: dt must be positive");
+    require(params_.low_setpoint < params_.high_setpoint,
+            "ReactorSimulator: low setpoint must be below high setpoint");
+    require(params_.relief_pressure < params_.burst_pressure,
+            "ReactorSimulator: relief must open below the burst pressure");
+}
+
+ReactorResult ReactorSimulator::run(double duration,
+                                    const std::vector<ReactorInjection>& injections) const {
+    ReactorResult result;
+
+    double temperature = params_.initial_temperature;
+    double vented = 0.0;          // pressure removed through the relief valve
+    double sensor_reading = temperature;
+    bool heater_on = true;        // heating phase of the batch
+    bool cooling_open = false;
+    bool alert_active = false;
+
+    bool f_heater = false;
+    bool f_cooling = false;
+    bool f_relief = false;
+    bool f_sensor = false;
+    bool f_alarm = false;
+
+    const std::size_t steps = static_cast<std::size_t>(duration / params_.dt);
+    for (std::size_t i = 0; i <= steps; ++i) {
+        const double t = static_cast<double>(i) * params_.dt;
+        for (const ReactorInjection& injection : injections) {
+            if (injection.time > t) continue;
+            switch (injection.fault) {
+                case ReactorFault::HeaterStuckOn: f_heater = true; break;
+                case ReactorFault::CoolingValveStuckClosed: f_cooling = true; break;
+                case ReactorFault::ReliefValveStuckClosed: f_relief = true; break;
+                case ReactorFault::TempSensorFrozen: f_sensor = true; break;
+                case ReactorFault::AlarmNoSignal: f_alarm = true; break;
+                case ReactorFault::ScadaCompromise:
+                    f_heater = true;
+                    f_cooling = true;
+                    f_relief = true;
+                    f_alarm = true;
+                    break;
+            }
+        }
+
+        if (!f_sensor) sensor_reading = temperature;
+
+        // Bang-bang thermal control with hysteresis on the sensed value.
+        if (sensor_reading <= params_.low_setpoint) {
+            heater_on = true;
+            cooling_open = false;
+        } else if (sensor_reading >= params_.high_setpoint) {
+            heater_on = false;
+            cooling_open = true;
+        }
+        const bool heater_effective = f_heater ? true : heater_on;
+        const bool cooling_effective = f_cooling ? false : cooling_open;
+
+        // Pressure from temperature, less what the relief valve vented.
+        const double raw_pressure =
+            params_.pressure_gain * std::max(0.0, temperature - params_.ambient);
+        double pressure = std::max(0.0, raw_pressure - vented);
+        const bool relief_open = !f_relief && pressure >= params_.relief_pressure;
+        if (relief_open) {
+            vented += params_.relief_vent * params_.dt;
+            pressure = std::max(0.0, raw_pressure - vented);
+        }
+
+        if (pressure >= params_.alarm_pressure && !f_alarm && !alert_active) {
+            alert_active = true;
+            result.alert_time = t;
+        }
+        if (alert_active) result.alert_raised = true;
+        if (pressure >= params_.burst_pressure && !result.rupture) {
+            result.rupture = true;
+            result.rupture_time = t;
+        }
+
+        qual::TraceSample sample;
+        sample.time = t;
+        sample.values["temperature"] = temperature;
+        sample.values["pressure"] = pressure;
+        sample.values["alert"] = alert_active ? 1.0 : 0.0;
+        result.trace.push_back(std::move(sample));
+
+        // Thermal integration.
+        const double dT = params_.heating_rate * (heater_effective ? 1.0 : 0.0) -
+                          params_.cooling_rate * (cooling_effective ? 1.0 : 0.0) -
+                          params_.leak_rate * (temperature - params_.ambient);
+        temperature = std::max(params_.ambient, temperature + dT * params_.dt);
+    }
+    return result;
+}
+
+qual::TraceAbstractor ReactorSimulator::abstractor() const {
+    qual::TraceAbstractor abstractor;
+    abstractor.register_space(qual::QuantitySpace(
+        "temperature", {"cold", "normal", "hot", "critical"},
+        {params_.low_setpoint, params_.high_setpoint,
+         params_.ambient + params_.alarm_pressure / params_.pressure_gain}));
+    abstractor.register_space(qual::QuantitySpace(
+        "pressure", {"low", "normal", "high", "critical"},
+        {1.5, 4.0, params_.alarm_pressure}));
+    abstractor.register_space(qual::QuantitySpace("alert", {"off", "on"}, {0.5}));
+    return abstractor;
+}
+
+}  // namespace cprisk::sim

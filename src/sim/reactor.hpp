@@ -1,0 +1,82 @@
+// cprisk/sim/reactor.hpp
+//
+// Quantitative counterpart of the batch-reactor case study
+// (core/reactor.hpp): first-order thermal dynamics driving an algebraic
+// pressure model, a bang-bang temperature controller acting through the
+// heater and the cooling valve, a pressure-relief valve, and an alarm unit.
+// Used to cross-validate the qualitative EPA verdicts on the second domain
+// exactly as sim/watertank.hpp does for the first.
+//
+//   dT/dt = heating_rate * heater_on - cooling_rate * cooling_open
+//           - leak_rate * (T - ambient)
+//   P     = pressure_gain * max(0, T - ambient); relief venting clamps P.
+//   rupture when P exceeds burst_pressure with the relief valve unable to
+//   open; the alarm fires at alarm_pressure unless suppressed.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "qualitative/abstraction.hpp"
+
+namespace cprisk::sim {
+
+enum class ReactorFault : std::uint8_t {
+    HeaterStuckOn,
+    CoolingValveStuckClosed,
+    ReliefValveStuckClosed,
+    TempSensorFrozen,
+    AlarmNoSignal,
+    ScadaCompromise,  ///< forces heater on, blocks cooling + relief, silences alarm
+};
+
+std::string_view to_string(ReactorFault fault);
+
+struct ReactorParams {
+    double ambient = 20.0;
+    double initial_temperature = 60.0;
+    double heating_rate = 4.0;        ///< deg/s with the heater on
+    double cooling_rate = 6.0;        ///< deg/s with the cooling valve open
+    double leak_rate = 0.01;          ///< passive loss toward ambient (1/s)
+    double low_setpoint = 50.0;       ///< heater turns on below
+    double high_setpoint = 90.0;      ///< cooling opens above
+    double pressure_gain = 0.05;      ///< bar per degree above ambient
+    double relief_pressure = 6.0;     ///< relief valve opens at this pressure
+    double relief_vent = 1.5;         ///< bar removed per second while venting
+    double alarm_pressure = 5.5;      ///< below the relief point: the alarm
+                                      ///< fires even when venting succeeds
+    double burst_pressure = 8.0;
+    double dt = 0.05;
+};
+
+struct ReactorInjection {
+    double time = 0.0;
+    ReactorFault fault = ReactorFault::HeaterStuckOn;
+};
+
+struct ReactorResult {
+    qual::NumericTrace trace;  ///< temperature / pressure / alert signals
+    bool rupture = false;
+    bool alert_raised = false;
+    std::optional<double> rupture_time;
+    std::optional<double> alert_time;
+};
+
+class ReactorSimulator {
+public:
+    explicit ReactorSimulator(ReactorParams params = {});
+
+    ReactorResult run(double duration, const std::vector<ReactorInjection>& injections) const;
+
+    const ReactorParams& params() const { return params_; }
+
+    /// Abstractor with temperature/pressure/alert quantity spaces matching
+    /// the qualitative model's regions.
+    qual::TraceAbstractor abstractor() const;
+
+private:
+    ReactorParams params_;
+};
+
+}  // namespace cprisk::sim

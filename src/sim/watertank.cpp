@@ -1,0 +1,131 @@
+#include "sim/watertank.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cprisk::sim {
+
+std::string_view to_string(PlantFault fault) {
+    switch (fault) {
+        case PlantFault::InputValveStuckOpen: return "input_valve_stuck_open";
+        case PlantFault::OutputValveStuckClosed: return "output_valve_stuck_closed";
+        case PlantFault::HmiNoSignal: return "hmi_no_signal";
+        case PlantFault::SensorFrozen: return "sensor_frozen";
+        case PlantFault::WorkstationCompromise: return "workstation_compromise";
+    }
+    return "?";
+}
+
+WaterTankSimulator::WaterTankSimulator(WaterTankParams params) : params_(params) {
+    require(params_.dt > 0, "WaterTankSimulator: dt must be positive");
+    require(params_.capacity > 0, "WaterTankSimulator: capacity must be positive");
+    require(params_.low_setpoint < params_.high_setpoint,
+            "WaterTankSimulator: low setpoint must be below high setpoint");
+}
+
+SimulationResult WaterTankSimulator::run(double duration,
+                                         const std::vector<FaultInjection>& injections) const {
+    SimulationResult result;
+
+    double level = params_.initial_level;
+    bool in_open = true;    // filling by default from the initial mid level
+    bool out_open = false;
+    double sensor_reading = level;
+    bool alert_active = false;
+
+    bool f_in_stuck = false;
+    bool f_out_stuck = false;
+    bool f_hmi_dead = false;
+    bool f_sensor_frozen = false;
+
+    const std::size_t steps = static_cast<std::size_t>(duration / params_.dt);
+    for (std::size_t i = 0; i <= steps; ++i) {
+        const double t = static_cast<double>(i) * params_.dt;
+
+        // Activate scheduled faults. WorkstationCompromise lets the attacker
+        // reconfigure both actuators and suppress the alarm (F4 -> F1,F2,F3).
+        for (const FaultInjection& injection : injections) {
+            if (injection.time > t) continue;
+            switch (injection.fault) {
+                case PlantFault::InputValveStuckOpen: f_in_stuck = true; break;
+                case PlantFault::OutputValveStuckClosed: f_out_stuck = true; break;
+                case PlantFault::HmiNoSignal: f_hmi_dead = true; break;
+                case PlantFault::SensorFrozen: f_sensor_frozen = true; break;
+                case PlantFault::WorkstationCompromise:
+                    f_in_stuck = true;
+                    f_out_stuck = true;
+                    f_hmi_dead = true;
+                    break;
+            }
+        }
+
+        // Sensor.
+        if (!f_sensor_frozen) sensor_reading = level;
+
+        // Controller: the input valve is the production feed (commanded open
+        // throughout, matching the qualitative model); the tank controller
+        // regulates the level through the output valve with hysteresis.
+        const bool in_command = true;
+        bool out_command = out_open;
+        if (sensor_reading >= params_.high_setpoint) {
+            out_command = true;
+        } else if (sensor_reading <= params_.low_setpoint) {
+            out_command = false;
+        }
+
+        // Actuators: stuck-at faults override commands.
+        in_open = f_in_stuck ? true : in_command;
+        out_open = f_out_stuck ? false : out_command;
+
+        // HMI.
+        const bool alarm_condition = sensor_reading >= params_.alarm_level;
+        if (alarm_condition && !f_hmi_dead && !alert_active) {
+            alert_active = true;
+            result.alert_time = t;
+        }
+        if (alert_active) result.alert_raised = true;
+
+        // Record the sample.
+        qual::TraceSample sample;
+        sample.time = t;
+        sample.values["level"] = level;
+        sample.values["in_valve"] = in_open ? 1.0 : 0.0;
+        sample.values["out_valve"] = out_open ? 1.0 : 0.0;
+        sample.values["alert"] = alert_active ? 1.0 : 0.0;
+        result.trace.push_back(std::move(sample));
+
+        if (level > params_.capacity && !result.overflow) {
+            result.overflow = true;
+            result.overflow_time = t;
+        }
+
+        // Plant integration (explicit Euler; the dynamics are affine so the
+        // fixed small step is adequate).
+        const double inflow = in_open ? params_.inflow_rate : 0.0;
+        const double outflow = out_open ? params_.outflow_rate : 0.0;
+        level += (inflow - outflow) * params_.dt;
+        level = std::max(0.0, level);  // the tank cannot go negative
+        // Overflow is detected, but the level saturates slightly above
+        // capacity (spill).
+        level = std::min(level, params_.capacity * 1.2);
+    }
+    return result;
+}
+
+qual::QuantitySpace WaterTankSimulator::level_space() const {
+    return qual::QuantitySpace(
+        "level", {"empty", "low", "normal", "high", "overflow"},
+        {5.0, params_.low_setpoint, params_.high_setpoint, params_.capacity});
+}
+
+qual::TraceAbstractor WaterTankSimulator::abstractor() const {
+    qual::TraceAbstractor abstractor;
+    abstractor.register_space(level_space());
+    abstractor.register_space(qual::QuantitySpace("in_valve", {"closed", "open"}, {0.5}));
+    abstractor.register_space(qual::QuantitySpace("out_valve", {"closed", "open"}, {0.5}));
+    abstractor.register_space(qual::QuantitySpace("alert", {"off", "on"}, {0.5}));
+    return abstractor;
+}
+
+}  // namespace cprisk::sim

@@ -1,0 +1,89 @@
+// cprisk/sim/watertank.hpp
+//
+// Continuous-time water-tank plant simulator — the quantitative counterpart
+// of the paper's case study (§VII, inspired by the Tennessee Eastman
+// Process benchmark [33]). The paper evaluates the *qualitative* model; this
+// substrate exists to validate it: fault-injection campaigns on the
+// concrete plant must agree with the qualitative EPA verdicts (the
+// abstraction may over-approximate but must never miss a hazard).
+//
+// Plant:   d(level)/dt = inflow_rate * in_open - outflow_rate * out_open
+// Control: bang-bang — open the output valve and close the input valve when
+//          the sensed level is above the high setpoint; the reverse below
+//          the low setpoint.
+// HMI:     raises an alert when the sensed level reaches the alarm level.
+//
+// Injectable faults mirror the case study's F1-F4:
+//   F1 input valve stuck-at-open, F2 output valve stuck-at-closed,
+//   F3 HMI no-signal, F4 workstation compromise (forces F1+F2+F3 — the
+//   attacker reconfigures the actuators and suppresses the alarm).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qualitative/abstraction.hpp"
+
+namespace cprisk::sim {
+
+/// Injectable fault identifiers (matching the qualitative model's ids).
+enum class PlantFault : std::uint8_t {
+    InputValveStuckOpen,
+    OutputValveStuckClosed,
+    HmiNoSignal,
+    SensorFrozen,
+    WorkstationCompromise,
+};
+
+std::string_view to_string(PlantFault fault);
+
+struct WaterTankParams {
+    double capacity = 100.0;        ///< overflow above this level
+    double initial_level = 50.0;
+    double inflow_rate = 4.0;       ///< level units per second, valve fully open
+    double outflow_rate = 5.0;
+    double low_setpoint = 35.0;     ///< controller opens input below this
+    double high_setpoint = 65.0;    ///< controller opens output above this
+    double alarm_level = 95.0;      ///< HMI alert threshold
+    double dt = 0.05;               ///< integration step
+};
+
+/// One fault activation at a given simulation time.
+struct FaultInjection {
+    double time = 0.0;
+    PlantFault fault = PlantFault::InputValveStuckOpen;
+};
+
+/// Result of a simulation run.
+struct SimulationResult {
+    qual::NumericTrace trace;        ///< level / valve / alert signals
+    bool overflow = false;           ///< level ever exceeded capacity
+    bool alert_raised = false;       ///< HMI alert ever shown to the operator
+    std::optional<double> overflow_time;
+    std::optional<double> alert_time;
+};
+
+/// Deterministic fixed-step simulator of the water-tank control loop.
+class WaterTankSimulator {
+public:
+    explicit WaterTankSimulator(WaterTankParams params = {});
+
+    /// Runs for `duration` seconds applying `injections` (activated at their
+    /// time stamps, persistent until the end).
+    SimulationResult run(double duration, const std::vector<FaultInjection>& injections) const;
+
+    const WaterTankParams& params() const { return params_; }
+
+    /// Quantity space matching the qualitative model's level landmarks:
+    /// empty | low | normal | high | overflow.
+    qual::QuantitySpace level_space() const;
+
+    /// Abstractor configured for this plant's signals.
+    qual::TraceAbstractor abstractor() const;
+
+private:
+    WaterTankParams params_;
+};
+
+}  // namespace cprisk::sim

@@ -1,0 +1,155 @@
+#include "uncertainty/rough_set.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cprisk::uncertainty {
+
+Result<InformationSystem::ObjectId> InformationSystem::add_object(
+    std::map<std::string, std::string> attributes, std::string decision) {
+    if (objects_.empty()) {
+        for (const auto& [name, value] : attributes) {
+            (void)value;
+            attribute_names_.push_back(name);
+        }
+    } else {
+        if (attributes.size() != attribute_names_.size()) {
+            return Result<ObjectId>::failure("InformationSystem: attribute arity mismatch");
+        }
+        for (const std::string& name : attribute_names_) {
+            if (attributes.find(name) == attributes.end()) {
+                return Result<ObjectId>::failure("InformationSystem: missing attribute '" + name +
+                                                 "'");
+            }
+        }
+    }
+    objects_.push_back(Object{std::move(attributes), std::move(decision)});
+    return objects_.size() - 1;
+}
+
+const std::string& InformationSystem::value(ObjectId object, const std::string& attribute) const {
+    require(object < objects_.size(), "InformationSystem: object id out of range");
+    auto it = objects_[object].attributes.find(attribute);
+    require(it != objects_[object].attributes.end(),
+            "InformationSystem: unknown attribute '" + attribute + "'");
+    return it->second;
+}
+
+const std::string& InformationSystem::decision(ObjectId object) const {
+    require(object < objects_.size(), "InformationSystem: object id out of range");
+    return objects_[object].decision;
+}
+
+std::vector<std::set<InformationSystem::ObjectId>> InformationSystem::equivalence_classes(
+    const std::vector<std::string>& attrs) const {
+    std::map<std::string, std::set<ObjectId>> classes;
+    for (ObjectId object = 0; object < objects_.size(); ++object) {
+        std::string key;
+        for (const std::string& attribute : attrs) {
+            key += value(object, attribute) + "\x1f";
+        }
+        classes[key].insert(object);
+    }
+    std::vector<std::set<ObjectId>> out;
+    out.reserve(classes.size());
+    for (auto& [key, members] : classes) {
+        (void)key;
+        out.push_back(std::move(members));
+    }
+    return out;
+}
+
+std::set<InformationSystem::ObjectId> InformationSystem::decision_class(
+    const std::string& decision_value) const {
+    std::set<ObjectId> out;
+    for (ObjectId object = 0; object < objects_.size(); ++object) {
+        if (objects_[object].decision == decision_value) out.insert(object);
+    }
+    return out;
+}
+
+std::set<InformationSystem::ObjectId> InformationSystem::lower_approximation(
+    const std::set<ObjectId>& target, const std::vector<std::string>& attrs) const {
+    std::set<ObjectId> out;
+    for (const auto& eq_class : equivalence_classes(attrs)) {
+        const bool inside = std::all_of(eq_class.begin(), eq_class.end(), [&](ObjectId object) {
+            return target.count(object) > 0;
+        });
+        if (inside) out.insert(eq_class.begin(), eq_class.end());
+    }
+    return out;
+}
+
+std::set<InformationSystem::ObjectId> InformationSystem::upper_approximation(
+    const std::set<ObjectId>& target, const std::vector<std::string>& attrs) const {
+    std::set<ObjectId> out;
+    for (const auto& eq_class : equivalence_classes(attrs)) {
+        const bool intersects = std::any_of(eq_class.begin(), eq_class.end(), [&](ObjectId object) {
+            return target.count(object) > 0;
+        });
+        if (intersects) out.insert(eq_class.begin(), eq_class.end());
+    }
+    return out;
+}
+
+InformationSystem::Regions InformationSystem::regions(
+    const std::string& decision_value, const std::vector<std::string>& attrs) const {
+    const std::set<ObjectId> target = decision_class(decision_value);
+    Regions regions;
+    regions.positive = lower_approximation(target, attrs);
+    const std::set<ObjectId> upper = upper_approximation(target, attrs);
+    for (ObjectId object = 0; object < objects_.size(); ++object) {
+        if (upper.count(object) == 0) {
+            regions.negative.insert(object);
+        } else if (regions.positive.count(object) == 0) {
+            regions.boundary.insert(object);
+        }
+    }
+    return regions;
+}
+
+double InformationSystem::dependency_degree(const std::vector<std::string>& attrs) const {
+    if (objects_.empty()) return 1.0;
+    std::set<std::string> decisions;
+    for (const Object& object : objects_) decisions.insert(object.decision);
+    std::set<ObjectId> positive;
+    for (const std::string& decision_value : decisions) {
+        const auto lower = lower_approximation(decision_class(decision_value), attrs);
+        positive.insert(lower.begin(), lower.end());
+    }
+    return static_cast<double>(positive.size()) / static_cast<double>(objects_.size());
+}
+
+std::vector<std::vector<std::string>> InformationSystem::reducts() const {
+    std::vector<std::vector<std::string>> out;
+    const double full = dependency_degree(attribute_names_);
+    const std::size_t n = attribute_names_.size();
+    require(n <= 20, "InformationSystem::reducts: too many attributes for exhaustive search");
+
+    // Enumerate subsets by increasing size so minimality holds by
+    // construction: a subset qualifies only if no smaller reduct is
+    // contained in it.
+    for (std::size_t size = 1; size <= n; ++size) {
+        for (std::size_t mask = 1; mask < (1u << n); ++mask) {
+            if (static_cast<std::size_t>(__builtin_popcount(static_cast<unsigned>(mask))) !=
+                size) {
+                continue;
+            }
+            std::vector<std::string> subset;
+            for (std::size_t bit = 0; bit < n; ++bit) {
+                if (mask & (1u << bit)) subset.push_back(attribute_names_[bit]);
+            }
+            if (dependency_degree(subset) + 1e-12 < full) continue;
+            const bool superset_of_existing = std::any_of(
+                out.begin(), out.end(), [&](const std::vector<std::string>& reduct) {
+                    return std::includes(subset.begin(), subset.end(), reduct.begin(),
+                                         reduct.end());
+                });
+            if (!superset_of_existing) out.push_back(subset);
+        }
+    }
+    return out;
+}
+
+}  // namespace cprisk::uncertainty

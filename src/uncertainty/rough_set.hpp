@@ -1,0 +1,84 @@
+// cprisk/uncertainty/rough_set.hpp
+//
+// Rough Set Theory (paper §V-A, refs [29][30]): approximation of a target
+// concept from an information system of qualitative observations. "The
+// result of the RST approximation consists of three sets": the positive
+// region (certainly in the concept), the negative region (certainly not),
+// and the boundary region (undecidable from the available attributes) —
+// boundary objects are where the analyst must refine or consult experts.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace cprisk::uncertainty {
+
+/// A decision table: objects described by categorical attributes plus one
+/// decision attribute.
+class InformationSystem {
+public:
+    using ObjectId = std::size_t;
+
+    /// Adds an object; `attributes` maps attribute name -> value and must
+    /// cover all previously seen attribute names (rectangular table).
+    /// Returns the object's id.
+    Result<ObjectId> add_object(std::map<std::string, std::string> attributes,
+                                std::string decision);
+
+    std::size_t object_count() const { return objects_.size(); }
+    const std::vector<std::string>& attribute_names() const { return attribute_names_; }
+
+    const std::string& value(ObjectId object, const std::string& attribute) const;
+    const std::string& decision(ObjectId object) const;
+
+    /// Equivalence classes of the indiscernibility relation IND(attrs):
+    /// objects identical on every attribute in `attrs` fall together.
+    std::vector<std::set<ObjectId>> equivalence_classes(
+        const std::vector<std::string>& attrs) const;
+
+    /// Objects whose decision equals `decision_value`.
+    std::set<ObjectId> decision_class(const std::string& decision_value) const;
+
+    /// Lower approximation of `target` under IND(attrs): union of classes
+    /// fully inside the target.
+    std::set<ObjectId> lower_approximation(const std::set<ObjectId>& target,
+                                           const std::vector<std::string>& attrs) const;
+
+    /// Upper approximation: union of classes intersecting the target.
+    std::set<ObjectId> upper_approximation(const std::set<ObjectId>& target,
+                                           const std::vector<std::string>& attrs) const;
+
+    struct Regions {
+        std::set<ObjectId> positive;  ///< certainly in the concept
+        std::set<ObjectId> negative;  ///< certainly outside
+        std::set<ObjectId> boundary;  ///< uncertain — candidates for refinement
+    };
+
+    /// Positive/negative/boundary split for a decision value under attrs.
+    Regions regions(const std::string& decision_value,
+                    const std::vector<std::string>& attrs) const;
+
+    /// Degree of dependency gamma(attrs -> decision): fraction of objects in
+    /// the positive region over all decision classes. 1.0 = the attributes
+    /// determine the decision exactly.
+    double dependency_degree(const std::vector<std::string>& attrs) const;
+
+    /// Minimal attribute subsets preserving the full-attribute dependency
+    /// degree (decision-relative reducts; exhaustive search — suitable for
+    /// the small qualitative tables this framework produces).
+    std::vector<std::vector<std::string>> reducts() const;
+
+private:
+    struct Object {
+        std::map<std::string, std::string> attributes;
+        std::string decision;
+    };
+    std::vector<Object> objects_;
+    std::vector<std::string> attribute_names_;
+};
+
+}  // namespace cprisk::uncertainty

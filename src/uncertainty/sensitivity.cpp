@@ -1,0 +1,136 @@
+#include "uncertainty/sensitivity.hpp"
+
+namespace cprisk::uncertainty {
+
+using qual::Level;
+using qual::level_from_index;
+using qual::LevelRange;
+
+std::string SensitivityReport::to_string() const {
+    std::string out = factor + ": input [" +
+                      std::string(qual::to_short_string(input_range.lo)) + ".." +
+                      std::string(qual::to_short_string(input_range.hi)) + "] -> risk [" +
+                      std::string(qual::to_short_string(output_range.lo)) + ".." +
+                      std::string(qual::to_short_string(output_range.hi)) + "] (" +
+                      (sensitive ? "SENSITIVE" : "insensitive") + ")";
+    return out;
+}
+
+LevelRange sweep(const std::function<Level(Level)>& f, LevelRange input) {
+    Level lo = f(input.lo);
+    Level hi = lo;
+    for (int i = qual::index_of(input.lo); i <= qual::index_of(input.hi); ++i) {
+        const Level out = f(level_from_index(i));
+        lo = qual::qmin(lo, out);
+        hi = qual::qmax(hi, out);
+    }
+    return LevelRange(lo, hi);
+}
+
+SensitivityReport ora_sensitivity(LevelRange lm_range, LevelRange lef_range, bool vary_lm) {
+    SensitivityReport report;
+    if (vary_lm) {
+        report.factor = "LM";
+        report.input_range = lm_range;
+        // The fixed factor is pinned at its midpoint estimate.
+        const Level lef = level_from_index(
+            (qual::index_of(lef_range.lo) + qual::index_of(lef_range.hi)) / 2);
+        report.output_range = sweep([&](Level lm) { return risk::ora_risk(lm, lef); }, lm_range);
+    } else {
+        report.factor = "LEF";
+        report.input_range = lef_range;
+        const Level lm = level_from_index(
+            (qual::index_of(lm_range.lo) + qual::index_of(lm_range.hi)) / 2);
+        report.output_range = sweep([&](Level lef) { return risk::ora_risk(lm, lef); }, lef_range);
+    }
+    report.sensitive = !report.output_range.is_exact();
+    return report;
+}
+
+namespace {
+
+Level midpoint(LevelRange range) {
+    return level_from_index((qual::index_of(range.lo) + qual::index_of(range.hi)) / 2);
+}
+
+Level derive_point(const risk::RiskCalculus& calculus, Level cf, Level poa, Level tcap, Level rs,
+                   Level pl, Level sl) {
+    risk::RiskInputs inputs;
+    inputs.contact_frequency = cf;
+    inputs.probability_of_action = poa;
+    inputs.threat_capability = tcap;
+    inputs.resistance_strength = rs;
+    inputs.primary_loss = pl;
+    inputs.secondary_loss = sl;
+    return calculus.derive(inputs).risk;
+}
+
+}  // namespace
+
+UncertainRiskReport analyze_risk_sensitivity(const risk::RiskCalculus& calculus,
+                                             const UncertainRiskInputs& inputs) {
+    UncertainRiskReport report;
+
+    struct Factor {
+        const char* name;
+        LevelRange range;
+    };
+    const std::vector<Factor> factors = {
+        {"CF", inputs.contact_frequency},   {"PoA", inputs.probability_of_action},
+        {"TCap", inputs.threat_capability}, {"RS", inputs.resistance_strength},
+        {"PL", inputs.primary_loss},        {"SL", inputs.secondary_loss},
+    };
+
+    // One-at-a-time: sweep factor i over its range, others at midpoints.
+    for (std::size_t i = 0; i < factors.size(); ++i) {
+        std::vector<Level> point;
+        point.reserve(factors.size());
+        for (const Factor& factor : factors) point.push_back(midpoint(factor.range));
+
+        SensitivityReport factor_report;
+        factor_report.factor = factors[i].name;
+        factor_report.input_range = factors[i].range;
+        factor_report.output_range = sweep(
+            [&](Level value) {
+                auto p = point;
+                p[i] = value;
+                return derive_point(calculus, p[0], p[1], p[2], p[3], p[4], p[5]);
+            },
+            factors[i].range);
+        factor_report.sensitive = !factor_report.output_range.is_exact();
+        report.factors.push_back(std::move(factor_report));
+    }
+
+    // Joint sweep: full cartesian product over all ranges (5^6 = 15625 at
+    // worst — trivial).
+    Level lo = Level::VeryHigh;
+    Level hi = Level::VeryLow;
+    for (int cf = qual::index_of(inputs.contact_frequency.lo);
+         cf <= qual::index_of(inputs.contact_frequency.hi); ++cf) {
+        for (int poa = qual::index_of(inputs.probability_of_action.lo);
+             poa <= qual::index_of(inputs.probability_of_action.hi); ++poa) {
+            for (int tcap = qual::index_of(inputs.threat_capability.lo);
+                 tcap <= qual::index_of(inputs.threat_capability.hi); ++tcap) {
+                for (int rs = qual::index_of(inputs.resistance_strength.lo);
+                     rs <= qual::index_of(inputs.resistance_strength.hi); ++rs) {
+                    for (int pl = qual::index_of(inputs.primary_loss.lo);
+                         pl <= qual::index_of(inputs.primary_loss.hi); ++pl) {
+                        for (int sl = qual::index_of(inputs.secondary_loss.lo);
+                             sl <= qual::index_of(inputs.secondary_loss.hi); ++sl) {
+                            const Level risk_value = derive_point(
+                                calculus, level_from_index(cf), level_from_index(poa),
+                                level_from_index(tcap), level_from_index(rs),
+                                level_from_index(pl), level_from_index(sl));
+                            lo = qual::qmin(lo, risk_value);
+                            hi = qual::qmax(hi, risk_value);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    report.risk_range = LevelRange(lo, hi);
+    return report;
+}
+
+}  // namespace cprisk::uncertainty

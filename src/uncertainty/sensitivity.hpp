@@ -1,0 +1,60 @@
+// cprisk/uncertainty/sensitivity.hpp
+//
+// Sensitivity analysis over the qualitative risk factors (paper §V-A):
+// "sensitivity analysis examines how uncertain factors impact the output by
+// altering its values ... If a sensitivity analysis reveals that a factor
+// of the risk is sensitive, further evaluation is required." This is also
+// the paper's §II-A modeling support: it highlights which estimates are
+// critical for the overall result.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "qualitative/algebra.hpp"
+#include "risk/ora.hpp"
+
+namespace cprisk::uncertainty {
+
+/// Sensitivity verdict for one factor.
+struct SensitivityReport {
+    std::string factor;
+    qual::LevelRange input_range;   ///< the uncertainty supplied
+    qual::LevelRange output_range;  ///< resulting risk spread
+    bool sensitive = false;         ///< output varies over the input range
+
+    std::string to_string() const;
+};
+
+/// Output range of an ordinal function when one input sweeps a range.
+qual::LevelRange sweep(const std::function<qual::Level(qual::Level)>& f,
+                       qual::LevelRange input);
+
+/// The paper's worked example: Risk(LM, LEF) with one factor uncertain.
+/// Sweeps `lm_range` at fixed `lef` (or vice versa via `vary_lm = false`).
+SensitivityReport ora_sensitivity(qual::LevelRange lm_range, qual::LevelRange lef_range,
+                                  bool vary_lm);
+
+/// Uncertain variant of the full Fig. 2 derivation: every leaf is a range;
+/// reports per-factor sensitivity of the final Risk (one-at-a-time sweep
+/// around the range midpoints) plus the overall risk range (all factors
+/// swept jointly).
+struct UncertainRiskInputs {
+    qual::LevelRange contact_frequency{qual::Level::Medium};
+    qual::LevelRange probability_of_action{qual::Level::Medium};
+    qual::LevelRange threat_capability{qual::Level::Medium};
+    qual::LevelRange resistance_strength{qual::Level::Medium};
+    qual::LevelRange primary_loss{qual::Level::Medium};
+    qual::LevelRange secondary_loss{qual::Level::Medium};
+};
+
+struct UncertainRiskReport {
+    std::vector<SensitivityReport> factors;  ///< one-at-a-time sensitivity
+    qual::LevelRange risk_range;             ///< joint sweep over all factors
+};
+
+UncertainRiskReport analyze_risk_sensitivity(const risk::RiskCalculus& calculus,
+                                             const UncertainRiskInputs& inputs);
+
+}  // namespace cprisk::uncertainty

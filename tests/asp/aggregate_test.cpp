@@ -1,0 +1,183 @@
+// Body aggregates (#count / #sum) in integrity constraints.
+#include <gtest/gtest.h>
+
+#include "asp/asp.hpp"
+
+namespace cprisk::asp {
+namespace {
+
+SolveResult must_solve(std::string_view text) {
+    auto result = solve_text(text);
+    EXPECT_TRUE(result.ok()) << result.error();
+    return result.ok() ? std::move(result).value() : SolveResult{};
+}
+
+bool model_has(const AnswerSet& model, std::string_view atom_text) {
+    auto atom = parse_atom(atom_text);
+    EXPECT_TRUE(atom.ok()) << atom.error();
+    return model.contains(atom.value());
+}
+
+TEST(Aggregates, CountUpperBound) {
+    // At most 2 picks out of 4.
+    auto result = must_solve(
+        "item(1..4). { pick(X) : item(X) }. "
+        ":- #count { X : pick(X) } > 2.");
+    // C(4,0)+C(4,1)+C(4,2) = 1+4+6 = 11 models.
+    EXPECT_EQ(result.models.size(), 11u);
+}
+
+TEST(Aggregates, CountLowerBound) {
+    auto result = must_solve(
+        "item(1..3). { pick(X) : item(X) }. "
+        ":- #count { X : pick(X) } < 2.");
+    EXPECT_EQ(result.models.size(), 4u);  // C(3,2)+C(3,3)
+}
+
+TEST(Aggregates, CountExact) {
+    auto result = must_solve(
+        "item(1..4). { pick(X) : item(X) }. "
+        ":- #count { X : pick(X) } != 2.");
+    EXPECT_EQ(result.models.size(), 6u);
+}
+
+TEST(Aggregates, SumBudgetConstraint) {
+    // The motivating use case: mitigation selection under a budget.
+    auto result = must_solve(
+        "cost(m1, 3). cost(m2, 5). cost(m3, 4). "
+        "{ active(M) : cost(M, _) }. "
+        ":- #sum { C, M : active(M), cost(M, C) } > 7.");
+    // Subsets within budget 7: {}, {m1}, {m2}, {m3}, {m1,m3}(7). {m1,m2}=8,
+    // {m2,m3}=9, all=12 excluded.
+    EXPECT_EQ(result.models.size(), 5u);
+    for (const auto& model : result.models) {
+        long long cost = 0;
+        if (model_has(model, "active(m1)")) cost += 3;
+        if (model_has(model, "active(m2)")) cost += 5;
+        if (model_has(model, "active(m3)")) cost += 4;
+        EXPECT_LE(cost, 7);
+    }
+}
+
+TEST(Aggregates, SumWithNegativeWeights) {
+    auto result = must_solve(
+        "w(a, 2). w(b, -3). { pick(X) : w(X, _) }. "
+        ":- #sum { C, X : pick(X), w(X, C) } < 0.");
+    // Sums: {}=0 ok, {a}=2 ok, {b}=-3 rejected, {a,b}=-1 rejected.
+    EXPECT_EQ(result.models.size(), 2u);
+}
+
+TEST(Aggregates, DistinctTuplesCountOnce) {
+    // Two ways to derive the same tuple must contribute once.
+    auto result = must_solve(
+        "p(1). q(1). both(X) :- p(X). both(X) :- q(X). "
+        "{ t }. "
+        ":- #count { X : both(X) } != 1.");
+    EXPECT_EQ(result.models.size(), 2u);  // aggregate satisfied; t free
+}
+
+TEST(Aggregates, BoundFromConst) {
+    auto result = must_solve(
+        "#const budget = 4. "
+        "cost(a, 3). cost(b, 2). { active(M) : cost(M, _) }. "
+        ":- #sum { C, M : active(M), cost(M, C) } > budget.");
+    // {}, {a}, {b} ok; {a,b}=5 rejected.
+    EXPECT_EQ(result.models.size(), 3u);
+}
+
+TEST(Aggregates, ConditionOverDerivedAtoms) {
+    auto result = must_solve(
+        "n(1..3). { sel(X) : n(X) }. big(X) :- sel(X), X > 1. "
+        ":- #count { X : big(X) } > 1.");
+    // Selections with at most one of {2,3}: subsets of {1,2,3} minus those
+    // containing both 2 and 3: 8 - 2 = 6.
+    EXPECT_EQ(result.models.size(), 6u);
+}
+
+TEST(Aggregates, MultipleAggregatesConjoined) {
+    // Constraint fires only when BOTH aggregates hold.
+    auto result = must_solve(
+        "item(1..3). { pick(X) : item(X) }. "
+        ":- #count { X : pick(X) } >= 2, #count { X : pick(X) } <= 2.");
+    // Exactly-2 subsets are forbidden: 8 - 3 = 5 models.
+    EXPECT_EQ(result.models.size(), 5u);
+}
+
+TEST(Aggregates, EmptyAggregate) {
+    auto result = must_solve("{ a }. :- #count { x : b } > 0.");
+    // b never holds; the aggregate is 0; constraint never fires.
+    EXPECT_EQ(result.models.size(), 2u);
+}
+
+TEST(Aggregates, RejectedOutsideConstraints) {
+    auto in_rule = solve_text("p :- #count { x : q } > 0. q.");
+    EXPECT_FALSE(in_rule.ok());
+    auto in_weak = solve_text("{ a }. :~ #count { x : a } > 0. [1@1]");
+    EXPECT_FALSE(in_weak.ok());
+}
+
+TEST(Aggregates, NegatedConditionRejected) {
+    EXPECT_FALSE(solve_text("{ a }. :- #count { x : not a } > 0.").ok());
+}
+
+TEST(Aggregates, NonIntegerSumWeightRejected) {
+    EXPECT_FALSE(solve_text("p(a). :- #sum { X : p(X) } > 0.").ok());
+}
+
+TEST(Aggregates, RoundTripPrinting) {
+    auto program = parse_program(
+        "cost(m1, 3). { active(M) : cost(M, _) }. "
+        ":- #sum { C, M : active(M), cost(M, C) } > 7.");
+    ASSERT_TRUE(program.ok()) << program.error();
+    auto reparsed = parse_program(program.value().to_string());
+    ASSERT_TRUE(reparsed.ok()) << reparsed.error() << "\n" << program.value().to_string();
+    EXPECT_EQ(program.value().to_string(), reparsed.value().to_string());
+}
+
+TEST(Aggregates, InteractionWithOptimization) {
+    // Budgeted minimization: minimize residual loss subject to the budget.
+    auto result = must_solve(
+        "cost(m1, 3). cost(m2, 5). blocks(m1, t1). blocks(m2, t2). "
+        "loss(t1, 10). loss(t2, 20). threat(T) :- loss(T, _). "
+        "{ active(M) : cost(M, _) }. "
+        "blocked(T) :- blocks(M, T), active(M). "
+        "unblocked(T) :- threat(T), not blocked(T). "
+        ":- #sum { C, M : active(M), cost(M, C) } > 5. "
+        ":~ unblocked(T), loss(T, L). [L@1, T]");
+    ASSERT_EQ(result.models.size(), 1u);
+    // Budget 5 excludes {m1,m2}; best single choice blocks t2 (loss 20).
+    EXPECT_TRUE(model_has(result.models[0], "active(m2)"));
+    EXPECT_FALSE(model_has(result.models[0], "active(m1)"));
+    EXPECT_EQ(result.best_cost.at(1), 10);
+}
+
+
+TEST(Aggregates, TemporalSectionsStampConditions) {
+    // A per-step cardinality cap: at most one action may be active at any
+    // time step. The aggregate's condition atoms must be time-stamped.
+    PipelineOptions options;
+    options.horizon = 1;
+    auto result = solve_text(
+        "#program always. { act(a) }. { act(b) }. "
+        ":- #count { X : act(X) } > 1.",
+        options);
+    ASSERT_TRUE(result.ok()) << result.error();
+    // Per step: 3 admissible subsets ({}, {a}, {b}); 2 steps -> 9 models.
+    EXPECT_EQ(result.value().models.size(), 9u);
+}
+
+TEST(Aggregates, TemporalSumOverPrevState) {
+    // Aggregate over a prev_-referenced predicate inside a dynamic section.
+    PipelineOptions options;
+    options.horizon = 2;
+    auto result = solve_text(
+        "#program initial. tokens(2). "
+        "#program dynamic. tokens(N) :- prev_tokens(N). "
+        "#program always. :- #sum { N : tokens(N) } > 2.",
+        options);
+    ASSERT_TRUE(result.ok()) << result.error();
+    EXPECT_TRUE(result.value().satisfiable);
+}
+
+}  // namespace
+}  // namespace cprisk::asp

@@ -1,0 +1,99 @@
+// Arithmetic evaluation, substitution, comparison, range expansion.
+#include <gtest/gtest.h>
+
+#include "asp/eval.hpp"
+#include "asp/parser.hpp"
+
+namespace cprisk::asp {
+namespace {
+
+Term t(std::string_view text) {
+    auto r = parse_term(text);
+    EXPECT_TRUE(r.ok()) << r.error();
+    return r.value();
+}
+
+TEST(Eval, Arithmetic) {
+    EXPECT_EQ(eval_term(t("1 + 2 * 3")).value().as_int(), 7);
+    EXPECT_EQ(eval_term(t("10 - 4")).value().as_int(), 6);
+    EXPECT_EQ(eval_term(t("9 / 2")).value().as_int(), 4);
+    EXPECT_EQ(eval_term(t("mod(9, 4)")).value().as_int(), 1);
+    EXPECT_EQ(eval_term(t("abs(-5)")).value().as_int(), 5);
+    EXPECT_EQ(eval_term(t("(2 + 3) * 4")).value().as_int(), 20);
+}
+
+TEST(Eval, DivisionByZeroFails) {
+    EXPECT_FALSE(eval_term(t("1 / 0")).ok());
+    EXPECT_FALSE(eval_term(t("mod(1, 0)")).ok());
+}
+
+TEST(Eval, UnboundVariableFails) {
+    EXPECT_FALSE(eval_term(Term::variable("X")).ok());
+}
+
+TEST(Eval, ArithmeticOnSymbolFails) {
+    EXPECT_FALSE(eval_term(t("a + 1")).ok());
+}
+
+TEST(Eval, NestedCompoundsEvaluateArgs) {
+    EXPECT_EQ(eval_term(t("f(1+1, g(2*2))")).value().to_string(), "f(2,g(4))");
+}
+
+TEST(Eval, Substitution) {
+    Binding binding{{"X", Term::integer(3)}, {"Y", Term::symbol("tank")}};
+    EXPECT_EQ(substitute(t("f(X, Y, Z)"), binding).to_string(), "f(3,tank,Z)");
+    EXPECT_EQ(eval_term(substitute(t("X + 1"), binding)).value().as_int(), 4);
+}
+
+TEST(Eval, CompareIntegers) {
+    EXPECT_TRUE(compare_terms(Term::integer(1), CompareOp::Lt, Term::integer(2)));
+    EXPECT_FALSE(compare_terms(Term::integer(2), CompareOp::Lt, Term::integer(2)));
+    EXPECT_TRUE(compare_terms(Term::integer(2), CompareOp::Le, Term::integer(2)));
+    EXPECT_TRUE(compare_terms(Term::integer(3), CompareOp::Ge, Term::integer(3)));
+    EXPECT_TRUE(compare_terms(Term::integer(4), CompareOp::Gt, Term::integer(3)));
+    EXPECT_TRUE(compare_terms(Term::integer(4), CompareOp::Ne, Term::integer(3)));
+    EXPECT_TRUE(compare_terms(Term::integer(4), CompareOp::Eq, Term::integer(4)));
+}
+
+TEST(Eval, CompareSymbolsLexicographic) {
+    EXPECT_TRUE(compare_terms(Term::symbol("apple"), CompareOp::Lt, Term::symbol("banana")));
+}
+
+TEST(Eval, IntegersBeforeSymbolsInTermOrder) {
+    EXPECT_TRUE(compare_terms(Term::integer(999), CompareOp::Lt, Term::symbol("a")));
+}
+
+TEST(Eval, ExpandRangeBasic) {
+    auto values = expand_ranges(eval_term(t("1..4")).value());
+    ASSERT_EQ(values.size(), 4u);
+    EXPECT_EQ(values[0].as_int(), 1);
+    EXPECT_EQ(values[3].as_int(), 4);
+}
+
+TEST(Eval, ExpandEmptyRange) {
+    auto values = expand_ranges(eval_term(t("5..2")).value());
+    EXPECT_TRUE(values.empty());
+}
+
+TEST(Eval, ExpandNestedRanges) {
+    auto values = expand_ranges(eval_term(t("f(1..2, 1..3)")).value());
+    EXPECT_EQ(values.size(), 6u);
+}
+
+TEST(Eval, ExpandAtomRanges) {
+    Atom atom{"p", {eval_term(t("1..3")).value(), Term::symbol("a")}};
+    auto atoms = expand_atom_ranges(atom);
+    ASSERT_EQ(atoms.size(), 3u);
+    EXPECT_EQ(atoms[0].to_string(), "p(1,a)");
+    EXPECT_EQ(atoms[2].to_string(), "p(3,a)");
+}
+
+TEST(Eval, NoRangeNoCopy) {
+    Atom atom{"p", {Term::integer(1)}};
+    auto atoms = expand_atom_ranges(atom);
+    ASSERT_EQ(atoms.size(), 1u);
+    EXPECT_EQ(atoms[0], atom);
+}
+
+}  // namespace
+}  // namespace cprisk::asp

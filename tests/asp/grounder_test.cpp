@@ -1,0 +1,188 @@
+// Grounder behaviour: instantiation, safety, ranges, arithmetic in rules,
+// domain fixpoints, limits.
+#include <gtest/gtest.h>
+
+#include "asp/grounder.hpp"
+#include "asp/parser.hpp"
+
+namespace cprisk::asp {
+namespace {
+
+GroundProgram must_ground(std::string_view text, GrounderOptions options = {}) {
+    auto program = parse_program(text);
+    EXPECT_TRUE(program.ok()) << program.error();
+    auto grounded = ground(program.value(), options);
+    EXPECT_TRUE(grounded.ok()) << grounded.error();
+    return grounded.ok() ? std::move(grounded).value() : GroundProgram{};
+}
+
+bool has_atom(const GroundProgram& p, std::string_view text) {
+    auto atom = parse_atom(text);
+    EXPECT_TRUE(atom.ok()) << atom.error();
+    return p.find(atom.value()) >= 0;
+}
+
+TEST(Grounder, FactsInterned) {
+    auto g = must_ground("p(1). p(2).");
+    EXPECT_EQ(g.atom_count(), 2u);
+    EXPECT_EQ(g.rules().size(), 2u);
+    EXPECT_TRUE(has_atom(g, "p(1)"));
+}
+
+TEST(Grounder, RangeFactExpansion) {
+    auto g = must_ground("time(0..4).");
+    EXPECT_EQ(g.rules().size(), 5u);
+    EXPECT_TRUE(has_atom(g, "time(0)"));
+    EXPECT_TRUE(has_atom(g, "time(4)"));
+}
+
+TEST(Grounder, RuleInstantiation) {
+    auto g = must_ground("p(1). p(2). q(X) :- p(X).");
+    EXPECT_TRUE(has_atom(g, "q(1)"));
+    EXPECT_TRUE(has_atom(g, "q(2)"));
+}
+
+TEST(Grounder, JoinTwoPredicates) {
+    auto g = must_ground("a(1). a(2). b(2). b(3). c(X) :- a(X), b(X).");
+    EXPECT_TRUE(has_atom(g, "c(2)"));
+    EXPECT_FALSE(has_atom(g, "c(1)"));
+    EXPECT_FALSE(has_atom(g, "c(3)"));
+}
+
+TEST(Grounder, ArithmeticInHead) {
+    auto g = must_ground("n(1). n(2). succ(X, X+1) :- n(X).");
+    EXPECT_TRUE(has_atom(g, "succ(1,2)"));
+    EXPECT_TRUE(has_atom(g, "succ(2,3)"));
+}
+
+TEST(Grounder, AssignmentBinding) {
+    auto g = must_ground("n(3). double(Y) :- n(X), Y = X * 2.");
+    EXPECT_TRUE(has_atom(g, "double(6)"));
+}
+
+TEST(Grounder, AssignmentRangeBinding) {
+    auto g = must_ground("m(X) :- X = 1..3.");
+    EXPECT_TRUE(has_atom(g, "m(1)"));
+    EXPECT_TRUE(has_atom(g, "m(3)"));
+    EXPECT_FALSE(has_atom(g, "m(4)"));
+}
+
+TEST(Grounder, ComparisonFilters) {
+    auto g = must_ground("n(1..5). big(X) :- n(X), X > 3.");
+    EXPECT_FALSE(has_atom(g, "big(3)"));
+    EXPECT_TRUE(has_atom(g, "big(4)"));
+    EXPECT_TRUE(has_atom(g, "big(5)"));
+}
+
+TEST(Grounder, RecursiveFixpoint) {
+    auto g = must_ground(
+        "edge(1,2). edge(2,3). edge(3,4). "
+        "reach(X,Y) :- edge(X,Y). reach(X,Z) :- reach(X,Y), edge(Y,Z).");
+    EXPECT_TRUE(has_atom(g, "reach(1,4)"));
+}
+
+TEST(Grounder, UnsafeRuleFails) {
+    auto program = parse_program("p(X) :- q(Y).");
+    ASSERT_TRUE(program.ok());
+    auto grounded = ground(program.value());
+    EXPECT_FALSE(grounded.ok());
+}
+
+TEST(Grounder, UnsafeNegationOnlyFails) {
+    auto program = parse_program("p(X) :- not q(X).");
+    ASSERT_TRUE(program.ok());
+    EXPECT_FALSE(ground(program.value()).ok());
+}
+
+TEST(Grounder, ConstSubstitution) {
+    auto g = must_ground("#const n = 3. p(1..n). q :- p(n).");
+    EXPECT_TRUE(has_atom(g, "p(3)"));
+    EXPECT_TRUE(has_atom(g, "q"));
+}
+
+TEST(Grounder, ConstInExpression) {
+    auto g = must_ground("#const n = 2. p(n * 10).");
+    EXPECT_TRUE(has_atom(g, "p(20)"));
+}
+
+TEST(Grounder, NegativeBodyAtomsInterned) {
+    auto g = must_ground("a. b :- a, not c.");
+    EXPECT_TRUE(has_atom(g, "c"));  // interned even though underivable
+}
+
+TEST(Grounder, AtomLimitGuards) {
+    GrounderOptions options;
+    options.max_atoms = 10;
+    auto program = parse_program("p(1..1000).");
+    ASSERT_TRUE(program.ok());
+    EXPECT_FALSE(ground(program.value(), options).ok());
+}
+
+TEST(Grounder, NonTerminatingGuard) {
+    GrounderOptions options;
+    options.max_atoms = 1000;
+    auto program = parse_program("p(0). p(X + 1) :- p(X).");
+    ASSERT_TRUE(program.ok());
+    EXPECT_FALSE(ground(program.value(), options).ok());
+}
+
+TEST(Grounder, ChoiceOverFacts) {
+    auto g = must_ground("item(1..3). { pick(X) : item(X) }.");
+    EXPECT_TRUE(has_atom(g, "pick(1)"));
+    EXPECT_TRUE(has_atom(g, "pick(3)"));
+    std::size_t choice_rules = 0;
+    for (const auto& rule : g.rules()) {
+        if (rule.kind == GroundRule::Kind::Choice) {
+            ++choice_rules;
+            EXPECT_EQ(rule.choice_heads.size(), 3u);
+        }
+    }
+    EXPECT_EQ(choice_rules, 1u);
+}
+
+TEST(Grounder, BoundedChoiceOverDerivedFactsOk) {
+    // item/1 is derived through a rule but still certain.
+    auto g = must_ground("base(1..2). item(X) :- base(X). 1 { pick(X) : item(X) } 1.");
+    bool found = false;
+    for (const auto& rule : g.rules()) {
+        if (rule.kind == GroundRule::Kind::Choice) {
+            found = true;
+            EXPECT_EQ(rule.choice_heads.size(), 2u);
+            EXPECT_EQ(rule.lower_bound, 1);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Grounder, BoundedChoiceOverUncertainConditionFails) {
+    auto program = parse_program("{ maybe }. item(1) :- maybe. 1 { pick(X) : item(X) } 1.");
+    ASSERT_TRUE(program.ok());
+    EXPECT_FALSE(ground(program.value()).ok());
+}
+
+TEST(Grounder, AnonymousVariable) {
+    auto g = must_ground("p(1,a). p(2,b). q(X) :- p(X, _).");
+    EXPECT_TRUE(has_atom(g, "q(1)"));
+    EXPECT_TRUE(has_atom(g, "q(2)"));
+}
+
+TEST(Grounder, TemporalSectionRejected) {
+    auto program = parse_program("#program dynamic. p :- prev_p.");
+    ASSERT_TRUE(program.ok());
+    EXPECT_FALSE(ground(program.value()).ok());
+}
+
+TEST(Grounder, GroundRulesDeduplicated) {
+    // Both body orders produce the same ground rule.
+    auto g = must_ground("a. b. c :- a, b. c :- b, a.");
+    std::size_t c_rules = 0;
+    for (const auto& rule : g.rules()) {
+        if (rule.kind == GroundRule::Kind::Normal && g.atom(rule.head).predicate == "c") {
+            ++c_rules;
+        }
+    }
+    EXPECT_EQ(c_rules, 1u);
+}
+
+}  // namespace
+}  // namespace cprisk::asp

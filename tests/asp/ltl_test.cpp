@@ -1,0 +1,239 @@
+// Finite-trace LTL: evaluator semantics, ASP compilation, and the
+// cross-validation property that compiled verdicts match trace evaluation.
+#include <gtest/gtest.h>
+
+#include "asp/asp.hpp"
+
+namespace cprisk::asp {
+namespace {
+
+using ltl::Formula;
+using ltl::Trace;
+
+Atom atom(std::string_view text) {
+    auto r = parse_atom(text);
+    EXPECT_TRUE(r.ok()) << r.error();
+    return r.value();
+}
+
+Trace make_trace(std::initializer_list<std::initializer_list<const char*>> steps) {
+    Trace trace;
+    for (const auto& step : steps) {
+        std::set<Atom> atoms;
+        for (const char* a : step) atoms.insert(atom(a));
+        trace.push_back(std::move(atoms));
+    }
+    return trace;
+}
+
+TEST(Ltl, AtomEvaluation) {
+    auto trace = make_trace({{"p"}, {}});
+    EXPECT_TRUE(Formula::atom(atom("p")).evaluate(trace, 0));
+    EXPECT_FALSE(Formula::atom(atom("p")).evaluate(trace, 1));
+}
+
+TEST(Ltl, Booleans) {
+    auto trace = make_trace({{"p"}});
+    auto p = Formula::atom(atom("p"));
+    auto q = Formula::atom(atom("q"));
+    EXPECT_TRUE(Formula::truth().evaluate(trace));
+    EXPECT_FALSE(Formula::falsity().evaluate(trace));
+    EXPECT_FALSE(Formula::negate(p).evaluate(trace));
+    EXPECT_FALSE(Formula::conj(p, q).evaluate(trace));
+    EXPECT_TRUE(Formula::disj(p, q).evaluate(trace));
+    EXPECT_FALSE(Formula::implies(p, q).evaluate(trace));
+    EXPECT_TRUE(Formula::implies(q, p).evaluate(trace));
+}
+
+TEST(Ltl, StrongNextFalseAtEnd) {
+    auto trace = make_trace({{"p"}, {"p"}});
+    auto next_p = Formula::next(Formula::atom(atom("p")));
+    EXPECT_TRUE(next_p.evaluate(trace, 0));
+    EXPECT_FALSE(next_p.evaluate(trace, 1));
+}
+
+TEST(Ltl, WeakNextTrueAtEnd) {
+    auto trace = make_trace({{}, {}});
+    auto wnext = Formula::weak_next(Formula::atom(atom("p")));
+    EXPECT_FALSE(wnext.evaluate(trace, 0));
+    EXPECT_TRUE(wnext.evaluate(trace, 1));
+}
+
+TEST(Ltl, Always) {
+    auto g_p = Formula::always(Formula::atom(atom("p")));
+    EXPECT_TRUE(g_p.evaluate(make_trace({{"p"}, {"p"}, {"p"}})));
+    EXPECT_FALSE(g_p.evaluate(make_trace({{"p"}, {}, {"p"}})));
+}
+
+TEST(Ltl, Eventually) {
+    auto f_p = Formula::eventually(Formula::atom(atom("p")));
+    EXPECT_TRUE(f_p.evaluate(make_trace({{}, {}, {"p"}})));
+    EXPECT_FALSE(f_p.evaluate(make_trace({{}, {}, {}})));
+}
+
+TEST(Ltl, Until) {
+    auto p_until_q =
+        Formula::until(Formula::atom(atom("p")), Formula::atom(atom("q")));
+    EXPECT_TRUE(p_until_q.evaluate(make_trace({{"p"}, {"p"}, {"q"}})));
+    EXPECT_FALSE(p_until_q.evaluate(make_trace({{"p"}, {}, {"q"}})));
+    EXPECT_FALSE(p_until_q.evaluate(make_trace({{"p"}, {"p"}, {"p"}})));  // q never
+    EXPECT_TRUE(p_until_q.evaluate(make_trace({{"q"}})));  // immediate
+}
+
+TEST(Ltl, Release) {
+    auto p_release_q =
+        Formula::release(Formula::atom(atom("p")), Formula::atom(atom("q")));
+    // q holds to the end -> true.
+    EXPECT_TRUE(p_release_q.evaluate(make_trace({{"q"}, {"q"}})));
+    // q holds until (inclusive) p -> true.
+    EXPECT_TRUE(p_release_q.evaluate(make_trace({{"q"}, {"p", "q"}, {}})));
+    // q dropped before p -> false.
+    EXPECT_FALSE(p_release_q.evaluate(make_trace({{"q"}, {}, {"p", "q"}})));
+}
+
+TEST(Ltl, EmptyTrace) {
+    Trace empty;
+    EXPECT_TRUE(Formula::truth().evaluate(empty));
+    EXPECT_FALSE(Formula::atom(atom("p")).evaluate(empty));
+}
+
+TEST(Ltl, ToString) {
+    auto f = Formula::always(Formula::implies(Formula::atom(atom("overflow")),
+                                              Formula::eventually(Formula::atom(atom("alert")))));
+    EXPECT_EQ(f.to_string(), "G((overflow -> F(alert)))");
+}
+
+// --- compilation ------------------------------------------------------------
+
+/// Solves `temporal_text` with `formula` compiled as requirement "r", at the
+/// given horizon; returns whether violated(r) holds in the unique model.
+bool compiled_violated(std::string_view temporal_text, const Formula& formula, int horizon) {
+    auto parsed = parse_program(temporal_text);
+    EXPECT_TRUE(parsed.ok()) << parsed.error();
+    UnrollOptions unroll_options;
+    unroll_options.horizon = horizon;
+    auto unrolled = unroll(parsed.value(), unroll_options);
+    EXPECT_TRUE(unrolled.ok()) << unrolled.error();
+    Program program = std::move(unrolled).value();
+    ltl::compile_requirement(program, "r", formula, horizon);
+    auto solved = solve_program(program);
+    EXPECT_TRUE(solved.ok()) << solved.error();
+    EXPECT_EQ(solved.value().models.size(), 1u);
+    return solved.value().models[0].contains(Atom{"violated", {Term::symbol("r")}});
+}
+
+TEST(LtlCompile, SafetyHolds) {
+    // level stays normal forever: G !overflow holds.
+    auto formula = Formula::always(Formula::negate(Formula::atom(atom("overflow"))));
+    EXPECT_FALSE(compiled_violated(
+        "#program initial. level(normal). "
+        "#program dynamic. level(X) :- prev_level(X).",
+        formula, 3));
+}
+
+TEST(LtlCompile, SafetyViolated) {
+    auto formula = Formula::always(Formula::negate(Formula::atom(atom("overflow"))));
+    EXPECT_TRUE(compiled_violated(
+        "#program initial. level(normal). "
+        "#program dynamic. overflow :- prev_level(normal). "
+        "                  level(X) :- prev_level(X).",
+        formula, 3));
+}
+
+TEST(LtlCompile, ResponseProperty) {
+    // R2-style: G(overflow -> F alert).
+    auto formula = Formula::always(Formula::implies(
+        Formula::atom(atom("overflow")), Formula::eventually(Formula::atom(atom("alert")))));
+    // Alert raised one step after overflow: requirement holds.
+    EXPECT_FALSE(compiled_violated(
+        "#program initial. level(normal). "
+        "#program dynamic. overflow :- prev_level(normal). "
+        "                  level(X) :- prev_level(X). "
+        "                  alert :- prev_overflow.",
+        formula, 3));
+    // No alert ever: requirement violated.
+    EXPECT_TRUE(compiled_violated(
+        "#program initial. level(normal). "
+        "#program dynamic. overflow :- prev_level(normal). "
+        "                  level(X) :- prev_level(X).",
+        formula, 3));
+}
+
+TEST(LtlCompile, EventuallyAtHorizonBoundary) {
+    auto formula = Formula::eventually(Formula::atom(atom("done")));
+    EXPECT_FALSE(compiled_violated(
+        "#program final. done.", formula, 2));
+    EXPECT_TRUE(compiled_violated(
+        "#program initial. other.", formula, 2));
+}
+
+// Property-style sweep: the compiled verdict must agree with direct trace
+// evaluation for deterministic temporal programs.
+struct CrossCase {
+    const char* name;
+    const char* program;
+    int horizon;
+};
+
+class LtlCrossValidation : public ::testing::TestWithParam<CrossCase> {};
+
+TEST_P(LtlCrossValidation, CompiledMatchesTraceEvaluation) {
+    const auto& param = GetParam();
+
+    std::vector<Formula> formulas = {
+        Formula::always(Formula::negate(Formula::atom(atom("overflow")))),
+        Formula::eventually(Formula::atom(atom("overflow"))),
+        Formula::always(Formula::implies(Formula::atom(atom("overflow")),
+                                         Formula::eventually(Formula::atom(atom("alert"))))),
+        Formula::until(Formula::negate(Formula::atom(atom("overflow"))),
+                       Formula::atom(atom("alert"))),
+        Formula::next(Formula::atom(atom("overflow"))),
+        Formula::weak_next(Formula::atom(atom("alert"))),
+        Formula::release(Formula::atom(atom("alert")),
+                         Formula::negate(Formula::atom(atom("overflow")))),
+    };
+
+    // Solve the bare program once to get the trace.
+    auto parsed = parse_program(param.program);
+    ASSERT_TRUE(parsed.ok()) << parsed.error();
+    UnrollOptions unroll_options;
+    unroll_options.horizon = param.horizon;
+    auto unrolled = unroll(parsed.value(), unroll_options);
+    ASSERT_TRUE(unrolled.ok()) << unrolled.error();
+    auto solved = solve_program(unrolled.value());
+    ASSERT_TRUE(solved.ok()) << solved.error();
+    ASSERT_EQ(solved.value().models.size(), 1u);
+    Trace trace = trace_from_answer(solved.value().models[0], param.horizon);
+
+    for (std::size_t i = 0; i < formulas.size(); ++i) {
+        const bool holds_on_trace = formulas[i].evaluate(trace, 0);
+        const bool violated = compiled_violated(param.program, formulas[i], param.horizon);
+        EXPECT_EQ(holds_on_trace, !violated)
+            << "formula #" << i << " = " << formulas[i].to_string() << " on " << param.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, LtlCrossValidation,
+    ::testing::Values(
+        CrossCase{"steady", "#program initial. level(normal). "
+                            "#program dynamic. level(X) :- prev_level(X).", 3},
+        CrossCase{"overflow_no_alert",
+                  "#program initial. level(normal). "
+                  "#program dynamic. overflow :- prev_level(normal). "
+                  "                  level(X) :- prev_level(X).", 3},
+        CrossCase{"overflow_then_alert",
+                  "#program initial. level(normal). "
+                  "#program dynamic. overflow :- prev_level(normal). "
+                  "                  level(X) :- prev_level(X). "
+                  "                  alert :- prev_overflow. "
+                  "                  alert :- prev_alert.", 4},
+        CrossCase{"alert_immediately",
+                  "#program always. alert.", 2},
+        CrossCase{"overflow_everywhere",
+                  "#program always. overflow. "
+                  "#program dynamic. alert :- prev_overflow.", 3}),
+    [](const ::testing::TestParamInfo<CrossCase>& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace cprisk::asp

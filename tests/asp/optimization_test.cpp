@@ -1,0 +1,141 @@
+// Weak constraints, #minimize/#maximize, lexicographic priorities,
+// branch-and-bound pruning.
+#include <gtest/gtest.h>
+
+#include "asp/asp.hpp"
+
+namespace cprisk::asp {
+namespace {
+
+SolveResult must_solve(std::string_view text, PipelineOptions options = {}) {
+    auto result = solve_text(text, options);
+    EXPECT_TRUE(result.ok()) << result.error();
+    return result.ok() ? std::move(result).value() : SolveResult{};
+}
+
+bool model_has(const AnswerSet& model, std::string_view atom_text) {
+    auto atom = parse_atom(atom_text);
+    EXPECT_TRUE(atom.ok()) << atom.error();
+    return model.contains(atom.value());
+}
+
+TEST(Optimization, PicksCheapestChoice) {
+    auto result = must_solve(
+        "item(a, 5). item(b, 2). item(c, 9). "
+        "1 { pick(X) : picked_candidate(X) } 1. "
+        "picked_candidate(X) :- item(X, _). "
+        ":~ pick(X), item(X, C). [C@1, X]");
+    ASSERT_EQ(result.models.size(), 1u);
+    EXPECT_TRUE(model_has(result.models[0], "pick(b)"));
+    EXPECT_EQ(result.best_cost.at(1), 2);
+}
+
+TEST(Optimization, MinimizeDirective) {
+    auto result = must_solve(
+        "n(1..4). 1 { sel(X) : n(X) } 1. #minimize { X@1 : sel(X) }.");
+    ASSERT_EQ(result.models.size(), 1u);
+    EXPECT_TRUE(model_has(result.models[0], "sel(1)"));
+}
+
+TEST(Optimization, MaximizeDirective) {
+    auto result = must_solve(
+        "n(1..4). 1 { sel(X) : n(X) } 1. #maximize { X@1 : sel(X) }.");
+    ASSERT_EQ(result.models.size(), 1u);
+    EXPECT_TRUE(model_has(result.models[0], "sel(4)"));
+}
+
+TEST(Optimization, AllOptimaReturned) {
+    // Two picks tie at cost 1.
+    auto result = must_solve(
+        "item(a,1). item(b,1). item(c,3). cand(X) :- item(X,_). "
+        "1 { pick(X) : cand(X) } 1. :~ pick(X), item(X,C). [C@1, X]");
+    EXPECT_EQ(result.models.size(), 2u);
+    EXPECT_EQ(result.best_cost.at(1), 1);
+}
+
+TEST(Optimization, LexicographicPriorities) {
+    // Higher priority dominates: pick b (prio-2 cost 0) even though its
+    // prio-1 cost is larger.
+    auto result = must_solve(
+        "cand(a). cand(b). 1 { pick(X) : cand(X) } 1. "
+        ":~ pick(a). [1@2] "
+        ":~ pick(a). [0@1] "
+        ":~ pick(b). [0@2] "
+        ":~ pick(b). [5@1]");
+    ASSERT_EQ(result.models.size(), 1u);
+    EXPECT_TRUE(model_has(result.models[0], "pick(b)"));
+    EXPECT_EQ(result.best_cost.at(2), 0);
+    EXPECT_EQ(result.best_cost.at(1), 5);
+}
+
+TEST(Optimization, DistinctTuplesCountedOnce) {
+    // Two weak constraints with the same tuple at the same priority count
+    // once (clingo semantics).
+    auto result = must_solve(
+        "a. b. "
+        ":~ a. [3@1, same] "
+        ":~ b. [3@1, same]");
+    ASSERT_EQ(result.models.size(), 1u);
+    EXPECT_EQ(result.best_cost.at(1), 3);
+}
+
+TEST(Optimization, DifferentTuplesAccumulate) {
+    auto result = must_solve(
+        "a. b. "
+        ":~ a. [3@1, ta] "
+        ":~ b. [4@1, tb]");
+    ASSERT_EQ(result.models.size(), 1u);
+    EXPECT_EQ(result.best_cost.at(1), 7);
+}
+
+TEST(Optimization, SubsetMinimalMitigation) {
+    // Miniature of the paper's cost-benefit step: block the attack at
+    // minimum cost. Blocking needs m1 (cost 2) or m2+m3 (cost 1+2=3).
+    auto result = must_solve(
+        "mitigation(m1, 2). mitigation(m2, 1). mitigation(m3, 2). "
+        "{ active(M) : mitigation_name(M) }. "
+        "mitigation_name(M) :- mitigation(M, _). "
+        "blocked :- active(m1). "
+        "blocked :- active(m2), active(m3). "
+        ":- not blocked. "
+        ":~ active(M), mitigation(M, C). [C@1, M]");
+    ASSERT_EQ(result.models.size(), 1u);
+    EXPECT_TRUE(model_has(result.models[0], "active(m1)"));
+    EXPECT_FALSE(model_has(result.models[0], "active(m2)"));
+    EXPECT_EQ(result.best_cost.at(1), 2);
+}
+
+TEST(Optimization, UnsatisfiableStaysUnsat) {
+    auto result = must_solve("{ a }. :- a. :- not a. :~ a. [1@1]");
+    EXPECT_FALSE(result.satisfiable);
+    EXPECT_TRUE(result.models.empty());
+}
+
+TEST(Optimization, ZeroCostOptimum) {
+    auto result = must_solve("{ a }. :~ a. [5@1]");
+    ASSERT_EQ(result.models.size(), 1u);
+    EXPECT_FALSE(model_has(result.models[0], "a"));
+    // Empty choice: no weak body holds; optimum has no cost entries.
+    EXPECT_TRUE(result.best_cost.empty() || result.best_cost.at(1) == 0);
+}
+
+TEST(Optimization, NonOptimizingEnumerationKeepsAll) {
+    PipelineOptions options;
+    options.solve.optimize = false;
+    auto result = must_solve("{ a }. :~ a. [5@1]", options);
+    EXPECT_EQ(result.models.size(), 2u);
+}
+
+TEST(Optimization, NegativeWeightsViaMaximize) {
+    // #maximize over multiple independent choices.
+    auto result = must_solve(
+        "g(1..3). { take(X) : g(X) }. #maximize { X@1, X : take(X) }.");
+    ASSERT_EQ(result.models.size(), 1u);
+    EXPECT_TRUE(model_has(result.models[0], "take(1)"));
+    EXPECT_TRUE(model_has(result.models[0], "take(2)"));
+    EXPECT_TRUE(model_has(result.models[0], "take(3)"));
+    EXPECT_EQ(result.best_cost.at(1), -6);
+}
+
+}  // namespace
+}  // namespace cprisk::asp

@@ -1,0 +1,184 @@
+// Lexer + parser coverage: statements, operators, directives, errors.
+#include <gtest/gtest.h>
+
+#include "asp/parser.hpp"
+
+namespace cprisk::asp {
+namespace {
+
+Program must_parse(std::string_view text) {
+    auto result = parse_program(text);
+    EXPECT_TRUE(result.ok()) << result.error();
+    return result.ok() ? std::move(result).value() : Program{};
+}
+
+TEST(Parser, Fact) {
+    auto p = must_parse("p(1, a).");
+    ASSERT_EQ(p.rules().size(), 1u);
+    EXPECT_EQ(p.rules()[0].rule.head.kind, Head::Kind::Atom);
+    EXPECT_EQ(p.rules()[0].rule.head.atom.to_string(), "p(1,a)");
+    EXPECT_TRUE(p.rules()[0].rule.body.empty());
+}
+
+TEST(Parser, ZeroArityFact) {
+    auto p = must_parse("alive.");
+    ASSERT_EQ(p.rules().size(), 1u);
+    EXPECT_EQ(p.rules()[0].rule.head.atom.predicate, "alive");
+    EXPECT_TRUE(p.rules()[0].rule.head.atom.args.empty());
+}
+
+TEST(Parser, NormalRuleWithNegation) {
+    auto p = must_parse("flies(X) :- bird(X), not penguin(X).");
+    ASSERT_EQ(p.rules().size(), 1u);
+    const Rule& rule = p.rules()[0].rule;
+    ASSERT_EQ(rule.body.size(), 2u);
+    EXPECT_FALSE(rule.body[0].negated);
+    EXPECT_TRUE(rule.body[1].negated);
+}
+
+TEST(Parser, Constraint) {
+    auto p = must_parse(":- broken(X), critical(X).");
+    ASSERT_EQ(p.rules().size(), 1u);
+    EXPECT_EQ(p.rules()[0].rule.head.kind, Head::Kind::Constraint);
+    EXPECT_EQ(p.rules()[0].rule.body.size(), 2u);
+}
+
+TEST(Parser, Comparisons) {
+    auto p = must_parse("q(X) :- p(X), X < 5, X != 3, X >= 0.");
+    const Rule& rule = p.rules()[0].rule;
+    ASSERT_EQ(rule.body.size(), 4u);
+    EXPECT_EQ(rule.body[1].kind, Literal::Kind::Comparison);
+    EXPECT_EQ(rule.body[1].op, CompareOp::Lt);
+    EXPECT_EQ(rule.body[2].op, CompareOp::Ne);
+    EXPECT_EQ(rule.body[3].op, CompareOp::Ge);
+}
+
+TEST(Parser, ArithmeticPrecedence) {
+    auto t = parse_term("1 + 2 * 3");
+    ASSERT_TRUE(t.ok()) << t.error();
+    // Should parse as 1 + (2*3).
+    EXPECT_EQ(t.value().to_string(), "(1+(2*3))");
+}
+
+TEST(Parser, UnaryMinusFoldsIntegers) {
+    auto t = parse_term("-4");
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(t.value().as_int(), -4);
+}
+
+TEST(Parser, Interval) {
+    auto p = must_parse("time(0..10).");
+    const Atom& head = p.rules()[0].rule.head.atom;
+    ASSERT_EQ(head.args.size(), 1u);
+    EXPECT_EQ(head.args[0].to_string(), "(0..10)");
+}
+
+TEST(Parser, ChoiceRule) {
+    auto p = must_parse("{ pick(X) : item(X) ; extra }.");
+    const Head& head = p.rules()[0].rule.head;
+    EXPECT_EQ(head.kind, Head::Kind::Choice);
+    ASSERT_EQ(head.elements.size(), 2u);
+    EXPECT_EQ(head.elements[0].condition.size(), 1u);
+    EXPECT_TRUE(head.elements[1].condition.empty());
+    EXPECT_FALSE(head.lower_bound.has_value());
+}
+
+TEST(Parser, BoundedChoice) {
+    auto p = must_parse("1 { assign(N,C) : color(C) } 1 :- node(N).");
+    const Head& head = p.rules()[0].rule.head;
+    EXPECT_EQ(head.kind, Head::Kind::Choice);
+    EXPECT_EQ(head.lower_bound, 1);
+    EXPECT_EQ(head.upper_bound, 1);
+    EXPECT_EQ(p.rules()[0].rule.body.size(), 1u);
+}
+
+TEST(Parser, WeakConstraint) {
+    auto p = must_parse(":~ cost(X, C). [C@2, X]");
+    ASSERT_EQ(p.weaks().size(), 1u);
+    const WeakConstraint& w = p.weaks()[0].weak;
+    EXPECT_EQ(w.priority, 2);
+    EXPECT_EQ(w.weight.to_string(), "C");
+    ASSERT_EQ(w.tuple.size(), 1u);
+}
+
+TEST(Parser, MinimizeDesugarsToWeak) {
+    auto p = must_parse("#minimize { C@1,X : cost(X,C) }.");
+    ASSERT_EQ(p.weaks().size(), 1u);
+    EXPECT_EQ(p.weaks()[0].weak.body.size(), 1u);
+    EXPECT_EQ(p.weaks()[0].weak.priority, 1);
+}
+
+TEST(Parser, MaximizeNegatesWeight) {
+    auto p = must_parse("#maximize { 3@1 : good }.");
+    ASSERT_EQ(p.weaks().size(), 1u);
+    EXPECT_EQ(p.weaks()[0].weak.weight.to_string(), "(0-3)");
+}
+
+TEST(Parser, ShowDirective) {
+    auto p = must_parse("#show violated/1.");
+    ASSERT_EQ(p.shows().size(), 1u);
+    EXPECT_EQ(p.shows()[0].predicate, "violated");
+    EXPECT_EQ(p.shows()[0].arity, 1u);
+}
+
+TEST(Parser, ConstDirective) {
+    auto p = must_parse("#const horizon = 5.");
+    ASSERT_EQ(p.consts().size(), 1u);
+    EXPECT_EQ(p.consts()[0].first, "horizon");
+    EXPECT_EQ(p.consts()[0].second.as_int(), 5);
+}
+
+TEST(Parser, ProgramSections) {
+    auto p = must_parse(
+        "#program base. c(a). "
+        "#program initial. s(x). "
+        "#program dynamic. s(y) :- prev_s(x). "
+        "#program final. :- s(x).");
+    ASSERT_EQ(p.rules().size(), 4u);
+    EXPECT_EQ(p.rules()[0].section, SectionKind::Base);
+    EXPECT_EQ(p.rules()[1].section, SectionKind::Initial);
+    EXPECT_EQ(p.rules()[2].section, SectionKind::Dynamic);
+    EXPECT_EQ(p.rules()[3].section, SectionKind::Final);
+    EXPECT_TRUE(p.is_temporal());
+}
+
+TEST(Parser, CommentsAreSkipped) {
+    auto p = must_parse("% header comment\np(1). % trailing\n% footer");
+    EXPECT_EQ(p.rules().size(), 1u);
+}
+
+TEST(Parser, ErrorsReportLocation) {
+    auto result = parse_program("p(1).\nq(,).");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.error().find("line 2"), std::string::npos);
+}
+
+TEST(Parser, MissingDotFails) {
+    EXPECT_FALSE(parse_program("p(1)").ok());
+}
+
+TEST(Parser, UnknownDirectiveFails) {
+    EXPECT_FALSE(parse_program("#frobnicate.").ok());
+}
+
+TEST(Parser, RoundTripThroughToString) {
+    const std::string text =
+        "item(1..3).\n"
+        "1 { pick(X) : item(X) } 2.\n"
+        ":- pick(1), pick(2).\n"
+        "q(X) :- pick(X), X > 1.\n";
+    auto first = must_parse(text);
+    auto second = parse_program(first.to_string());
+    ASSERT_TRUE(second.ok()) << second.error() << "\nprinted:\n" << first.to_string();
+    EXPECT_EQ(first.to_string(), second.value().to_string());
+}
+
+TEST(Parser, ParseAtomHelper) {
+    auto a = parse_atom("component_state(tank, overflow)");
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(a.value().predicate, "component_state");
+    EXPECT_EQ(a.value().args.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cprisk::asp

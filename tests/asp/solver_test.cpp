@@ -1,0 +1,208 @@
+// Stable-model solver behaviour: facts, negation, loops, choices,
+// constraints, enumeration, projection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "asp/asp.hpp"
+
+namespace cprisk::asp {
+namespace {
+
+SolveResult must_solve(std::string_view text, PipelineOptions options = {}) {
+    auto result = solve_text(text, options);
+    EXPECT_TRUE(result.ok()) << result.error();
+    return result.ok() ? std::move(result).value() : SolveResult{};
+}
+
+bool model_has(const AnswerSet& model, std::string_view atom_text) {
+    auto atom = parse_atom(atom_text);
+    EXPECT_TRUE(atom.ok()) << atom.error();
+    return model.contains(atom.value());
+}
+
+TEST(Solver, FactsAreDerived) {
+    auto result = must_solve("p(1). p(2). q :- p(1).");
+    ASSERT_EQ(result.models.size(), 1u);
+    EXPECT_TRUE(model_has(result.models[0], "p(1)"));
+    EXPECT_TRUE(model_has(result.models[0], "p(2)"));
+    EXPECT_TRUE(model_has(result.models[0], "q"));
+}
+
+TEST(Solver, ChainedDerivation) {
+    auto result = must_solve("a. b :- a. c :- b. d :- c.");
+    ASSERT_EQ(result.models.size(), 1u);
+    EXPECT_TRUE(model_has(result.models[0], "d"));
+}
+
+TEST(Solver, UnderivableAtomIsFalse) {
+    auto result = must_solve("a. b :- c.");
+    ASSERT_EQ(result.models.size(), 1u);
+    EXPECT_FALSE(model_has(result.models[0], "b"));
+    EXPECT_FALSE(model_has(result.models[0], "c"));
+}
+
+TEST(Solver, StratifiedNegation) {
+    auto result = must_solve("bird(tweety). penguin(sam). bird(sam). "
+                             "flies(X) :- bird(X), not penguin(X).");
+    ASSERT_EQ(result.models.size(), 1u);
+    EXPECT_TRUE(model_has(result.models[0], "flies(tweety)"));
+    EXPECT_FALSE(model_has(result.models[0], "flies(sam)"));
+}
+
+TEST(Solver, EvenNegativeLoopHasTwoModels) {
+    auto result = must_solve("a :- not b. b :- not a.");
+    ASSERT_EQ(result.models.size(), 2u);
+    int with_a = 0;
+    for (const auto& m : result.models) {
+        if (model_has(m, "a")) ++with_a;
+        EXPECT_NE(model_has(m, "a"), model_has(m, "b"));
+    }
+    EXPECT_EQ(with_a, 1);
+}
+
+TEST(Solver, OddNegativeLoopIsUnsat) {
+    auto result = must_solve("a :- not a.");
+    EXPECT_FALSE(result.satisfiable);
+    EXPECT_TRUE(result.models.empty());
+}
+
+TEST(Solver, PositiveLoopIsUnfounded) {
+    // a and b support each other only circularly: the single answer set is {}.
+    auto result = must_solve("a :- b. b :- a.");
+    ASSERT_EQ(result.models.size(), 1u);
+    EXPECT_FALSE(model_has(result.models[0], "a"));
+    EXPECT_FALSE(model_has(result.models[0], "b"));
+}
+
+TEST(Solver, PositiveLoopWithExternalSupport) {
+    auto result = must_solve("a :- b. b :- a. b :- c. c.");
+    ASSERT_EQ(result.models.size(), 1u);
+    EXPECT_TRUE(model_has(result.models[0], "a"));
+    EXPECT_TRUE(model_has(result.models[0], "b"));
+}
+
+TEST(Solver, PositiveLoopThroughChoiceNotSelfSupporting) {
+    // Choice gives b freely, which can then support a; but a cannot support
+    // itself through the loop when b is not chosen.
+    auto result = must_solve("{ b }. a :- b. b2 :- a.");
+    ASSERT_EQ(result.models.size(), 2u);
+    for (const auto& m : result.models) {
+        EXPECT_EQ(model_has(m, "a"), model_has(m, "b"));
+        EXPECT_EQ(model_has(m, "b2"), model_has(m, "b"));
+    }
+}
+
+TEST(Solver, ConstraintEliminatesModels) {
+    auto result = must_solve("{ a }. :- a.");
+    ASSERT_EQ(result.models.size(), 1u);
+    EXPECT_FALSE(model_has(result.models[0], "a"));
+}
+
+TEST(Solver, ConstraintMakesProgramUnsat) {
+    auto result = must_solve("a. :- a.");
+    EXPECT_FALSE(result.satisfiable);
+}
+
+TEST(Solver, ChoiceEnumeratesSubsets) {
+    auto result = must_solve("item(1). item(2). item(3). { pick(X) : item(X) }.");
+    EXPECT_EQ(result.models.size(), 8u);
+}
+
+TEST(Solver, CardinalityLowerBound) {
+    auto result = must_solve("item(1). item(2). item(3). 2 { pick(X) : item(X) }.");
+    // Subsets of size >= 2: C(3,2) + C(3,3) = 4.
+    EXPECT_EQ(result.models.size(), 4u);
+}
+
+TEST(Solver, CardinalityBothBounds) {
+    auto result = must_solve("item(1..4). 2 { pick(X) : item(X) } 2.");
+    EXPECT_EQ(result.models.size(), 6u);  // C(4,2)
+}
+
+TEST(Solver, ChoiceWithBodyGatesTheChoice) {
+    auto result = must_solve("{ a } :- b. b :- not c.");
+    // b is true (c false), so a is free: 2 models.
+    EXPECT_EQ(result.models.size(), 2u);
+}
+
+TEST(Solver, ChoiceBodyFalseFixesAtomFalse) {
+    auto result = must_solve("{ a } :- b.");
+    ASSERT_EQ(result.models.size(), 1u);
+    EXPECT_FALSE(model_has(result.models[0], "a"));
+}
+
+TEST(Solver, ShowProjectsAndDedupes) {
+    // Two choices over b, projection shows only a: distinct projected models
+    // collapse.
+    auto result = must_solve("{ b }. a. #show a/0.");
+    ASSERT_EQ(result.models.size(), 1u);
+    EXPECT_EQ(result.models[0].atoms.size(), 1u);
+    EXPECT_EQ(result.models[0].atoms[0].predicate, "a");
+}
+
+TEST(Solver, MaxModelsLimit) {
+    PipelineOptions options;
+    options.solve.max_models = 3;
+    auto result = must_solve("item(1..5). { pick(X) : item(X) }.", options);
+    EXPECT_EQ(result.models.size(), 3u);
+}
+
+TEST(Solver, TransitiveClosure) {
+    auto result = must_solve(
+        "edge(a,b). edge(b,c). edge(c,d). "
+        "reach(X,Y) :- edge(X,Y). reach(X,Z) :- reach(X,Y), edge(Y,Z).");
+    ASSERT_EQ(result.models.size(), 1u);
+    EXPECT_TRUE(model_has(result.models[0], "reach(a,d)"));
+    EXPECT_FALSE(model_has(result.models[0], "reach(b,a)"));
+}
+
+TEST(Solver, GraphColoring) {
+    // Classic 3-coloring of a triangle: 6 proper colorings.
+    auto result = must_solve(
+        "node(1..3). color(r). color(g). color(b). "
+        "edge(1,2). edge(2,3). edge(1,3). "
+        "1 { assign(N,C) : color(C) } 1 :- node(N). "
+        ":- edge(X,Y), assign(X,C), assign(Y,C).");
+    EXPECT_EQ(result.models.size(), 6u);
+}
+
+TEST(Solver, NegationInsideChoiceBody) {
+    auto result = must_solve("{ a } :- not blocked. blocked :- c. c.");
+    ASSERT_EQ(result.models.size(), 1u);
+    EXPECT_FALSE(model_has(result.models[0], "a"));
+}
+
+TEST(Solver, DoubleNegation) {
+    auto result = must_solve("a :- not b. b :- not c. c.");
+    ASSERT_EQ(result.models.size(), 1u);
+    EXPECT_TRUE(model_has(result.models[0], "a"));
+    EXPECT_FALSE(model_has(result.models[0], "b"));
+}
+
+TEST(Solver, PaperListing1FaultActivation) {
+    // Listing 1 of the paper: a fault is potential if no mitigation is active.
+    auto result = must_solve(
+        "component(workstation). fault(malware). mitigation(malware, endpoint_security). "
+        "potential_fault(C, F) :- component(C), fault(F), mitigation(F, M), "
+        "                         not active_mitigation(C, M).");
+    ASSERT_EQ(result.models.size(), 1u);
+    EXPECT_TRUE(model_has(result.models[0], "potential_fault(workstation,malware)"));
+
+    auto mitigated = must_solve(
+        "component(workstation). fault(malware). mitigation(malware, endpoint_security). "
+        "active_mitigation(workstation, endpoint_security). "
+        "potential_fault(C, F) :- component(C), fault(F), mitigation(F, M), "
+        "                         not active_mitigation(C, M).");
+    ASSERT_EQ(mitigated.models.size(), 1u);
+    EXPECT_FALSE(model_has(mitigated.models[0], "potential_fault(workstation,malware)"));
+}
+
+TEST(Solver, StatsAreTracked) {
+    auto result = must_solve("{ a }. { b }.");
+    EXPECT_EQ(result.models.size(), 4u);
+    EXPECT_GT(result.stats.decisions, 0u);
+}
+
+}  // namespace
+}  // namespace cprisk::asp

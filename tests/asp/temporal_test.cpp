@@ -1,0 +1,174 @@
+// Telingo-style temporal unrolling: sections, prev_ references, statics,
+// the paper's Listing 2 fault-model idiom.
+#include <gtest/gtest.h>
+
+#include "asp/asp.hpp"
+
+namespace cprisk::asp {
+namespace {
+
+SolveResult must_solve(std::string_view text, int horizon) {
+    PipelineOptions options;
+    options.horizon = horizon;
+    auto result = solve_text(text, options);
+    EXPECT_TRUE(result.ok()) << result.error();
+    return result.ok() ? std::move(result).value() : SolveResult{};
+}
+
+bool model_has(const AnswerSet& model, std::string_view atom_text) {
+    auto atom = parse_atom(atom_text);
+    EXPECT_TRUE(atom.ok()) << atom.error();
+    return model.contains(atom.value());
+}
+
+TEST(Temporal, InitialHoldsAtZeroOnly) {
+    auto result = must_solve("#program initial. s(a).", 2);
+    ASSERT_EQ(result.models.size(), 1u);
+    EXPECT_TRUE(model_has(result.models[0], "s(a,0)"));
+    EXPECT_FALSE(model_has(result.models[0], "s(a,1)"));
+    EXPECT_FALSE(model_has(result.models[0], "s(a,2)"));
+}
+
+TEST(Temporal, FrameAxiomPropagatesState) {
+    auto result = must_solve(
+        "#program initial. level(normal). "
+        "#program dynamic. level(X) :- prev_level(X).",
+        3);
+    ASSERT_EQ(result.models.size(), 1u);
+    EXPECT_TRUE(model_has(result.models[0], "level(normal,0)"));
+    EXPECT_TRUE(model_has(result.models[0], "level(normal,3)"));
+}
+
+TEST(Temporal, DynamicTransition) {
+    // A two-phase counter: a -> b -> b -> ...
+    auto result = must_solve(
+        "#program initial. phase(a). "
+        "#program dynamic. phase(b) :- prev_phase(a). phase(b) :- prev_phase(b).",
+        2);
+    ASSERT_EQ(result.models.size(), 1u);
+    EXPECT_TRUE(model_has(result.models[0], "phase(a,0)"));
+    EXPECT_TRUE(model_has(result.models[0], "phase(b,1)"));
+    EXPECT_TRUE(model_has(result.models[0], "phase(b,2)"));
+    EXPECT_FALSE(model_has(result.models[0], "phase(a,1)"));
+}
+
+TEST(Temporal, BasePredicatesStayStatic) {
+    auto result = must_solve(
+        "#program base. component(tank). "
+        "#program always. observed(C) :- component(C).",
+        1);
+    ASSERT_EQ(result.models.size(), 1u);
+    EXPECT_TRUE(model_has(result.models[0], "component(tank)"));
+    EXPECT_TRUE(model_has(result.models[0], "observed(tank,0)"));
+    EXPECT_TRUE(model_has(result.models[0], "observed(tank,1)"));
+}
+
+TEST(Temporal, FinalConstraint) {
+    // Choice at every step; final constraint forces on at the end.
+    auto result = must_solve(
+        "#program always. { on }. "
+        "#program final. :- not on.",
+        1);
+    // on(0) free, on(1) forced true -> 2 models.
+    EXPECT_EQ(result.models.size(), 2u);
+    for (const auto& m : result.models) {
+        EXPECT_TRUE(model_has(m, "on(1)"));
+    }
+}
+
+TEST(Temporal, PaperListing2StuckAtFault) {
+    // Listing 2: the component state does not change while stuck_at_x is
+    // active.
+    auto result = must_solve(
+        "#program base. component(valve). "
+        "#program initial. component_state(valve, open). "
+        "#program always. active_fault(valve, stuck_at_x). "
+        "#program dynamic. component_state(C, X) :- prev_component_state(C, X), "
+        "                                           active_fault(C, stuck_at_x).",
+        3);
+    ASSERT_EQ(result.models.size(), 1u);
+    EXPECT_TRUE(model_has(result.models[0], "component_state(valve,open,0)"));
+    EXPECT_TRUE(model_has(result.models[0], "component_state(valve,open,3)"));
+}
+
+TEST(Temporal, HorizonConstOverridesOption) {
+    auto result = must_solve(
+        "#const horizon = 1. "
+        "#program initial. s. "
+        "#program dynamic. s :- prev_s.",
+        5);  // option says 5, const says 1
+    ASSERT_EQ(result.models.size(), 1u);
+    EXPECT_TRUE(model_has(result.models[0], "s(1)"));
+    EXPECT_FALSE(model_has(result.models[0], "s(2)"));
+}
+
+TEST(Temporal, ShowArityBumpedForTemporalPredicates) {
+    auto result = must_solve(
+        "#program base. other. "
+        "#program initial. s. "
+        "#show s/0.",
+        1);
+    ASSERT_EQ(result.models.size(), 1u);
+    EXPECT_TRUE(model_has(result.models[0], "s(0)"));
+    EXPECT_FALSE(model_has(result.models[0], "other"));  // hidden by #show
+}
+
+TEST(Temporal, PrevInInitialFails) {
+    Program program;
+    auto parsed = parse_program("#program initial. s :- prev_s.");
+    ASSERT_TRUE(parsed.ok());
+    UnrollOptions options;
+    options.horizon = 2;
+    EXPECT_FALSE(unroll(parsed.value(), options).ok());
+}
+
+TEST(Temporal, PrevInHeadFails) {
+    auto parsed = parse_program("#program dynamic. prev_s :- s.");
+    ASSERT_TRUE(parsed.ok());
+    UnrollOptions options;
+    EXPECT_FALSE(unroll(parsed.value(), options).ok());
+}
+
+TEST(Temporal, StaticAndTemporalConflictFails) {
+    auto parsed = parse_program("#program base. s(a). #program initial. s(b).");
+    ASSERT_TRUE(parsed.ok());
+    UnrollOptions options;
+    EXPECT_FALSE(unroll(parsed.value(), options).ok());
+}
+
+TEST(Temporal, ZeroHorizonOnlyInitial) {
+    auto parsed = parse_program("#program initial. s. #program dynamic. q :- prev_s.");
+    ASSERT_TRUE(parsed.ok());
+    UnrollOptions options;
+    options.horizon = 0;
+    auto unrolled = unroll(parsed.value(), options);
+    ASSERT_TRUE(unrolled.ok()) << unrolled.error();
+    auto solved = solve_program(unrolled.value());
+    ASSERT_TRUE(solved.ok());
+    ASSERT_EQ(solved.value().models.size(), 1u);
+    EXPECT_TRUE(model_has(solved.value().models[0], "s(0)"));
+    EXPECT_FALSE(model_has(solved.value().models[0], "q(1)"));
+}
+
+TEST(Temporal, TraceReconstruction) {
+    auto result = must_solve(
+        "#program initial. level(normal). "
+        "#program dynamic. level(high) :- prev_level(normal). "
+        "                  level(overflow) :- prev_level(high). "
+        "                  level(overflow) :- prev_level(overflow).",
+        2);
+    ASSERT_EQ(result.models.size(), 1u);
+    ltl::Trace trace = trace_from_answer(result.models[0], 2);
+    ASSERT_EQ(trace.size(), 3u);
+    EXPECT_TRUE(trace[0].count(parse_atom("level(normal)").value()) > 0);
+    EXPECT_TRUE(trace[1].count(parse_atom("level(high)").value()) > 0);
+    EXPECT_TRUE(trace[2].count(parse_atom("level(overflow)").value()) > 0);
+}
+
+TEST(Temporal, ChoicePerStepEnumerates) {
+    auto result = must_solve("#program always. { act }.", 1);
+    EXPECT_EQ(result.models.size(), 4u);  // 2 steps x binary choice
+}
+
+}  // namespace
+}  // namespace cprisk::asp

@@ -1,0 +1,96 @@
+// Term and Atom value semantics, ordering, printing.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "asp/term.hpp"
+#include "common/error.hpp"
+
+namespace cprisk::asp {
+namespace {
+
+TEST(Term, Kinds) {
+    EXPECT_TRUE(Term::integer(3).is_integer());
+    EXPECT_TRUE(Term::symbol("tank").is_symbol());
+    EXPECT_TRUE(Term::variable("X").is_variable());
+    EXPECT_TRUE(Term::compound("f", {Term::integer(1)}).is_compound());
+}
+
+TEST(Term, IntegerValue) {
+    EXPECT_EQ(Term::integer(-42).as_int(), -42);
+    EXPECT_THROW((void)Term::symbol("a").as_int(), cprisk::Error);
+}
+
+TEST(Term, Groundness) {
+    EXPECT_TRUE(Term::integer(1).is_ground());
+    EXPECT_TRUE(Term::symbol("a").is_ground());
+    EXPECT_FALSE(Term::variable("X").is_ground());
+    EXPECT_FALSE(Term::compound("f", {Term::symbol("a"), Term::variable("X")}).is_ground());
+    EXPECT_TRUE(Term::compound("f", {Term::symbol("a"), Term::integer(2)}).is_ground());
+}
+
+TEST(Term, Equality) {
+    EXPECT_EQ(Term::integer(1), Term::integer(1));
+    EXPECT_NE(Term::integer(1), Term::integer(2));
+    EXPECT_NE(Term::integer(1), Term::symbol("1x"));
+    EXPECT_EQ(Term::compound("f", {Term::integer(1)}), Term::compound("f", {Term::integer(1)}));
+    EXPECT_NE(Term::compound("f", {Term::integer(1)}), Term::compound("g", {Term::integer(1)}));
+}
+
+TEST(Term, TotalOrderIntegersFirst) {
+    // integers < symbols < variables < compounds
+    EXPECT_LT(Term::integer(99), Term::symbol("a"));
+    EXPECT_LT(Term::symbol("z"), Term::variable("A"));
+    EXPECT_LT(Term::variable("Z"), Term::compound("a", {}));
+    EXPECT_LT(Term::integer(1), Term::integer(2));
+    EXPECT_LT(Term::symbol("a"), Term::symbol("b"));
+}
+
+TEST(Term, UsableAsMapKey) {
+    std::map<Term, int> m;
+    m[Term::integer(1)] = 1;
+    m[Term::symbol("a")] = 2;
+    m[Term::compound("f", {Term::integer(1)})] = 3;
+    EXPECT_EQ(m.size(), 3u);
+    EXPECT_EQ(m[Term::symbol("a")], 2);
+}
+
+TEST(Term, Printing) {
+    EXPECT_EQ(Term::integer(7).to_string(), "7");
+    EXPECT_EQ(Term::symbol("valve").to_string(), "valve");
+    EXPECT_EQ(Term::compound("f", {Term::integer(1), Term::symbol("a")}).to_string(), "f(1,a)");
+    EXPECT_EQ(Term::compound("+", {Term::variable("X"), Term::integer(1)}).to_string(), "(X+1)");
+}
+
+TEST(Term, CollectVariables) {
+    std::vector<std::string> vars;
+    Term::compound("f", {Term::variable("X"), Term::compound("g", {Term::variable("Y")})})
+        .collect_variables(vars);
+    ASSERT_EQ(vars.size(), 2u);
+    EXPECT_EQ(vars[0], "X");
+    EXPECT_EQ(vars[1], "Y");
+}
+
+TEST(Atom, Printing) {
+    Atom a{"p", {Term::integer(1), Term::symbol("x")}};
+    EXPECT_EQ(a.to_string(), "p(1,x)");
+    Atom zero{"q", {}};
+    EXPECT_EQ(zero.to_string(), "q");
+}
+
+TEST(Atom, Ordering) {
+    Atom a{"p", {Term::integer(1)}};
+    Atom b{"p", {Term::integer(2)}};
+    Atom c{"q", {}};
+    std::set<Atom> s{b, c, a};
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_EQ(s.begin()->to_string(), "p(1)");
+}
+
+TEST(Signature, ToString) {
+    EXPECT_EQ((Signature{"violated", 1}).to_string(), "violated/1");
+}
+
+}  // namespace
+}  // namespace cprisk::asp

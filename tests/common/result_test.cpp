@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include "common/result.hpp"
+
+namespace cprisk {
+namespace {
+
+TEST(Result, Success) {
+    Result<int> r(42);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), 42);
+    EXPECT_TRUE(r.error().empty());
+}
+
+TEST(Result, Failure) {
+    auto r = Result<int>::failure("nope");
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.error(), "nope");
+    EXPECT_THROW((void)r.value(), Error);
+}
+
+TEST(Result, ValueOr) {
+    EXPECT_EQ(Result<int>::failure("x").value_or(7), 7);
+    EXPECT_EQ(Result<int>(3).value_or(7), 3);
+}
+
+TEST(Result, MoveOut) {
+    Result<std::string> r(std::string("payload"));
+    std::string s = std::move(r).value();
+    EXPECT_EQ(s, "payload");
+}
+
+TEST(Result, VoidSpecialization) {
+    Result<void> ok;
+    EXPECT_TRUE(ok.ok());
+    auto bad = Result<void>::failure("broken");
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error(), "broken");
+}
+
+TEST(Require, ThrowsOnFalse) {
+    EXPECT_NO_THROW(require(true, "fine"));
+    EXPECT_THROW(require(false, "bad"), Error);
+}
+
+}  // namespace
+}  // namespace cprisk

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "common/strings.hpp"
+
+namespace cprisk {
+namespace {
+
+TEST(Strings, Split) {
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitNoSeparator) {
+    auto parts = split("abc", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, Join) {
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(Strings, Trim) {
+    EXPECT_EQ(trim("  hello  "), "hello");
+    EXPECT_EQ(trim("\t\nx"), "x");
+    EXPECT_EQ(trim("    "), "");
+    EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, StartsWith) {
+    EXPECT_TRUE(starts_with("prev_state", "prev_"));
+    EXPECT_FALSE(starts_with("state", "prev_"));
+    EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(Strings, ToLower) {
+    EXPECT_EQ(to_lower("Very High"), "very high");
+}
+
+TEST(Strings, ToIdentifier) {
+    EXPECT_EQ(to_identifier("Engineering Workstation"), "engineering_workstation");
+    EXPECT_EQ(to_identifier("E-mail Client"), "e_mail_client");
+    EXPECT_EQ(to_identifier("  HMI  "), "hmi");
+    EXPECT_EQ(to_identifier("3rd Party"), "x3rd_party");  // can't start with digit
+    EXPECT_EQ(to_identifier(""), "x");
+}
+
+}  // namespace
+}  // namespace cprisk

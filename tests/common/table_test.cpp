@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace cprisk {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+    TextTable t({"Name", "Risk"});
+    t.add_row({"tank", "VH"});
+    t.add_row({"workstation", "M"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| Name        | Risk |"), std::string::npos);
+    EXPECT_NE(out.find("| workstation | M    |"), std::string::npos);
+}
+
+TEST(Table, ArityMismatchThrows) {
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only one"}), Error);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+    EXPECT_THROW(TextTable({}), Error);
+}
+
+TEST(Table, Csv) {
+    TextTable t({"a", "b"});
+    t.add_row({"1", "hello, world"});
+    t.add_row({"2", "with \"quotes\""});
+    const std::string out = t.render_csv();
+    EXPECT_NE(out.find("a,b\n"), std::string::npos);
+    EXPECT_NE(out.find("1,\"hello, world\"\n"), std::string::npos);
+    EXPECT_NE(out.find("2,\"with \"\"quotes\"\"\"\n"), std::string::npos);
+}
+
+TEST(Table, Accessors) {
+    TextTable t({"x"});
+    t.add_row({"1"});
+    EXPECT_EQ(t.rows(), 1u);
+    EXPECT_EQ(t.columns(), 1u);
+    EXPECT_EQ(t.row(0)[0], "1");
+}
+
+}  // namespace
+}  // namespace cprisk

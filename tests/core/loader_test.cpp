@@ -1,0 +1,133 @@
+// Bundle loader: the DSL + requirement declarations, and the loaded bundle's
+// equivalence with the programmatic case study.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/loader.hpp"
+#include "core/watertank.hpp"
+#include "epa/epa.hpp"
+
+namespace cprisk::core {
+namespace {
+
+constexpr const char* kBundle = R"cpm(
+component tank equipment asset=VH
+component valve actuator
+fault valve stuck_at_open stuck_at forced=open likelihood=L
+relation valve quantity_flow tank
+
+requirement r1 never "overflow(tank)"
+requirement r2 responds "overflow(tank)" alert
+requirement guard protects tank
+)cpm";
+
+TEST(Loader, ParsesModelAndRequirements) {
+    auto bundle = load_bundle(kBundle);
+    ASSERT_TRUE(bundle.ok()) << bundle.error();
+    EXPECT_EQ(bundle.value().model.component_count(), 2u);
+    ASSERT_EQ(bundle.value().behavioral_requirements.size(), 2u);
+    ASSERT_EQ(bundle.value().topology_requirements.size(), 1u);
+    EXPECT_EQ(bundle.value().behavioral_requirements[0].id, "r1");
+    EXPECT_EQ(bundle.value().topology_requirements[0].id, "guard");
+}
+
+TEST(Loader, EffectiveFallbacks) {
+    auto only_protects = load_bundle(
+        "component a node\nrequirement g protects a\n");
+    ASSERT_TRUE(only_protects.ok()) << only_protects.error();
+    EXPECT_EQ(only_protects.value().effective_behavioral().size(), 1u);
+    EXPECT_EQ(only_protects.value().effective_topology().size(), 1u);
+
+    auto only_never = load_bundle(
+        "component a node\nrequirement n never \"bad(a)\"\n");
+    ASSERT_TRUE(only_never.ok());
+    EXPECT_EQ(only_never.value().effective_topology().size(), 1u);
+}
+
+TEST(Loader, ProtectsUnknownComponentFails) {
+    auto bundle = load_bundle("component a node\nrequirement g protects ghost\n");
+    ASSERT_FALSE(bundle.ok());
+    EXPECT_NE(bundle.error().find("ghost"), std::string::npos);
+}
+
+TEST(Loader, BadRequirementKind) {
+    auto bundle = load_bundle("component a node\nrequirement r forbids a\n");
+    ASSERT_FALSE(bundle.ok());
+    EXPECT_NE(bundle.error().find("unknown requirement kind"), std::string::npos);
+}
+
+TEST(Loader, RequirementInsideBehaviorBlockIsAspText) {
+    // The word "requirement ..." inside a behaviour block must not be eaten
+    // by the requirement scanner.
+    auto bundle = load_bundle(
+        "component a node\n"
+        "behavior a <<<\n"
+        "% requirement commentary inside ASP\n"
+        "ok(a).\n"
+        ">>>\n");
+    ASSERT_TRUE(bundle.ok()) << bundle.error();
+    ASSERT_EQ(bundle.value().model.behaviors("a").size(), 1u);
+    EXPECT_NE(bundle.value().model.behaviors("a")[0].find("requirement commentary"),
+              std::string::npos);
+}
+
+TEST(Loader, FileLoading) {
+    const std::string path = ::testing::TempDir() + "/loader_test_bundle.cpm";
+    {
+        std::ofstream file(path);
+        file << kBundle;
+    }
+    auto bundle = load_bundle_file(path);
+    ASSERT_TRUE(bundle.ok()) << bundle.error();
+    EXPECT_EQ(bundle.value().model.component_count(), 2u);
+    EXPECT_FALSE(load_bundle_file("/nonexistent/path.cpm").ok());
+}
+
+TEST(Loader, ShippedWatertankBundleMatchesProgrammaticCaseStudy) {
+    // The bundle in examples/models must reproduce Table II exactly like the
+    // C++-built case study.
+    auto bundle = load_bundle_file("../../examples/models/watertank.cpm");
+    if (!bundle.ok()) {
+        // Running from a different cwd: locate via source dir fallback.
+        bundle = load_bundle_file(std::string(CPRISK_SOURCE_DIR) +
+                                  "/examples/models/watertank.cpm");
+    }
+    ASSERT_TRUE(bundle.ok()) << bundle.error();
+    const auto& b = bundle.value();
+    EXPECT_EQ(b.model.component_count(), 9u);
+
+    auto built = WaterTankCaseStudy::build();
+    ASSERT_TRUE(built.ok());
+    const auto& cs = built.value();
+
+    epa::EpaOptions options;
+    options.focus = epa::AnalysisFocus::Behavioral;
+    options.horizon = cs.horizon;
+    const auto matrix = security::AttackMatrix::standard_ics();
+    auto mitigations = epa::MitigationMap::from_attack_matrix(b.model, matrix);
+    mitigations.add("M-TRAIN", "workstation", "infected");
+    mitigations.add("M-ENDPOINT", "workstation", "infected");
+    auto epa = epa::ErrorPropagationAnalysis::create(b.model, b.behavioral_requirements,
+                                                     mitigations, options);
+    ASSERT_TRUE(epa.ok()) << epa.error();
+
+    for (const auto& row : cs.table2_rows()) {
+        auto from_bundle = epa.value().evaluate(row.scenario, row.active_mitigations);
+        ASSERT_TRUE(from_bundle.ok()) << from_bundle.error();
+        // Compare against the programmatic model's verdicts.
+        epa::EpaOptions cs_options = options;
+        auto cs_epa = epa::ErrorPropagationAnalysis::create(cs.system, cs.requirements,
+                                                            cs.mitigations, cs_options);
+        ASSERT_TRUE(cs_epa.ok());
+        auto reference = cs_epa.value().evaluate(row.scenario, row.active_mitigations);
+        ASSERT_TRUE(reference.ok());
+        EXPECT_EQ(from_bundle.value().violated_requirements,
+                  reference.value().violated_requirements)
+            << row.scenario.id;
+    }
+}
+
+}  // namespace
+}  // namespace cprisk::core

@@ -1,0 +1,153 @@
+// Second case study (batch reactor): designed verdicts, defence-in-depth
+// behaviour, and mitigation effects.
+#include <gtest/gtest.h>
+
+#include "core/reactor.hpp"
+
+namespace cprisk::core {
+namespace {
+
+namespace ids = reactor_ids;
+using security::AttackScenario;
+using security::Mutation;
+
+class ReactorFixture : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        auto built = ReactorCaseStudy::build();
+        ASSERT_TRUE(built.ok()) << built.error();
+        cs_ = new ReactorCaseStudy(std::move(built).value());
+        epa::EpaOptions options;
+        options.focus = epa::AnalysisFocus::Behavioral;
+        options.horizon = cs_->horizon;
+        auto epa = epa::ErrorPropagationAnalysis::create(cs_->system, cs_->requirements,
+                                                         cs_->mitigations, options);
+        ASSERT_TRUE(epa.ok()) << epa.error();
+        epa_ = new epa::ErrorPropagationAnalysis(std::move(epa).value());
+    }
+    static void TearDownTestSuite() {
+        delete epa_;
+        delete cs_;
+        epa_ = nullptr;
+        cs_ = nullptr;
+    }
+
+    static epa::ScenarioVerdict evaluate(std::vector<Mutation> mutations,
+                                         std::vector<std::string> mitigations = {}) {
+        AttackScenario scenario;
+        scenario.id = "t";
+        scenario.mutations = std::move(mutations);
+        scenario.likelihood = qual::Level::Low;
+        auto verdict = epa_->evaluate(scenario, mitigations);
+        EXPECT_TRUE(verdict.ok()) << verdict.error();
+        return verdict.ok() ? std::move(verdict).value() : epa::ScenarioVerdict{};
+    }
+
+    static ReactorCaseStudy* cs_;
+    static epa::ErrorPropagationAnalysis* epa_;
+};
+
+ReactorCaseStudy* ReactorFixture::cs_ = nullptr;
+epa::ErrorPropagationAnalysis* ReactorFixture::epa_ = nullptr;
+
+TEST_F(ReactorFixture, NominalOperationIsSafe) {
+    auto verdict = evaluate({});
+    EXPECT_FALSE(verdict.any_violation());
+}
+
+TEST_F(ReactorFixture, SingleFaultsAreCompensated) {
+    // Defence in depth: each single fault is caught by another layer.
+    EXPECT_FALSE(evaluate({{ids::kHeater, "stuck_on"}}).any_violation());
+    EXPECT_FALSE(evaluate({{ids::kCoolingValve, "stuck_closed"}}).any_violation());
+    EXPECT_FALSE(evaluate({{ids::kReliefValve, "stuck_closed"}}).any_violation());
+    EXPECT_FALSE(evaluate({{ids::kAlarmUnit, "no_signal"}}).any_violation());
+}
+
+TEST_F(ReactorFixture, FrozenSensorAloneIsVented) {
+    // The blind controller keeps heating, but the healthy relief valve vents:
+    // no rupture, and the pressure alert still reaches the operator.
+    auto verdict = evaluate({{ids::kTempSensor, "frozen_reading"}});
+    EXPECT_FALSE(verdict.any_violation());
+}
+
+TEST_F(ReactorFixture, HeaterAndCoolingFaultsAreStillVented) {
+    auto verdict = evaluate(
+        {{ids::kHeater, "stuck_on"}, {ids::kCoolingValve, "stuck_closed"}});
+    EXPECT_FALSE(verdict.violates("r1"));  // relief valve saves the vessel
+    EXPECT_FALSE(verdict.violates("r2"));  // and the alarm fires
+}
+
+TEST_F(ReactorFixture, TripleActuatorFaultRuptures) {
+    auto verdict = evaluate({{ids::kHeater, "stuck_on"},
+                             {ids::kCoolingValve, "stuck_closed"},
+                             {ids::kReliefValve, "stuck_closed"}});
+    EXPECT_TRUE(verdict.violates("r1"));
+    EXPECT_FALSE(verdict.violates("r2"));  // the alarm still fires
+}
+
+TEST_F(ReactorFixture, FrozenSensorPlusReliefFailureRuptures) {
+    auto verdict = evaluate(
+        {{ids::kTempSensor, "frozen_reading"}, {ids::kReliefValve, "stuck_closed"}});
+    EXPECT_TRUE(verdict.violates("r1"));
+    EXPECT_FALSE(verdict.violates("r2"));
+}
+
+TEST_F(ReactorFixture, ScadaCompromiseRupturesSilently) {
+    auto verdict = evaluate({{ids::kScada, "compromised"}});
+    EXPECT_TRUE(verdict.violates("r1"));
+    EXPECT_TRUE(verdict.violates("r2"));
+    EXPECT_EQ(verdict.severity, qual::Level::VeryHigh);
+}
+
+TEST_F(ReactorFixture, HardenedScadaIsSafe) {
+    auto verdict = evaluate({{ids::kScada, "compromised"}}, {"M-ENDPOINT"});
+    EXPECT_FALSE(verdict.any_violation());
+    EXPECT_TRUE(verdict.injected.empty());
+    auto segmented = evaluate({{ids::kScada, "compromised"}}, {"M-SEGMENT"});
+    EXPECT_FALSE(segmented.any_violation());
+}
+
+TEST_F(ReactorFixture, AlarmFaultOnlyMattersUnderPressure) {
+    // Alarm dead + critical pressure (via sensor freeze): R2 violated, but
+    // the relief valve still prevents rupture.
+    auto verdict = evaluate(
+        {{ids::kAlarmUnit, "no_signal"}, {ids::kTempSensor, "frozen_reading"}});
+    EXPECT_FALSE(verdict.violates("r1"));
+    EXPECT_TRUE(verdict.violates("r2"));
+}
+
+TEST_F(ReactorFixture, TopologySoundness) {
+    // Every behaviourally confirmed hazard is flagged by the abstract
+    // topology analysis (CEGAR soundness on the second case study).
+    epa::EpaOptions options;
+    options.focus = epa::AnalysisFocus::Topology;
+    options.horizon = cs_->horizon;
+    auto topo = epa::ErrorPropagationAnalysis::create(
+        cs_->system, cs_->topology_requirements, cs_->mitigations, options);
+    ASSERT_TRUE(topo.ok()) << topo.error();
+
+    const std::vector<std::vector<Mutation>> hazardous = {
+        {{ids::kScada, "compromised"}},
+        {{ids::kHeater, "stuck_on"},
+         {ids::kCoolingValve, "stuck_closed"},
+         {ids::kReliefValve, "stuck_closed"}},
+        {{ids::kTempSensor, "frozen_reading"}, {ids::kReliefValve, "stuck_closed"}},
+    };
+    for (const auto& mutations : hazardous) {
+        AttackScenario scenario;
+        scenario.id = "t";
+        scenario.mutations = mutations;
+        auto verdict = topo.value().evaluate(scenario, {});
+        ASSERT_TRUE(verdict.ok()) << verdict.error();
+        EXPECT_TRUE(verdict.value().any_violation())
+            << "abstraction missed a concrete hazard";
+    }
+}
+
+TEST_F(ReactorFixture, ModelValidates) {
+    EXPECT_TRUE(cs_->system.validate().ok());
+    EXPECT_EQ(cs_->system.component_count(), 9u);
+}
+
+}  // namespace
+}  // namespace cprisk::core

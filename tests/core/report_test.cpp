@@ -1,0 +1,92 @@
+// Report emitters and §II-A parameter-criticality support.
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "core/watertank.hpp"
+
+namespace cprisk::core {
+namespace {
+
+const AssessmentReport& sample_report() {
+    static const AssessmentReport report = [] {
+        auto built = WaterTankCaseStudy::build();
+        EXPECT_TRUE(built.ok()) << built.error();
+        RiskAssessment assessment(built.value().system, built.value().requirements,
+                                  built.value().topology_requirements, built.value().matrix,
+                                  built.value().mitigations);
+        AssessmentConfig config;
+        config.horizon = built.value().horizon;
+        config.include_attack_scenarios = false;
+        config.phase_budget = 6;
+        auto run = assessment.run(config);
+        EXPECT_TRUE(run.ok()) << run.error();
+        return run.ok() ? std::move(run).value() : AssessmentReport{};
+    }();
+    return report;
+}
+
+TEST(Report, MarkdownSections) {
+    const std::string md = render_markdown(sample_report());
+    EXPECT_NE(md.find("# Preliminary risk assessment"), std::string::npos);
+    EXPECT_NE(md.find("## System"), std::string::npos);
+    EXPECT_NE(md.find("## Refinement trace (CEGAR)"), std::string::npos);
+    EXPECT_NE(md.find("## Hazards and qualitative risk"), std::string::npos);
+    EXPECT_NE(md.find("## Critical parameter estimates"), std::string::npos);
+    EXPECT_NE(md.find("## Mitigation strategy"), std::string::npos);
+    EXPECT_NE(md.find("### Phased roll-out"), std::string::npos);
+}
+
+TEST(Report, MarkdownOptionsToggleSections) {
+    ReportOptions options;
+    options.include_sensitivity = false;
+    options.include_cegar_trace = false;
+    options.title = "Custom title";
+    const std::string md = render_markdown(sample_report(), options);
+    EXPECT_NE(md.find("# Custom title"), std::string::npos);
+    EXPECT_EQ(md.find("## Critical parameter estimates"), std::string::npos);
+    EXPECT_EQ(md.find("## Refinement trace"), std::string::npos);
+}
+
+TEST(Report, CsvHasOneRowPerHazard) {
+    const std::string csv = render_risk_csv(sample_report());
+    const std::size_t lines = std::count(csv.begin(), csv.end(), '\n');
+    EXPECT_EQ(lines, sample_report().risks.size() + 1);  // header + rows
+    EXPECT_NE(csv.find("Scenario,LM,LEF,Risk"), std::string::npos);
+}
+
+TEST(Report, CriticalityMatchesOraMatrix) {
+    const auto criticality = analyze_parameter_criticality(sample_report());
+    ASSERT_EQ(criticality.size(), sample_report().risks.size());
+    for (std::size_t i = 0; i < criticality.size(); ++i) {
+        const auto& c = criticality[i];
+        const auto& risk = sample_report().risks[i];
+        EXPECT_EQ(c.rating, risk.risk);
+        // The unperturbed rating lies inside both sweep ranges.
+        EXPECT_TRUE(c.rating_range_severity.contains(c.rating));
+        EXPECT_TRUE(c.rating_range_likelihood.contains(c.rating));
+        // Sensitivity flags match the ranges.
+        EXPECT_EQ(c.sensitive_to_severity, !c.rating_range_severity.is_exact());
+        EXPECT_EQ(c.sensitive_to_likelihood, !c.rating_range_likelihood.is_exact());
+    }
+}
+
+TEST(Report, SaturatedEstimatesAreRobust) {
+    // A hazard with VH severity and VH likelihood rates VH under any one-step
+    // perturbation (Table I corner) — criticality must report insensitive
+    // only if the matrix says so.
+    AssessmentReport report;
+    ScenarioRisk risk;
+    risk.scenario_id = "corner";
+    risk.loss_magnitude = qual::Level::VeryHigh;
+    risk.loss_event_frequency = qual::Level::VeryHigh;
+    risk.risk = risk::ora_risk(risk.loss_magnitude, risk.loss_event_frequency);
+    report.risks.push_back(risk);
+    const auto criticality = analyze_parameter_criticality(report);
+    ASSERT_EQ(criticality.size(), 1u);
+    // Risk(H,VH) = VH and Risk(VH,H) = VH: the corner is insensitive.
+    EXPECT_FALSE(criticality[0].sensitive_to_severity);
+    EXPECT_FALSE(criticality[0].sensitive_to_likelihood);
+}
+
+}  // namespace
+}  // namespace cprisk::core

@@ -1,0 +1,180 @@
+// Integration tests on the §VII water-tank case study: Table II row-for-row,
+// mitigation effects, and model structure.
+#include <gtest/gtest.h>
+
+#include "core/watertank.hpp"
+
+namespace cprisk::core {
+namespace {
+
+namespace ids = watertank_ids;
+
+class WaterTankFixture : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        auto built = WaterTankCaseStudy::build();
+        ASSERT_TRUE(built.ok()) << built.error();
+        case_study_ = new WaterTankCaseStudy(std::move(built).value());
+
+        epa::EpaOptions options;
+        options.focus = epa::AnalysisFocus::Behavioral;
+        options.horizon = case_study_->horizon;
+        auto epa = epa::ErrorPropagationAnalysis::create(
+            case_study_->system, case_study_->requirements, case_study_->mitigations, options);
+        ASSERT_TRUE(epa.ok()) << epa.error();
+        epa_ = new epa::ErrorPropagationAnalysis(std::move(epa).value());
+    }
+    static void TearDownTestSuite() {
+        delete epa_;
+        delete case_study_;
+        epa_ = nullptr;
+        case_study_ = nullptr;
+    }
+
+    static epa::ScenarioVerdict evaluate(const Table2Row& row) {
+        auto verdict = epa_->evaluate(row.scenario, row.active_mitigations);
+        EXPECT_TRUE(verdict.ok()) << verdict.error();
+        return verdict.ok() ? std::move(verdict).value() : epa::ScenarioVerdict{};
+    }
+
+    static WaterTankCaseStudy* case_study_;
+    static epa::ErrorPropagationAnalysis* epa_;
+};
+
+WaterTankCaseStudy* WaterTankFixture::case_study_ = nullptr;
+epa::ErrorPropagationAnalysis* WaterTankFixture::epa_ = nullptr;
+
+TEST_F(WaterTankFixture, ModelStructure) {
+    EXPECT_EQ(case_study_->system.component_count(), 9u);
+    EXPECT_TRUE(case_study_->system.has_component(ids::kTank));
+    EXPECT_TRUE(case_study_->system.has_component(ids::kWorkstation));
+    EXPECT_TRUE(case_study_->system.validate().ok());
+    // The workstation reaches the valve controllers (the IT/OT bridge).
+    auto reachable = case_study_->system.reachable_from(ids::kWorkstation);
+    EXPECT_TRUE(reachable.count(ids::kInputValve) > 0);
+    EXPECT_TRUE(reachable.count(ids::kTank) > 0);
+    EXPECT_TRUE(reachable.count(ids::kHmi) > 0);
+}
+
+// --- Table II row-for-row ----------------------------------------------------
+
+TEST_F(WaterTankFixture, S1_NoFaults_NoViolation) {
+    auto rows = case_study_->table2_rows();
+    auto verdict = evaluate(rows[0]);
+    EXPECT_FALSE(verdict.any_violation()) << verdict.violated_requirements.size();
+}
+
+TEST_F(WaterTankFixture, S2_CompromisedWorkstation_ViolatesBoth) {
+    auto rows = case_study_->table2_rows();
+    auto verdict = evaluate(rows[1]);
+    EXPECT_TRUE(verdict.violates("r1"));
+    EXPECT_TRUE(verdict.violates("r2"));
+}
+
+TEST_F(WaterTankFixture, S3_InputValveStuckOpen_NoViolation) {
+    auto rows = case_study_->table2_rows();
+    auto verdict = evaluate(rows[2]);
+    EXPECT_FALSE(verdict.any_violation());
+}
+
+TEST_F(WaterTankFixture, S4_OutputValveStuckClosed_ViolatesR1Only) {
+    auto rows = case_study_->table2_rows();
+    auto verdict = evaluate(rows[3]);
+    EXPECT_TRUE(verdict.violates("r1"));
+    EXPECT_FALSE(verdict.violates("r2"));
+}
+
+TEST_F(WaterTankFixture, S5_OutputStuckAndHmiDead_ViolatesBoth) {
+    auto rows = case_study_->table2_rows();
+    auto verdict = evaluate(rows[4]);
+    EXPECT_TRUE(verdict.violates("r1"));
+    EXPECT_TRUE(verdict.violates("r2"));
+}
+
+TEST_F(WaterTankFixture, S6_InputStuckAndHmiDead_NoViolation) {
+    auto rows = case_study_->table2_rows();
+    auto verdict = evaluate(rows[5]);
+    EXPECT_FALSE(verdict.any_violation());
+}
+
+TEST_F(WaterTankFixture, S7_AllPhysicalFaults_SameViolationsAsS5) {
+    auto rows = case_study_->table2_rows();
+    auto s5 = evaluate(rows[4]);
+    auto s7 = evaluate(rows[6]);
+    EXPECT_TRUE(s7.violates("r1"));
+    EXPECT_TRUE(s7.violates("r2"));
+    EXPECT_EQ(s5.violated_requirements, s7.violated_requirements);
+    // "the potential probability of the simultaneous occurrence of all
+    // faults is much lower" — S7 is less likely than S5.
+    EXPECT_LE(s7.likelihood, s5.likelihood);
+}
+
+// --- mitigation effects -------------------------------------------------------
+
+TEST_F(WaterTankFixture, MitigationsSuppressWorkstationCompromise) {
+    auto rows = case_study_->table2_rows();
+    Table2Row s2_mitigated = rows[1];
+    s2_mitigated.active_mitigations = {"M-TRAIN", "M-ENDPOINT"};
+    auto verdict = evaluate(s2_mitigated);
+    EXPECT_FALSE(verdict.any_violation());
+    EXPECT_TRUE(verdict.injected.empty());  // fault suppressed at activation
+}
+
+TEST_F(WaterTankFixture, SingleMitigationIsEnough) {
+    auto rows = case_study_->table2_rows();
+    Table2Row s2_train_only = rows[1];
+    s2_train_only.active_mitigations = {"M-TRAIN"};
+    EXPECT_FALSE(evaluate(s2_train_only).any_violation());
+}
+
+TEST_F(WaterTankFixture, MitigationsDoNotSuppressPhysicalFaults) {
+    // M1/M2 address the cyber path; a spontaneous valve fault still violates.
+    auto rows = case_study_->table2_rows();
+    auto verdict = evaluate(rows[3]);  // S4 has both mitigations active
+    EXPECT_TRUE(verdict.violates("r1"));
+}
+
+// --- richer checks -------------------------------------------------------------
+
+TEST_F(WaterTankFixture, S2PropagationReachesPhysical) {
+    auto rows = case_study_->table2_rows();
+    auto verdict = evaluate(rows[1]);
+    // The topology error spread starts at the workstation.
+    ASSERT_FALSE(verdict.propagation.empty());
+    EXPECT_EQ(verdict.propagation.front().component, ids::kWorkstation);
+    bool reaches_tank = false;
+    for (const auto& step : verdict.propagation) {
+        if (step.component == ids::kTank) reaches_tank = true;
+    }
+    EXPECT_TRUE(reaches_tank);
+}
+
+TEST_F(WaterTankFixture, SeverityRanking) {
+    auto rows = case_study_->table2_rows();
+    auto s2 = evaluate(rows[1]);
+    auto s4 = evaluate(rows[3]);
+    // The workstation compromise endangers the highest-value asset set.
+    EXPECT_GE(s2.severity, s4.severity);
+    EXPECT_GE(s2.severity, qual::Level::High);
+}
+
+TEST_F(WaterTankFixture, WorkstationRefinementApplies) {
+    auto built = WaterTankCaseStudy::build();
+    ASSERT_TRUE(built.ok());
+    auto refined = built.value().system;
+    auto spec = WaterTankCaseStudy::workstation_refinement();
+    auto applied = refined.refine(spec);
+    ASSERT_TRUE(applied.ok()) << applied.error();
+    EXPECT_TRUE(refined.is_refined(ids::kWorkstation));
+    EXPECT_EQ(refined.parts_of(ids::kWorkstation).size(), 3u);
+    // The attack chain of Fig. 4 exists inside the refinement.
+    auto paths = refined.find_paths("email_client", "infected_computer");
+    ASSERT_FALSE(paths.empty());
+    EXPECT_EQ(paths[0].size(), 3u);  // email -> browser -> infected
+    // Outbound propagation now leaves via the refined exit.
+    auto reachable = refined.reachable_from("infected_computer");
+    EXPECT_TRUE(reachable.count(ids::kInValveCtrl) > 0);
+}
+
+}  // namespace
+}  // namespace cprisk::core

@@ -1,0 +1,270 @@
+// EPA engine on small synthetic models: propagation, mitigation suppression,
+// requirement checking, both analysis focuses.
+#include <gtest/gtest.h>
+
+#include "epa/epa.hpp"
+
+namespace cprisk::epa {
+namespace {
+
+using model::Component;
+using model::ElementType;
+using model::FaultMode;
+using model::RelationType;
+using security::AttackScenario;
+using security::Mutation;
+
+Component comp(std::string id, ElementType type, qual::Level asset = qual::Level::Medium) {
+    Component c;
+    c.id = std::move(id);
+    c.name = c.id;
+    c.type = type;
+    c.asset_value = asset;
+    c.fault_modes = {FaultMode{"fail", model::FaultEffect::Corruption, "", qual::Level::Medium,
+                               qual::Level::Low}};
+    return c;
+}
+
+/// source -> relay -> target chain.
+model::SystemModel chain_model() {
+    model::SystemModel m;
+    EXPECT_TRUE(m.add_component(comp("source", ElementType::Node)).ok());
+    EXPECT_TRUE(m.add_component(comp("relay", ElementType::Controller)).ok());
+    EXPECT_TRUE(m.add_component(comp("target", ElementType::Equipment, qual::Level::VeryHigh)).ok());
+    EXPECT_TRUE(m.add_relation({"source", "relay", RelationType::SignalFlow, ""}).ok());
+    EXPECT_TRUE(m.add_relation({"relay", "target", RelationType::SignalFlow, ""}).ok());
+    return m;
+}
+
+AttackScenario scenario(std::string id, std::vector<Mutation> mutations,
+                        qual::Level likelihood = qual::Level::Low) {
+    AttackScenario s;
+    s.id = std::move(id);
+    s.mutations = std::move(mutations);
+    s.likelihood = likelihood;
+    return s;
+}
+
+ErrorPropagationAnalysis make_epa(const model::SystemModel& m,
+                                  std::vector<Requirement> requirements,
+                                  const MitigationMap& map = {},
+                                  AnalysisFocus focus = AnalysisFocus::Topology) {
+    EpaOptions options;
+    options.focus = focus;
+    options.horizon = 4;
+    auto epa = ErrorPropagationAnalysis::create(m, std::move(requirements), map, options);
+    EXPECT_TRUE(epa.ok()) << epa.error();
+    return std::move(epa).value();
+}
+
+TEST(Epa, ErrorPropagatesAlongChain) {
+    auto m = chain_model();
+    auto epa = make_epa(m, {Requirement::no_error_reaches("target")});
+    auto verdict = epa.evaluate(scenario("s", {{"source", "fail"}}), {});
+    ASSERT_TRUE(verdict.ok()) << verdict.error();
+    EXPECT_TRUE(verdict.value().violates("protect_target"));
+    // Propagation path is source (t0) -> relay (t1) -> target (t2).
+    ASSERT_EQ(verdict.value().propagation.size(), 3u);
+    EXPECT_EQ(verdict.value().propagation[0].component, "source");
+    EXPECT_EQ(verdict.value().propagation[1].component, "relay");
+    EXPECT_EQ(verdict.value().propagation[2].component, "target");
+    EXPECT_EQ(verdict.value().propagation[2].time, 2);
+}
+
+TEST(Epa, NoFaultNoViolation) {
+    auto m = chain_model();
+    auto epa = make_epa(m, {Requirement::no_error_reaches("target")});
+    auto verdict = epa.evaluate(scenario("s", {}), {});
+    ASSERT_TRUE(verdict.ok()) << verdict.error();
+    EXPECT_FALSE(verdict.value().any_violation());
+    EXPECT_TRUE(verdict.value().propagation.empty());
+}
+
+TEST(Epa, ErrorDoesNotFlowUpstream) {
+    auto m = chain_model();
+    auto epa = make_epa(m, {Requirement::no_error_reaches("source")});
+    auto verdict = epa.evaluate(scenario("s", {{"target", "fail"}}), {});
+    ASSERT_TRUE(verdict.ok()) << verdict.error();
+    EXPECT_FALSE(verdict.value().any_violation());
+}
+
+TEST(Epa, MitigationSuppressesInjection) {
+    auto m = chain_model();
+    MitigationMap map;
+    map.add("patch", "source", "fail");
+    auto epa = make_epa(m, {Requirement::no_error_reaches("target")}, map);
+
+    auto unmitigated = epa.evaluate(scenario("s", {{"source", "fail"}}), {});
+    ASSERT_TRUE(unmitigated.ok());
+    EXPECT_TRUE(unmitigated.value().any_violation());
+
+    auto mitigated = epa.evaluate(scenario("s", {{"source", "fail"}}), {"patch"});
+    ASSERT_TRUE(mitigated.ok());
+    EXPECT_FALSE(mitigated.value().any_violation());
+    EXPECT_TRUE(mitigated.value().injected.empty());
+}
+
+TEST(Epa, MitigationOnlySuppressesItsOwnFault) {
+    auto m = chain_model();
+    MitigationMap map;
+    map.add("patch", "source", "fail");
+    auto epa = make_epa(m, {Requirement::no_error_reaches("target")}, map);
+    // Fault on the relay is untouched by the source patch.
+    auto verdict = epa.evaluate(scenario("s", {{"relay", "fail"}}), {"patch"});
+    ASSERT_TRUE(verdict.ok());
+    EXPECT_TRUE(verdict.value().any_violation());
+}
+
+TEST(Epa, SeverityTracksReachedAssets) {
+    auto m = chain_model();
+    auto epa = make_epa(m, {Requirement::no_error_reaches("target")});
+    auto verdict = epa.evaluate(scenario("s", {{"source", "fail"}}), {});
+    ASSERT_TRUE(verdict.ok());
+    // The error reaches the VeryHigh-value target.
+    EXPECT_EQ(verdict.value().severity, qual::Level::VeryHigh);
+}
+
+TEST(Epa, UnknownComponentInScenarioFails) {
+    auto m = chain_model();
+    auto epa = make_epa(m, {Requirement::no_error_reaches("target")});
+    auto verdict = epa.evaluate(scenario("s", {{"ghost", "fail"}}), {});
+    EXPECT_FALSE(verdict.ok());
+}
+
+TEST(Epa, BehavioralFocusUsesBehaviors) {
+    auto m = chain_model();
+    // Behaviour: the relay raises "alarm" whenever it has an error.
+    ASSERT_TRUE(m.add_behavior("relay",
+                               "#program always. alarm :- error(relay).").ok());
+    Requirement alarm_required = Requirement::responds(
+        "alarm_on_error", "relay errors must raise the alarm",
+        asp::parse_atom("error(relay)").value(), asp::parse_atom("alarm").value());
+
+    auto behavioral = make_epa(m, {alarm_required}, {}, AnalysisFocus::Behavioral);
+    auto verdict = behavioral.evaluate(scenario("s", {{"source", "fail"}}), {});
+    ASSERT_TRUE(verdict.ok()) << verdict.error();
+    EXPECT_FALSE(verdict.value().any_violation());  // alarm fires with the error
+
+    // Topology focus drops the behaviour: the alarm never fires, violating
+    // the response requirement.
+    auto topology = make_epa(m, {alarm_required}, {}, AnalysisFocus::Topology);
+    auto topo_verdict = topology.evaluate(scenario("s", {{"source", "fail"}}), {});
+    ASSERT_TRUE(topo_verdict.ok()) << topo_verdict.error();
+    EXPECT_TRUE(topo_verdict.value().any_violation());
+}
+
+TEST(Epa, QuantityFlowPropagatesBothWays) {
+    model::SystemModel m;
+    ASSERT_TRUE(m.add_component(comp("pump", ElementType::Actuator)).ok());
+    ASSERT_TRUE(m.add_component(comp("pipe", ElementType::Equipment)).ok());
+    ASSERT_TRUE(m.add_relation({"pump", "pipe", RelationType::QuantityFlow, "flow"}).ok());
+    auto epa = make_epa(m, {Requirement::no_error_reaches("pump")});
+    auto verdict = epa.evaluate(scenario("s", {{"pipe", "fail"}}), {});
+    ASSERT_TRUE(verdict.ok());
+    EXPECT_TRUE(verdict.value().any_violation());
+}
+
+TEST(Epa, EvaluateAllCoversSpace) {
+    auto m = chain_model();
+    security::ScenarioSpaceOptions options;
+    options.max_simultaneous_faults = 1;
+    options.include_attack_scenarios = false;
+    auto space = security::ScenarioSpace::build(m, security::AttackMatrix::standard_ics(),
+                                                security::standard_threat_actors(), options);
+    auto epa = make_epa(m, {Requirement::no_error_reaches("target")});
+    auto verdicts = epa.evaluate_all(space, {});
+    ASSERT_TRUE(verdicts.ok()) << verdicts.error();
+    EXPECT_EQ(verdicts.value().size(), space.size());
+    // Every single-fault scenario reaches the target in this chain.
+    for (const ScenarioVerdict& verdict : verdicts.value()) {
+        EXPECT_TRUE(verdict.any_violation()) << verdict.scenario_id;
+    }
+}
+
+TEST(Epa, MitigationMapFromAttackMatrix) {
+    model::SystemModel m;
+    Component node = comp("ws", ElementType::Node);
+    node.fault_modes = {FaultMode{"infected", model::FaultEffect::Compromise, "",
+                                  qual::Level::High, qual::Level::Medium}};
+    ASSERT_TRUE(m.add_component(node).ok());
+    auto matrix = security::AttackMatrix::standard_ics();
+    auto map = MitigationMap::from_attack_matrix(m, matrix);
+    // T-USER-EXec causes "infected" on Node and is mitigated by training and
+    // endpoint security.
+    bool train = false;
+    bool endpoint = false;
+    for (const auto& entry : map.entries()) {
+        if (entry.component == "ws" && entry.fault_id == "infected") {
+            if (entry.mitigation_id == "M-TRAIN") train = true;
+            if (entry.mitigation_id == "M-ENDPOINT") endpoint = true;
+        }
+    }
+    EXPECT_TRUE(train);
+    EXPECT_TRUE(endpoint);
+}
+
+TEST(Epa, InvalidModelRejected) {
+    model::SystemModel m;
+    ASSERT_TRUE(m.add_component(comp("a", ElementType::Node)).ok());
+    ASSERT_TRUE(m.add_behavior("a", "not valid asp ((").ok());
+    EpaOptions options;
+    options.focus = AnalysisFocus::Behavioral;
+    auto epa = ErrorPropagationAnalysis::create(m, {}, {}, options);
+    EXPECT_FALSE(epa.ok());
+}
+
+
+TEST(Epa, CollectTraceProducesCounterexample) {
+    auto m = chain_model();
+    ASSERT_TRUE(m.add_behavior("relay", "#program always. alarm :- error(relay).").ok());
+    EpaOptions options;
+    options.focus = AnalysisFocus::Behavioral;
+    options.horizon = 4;
+    options.collect_trace = true;
+    auto epa = ErrorPropagationAnalysis::create(
+        m, {Requirement::no_error_reaches("target")}, {}, options);
+    ASSERT_TRUE(epa.ok()) << epa.error();
+    auto verdict = epa.value().evaluate(scenario("s", {{"source", "fail"}}), {});
+    ASSERT_TRUE(verdict.ok()) << verdict.error();
+    ASSERT_EQ(verdict.value().trace.size(), 5u);  // horizon 4 -> 5 steps
+    // The counterexample shows the error at the source at t=0 and the alarm
+    // once the relay is hit; internal predicates are filtered out.
+    EXPECT_TRUE(verdict.value().trace[0].count(asp::parse_atom("error(source)").value()) > 0);
+    EXPECT_TRUE(verdict.value().trace[1].count(asp::parse_atom("alarm").value()) > 0);
+    for (const auto& step : verdict.value().trace) {
+        for (const auto& atom : step) {
+            EXPECT_NE(atom.predicate.substr(0, 2), "__");
+        }
+    }
+}
+
+TEST(Epa, TraceEmptyWithoutOption) {
+    auto m = chain_model();
+    auto epa = make_epa(m, {Requirement::no_error_reaches("target")});
+    auto verdict = epa.evaluate(scenario("s", {{"source", "fail"}}), {});
+    ASSERT_TRUE(verdict.ok());
+    EXPECT_TRUE(verdict.value().trace.empty());
+}
+
+TEST(Epa, MinViolationHorizonMatchesChainDepth) {
+    auto m = chain_model();  // source -> relay -> target: 2 steps to reach
+    auto epa = make_epa(m, {Requirement::no_error_reaches("target")});
+    auto horizon = epa.min_violation_horizon(scenario("s", {{"source", "fail"}}), {});
+    ASSERT_TRUE(horizon.ok()) << horizon.error();
+    ASSERT_TRUE(horizon.value().has_value());
+    EXPECT_EQ(*horizon.value(), 2);
+
+    // A fault directly on the target violates immediately.
+    auto immediate = epa.min_violation_horizon(scenario("s", {{"target", "fail"}}), {});
+    ASSERT_TRUE(immediate.ok());
+    ASSERT_TRUE(immediate.value().has_value());
+    EXPECT_EQ(*immediate.value(), 0);
+
+    // A safe scenario never violates within the configured horizon.
+    auto safe = epa.min_violation_horizon(scenario("s", {}), {});
+    ASSERT_TRUE(safe.ok());
+    EXPECT_FALSE(safe.value().has_value());
+}
+
+}  // namespace
+}  // namespace cprisk::epa

@@ -1,0 +1,152 @@
+// RST-extended EPA: hazard-region classification under epistemic
+// uncertainty about the active fault set (paper §V-B).
+#include <gtest/gtest.h>
+
+#include "core/watertank.hpp"
+#include "epa/uncertain.hpp"
+
+namespace cprisk::epa {
+namespace {
+
+namespace ids = core::watertank_ids;
+using security::Mutation;
+
+class UncertainFixture : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        auto built = core::WaterTankCaseStudy::build();
+        ASSERT_TRUE(built.ok()) << built.error();
+        cs_ = new core::WaterTankCaseStudy(std::move(built).value());
+        EpaOptions options;
+        options.focus = AnalysisFocus::Behavioral;
+        options.horizon = cs_->horizon;
+        auto epa = ErrorPropagationAnalysis::create(cs_->system, cs_->requirements,
+                                                    cs_->mitigations, options);
+        ASSERT_TRUE(epa.ok()) << epa.error();
+        epa_ = new ErrorPropagationAnalysis(std::move(epa).value());
+    }
+    static void TearDownTestSuite() {
+        delete epa_;
+        delete cs_;
+        epa_ = nullptr;
+        cs_ = nullptr;
+    }
+
+    static core::WaterTankCaseStudy* cs_;
+    static ErrorPropagationAnalysis* epa_;
+};
+
+core::WaterTankCaseStudy* UncertainFixture::cs_ = nullptr;
+ErrorPropagationAnalysis* UncertainFixture::epa_ = nullptr;
+
+TEST_F(UncertainFixture, CertainHazardIsPositive) {
+    // F2 definitely active: R1 violated in every world.
+    UncertainScenario scenario;
+    scenario.id = "u1";
+    scenario.certain = {{ids::kOutputValve, "stuck_at_closed"}};
+    auto verdict = evaluate_uncertain(*epa_, scenario, {});
+    ASSERT_TRUE(verdict.ok()) << verdict.error();
+    EXPECT_EQ(verdict.value().regions.at("r1"), HazardRegion::Positive);
+    EXPECT_EQ(verdict.value().regions.at("r2"), HazardRegion::Negative);
+    EXPECT_EQ(verdict.value().worlds_evaluated, 1u);
+    EXPECT_TRUE(verdict.value().certainly_hazardous());
+}
+
+TEST_F(UncertainFixture, NoFaultsIsNegative) {
+    UncertainScenario scenario;
+    scenario.id = "u2";
+    auto verdict = evaluate_uncertain(*epa_, scenario, {});
+    ASSERT_TRUE(verdict.ok());
+    EXPECT_EQ(verdict.value().regions.at("r1"), HazardRegion::Negative);
+    EXPECT_FALSE(verdict.value().possibly_hazardous());
+}
+
+TEST_F(UncertainFixture, UncertainFaultGivesBoundary) {
+    // Whether the output valve fault exists is unknown: R1 lands in the
+    // boundary region — the §V escalation case.
+    UncertainScenario scenario;
+    scenario.id = "u3";
+    scenario.uncertain = {{ids::kOutputValve, "stuck_at_closed"}};
+    auto verdict = evaluate_uncertain(*epa_, scenario, {});
+    ASSERT_TRUE(verdict.ok());
+    EXPECT_EQ(verdict.value().worlds_evaluated, 2u);
+    EXPECT_EQ(verdict.value().regions.at("r1"), HazardRegion::Boundary);
+    EXPECT_FALSE(verdict.value().certainly_hazardous());
+    EXPECT_TRUE(verdict.value().possibly_hazardous());
+    EXPECT_EQ(verdict.value().boundary_requirements(), std::vector<std::string>{"r1"});
+    EXPECT_EQ(verdict.value().violating_worlds.at("r1"), 1u);
+}
+
+TEST_F(UncertainFixture, CertainPlusUncertainRefinesRegions) {
+    // F2 certain; F3 (alarm suppression) uncertain: R1 positive (violated
+    // regardless), R2 boundary (depends on whether the HMI is dead).
+    UncertainScenario scenario;
+    scenario.id = "u4";
+    scenario.certain = {{ids::kOutputValve, "stuck_at_closed"}};
+    scenario.uncertain = {{ids::kHmi, "no_signal"}};
+    auto verdict = evaluate_uncertain(*epa_, scenario, {});
+    ASSERT_TRUE(verdict.ok());
+    EXPECT_EQ(verdict.value().regions.at("r1"), HazardRegion::Positive);
+    EXPECT_EQ(verdict.value().regions.at("r2"), HazardRegion::Boundary);
+}
+
+TEST_F(UncertainFixture, IrrelevantUncertaintyStaysDecided) {
+    // F1 is harmless whether or not it occurs: both requirements negative.
+    UncertainScenario scenario;
+    scenario.id = "u5";
+    scenario.uncertain = {{ids::kInputValve, "stuck_at_open"}};
+    auto verdict = evaluate_uncertain(*epa_, scenario, {});
+    ASSERT_TRUE(verdict.ok());
+    EXPECT_EQ(verdict.value().regions.at("r1"), HazardRegion::Negative);
+    EXPECT_EQ(verdict.value().regions.at("r2"), HazardRegion::Negative);
+}
+
+TEST_F(UncertainFixture, MitigationsNarrowTheBoundary) {
+    // Uncertain workstation compromise: boundary unmitigated, negative once
+    // endpoint security is deployed.
+    UncertainScenario scenario;
+    scenario.id = "u6";
+    scenario.uncertain = {{ids::kWorkstation, "infected"}};
+    auto open = evaluate_uncertain(*epa_, scenario, {});
+    auto hardened = evaluate_uncertain(*epa_, scenario, {"M-ENDPOINT"});
+    ASSERT_TRUE(open.ok());
+    ASSERT_TRUE(hardened.ok());
+    EXPECT_EQ(open.value().regions.at("r1"), HazardRegion::Boundary);
+    EXPECT_EQ(hardened.value().regions.at("r1"), HazardRegion::Negative);
+}
+
+TEST_F(UncertainFixture, RegionsConsistentWithWorldCounts) {
+    // Property: region classification must match the per-world counts.
+    UncertainScenario scenario;
+    scenario.id = "u7";
+    scenario.uncertain = {{ids::kOutputValve, "stuck_at_closed"}, {ids::kHmi, "no_signal"}};
+    auto verdict = evaluate_uncertain(*epa_, scenario, {});
+    ASSERT_TRUE(verdict.ok());
+    EXPECT_EQ(verdict.value().worlds_evaluated, 4u);
+    for (const auto& [requirement, region] : verdict.value().regions) {
+        const std::size_t violated = verdict.value().violating_worlds.at(requirement);
+        switch (region) {
+            case HazardRegion::Negative: EXPECT_EQ(violated, 0u) << requirement; break;
+            case HazardRegion::Positive:
+                EXPECT_EQ(violated, verdict.value().worlds_evaluated) << requirement;
+                break;
+            case HazardRegion::Boundary:
+                EXPECT_GT(violated, 0u) << requirement;
+                EXPECT_LT(violated, verdict.value().worlds_evaluated) << requirement;
+                break;
+        }
+    }
+}
+
+TEST_F(UncertainFixture, GuardRejectsTooManyUncertainMutations) {
+    UncertainScenario scenario;
+    scenario.id = "u8";
+    for (int i = 0; i < 13; ++i) {
+        scenario.uncertain.push_back({ids::kInputValve, "stuck_at_open"});
+    }
+    auto verdict = evaluate_uncertain(*epa_, scenario, {});
+    EXPECT_FALSE(verdict.ok());
+}
+
+}  // namespace
+}  // namespace cprisk::epa

@@ -1,0 +1,117 @@
+// Threat refinement levels (paper §VI) on the water-tank case study.
+#include <gtest/gtest.h>
+
+#include "core/watertank.hpp"
+#include "hierarchy/threat_refinement.hpp"
+#include "security/threat_actor.hpp"
+
+namespace cprisk::hierarchy {
+namespace {
+
+namespace ids = core::watertank_ids;
+
+class ThreatRefinementFixture : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        auto built = core::WaterTankCaseStudy::build();
+        ASSERT_TRUE(built.ok()) << built.error();
+        cs_ = new core::WaterTankCaseStudy(std::move(built).value());
+
+        epa::EpaOptions options;
+        options.focus = epa::AnalysisFocus::Behavioral;
+        options.horizon = cs_->horizon;
+        auto epa = epa::ErrorPropagationAnalysis::create(cs_->system, cs_->requirements,
+                                                         cs_->mitigations, options);
+        ASSERT_TRUE(epa.ok()) << epa.error();
+
+        security::ScenarioSpaceOptions space_options;
+        space_options.max_simultaneous_faults = 2;
+        space_options.include_attack_scenarios = false;
+        auto space = security::ScenarioSpace::build(cs_->system, cs_->matrix,
+                                                    security::standard_threat_actors(),
+                                                    space_options);
+        auto verdicts = epa.value().evaluate_all(space, {});
+        ASSERT_TRUE(verdicts.ok()) << verdicts.error();
+        result_ = new ThreatRefinementResult(
+            refine_threats(cs_->system, verdicts.value(), cs_->mitigations));
+    }
+    static void TearDownTestSuite() {
+        delete result_;
+        delete cs_;
+        result_ = nullptr;
+        cs_ = nullptr;
+    }
+
+    static core::WaterTankCaseStudy* cs_;
+    static ThreatRefinementResult* result_;
+};
+
+core::WaterTankCaseStudy* ThreatRefinementFixture::cs_ = nullptr;
+ThreatRefinementResult* ThreatRefinementFixture::result_ = nullptr;
+
+TEST_F(ThreatRefinementFixture, Level1TankIntegrityEndangered) {
+    bool tank_integrity = false;
+    for (const EndangeredAspect& finding : result_->endangered) {
+        if (finding.asset == ids::kTank && finding.aspect == ThreatAspect::Integrity) {
+            tank_integrity = true;
+            // The workstation is among the sources (the IT/OT bridge).
+            EXPECT_NE(std::find(finding.sources.begin(), finding.sources.end(),
+                                ids::kWorkstation),
+                      finding.sources.end());
+        }
+    }
+    EXPECT_TRUE(tank_integrity);
+}
+
+TEST_F(ThreatRefinementFixture, Level1OnlyOtAssetsListed) {
+    for (const EndangeredAspect& finding : result_->endangered) {
+        EXPECT_TRUE(model::is_ot(cs_->system.component(finding.asset).type)) << finding.asset;
+        EXPECT_FALSE(finding.sources.empty());
+    }
+}
+
+TEST_F(ThreatRefinementFixture, Level2ConcreteThreatsComeFromViolations) {
+    ASSERT_FALSE(result_->concrete_threats.empty());
+    // The canonical causes are present.
+    auto has = [&](const char* component, const char* fault) {
+        return std::any_of(result_->concrete_threats.begin(), result_->concrete_threats.end(),
+                           [&](const ConcreteThreat& t) {
+                               return t.mutation.component == component &&
+                                      t.mutation.fault_id == fault;
+                           });
+    };
+    EXPECT_TRUE(has(ids::kOutputValve, "stuck_at_closed"));
+    EXPECT_TRUE(has(ids::kWorkstation, "infected"));
+    // Severity-first ordering.
+    for (std::size_t i = 0; i + 1 < result_->concrete_threats.size(); ++i) {
+        EXPECT_GE(result_->concrete_threats[i].severity,
+                  result_->concrete_threats[i + 1].severity);
+    }
+}
+
+TEST_F(ThreatRefinementFixture, Level3MitigationsAttach) {
+    const security::Mutation workstation{ids::kWorkstation, "infected"};
+    auto it = result_->mitigations.find(workstation.to_string());
+    ASSERT_NE(it, result_->mitigations.end());
+    EXPECT_NE(std::find(it->second.begin(), it->second.end(), "M-TRAIN"), it->second.end());
+    EXPECT_NE(std::find(it->second.begin(), it->second.end(), "M-ENDPOINT"), it->second.end());
+}
+
+TEST_F(ThreatRefinementFixture, UnmitigatedResidualThreatsReported) {
+    // The spontaneous valve fault has no cyber mitigation in the map: it
+    // must be reported as residual risk.
+    auto residual = result_->unmitigated();
+    const bool valve_residual = std::any_of(
+        residual.begin(), residual.end(), [&](const security::Mutation& m) {
+            return m.component == ids::kOutputValve && m.fault_id == "stuck_at_closed";
+        });
+    EXPECT_TRUE(valve_residual);
+}
+
+TEST_F(ThreatRefinementFixture, AspectNames) {
+    EXPECT_EQ(to_string(ThreatAspect::Availability), "availability");
+    EXPECT_EQ(to_string(ThreatAspect::Integrity), "integrity");
+}
+
+}  // namespace
+}  // namespace cprisk::hierarchy

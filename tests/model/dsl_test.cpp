@@ -1,0 +1,129 @@
+// Model DSL: parsing, error reporting, serialize/parse round-trip.
+#include <gtest/gtest.h>
+
+#include "model/dsl.hpp"
+
+namespace cprisk::model {
+namespace {
+
+constexpr const char* kSample = R"(
+# a small control loop
+component sensor sensor name="Level Sensor" asset=L
+component ctrl controller exposure=internal asset=H
+component pump actuator
+
+fault sensor no_reading omission severity=M likelihood=L
+fault pump stuck_at_open stuck_at forced=open severity=H likelihood=VL
+
+relation sensor signal_flow ctrl label="reading"
+relation ctrl triggering pump
+
+behavior ctrl <<<
+#program always.
+alarm :- error(ctrl).
+>>>
+)";
+
+TEST(Dsl, ParseSample) {
+    auto model = parse_model(kSample);
+    ASSERT_TRUE(model.ok()) << model.error();
+    const SystemModel& m = model.value();
+    EXPECT_EQ(m.component_count(), 3u);
+    EXPECT_EQ(m.relation_count(), 2u);
+
+    const Component& sensor = m.component("sensor");
+    EXPECT_EQ(sensor.name, "Level Sensor");
+    EXPECT_EQ(sensor.type, ElementType::Sensor);
+    EXPECT_EQ(sensor.asset_value, qual::Level::Low);
+    ASSERT_EQ(sensor.fault_modes.size(), 1u);
+    EXPECT_EQ(sensor.fault_modes[0].effect, FaultEffect::Omission);
+
+    const Component& ctrl = m.component("ctrl");
+    EXPECT_EQ(ctrl.exposure, Exposure::Internal);
+    ASSERT_EQ(m.behaviors("ctrl").size(), 1u);
+    EXPECT_NE(m.behaviors("ctrl")[0].find("alarm :- error(ctrl)."), std::string::npos);
+
+    const Component& pump = m.component("pump");
+    ASSERT_EQ(pump.fault_modes.size(), 1u);
+    EXPECT_EQ(pump.fault_modes[0].forced_value, "open");
+    EXPECT_EQ(pump.fault_modes[0].likelihood, qual::Level::VeryLow);
+}
+
+TEST(Dsl, RelationLabel) {
+    auto model = parse_model(kSample);
+    ASSERT_TRUE(model.ok());
+    EXPECT_EQ(model.value().relations()[0].label, "reading");
+    EXPECT_EQ(model.value().relations()[0].type, RelationType::SignalFlow);
+}
+
+TEST(Dsl, ErrorsCarryLineNumbers) {
+    auto bad_type = parse_model("component x flux_capacitor\n");
+    ASSERT_FALSE(bad_type.ok());
+    EXPECT_NE(bad_type.error().find("line 1"), std::string::npos);
+
+    auto bad_keyword = parse_model("component x node\nfrobnicate y\n");
+    ASSERT_FALSE(bad_keyword.ok());
+    EXPECT_NE(bad_keyword.error().find("line 2"), std::string::npos);
+}
+
+TEST(Dsl, UnknownComponentInFault) {
+    EXPECT_FALSE(parse_model("fault ghost f omission\n").ok());
+}
+
+TEST(Dsl, DanglingRelationRejected) {
+    EXPECT_FALSE(parse_model("component a node\nrelation a signal_flow ghost\n").ok());
+}
+
+TEST(Dsl, UnterminatedBehaviorRejected) {
+    auto result = parse_model("component a node\nbehavior a <<<\nrule.\n");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.error().find("not closed"), std::string::npos);
+}
+
+TEST(Dsl, UnterminatedStringRejected) {
+    EXPECT_FALSE(parse_model("component a node name=\"oops\n").ok());
+}
+
+TEST(Dsl, DuplicateComponentRejected) {
+    EXPECT_FALSE(parse_model("component a node\ncomponent a node\n").ok());
+}
+
+TEST(Dsl, RoundTrip) {
+    auto first = parse_model(kSample);
+    ASSERT_TRUE(first.ok()) << first.error();
+    const std::string serialized = serialize_model(first.value());
+    auto second = parse_model(serialized);
+    ASSERT_TRUE(second.ok()) << second.error() << "\nserialized:\n" << serialized;
+
+    // Round-trip fixed point: serializing again yields the same text.
+    EXPECT_EQ(serialized, serialize_model(second.value()));
+    EXPECT_EQ(second.value().component_count(), first.value().component_count());
+    EXPECT_EQ(second.value().relation_count(), first.value().relation_count());
+    EXPECT_EQ(second.value().behaviors("ctrl"), first.value().behaviors("ctrl"));
+}
+
+TEST(Dsl, TypeParsersRoundTrip) {
+    for (int i = 0; i <= static_cast<int>(ElementType::Material); ++i) {
+        const auto type = static_cast<ElementType>(i);
+        EXPECT_EQ(parse_element_type(to_string(type)).value(), type);
+    }
+    for (int i = 0; i <= static_cast<int>(RelationType::Association); ++i) {
+        const auto type = static_cast<RelationType>(i);
+        EXPECT_EQ(parse_relation_type(to_string(type)).value(), type);
+    }
+    for (int i = 0; i <= static_cast<int>(FaultEffect::Compromise); ++i) {
+        const auto effect = static_cast<FaultEffect>(i);
+        EXPECT_EQ(parse_fault_effect(to_string(effect)).value(), effect);
+    }
+    EXPECT_FALSE(parse_element_type("nonsense").ok());
+}
+
+TEST(Dsl, ParsedModelIsAnalyzable) {
+    // A DSL model feeds straight into to_asp (integration touchpoint).
+    auto model = parse_model(kSample);
+    ASSERT_TRUE(model.ok());
+    EXPECT_TRUE(model.value().validate().ok());
+}
+
+}  // namespace
+}  // namespace cprisk::model

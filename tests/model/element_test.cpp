@@ -1,0 +1,64 @@
+// Element/relation taxonomy invariants.
+#include <gtest/gtest.h>
+
+#include "model/element.hpp"
+
+namespace cprisk::model {
+namespace {
+
+TEST(Element, LayerAssignment) {
+    EXPECT_EQ(layer_of(ElementType::Actor), Layer::Business);
+    EXPECT_EQ(layer_of(ElementType::ApplicationComponent), Layer::Application);
+    EXPECT_EQ(layer_of(ElementType::Node), Layer::Technology);
+    EXPECT_EQ(layer_of(ElementType::Equipment), Layer::Physical);
+    EXPECT_EQ(layer_of(ElementType::Sensor), Layer::Physical);
+}
+
+TEST(Element, OtClassification) {
+    EXPECT_TRUE(is_ot(ElementType::Actuator));
+    EXPECT_TRUE(is_ot(ElementType::Controller));
+    EXPECT_TRUE(is_ot(ElementType::Equipment));
+    EXPECT_FALSE(is_ot(ElementType::Node));
+    EXPECT_FALSE(is_ot(ElementType::ApplicationComponent));
+    EXPECT_FALSE(is_ot(ElementType::HumanMachineInterface));
+}
+
+TEST(Element, OtImpliesPhysicalLayer) {
+    for (int i = 0; i <= static_cast<int>(ElementType::Material); ++i) {
+        const auto type = static_cast<ElementType>(i);
+        if (is_ot(type)) {
+            EXPECT_EQ(layer_of(type), Layer::Physical) << to_string(type);
+        }
+    }
+}
+
+TEST(Relation, PropagationFlags) {
+    EXPECT_TRUE(propagates(RelationType::SignalFlow));
+    EXPECT_TRUE(propagates(RelationType::QuantityFlow));
+    EXPECT_TRUE(propagates(RelationType::Serving));
+    EXPECT_FALSE(propagates(RelationType::Composition));
+    EXPECT_FALSE(propagates(RelationType::Association));
+}
+
+TEST(Relation, OnlyQuantityFlowBidirectional) {
+    for (int i = 0; i <= static_cast<int>(RelationType::Association); ++i) {
+        const auto type = static_cast<RelationType>(i);
+        EXPECT_EQ(is_bidirectional(type), type == RelationType::QuantityFlow) << to_string(type);
+    }
+}
+
+TEST(Element, NamesAreValidIdentifiers) {
+    // Element/relation names feed ASP constants; they must be lowercase.
+    for (int i = 0; i <= static_cast<int>(ElementType::Material); ++i) {
+        const auto name = to_string(static_cast<ElementType>(i));
+        EXPECT_FALSE(name.empty());
+        EXPECT_TRUE(std::islower(static_cast<unsigned char>(name[0]))) << name;
+    }
+    for (int i = 0; i <= static_cast<int>(RelationType::Association); ++i) {
+        const auto name = to_string(static_cast<RelationType>(i));
+        EXPECT_TRUE(std::islower(static_cast<unsigned char>(name[0]))) << name;
+    }
+}
+
+}  // namespace
+}  // namespace cprisk::model

@@ -1,0 +1,84 @@
+// Component library: registration, instantiation, the standard CPS set.
+#include <gtest/gtest.h>
+
+#include "model/component_library.hpp"
+
+namespace cprisk::model {
+namespace {
+
+TEST(Library, StandardCpsContents) {
+    auto library = ComponentLibrary::standard_cps();
+    for (const char* name :
+         {"water_tank", "valve_actuator", "valve_controller", "level_sensor",
+          "plant_controller", "hmi", "engineering_workstation", "office_network",
+          "control_network", "email_client", "web_browser", "plc"}) {
+        EXPECT_TRUE(library.has(name)) << name;
+    }
+    EXPECT_GE(library.size(), 12u);
+}
+
+TEST(Library, InstantiateStampsComponent) {
+    auto library = ComponentLibrary::standard_cps();
+    SystemModel model;
+    ASSERT_TRUE(library.instantiate("valve_actuator", "v1", "Valve #1", model).ok());
+    const Component& v1 = model.component("v1");
+    EXPECT_EQ(v1.name, "Valve #1");
+    EXPECT_EQ(v1.type, ElementType::Actuator);
+    EXPECT_TRUE(v1.has_fault_mode("stuck_at_open"));
+    EXPECT_TRUE(v1.has_fault_mode("stuck_at_closed"));
+    EXPECT_EQ(v1.properties.at("template"), "valve_actuator");
+}
+
+TEST(Library, UnknownTemplateFails) {
+    auto library = ComponentLibrary::standard_cps();
+    SystemModel model;
+    EXPECT_FALSE(library.instantiate("warp_core", "w", "W", model).ok());
+    EXPECT_FALSE(library.get("warp_core").ok());
+}
+
+TEST(Library, DuplicateInstanceFails) {
+    auto library = ComponentLibrary::standard_cps();
+    SystemModel model;
+    ASSERT_TRUE(library.instantiate("hmi", "h", "HMI", model).ok());
+    EXPECT_FALSE(library.instantiate("hmi", "h", "HMI again", model).ok());
+}
+
+TEST(Library, SelfPlaceholderSubstitution) {
+    ComponentLibrary library;
+    ComponentTemplate tmpl;
+    tmpl.type_name = "widget";
+    tmpl.element_type = ElementType::Device;
+    tmpl.behavior_fragments = {"state($self, ok)."};
+    library.register_template(tmpl);
+
+    SystemModel model;
+    ASSERT_TRUE(library.instantiate("widget", "w42", "Widget", model).ok());
+    ASSERT_EQ(model.behaviors("w42").size(), 1u);
+    EXPECT_EQ(model.behaviors("w42")[0], "state(w42, ok).");
+}
+
+TEST(Library, RegisterReplaces) {
+    ComponentLibrary library;
+    ComponentTemplate tmpl;
+    tmpl.type_name = "x";
+    tmpl.default_asset_value = qual::Level::Low;
+    library.register_template(tmpl);
+    tmpl.default_asset_value = qual::Level::VeryHigh;
+    library.register_template(tmpl);
+    EXPECT_EQ(library.size(), 1u);
+    EXPECT_EQ(library.get("x").value().default_asset_value, qual::Level::VeryHigh);
+}
+
+TEST(Library, FaultModeLikelihoodsAreCalibrated) {
+    // Property: compromise-class faults on IT nodes are more likely than
+    // spontaneous physical stuck-at faults (cyber attack surface dominates).
+    auto library = ComponentLibrary::standard_cps();
+    const auto workstation = library.get("engineering_workstation").value();
+    const auto valve = library.get("valve_actuator").value();
+    ASSERT_FALSE(workstation.fault_modes.empty());
+    ASSERT_FALSE(valve.fault_modes.empty());
+    EXPECT_GT(workstation.fault_modes[0].likelihood, valve.fault_modes[0].likelihood);
+}
+
+}  // namespace
+}  // namespace cprisk::model

@@ -1,0 +1,202 @@
+// SystemModel graph semantics: construction, merge, refinement, propagation
+// queries, validation.
+#include <gtest/gtest.h>
+
+#include "model/system_model.hpp"
+
+namespace cprisk::model {
+namespace {
+
+Component comp(std::string id, ElementType type = ElementType::Node) {
+    Component c;
+    c.id = std::move(id);
+    c.name = c.id;
+    c.type = type;
+    return c;
+}
+
+SystemModel chain3() {
+    SystemModel m;
+    EXPECT_TRUE(m.add_component(comp("a")).ok());
+    EXPECT_TRUE(m.add_component(comp("b")).ok());
+    EXPECT_TRUE(m.add_component(comp("c")).ok());
+    EXPECT_TRUE(m.add_relation({"a", "b", RelationType::SignalFlow, ""}).ok());
+    EXPECT_TRUE(m.add_relation({"b", "c", RelationType::SignalFlow, ""}).ok());
+    return m;
+}
+
+TEST(SystemModel, AddAndLookup) {
+    SystemModel m;
+    ASSERT_TRUE(m.add_component(comp("x", ElementType::Sensor)).ok());
+    EXPECT_TRUE(m.has_component("x"));
+    EXPECT_EQ(m.component("x").type, ElementType::Sensor);
+    EXPECT_FALSE(m.has_component("y"));
+    EXPECT_THROW(m.component("y"), Error);
+}
+
+TEST(SystemModel, DuplicateIdRejected) {
+    SystemModel m;
+    ASSERT_TRUE(m.add_component(comp("x")).ok());
+    EXPECT_FALSE(m.add_component(comp("x")).ok());
+    EXPECT_FALSE(m.add_component(comp("")).ok());
+}
+
+TEST(SystemModel, RelationEndpointsValidated) {
+    SystemModel m;
+    ASSERT_TRUE(m.add_component(comp("x")).ok());
+    EXPECT_FALSE(m.add_relation({"x", "ghost", RelationType::SignalFlow, ""}).ok());
+    EXPECT_FALSE(m.add_relation({"ghost", "x", RelationType::SignalFlow, ""}).ok());
+}
+
+TEST(SystemModel, PropagationSuccessorsDirectional) {
+    auto m = chain3();
+    auto from_a = m.propagation_successors("a");
+    ASSERT_EQ(from_a.size(), 1u);
+    EXPECT_EQ(from_a[0], "b");
+    EXPECT_TRUE(m.propagation_successors("c").empty());
+}
+
+TEST(SystemModel, QuantityFlowIsBidirectional) {
+    SystemModel m;
+    ASSERT_TRUE(m.add_component(comp("tank", ElementType::Equipment)).ok());
+    ASSERT_TRUE(m.add_component(comp("valve", ElementType::Actuator)).ok());
+    ASSERT_TRUE(m.add_relation({"valve", "tank", RelationType::QuantityFlow, "water"}).ok());
+    EXPECT_EQ(m.propagation_successors("valve"), std::vector<ComponentId>{"tank"});
+    EXPECT_EQ(m.propagation_successors("tank"), std::vector<ComponentId>{"valve"});
+}
+
+TEST(SystemModel, CompositionDoesNotPropagate) {
+    SystemModel m;
+    ASSERT_TRUE(m.add_component(comp("whole")).ok());
+    ASSERT_TRUE(m.add_component(comp("part")).ok());
+    ASSERT_TRUE(m.add_relation({"whole", "part", RelationType::Composition, ""}).ok());
+    EXPECT_TRUE(m.propagation_successors("whole").empty());
+}
+
+TEST(SystemModel, Reachability) {
+    auto m = chain3();
+    auto reachable = m.reachable_from("a");
+    EXPECT_EQ(reachable.size(), 2u);
+    EXPECT_TRUE(reachable.count("c") > 0);
+    EXPECT_TRUE(m.reachable_from("c").empty());
+}
+
+TEST(SystemModel, FindPaths) {
+    auto m = chain3();
+    auto paths = m.find_paths("a", "c");
+    ASSERT_EQ(paths.size(), 1u);
+    EXPECT_EQ(paths[0], (std::vector<ComponentId>{"a", "b", "c"}));
+    EXPECT_TRUE(m.find_paths("c", "a").empty());
+    // Trivial self-path.
+    auto self = m.find_paths("a", "a");
+    ASSERT_EQ(self.size(), 1u);
+    EXPECT_EQ(self[0].size(), 1u);
+}
+
+TEST(SystemModel, FindPathsMultipleRoutes) {
+    SystemModel m;
+    for (const char* id : {"s", "x", "y", "t"}) ASSERT_TRUE(m.add_component(comp(id)).ok());
+    ASSERT_TRUE(m.add_relation({"s", "x", RelationType::SignalFlow, ""}).ok());
+    ASSERT_TRUE(m.add_relation({"s", "y", RelationType::SignalFlow, ""}).ok());
+    ASSERT_TRUE(m.add_relation({"x", "t", RelationType::SignalFlow, ""}).ok());
+    ASSERT_TRUE(m.add_relation({"y", "t", RelationType::SignalFlow, ""}).ok());
+    EXPECT_EQ(m.find_paths("s", "t").size(), 2u);
+    EXPECT_TRUE(m.find_paths("s", "t", 2).empty());  // too short
+}
+
+TEST(SystemModel, CyclesDoNotLoopForever) {
+    SystemModel m;
+    ASSERT_TRUE(m.add_component(comp("a")).ok());
+    ASSERT_TRUE(m.add_component(comp("b")).ok());
+    ASSERT_TRUE(m.add_relation({"a", "b", RelationType::SignalFlow, ""}).ok());
+    ASSERT_TRUE(m.add_relation({"b", "a", RelationType::SignalFlow, ""}).ok());
+    EXPECT_EQ(m.reachable_from("a").size(), 2u);  // includes a itself via cycle
+    EXPECT_EQ(m.find_paths("a", "b").size(), 1u);
+}
+
+TEST(SystemModel, MergeUnions) {
+    auto m1 = chain3();
+    SystemModel m2;
+    ASSERT_TRUE(m2.add_component(comp("c")).ok());
+    ASSERT_TRUE(m2.add_component(comp("d")).ok());
+    ASSERT_TRUE(m2.add_relation({"c", "d", RelationType::SignalFlow, ""}).ok());
+    ASSERT_TRUE(m1.merge(m2).ok());
+    EXPECT_EQ(m1.component_count(), 4u);
+    EXPECT_TRUE(m1.reachable_from("a").count("d") > 0);
+}
+
+TEST(SystemModel, MergeConflictRejected) {
+    auto m1 = chain3();
+    SystemModel m2;
+    Component conflicting = comp("a", ElementType::Sensor);  // different type
+    ASSERT_TRUE(m2.add_component(conflicting).ok());
+    EXPECT_FALSE(m1.merge(m2).ok());
+}
+
+TEST(SystemModel, MergeDeduplicatesRelations) {
+    auto m1 = chain3();
+    auto m2 = chain3();
+    ASSERT_TRUE(m1.merge(m2).ok());
+    EXPECT_EQ(m1.relation_count(), 2u);
+}
+
+TEST(SystemModel, BehaviorAttachment) {
+    auto m = chain3();
+    ASSERT_TRUE(m.add_behavior("a", "rule1.").ok());
+    ASSERT_TRUE(m.add_behavior("a", "rule2.").ok());
+    EXPECT_EQ(m.behaviors("a").size(), 2u);
+    EXPECT_TRUE(m.behaviors("b").empty());
+    EXPECT_FALSE(m.add_behavior("ghost", "x.").ok());
+}
+
+TEST(SystemModel, RefinementRewiresPropagation) {
+    auto m = chain3();
+    RefinementSpec spec;
+    spec.parent = "b";
+    spec.parts = {comp("b1"), comp("b2")};
+    spec.internal_relations = {{"b1", "b2", RelationType::SignalFlow, ""}};
+    spec.entry = "b1";
+    spec.exit = "b2";
+    ASSERT_TRUE(m.refine(spec).ok());
+
+    EXPECT_TRUE(m.is_refined("b"));
+    EXPECT_TRUE(m.propagation_successors("b").empty());
+    // a now feeds b1; b2 feeds c.
+    EXPECT_EQ(m.propagation_successors("a"), std::vector<ComponentId>{"b1"});
+    auto reachable = m.reachable_from("a");
+    EXPECT_TRUE(reachable.count("c") > 0);
+    EXPECT_EQ(m.parts_of("b").size(), 2u);
+}
+
+TEST(SystemModel, RefinementValidation) {
+    auto m = chain3();
+    RefinementSpec bad;
+    bad.parent = "ghost";
+    bad.parts = {comp("p")};
+    bad.entry = "p";
+    bad.exit = "p";
+    EXPECT_FALSE(m.refine(bad).ok());
+
+    RefinementSpec no_entry;
+    no_entry.parent = "b";
+    no_entry.parts = {comp("p")};
+    no_entry.entry = "wrong";
+    no_entry.exit = "p";
+    EXPECT_FALSE(m.refine(no_entry).ok());
+
+    RefinementSpec good;
+    good.parent = "b";
+    good.parts = {comp("p")};
+    good.entry = "p";
+    good.exit = "p";
+    ASSERT_TRUE(m.refine(good).ok());
+    EXPECT_FALSE(m.refine(good).ok());  // already refined
+}
+
+TEST(SystemModel, Validate) {
+    auto m = chain3();
+    EXPECT_TRUE(m.validate().ok());
+}
+
+}  // namespace
+}  // namespace cprisk::model

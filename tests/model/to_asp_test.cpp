@@ -1,0 +1,169 @@
+// Model-to-ASP translation: fact emission and behaviour inclusion.
+#include <gtest/gtest.h>
+
+#include "asp/asp.hpp"
+#include "model/aspects.hpp"
+#include "model/to_asp.hpp"
+
+namespace cprisk::model {
+namespace {
+
+SystemModel small_model() {
+    SystemModel m;
+    Component sensor;
+    sensor.id = "s";
+    sensor.name = "Sensor";
+    sensor.type = ElementType::Sensor;
+    sensor.exposure = Exposure::None;
+    sensor.asset_value = qual::Level::Low;
+    sensor.fault_modes = {FaultMode{"no_reading", FaultEffect::Omission, "", qual::Level::Medium,
+                                    qual::Level::Low}};
+    EXPECT_TRUE(m.add_component(sensor).ok());
+
+    Component controller;
+    controller.id = "c";
+    controller.name = "Controller";
+    controller.type = ElementType::Controller;
+    controller.exposure = Exposure::Internal;
+    controller.asset_value = qual::Level::High;
+    EXPECT_TRUE(m.add_component(controller).ok());
+
+    EXPECT_TRUE(m.add_relation({"s", "c", RelationType::SignalFlow, "measurement"}).ok());
+    return m;
+}
+
+/// Solves the translated program and returns the single answer set.
+asp::AnswerSet solve_facts(const SystemModel& m, ToAspOptions options = {}) {
+    auto program = to_asp(m, options);
+    EXPECT_TRUE(program.ok()) << program.error();
+    auto solved = asp::solve_program(program.value());
+    EXPECT_TRUE(solved.ok()) << solved.error();
+    EXPECT_EQ(solved.value().models.size(), 1u);
+    return solved.value().models.empty() ? asp::AnswerSet{} : solved.value().models[0];
+}
+
+bool has(const asp::AnswerSet& answer, std::string_view atom) {
+    return answer.contains(asp::parse_atom(atom).value());
+}
+
+TEST(ToAsp, ComponentFacts) {
+    auto answer = solve_facts(small_model());
+    EXPECT_TRUE(has(answer, "component(s)"));
+    EXPECT_TRUE(has(answer, "component_type(s, sensor)"));
+    EXPECT_TRUE(has(answer, "component_layer(s, physical)"));
+    EXPECT_TRUE(has(answer, "ot_component(s)"));
+    EXPECT_TRUE(has(answer, "ot_component(c)")) << "controllers live on the OT side";
+    EXPECT_FALSE(has(answer, "it_component(c)"));
+    EXPECT_TRUE(has(answer, "exposure(c, internal)"));
+    EXPECT_TRUE(has(answer, "asset_value(c, 3)"));
+}
+
+TEST(ToAsp, FaultFacts) {
+    auto answer = solve_facts(small_model());
+    EXPECT_TRUE(has(answer, "fault(s, no_reading)"));
+    EXPECT_TRUE(has(answer, "fault_effect(s, no_reading, omission)"));
+    EXPECT_TRUE(has(answer, "fault_severity(s, no_reading, 2)"));
+    EXPECT_TRUE(has(answer, "fault_likelihood(s, no_reading, 1)"));
+}
+
+TEST(ToAsp, FaultFactsCanBeExcluded) {
+    ToAspOptions options;
+    options.include_fault_facts = false;
+    auto answer = solve_facts(small_model(), options);
+    EXPECT_FALSE(has(answer, "fault(s, no_reading)"));
+}
+
+TEST(ToAsp, RelationAndConnectedFacts) {
+    auto answer = solve_facts(small_model());
+    EXPECT_TRUE(has(answer, "relation(s, c, signal_flow)"));
+    EXPECT_TRUE(has(answer, "connected(s, c)"));
+    EXPECT_FALSE(has(answer, "connected(c, s)"));  // signal flow is directional
+}
+
+TEST(ToAsp, QuantityFlowEmitsBothDirections) {
+    auto m = small_model();
+    Component tank;
+    tank.id = "t";
+    tank.name = "Tank";
+    tank.type = ElementType::Equipment;
+    ASSERT_TRUE(m.add_component(tank).ok());
+    ASSERT_TRUE(m.add_relation({"t", "s", RelationType::QuantityFlow, "water"}).ok());
+    auto answer = solve_facts(m);
+    EXPECT_TRUE(has(answer, "connected(t, s)"));
+    EXPECT_TRUE(has(answer, "connected(s, t)"));
+}
+
+TEST(ToAsp, RefinedCompositeExcludedFromConnected) {
+    auto m = small_model();
+    RefinementSpec spec;
+    Component part;
+    part.id = "c1";
+    part.name = "part";
+    part.type = ElementType::Controller;
+    spec.parent = "c";
+    spec.parts = {part};
+    spec.entry = "c1";
+    spec.exit = "c1";
+    ASSERT_TRUE(m.refine(spec).ok());
+    auto answer = solve_facts(m);
+    EXPECT_TRUE(has(answer, "refined(c)"));
+    EXPECT_TRUE(has(answer, "part_of(c, c1)"));
+    EXPECT_TRUE(has(answer, "connected(s, c1)"));  // rewired to entry
+    EXPECT_FALSE(has(answer, "connected(s, c)"));
+}
+
+TEST(ToAsp, BehaviorsAreParsedAndIncluded) {
+    auto m = small_model();
+    ASSERT_TRUE(m.add_behavior("s", "calibrated(s).").ok());
+    auto answer = solve_facts(m);
+    EXPECT_TRUE(has(answer, "calibrated(s)"));
+}
+
+TEST(ToAsp, BadBehaviorFails) {
+    auto m = small_model();
+    ASSERT_TRUE(m.add_behavior("s", "this is not asp ((").ok());
+    EXPECT_FALSE(to_asp(m).ok());
+}
+
+TEST(ToAsp, BehaviorsCanBeExcluded) {
+    auto m = small_model();
+    ASSERT_TRUE(m.add_behavior("s", "calibrated(s).").ok());
+    ToAspOptions options;
+    options.include_behaviors = false;
+    auto answer = solve_facts(m, options);
+    EXPECT_FALSE(has(answer, "calibrated(s)"));
+}
+
+TEST(Aspects, MergeProducesValidatedModel) {
+    AspectModel architecture{Aspect::Architecture, small_model()};
+    AspectModel deployment{Aspect::Deployment, {}};
+    Component app;
+    app.id = "scada";
+    app.name = "SCADA";
+    app.type = ElementType::ApplicationComponent;
+    ASSERT_TRUE(deployment.model.add_component(app).ok());
+    Component node = small_model().component("c");
+    ASSERT_TRUE(deployment.model.add_component(node).ok());
+    ASSERT_TRUE(deployment.model.add_relation({"scada", "c", RelationType::Assignment, ""}).ok());
+
+    auto merged = merge_aspects({architecture, deployment});
+    ASSERT_TRUE(merged.ok()) << merged.error();
+    EXPECT_EQ(merged.value().component_count(), 3u);
+    EXPECT_TRUE(merged.value().has_component("scada"));
+}
+
+TEST(Aspects, ConflictReported) {
+    AspectModel a1{Aspect::Architecture, small_model()};
+    AspectModel a2{Aspect::Dynamics, {}};
+    Component conflicting;
+    conflicting.id = "s";
+    conflicting.name = "Different Sensor";
+    conflicting.type = ElementType::Node;  // type conflict
+    ASSERT_TRUE(a2.model.add_component(conflicting).ok());
+    auto merged = merge_aspects({a1, a2});
+    EXPECT_FALSE(merged.ok());
+    EXPECT_NE(merged.error().find("dynamics"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cprisk::model

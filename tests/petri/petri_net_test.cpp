@@ -1,0 +1,170 @@
+// Petri net baseline: token-game semantics, reachability, deadlocks, and a
+// water-tank token model cross-checked against the EPA verdicts.
+#include <gtest/gtest.h>
+
+#include "petri/petri_net.hpp"
+
+namespace cprisk::petri {
+namespace {
+
+/// The classic producer/consumer net with a 1-slot buffer.
+PetriNet producer_consumer() {
+    PetriNet net;
+    EXPECT_TRUE(net.add_place("ready_to_produce", 1).ok());
+    EXPECT_TRUE(net.add_place("buffer", 0).ok());
+    EXPECT_TRUE(net.add_place("ready_to_consume", 1).ok());
+    EXPECT_TRUE(net.add_transition("produce").ok());
+    EXPECT_TRUE(net.add_transition("consume").ok());
+    EXPECT_TRUE(net.add_input_arc("ready_to_produce", "produce").ok());
+    EXPECT_TRUE(net.add_output_arc("produce", "buffer").ok());
+    EXPECT_TRUE(net.add_output_arc("produce", "ready_to_produce").ok());
+    EXPECT_TRUE(net.add_input_arc("buffer", "consume").ok());
+    EXPECT_TRUE(net.add_input_arc("ready_to_consume", "consume").ok());
+    EXPECT_TRUE(net.add_output_arc("consume", "ready_to_consume").ok());
+    return net;
+}
+
+TEST(Petri, ConstructionValidation) {
+    PetriNet net;
+    ASSERT_TRUE(net.add_place("p", 1).ok());
+    EXPECT_FALSE(net.add_place("p").ok());           // duplicate
+    EXPECT_FALSE(net.add_place("q", -1).ok());       // negative tokens
+    ASSERT_TRUE(net.add_transition("t").ok());
+    EXPECT_FALSE(net.add_transition("p").ok());      // clashes with place
+    EXPECT_FALSE(net.add_input_arc("ghost", "t").ok());
+    EXPECT_FALSE(net.add_input_arc("p", "t", 0).ok());  // zero weight
+}
+
+TEST(Petri, EnablingAndFiring) {
+    PetriNet net;
+    ASSERT_TRUE(net.add_place("a", 2).ok());
+    ASSERT_TRUE(net.add_place("b", 0).ok());
+    ASSERT_TRUE(net.add_transition("move2").ok());
+    ASSERT_TRUE(net.add_input_arc("a", "move2", 2).ok());
+    ASSERT_TRUE(net.add_output_arc("move2", "b", 1).ok());
+
+    auto m0 = net.initial_marking();
+    ASSERT_TRUE(net.enabled(0, m0));
+    auto m1 = net.fire(0, m0);
+    ASSERT_TRUE(m1.ok());
+    EXPECT_EQ(net.tokens("a", m1.value()).value(), 0);
+    EXPECT_EQ(net.tokens("b", m1.value()).value(), 1);
+    EXPECT_FALSE(net.enabled(0, m1.value()));
+    EXPECT_FALSE(net.fire(0, m1.value()).ok());
+}
+
+TEST(Petri, ProducerConsumerUnboundedBufferCaps) {
+    auto net = producer_consumer();
+    // The buffer is unbounded: exploration hits the cap.
+    auto exploration = net.explore(50);
+    EXPECT_FALSE(exploration.exhausted);
+}
+
+TEST(Petri, BoundedBufferExhaustive) {
+    // Add a capacity-complement place to bound the buffer at 2.
+    auto net = producer_consumer();
+    ASSERT_TRUE(net.add_place("buffer_free", 2).ok());
+    ASSERT_TRUE(net.add_input_arc("buffer_free", "produce").ok());
+    ASSERT_TRUE(net.add_output_arc("consume", "buffer_free").ok());
+
+    auto exploration = net.explore();
+    EXPECT_TRUE(exploration.exhausted);
+    EXPECT_EQ(exploration.markings.size(), 3u);  // buffer = 0, 1, 2
+    EXPECT_TRUE(exploration.deadlocks.empty()); // always something enabled
+}
+
+TEST(Petri, DeadlockDetection) {
+    PetriNet net;
+    ASSERT_TRUE(net.add_place("token", 1).ok());
+    ASSERT_TRUE(net.add_transition("consume_once").ok());
+    ASSERT_TRUE(net.add_input_arc("token", "consume_once").ok());
+    auto exploration = net.explore();
+    ASSERT_TRUE(exploration.exhausted);
+    ASSERT_EQ(exploration.deadlocks.size(), 1u);
+    EXPECT_EQ(exploration.deadlocks[0][0], 0);  // empty marking is stuck
+}
+
+TEST(Petri, CanReach) {
+    auto net = producer_consumer();
+    auto buffer = net.place_index("buffer").value();
+    auto three = net.can_reach(
+        [&](const Marking& m) { return m[buffer] >= 3; }, 1000);
+    ASSERT_TRUE(three.ok());
+    EXPECT_TRUE(three.value());
+
+    // Negative counts are unreachable; with an unbounded net the search hits
+    // the cap and reports failure rather than a wrong "false".
+    auto negative = net.can_reach(
+        [&](const Marking& m) { return m[buffer] < 0; }, 200);
+    EXPECT_FALSE(negative.ok());
+}
+
+TEST(Petri, CanReachExhaustedNegative) {
+    PetriNet net;
+    ASSERT_TRUE(net.add_place("a", 1).ok());
+    ASSERT_TRUE(net.add_place("b", 0).ok());
+    ASSERT_TRUE(net.add_transition("t").ok());
+    ASSERT_TRUE(net.add_input_arc("a", "t").ok());
+    ASSERT_TRUE(net.add_output_arc("t", "b").ok());
+    auto unreachable = net.can_reach(
+        [&](const Marking& m) { return m[0] >= 2; });
+    ASSERT_TRUE(unreachable.ok());
+    EXPECT_FALSE(unreachable.value());
+}
+
+/// Water-tank token model: the level is a token position among four places;
+/// `fill` raises it while the feed runs, `drain` lowers it but requires the
+/// output valve to be operational (a token on out_valve_ok). The F2 fault
+/// removes that token.
+PetriNet watertank_net(bool f2_output_stuck_closed) {
+    PetriNet net;
+    EXPECT_TRUE(net.add_place("level_low", 0).ok());
+    EXPECT_TRUE(net.add_place("level_normal", 1).ok());
+    EXPECT_TRUE(net.add_place("level_high", 0).ok());
+    EXPECT_TRUE(net.add_place("level_overflow", 0).ok());
+    EXPECT_TRUE(net.add_place("out_valve_ok", f2_output_stuck_closed ? 0 : 1).ok());
+
+    EXPECT_TRUE(net.add_transition("fill_n_h").ok());
+    EXPECT_TRUE(net.add_input_arc("level_normal", "fill_n_h").ok());
+    EXPECT_TRUE(net.add_output_arc("fill_n_h", "level_high").ok());
+
+    // At high level the controller drains if the valve works...
+    EXPECT_TRUE(net.add_transition("drain_h_n").ok());
+    EXPECT_TRUE(net.add_input_arc("level_high", "drain_h_n").ok());
+    EXPECT_TRUE(net.add_input_arc("out_valve_ok", "drain_h_n").ok());
+    EXPECT_TRUE(net.add_output_arc("drain_h_n", "level_normal").ok());
+    EXPECT_TRUE(net.add_output_arc("drain_h_n", "out_valve_ok").ok());
+
+    // ...otherwise the feed pushes it over the top.
+    EXPECT_TRUE(net.add_transition("fill_h_o").ok());
+    EXPECT_TRUE(net.add_input_arc("level_high", "fill_h_o").ok());
+    EXPECT_TRUE(net.add_output_arc("fill_h_o", "level_overflow").ok());
+    return net;
+}
+
+TEST(Petri, WaterTankF2OverflowReachable) {
+    // Matches the EPA verdict for S4: with F2, overflow is reachable.
+    auto faulty = watertank_net(/*f2=*/true);
+    auto overflow_place = faulty.place_index("level_overflow").value();
+    auto reached = faulty.can_reach(
+        [&](const Marking& m) { return m[overflow_place] > 0; });
+    ASSERT_TRUE(reached.ok());
+    EXPECT_TRUE(reached.value());
+}
+
+TEST(Petri, WaterTankNominalOverflowStillPossibleNondeterministically) {
+    // The untimed token game is an over-approximation: without priorities,
+    // fill_h_o races drain_h_n even in the healthy net — exactly the kind of
+    // spurious abstract behaviour the paper's CEGAR refinement removes (the
+    // qualitative EPA encodes the controller's priority; the bare net
+    // cannot).
+    auto healthy = watertank_net(/*f2=*/false);
+    auto overflow_place = healthy.place_index("level_overflow").value();
+    auto reached = healthy.can_reach(
+        [&](const Marking& m) { return m[overflow_place] > 0; });
+    ASSERT_TRUE(reached.ok());
+    EXPECT_TRUE(reached.value());  // over-approximate — documents the gap
+}
+
+}  // namespace
+}  // namespace cprisk::petri

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "qualitative/abstraction.hpp"
+
+namespace cprisk::qual {
+namespace {
+
+TraceAbstractor make_abstractor() {
+    TraceAbstractor abstractor;
+    abstractor.register_space(QuantitySpace(
+        "level", {"empty", "low", "normal", "high", "overflow"}, {10, 30, 70, 95}));
+    abstractor.register_space(QuantitySpace("flow", {"closed", "open"}, {0.5}));
+    return abstractor;
+}
+
+TEST(Abstraction, SampleMapsRegisteredVariables) {
+    auto abstractor = make_abstractor();
+    TraceSample sample{0.0, {{"level", 50.0}, {"flow", 0.9}, {"ignored", 1.0}}};
+    auto state = abstractor.abstract_sample(sample);
+    EXPECT_EQ(state.get("level").value(), "normal");
+    EXPECT_EQ(state.get("flow").value(), "open");
+    EXPECT_FALSE(state.has("ignored"));
+}
+
+TEST(Abstraction, TraceRecordsLandmarkCrossings) {
+    auto abstractor = make_abstractor();
+    NumericTrace trace;
+    for (int i = 0; i <= 100; ++i) {
+        trace.push_back({static_cast<double>(i), {{"level", static_cast<double>(i)}}});
+    }
+    auto trajectory = abstractor.abstract_trace(trace);
+    // Rising ramp crosses 4 landmarks: 5 distinct states.
+    EXPECT_EQ(trajectory.size(), 5u);
+    EXPECT_TRUE(trajectory.ever("level", "empty"));
+    EXPECT_TRUE(trajectory.ever("level", "overflow"));
+    EXPECT_EQ(trajectory.first_time("level", "overflow").value(), 95.0);
+}
+
+TEST(Abstraction, ConstantTraceSingleState) {
+    auto abstractor = make_abstractor();
+    NumericTrace trace;
+    for (int i = 0; i < 50; ++i) {
+        trace.push_back({static_cast<double>(i), {{"level", 42.0}}});
+    }
+    auto trajectory = abstractor.abstract_trace(trace);
+    EXPECT_EQ(trajectory.size(), 1u);
+    EXPECT_TRUE(trajectory.always("level", "normal"));
+}
+
+TEST(Abstraction, SoundnessProperty) {
+    // Property: if a concrete trace ever exceeds the overflow landmark, the
+    // abstraction must report the overflow region (no hazard is lost).
+    auto abstractor = make_abstractor();
+    for (double amplitude : {20.0, 60.0, 96.0, 120.0}) {
+        NumericTrace trace;
+        for (int i = 0; i <= 200; ++i) {
+            const double t = i * 0.1;
+            trace.push_back({t, {{"level", amplitude * std::sin(t) }}});
+        }
+        bool concrete_overflow = false;
+        for (const auto& sample : trace) {
+            if (sample.values.at("level") >= 95.0) concrete_overflow = true;
+        }
+        auto trajectory = abstractor.abstract_trace(trace);
+        EXPECT_EQ(trajectory.ever("level", "overflow"), concrete_overflow)
+            << "amplitude " << amplitude;
+    }
+}
+
+TEST(Abstraction, SpaceLookup) {
+    auto abstractor = make_abstractor();
+    EXPECT_TRUE(abstractor.has_space("level"));
+    EXPECT_FALSE(abstractor.has_space("pressure"));
+    EXPECT_EQ(abstractor.space("level").variable(), "level");
+    EXPECT_THROW(abstractor.space("pressure"), Error);
+}
+
+TEST(Abstraction, ReplacingSpace) {
+    auto abstractor = make_abstractor();
+    abstractor.register_space(QuantitySpace("level", {"lo", "hi"}, {50}));
+    TraceSample sample{0.0, {{"level", 80.0}}};
+    EXPECT_EQ(abstractor.abstract_sample(sample).get("level").value(), "hi");
+}
+
+}  // namespace
+}  // namespace cprisk::qual

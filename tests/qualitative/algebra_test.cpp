@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "qualitative/algebra.hpp"
+
+namespace cprisk::qual {
+namespace {
+
+TEST(LevelAlgebra, SaturatingAdd) {
+    EXPECT_EQ(saturating_add(Level::Low, Level::Low), Level::Medium);  // 1+1=2
+    EXPECT_EQ(saturating_add(Level::High, Level::High), Level::VeryHigh);  // saturates
+    EXPECT_EQ(saturating_add(Level::VeryLow, Level::Medium), Level::Medium);
+}
+
+TEST(LevelAlgebra, SaturatingSub) {
+    EXPECT_EQ(saturating_sub(Level::High, Level::Medium), Level::Low);
+    EXPECT_EQ(saturating_sub(Level::Low, Level::VeryHigh), Level::VeryLow);  // floor
+}
+
+TEST(LevelAlgebra, MidpointBiasedUp) {
+    EXPECT_EQ(midpoint_up(Level::VeryLow, Level::VeryHigh), Level::Medium);
+    EXPECT_EQ(midpoint_up(Level::Low, Level::Medium), Level::Medium);  // tie rounds up
+    EXPECT_EQ(midpoint_up(Level::High, Level::High), Level::High);
+}
+
+TEST(LevelRange, Basics) {
+    LevelRange exact(Level::Medium);
+    EXPECT_TRUE(exact.is_exact());
+    EXPECT_EQ(exact.width(), 0);
+    EXPECT_TRUE(exact.contains(Level::Medium));
+    EXPECT_FALSE(exact.contains(Level::High));
+
+    LevelRange range(Level::Low, Level::High);
+    EXPECT_FALSE(range.is_exact());
+    EXPECT_EQ(range.width(), 2);
+    EXPECT_TRUE(range.contains(Level::Medium));
+    EXPECT_FALSE(range.contains(Level::VeryHigh));
+}
+
+TEST(LevelRange, NormalizesOrder) {
+    LevelRange r(Level::High, Level::Low);
+    EXPECT_EQ(r.lo, Level::Low);
+    EXPECT_EQ(r.hi, Level::High);
+}
+
+TEST(LevelRange, Printing) {
+    std::ostringstream os;
+    os << LevelRange(Level::Low, Level::VeryHigh);
+    EXPECT_EQ(os.str(), "[L..VH]");
+    std::ostringstream os2;
+    os2 << LevelRange(Level::Medium);
+    EXPECT_EQ(os2.str(), "M");
+}
+
+TEST(SignAlgebra, SignOf) {
+    EXPECT_EQ(sign_of(3.5), Sign::Positive);
+    EXPECT_EQ(sign_of(-1e-9), Sign::Negative);
+    EXPECT_EQ(sign_of(0.0), Sign::Zero);
+}
+
+TEST(SignAlgebra, Addition) {
+    EXPECT_EQ(qadd(Sign::Positive, Sign::Positive), Sign::Positive);
+    EXPECT_EQ(qadd(Sign::Negative, Sign::Negative), Sign::Negative);
+    EXPECT_EQ(qadd(Sign::Positive, Sign::Negative), Sign::Ambiguous);
+    EXPECT_EQ(qadd(Sign::Zero, Sign::Negative), Sign::Negative);
+    EXPECT_EQ(qadd(Sign::Ambiguous, Sign::Zero), Sign::Ambiguous);
+}
+
+TEST(SignAlgebra, Multiplication) {
+    EXPECT_EQ(qmul(Sign::Positive, Sign::Negative), Sign::Negative);
+    EXPECT_EQ(qmul(Sign::Negative, Sign::Negative), Sign::Positive);
+    EXPECT_EQ(qmul(Sign::Zero, Sign::Ambiguous), Sign::Zero);
+    EXPECT_EQ(qmul(Sign::Positive, Sign::Ambiguous), Sign::Ambiguous);
+}
+
+TEST(SignAlgebra, Negation) {
+    EXPECT_EQ(qneg(Sign::Positive), Sign::Negative);
+    EXPECT_EQ(qneg(Sign::Negative), Sign::Positive);
+    EXPECT_EQ(qneg(Sign::Zero), Sign::Zero);
+    EXPECT_EQ(qneg(Sign::Ambiguous), Sign::Ambiguous);
+}
+
+TEST(SignAlgebra, SoundnessAgainstConcreteValues) {
+    // Property: for sampled concrete values, the qualitative operators
+    // over-approximate the concrete result sign.
+    const double samples[] = {-2.0, -0.5, 0.0, 0.5, 2.0};
+    for (double a : samples) {
+        for (double b : samples) {
+            const Sign qa = sign_of(a);
+            const Sign qb = sign_of(b);
+            EXPECT_TRUE(refines(sign_of(a + b), qadd(qa, qb)))
+                << a << " + " << b;
+            EXPECT_TRUE(refines(sign_of(a * b), qmul(qa, qb)))
+                << a << " * " << b;
+        }
+    }
+}
+
+TEST(SignAlgebra, Refinement) {
+    EXPECT_TRUE(refines(Sign::Positive, Sign::Ambiguous));
+    EXPECT_TRUE(refines(Sign::Positive, Sign::Positive));
+    EXPECT_FALSE(refines(Sign::Positive, Sign::Negative));
+    EXPECT_FALSE(refines(Sign::Ambiguous, Sign::Positive));
+}
+
+}  // namespace
+}  // namespace cprisk::qual

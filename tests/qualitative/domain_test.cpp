@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "qualitative/domain.hpp"
+
+namespace cprisk::qual {
+namespace {
+
+QuantitySpace water_level() {
+    // empty | low | normal | high | overflow, landmarks at 10/30/70/95.
+    return QuantitySpace("water_level", {"empty", "low", "normal", "high", "overflow"},
+                         {10.0, 30.0, 70.0, 95.0});
+}
+
+TEST(QuantitySpace, Classify) {
+    auto space = water_level();
+    EXPECT_EQ(space.classify_name(0.0), "empty");
+    EXPECT_EQ(space.classify_name(9.99), "empty");
+    EXPECT_EQ(space.classify_name(10.0), "low");  // landmark belongs upward
+    EXPECT_EQ(space.classify_name(50.0), "normal");
+    EXPECT_EQ(space.classify_name(80.0), "high");
+    EXPECT_EQ(space.classify_name(95.0), "overflow");
+    EXPECT_EQ(space.classify_name(500.0), "overflow");
+}
+
+TEST(QuantitySpace, RegionIndexLookup) {
+    auto space = water_level();
+    EXPECT_EQ(space.region_index("normal").value(), 2);
+    EXPECT_FALSE(space.region_index("vacuum").ok());
+}
+
+TEST(QuantitySpace, RegionCountMatches) {
+    EXPECT_EQ(water_level().region_count(), 5u);
+}
+
+TEST(QuantitySpace, InvalidConstruction) {
+    EXPECT_THROW(QuantitySpace("x", {"a", "b"}, {1.0, 2.0}), Error);  // arity mismatch
+    EXPECT_THROW(QuantitySpace("x", {"a", "b", "c"}, {2.0, 1.0}), Error);  // not increasing
+    EXPECT_THROW(QuantitySpace("x", {"a", "b", "c"}, {1.0, 1.0}), Error);  // not strict
+}
+
+TEST(QuantitySpace, FiveLevelFactory) {
+    auto space = QuantitySpace::five_level("load", {10, 40, 70, 90});
+    EXPECT_EQ(space.classify_name(5), "very_low");
+    EXPECT_EQ(space.classify_name(95), "very_high");
+    EXPECT_EQ(space.to_level(0), Level::VeryLow);
+    EXPECT_EQ(space.to_level(4), Level::VeryHigh);
+    EXPECT_EQ(space.to_level(2), Level::Medium);
+}
+
+TEST(QuantitySpace, ToLevelProportional) {
+    // Three regions map onto the five-point scale: 0 -> VL, 1 -> M, 2 -> VH.
+    QuantitySpace space("x", {"lo", "mid", "hi"}, {0.0, 1.0});
+    EXPECT_EQ(space.to_level(0), Level::VeryLow);
+    EXPECT_EQ(space.to_level(1), Level::Medium);
+    EXPECT_EQ(space.to_level(2), Level::VeryHigh);
+}
+
+TEST(QuantitySpace, RepresentativeValuesClassifyBack) {
+    auto space = water_level();
+    for (int i = 0; i < static_cast<int>(space.region_count()); ++i) {
+        EXPECT_EQ(space.classify(space.representative(i)), i) << "region " << i;
+    }
+}
+
+TEST(OrderedDomain, Basics) {
+    OrderedDomain d("health", {"ok", "degraded", "failed"});
+    EXPECT_EQ(d.size(), 3u);
+    EXPECT_EQ(d.value(1), "degraded");
+    EXPECT_EQ(d.index_of("failed").value(), 2);
+    EXPECT_FALSE(d.index_of("unknown").ok());
+    EXPECT_THROW((void)d.value(5), Error);
+}
+
+TEST(OrderedDomain, EmptyThrows) {
+    EXPECT_THROW(OrderedDomain("x", {}), Error);
+}
+
+}  // namespace
+}  // namespace cprisk::qual

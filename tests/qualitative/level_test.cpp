@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "qualitative/level.hpp"
+
+namespace cprisk::qual {
+namespace {
+
+TEST(Level, OrderedScale) {
+    EXPECT_LT(Level::VeryLow, Level::Low);
+    EXPECT_LT(Level::Low, Level::Medium);
+    EXPECT_LT(Level::Medium, Level::High);
+    EXPECT_LT(Level::High, Level::VeryHigh);
+}
+
+TEST(Level, IndexRoundTrip) {
+    for (Level l : kAllLevels) {
+        EXPECT_EQ(level_from_index(index_of(l)), l);
+    }
+}
+
+TEST(Level, IndexSaturation) {
+    EXPECT_EQ(level_from_index(-3), Level::VeryLow);
+    EXPECT_EQ(level_from_index(99), Level::VeryHigh);
+}
+
+TEST(Level, Shift) {
+    EXPECT_EQ(shift(Level::Low, 2), Level::High);
+    EXPECT_EQ(shift(Level::Low, -2), Level::VeryLow);  // saturates
+    EXPECT_EQ(shift(Level::VeryHigh, 1), Level::VeryHigh);
+}
+
+TEST(Level, MinMax) {
+    EXPECT_EQ(qmax(Level::Low, Level::High), Level::High);
+    EXPECT_EQ(qmin(Level::Low, Level::High), Level::Low);
+    EXPECT_EQ(qmax(Level::Medium, Level::Medium), Level::Medium);
+}
+
+TEST(Level, ShortStrings) {
+    EXPECT_EQ(to_short_string(Level::VeryLow), "VL");
+    EXPECT_EQ(to_short_string(Level::Low), "L");
+    EXPECT_EQ(to_short_string(Level::Medium), "M");
+    EXPECT_EQ(to_short_string(Level::High), "H");
+    EXPECT_EQ(to_short_string(Level::VeryHigh), "VH");
+}
+
+TEST(Level, ParseShortAndLong) {
+    EXPECT_EQ(parse_level("VL").value(), Level::VeryLow);
+    EXPECT_EQ(parse_level("vh").value(), Level::VeryHigh);
+    EXPECT_EQ(parse_level("very low").value(), Level::VeryLow);
+    EXPECT_EQ(parse_level("Medium").value(), Level::Medium);
+    EXPECT_EQ(parse_level(" H ").value(), Level::High);
+    EXPECT_FALSE(parse_level("enormous").ok());
+}
+
+TEST(Level, ParseRoundTrip) {
+    for (Level l : kAllLevels) {
+        EXPECT_EQ(parse_level(to_short_string(l)).value(), l);
+        EXPECT_EQ(parse_level(to_long_string(l)).value(), l);
+    }
+}
+
+TEST(Level, StreamOutput) {
+    std::ostringstream os;
+    os << Level::High;
+    EXPECT_EQ(os.str(), "H");
+}
+
+}  // namespace
+}  // namespace cprisk::qual

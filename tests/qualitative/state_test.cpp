@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "qualitative/state.hpp"
+
+namespace cprisk::qual {
+namespace {
+
+TEST(QualitativeState, SetGet) {
+    QualitativeState s;
+    s.set("level", "normal");
+    EXPECT_TRUE(s.has("level"));
+    EXPECT_EQ(s.get("level").value(), "normal");
+    EXPECT_FALSE(s.has("flow"));
+    EXPECT_FALSE(s.get("flow").ok());
+    EXPECT_EQ(s.get_or("flow", "none"), "none");
+}
+
+TEST(QualitativeState, Overwrite) {
+    QualitativeState s;
+    s.set("level", "normal");
+    s.set("level", "high");
+    EXPECT_EQ(s.get("level").value(), "high");
+    EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(QualitativeState, EqualityAndPrinting) {
+    QualitativeState a;
+    a.set("x", "1");
+    a.set("y", "2");
+    QualitativeState b;
+    b.set("y", "2");
+    b.set("x", "1");
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.to_string(), "x=1, y=2");
+}
+
+TEST(Trajectory, MergesConsecutiveDuplicates) {
+    QualitativeTrajectory traj;
+    QualitativeState s1;
+    s1.set("level", "normal");
+    QualitativeState s2;
+    s2.set("level", "high");
+
+    traj.append(0.0, s1);
+    traj.append(1.0, s1);  // same -> merged
+    traj.append(2.0, s2);
+    traj.append(3.0, s2);  // same -> merged
+    EXPECT_EQ(traj.size(), 2u);
+    EXPECT_EQ(traj.step(1).time, 2.0);
+}
+
+TEST(Trajectory, TimeMustBeMonotone) {
+    QualitativeTrajectory traj;
+    QualitativeState s1;
+    s1.set("x", "a");
+    QualitativeState s2;
+    s2.set("x", "b");
+    traj.append(1.0, s1);
+    EXPECT_THROW(traj.append(0.5, s2), Error);
+}
+
+TEST(Trajectory, EverAlwaysFirstTime) {
+    QualitativeTrajectory traj;
+    QualitativeState normal;
+    normal.set("level", "normal");
+    QualitativeState overflow;
+    overflow.set("level", "overflow");
+    traj.append(0.0, normal);
+    traj.append(5.0, overflow);
+
+    EXPECT_TRUE(traj.ever("level", "overflow"));
+    EXPECT_FALSE(traj.ever("level", "empty"));
+    EXPECT_FALSE(traj.always("level", "normal"));
+    EXPECT_TRUE(traj.always("pressure", "whatever"));  // vacuous: never assigned
+    EXPECT_EQ(traj.first_time("level", "overflow").value(), 5.0);
+    EXPECT_FALSE(traj.first_time("level", "empty").ok());
+}
+
+TEST(Trajectory, OutOfRangeStepThrows) {
+    QualitativeTrajectory traj;
+    EXPECT_THROW((void)traj.step(0), Error);
+}
+
+}  // namespace
+}  // namespace cprisk::qual

@@ -1,0 +1,74 @@
+// IEC 61508 hazard matrix: class assignments and scale bridging.
+#include <gtest/gtest.h>
+
+#include "risk/iec61508.hpp"
+
+namespace cprisk::risk {
+namespace {
+
+TEST(Iec61508, ExtremeCells) {
+    EXPECT_EQ(iec61508_class(Likelihood::Frequent, Consequence::Catastrophic), RiskClass::I);
+    EXPECT_EQ(iec61508_class(Likelihood::Incredible, Consequence::Catastrophic), RiskClass::IV);
+    EXPECT_EQ(iec61508_class(Likelihood::Frequent, Consequence::Negligible), RiskClass::II);
+    EXPECT_EQ(iec61508_class(Likelihood::Incredible, Consequence::Negligible), RiskClass::IV);
+}
+
+TEST(Iec61508, RepresentativeCells) {
+    EXPECT_EQ(iec61508_class(Likelihood::Occasional, Consequence::Critical), RiskClass::II);
+    EXPECT_EQ(iec61508_class(Likelihood::Remote, Consequence::Marginal), RiskClass::III);
+    EXPECT_EQ(iec61508_class(Likelihood::Probable, Consequence::Catastrophic), RiskClass::I);
+}
+
+TEST(Iec61508, MonotoneInBothAxes) {
+    // Higher frequency or higher severity can only worsen (lower-numbered)
+    // the class.
+    for (int l = 0; l <= static_cast<int>(Likelihood::Frequent); ++l) {
+        for (int c = 0; c <= static_cast<int>(Consequence::Catastrophic); ++c) {
+            const auto here =
+                iec61508_class(static_cast<Likelihood>(l), static_cast<Consequence>(c));
+            if (l + 1 <= static_cast<int>(Likelihood::Frequent)) {
+                EXPECT_LE(iec61508_class(static_cast<Likelihood>(l + 1),
+                                         static_cast<Consequence>(c)),
+                          here);
+            }
+            if (c + 1 <= static_cast<int>(Consequence::Catastrophic)) {
+                EXPECT_LE(iec61508_class(static_cast<Likelihood>(l),
+                                         static_cast<Consequence>(c + 1)),
+                          here);
+            }
+        }
+    }
+}
+
+TEST(Iec61508, TableRendering) {
+    auto table = iec61508_matrix_table();
+    EXPECT_EQ(table.rows(), 6u);
+    EXPECT_EQ(table.columns(), 5u);
+    EXPECT_EQ(table.row(0)[0], "frequent");
+    EXPECT_EQ(table.row(5)[0], "incredible");
+}
+
+TEST(Iec61508, Parsing) {
+    EXPECT_EQ(parse_likelihood("Occasional").value(), Likelihood::Occasional);
+    EXPECT_EQ(parse_likelihood(" remote ").value(), Likelihood::Remote);
+    EXPECT_FALSE(parse_likelihood("sometimes").ok());
+    EXPECT_EQ(parse_consequence("catastrophic").value(), Consequence::Catastrophic);
+    EXPECT_FALSE(parse_consequence("bad").ok());
+}
+
+TEST(Iec61508, LevelBridging) {
+    EXPECT_EQ(likelihood_from_level(qual::Level::VeryHigh), Likelihood::Frequent);
+    EXPECT_EQ(likelihood_from_level(qual::Level::VeryLow), Likelihood::Improbable);
+    EXPECT_EQ(consequence_from_level(qual::Level::VeryHigh), Consequence::Catastrophic);
+    EXPECT_EQ(consequence_from_level(qual::Level::Low), Consequence::Negligible);
+    // Bridging preserves order.
+    for (int i = 0; i + 1 < static_cast<int>(qual::kLevelCount); ++i) {
+        EXPECT_LE(likelihood_from_level(qual::level_from_index(i)),
+                  likelihood_from_level(qual::level_from_index(i + 1)));
+        EXPECT_LE(consequence_from_level(qual::level_from_index(i)),
+                  consequence_from_level(qual::level_from_index(i + 1)));
+    }
+}
+
+}  // namespace
+}  // namespace cprisk::risk

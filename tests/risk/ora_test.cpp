@@ -1,0 +1,156 @@
+// O-RA risk calculus: Table I cell-for-cell, matrix properties, the Fig. 2
+// derivation chain, and the paper's worked examples.
+#include <gtest/gtest.h>
+
+#include "risk/ora.hpp"
+
+namespace cprisk::risk {
+namespace {
+
+using qual::Level;
+
+TEST(OraMatrix, TableICellForCell) {
+    // The paper's Table I, row by row (LM descending as printed).
+    struct Row {
+        Level lm;
+        Level cells[5];  // LEF = VL, L, M, H, VH
+    };
+    const Row rows[] = {
+        {Level::VeryHigh, {Level::Medium, Level::High, Level::VeryHigh, Level::VeryHigh,
+                           Level::VeryHigh}},
+        {Level::High, {Level::Low, Level::Medium, Level::High, Level::VeryHigh, Level::VeryHigh}},
+        {Level::Medium, {Level::VeryLow, Level::Low, Level::Medium, Level::High,
+                         Level::VeryHigh}},
+        {Level::Low, {Level::VeryLow, Level::VeryLow, Level::Low, Level::Medium, Level::High}},
+        {Level::VeryLow, {Level::VeryLow, Level::VeryLow, Level::VeryLow, Level::Low,
+                          Level::Medium}},
+    };
+    for (const Row& row : rows) {
+        for (int lef = 0; lef < 5; ++lef) {
+            EXPECT_EQ(ora_risk(row.lm, qual::level_from_index(lef)), row.cells[lef])
+                << "LM=" << qual::to_short_string(row.lm) << " LEF=" << lef;
+        }
+    }
+}
+
+TEST(OraMatrix, PaperExampleMediumLmLowLef) {
+    // "if Loss Magnitude (LM) is medium (M) and Loss Event Frequency (LEF)
+    // is low (L), the calculated risk will fall into the low (L) category."
+    EXPECT_EQ(ora_risk(Level::Medium, Level::Low), Level::Low);
+}
+
+TEST(OraMatrix, IsMonotone) {
+    EXPECT_TRUE(ora_risk_matrix().is_monotone());
+}
+
+TEST(OraMatrix, Symmetric) {
+    // Table I is symmetric in LM and LEF.
+    for (Level a : qual::kAllLevels) {
+        for (Level b : qual::kAllLevels) {
+            EXPECT_EQ(ora_risk(a, b), ora_risk(b, a));
+        }
+    }
+}
+
+TEST(OraMatrix, RenderLayout) {
+    auto table = ora_risk_matrix().render();
+    EXPECT_EQ(table.rows(), 5u);
+    EXPECT_EQ(table.columns(), 6u);
+    // Printed top row is LM = VH.
+    EXPECT_EQ(table.row(0)[0], "VH");
+    EXPECT_EQ(table.row(0)[1], "M");  // (VH, VL) = M
+    EXPECT_EQ(table.row(4)[0], "VL");
+}
+
+TEST(Calculus, TefBothFactorsNeeded) {
+    auto calculus = RiskCalculus::standard();
+    EXPECT_EQ(calculus.tef(Level::VeryHigh, Level::VeryHigh), Level::VeryHigh);
+    EXPECT_EQ(calculus.tef(Level::VeryLow, Level::VeryHigh), Level::VeryLow);
+    EXPECT_EQ(calculus.tef(Level::Medium, Level::Medium), Level::VeryLow);
+    EXPECT_EQ(calculus.tef(Level::High, Level::High), Level::Medium);
+}
+
+TEST(Calculus, VulnerabilityMargin) {
+    auto calculus = RiskCalculus::standard();
+    // Equal capability and resistance -> Medium.
+    EXPECT_EQ(calculus.vulnerability(Level::Medium, Level::Medium), Level::Medium);
+    // Strong attacker vs weak defence -> VH.
+    EXPECT_EQ(calculus.vulnerability(Level::VeryHigh, Level::Low), Level::VeryHigh);
+    // Weak attacker vs strong defence -> VL.
+    EXPECT_EQ(calculus.vulnerability(Level::Low, Level::VeryHigh), Level::VeryLow);
+}
+
+TEST(Calculus, LefNeverExceedsTef) {
+    auto calculus = RiskCalculus::standard();
+    for (Level tef : qual::kAllLevels) {
+        for (Level vuln : qual::kAllLevels) {
+            EXPECT_LE(calculus.lef(tef, vuln), tef);
+        }
+    }
+}
+
+TEST(Calculus, LmConservativeMax) {
+    auto calculus = RiskCalculus::standard();
+    EXPECT_EQ(calculus.lm(Level::Low, Level::High), Level::High);
+    EXPECT_EQ(calculus.lm(Level::Medium, Level::VeryLow), Level::Medium);
+}
+
+TEST(Calculus, FullDerivationRecordsExplanation) {
+    auto calculus = RiskCalculus::standard();
+    RiskInputs inputs;
+    inputs.contact_frequency = Level::High;
+    inputs.probability_of_action = Level::VeryHigh;
+    inputs.threat_capability = Level::High;
+    inputs.resistance_strength = Level::Low;
+    inputs.primary_loss = Level::VeryHigh;
+    inputs.secondary_loss = Level::Medium;
+
+    auto d = calculus.derive(inputs);
+    EXPECT_EQ(d.threat_event_frequency, Level::High);  // 3 + 4 - 4
+    EXPECT_EQ(d.vulnerability, Level::VeryHigh);       // 2 + 3 - 1
+    EXPECT_EQ(d.loss_magnitude, Level::VeryHigh);
+    EXPECT_EQ(d.risk, ora_risk(d.loss_magnitude, d.loss_event_frequency));
+    EXPECT_GE(d.explanation.size(), 5u);  // each step explained
+}
+
+TEST(Calculus, IntermediateOverrides) {
+    auto calculus = RiskCalculus::standard();
+    RiskInputs inputs;
+    inputs.loss_event_frequency = Level::Low;
+    inputs.loss_magnitude = Level::Medium;
+    auto d = calculus.derive(inputs);
+    EXPECT_EQ(d.risk, Level::Low);  // the paper's example cell
+}
+
+TEST(Calculus, MissingLeavesDefaultToMedium) {
+    auto calculus = RiskCalculus::standard();
+    auto d = calculus.derive(RiskInputs{});
+    EXPECT_EQ(d.loss_magnitude, Level::Medium);
+    // And the defaulting is explained.
+    bool mentioned = false;
+    for (const auto& line : d.explanation) {
+        if (line.find("defaulting") != std::string::npos) mentioned = true;
+    }
+    EXPECT_TRUE(mentioned);
+}
+
+TEST(Calculus, DerivationMonotoneInThreatCapability) {
+    // Property: increasing only TCap never lowers the final risk.
+    auto calculus = RiskCalculus::standard();
+    for (Level base : qual::kAllLevels) {
+        RiskInputs inputs;
+        inputs.contact_frequency = Level::High;
+        inputs.probability_of_action = Level::High;
+        inputs.resistance_strength = Level::Medium;
+        inputs.primary_loss = Level::High;
+        inputs.secondary_loss = Level::Low;
+        inputs.threat_capability = base;
+        const Level risk_at_base = calculus.derive(inputs).risk;
+        inputs.threat_capability = qual::shift(base, 1);
+        EXPECT_GE(calculus.derive(inputs).risk, risk_at_base)
+            << "base TCap " << qual::to_short_string(base);
+    }
+}
+
+}  // namespace
+}  // namespace cprisk::risk

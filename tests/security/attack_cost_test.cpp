@@ -1,0 +1,89 @@
+// Attack-cost metrics (§IV-D): path costs and the "most efficient attack"
+// query.
+#include <gtest/gtest.h>
+
+#include "core/watertank.hpp"
+#include "security/attack_graph.hpp"
+#include "security/threat_actor.hpp"
+
+namespace cprisk::security {
+namespace {
+
+ThreatActor actor_by_id(const std::string& id) {
+    for (const ThreatActor& actor : standard_threat_actors()) {
+        if (actor.id == id) return actor;
+    }
+    ADD_FAILURE() << "unknown actor " << id;
+    return {};
+}
+
+TEST(AttackCost, TechniquesCarryCosts) {
+    auto matrix = AttackMatrix::standard_ics();
+    for (const Technique& technique : matrix.techniques()) {
+        EXPECT_GT(technique.attack_cost, 0) << technique.id;
+    }
+    // Sophisticated OT techniques cost more than commodity phishing.
+    ASSERT_NE(matrix.find_technique("T-MOD-LOGIC"), nullptr);
+    ASSERT_NE(matrix.find_technique("T-SPEARPHISH"), nullptr);
+    EXPECT_GT(matrix.find_technique("T-MOD-LOGIC")->attack_cost,
+              matrix.find_technique("T-SPEARPHISH")->attack_cost);
+}
+
+TEST(AttackCost, PathCostSumsTechniques) {
+    auto matrix = AttackMatrix::standard_ics();
+    auto built = core::WaterTankCaseStudy::build();
+    ASSERT_TRUE(built.ok());
+    auto graph = AttackGraph::build(built.value().system, matrix, actor_by_id("A-APT"));
+
+    AttackPath path;
+    path.steps = {{"workstation", "T-USER-EXec", "infected"},
+                  {"out_valve_ctrl", "T-MOD-PARAM", "wrong_command"}};
+    EXPECT_EQ(graph.path_cost(path), 1 + 5);
+}
+
+TEST(AttackCost, CheapestPathIsMinimal) {
+    auto matrix = AttackMatrix::standard_ics();
+    auto built = core::WaterTankCaseStudy::build();
+    ASSERT_TRUE(built.ok());
+    auto graph = AttackGraph::build(built.value().system, matrix, actor_by_id("A-APT"));
+
+    const auto target = core::watertank_ids::kOutValveCtrl;
+    auto cheapest = graph.cheapest_path_to(target);
+    ASSERT_TRUE(cheapest.ok()) << cheapest.error();
+    const long long best = graph.path_cost(cheapest.value());
+    for (const AttackPath& path : graph.paths_to(target)) {
+        EXPECT_LE(best, graph.path_cost(path)) << path.to_string();
+    }
+    EXPECT_GT(best, 0);
+}
+
+TEST(AttackCost, UnreachableTargetFails) {
+    auto matrix = AttackMatrix::standard_ics();
+    auto built = core::WaterTankCaseStudy::build();
+    ASSERT_TRUE(built.ok());
+    // The opportunistic actor has no entry point into the base model.
+    auto graph = AttackGraph::build(built.value().system, matrix, actor_by_id("A-SCRIPT"));
+    EXPECT_FALSE(graph.cheapest_path_to(core::watertank_ids::kTank).ok());
+}
+
+TEST(AttackCost, CapableActorsPayLessOrEqual) {
+    // Property: a more capable actor has more techniques available, so the
+    // cheapest attack can only get cheaper (or unlock entirely).
+    auto matrix = AttackMatrix::standard_ics();
+    auto built = core::WaterTankCaseStudy::build();
+    ASSERT_TRUE(built.ok());
+    const auto target = core::watertank_ids::kOutValveCtrl;
+
+    auto insider = AttackGraph::build(built.value().system, matrix, actor_by_id("A-INSIDER"));
+    auto apt = AttackGraph::build(built.value().system, matrix, actor_by_id("A-APT"));
+    auto insider_best = insider.cheapest_path_to(target);
+    auto apt_best = apt.cheapest_path_to(target);
+    ASSERT_TRUE(apt_best.ok());
+    if (insider_best.ok()) {
+        EXPECT_LE(apt.path_cost(apt_best.value()),
+                  insider.path_cost(insider_best.value()));
+    }
+}
+
+}  // namespace
+}  // namespace cprisk::security

@@ -1,0 +1,233 @@
+// Attack matrix, threat actors, attack graph, scenario space.
+#include <gtest/gtest.h>
+
+#include "core/watertank.hpp"
+#include "security/attack_graph.hpp"
+#include "security/scenario.hpp"
+#include "security/threat_actor.hpp"
+
+namespace cprisk::security {
+namespace {
+
+namespace ids = core::watertank_ids;
+
+const model::SystemModel& watertank() {
+    static const model::SystemModel model = [] {
+        auto built = core::WaterTankCaseStudy::build();
+        EXPECT_TRUE(built.ok()) << built.error();
+        return built.value().system;
+    }();
+    return model;
+}
+
+ThreatActor actor_by_id(const std::string& id) {
+    for (const ThreatActor& actor : standard_threat_actors()) {
+        if (actor.id == id) return actor;
+    }
+    ADD_FAILURE() << "unknown actor " << id;
+    return {};
+}
+
+TEST(AttackMatrix, StandardContents) {
+    auto matrix = AttackMatrix::standard_ics();
+    EXPECT_NE(matrix.find_mitigation("M-TRAIN"), nullptr);
+    EXPECT_NE(matrix.find_mitigation("M-ENDPOINT"), nullptr);
+    EXPECT_NE(matrix.find_technique("T-REMOTE-EXPLOIT"), nullptr);
+    EXPECT_GE(matrix.techniques().size(), 8u);
+    EXPECT_GE(matrix.mitigations().size(), 6u);
+}
+
+TEST(AttackMatrix, EveryTechniqueHasKnownMitigations) {
+    auto matrix = AttackMatrix::standard_ics();
+    for (const Technique& technique : matrix.techniques()) {
+        EXPECT_FALSE(technique.mitigated_by.empty()) << technique.id;
+        for (const std::string& m : technique.mitigated_by) {
+            EXPECT_NE(matrix.find_mitigation(m), nullptr)
+                << technique.id << " references " << m;
+        }
+    }
+}
+
+TEST(AttackMatrix, TechniquesByTactic) {
+    auto matrix = AttackMatrix::standard_ics();
+    auto initial = matrix.techniques_in(Tactic::InitialAccess);
+    EXPECT_GE(initial.size(), 2u);
+    for (const Technique* t : initial) EXPECT_EQ(t->tactic, Tactic::InitialAccess);
+}
+
+TEST(ThreatActors, CapabilityOrdering) {
+    auto apt = actor_by_id("A-APT");
+    auto script = actor_by_id("A-SCRIPT");
+    EXPECT_GT(apt.capability, script.capability);
+    EXPECT_TRUE(apt.capable_of(qual::Level::VeryHigh));
+    EXPECT_FALSE(script.capable_of(qual::Level::High));
+}
+
+TEST(ThreatActors, Reachability) {
+    auto script = actor_by_id("A-SCRIPT");
+    EXPECT_TRUE(script.can_reach(model::Exposure::Public));
+    EXPECT_FALSE(script.can_reach(model::Exposure::Internal));
+    auto insider = actor_by_id("A-INSIDER");
+    EXPECT_TRUE(insider.can_reach(model::Exposure::Internal));
+}
+
+TEST(AttackGraph, EntryPointsRespectExposure) {
+    auto matrix = AttackMatrix::standard_ics();
+    auto graph = AttackGraph::build(watertank(), matrix, actor_by_id("A-SCRIPT"));
+    // Nothing in the base water-tank model is Public, so the opportunistic
+    // actor has no entry.
+    EXPECT_TRUE(graph.entry_points().empty());
+
+    auto insider_graph = AttackGraph::build(watertank(), matrix, actor_by_id("A-INSIDER"));
+    EXPECT_FALSE(insider_graph.entry_points().empty());
+}
+
+TEST(AttackGraph, AptReachesThePhysicalProcess) {
+    auto matrix = AttackMatrix::standard_ics();
+    auto graph = AttackGraph::build(watertank(), matrix, actor_by_id("A-APT"));
+    auto compromisable = graph.compromisable();
+    EXPECT_FALSE(compromisable.empty());
+    // The APT can chain from the workstation into the valve controllers.
+    bool reaches_ctrl = false;
+    for (const auto& id : compromisable) {
+        if (id == ids::kInValveCtrl || id == ids::kOutValveCtrl) reaches_ctrl = true;
+    }
+    EXPECT_TRUE(reaches_ctrl);
+}
+
+TEST(AttackGraph, PathsThroughRefinedWorkstation) {
+    auto built = core::WaterTankCaseStudy::build();
+    ASSERT_TRUE(built.ok());
+    auto refined = built.value().system;
+    ASSERT_TRUE(refined.refine(core::WaterTankCaseStudy::workstation_refinement()).ok());
+
+    auto matrix = AttackMatrix::standard_ics();
+    auto graph = AttackGraph::build(refined, matrix, actor_by_id("A-CRIME"));
+    // Fig. 4 chain: the cybercriminal enters via the public e-mail client.
+    bool email_entry = false;
+    for (const AttackStep& step : graph.entry_points()) {
+        if (step.component == "email_client") email_entry = true;
+    }
+    EXPECT_TRUE(email_entry);
+
+    auto paths = graph.paths_to("infected_computer");
+    ASSERT_FALSE(paths.empty());
+    // Some path passes through the browser.
+    bool via_browser = false;
+    for (const AttackPath& path : paths) {
+        for (const AttackStep& step : path.steps) {
+            if (step.component == "browser") via_browser = true;
+        }
+    }
+    EXPECT_TRUE(via_browser);
+}
+
+TEST(ScenarioSpace, FaultCombinationCount) {
+    ScenarioSpaceOptions options;
+    options.max_simultaneous_faults = 2;
+    options.include_attack_scenarios = false;
+    auto space = ScenarioSpace::build(watertank(), AttackMatrix::standard_ics(),
+                                      standard_threat_actors(), options);
+    // The case-study model carries 12 fault modes: C(12,1) + C(12,2) = 78.
+    std::size_t fault_modes = 0;
+    for (const auto& component : watertank().components()) {
+        fault_modes += component.fault_modes.size();
+    }
+    const std::size_t expected = fault_modes + fault_modes * (fault_modes - 1) / 2;
+    EXPECT_EQ(space.size(), expected);
+}
+
+TEST(ScenarioSpace, SingleFaultOnly) {
+    ScenarioSpaceOptions options;
+    options.max_simultaneous_faults = 1;
+    options.include_attack_scenarios = false;
+    auto space = ScenarioSpace::build(watertank(), AttackMatrix::standard_ics(),
+                                      standard_threat_actors(), options);
+    for (const AttackScenario& scenario : space.scenarios()) {
+        EXPECT_EQ(scenario.mutations.size(), 1u);
+        EXPECT_EQ(scenario.origin, ScenarioOrigin::FaultCombination);
+    }
+}
+
+TEST(ScenarioSpace, AttackScenariosCarryTechniques) {
+    ScenarioSpaceOptions options;
+    options.max_simultaneous_faults = 1;
+    options.include_fault_combinations = false;
+    options.include_attack_scenarios = true;
+    auto space = ScenarioSpace::build(watertank(), AttackMatrix::standard_ics(),
+                                      standard_threat_actors(), options);
+    EXPECT_FALSE(space.scenarios().empty());
+    for (const AttackScenario& scenario : space.scenarios()) {
+        EXPECT_EQ(scenario.origin, ScenarioOrigin::AttackPath);
+        EXPECT_FALSE(scenario.actor_id.empty());
+        EXPECT_FALSE(scenario.mutations.empty());
+    }
+}
+
+TEST(ScenarioSpace, MutationUniverse) {
+    ScenarioSpaceOptions options;
+    options.max_simultaneous_faults = 1;
+    options.include_attack_scenarios = false;
+    auto space = ScenarioSpace::build(watertank(), AttackMatrix::standard_ics(),
+                                      standard_threat_actors(), options);
+    auto universe = space.mutation_universe();
+    std::size_t fault_modes = 0;
+    for (const auto& component : watertank().components()) {
+        fault_modes += component.fault_modes.size();
+    }
+    EXPECT_EQ(universe.size(), fault_modes);
+}
+
+TEST(ScenarioSpace, CombinedLikelihoodPenalty) {
+    using qual::Level;
+    EXPECT_EQ(combined_likelihood({Level::High}), Level::High);
+    EXPECT_EQ(combined_likelihood({Level::High, Level::High}), Level::Medium);
+    EXPECT_EQ(combined_likelihood({Level::Low, Level::High}), Level::VeryLow);
+    EXPECT_EQ(combined_likelihood({}), Level::VeryLow);
+    // More simultaneous faults are never more likely.
+    EXPECT_LE(combined_likelihood({Level::High, Level::High, Level::High}),
+              combined_likelihood({Level::High, Level::High}));
+}
+
+
+TEST(ScenarioSpace, VulnerabilityScenariosFromCatalog) {
+    auto catalog = SecurityCatalog::standard_ics();
+    ScenarioSpaceOptions options;
+    options.include_fault_combinations = false;
+    options.include_attack_scenarios = false;
+    options.include_vulnerability_scenarios = true;
+    auto space = ScenarioSpace::build(watertank(), AttackMatrix::standard_ics(),
+                                      standard_threat_actors(), options, &catalog);
+    // The case-study model matches at least the workstation RCE (V-WS-1,
+    // template engineering_workstation -> fault "infected") and the HMI
+    // crash (V-HMI-1 -> "no_signal").
+    ASSERT_FALSE(space.scenarios().empty());
+    bool ws = false;
+    bool hmi = false;
+    for (const AttackScenario& scenario : space.scenarios()) {
+        EXPECT_EQ(scenario.origin, ScenarioOrigin::Vulnerability);
+        EXPECT_FALSE(scenario.vulnerability_id.empty());
+        ASSERT_EQ(scenario.mutations.size(), 1u);
+        if (scenario.vulnerability_id == "V-WS-1") {
+            ws = true;
+            EXPECT_EQ(scenario.mutations[0].fault_id, "infected");
+            EXPECT_EQ(scenario.likelihood, qual::Level::VeryHigh);  // CVSS 9.1
+        }
+        if (scenario.vulnerability_id == "V-HMI-1") hmi = true;
+    }
+    EXPECT_TRUE(ws);
+    EXPECT_TRUE(hmi);
+}
+
+TEST(ScenarioSpace, NoCatalogNoVulnerabilityScenarios) {
+    ScenarioSpaceOptions options;
+    options.include_fault_combinations = false;
+    options.include_attack_scenarios = false;
+    options.include_vulnerability_scenarios = true;
+    auto space = ScenarioSpace::build(watertank(), AttackMatrix::standard_ics(),
+                                      standard_threat_actors(), options);
+    EXPECT_TRUE(space.scenarios().empty());
+}
+
+}  // namespace
+}  // namespace cprisk::security

@@ -1,0 +1,125 @@
+// Security catalogs: matching semantics and the embedded ICS subset.
+#include <gtest/gtest.h>
+
+#include "security/catalog.hpp"
+
+namespace cprisk::security {
+namespace {
+
+model::Component make_component(model::ElementType type, std::string template_name = "",
+                                std::string version = "") {
+    model::Component c;
+    c.id = "test";
+    c.name = "Test";
+    c.type = type;
+    c.version = std::move(version);
+    if (!template_name.empty()) c.properties["template"] = std::move(template_name);
+    return c;
+}
+
+TEST(Catalog, CvssBands) {
+    Vulnerability v;
+    v.cvss = 1.0;
+    EXPECT_EQ(v.severity_level(), qual::Level::VeryLow);
+    v.cvss = 3.9;
+    EXPECT_EQ(v.severity_level(), qual::Level::Low);
+    v.cvss = 5.0;
+    EXPECT_EQ(v.severity_level(), qual::Level::Medium);
+    v.cvss = 7.5;
+    EXPECT_EQ(v.severity_level(), qual::Level::High);
+    v.cvss = 9.8;
+    EXPECT_EQ(v.severity_level(), qual::Level::VeryHigh);
+}
+
+TEST(Catalog, WeaknessMatchByElementType) {
+    auto catalog = SecurityCatalog::standard_ics();
+    auto plc_weaknesses = catalog.weaknesses_for(make_component(model::ElementType::Controller));
+    EXPECT_FALSE(plc_weaknesses.empty());
+    bool has_auth = false;
+    for (const Weakness* w : plc_weaknesses) {
+        if (w->id == "W-AUTH") has_auth = true;
+    }
+    EXPECT_TRUE(has_auth);
+}
+
+TEST(Catalog, VulnerabilityTemplateMatch) {
+    auto catalog = SecurityCatalog::standard_ics();
+    auto vulns = catalog.vulnerabilities_for(
+        make_component(model::ElementType::ApplicationComponent, "email_client"));
+    ASSERT_FALSE(vulns.empty());
+    bool mail = false;
+    for (const Vulnerability* v : vulns) {
+        if (v->id == "V-MAIL-1") mail = true;
+    }
+    EXPECT_TRUE(mail);
+}
+
+TEST(Catalog, VersionSpecificMatching) {
+    auto catalog = SecurityCatalog::standard_ics();
+    // V-BROWSER-1 pins version 98.0.
+    auto vulnerable = catalog.vulnerabilities_for(
+        make_component(model::ElementType::ApplicationComponent, "web_browser", "98.0"));
+    bool found = false;
+    for (const Vulnerability* v : vulnerable) {
+        if (v->id == "V-BROWSER-1") found = true;
+    }
+    EXPECT_TRUE(found);
+
+    auto patched = catalog.vulnerabilities_for(
+        make_component(model::ElementType::ApplicationComponent, "web_browser", "120.0"));
+    for (const Vulnerability* v : patched) {
+        EXPECT_NE(v->id, "V-BROWSER-1");
+    }
+}
+
+TEST(Catalog, PatternsViaWeaknesses) {
+    auto catalog = SecurityCatalog::standard_ics();
+    auto patterns = catalog.patterns_for(make_component(model::ElementType::Controller));
+    bool cmd_injection = false;
+    for (const AttackPattern* p : patterns) {
+        if (p->id == "P-CMD-INJECT") cmd_injection = true;
+    }
+    EXPECT_TRUE(cmd_injection);
+    // Phishing does not apply to a bare controller.
+    for (const AttackPattern* p : patterns) {
+        EXPECT_NE(p->id, "P-SPEARPHISH");
+    }
+}
+
+TEST(Catalog, VectorBackedSeverity) {
+    auto catalog = SecurityCatalog::standard_ics();
+    const Vulnerability* browser = catalog.find_vulnerability("V-BROWSER-1");
+    ASSERT_NE(browser, nullptr);
+    EXPECT_FALSE(browser->cvss_vector.empty());
+    // The vector-computed score matches the recorded number.
+    EXPECT_DOUBLE_EQ(browser->effective_cvss(), 8.8);
+    EXPECT_EQ(browser->severity_level(), qual::Level::VeryHigh);
+    const Vulnerability* plc = catalog.find_vulnerability("V-PLC-1");
+    ASSERT_NE(plc, nullptr);
+    EXPECT_DOUBLE_EQ(plc->effective_cvss(), 9.8);
+}
+
+TEST(Catalog, Lookups) {
+    auto catalog = SecurityCatalog::standard_ics();
+    EXPECT_NE(catalog.find_weakness("W-RCE"), nullptr);
+    EXPECT_EQ(catalog.find_weakness("W-NOPE"), nullptr);
+    EXPECT_NE(catalog.find_vulnerability("V-PLC-1"), nullptr);
+    EXPECT_NE(catalog.find_pattern("P-DRIVEBY"), nullptr);
+    ASSERT_NE(catalog.find_vulnerability("V-PLC-1"), nullptr);
+    EXPECT_EQ(catalog.find_vulnerability("V-PLC-1")->severity_level(), qual::Level::VeryHigh);
+}
+
+TEST(Catalog, EveryVulnerabilityReferencesKnownWeakness) {
+    auto catalog = SecurityCatalog::standard_ics();
+    for (const Vulnerability& v : catalog.vulnerabilities()) {
+        EXPECT_NE(catalog.find_weakness(v.weakness_id), nullptr) << v.id;
+    }
+    for (const AttackPattern& p : catalog.patterns()) {
+        for (const std::string& w : p.exploits_weaknesses) {
+            EXPECT_NE(catalog.find_weakness(w), nullptr) << p.id;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace cprisk::security

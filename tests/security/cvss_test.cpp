@@ -1,0 +1,90 @@
+// CVSS v3.1 base scores against officially published vector/score pairs.
+#include <gtest/gtest.h>
+
+#include "security/cvss.hpp"
+
+namespace cprisk::security {
+namespace {
+
+double score(const char* vector) {
+    auto result = cvss_base_score(vector);
+    EXPECT_TRUE(result.ok()) << result.error();
+    return result.value_or(-1.0);
+}
+
+TEST(Cvss, PublishedReferenceScores) {
+    // Canonical vectors with scores published in NVD / the v3.1 spec examples.
+    EXPECT_DOUBLE_EQ(score("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"), 9.8);
+    EXPECT_DOUBLE_EQ(score("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H"), 10.0);
+    EXPECT_DOUBLE_EQ(score("CVSS:3.1/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:N/A:N"), 5.5);
+    EXPECT_DOUBLE_EQ(score("CVSS:3.1/AV:N/AC:L/PR:N/UI:R/S:C/C:L/I:L/A:N"), 6.1);  // typical XSS
+    EXPECT_DOUBLE_EQ(score("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:H"), 7.5);  // DoS
+    EXPECT_DOUBLE_EQ(score("CVSS:3.1/AV:N/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H"), 8.8);
+    EXPECT_DOUBLE_EQ(score("CVSS:3.1/AV:P/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N"), 1.6);
+}
+
+TEST(Cvss, ZeroImpactScoresZero) {
+    EXPECT_DOUBLE_EQ(score("AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N"), 0.0);
+    EXPECT_DOUBLE_EQ(score("AV:N/AC:L/PR:N/UI:N/S:C/C:N/I:N/A:N"), 0.0);
+}
+
+TEST(Cvss, PrefixOptional) {
+    EXPECT_DOUBLE_EQ(score("AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"), 9.8);
+}
+
+TEST(Cvss, ScopeChangedRaisesPrivilegeWeight) {
+    // Same metrics, scope changed vs unchanged with PR:L — changed is higher
+    // both through the 1.08 factor and the PR weight bump.
+    const double unchanged = score("AV:N/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H");
+    const double changed = score("AV:N/AC:L/PR:L/UI:N/S:C/C:H/I:H/A:H");
+    EXPECT_GT(changed, unchanged);
+    EXPECT_DOUBLE_EQ(changed, 9.9);
+}
+
+TEST(Cvss, SeverityBands) {
+    auto level = [&](const char* vector) {
+        return parse_cvss(vector).value().severity_level();
+    };
+    EXPECT_EQ(level("AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N"), qual::Level::VeryLow);  // 0.0
+    EXPECT_EQ(level("AV:P/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N"), qual::Level::Low);      // 1.6
+    EXPECT_EQ(level("AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:N/A:N"), qual::Level::Medium);   // 5.5
+    EXPECT_EQ(level("AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:H"), qual::Level::High);     // 7.5
+    EXPECT_EQ(level("AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"), qual::Level::VeryHigh); // 9.8
+}
+
+TEST(Cvss, VectorRoundTrip) {
+    const char* vectors[] = {
+        "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",
+        "CVSS:3.1/AV:L/AC:H/PR:L/UI:R/S:C/C:L/I:N/A:L",
+        "CVSS:3.1/AV:P/AC:H/PR:H/UI:R/S:U/C:N/I:L/A:N",
+    };
+    for (const char* vector : vectors) {
+        auto parsed = parse_cvss(vector);
+        ASSERT_TRUE(parsed.ok()) << parsed.error();
+        EXPECT_EQ(parsed.value().to_vector(), vector);
+    }
+}
+
+TEST(Cvss, MalformedVectorsRejected) {
+    EXPECT_FALSE(parse_cvss("").ok());
+    EXPECT_FALSE(parse_cvss("AV:N/AC:L").ok());                          // missing metrics
+    EXPECT_FALSE(parse_cvss("AV:X/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H").ok());  // bad value
+    EXPECT_FALSE(parse_cvss("AVN/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H").ok());   // no colon
+}
+
+TEST(Cvss, MonotoneInImpact) {
+    // Property: raising any impact metric never lowers the score.
+    const char* levels[] = {"N", "L", "H"};
+    for (int c = 0; c < 3; ++c) {
+        for (int i = 0; i + 1 < 3; ++i) {
+            std::string lower = std::string("AV:N/AC:L/PR:N/UI:N/S:U/C:") + levels[c] +
+                                "/I:" + levels[i] + "/A:N";
+            std::string higher = std::string("AV:N/AC:L/PR:N/UI:N/S:U/C:") + levels[c] +
+                                 "/I:" + levels[i + 1] + "/A:N";
+            EXPECT_LE(score(lower.c_str()), score(higher.c_str())) << lower;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace cprisk::security

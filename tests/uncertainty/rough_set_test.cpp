@@ -1,0 +1,123 @@
+// Rough set theory: approximations, regions, dependency, reducts.
+#include <gtest/gtest.h>
+
+#include "uncertainty/rough_set.hpp"
+
+namespace cprisk::uncertainty {
+namespace {
+
+/// Classic small decision table: scenarios with exposure/severity attributes
+/// deciding a risk class; two objects are indiscernible but disagree on the
+/// decision, creating a boundary region.
+InformationSystem risk_table() {
+    InformationSystem table;
+    // exposure, severity -> decision
+    EXPECT_TRUE(table.add_object({{"exposure", "public"}, {"severity", "high"}}, "high").ok());
+    EXPECT_TRUE(table.add_object({{"exposure", "public"}, {"severity", "low"}}, "medium").ok());
+    EXPECT_TRUE(table.add_object({{"exposure", "internal"}, {"severity", "high"}}, "high").ok());
+    EXPECT_TRUE(table.add_object({{"exposure", "internal"}, {"severity", "low"}}, "low").ok());
+    // Conflicting duplicates of row 0's attributes:
+    EXPECT_TRUE(table.add_object({{"exposure", "public"}, {"severity", "high"}}, "medium").ok());
+    return table;
+}
+
+TEST(RoughSet, RectangularityEnforced) {
+    InformationSystem table;
+    ASSERT_TRUE(table.add_object({{"a", "1"}, {"b", "2"}}, "d").ok());
+    EXPECT_FALSE(table.add_object({{"a", "1"}}, "d").ok());
+    EXPECT_FALSE(table.add_object({{"a", "1"}, {"c", "2"}}, "d").ok());
+}
+
+TEST(RoughSet, EquivalenceClasses) {
+    auto table = risk_table();
+    auto classes = table.equivalence_classes({"exposure"});
+    EXPECT_EQ(classes.size(), 2u);  // public / internal
+    classes = table.equivalence_classes({"exposure", "severity"});
+    EXPECT_EQ(classes.size(), 4u);  // (public,high) class holds objects 0 and 4
+}
+
+TEST(RoughSet, Approximations) {
+    auto table = risk_table();
+    const auto high = table.decision_class("high");
+    EXPECT_EQ(high.size(), 2u);  // objects 0, 2
+
+    const std::vector<std::string> attrs = {"exposure", "severity"};
+    auto lower = table.lower_approximation(high, attrs);
+    // Object 0 shares its class with object 4 (decision medium) -> only
+    // object 2 is certainly high.
+    EXPECT_EQ(lower, (std::set<std::size_t>{2}));
+
+    auto upper = table.upper_approximation(high, attrs);
+    EXPECT_EQ(upper, (std::set<std::size_t>{0, 2, 4}));
+}
+
+TEST(RoughSet, Regions) {
+    auto table = risk_table();
+    auto regions = table.regions("high", {"exposure", "severity"});
+    EXPECT_EQ(regions.positive, (std::set<std::size_t>{2}));
+    EXPECT_EQ(regions.boundary, (std::set<std::size_t>{0, 4}));
+    EXPECT_EQ(regions.negative, (std::set<std::size_t>{1, 3}));
+    // The three regions partition the universe.
+    EXPECT_EQ(regions.positive.size() + regions.boundary.size() + regions.negative.size(),
+              table.object_count());
+}
+
+TEST(RoughSet, ConsistentTableHasEmptyBoundary) {
+    InformationSystem table;
+    ASSERT_TRUE(table.add_object({{"x", "1"}}, "yes").ok());
+    ASSERT_TRUE(table.add_object({{"x", "2"}}, "no").ok());
+    auto regions = table.regions("yes", {"x"});
+    EXPECT_TRUE(regions.boundary.empty());
+    EXPECT_EQ(regions.positive.size(), 1u);
+}
+
+TEST(RoughSet, DependencyDegree) {
+    auto table = risk_table();
+    // Objects 0 and 4 are inconsistent: 3 of 5 objects are in some positive
+    // region.
+    EXPECT_DOUBLE_EQ(table.dependency_degree({"exposure", "severity"}), 3.0 / 5.0);
+    // Exposure alone distinguishes even less.
+    EXPECT_LE(table.dependency_degree({"exposure"}),
+              table.dependency_degree({"exposure", "severity"}));
+}
+
+TEST(RoughSet, LowerSubsetOfUpperProperty) {
+    // Property: for every attribute subset and decision value, lower ⊆
+    // target ⊆ upper.
+    auto table = risk_table();
+    const std::vector<std::vector<std::string>> attr_sets = {
+        {"exposure"}, {"severity"}, {"exposure", "severity"}};
+    for (const auto& attrs : attr_sets) {
+        for (const std::string decision : {"high", "medium", "low"}) {
+            auto target = table.decision_class(decision);
+            auto lower = table.lower_approximation(target, attrs);
+            auto upper = table.upper_approximation(target, attrs);
+            EXPECT_TRUE(std::includes(target.begin(), target.end(), lower.begin(), lower.end()));
+            EXPECT_TRUE(std::includes(upper.begin(), upper.end(), target.begin(), target.end()));
+        }
+    }
+}
+
+TEST(RoughSet, Reducts) {
+    // severity alone determines the decision here; exposure is redundant.
+    InformationSystem table;
+    ASSERT_TRUE(table.add_object({{"exposure", "public"}, {"severity", "high"}}, "high").ok());
+    ASSERT_TRUE(table.add_object({{"exposure", "internal"}, {"severity", "high"}}, "high").ok());
+    ASSERT_TRUE(table.add_object({{"exposure", "public"}, {"severity", "low"}}, "low").ok());
+    ASSERT_TRUE(table.add_object({{"exposure", "internal"}, {"severity", "low"}}, "low").ok());
+    auto reducts = table.reducts();
+    ASSERT_EQ(reducts.size(), 1u);
+    EXPECT_EQ(reducts[0], (std::vector<std::string>{"severity"}));
+}
+
+TEST(RoughSet, MultipleReducts) {
+    // Both attributes individually determine the decision.
+    InformationSystem table;
+    ASSERT_TRUE(table.add_object({{"a", "1"}, {"b", "x"}}, "p").ok());
+    ASSERT_TRUE(table.add_object({{"a", "2"}, {"b", "y"}}, "q").ok());
+    auto reducts = table.reducts();
+    EXPECT_EQ(reducts.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cprisk::uncertainty

@@ -1,0 +1,109 @@
+// Sensitivity analysis: the paper's §V-A worked example and the full-leaf
+// uncertain derivation.
+#include <gtest/gtest.h>
+
+#include "uncertainty/sensitivity.hpp"
+
+namespace cprisk::uncertainty {
+namespace {
+
+using qual::Level;
+using qual::LevelRange;
+
+TEST(Sensitivity, PaperExampleInsensitive) {
+    // "Let's consider that the Loss Event Frequency is Low (L). If there is
+    // uncertainty in the factor Loss Magnitude (LM), with VL or L being the
+    // possible values ... the calculated Risk remains VL for both potential
+    // input values" -> insensitive.
+    auto report = ora_sensitivity(LevelRange(Level::VeryLow, Level::Low),
+                                  LevelRange(Level::Low), /*vary_lm=*/true);
+    EXPECT_FALSE(report.sensitive);
+    EXPECT_EQ(report.output_range, LevelRange(Level::VeryLow));
+}
+
+TEST(Sensitivity, PaperExampleSensitive) {
+    // "However, if LM is known to range between L-VH, the output will vary
+    // with each change, indicating that Risk is sensitive."
+    auto report = ora_sensitivity(LevelRange(Level::Low, Level::VeryHigh),
+                                  LevelRange(Level::Low), /*vary_lm=*/true);
+    EXPECT_TRUE(report.sensitive);
+    EXPECT_EQ(report.output_range.lo, Level::VeryLow);  // Risk(L, L) = VL
+    EXPECT_EQ(report.output_range.hi, Level::High);     // Risk(VH, L) = H
+}
+
+TEST(Sensitivity, VaryLefInstead) {
+    auto report = ora_sensitivity(LevelRange(Level::Medium),
+                                  LevelRange(Level::VeryLow, Level::VeryHigh),
+                                  /*vary_lm=*/false);
+    EXPECT_TRUE(report.sensitive);
+    EXPECT_EQ(report.factor, "LEF");
+    EXPECT_EQ(report.output_range.lo, Level::VeryLow);
+    EXPECT_EQ(report.output_range.hi, Level::VeryHigh);
+}
+
+TEST(Sensitivity, ExactInputNeverSensitive) {
+    for (Level lm : qual::kAllLevels) {
+        for (Level lef : qual::kAllLevels) {
+            auto report = ora_sensitivity(LevelRange(lm), LevelRange(lef), true);
+            EXPECT_FALSE(report.sensitive);
+        }
+    }
+}
+
+TEST(Sensitivity, SweepHelper) {
+    auto range = sweep([](Level l) { return qual::shift(l, 1); },
+                       LevelRange(Level::Low, Level::High));
+    EXPECT_EQ(range, LevelRange(Level::Medium, Level::VeryHigh));
+    // Constant function -> exact output.
+    auto constant = sweep([](Level) { return Level::Medium; },
+                          LevelRange(Level::VeryLow, Level::VeryHigh));
+    EXPECT_TRUE(constant.is_exact());
+}
+
+TEST(Sensitivity, FullDerivationOneAtATime) {
+    auto calculus = risk::RiskCalculus::standard();
+    UncertainRiskInputs inputs;
+    inputs.primary_loss = LevelRange(Level::Low, Level::VeryHigh);  // wide
+    inputs.contact_frequency = LevelRange(Level::High);             // exact
+
+    auto report = analyze_risk_sensitivity(calculus, inputs);
+    ASSERT_EQ(report.factors.size(), 6u);
+
+    const SensitivityReport* pl = nullptr;
+    const SensitivityReport* cf = nullptr;
+    for (const auto& factor : report.factors) {
+        if (factor.factor == "PL") pl = &factor;
+        if (factor.factor == "CF") cf = &factor;
+    }
+    ASSERT_NE(pl, nullptr);
+    ASSERT_NE(cf, nullptr);
+    EXPECT_TRUE(pl->sensitive);
+    EXPECT_FALSE(cf->sensitive);  // exact input cannot be sensitive
+}
+
+TEST(Sensitivity, JointRangeContainsOneAtATimeRanges) {
+    // Property: the joint sweep is at least as wide as any single-factor
+    // sweep.
+    auto calculus = risk::RiskCalculus::standard();
+    UncertainRiskInputs inputs;
+    inputs.threat_capability = LevelRange(Level::Low, Level::VeryHigh);
+    inputs.resistance_strength = LevelRange(Level::Low, Level::High);
+    inputs.primary_loss = LevelRange(Level::Medium, Level::VeryHigh);
+
+    auto report = analyze_risk_sensitivity(calculus, inputs);
+    for (const auto& factor : report.factors) {
+        EXPECT_LE(report.risk_range.lo, factor.output_range.lo) << factor.factor;
+        EXPECT_GE(report.risk_range.hi, factor.output_range.hi) << factor.factor;
+    }
+}
+
+TEST(Sensitivity, ReportToString) {
+    auto report = ora_sensitivity(LevelRange(Level::Low, Level::VeryHigh),
+                                  LevelRange(Level::Low), true);
+    const std::string text = report.to_string();
+    EXPECT_NE(text.find("LM"), std::string::npos);
+    EXPECT_NE(text.find("SENSITIVE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cprisk::uncertainty

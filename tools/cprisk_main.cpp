@@ -1,0 +1,161 @@
+// cprisk — command-line front end for the preliminary risk assessment
+// framework.
+//
+//   cprisk check  <bundle>                 parse + validate a model bundle
+//   cprisk assess <bundle> [options]       run the full 7-step pipeline
+//   cprisk matrix                          print the O-RA and IEC 61508 matrices
+//
+// Assess options:
+//   --horizon N          temporal unrolling depth           (default 6)
+//   --max-faults K       simultaneous-fault bound           (default 2)
+//   --attack-scenarios   include actor-driven attack scenarios
+//   --no-cegar           run the behavioural analysis directly
+//   --budget N           mitigation budget constraint
+//   --phase-budget N     enable multi-phase planning
+//   --markdown FILE      write the analyst report as Markdown
+//   --csv FILE           write the risk table as CSV
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "core/assessment.hpp"
+#include "core/loader.hpp"
+#include "core/report.hpp"
+#include "risk/iec61508.hpp"
+#include "risk/ora.hpp"
+
+namespace {
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: cprisk check <bundle>\n"
+                 "       cprisk assess <bundle> [--horizon N] [--max-faults K]\n"
+                 "                     [--attack-scenarios] [--no-cegar] [--budget N]\n"
+                 "                     [--phase-budget N] [--markdown FILE] [--csv FILE]\n"
+                 "       cprisk matrix\n");
+    return 2;
+}
+
+int cmd_check(const std::string& path) {
+    auto bundle = cprisk::core::load_bundle_file(path);
+    if (!bundle.ok()) {
+        std::fprintf(stderr, "error: %s\n", bundle.error().c_str());
+        return 1;
+    }
+    const auto& b = bundle.value();
+    std::printf("OK: %zu components, %zu relations, %zu behavioural + %zu topology "
+                "requirements\n",
+                b.model.component_count(), b.model.relation_count(),
+                b.behavioral_requirements.size(), b.topology_requirements.size());
+    return 0;
+}
+
+int cmd_matrix() {
+    std::printf("O-RA risk matrix (Table I):\n%s\n",
+                cprisk::risk::ora_risk_matrix().render().render().c_str());
+    std::printf("IEC 61508 risk classes:\n%s",
+                cprisk::risk::iec61508_matrix_table().render().c_str());
+    return 0;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+    std::ofstream file(path);
+    if (!file) return false;
+    file << content;
+    return static_cast<bool>(file);
+}
+
+int cmd_assess(int argc, char** argv) {
+    if (argc < 1) return usage();
+    const std::string path = argv[0];
+    cprisk::core::AssessmentConfig config;
+    config.include_attack_scenarios = false;  // opt-in via --attack-scenarios
+    std::optional<std::string> markdown_path;
+    std::optional<std::string> csv_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto next_value = [&](long long& out) {
+            if (i + 1 >= argc) return false;
+            out = std::atoll(argv[++i]);
+            return true;
+        };
+        long long value = 0;
+        if (flag == "--horizon" && next_value(value)) {
+            config.horizon = static_cast<int>(value);
+        } else if (flag == "--max-faults" && next_value(value)) {
+            config.max_simultaneous_faults = static_cast<std::size_t>(value);
+        } else if (flag == "--attack-scenarios") {
+            config.include_attack_scenarios = true;
+        } else if (flag == "--no-cegar") {
+            config.use_cegar = false;
+        } else if (flag == "--budget" && next_value(value)) {
+            config.budget = value;
+        } else if (flag == "--phase-budget" && next_value(value)) {
+            config.phase_budget = value;
+        } else if (flag == "--markdown" && i + 1 < argc) {
+            markdown_path = argv[++i];
+        } else if (flag == "--csv" && i + 1 < argc) {
+            csv_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "unknown or incomplete option '%s'\n", flag.c_str());
+            return usage();
+        }
+    }
+
+    auto bundle = cprisk::core::load_bundle_file(path);
+    if (!bundle.ok()) {
+        std::fprintf(stderr, "error: %s\n", bundle.error().c_str());
+        return 1;
+    }
+    const auto& b = bundle.value();
+    const auto matrix = cprisk::security::AttackMatrix::standard_ics();
+    const auto catalog = cprisk::security::SecurityCatalog::standard_ics();
+    const auto mitigations =
+        cprisk::epa::MitigationMap::from_attack_matrix(b.model, matrix);
+
+    cprisk::core::RiskAssessment assessment(b.model, b.effective_behavioral(),
+                                            b.effective_topology(), matrix, mitigations,
+                                            &catalog);
+    auto report = assessment.run(config);
+    if (!report.ok()) {
+        std::fprintf(stderr, "assessment failed: %s\n", report.error().c_str());
+        return 1;
+    }
+    const auto& r = report.value();
+
+    std::printf("components=%zu relations=%zu scenarios=%zu hazards=%zu spurious=%zu\n",
+                r.component_count, r.relation_count, r.scenario_count, r.hazards.size(),
+                r.spurious_eliminated);
+    std::printf("%s", r.risk_table().render().c_str());
+    std::printf("%s", r.mitigation_table().render().c_str());
+
+    if (markdown_path) {
+        if (!write_file(*markdown_path, cprisk::core::render_markdown(r))) {
+            std::fprintf(stderr, "cannot write '%s'\n", markdown_path->c_str());
+            return 1;
+        }
+        std::printf("markdown report written to %s\n", markdown_path->c_str());
+    }
+    if (csv_path) {
+        if (!write_file(*csv_path, cprisk::core::render_risk_csv(r))) {
+            std::fprintf(stderr, "cannot write '%s'\n", csv_path->c_str());
+            return 1;
+        }
+        std::printf("risk CSV written to %s\n", csv_path->c_str());
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage();
+    const std::string command = argv[1];
+    if (command == "check" && argc >= 3) return cmd_check(argv[2]);
+    if (command == "matrix") return cmd_matrix();
+    if (command == "assess") return cmd_assess(argc - 2, argv + 2);
+    return usage();
+}
