@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "asp/eval.hpp"
+#include "asp/safety.hpp"
 #include "common/error.hpp"
 
 namespace cprisk::asp {
@@ -79,62 +80,13 @@ public:
         }
     }
 
-    /// Static safety check: every variable used in the head, in a negative
-    /// literal, or in a filtering comparison must be bindable by a positive
-    /// body atom or an `=` assignment.
-    static void check_safety(const std::vector<Literal>& body,
-                             const std::vector<Term>& head_terms, const std::string& what) {
-        std::set<std::string> bindable;
-        std::vector<std::string> scratch;
-        for (const Literal& lit : body) {
-            scratch.clear();
-            if (lit.kind == Literal::Kind::Atom && !lit.negated) {
-                for (const Term& a : lit.atom.args) a.collect_variables(scratch);
-            } else if (lit.kind == Literal::Kind::Comparison && lit.op == CompareOp::Eq) {
-                lit.lhs.collect_variables(scratch);
-                lit.rhs.collect_variables(scratch);
-            }
-            bindable.insert(scratch.begin(), scratch.end());
+    /// Aborts grounding on the first safety violation; the full analysis
+    /// (shared with the linter) lives in asp/safety.hpp.
+    static void require_safe(const std::vector<SafetyViolation>& violations) {
+        if (!violations.empty()) {
+            throw GroundError("grounder: unsafe variable '" + violations.front().variable +
+                              "' in " + violations.front().context);
         }
-        std::vector<std::string> required;
-        for (const Term& t : head_terms) t.collect_variables(required);
-        for (const Literal& lit : body) {
-            if (lit.kind == Literal::Kind::Atom && lit.negated) {
-                for (const Term& a : lit.atom.args) a.collect_variables(required);
-            } else if (lit.kind == Literal::Kind::Comparison && lit.op != CompareOp::Eq) {
-                lit.lhs.collect_variables(required);
-                lit.rhs.collect_variables(required);
-            }
-        }
-        for (const std::string& var : required) {
-            if (var != "_" && bindable.find(var) == bindable.end()) {
-                throw GroundError("grounder: unsafe variable '" + var + "' in " + what);
-            }
-        }
-    }
-
-    static void check_rule_safety(const Rule& rule) {
-        std::vector<Term> head_terms;
-        switch (rule.head.kind) {
-            case Head::Kind::Atom:
-                head_terms.insert(head_terms.end(), rule.head.atom.args.begin(),
-                                  rule.head.atom.args.end());
-                break;
-            case Head::Kind::Constraint: break;
-            case Head::Kind::Choice:
-                // Choice element variables may be bound by the element's own
-                // condition; check each element against body + condition.
-                for (const auto& element : rule.head.elements) {
-                    std::vector<Literal> extended = rule.body;
-                    extended.insert(extended.end(), element.condition.begin(),
-                                    element.condition.end());
-                    std::vector<Term> element_terms(element.atom.args.begin(),
-                                                    element.atom.args.end());
-                    check_safety(extended, element_terms, "rule " + rule.to_string());
-                }
-                break;
-        }
-        check_safety(rule.body, head_terms, "rule " + rule.to_string());
     }
 
     GroundProgram run() {
@@ -148,7 +100,7 @@ public:
             Rule rule = r.rule;
             rule.head = substitute_head_consts(rule.head);
             for (auto& lit : rule.body) lit = substitute_consts(lit, consts_);
-            check_rule_safety(rule);
+            require_safe(unsafe_rule_variables(rule));
             rules_.push_back(std::move(rule));
         }
         for (const auto& w : program_.weaks()) {
@@ -165,9 +117,7 @@ public:
             for (auto& lit : weak.body) lit = substitute_consts(lit, consts_);
             weak.weight = substitute_consts(weak.weight, consts_);
             for (auto& t : weak.tuple) t = substitute_consts(t, consts_);
-            std::vector<Term> weak_terms = weak.tuple;
-            weak_terms.push_back(weak.weight);
-            check_safety(weak.body, weak_terms, "weak constraint " + weak.to_string());
+            require_safe(unsafe_weak_variables(weak));
             weaks_.push_back(std::move(weak));
         }
 

@@ -72,10 +72,14 @@ private:
 
 }  // namespace
 
-Result<std::vector<Token>> tokenize(std::string_view source) {
+Result<std::vector<Token>> tokenize(std::string_view source, SourceLoc* error_loc) {
     std::vector<Token> tokens;
     Cursor cur(source);
 
+    auto fail_at = [&](int line, int column, std::string message) {
+        if (error_loc != nullptr) *error_loc = SourceLoc{line, column};
+        return Result<std::vector<Token>>::failure(std::move(message));
+    };
     auto push = [&](TokenKind kind, std::string text, int line, int column,
                     long long value = 0) {
         Token t;
@@ -130,8 +134,7 @@ Result<std::vector<Token>> tokenize(std::string_view source) {
                 word += cur.advance();
             }
             if (word.empty()) {
-                return Result<std::vector<Token>>::failure(
-                    "lexer: dangling '#' at line " + std::to_string(line));
+                return fail_at(line, column, "lexer: dangling '#' at line " + std::to_string(line));
             }
             push(TokenKind::Directive, word, line, column);
             continue;
@@ -180,8 +183,8 @@ Result<std::vector<Token>> tokenize(std::string_view source) {
                     cur.advance();
                     push(TokenKind::Ne, "!=", line, column);
                 } else {
-                    return Result<std::vector<Token>>::failure(
-                        "lexer: unexpected '!' at line " + std::to_string(line));
+                    return fail_at(line, column,
+                                   "lexer: unexpected '!' at line " + std::to_string(line));
                 }
                 break;
             case '<':
@@ -204,9 +207,9 @@ Result<std::vector<Token>> tokenize(std::string_view source) {
                 }
                 break;
             default:
-                return Result<std::vector<Token>>::failure(
-                    std::string("lexer: unexpected character '") + c + "' at line " +
-                    std::to_string(line) + ", column " + std::to_string(column));
+                return fail_at(line, column,
+                               std::string("lexer: unexpected character '") + c + "' at line " +
+                                   std::to_string(line) + ", column " + std::to_string(column));
         }
     }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "common/source_loc.hpp"
 
 namespace cprisk::asp {
 
@@ -53,10 +54,13 @@ struct Token {
     long long int_value = 0;
     int line = 1;           ///< 1-based source line, for error messages
     int column = 1;
+
+    SourceLoc loc() const { return SourceLoc{line, column}; }
 };
 
 /// Tokenizes `source`; returns a failure with line/column info on an
-/// unexpected character. The result always ends with an `End` token.
-Result<std::vector<Token>> tokenize(std::string_view source);
+/// unexpected character (the structured location is additionally stored in
+/// `*error_loc` when non-null). The result always ends with an `End` token.
+Result<std::vector<Token>> tokenize(std::string_view source, SourceLoc* error_loc = nullptr);
 
 }  // namespace cprisk::asp

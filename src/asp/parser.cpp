@@ -9,11 +9,24 @@ namespace cprisk::asp {
 
 namespace {
 
-/// Parse error carrying a message; converted to Result failure at the API
-/// boundary so internal code can use exceptions for control flow.
+/// Parse error carrying a message and a structured source location;
+/// converted to Result failure (or a diagnostic) at the API boundary so
+/// internal code can use exceptions for control flow.
 class ParseError : public Error {
 public:
-    using Error::Error;
+    ParseError(SourceLoc loc, const std::string& message)
+        : Error("parse error at line " + std::to_string(loc.line) + ", column " +
+                std::to_string(loc.column) + ": " + message),
+          loc_(loc),
+          message_(message) {}
+
+    SourceLoc loc() const { return loc_; }
+    /// The location-free message (what() includes the location prefix).
+    const std::string& message() const { return message_; }
+
+private:
+    SourceLoc loc_;
+    std::string message_;
 };
 
 class Parser {
@@ -69,9 +82,7 @@ private:
         return advance();
     }
     [[noreturn]] void fail(const std::string& message) const {
-        const Token& t = peek();
-        throw ParseError("parse error at line " + std::to_string(t.line) + ", column " +
-                         std::to_string(t.column) + ": " + message);
+        throw ParseError(peek().loc(), message);
     }
     static std::string describe(const Token& t) {
         std::string out = to_string(t.kind);
@@ -201,6 +212,13 @@ private:
     }
 
     Literal parse_literal() {
+        const SourceLoc loc = peek().loc();
+        Literal literal = parse_literal_unlocated();
+        literal.loc = loc;
+        return literal;
+    }
+
+    Literal parse_literal_unlocated() {
         if (accept(TokenKind::Not)) return Literal::negative(parse_atom());
         if (at(TokenKind::Directive) &&
             (peek().text == "sum" || peek().text == "count")) {
@@ -267,6 +285,7 @@ private:
 
     Rule parse_rule() {
         Rule rule;
+        rule.loc = peek().loc();
         if (at(TokenKind::If)) {  // constraint
             advance();
             rule.head = Head::make_constraint();
@@ -284,8 +303,10 @@ private:
     }
 
     WeakConstraint parse_weak() {
+        const SourceLoc loc = peek().loc();
         expect(TokenKind::WeakIf, "':~'");
         WeakConstraint weak;
+        weak.loc = loc;
         weak.body = parse_body();
         expect(TokenKind::Dot, "'.'");
         expect(TokenKind::LBracket, "'[' cost annotation");
@@ -383,6 +404,22 @@ Result<T> run_parser(std::string_view source, Fn&& fn) {
 
 Result<Program> parse_program(std::string_view source) {
     return run_parser<Program>(source, [](Parser& p) { return p.parse_program(); });
+}
+
+std::optional<Program> parse_program(std::string_view source, DiagnosticSink& sink) {
+    SourceLoc lex_loc;
+    auto tokens = tokenize(source, &lex_loc);
+    if (!tokens.ok()) {
+        sink.error("asp-syntax", tokens.error(), lex_loc);
+        return std::nullopt;
+    }
+    try {
+        Parser parser(std::move(tokens).value());
+        return parser.parse_program();
+    } catch (const ParseError& e) {
+        sink.error("asp-syntax", e.message(), e.loc());
+        return std::nullopt;
+    }
 }
 
 Result<Term> parse_term(std::string_view source) {

@@ -5,9 +5,11 @@
 // constraints; `#program` directives switch the temporal section.
 #pragma once
 
+#include <optional>
 #include <string_view>
 
 #include "asp/syntax.hpp"
+#include "common/diagnostics.hpp"
 #include "common/result.hpp"
 
 namespace cprisk::asp {
@@ -15,6 +17,11 @@ namespace cprisk::asp {
 /// Parses a full program; returns a failure with source location info on the
 /// first syntax error.
 Result<Program> parse_program(std::string_view source);
+
+/// Parses a full program, reporting syntax errors to `sink` as "asp-syntax"
+/// diagnostics with structured source locations. Returns nullopt when the
+/// source does not parse.
+std::optional<Program> parse_program(std::string_view source, DiagnosticSink& sink);
 
 /// Parses a single ground or non-ground term (for tests and tooling).
 Result<Term> parse_term(std::string_view source);

@@ -1,0 +1,78 @@
+#include "asp/safety.hpp"
+
+#include <set>
+
+namespace cprisk::asp {
+
+std::vector<SafetyViolation> unsafe_variables(const std::vector<Literal>& body,
+                                              const std::vector<Term>& head_terms,
+                                              const std::string& what) {
+    std::set<std::string> bindable;
+    std::vector<std::string> scratch;
+    for (const Literal& lit : body) {
+        scratch.clear();
+        if (lit.kind == Literal::Kind::Atom && !lit.negated) {
+            for (const Term& a : lit.atom.args) a.collect_variables(scratch);
+        } else if (lit.kind == Literal::Kind::Comparison && lit.op == CompareOp::Eq) {
+            lit.lhs.collect_variables(scratch);
+            lit.rhs.collect_variables(scratch);
+        }
+        bindable.insert(scratch.begin(), scratch.end());
+    }
+    std::vector<std::string> required;
+    for (const Term& t : head_terms) t.collect_variables(required);
+    for (const Literal& lit : body) {
+        if (lit.kind == Literal::Kind::Atom && lit.negated) {
+            for (const Term& a : lit.atom.args) a.collect_variables(required);
+        } else if (lit.kind == Literal::Kind::Comparison && lit.op != CompareOp::Eq) {
+            lit.lhs.collect_variables(required);
+            lit.rhs.collect_variables(required);
+        }
+    }
+    std::vector<SafetyViolation> violations;
+    std::set<std::string> reported;
+    for (const std::string& var : required) {
+        if (var == "_" || bindable.count(var) > 0) continue;
+        if (!reported.insert(var).second) continue;
+        violations.push_back(SafetyViolation{var, what});
+    }
+    return violations;
+}
+
+std::vector<SafetyViolation> unsafe_rule_variables(const Rule& rule) {
+    std::vector<SafetyViolation> violations;
+    auto append = [&](std::vector<SafetyViolation> more) {
+        violations.insert(violations.end(), std::make_move_iterator(more.begin()),
+                          std::make_move_iterator(more.end()));
+    };
+    std::vector<Term> head_terms;
+    switch (rule.head.kind) {
+        case Head::Kind::Atom:
+            head_terms.insert(head_terms.end(), rule.head.atom.args.begin(),
+                              rule.head.atom.args.end());
+            break;
+        case Head::Kind::Constraint: break;
+        case Head::Kind::Choice:
+            // Choice element variables may be bound by the element's own
+            // condition; check each element against body + condition.
+            for (const auto& element : rule.head.elements) {
+                std::vector<Literal> extended = rule.body;
+                extended.insert(extended.end(), element.condition.begin(),
+                                element.condition.end());
+                std::vector<Term> element_terms(element.atom.args.begin(),
+                                                element.atom.args.end());
+                append(unsafe_variables(extended, element_terms, "rule " + rule.to_string()));
+            }
+            break;
+    }
+    append(unsafe_variables(rule.body, head_terms, "rule " + rule.to_string()));
+    return violations;
+}
+
+std::vector<SafetyViolation> unsafe_weak_variables(const WeakConstraint& weak) {
+    std::vector<Term> weak_terms = weak.tuple;
+    weak_terms.push_back(weak.weight);
+    return unsafe_variables(weak.body, weak_terms, "weak constraint " + weak.to_string());
+}
+
+}  // namespace cprisk::asp

@@ -1,0 +1,39 @@
+// cprisk/asp/safety.hpp
+//
+// Static variable-safety analysis for ASP rules, shared by the grounder
+// (which aborts on the first violation) and the lint rule pack in src/lint
+// (which reports every violation with a source location). A variable used in
+// a head, in a negative literal, or in a filtering comparison is *safe* when
+// a positive body atom or an `=` assignment can bind it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "asp/syntax.hpp"
+
+namespace cprisk::asp {
+
+/// One unsafe variable occurrence.
+struct SafetyViolation {
+    std::string variable;  ///< the unbound variable name
+    std::string context;   ///< e.g. "rule p(X) :- q." — matches grounder wording
+};
+
+/// Checks one body against the variables of `head_terms`. `what` labels the
+/// construct in SafetyViolation::context ("rule ...", "weak constraint ...").
+/// Each unsafe variable is reported once, in order of first occurrence.
+std::vector<SafetyViolation> unsafe_variables(const std::vector<Literal>& body,
+                                              const std::vector<Term>& head_terms,
+                                              const std::string& what);
+
+/// Full safety check of a rule: head variables, negative-literal and
+/// comparison variables; choice elements are checked against body plus their
+/// own condition.
+std::vector<SafetyViolation> unsafe_rule_variables(const Rule& rule);
+
+/// Safety check of a weak constraint: tuple and weight variables must be
+/// bound by the body.
+std::vector<SafetyViolation> unsafe_weak_variables(const WeakConstraint& weak);
+
+}  // namespace cprisk::asp

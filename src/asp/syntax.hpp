@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "asp/term.hpp"
+#include "common/source_loc.hpp"
 
 namespace cprisk::asp {
 
@@ -71,6 +72,10 @@ struct Literal {
     AggregateKind aggregate_kind = AggregateKind::Count;
     std::vector<AggregateElement> elements;
 
+    /// Source position of the literal's first token (unknown for literals
+    /// built programmatically).
+    SourceLoc loc;
+
     static Literal positive(Atom a);
     static Literal negative(Atom a);
     static Literal comparison(Term lhs, CompareOp op, Term rhs);
@@ -116,6 +121,9 @@ struct Head {
 struct Rule {
     Head head;
     std::vector<Literal> body;
+    /// Source position of the rule's first token (unknown for rules built
+    /// programmatically).
+    SourceLoc loc;
 
     std::string to_string() const;
 };
@@ -128,6 +136,9 @@ struct WeakConstraint {
     Term weight = Term::integer(1);
     long long priority = 0;
     std::vector<Term> tuple;
+    /// Source position of the ':~' token (unknown when built
+    /// programmatically).
+    SourceLoc loc;
 
     std::string to_string() const;
 };

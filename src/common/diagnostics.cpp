@@ -1,0 +1,175 @@
+#include "common/diagnostics.hpp"
+
+#include <algorithm>
+
+namespace cprisk {
+
+std::string SourceLoc::to_string() const {
+    if (!valid()) return "unknown location";
+    return "line " + std::to_string(line) + ", column " + std::to_string(column);
+}
+
+std::string_view to_string(Severity severity) {
+    switch (severity) {
+        case Severity::Note: return "note";
+        case Severity::Warning: return "warning";
+        case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+std::string Diagnostic::to_string() const {
+    std::string out;
+    if (!file.empty()) out += file + ":";
+    if (loc.valid()) {
+        out += std::to_string(loc.line) + ":" + std::to_string(loc.column) + ":";
+    }
+    if (!out.empty()) out += " ";
+    out += std::string(cprisk::to_string(severity)) + ": " + message;
+    if (!rule.empty()) out += " [" + rule + "]";
+    return out;
+}
+
+void DiagnosticSink::report(Diagnostic diagnostic) {
+    if (diagnostic.file.empty()) diagnostic.file = file_;
+    diagnostics_.push_back(std::move(diagnostic));
+}
+
+void DiagnosticSink::report(Severity severity, std::string rule, std::string message,
+                            SourceLoc loc, std::string hint) {
+    Diagnostic d;
+    d.severity = severity;
+    d.rule = std::move(rule);
+    d.message = std::move(message);
+    d.loc = loc;
+    d.hint = std::move(hint);
+    report(std::move(d));
+}
+
+void DiagnosticSink::error(std::string rule, std::string message, SourceLoc loc,
+                           std::string hint) {
+    report(Severity::Error, std::move(rule), std::move(message), loc, std::move(hint));
+}
+
+void DiagnosticSink::warning(std::string rule, std::string message, SourceLoc loc,
+                             std::string hint) {
+    report(Severity::Warning, std::move(rule), std::move(message), loc, std::move(hint));
+}
+
+void DiagnosticSink::note(std::string rule, std::string message, SourceLoc loc,
+                          std::string hint) {
+    report(Severity::Note, std::move(rule), std::move(message), loc, std::move(hint));
+}
+
+void DiagnosticSink::absorb(const DiagnosticSink& other, int line_offset,
+                            const std::string& file) {
+    for (Diagnostic d : other.diagnostics()) {
+        if (d.loc.valid()) d.loc.line += line_offset;
+        if (d.file.empty()) d.file = file;
+        report(std::move(d));
+    }
+}
+
+std::size_t DiagnosticSink::count(Severity severity) const {
+    return static_cast<std::size_t>(
+        std::count_if(diagnostics_.begin(), diagnostics_.end(),
+                      [&](const Diagnostic& d) { return d.severity == severity; }));
+}
+
+void DiagnosticSink::sort_by_location() {
+    std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                     [](const Diagnostic& a, const Diagnostic& b) {
+                         if (a.file != b.file) return a.file < b.file;
+                         if (a.loc.line != b.loc.line) return a.loc.line < b.loc.line;
+                         return a.loc.column < b.loc.column;
+                     });
+}
+
+namespace {
+
+std::string summary_line(const std::vector<Diagnostic>& diagnostics) {
+    std::size_t errors = 0;
+    std::size_t warnings = 0;
+    std::size_t notes = 0;
+    for (const Diagnostic& d : diagnostics) {
+        switch (d.severity) {
+            case Severity::Error: ++errors; break;
+            case Severity::Warning: ++warnings; break;
+            case Severity::Note: ++notes; break;
+        }
+    }
+    return std::to_string(errors) + " error(s), " + std::to_string(warnings) +
+           " warning(s), " + std::to_string(notes) + " note(s)";
+}
+
+std::string json_escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    constexpr const char* hex = "0123456789abcdef";
+                    out += "\\u00";
+                    out += hex[(c >> 4) & 0xf];
+                    out += hex[c & 0xf];
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string render_text(const std::vector<Diagnostic>& diagnostics) {
+    std::string out;
+    for (const Diagnostic& d : diagnostics) {
+        out += d.to_string() + "\n";
+        if (!d.hint.empty()) out += "  hint: " + d.hint + "\n";
+    }
+    if (!diagnostics.empty()) out += summary_line(diagnostics) + "\n";
+    return out;
+}
+
+std::string render_json(const std::vector<Diagnostic>& diagnostics) {
+    std::string out = "{\n  \"diagnostics\": [";
+    for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+        const Diagnostic& d = diagnostics[i];
+        out += i == 0 ? "\n" : ",\n";
+        out += "    {\"severity\": \"" + std::string(to_string(d.severity)) + "\"";
+        out += ", \"rule\": \"" + json_escape(d.rule) + "\"";
+        if (!d.file.empty()) out += ", \"file\": \"" + json_escape(d.file) + "\"";
+        if (d.loc.valid()) {
+            out += ", \"line\": " + std::to_string(d.loc.line) +
+                   ", \"column\": " + std::to_string(d.loc.column);
+        }
+        out += ", \"message\": \"" + json_escape(d.message) + "\"";
+        if (!d.hint.empty()) out += ", \"hint\": \"" + json_escape(d.hint) + "\"";
+        out += "}";
+    }
+    if (!diagnostics.empty()) out += "\n  ";
+    out += "],\n";
+    std::size_t errors = 0;
+    std::size_t warnings = 0;
+    std::size_t notes = 0;
+    for (const Diagnostic& d : diagnostics) {
+        switch (d.severity) {
+            case Severity::Error: ++errors; break;
+            case Severity::Warning: ++warnings; break;
+            case Severity::Note: ++notes; break;
+        }
+    }
+    out += "  \"errors\": " + std::to_string(errors) + ",\n";
+    out += "  \"warnings\": " + std::to_string(warnings) + ",\n";
+    out += "  \"notes\": " + std::to_string(notes) + "\n}\n";
+    return out;
+}
+
+}  // namespace cprisk

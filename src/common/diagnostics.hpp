@@ -1,0 +1,86 @@
+// cprisk/common/diagnostics.hpp
+//
+// Batch diagnostics engine shared by the ASP front end, the model loader and
+// the lint rule packs (src/lint). Unlike Result<T> — which carries exactly
+// one failure and stops the pipeline — a DiagnosticSink collects *all*
+// findings of a validation pass so an analyst fixes a broken model in one
+// edit-run cycle instead of one error at a time. Renderers produce
+// human-readable text and machine-readable JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/source_loc.hpp"
+
+namespace cprisk {
+
+enum class Severity : std::uint8_t {
+    Note,     ///< stylistic / informational; never affects exit codes
+    Warning,  ///< suspicious but not definitely wrong; error under --werror
+    Error,    ///< definitely broken input
+};
+
+std::string_view to_string(Severity severity);
+
+/// One finding of a validation or lint pass.
+struct Diagnostic {
+    Severity severity = Severity::Error;
+    std::string rule;     ///< stable rule id, e.g. "asp-unsafe-var"
+    std::string message;  ///< human-readable, location-free description
+    std::string file;     ///< originating file or source label; may be empty
+    SourceLoc loc;        ///< position within `file`; may be unknown
+    std::string hint;     ///< optional fix-it hint; may be empty
+
+    /// "file:3:7: error: message [rule-id]" (omitting unknown parts).
+    std::string to_string() const;
+};
+
+/// Collects diagnostics instead of stopping at the first problem.
+class DiagnosticSink {
+public:
+    /// Default file label applied to subsequently reported diagnostics that
+    /// do not set one themselves.
+    void set_file(std::string file) { file_ = std::move(file); }
+    const std::string& file() const { return file_; }
+
+    void report(Diagnostic diagnostic);
+    void report(Severity severity, std::string rule, std::string message, SourceLoc loc = {},
+                std::string hint = {});
+
+    void error(std::string rule, std::string message, SourceLoc loc = {}, std::string hint = {});
+    void warning(std::string rule, std::string message, SourceLoc loc = {},
+                 std::string hint = {});
+    void note(std::string rule, std::string message, SourceLoc loc = {}, std::string hint = {});
+
+    /// Re-reports every diagnostic of `other` into this sink, shifting line
+    /// numbers by `line_offset` and labelling unlabelled entries with
+    /// `file`. Used to map fragment-relative locations (e.g. a behaviour
+    /// block inside a .cpm bundle) to file-absolute ones.
+    void absorb(const DiagnosticSink& other, int line_offset = 0, const std::string& file = "");
+
+    const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+    bool empty() const { return diagnostics_.empty(); }
+    std::size_t count(Severity severity) const;
+    bool has_errors() const { return count(Severity::Error) > 0; }
+    bool has_warnings() const { return count(Severity::Warning) > 0; }
+
+    /// Stable-sorts diagnostics by (file, line, column); ties keep report
+    /// order, so per-line findings stay in rule-pack order.
+    void sort_by_location();
+
+private:
+    std::string file_;
+    std::vector<Diagnostic> diagnostics_;
+};
+
+/// Renders diagnostics one per line (plus indented hint lines), ending with
+/// a "N error(s), M warning(s), K note(s)" summary when non-empty.
+std::string render_text(const std::vector<Diagnostic>& diagnostics);
+
+/// Renders a JSON document: {"diagnostics": [...], "errors": N,
+/// "warnings": M, "notes": K}.
+std::string render_json(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace cprisk

@@ -1,0 +1,25 @@
+// cprisk/common/source_loc.hpp
+//
+// A 1-based line/column position inside a source text. Lexers and parsers
+// attach SourceLocs to the constructs they produce so downstream analyses
+// (diagnostics.hpp, src/lint) can point at the offending input. A
+// default-constructed SourceLoc (line 0) means "unknown".
+#pragma once
+
+#include <string>
+
+namespace cprisk {
+
+struct SourceLoc {
+    int line = 0;    ///< 1-based; 0 = unknown
+    int column = 0;  ///< 1-based; 0 = unknown
+
+    bool valid() const { return line > 0; }
+
+    bool operator==(const SourceLoc&) const = default;
+
+    /// "line 3, column 7" (or "unknown location").
+    std::string to_string() const;
+};
+
+}  // namespace cprisk

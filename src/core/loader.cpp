@@ -53,16 +53,18 @@ std::vector<std::string> split_quoted(const std::string& line) {
 
 }  // namespace
 
-Result<Bundle> load_bundle(std::string_view text) {
+Bundle load_bundle_lenient(std::string_view text, DiagnosticSink& sink,
+                           BundleSourceMap* source_map) {
     Bundle bundle;
     std::string model_text;
     std::istringstream stream{std::string(text)};
     std::string raw;
     int line_no = 0;
     bool in_behavior_block = false;
+    std::vector<RequirementRef> topo_refs;
 
-    auto fail = [](int line, const std::string& message) {
-        return Result<Bundle>::failure("line " + std::to_string(line) + ": " + message);
+    auto report = [&](int line, const std::string& message) {
+        sink.error("cpm-syntax", message, SourceLoc{line, 1});
     };
 
     while (std::getline(stream, raw)) {
@@ -79,51 +81,89 @@ Result<Bundle> load_bundle(std::string_view text) {
             model_text += raw + "\n";
             continue;
         }
+        // Keep a blank placeholder so model DSL diagnostics keep file-absolute
+        // line numbers past this point.
+        model_text += "\n";
 
         const auto fields = split_quoted(line);
         if (fields.size() < 4) {
-            return fail(line_no, "requirement needs: id kind args...");
+            report(line_no, "requirement needs: id kind args...");
+            continue;
         }
         const std::string& id = fields[1];
         const std::string& kind = fields[2];
+        if (source_map != nullptr) {
+            source_map->requirements.push_back(RequirementRef{id, line_no});
+        }
         if (kind == "never") {
             auto atom = asp::parse_atom(fields[3]);
-            if (!atom.ok()) return fail(line_no, atom.error());
+            if (!atom.ok()) {
+                report(line_no, atom.error());
+                continue;
+            }
             bundle.behavioral_requirements.push_back(
                 epa::Requirement::never(id, line, std::move(atom).value()));
         } else if (kind == "responds") {
             if (fields.size() < 5) {
-                return fail(line_no, "responds needs: trigger response");
+                report(line_no, "responds needs: trigger response");
+                continue;
             }
             auto trigger = asp::parse_atom(fields[3]);
-            if (!trigger.ok()) return fail(line_no, trigger.error());
+            if (!trigger.ok()) {
+                report(line_no, trigger.error());
+                continue;
+            }
             auto response = asp::parse_atom(fields[4]);
-            if (!response.ok()) return fail(line_no, response.error());
+            if (!response.ok()) {
+                report(line_no, response.error());
+                continue;
+            }
             bundle.behavioral_requirements.push_back(epa::Requirement::responds(
                 id, line, std::move(trigger).value(), std::move(response).value()));
         } else if (kind == "protects") {
             epa::Requirement requirement = epa::Requirement::no_error_reaches(fields[3]);
             requirement.id = id;
+            topo_refs.push_back(RequirementRef{id, line_no});
             bundle.topology_requirements.push_back(std::move(requirement));
         } else {
-            return fail(line_no, "unknown requirement kind '" + kind +
-                                     "' (expected never/responds/protects)");
+            report(line_no, "unknown requirement kind '" + kind +
+                                "' (expected never/responds/protects)");
         }
     }
 
-    auto model = model::parse_model(model_text);
-    if (!model.ok()) return Result<Bundle>::failure(model.error());
-    bundle.model = std::move(model).value();
+    bundle.model = model::parse_model_lenient(
+        model_text, sink, source_map != nullptr ? &source_map->model : nullptr);
 
     // `protects` requirements must reference existing components.
-    for (const epa::Requirement& requirement : bundle.topology_requirements) {
+    std::vector<epa::Requirement> kept;
+    for (std::size_t i = 0; i < bundle.topology_requirements.size(); ++i) {
+        epa::Requirement& requirement = bundle.topology_requirements[i];
         const asp::Atom& atom = requirement.formula.left().left().atom_value();
         if (atom.args.size() == 1 && atom.args[0].is_symbol() &&
             !bundle.model.has_component(atom.args[0].name())) {
-            return Result<Bundle>::failure("requirement '" + requirement.id +
-                                           "' protects unknown component '" +
-                                           atom.args[0].name() + "'");
+            sink.error("model-unknown-component-ref",
+                       "requirement '" + requirement.id + "' protects unknown component '" +
+                           atom.args[0].name() + "'",
+                       SourceLoc{i < topo_refs.size() ? topo_refs[i].line : 0, 1});
+            continue;
         }
+        kept.push_back(std::move(requirement));
+    }
+    bundle.topology_requirements = std::move(kept);
+    return bundle;
+}
+
+Result<Bundle> load_bundle(std::string_view text) {
+    DiagnosticSink sink;
+    Bundle bundle = load_bundle_lenient(text, sink);
+    for (const Diagnostic& d : sink.diagnostics()) {
+        if (d.severity != Severity::Error) continue;
+        // The component-reference check historically reported without a line
+        // prefix; everything else as "line N: message".
+        if (d.rule == "model-unknown-component-ref" || !d.loc.valid()) {
+            return Result<Bundle>::failure(d.message);
+        }
+        return Result<Bundle>::failure("line " + std::to_string(d.loc.line) + ": " + d.message);
     }
     return bundle;
 }

@@ -18,7 +18,9 @@
 #include <string_view>
 #include <vector>
 
+#include "common/diagnostics.hpp"
 #include "epa/requirement.hpp"
+#include "model/dsl.hpp"
 #include "model/system_model.hpp"
 
 namespace cprisk::core {
@@ -34,8 +36,28 @@ struct Bundle {
     const std::vector<epa::Requirement>& effective_topology() const;
 };
 
+/// Where each requirement was declared, for diagnostics.
+struct RequirementRef {
+    std::string id;
+    int line = 0;
+};
+
+/// Source-line side table for a parsed bundle.
+struct BundleSourceMap {
+    model::ModelSourceMap model;
+    std::vector<RequirementRef> requirements;
+};
+
 /// Parses the extended format.
 Result<Bundle> load_bundle(std::string_view text);
+
+/// Batch-diagnostics variant: reports every recoverable problem to `sink`
+/// (rule ids "cpm-syntax", "model-*" from model/dsl.hpp, plus
+/// "model-unknown-component-ref" for `protects` requirements naming unknown
+/// components), skips the offending statements, and returns the best-effort
+/// bundle built from the rest.
+Bundle load_bundle_lenient(std::string_view text, DiagnosticSink& sink,
+                           BundleSourceMap* source_map = nullptr);
 
 /// Reads and parses a bundle file from disk.
 Result<Bundle> load_bundle_file(const std::string& path);

@@ -1,0 +1,353 @@
+#include "lint/asp_lint.hpp"
+
+#include <map>
+#include <string_view>
+
+#include "asp/eval.hpp"
+#include "asp/safety.hpp"
+
+namespace cprisk::lint {
+
+namespace {
+
+using asp::Head;
+using asp::Literal;
+using asp::Program;
+using asp::Rule;
+using asp::Signature;
+using asp::Term;
+using asp::WeakConstraint;
+
+constexpr std::string_view kPrevPrefix = "prev_";
+
+bool has_prev_prefix(const std::string& name) {
+    return name.size() > kPrevPrefix.size() &&
+           name.compare(0, kPrevPrefix.size(), kPrevPrefix) == 0;
+}
+
+/// Where a signature was first seen: which source, and where within it.
+struct Occurrence {
+    std::size_t source = 0;
+    SourceLoc loc;
+};
+
+/// Shared state of the cross-program checks plus a location-shifting
+/// reporter.
+class AspLinter {
+public:
+    AspLinter(const std::vector<ProgramSource>& sources, const AspLintOptions& options,
+              DiagnosticSink& sink)
+        : sources_(sources), options_(options), sink_(sink) {}
+
+    void run() {
+        for (std::size_t i = 0; i < sources_.size(); ++i) {
+            if (sources_[i].program == nullptr) continue;
+            lint_source(i);
+        }
+        check_arities();
+        check_undefined();
+        check_unused();
+    }
+
+private:
+    void report(Severity severity, std::string rule, std::string message, std::size_t source,
+                SourceLoc loc, std::string hint = {}) {
+        Diagnostic diagnostic;
+        diagnostic.severity = severity;
+        diagnostic.rule = std::move(rule);
+        diagnostic.message = std::move(message);
+        diagnostic.hint = std::move(hint);
+        diagnostic.file = sources_[source].file;
+        if (loc.valid()) {
+            diagnostic.loc = SourceLoc{loc.line + sources_[source].line_offset, loc.column};
+        }
+        sink_.report(std::move(diagnostic));
+    }
+
+    static void remember(std::map<Signature, Occurrence>& into, Signature sig, std::size_t source,
+                         SourceLoc loc) {
+        into.emplace(std::move(sig), Occurrence{source, loc});
+    }
+
+    void note_atom(const asp::Atom& atom, std::size_t source, SourceLoc loc, bool is_use,
+                   bool temporal) {
+        Signature sig{atom.predicate, atom.arity()};
+        arities_[sig.predicate].emplace(sig.arity, Occurrence{source, loc});
+        if (is_use) {
+            remember(used_, sig, source, loc);
+            if (temporal && has_prev_prefix(atom.predicate)) {
+                // `prev_p(X)` reads p(X) at t-1: it is a use of p and is
+                // synthesized by the frame translation, not derived by rules.
+                remember(used_,
+                         Signature{atom.predicate.substr(kPrevPrefix.size()), atom.arity()},
+                         source, loc);
+                frame_synthesized_.insert(sig);
+            }
+        } else {
+            remember(derived_, sig, source, loc);
+        }
+    }
+
+    void note_literal_uses(const Literal& lit, std::size_t source, SourceLoc fallback,
+                           bool temporal) {
+        const SourceLoc loc = lit.loc.valid() ? lit.loc : fallback;
+        switch (lit.kind) {
+            case Literal::Kind::Atom:
+                note_atom(lit.atom, source, loc, /*is_use=*/true, temporal);
+                break;
+            case Literal::Kind::Comparison:
+                break;
+            case Literal::Kind::Aggregate:
+                for (const auto& element : lit.elements) {
+                    for (const Literal& cond : element.condition) {
+                        note_literal_uses(cond, source, loc, temporal);
+                    }
+                }
+                break;
+        }
+    }
+
+    /// Collects every variable occurrence of a literal (duplicates kept).
+    static void collect_literal_variables(const Literal& lit, std::vector<std::string>& out) {
+        switch (lit.kind) {
+            case Literal::Kind::Atom:
+                for (const Term& arg : lit.atom.args) arg.collect_variables(out);
+                break;
+            case Literal::Kind::Comparison:
+                lit.lhs.collect_variables(out);
+                lit.rhs.collect_variables(out);
+                break;
+            case Literal::Kind::Aggregate:
+                lit.rhs.collect_variables(out);
+                for (const auto& element : lit.elements) {
+                    for (const Term& t : element.tuple) t.collect_variables(out);
+                    for (const Literal& cond : element.condition) {
+                        collect_literal_variables(cond, out);
+                    }
+                }
+                break;
+        }
+    }
+
+    void check_singletons(const std::vector<std::string>& variables,
+                          const std::set<std::string>& already_unsafe, const std::string& context,
+                          std::size_t source, SourceLoc loc) {
+        std::map<std::string, int> counts;
+        for (const std::string& var : variables) ++counts[var];
+        for (const auto& [var, count] : counts) {
+            if (count != 1 || var.empty() || var[0] == '_') continue;
+            if (already_unsafe.count(var) > 0) continue;
+            report(Severity::Warning, "asp-singleton-var",
+                   "variable '" + var + "' occurs only once in " + context, source, loc,
+                   "replace '" + var + "' with '_' if the value is irrelevant");
+        }
+    }
+
+    /// Flags constraints that are trivially dead (a ground comparison is
+    /// false) or trivially violated (the whole body is ground comparisons
+    /// that all hold, so no stable model exists).
+    void check_constraint(const Rule& rule, std::size_t source) {
+        if (rule.body.empty()) {
+            report(Severity::Error, "asp-constraint-unsat",
+                   "constraint with empty body is always violated; the program is unsatisfiable",
+                   source, rule.loc);
+            return;
+        }
+        bool body_always_holds = true;
+        for (const Literal& lit : rule.body) {
+            if (lit.kind != Literal::Kind::Comparison || !lit.lhs.is_ground() ||
+                !lit.rhs.is_ground()) {
+                body_always_holds = false;
+                continue;
+            }
+            auto lhs = asp::eval_term(lit.lhs);
+            auto rhs = asp::eval_term(lit.rhs);
+            if (!lhs.ok() || !rhs.ok() || lhs.value().is_compound() ||
+                rhs.value().is_compound()) {
+                body_always_holds = false;
+                continue;
+            }
+            if (!asp::compare_terms(lhs.value(), lit.op, rhs.value())) {
+                report(Severity::Note, "asp-constraint-dead",
+                       "constraint can never fire: '" + lit.to_string() + "' is always false",
+                       source, lit.loc.valid() ? lit.loc : rule.loc,
+                       "remove the constraint or fix the comparison");
+                return;
+            }
+        }
+        if (body_always_holds) {
+            report(Severity::Error, "asp-constraint-unsat",
+                   "constraint body trivially holds; the program is unsatisfiable", source,
+                   rule.loc);
+        }
+    }
+
+    void lint_source(std::size_t source) {
+        const Program& program = *sources_[source].program;
+        const bool temporal = program.is_temporal();
+
+        for (const auto& sectioned : program.rules()) {
+            const Rule& rule = sectioned.rule;
+
+            // Definitions and uses.
+            switch (rule.head.kind) {
+                case Head::Kind::Atom:
+                    note_atom(rule.head.atom, source, rule.loc, /*is_use=*/false, temporal);
+                    break;
+                case Head::Kind::Constraint: break;
+                case Head::Kind::Choice:
+                    for (const auto& element : rule.head.elements) {
+                        note_atom(element.atom, source, rule.loc, /*is_use=*/false, temporal);
+                        for (const Literal& cond : element.condition) {
+                            note_literal_uses(cond, source, rule.loc, temporal);
+                        }
+                    }
+                    break;
+            }
+            for (const Literal& lit : rule.body) {
+                note_literal_uses(lit, source, rule.loc, temporal);
+            }
+
+            // Safety — the same implementation the grounder enforces.
+            std::set<std::string> unsafe;
+            for (const asp::SafetyViolation& violation : asp::unsafe_rule_variables(rule)) {
+                unsafe.insert(violation.variable);
+                report(Severity::Error, "asp-unsafe-var",
+                       "unsafe variable '" + violation.variable + "' in " + violation.context,
+                       source, rule.loc,
+                       "bind '" + violation.variable + "' with a positive body atom");
+            }
+
+            // Singletons.
+            std::vector<std::string> variables;
+            switch (rule.head.kind) {
+                case Head::Kind::Atom:
+                    for (const Term& arg : rule.head.atom.args) arg.collect_variables(variables);
+                    break;
+                case Head::Kind::Constraint: break;
+                case Head::Kind::Choice:
+                    for (const auto& element : rule.head.elements) {
+                        for (const Term& arg : element.atom.args) {
+                            arg.collect_variables(variables);
+                        }
+                        for (const Literal& cond : element.condition) {
+                            collect_literal_variables(cond, variables);
+                        }
+                    }
+                    break;
+            }
+            for (const Literal& lit : rule.body) collect_literal_variables(lit, variables);
+            check_singletons(variables, unsafe, "rule " + rule.to_string(), source, rule.loc);
+
+            if (rule.head.kind == Head::Kind::Constraint) check_constraint(rule, source);
+        }
+
+        for (const auto& sectioned : program.weaks()) {
+            const WeakConstraint& weak = sectioned.weak;
+            for (const Literal& lit : weak.body) {
+                note_literal_uses(lit, source, weak.loc, temporal);
+            }
+
+            std::set<std::string> unsafe;
+            for (const asp::SafetyViolation& violation : asp::unsafe_weak_variables(weak)) {
+                unsafe.insert(violation.variable);
+                report(Severity::Error, "asp-unsafe-var",
+                       "unsafe variable '" + violation.variable + "' in " + violation.context,
+                       source, weak.loc,
+                       "bind '" + violation.variable + "' with a positive body atom");
+            }
+
+            std::vector<std::string> variables;
+            weak.weight.collect_variables(variables);
+            for (const Term& t : weak.tuple) t.collect_variables(variables);
+            for (const Literal& lit : weak.body) collect_literal_variables(lit, variables);
+            check_singletons(variables, unsafe, "weak constraint " + weak.to_string(), source,
+                             weak.loc);
+        }
+
+        // #show directives consume their signature.
+        for (const Signature& sig : program.shows()) {
+            remember(used_, sig, source, SourceLoc{});
+            arities_[sig.predicate].emplace(sig.arity, Occurrence{source, SourceLoc{}});
+        }
+    }
+
+    bool is_external(const std::string& predicate) const {
+        return options_.external_predicates.count(predicate) > 0;
+    }
+
+    bool derived_at_other_arity(const Signature& sig) const {
+        auto it = arities_.find(sig.predicate);
+        if (it == arities_.end()) return false;
+        for (const auto& [arity, occurrence] : it->second) {
+            if (arity != sig.arity && derived_.count(Signature{sig.predicate, arity}) > 0) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void check_arities() {
+        for (const auto& [predicate, by_arity] : arities_) {
+            if (by_arity.size() < 2 || is_external(predicate)) continue;
+            std::string list;
+            for (const auto& [arity, occurrence] : by_arity) {
+                if (!list.empty()) list += ", ";
+                list += predicate + "/" + std::to_string(arity);
+            }
+            const Occurrence& site = by_arity.begin()->second;
+            report(Severity::Warning, "asp-arity-mismatch",
+                   "predicate '" + predicate + "' used with multiple arities: " + list,
+                   site.source, site.loc);
+        }
+    }
+
+    void check_undefined() {
+        for (const auto& [sig, occurrence] : used_) {
+            if (derived_.count(sig) > 0 || is_external(sig.predicate)) continue;
+            if (frame_synthesized_.count(sig) > 0) continue;  // reported via the base name
+            if (derived_at_other_arity(sig)) continue;        // asp-arity-mismatch covers it
+            report(Severity::Warning, "asp-undefined-pred",
+                   "predicate '" + sig.to_string() + "' is used but never derivable",
+                   occurrence.source, occurrence.loc,
+                   "add a rule or fact deriving '" + sig.to_string() + "', or remove the use");
+        }
+    }
+
+    void check_unused() {
+        for (const auto& [sig, occurrence] : derived_) {
+            if (used_.count(sig) > 0 || is_external(sig.predicate)) continue;
+            if (options_.assume_used.count(sig) > 0) continue;
+            if (used_.count(Signature{std::string(kPrevPrefix) + sig.predicate, sig.arity}) > 0) {
+                continue;
+            }
+            report(Severity::Note, "asp-unused-pred",
+                   "predicate '" + sig.to_string() + "' is derived but never used",
+                   occurrence.source, occurrence.loc,
+                   "add '#show " + sig.to_string() + ".' or remove the deriving rules");
+        }
+    }
+
+    const std::vector<ProgramSource>& sources_;
+    const AspLintOptions& options_;
+    DiagnosticSink& sink_;
+
+    std::map<Signature, Occurrence> derived_;
+    std::map<Signature, Occurrence> used_;
+    std::set<Signature> frame_synthesized_;
+    std::map<std::string, std::map<std::size_t, Occurrence>> arities_;
+};
+
+}  // namespace
+
+void lint_programs(const std::vector<ProgramSource>& sources, const AspLintOptions& options,
+                   DiagnosticSink& sink) {
+    AspLinter(sources, options, sink).run();
+}
+
+void lint_program(const asp::Program& program, const AspLintOptions& options,
+                  DiagnosticSink& sink, const std::string& file) {
+    lint_programs({ProgramSource{&program, file, 0}}, options, sink);
+}
+
+}  // namespace cprisk::lint

@@ -1,0 +1,61 @@
+// cprisk/lint/asp_lint.hpp
+//
+// Static-analysis rule pack for ASP programs. Runs over one or more parsed
+// programs (a standalone .lp file, or every behaviour fragment of a .cpm
+// bundle) and reports findings to a DiagnosticSink:
+//
+//   asp-unsafe-var       error    unsafe variable (shared with the grounder
+//                                 via asp/safety.hpp — one implementation)
+//   asp-constraint-unsat error    constraint whose body trivially holds, so
+//                                 the program can never have a stable model
+//   asp-singleton-var    warning  variable occurring exactly once in a rule
+//   asp-undefined-pred   warning  predicate used in a body but never
+//                                 derivable by any rule or fact
+//   asp-arity-mismatch   warning  same predicate name at different arities
+//   asp-unused-pred      note     predicate derived but never used / shown
+//   asp-constraint-dead  note     constraint guarded by an always-false
+//                                 ground comparison; it can never fire
+//
+// Cross-program checks (undefined/unused/arity) see the union of all the
+// sources passed in, so a predicate derived in one behaviour fragment and
+// used in another is resolved correctly.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "asp/syntax.hpp"
+#include "asp/term.hpp"
+#include "common/diagnostics.hpp"
+
+namespace cprisk::lint {
+
+/// One parsed program plus where its text came from. `line_offset` is added
+/// to every fragment-relative source line (0 for standalone files); `file`
+/// labels the diagnostics.
+struct ProgramSource {
+    const asp::Program* program = nullptr;
+    std::string file;
+    int line_offset = 0;
+};
+
+struct AspLintOptions {
+    /// Predicate names supplied from outside the analysed programs (e.g. the
+    /// model-to-ASP translation vocabulary for bundle fragments). They are
+    /// never reported undefined or unused, at any arity.
+    std::set<std::string> external_predicates;
+    /// Signatures consumed from outside (e.g. requirement atoms); suppresses
+    /// asp-unused-pred for them.
+    std::set<asp::Signature> assume_used;
+};
+
+/// Runs every ASP lint rule over the union of `sources`.
+void lint_programs(const std::vector<ProgramSource>& sources, const AspLintOptions& options,
+                   DiagnosticSink& sink);
+
+/// Convenience wrapper for a single standalone program.
+void lint_program(const asp::Program& program, const AspLintOptions& options,
+                  DiagnosticSink& sink, const std::string& file = "");
+
+}  // namespace cprisk::lint

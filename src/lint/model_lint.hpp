@@ -1,0 +1,35 @@
+// cprisk/lint/model_lint.hpp
+//
+// Static-analysis rule pack for .cpm model bundles. Layered on top of the
+// lenient loader (core/loader.hpp reports structural problems: dangling
+// relations, faults on unknown components, behaviour blocks for unknown
+// components) and the ASP rule pack (asp_lint.hpp runs over every behaviour
+// fragment with file-absolute locations). This pack adds the bundle-level
+// semantic checks:
+//
+//   model-unknown-component-ref   error    ground component argument of a
+//                                          model-vocabulary predicate
+//                                          (eff_fault, active_fault, error,
+//                                          connected, ...) names no component
+//   model-uncovered-exposure      warning  exposure=public component that no
+//                                          attack-matrix technique applies
+//                                          to, so the security assessment
+//                                          cannot exercise it
+//   model-underivable-requirement warning  never/responds requirement whose
+//                                          atom no behaviour fragment (nor
+//                                          the assessment driver) derives
+#pragma once
+
+#include "common/diagnostics.hpp"
+#include "core/loader.hpp"
+#include "security/attack_matrix.hpp"
+
+namespace cprisk::lint {
+
+/// Runs fragment ASP lint plus the bundle-level checks over a bundle loaded
+/// with core::load_bundle_lenient. `source_map` must come from the same
+/// load. Diagnostics inherit the sink's default file label.
+void lint_bundle(const core::Bundle& bundle, const core::BundleSourceMap& source_map,
+                 const security::AttackMatrix& matrix, DiagnosticSink& sink);
+
+}  // namespace cprisk::lint

@@ -20,7 +20,7 @@ Result<Enum> parse_by_name(std::string_view name, Enum last, const char* what) {
 
 /// Splits one DSL line into whitespace-separated fields, honouring
 /// double-quoted strings ("multi word") as single fields.
-Result<std::vector<std::string>> split_fields(const std::string& line, int line_no) {
+Result<std::vector<std::string>> split_fields(const std::string& line) {
     std::vector<std::string> fields;
     std::string current;
     bool in_quotes = false;
@@ -48,8 +48,7 @@ Result<std::vector<std::string>> split_fields(const std::string& line, int line_
         current += c;
     }
     if (in_quotes) {
-        return Result<std::vector<std::string>>::failure(
-            "line " + std::to_string(line_no) + ": unterminated string");
+        return Result<std::vector<std::string>>::failure("unterminated string");
     }
     if (!current.empty()) fields.push_back(std::move(current));
     return fields;
@@ -57,14 +56,13 @@ Result<std::vector<std::string>> split_fields(const std::string& line, int line_
 
 /// Parses trailing key=value options from `fields[start..]`.
 Result<std::map<std::string, std::string>> parse_options(
-    const std::vector<std::string>& fields, std::size_t start, int line_no) {
+    const std::vector<std::string>& fields, std::size_t start) {
     std::map<std::string, std::string> options;
     for (std::size_t i = start; i < fields.size(); ++i) {
         const auto eq = fields[i].find('=');
         if (eq == std::string::npos || eq == 0) {
             return Result<std::map<std::string, std::string>>::failure(
-                "line " + std::to_string(line_no) + ": expected key=value, found '" + fields[i] +
-                "'");
+                "expected key=value, found '" + fields[i] + "'");
         }
         options[fields[i].substr(0, eq)] = fields[i].substr(eq + 1);
     }
@@ -89,14 +87,15 @@ Result<Exposure> parse_exposure(std::string_view name) {
     return parse_by_name(name, Exposure::Public, "exposure");
 }
 
-Result<SystemModel> parse_model(std::string_view text) {
+SystemModel parse_model_lenient(std::string_view text, DiagnosticSink& sink,
+                                ModelSourceMap* source_map) {
     SystemModel model;
     std::istringstream stream{std::string(text)};
     std::string raw;
     int line_no = 0;
 
-    auto fail = [](int line, const std::string& message) {
-        return Result<SystemModel>::failure("line " + std::to_string(line) + ": " + message);
+    auto report = [&](const char* rule, int line, const std::string& message) {
+        sink.error(rule, message, SourceLoc{line, 1});
     };
 
     while (std::getline(stream, raw)) {
@@ -104,87 +103,149 @@ Result<SystemModel> parse_model(std::string_view text) {
         const std::string line{trim(raw)};
         if (line.empty() || line[0] == '#') continue;
 
-        auto fields_result = split_fields(line, line_no);
-        if (!fields_result.ok()) return Result<SystemModel>::failure(fields_result.error());
+        auto fields_result = split_fields(line);
+        if (!fields_result.ok()) {
+            report("cpm-syntax", line_no, fields_result.error());
+            continue;
+        }
         const auto& fields = fields_result.value();
         const std::string& keyword = fields[0];
 
         if (keyword == "component") {
-            if (fields.size() < 3) return fail(line_no, "component needs: id element_type");
+            if (fields.size() < 3) {
+                report("cpm-syntax", line_no, "component needs: id element_type");
+                continue;
+            }
             auto type = parse_element_type(fields[2]);
-            if (!type.ok()) return fail(line_no, type.error());
-            auto options = parse_options(fields, 3, line_no);
-            if (!options.ok()) return Result<SystemModel>::failure(options.error());
+            if (!type.ok()) {
+                report("cpm-syntax", line_no, type.error());
+                continue;
+            }
+            auto options = parse_options(fields, 3);
+            if (!options.ok()) {
+                report("cpm-syntax", line_no, options.error());
+                continue;
+            }
 
             Component component;
             component.id = fields[1];
             component.name = fields[1];
             component.type = type.value();
+            bool options_ok = true;
             for (const auto& [key, value] : options.value()) {
                 if (key == "name") {
                     component.name = value;
                 } else if (key == "exposure") {
                     auto exposure = parse_exposure(value);
-                    if (!exposure.ok()) return fail(line_no, exposure.error());
+                    if (!exposure.ok()) {
+                        report("cpm-syntax", line_no, exposure.error());
+                        options_ok = false;
+                        break;
+                    }
                     component.exposure = exposure.value();
                 } else if (key == "version") {
                     component.version = value;
                 } else if (key == "asset") {
                     auto level = qual::parse_level(value);
-                    if (!level.ok()) return fail(line_no, level.error());
+                    if (!level.ok()) {
+                        report("cpm-syntax", line_no, level.error());
+                        options_ok = false;
+                        break;
+                    }
                     component.asset_value = level.value();
                 } else {
                     component.properties[key] = value;
                 }
             }
+            if (!options_ok) continue;
+            const ComponentId id = component.id;
             auto added = model.add_component(std::move(component));
-            if (!added.ok()) return fail(line_no, added.error());
+            if (!added.ok()) {
+                report("model-bad-component", line_no, added.error());
+                continue;
+            }
+            if (source_map != nullptr) source_map->component_lines.emplace(id, line_no);
         } else if (keyword == "fault") {
-            if (fields.size() < 4) return fail(line_no, "fault needs: component fault_id effect");
+            if (fields.size() < 4) {
+                report("cpm-syntax", line_no, "fault needs: component fault_id effect");
+                continue;
+            }
             if (!model.has_component(fields[1])) {
-                return fail(line_no, "unknown component '" + fields[1] + "'");
+                report("model-unknown-fault-target", line_no,
+                       "unknown component '" + fields[1] + "'");
+                continue;
             }
             auto effect = parse_fault_effect(fields[3]);
-            if (!effect.ok()) return fail(line_no, effect.error());
-            auto options = parse_options(fields, 4, line_no);
-            if (!options.ok()) return Result<SystemModel>::failure(options.error());
+            if (!effect.ok()) {
+                report("cpm-syntax", line_no, effect.error());
+                continue;
+            }
+            auto options = parse_options(fields, 4);
+            if (!options.ok()) {
+                report("cpm-syntax", line_no, options.error());
+                continue;
+            }
 
             FaultMode mode;
             mode.id = fields[2];
             mode.effect = effect.value();
+            bool options_ok = true;
             for (const auto& [key, value] : options.value()) {
                 if (key == "severity") {
                     auto level = qual::parse_level(value);
-                    if (!level.ok()) return fail(line_no, level.error());
+                    if (!level.ok()) {
+                        report("cpm-syntax", line_no, level.error());
+                        options_ok = false;
+                        break;
+                    }
                     mode.severity = level.value();
                 } else if (key == "likelihood") {
                     auto level = qual::parse_level(value);
-                    if (!level.ok()) return fail(line_no, level.error());
+                    if (!level.ok()) {
+                        report("cpm-syntax", line_no, level.error());
+                        options_ok = false;
+                        break;
+                    }
                     mode.likelihood = level.value();
                 } else if (key == "forced") {
                     mode.forced_value = value;
                 } else {
-                    return fail(line_no, "unknown fault option '" + key + "'");
+                    report("cpm-syntax", line_no, "unknown fault option '" + key + "'");
+                    options_ok = false;
+                    break;
                 }
             }
+            if (!options_ok) continue;
             model.component_mutable(fields[1]).fault_modes.push_back(std::move(mode));
         } else if (keyword == "relation") {
             if (fields.size() < 4) {
-                return fail(line_no, "relation needs: source relation_type target");
+                report("cpm-syntax", line_no, "relation needs: source relation_type target");
+                continue;
             }
             auto type = parse_relation_type(fields[2]);
-            if (!type.ok()) return fail(line_no, type.error());
-            auto options = parse_options(fields, 4, line_no);
-            if (!options.ok()) return Result<SystemModel>::failure(options.error());
+            if (!type.ok()) {
+                report("cpm-syntax", line_no, type.error());
+                continue;
+            }
+            auto options = parse_options(fields, 4);
+            if (!options.ok()) {
+                report("cpm-syntax", line_no, options.error());
+                continue;
+            }
             Relation relation{fields[1], fields[3], type.value(), ""};
             auto label = options.value().find("label");
             if (label != options.value().end()) relation.label = label->second;
             auto added = model.add_relation(std::move(relation));
-            if (!added.ok()) return fail(line_no, added.error());
+            if (!added.ok()) {
+                report("model-dangling-relation", line_no, added.error());
+                continue;
+            }
         } else if (keyword == "behavior") {
             if (fields.size() < 3 || fields[2] != "<<<") {
-                return fail(line_no, "behavior needs: component <<<");
+                report("cpm-syntax", line_no, "behavior needs: component <<<");
+                continue;
             }
+            const int header_line = line_no;
             std::string fragment;
             bool closed = false;
             while (std::getline(stream, raw)) {
@@ -196,16 +257,43 @@ Result<SystemModel> parse_model(std::string_view text) {
                 fragment += raw;
                 fragment += '\n';
             }
-            if (!closed) return fail(line_no, "behavior block not closed with >>>");
+            if (!closed) {
+                report("cpm-syntax", line_no, "behavior block not closed with >>>");
+                continue;
+            }
+            const bool known = model.has_component(fields[1]);
+            if (source_map != nullptr) {
+                source_map->fragments.push_back(
+                    BehaviorFragment{fields[1], header_line, fragment, known});
+            }
+            if (!known) {
+                report("model-unknown-behavior-component", header_line,
+                       "unknown component '" + fields[1] + "'");
+                continue;
+            }
             auto added = model.add_behavior(fields[1], std::move(fragment));
-            if (!added.ok()) return fail(line_no, added.error());
+            if (!added.ok()) report("model-unknown-behavior-component", header_line, added.error());
         } else {
-            return fail(line_no, "unknown keyword '" + keyword + "'");
+            report("cpm-syntax", line_no, "unknown keyword '" + keyword + "'");
         }
     }
 
     auto valid = model.validate();
-    if (!valid.ok()) return Result<SystemModel>::failure(valid.error());
+    if (!valid.ok()) sink.error("model-invalid", valid.error());
+    return model;
+}
+
+Result<SystemModel> parse_model(std::string_view text) {
+    DiagnosticSink sink;
+    SystemModel model = parse_model_lenient(text, sink);
+    for (const Diagnostic& d : sink.diagnostics()) {
+        if (d.severity != Severity::Error) continue;
+        if (d.loc.valid()) {
+            return Result<SystemModel>::failure("line " + std::to_string(d.loc.line) + ": " +
+                                                d.message);
+        }
+        return Result<SystemModel>::failure(d.message);
+    }
     return model;
 }
 

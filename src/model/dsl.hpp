@@ -17,16 +17,46 @@
 // ordering), so models can be stored in version control next to the code.
 #pragma once
 
+#include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "common/diagnostics.hpp"
 #include "common/result.hpp"
 #include "model/system_model.hpp"
 
 namespace cprisk::model {
 
+/// One `behavior <id> <<< ... >>>` block as it appeared in the source text,
+/// captured for tooling (src/lint) that needs to map fragment-relative ASP
+/// source locations back to file-absolute lines.
+struct BehaviorFragment {
+    ComponentId component;
+    int header_line = 0;  ///< 1-based line of the `behavior ... <<<` header;
+                          ///< fragment line k is file line header_line + k
+    std::string text;
+    bool component_known = false;  ///< attachment target existed at parse time
+};
+
+/// Side table mapping model entities back to source lines.
+struct ModelSourceMap {
+    std::vector<BehaviorFragment> fragments;
+    std::map<ComponentId, int> component_lines;  ///< first declaration line
+};
+
 /// Parses the textual format into a validated SystemModel.
 Result<SystemModel> parse_model(std::string_view text);
+
+/// Batch-diagnostics variant: instead of stopping at the first problem,
+/// reports every recoverable error to `sink` (rule ids "cpm-syntax",
+/// "model-dangling-relation", "model-unknown-fault-target",
+/// "model-unknown-behavior-component", "model-bad-component",
+/// "model-invalid"), skips the offending statements and returns the
+/// best-effort model built from the rest. `source_map`, when non-null,
+/// receives behaviour fragments and component declaration lines.
+SystemModel parse_model_lenient(std::string_view text, DiagnosticSink& sink,
+                                ModelSourceMap* source_map = nullptr);
 
 /// Serializes a model into the textual format (components, faults,
 /// relations, behaviours; refinement state is structural and re-emerges from

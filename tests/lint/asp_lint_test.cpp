@@ -1,0 +1,190 @@
+#include "lint/asp_lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "asp/parser.hpp"
+#include "common/diagnostics.hpp"
+
+namespace cprisk::lint {
+namespace {
+
+asp::Program parse(const std::string& source) {
+    DiagnosticSink sink;
+    auto program = asp::parse_program(source, sink);
+    EXPECT_TRUE(program.has_value()) << render_text(sink.diagnostics());
+    return program.has_value() ? std::move(*program) : asp::Program{};
+}
+
+std::vector<Diagnostic> lint(const std::string& source, AspLintOptions options = {}) {
+    const asp::Program program = parse(source);
+    DiagnosticSink sink;
+    lint_program(program, options, sink);
+    return sink.diagnostics();
+}
+
+std::vector<Diagnostic> with_rule(const std::vector<Diagnostic>& diagnostics,
+                                  const std::string& rule) {
+    std::vector<Diagnostic> matching;
+    for (const Diagnostic& d : diagnostics) {
+        if (d.rule == rule) matching.push_back(d);
+    }
+    return matching;
+}
+
+TEST(AspLintTest, CleanProgramHasNoFindings) {
+    const auto diagnostics = lint("p(a). p(b).\nq(X) :- p(X).\n#show q/1.\n");
+    EXPECT_TRUE(diagnostics.empty()) << render_text(diagnostics);
+}
+
+TEST(AspLintTest, UnsafeVariableIsAnError) {
+    const auto unsafe = with_rule(lint("p(a).\nbad(X) :- p(a).\n#show bad/1.\n"),
+                                  "asp-unsafe-var");
+    ASSERT_EQ(unsafe.size(), 1u);
+    EXPECT_EQ(unsafe[0].severity, Severity::Error);
+    EXPECT_NE(unsafe[0].message.find("unsafe variable 'X'"), std::string::npos);
+}
+
+TEST(AspLintTest, LexerLineAndColumnSurviveIntoDiagnostics) {
+    // Regression: token positions must flow lexer -> parser -> AST -> lint.
+    // The offending rule starts at line 3, column 3 (two leading spaces).
+    const auto unsafe = with_rule(lint("p(a).\n\n  bad(X) :- p(a).\n#show bad/1.\n"),
+                                  "asp-unsafe-var");
+    ASSERT_EQ(unsafe.size(), 1u);
+    EXPECT_EQ(unsafe[0].loc, (SourceLoc{3, 3}));
+}
+
+TEST(AspLintTest, ReportsEveryFindingNotJustTheFirst) {
+    const auto diagnostics =
+        lint("a(X) :- b(a).\nc(X) :- b(a).\nb(a).\n#show a/1.\n#show c/1.\n");
+    EXPECT_EQ(with_rule(diagnostics, "asp-unsafe-var").size(), 2u);
+}
+
+TEST(AspLintTest, SingletonVariableIsAWarningWithHint) {
+    const auto singles =
+        with_rule(lint("p(a,b).\nq(X) :- p(X, Y).\n#show q/1.\n"), "asp-singleton-var");
+    ASSERT_EQ(singles.size(), 1u);
+    EXPECT_EQ(singles[0].severity, Severity::Warning);
+    EXPECT_NE(singles[0].message.find("'Y'"), std::string::npos);
+    EXPECT_NE(singles[0].hint.find("'_'"), std::string::npos);
+}
+
+TEST(AspLintTest, AnonymousVariablesAreNotSingletons) {
+    const auto diagnostics = lint("p(a,b).\nq(X) :- p(X, _).\n#show q/1.\n");
+    EXPECT_TRUE(with_rule(diagnostics, "asp-singleton-var").empty());
+}
+
+TEST(AspLintTest, UnsafeVariableIsNotDoubleReportedAsSingleton) {
+    const auto diagnostics = lint("bad(X) :- p(a).\np(a).\n#show bad/1.\n");
+    EXPECT_EQ(with_rule(diagnostics, "asp-unsafe-var").size(), 1u);
+    EXPECT_TRUE(with_rule(diagnostics, "asp-singleton-var").empty());
+}
+
+TEST(AspLintTest, UndefinedPredicateIsAWarning) {
+    const auto undefined =
+        with_rule(lint("q(X) :- missing(X).\n#show q/1.\n"), "asp-undefined-pred");
+    ASSERT_EQ(undefined.size(), 1u);
+    EXPECT_NE(undefined[0].message.find("missing/1"), std::string::npos);
+}
+
+TEST(AspLintTest, ExternalPredicatesAreNeverUndefinedOrUnused) {
+    AspLintOptions options;
+    options.external_predicates = {"missing"};
+    const auto diagnostics = lint("q(X) :- missing(X).\n#show q/1.\n", options);
+    EXPECT_TRUE(with_rule(diagnostics, "asp-undefined-pred").empty());
+}
+
+TEST(AspLintTest, PredicatesResolveAcrossSources) {
+    const asp::Program defines = parse("p(a). p(b).\n");
+    const asp::Program uses = parse("q(X) :- p(X).\n#show q/1.\n");
+    DiagnosticSink sink;
+    lint_programs({ProgramSource{&defines, "a.lp", 0}, ProgramSource{&uses, "b.lp", 0}},
+                  AspLintOptions{}, sink);
+    EXPECT_TRUE(with_rule(sink.diagnostics(), "asp-undefined-pred").empty());
+    EXPECT_TRUE(with_rule(sink.diagnostics(), "asp-unused-pred").empty());
+}
+
+TEST(AspLintTest, LineOffsetShiftsReportedLocations) {
+    const asp::Program program = parse("bad(X) :- p(a).\np(a).\n#show bad/1.\n");
+    DiagnosticSink sink;
+    lint_programs({ProgramSource{&program, "bundle.cpm", 40}}, AspLintOptions{}, sink);
+    const auto unsafe = with_rule(sink.diagnostics(), "asp-unsafe-var");
+    ASSERT_EQ(unsafe.size(), 1u);
+    EXPECT_EQ(unsafe[0].loc, (SourceLoc{41, 1}));
+    EXPECT_EQ(unsafe[0].file, "bundle.cpm");
+}
+
+TEST(AspLintTest, DerivedButNeverUsedIsANote) {
+    const auto unused = with_rule(lint("p(a).\n"), "asp-unused-pred");
+    ASSERT_EQ(unused.size(), 1u);
+    EXPECT_EQ(unused[0].severity, Severity::Note);
+    EXPECT_NE(unused[0].message.find("p/1"), std::string::npos);
+}
+
+TEST(AspLintTest, ShowDirectiveCountsAsAUse) {
+    const auto diagnostics = lint("p(a).\n#show p/1.\n");
+    EXPECT_TRUE(with_rule(diagnostics, "asp-unused-pred").empty());
+}
+
+TEST(AspLintTest, AssumeUsedSuppressesUnused) {
+    AspLintOptions options;
+    options.assume_used = {asp::Signature{"p", 1}};
+    const auto diagnostics = lint("p(a).\n", options);
+    EXPECT_TRUE(with_rule(diagnostics, "asp-unused-pred").empty());
+}
+
+TEST(AspLintTest, ArityMismatchIsReportedOncePerPredicate) {
+    // p/2 is used but only p/1 is derived: the arity mismatch is the real
+    // problem, so the undefined-predicate warning is subsumed.
+    const auto diagnostics = lint("p(a).\nq(X) :- p(X, b).\n#show q/1.\n#show p/1.\n");
+    const auto arity = with_rule(diagnostics, "asp-arity-mismatch");
+    ASSERT_EQ(arity.size(), 1u);
+    EXPECT_NE(arity[0].message.find("p/1, p/2"), std::string::npos);
+    EXPECT_TRUE(with_rule(diagnostics, "asp-undefined-pred").empty());
+}
+
+TEST(AspLintTest, TriviallySatisfiedConstraintIsAnError) {
+    const auto unsat = with_rule(lint(":- 1 < 2.\n"), "asp-constraint-unsat");
+    ASSERT_EQ(unsat.size(), 1u);
+    EXPECT_EQ(unsat[0].severity, Severity::Error);
+}
+
+TEST(AspLintTest, DeadConstraintIsANote) {
+    const auto diagnostics = lint("p(a).\n:- p(X), 1 > 2.\n#show p/1.\n");
+    const auto dead = with_rule(diagnostics, "asp-constraint-dead");
+    ASSERT_EQ(dead.size(), 1u);
+    EXPECT_EQ(dead[0].severity, Severity::Note);
+    EXPECT_TRUE(with_rule(diagnostics, "asp-constraint-unsat").empty());
+}
+
+TEST(AspLintTest, OrdinaryConstraintsAreNotFlagged) {
+    const auto diagnostics = lint("p(a).\n:- p(X), X != a.\n#show p/1.\n");
+    EXPECT_TRUE(with_rule(diagnostics, "asp-constraint-unsat").empty());
+    EXPECT_TRUE(with_rule(diagnostics, "asp-constraint-dead").empty());
+}
+
+TEST(AspLintTest, TemporalPrevResolvesToBasePredicate) {
+    const std::string source =
+        "#program initial.\nstate(s0).\n#program dynamic.\nstate(X) :- prev_state(X).\n"
+        "#show state/1.\n";
+    const auto diagnostics = lint(source);
+    EXPECT_TRUE(with_rule(diagnostics, "asp-undefined-pred").empty()) << render_text(diagnostics);
+    EXPECT_TRUE(with_rule(diagnostics, "asp-unused-pred").empty());
+}
+
+TEST(AspLintTest, ParseErrorsCarryLocationThroughSink) {
+    DiagnosticSink sink;
+    auto program = asp::parse_program("p(a).\nq(X :- p(X).\n", sink);
+    EXPECT_FALSE(program.has_value());
+    const auto syntax = with_rule(sink.diagnostics(), "asp-syntax");
+    ASSERT_EQ(syntax.size(), 1u);
+    EXPECT_EQ(syntax[0].loc.line, 2);
+}
+
+TEST(AspLintTest, ChoiceRuleVariablesBoundByConditionAreSafe) {
+    const auto diagnostics =
+        lint("item(a). item(b).\n{ pick(X) : item(X) }.\n#show pick/1.\n");
+    EXPECT_TRUE(with_rule(diagnostics, "asp-unsafe-var").empty()) << render_text(diagnostics);
+}
+
+}  // namespace
+}  // namespace cprisk::lint

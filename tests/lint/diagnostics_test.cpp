@@ -1,0 +1,94 @@
+#include "common/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cprisk {
+namespace {
+
+TEST(DiagnosticsTest, CollectsAllFindingsInsteadOfStoppingAtFirst) {
+    DiagnosticSink sink;
+    sink.error("rule-a", "first");
+    sink.warning("rule-b", "second");
+    sink.note("rule-c", "third");
+    EXPECT_EQ(sink.diagnostics().size(), 3u);
+    EXPECT_EQ(sink.count(Severity::Error), 1u);
+    EXPECT_EQ(sink.count(Severity::Warning), 1u);
+    EXPECT_EQ(sink.count(Severity::Note), 1u);
+    EXPECT_TRUE(sink.has_errors());
+    EXPECT_TRUE(sink.has_warnings());
+}
+
+TEST(DiagnosticsTest, DefaultFileLabelAppliesToUnlabelledReports) {
+    DiagnosticSink sink;
+    sink.set_file("model.cpm");
+    sink.error("rule", "message", SourceLoc{3, 7});
+    ASSERT_EQ(sink.diagnostics().size(), 1u);
+    EXPECT_EQ(sink.diagnostics()[0].file, "model.cpm");
+    EXPECT_EQ(sink.diagnostics()[0].to_string(), "model.cpm:3:7: error: message [rule]");
+}
+
+TEST(DiagnosticsTest, ToStringOmitsUnknownParts) {
+    Diagnostic diagnostic;
+    diagnostic.severity = Severity::Warning;
+    diagnostic.rule = "some-rule";
+    diagnostic.message = "something odd";
+    EXPECT_EQ(diagnostic.to_string(), "warning: something odd [some-rule]");
+}
+
+TEST(DiagnosticsTest, AbsorbShiftsLinesAndLabelsFile) {
+    DiagnosticSink fragment;
+    fragment.error("asp-syntax", "boom", SourceLoc{2, 5});
+    fragment.warning("w", "no location");
+
+    DiagnosticSink sink;
+    sink.absorb(fragment, /*line_offset=*/10, "bundle.cpm");
+    ASSERT_EQ(sink.diagnostics().size(), 2u);
+    EXPECT_EQ(sink.diagnostics()[0].loc, (SourceLoc{12, 5}));
+    EXPECT_EQ(sink.diagnostics()[0].file, "bundle.cpm");
+    // Unknown locations stay unknown instead of becoming "line 10".
+    EXPECT_FALSE(sink.diagnostics()[1].loc.valid());
+}
+
+TEST(DiagnosticsTest, SortByLocationIsStableWithinALine) {
+    DiagnosticSink sink;
+    sink.error("z-first", "reported first", SourceLoc{4, 1});
+    sink.error("a-second", "reported second", SourceLoc{4, 1});
+    sink.error("earlier-line", "line two", SourceLoc{2, 9});
+    sink.sort_by_location();
+    EXPECT_EQ(sink.diagnostics()[0].rule, "earlier-line");
+    EXPECT_EQ(sink.diagnostics()[1].rule, "z-first");
+    EXPECT_EQ(sink.diagnostics()[2].rule, "a-second");
+}
+
+TEST(DiagnosticsTest, RenderTextIncludesHintsAndSummary) {
+    DiagnosticSink sink;
+    sink.set_file("m.cpm");
+    sink.error("r1", "bad thing", SourceLoc{1, 2}, "fix it like so");
+    sink.warning("r2", "odd thing");
+    const std::string text = render_text(sink.diagnostics());
+    EXPECT_NE(text.find("m.cpm:1:2: error: bad thing [r1]"), std::string::npos);
+    EXPECT_NE(text.find("  hint: fix it like so"), std::string::npos);
+    EXPECT_NE(text.find("1 error(s), 1 warning(s), 0 note(s)"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, RenderTextOfNothingIsEmpty) {
+    EXPECT_EQ(render_text({}), "");
+}
+
+TEST(DiagnosticsTest, RenderJsonEscapesAndCounts) {
+    DiagnosticSink sink;
+    sink.error("r", "quote \" backslash \\ newline \n end", SourceLoc{1, 1});
+    const std::string json = render_json(sink.diagnostics());
+    EXPECT_NE(json.find("quote \\\" backslash \\\\ newline \\n end"), std::string::npos);
+    EXPECT_NE(json.find("\"errors\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"warnings\": 0"), std::string::npos);
+}
+
+TEST(SourceLocTest, ValidityAndToString) {
+    EXPECT_FALSE(SourceLoc{}.valid());
+    EXPECT_TRUE((SourceLoc{1, 1}).valid());
+    EXPECT_EQ((SourceLoc{3, 7}).to_string(), "line 3, column 7");
+}
+
+}  // namespace
+}  // namespace cprisk

@@ -1,0 +1,175 @@
+#include "lint/model_lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/diagnostics.hpp"
+#include "core/loader.hpp"
+#include "model/dsl.hpp"
+
+namespace cprisk::lint {
+namespace {
+
+std::vector<Diagnostic> lint_text(const std::string& text) {
+    DiagnosticSink sink;
+    core::BundleSourceMap source_map;
+    const core::Bundle bundle = core::load_bundle_lenient(text, sink, &source_map);
+    lint_bundle(bundle, source_map, security::AttackMatrix::standard_ics(), sink);
+    sink.sort_by_location();
+    return sink.diagnostics();
+}
+
+std::vector<Diagnostic> with_rule(const std::vector<Diagnostic>& diagnostics,
+                                  const std::string& rule) {
+    std::vector<Diagnostic> matching;
+    for (const Diagnostic& d : diagnostics) {
+        if (d.rule == rule) matching.push_back(d);
+    }
+    return matching;
+}
+
+constexpr const char* kCleanBundle =
+    "component plc controller exposure=internal\n"
+    "component pump actuator\n"
+    "fault pump stuck stuck_at\n"
+    "relation plc triggering pump\n"
+    "behavior plc <<<\n"
+    "running(pump) :- component(pump), not eff_fault(pump, stuck).\n"
+    "eff_fault(C, F) :- active_fault(C, F).\n"
+    ">>>\n"
+    "requirement r1 never \"eff_fault(pump, stuck)\"\n"
+    "requirement r2 protects pump\n";
+
+TEST(ModelLintTest, CleanBundleHasNoErrorsOrWarnings) {
+    const auto diagnostics = lint_text(kCleanBundle);
+    for (const Diagnostic& d : diagnostics) {
+        EXPECT_EQ(d.severity, Severity::Note) << d.to_string();
+    }
+}
+
+TEST(ModelLintTest, LenientLoaderReportsAllStructuralProblemsAtOnce) {
+    DiagnosticSink sink;
+    core::BundleSourceMap source_map;
+    core::load_bundle_lenient(
+        "component a equipment\n"
+        "fault ghost leak omission\n"
+        "relation a quantity_flow nowhere\n"
+        "behavior missing <<<\n"
+        "p(a).\n"
+        ">>>\n",
+        sink, &source_map);
+    EXPECT_EQ(with_rule(sink.diagnostics(), "model-unknown-fault-target").size(), 1u);
+    EXPECT_EQ(with_rule(sink.diagnostics(), "model-dangling-relation").size(), 1u);
+    EXPECT_EQ(with_rule(sink.diagnostics(), "model-unknown-behavior-component").size(), 1u);
+    EXPECT_EQ(sink.count(Severity::Error), 3u);
+}
+
+TEST(ModelLintTest, FragmentDiagnosticsUseFileAbsoluteLines) {
+    const auto diagnostics = lint_text(
+        "component plc controller\n"   // line 1
+        "behavior plc <<<\n"           // line 2
+        "ok(plc).\n"                   // line 3
+        "bad(X) :- ok(plc).\n"         // line 4
+        ">>>\n"
+        "requirement r1 never \"ok(plc)\"\n");
+    const auto unsafe = with_rule(diagnostics, "asp-unsafe-var");
+    ASSERT_EQ(unsafe.size(), 1u);
+    EXPECT_EQ(unsafe[0].loc.line, 4);
+}
+
+TEST(ModelLintTest, UnknownComponentRefInFragmentIsAnError) {
+    const auto refs = with_rule(
+        lint_text("component plc controller\n"
+                  "behavior plc <<<\n"
+                  "eff_fault(turbine, stuck) :- active_fault(plc, anything).\n"
+                  ">>>\n"),
+        "model-unknown-component-ref");
+    ASSERT_EQ(refs.size(), 1u);
+    EXPECT_EQ(refs[0].severity, Severity::Error);
+    EXPECT_NE(refs[0].message.find("'turbine'"), std::string::npos);
+    EXPECT_EQ(refs[0].loc.line, 3);
+}
+
+TEST(ModelLintTest, VariableComponentArgumentsAreNotFlagged) {
+    const auto diagnostics = lint_text(
+        "component plc controller\n"
+        "behavior plc <<<\n"
+        "eff_fault(C, F) :- active_fault(C, F).\n"
+        ">>>\n");
+    EXPECT_TRUE(with_rule(diagnostics, "model-unknown-component-ref").empty());
+}
+
+TEST(ModelLintTest, PublicExposureWithoutMatrixCoverageIsAWarning) {
+    // ElementType "material" has no technique in the standard ICS matrix.
+    const auto uncovered = with_rule(
+        lint_text("component pipe material exposure=public\n"), "model-uncovered-exposure");
+    ASSERT_EQ(uncovered.size(), 1u);
+    EXPECT_EQ(uncovered[0].severity, Severity::Warning);
+    EXPECT_EQ(uncovered[0].loc.line, 1);
+}
+
+TEST(ModelLintTest, CoveredPublicExposureIsClean) {
+    const auto diagnostics = lint_text("component ws node exposure=public\n");
+    EXPECT_TRUE(with_rule(diagnostics, "model-uncovered-exposure").empty());
+}
+
+TEST(ModelLintTest, UnderivableRequirementAtomIsAWarning) {
+    const auto underivable = with_rule(
+        lint_text("component plc controller\n"
+                  "behavior plc <<<\n"
+                  "ok(plc).\n"
+                  "#show ok/1.\n"
+                  ">>>\n"
+                  "requirement r9 never \"meltdown(plc)\"\n"),
+        "model-underivable-requirement");
+    ASSERT_EQ(underivable.size(), 1u);
+    EXPECT_NE(underivable[0].message.find("r9"), std::string::npos);
+    EXPECT_EQ(underivable[0].loc.line, 6);
+}
+
+TEST(ModelLintTest, RequirementAtomsDerivedByFragmentsAreClean) {
+    const auto diagnostics = lint_text(kCleanBundle);
+    EXPECT_TRUE(with_rule(diagnostics, "model-underivable-requirement").empty());
+}
+
+TEST(ModelLintTest, RequirementLinesDoNotShiftModelDiagnostics) {
+    // The requirement on line 2 is removed from the model text; a placeholder
+    // must keep the relation error on line 3.
+    DiagnosticSink sink;
+    core::load_bundle_lenient(
+        "component a equipment\n"
+        "requirement r1 protects a\n"
+        "relation a quantity_flow nowhere\n",
+        sink);
+    const auto dangling = with_rule(sink.diagnostics(), "model-dangling-relation");
+    ASSERT_EQ(dangling.size(), 1u);
+    EXPECT_EQ(dangling[0].loc.line, 3);
+}
+
+TEST(ModelLintTest, GoldenDiagnosticsOverBrokenFixture) {
+    const std::string dir = std::string(CPRISK_SOURCE_DIR) + "/tests/lint/fixtures";
+    std::ifstream input(dir + "/broken.cpm");
+    ASSERT_TRUE(input.good());
+    std::ostringstream text;
+    text << input.rdbuf();
+
+    DiagnosticSink sink;
+    sink.set_file("broken.cpm");
+    core::BundleSourceMap source_map;
+    const core::Bundle bundle = core::load_bundle_lenient(text.str(), sink, &source_map);
+    lint_bundle(bundle, source_map, security::AttackMatrix::standard_ics(), sink);
+    sink.sort_by_location();
+
+    std::ifstream golden(dir + "/broken.expected");
+    ASSERT_TRUE(golden.good());
+    std::ostringstream expected;
+    expected << golden.rdbuf();
+
+    EXPECT_EQ(render_text(sink.diagnostics()), expected.str());
+    EXPECT_GE(sink.count(Severity::Error), 3u);  // fixture holds >= 3 distinct defects
+}
+
+}  // namespace
+}  // namespace cprisk::lint

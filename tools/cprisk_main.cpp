@@ -2,8 +2,13 @@
 // framework.
 //
 //   cprisk check  <bundle>                 parse + validate a model bundle
+//   cprisk lint   <bundle-or-.lp>          run the static-analysis rule packs
 //   cprisk assess <bundle> [options]       run the full 7-step pipeline
 //   cprisk matrix                          print the O-RA and IEC 61508 matrices
+//
+// Lint options:
+//   --json               machine-readable diagnostics
+//   --werror             exit non-zero on warnings too
 //
 // Assess options:
 //   --horizon N          temporal unrolling depth           (default 6)
@@ -14,15 +19,22 @@
 //   --phase-budget N     enable multi-phase planning
 //   --markdown FILE      write the analyst report as Markdown
 //   --csv FILE           write the risk table as CSV
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
 
+#include "asp/parser.hpp"
+#include "common/diagnostics.hpp"
 #include "core/assessment.hpp"
 #include "core/loader.hpp"
 #include "core/report.hpp"
+#include "lint/asp_lint.hpp"
+#include "lint/model_lint.hpp"
 #include "risk/iec61508.hpp"
 #include "risk/ora.hpp"
 
@@ -31,6 +43,7 @@ namespace {
 int usage() {
     std::fprintf(stderr,
                  "usage: cprisk check <bundle>\n"
+                 "       cprisk lint <bundle-or-.lp> [--json] [--werror]\n"
                  "       cprisk assess <bundle> [--horizon N] [--max-faults K]\n"
                  "                     [--attack-scenarios] [--no-cegar] [--budget N]\n"
                  "                     [--phase-budget N] [--markdown FILE] [--csv FILE]\n"
@@ -38,17 +51,92 @@ int usage() {
     return 2;
 }
 
+bool read_file(const std::string& path, std::string& out) {
+    std::ifstream file(path);
+    if (!file) return false;
+    std::ostringstream content;
+    content << file.rdbuf();
+    out = content.str();
+    return true;
+}
+
+bool ends_with(const std::string& text, const char* suffix) {
+    const std::size_t n = std::strlen(suffix);
+    return text.size() >= n && text.compare(text.size() - n, n, suffix) == 0;
+}
+
 int cmd_check(const std::string& path) {
-    auto bundle = cprisk::core::load_bundle_file(path);
-    if (!bundle.ok()) {
-        std::fprintf(stderr, "error: %s\n", bundle.error().c_str());
+    std::string text;
+    if (!read_file(path, text)) {
+        std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
         return 1;
     }
-    const auto& b = bundle.value();
+    cprisk::DiagnosticSink sink;
+    sink.set_file(path);
+    auto bundle = cprisk::core::load_bundle_lenient(text, sink);
+    if (!sink.empty()) {
+        sink.sort_by_location();
+        std::fprintf(stderr, "%s", cprisk::render_text(sink.diagnostics()).c_str());
+    }
+    if (sink.has_errors()) return 1;
     std::printf("OK: %zu components, %zu relations, %zu behavioural + %zu topology "
                 "requirements\n",
-                b.model.component_count(), b.model.relation_count(),
-                b.behavioral_requirements.size(), b.topology_requirements.size());
+                bundle.model.component_count(), bundle.model.relation_count(),
+                bundle.behavioral_requirements.size(), bundle.topology_requirements.size());
+    return 0;
+}
+
+int cmd_lint(int argc, char** argv) {
+    if (argc < 1) return usage();
+    std::string path;
+    bool json = false;
+    bool werror = false;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--werror") {
+            werror = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown lint option '%s'\n", arg.c_str());
+            return usage();
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            std::fprintf(stderr, "lint takes exactly one input file\n");
+            return usage();
+        }
+    }
+    if (path.empty()) return usage();
+
+    std::string text;
+    if (!read_file(path, text)) {
+        std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+        return 1;
+    }
+
+    cprisk::DiagnosticSink sink;
+    sink.set_file(path);
+    if (ends_with(path, ".lp")) {
+        auto program = cprisk::asp::parse_program(text, sink);
+        if (program.has_value()) {
+            cprisk::lint::lint_program(*program, cprisk::lint::AspLintOptions{}, sink, path);
+        }
+    } else {
+        cprisk::core::BundleSourceMap source_map;
+        auto bundle = cprisk::core::load_bundle_lenient(text, sink, &source_map);
+        const auto matrix = cprisk::security::AttackMatrix::standard_ics();
+        cprisk::lint::lint_bundle(bundle, source_map, matrix, sink);
+    }
+    sink.sort_by_location();
+
+    if (json) {
+        std::printf("%s", cprisk::render_json(sink.diagnostics()).c_str());
+    } else if (!sink.empty()) {
+        std::printf("%s", cprisk::render_text(sink.diagnostics()).c_str());
+    }
+    if (sink.has_errors()) return 1;
+    if (werror && sink.has_warnings()) return 1;
     return 0;
 }
 
@@ -77,9 +165,22 @@ int cmd_assess(int argc, char** argv) {
 
     for (int i = 1; i < argc; ++i) {
         const std::string flag = argv[i];
+        bool bad_value = false;
+        // Numeric flag values must parse fully and be non-negative; atoll's
+        // silent 0 on garbage ("--horizon abc") hid typos.
         auto next_value = [&](long long& out) {
             if (i + 1 >= argc) return false;
-            out = std::atoll(argv[++i]);
+            const char* text = argv[++i];
+            char* end = nullptr;
+            errno = 0;
+            const long long parsed = std::strtoll(text, &end, 10);
+            if (end == text || *end != '\0' || errno == ERANGE || parsed < 0) {
+                std::fprintf(stderr, "invalid value '%s' for '%s': expected a non-negative integer\n",
+                             text, flag.c_str());
+                bad_value = true;
+                return false;
+            }
+            out = parsed;
             return true;
         };
         long long value = 0;
@@ -100,7 +201,9 @@ int cmd_assess(int argc, char** argv) {
         } else if (flag == "--csv" && i + 1 < argc) {
             csv_path = argv[++i];
         } else {
-            std::fprintf(stderr, "unknown or incomplete option '%s'\n", flag.c_str());
+            if (!bad_value) {
+                std::fprintf(stderr, "unknown or incomplete option '%s'\n", flag.c_str());
+            }
             return usage();
         }
     }
@@ -155,6 +258,7 @@ int main(int argc, char** argv) {
     if (argc < 2) return usage();
     const std::string command = argv[1];
     if (command == "check" && argc >= 3) return cmd_check(argv[2]);
+    if (command == "lint") return cmd_lint(argc - 2, argv + 2);
     if (command == "matrix") return cmd_matrix();
     if (command == "assess") return cmd_assess(argc - 2, argv + 2);
     return usage();
