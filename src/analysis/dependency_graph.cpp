@@ -1,0 +1,306 @@
+#include "analysis/dependency_graph.hpp"
+
+#include <algorithm>
+
+namespace cprisk::analysis {
+
+namespace {
+
+using asp::Head;
+using asp::Literal;
+using asp::Program;
+using asp::Rule;
+using asp::Signature;
+using asp::WeakConstraint;
+
+constexpr const char kPrevPrefix[] = "prev_";
+constexpr std::size_t kPrevPrefixLen = 5;
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+/// One body input of a rule: the predicate plus how it is consumed.
+struct Input {
+    Signature sig;
+    bool negative = false;
+};
+
+void collect_literal_inputs(const Literal& lit, std::vector<Input>& out) {
+    switch (lit.kind) {
+        case Literal::Kind::Atom:
+            out.push_back(Input{Signature{lit.atom.predicate, lit.atom.arity()}, lit.negated});
+            break;
+        case Literal::Kind::Comparison: break;
+        case Literal::Kind::Aggregate:
+            // Aggregates are non-monotone: treat their condition atoms as
+            // negative dependencies (the standard stratification convention).
+            for (const auto& element : lit.elements) {
+                for (const Literal& cond : element.condition) {
+                    std::vector<Input> inner;
+                    collect_literal_inputs(cond, inner);
+                    for (Input& input : inner) {
+                        input.negative = true;
+                        out.push_back(std::move(input));
+                    }
+                }
+            }
+            break;
+    }
+}
+
+}  // namespace
+
+bool has_temporal_prefix(const std::string& predicate) {
+    return predicate.size() > kPrevPrefixLen &&
+           predicate.compare(0, kPrevPrefixLen, kPrevPrefix) == 0;
+}
+
+std::string temporal_base(const std::string& predicate) {
+    return predicate.substr(kPrevPrefixLen);
+}
+
+std::optional<std::size_t> DependencyGraph::node_of(const Signature& sig) const {
+    auto it = node_index_.find(sig);
+    if (it == node_index_.end()) return std::nullopt;
+    return it->second;
+}
+
+std::size_t DependencyGraph::intern(const Signature& sig) {
+    auto [it, inserted] = node_index_.emplace(sig, nodes_.size());
+    if (inserted) nodes_.push_back(sig);
+    return it->second;
+}
+
+void DependencyGraph::add_edge(std::size_t from, std::size_t to, bool negative, bool temporal) {
+    if (edge_seen_.emplace(from, to, negative, temporal).second) {
+        edges_.push_back(DependencyEdge{from, to, negative, temporal});
+    }
+}
+
+void DependencyGraph::add_root(const Signature& sig) {
+    roots_.insert(intern(sig));
+    // A root read through the frame idiom also roots the base predicate: a
+    // constraint over prev_p consumes p from the previous step.
+    if (has_temporal_prefix(sig.predicate)) {
+        roots_.insert(intern(Signature{temporal_base(sig.predicate), sig.arity}));
+    }
+}
+
+void DependencyGraph::add_rule(const Rule& rule) {
+    std::vector<std::size_t> heads;
+    std::vector<Input> inputs;
+
+    switch (rule.head.kind) {
+        case Head::Kind::Atom:
+            heads.push_back(intern(Signature{rule.head.atom.predicate, rule.head.atom.arity()}));
+            break;
+        case Head::Kind::Constraint: break;
+        case Head::Kind::Choice:
+            for (const auto& element : rule.head.elements) {
+                heads.push_back(intern(Signature{element.atom.predicate, element.atom.arity()}));
+                for (const Literal& cond : element.condition) {
+                    collect_literal_inputs(cond, inputs);
+                }
+            }
+            break;
+    }
+    for (const Literal& lit : rule.body) collect_literal_inputs(lit, inputs);
+
+    if (heads.empty()) {
+        // Constraint: its body predicates are outputs (they decide model
+        // admissibility), not dependencies of anything.
+        for (const Input& input : inputs) add_root(input.sig);
+        return;
+    }
+    for (const Input& input : inputs) {
+        const std::size_t from = intern(input.sig);
+        for (std::size_t head : heads) add_edge(from, head, input.negative, /*temporal=*/false);
+        if (has_temporal_prefix(input.sig.predicate)) {
+            const std::size_t base =
+                intern(Signature{temporal_base(input.sig.predicate), input.sig.arity});
+            for (std::size_t head : heads) {
+                add_edge(base, head, input.negative, /*temporal=*/true);
+            }
+        }
+    }
+}
+
+void DependencyGraph::add_weak(const WeakConstraint& weak) {
+    std::vector<Input> inputs;
+    for (const Literal& lit : weak.body) collect_literal_inputs(lit, inputs);
+    for (const Input& input : inputs) add_root(input.sig);
+}
+
+DependencyGraph DependencyGraph::build(const Program& program) {
+    return build(std::vector<const Program*>{&program});
+}
+
+DependencyGraph DependencyGraph::build(const std::vector<const Program*>& programs) {
+    DependencyGraph graph;
+    for (const Program* program : programs) {
+        if (program == nullptr) continue;
+        for (const auto& sectioned : program->rules()) graph.add_rule(sectioned.rule);
+        for (const auto& sectioned : program->weaks()) graph.add_weak(sectioned.weak);
+        for (const Signature& sig : program->shows()) {
+            graph.add_root(sig);
+            graph.has_show_roots_ = true;
+        }
+    }
+    graph.finalize();
+    return graph;
+}
+
+DependencyGraph DependencyGraph::from_rules(const std::vector<Rule>& rules) {
+    DependencyGraph graph;
+    for (const Rule& rule : rules) graph.add_rule(rule);
+    graph.finalize();
+    return graph;
+}
+
+void DependencyGraph::finalize() {
+    compute_components();
+    compute_strata();
+}
+
+void DependencyGraph::compute_components() {
+    const std::size_t n = nodes_.size();
+    std::vector<std::vector<std::size_t>> adjacency(n);
+    for (const DependencyEdge& edge : edges_) {
+        if (!edge.temporal) adjacency[edge.from].push_back(edge.to);
+    }
+
+    // Iterative Tarjan; components come out in reverse topological order
+    // (sinks first) and are reversed below.
+    std::vector<std::size_t> index(n, kNone);
+    std::vector<std::size_t> low(n, 0);
+    std::vector<bool> on_stack(n, false);
+    std::vector<std::size_t> stack;
+    std::size_t counter = 0;
+
+    struct Frame {
+        std::size_t node;
+        std::size_t next_edge;
+    };
+    std::vector<Frame> frames;
+
+    for (std::size_t start = 0; start < n; ++start) {
+        if (index[start] != kNone) continue;
+        index[start] = low[start] = counter++;
+        stack.push_back(start);
+        on_stack[start] = true;
+        frames.push_back(Frame{start, 0});
+        while (!frames.empty()) {
+            Frame& frame = frames.back();
+            const std::size_t v = frame.node;
+            if (frame.next_edge < adjacency[v].size()) {
+                const std::size_t w = adjacency[v][frame.next_edge++];
+                if (index[w] == kNone) {
+                    index[w] = low[w] = counter++;
+                    stack.push_back(w);
+                    on_stack[w] = true;
+                    frames.push_back(Frame{w, 0});
+                } else if (on_stack[w]) {
+                    low[v] = std::min(low[v], index[w]);
+                }
+            } else {
+                if (low[v] == index[v]) {
+                    std::vector<std::size_t> component;
+                    while (true) {
+                        const std::size_t w = stack.back();
+                        stack.pop_back();
+                        on_stack[w] = false;
+                        component.push_back(w);
+                        if (w == v) break;
+                    }
+                    components_.push_back(std::move(component));
+                }
+                frames.pop_back();
+                if (!frames.empty()) {
+                    low[frames.back().node] = std::min(low[frames.back().node], low[v]);
+                }
+            }
+        }
+    }
+
+    std::reverse(components_.begin(), components_.end());
+    component_of_.assign(n, 0);
+    for (std::size_t c = 0; c < components_.size(); ++c) {
+        std::sort(components_[c].begin(), components_[c].end());
+        for (std::size_t node : components_[c]) component_of_[node] = c;
+    }
+}
+
+void DependencyGraph::compute_strata() {
+    strata_.assign(components_.size(), 0);
+    std::set<std::size_t> unstratified;
+    std::set<std::size_t> positive_loops;
+    std::vector<std::vector<std::pair<std::size_t, bool>>> incoming(components_.size());
+    for (const DependencyEdge& edge : edges_) {
+        if (edge.temporal) continue;
+        const std::size_t from = component_of_[edge.from];
+        const std::size_t to = component_of_[edge.to];
+        if (from == to) {
+            // Any internal edge of an SCC lies on a cycle (for singleton
+            // components the edge is a self-loop).
+            (edge.negative ? unstratified : positive_loops).insert(to);
+        } else {
+            incoming[to].emplace_back(from, edge.negative);
+        }
+    }
+    // Components are in topological order, so every source stratum is final
+    // when its consumers are visited.
+    for (std::size_t c = 0; c < components_.size(); ++c) {
+        for (const auto& [from, negative] : incoming[c]) {
+            strata_[c] = std::max(strata_[c], strata_[from] + (negative ? 1 : 0));
+        }
+    }
+    unstratified_.assign(unstratified.begin(), unstratified.end());
+    positive_loops_.assign(positive_loops.begin(), positive_loops.end());
+}
+
+int DependencyGraph::stratum_count() const {
+    int count = 0;
+    for (int stratum : strata_) count = std::max(count, stratum + 1);
+    return count;
+}
+
+std::vector<Signature> DependencyGraph::component_signatures(std::size_t component) const {
+    std::vector<Signature> signatures;
+    signatures.reserve(components_[component].size());
+    for (std::size_t node : components_[component]) signatures.push_back(nodes_[node]);
+    std::sort(signatures.begin(), signatures.end());
+    return signatures;
+}
+
+std::vector<bool> DependencyGraph::reachable_from_outputs(
+    const std::set<Signature>& extra_roots) const {
+    std::vector<std::vector<std::size_t>> reverse(nodes_.size());
+    for (const DependencyEdge& edge : edges_) reverse[edge.to].push_back(edge.from);
+
+    std::vector<bool> reached(nodes_.size(), false);
+    std::vector<std::size_t> stack;
+    auto push = [&](std::size_t node) {
+        if (!reached[node]) {
+            reached[node] = true;
+            stack.push_back(node);
+        }
+    };
+    for (std::size_t root : roots_) push(root);
+    for (const Signature& sig : extra_roots) {
+        if (auto node = node_of(sig)) push(*node);
+    }
+    while (!stack.empty()) {
+        const std::size_t v = stack.back();
+        stack.pop_back();
+        for (std::size_t w : reverse[v]) push(w);
+        // Reaching prev_p means p at the previous step matters too, even
+        // when no rule mentions both (e.g. p only appears as prev_p).
+        const Signature& sig = nodes_[v];
+        if (has_temporal_prefix(sig.predicate)) {
+            if (auto base = node_of(Signature{temporal_base(sig.predicate), sig.arity})) {
+                push(*base);
+            }
+        }
+    }
+    return reached;
+}
+
+}  // namespace cprisk::analysis

@@ -1,0 +1,140 @@
+// cprisk/analysis/dependency_graph.hpp
+//
+// Predicate dependency graph over asp::Program: one node per predicate
+// signature, one edge per body->head dependency (negative when the body
+// literal is under `not` or inside an aggregate). The graph is condensed
+// into strongly connected components (Tarjan), ordered topologically, and
+// assigned strata; this drives
+//
+//   - the asp-unstratified-negation / asp-positive-loop /
+//     asp-unreachable-from-show lint rules (lint/asp_lint.cpp),
+//   - SCC-ordered bottom-up grounding (asp/grounder.cpp), and
+//   - the `cprisk graph` CLI subcommand (tools/cprisk_main.cpp).
+//
+// Temporal programs use the `prev_p` frame idiom: `prev_p` stays a node of
+// its own (so per-step recursion remains stratified), and an extra edge
+// base-predicate -> head marked `temporal` records the cross-step feed.
+// Temporal edges are excluded from SCC/stratification but followed by the
+// backward output-reachability walk.
+//
+// For choice rules, every body and condition predicate is made a dependency
+// of every choice element. That slightly over-approximates the semantic
+// dependencies (a condition of one element does not really feed a sibling
+// element) but guarantees the ordering invariant the grounder relies on:
+// all inputs of a rule converge no later than the earliest component any
+// of its heads belongs to.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "asp/syntax.hpp"
+#include "asp/term.hpp"
+
+namespace cprisk::analysis {
+
+/// One dependency: head predicate `to` depends on body predicate `from`.
+struct DependencyEdge {
+    std::size_t from = 0;
+    std::size_t to = 0;
+    bool negative = false;  ///< through `not` or a body aggregate
+    bool temporal = false;  ///< prev_ alias: base predicate feeds the head at t+1
+};
+
+class DependencyGraph {
+public:
+    /// Builds the graph of one program (rules, weak constraints, #show).
+    static DependencyGraph build(const asp::Program& program);
+
+    /// Builds the union graph of several programs (e.g. every behaviour
+    /// fragment of a bundle), so cross-fragment dependencies resolve.
+    static DependencyGraph build(const std::vector<const asp::Program*>& programs);
+
+    /// Builds from bare rules (no weaks/shows); used by the grounder after
+    /// #const substitution.
+    static DependencyGraph from_rules(const std::vector<asp::Rule>& rules);
+
+    // --- nodes and edges ---------------------------------------------------
+
+    std::size_t node_count() const { return nodes_.size(); }
+    const std::vector<asp::Signature>& nodes() const { return nodes_; }
+    const asp::Signature& node(std::size_t index) const { return nodes_[index]; }
+    const std::vector<DependencyEdge>& edges() const { return edges_; }
+    std::optional<std::size_t> node_of(const asp::Signature& sig) const;
+
+    // --- SCC condensation --------------------------------------------------
+
+    /// Components in topological order: every non-temporal edge runs from an
+    /// earlier (or the same) component to a later one. Members are sorted.
+    const std::vector<std::vector<std::size_t>>& components() const { return components_; }
+    std::size_t component_count() const { return components_.size(); }
+    std::size_t component_of(std::size_t node) const { return component_of_[node]; }
+    std::vector<asp::Signature> component_signatures(std::size_t component) const;
+
+    // --- stratification ----------------------------------------------------
+
+    /// Stratum of a node's component: 0 for components with no incoming
+    /// cross-component edges, otherwise the max over incoming edges of the
+    /// source stratum plus one for each negative edge crossed.
+    int stratum_of(std::size_t node) const { return strata_[component_of_[node]]; }
+    int stratum_count() const;
+
+    /// True if no component contains an internal negative edge.
+    bool is_stratified() const { return unstratified_.empty(); }
+
+    /// Components with recursion through negation (an internal negative
+    /// edge), in topological order.
+    const std::vector<std::size_t>& unstratified_components() const { return unstratified_; }
+
+    /// Components with positive recursion (an internal positive edge: a
+    /// positive self-loop or a larger positive cycle), in topological order.
+    const std::vector<std::size_t>& positive_loop_components() const { return positive_loops_; }
+
+    // --- output reachability -----------------------------------------------
+
+    /// True if any source program declared a #show directive.
+    bool has_show_roots() const { return has_show_roots_; }
+
+    /// Nodes that can influence an output, walking edges backwards
+    /// (head -> body, temporal edges included) from the roots: #show
+    /// signatures, constraint and weak-constraint bodies, plus
+    /// `extra_roots` (e.g. requirement atoms consumed outside the program).
+    std::vector<bool> reachable_from_outputs(
+        const std::set<asp::Signature>& extra_roots = {}) const;
+
+private:
+    std::size_t intern(const asp::Signature& sig);
+    void add_edge(std::size_t from, std::size_t to, bool negative, bool temporal);
+    void add_root(const asp::Signature& sig);
+    void add_rule(const asp::Rule& rule);
+    void add_weak(const asp::WeakConstraint& weak);
+    void finalize();
+    void compute_components();
+    void compute_strata();
+
+    std::vector<asp::Signature> nodes_;
+    std::map<asp::Signature, std::size_t> node_index_;
+    std::vector<DependencyEdge> edges_;
+    std::set<std::tuple<std::size_t, std::size_t, bool, bool>> edge_seen_;
+    std::set<std::size_t> roots_;
+    bool has_show_roots_ = false;
+
+    std::vector<std::vector<std::size_t>> components_;
+    std::vector<std::size_t> component_of_;
+    std::vector<int> strata_;
+    std::vector<std::size_t> unstratified_;
+    std::vector<std::size_t> positive_loops_;
+};
+
+/// True for `prev_`-prefixed predicate names (the temporal frame idiom).
+bool has_temporal_prefix(const std::string& predicate);
+
+/// Strips the `prev_` prefix; requires has_temporal_prefix(predicate).
+std::string temporal_base(const std::string& predicate);
+
+}  // namespace cprisk::analysis

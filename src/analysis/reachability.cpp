@@ -1,0 +1,43 @@
+#include "analysis/reachability.hpp"
+
+namespace cprisk::analysis {
+
+using model::ComponentId;
+
+ReachabilityClosure::ReachabilityClosure(const model::SystemModel& model) {
+    for (const model::Component& component : model.components()) {
+        successors_[component.id] = model.propagation_successors(component.id);
+    }
+    for (const model::Component& component : model.components()) {
+        std::set<ComponentId>& visited = closure_[component.id];
+        std::vector<ComponentId> stack = successors_[component.id];
+        while (!stack.empty()) {
+            ComponentId current = std::move(stack.back());
+            stack.pop_back();
+            if (!visited.insert(current).second) continue;
+            auto it = successors_.find(current);
+            if (it == successors_.end()) continue;
+            for (const ComponentId& next : it->second) {
+                if (visited.count(next) == 0) stack.push_back(next);
+            }
+        }
+    }
+}
+
+const std::vector<ComponentId>& ReachabilityClosure::successors(const ComponentId& id) const {
+    static const std::vector<ComponentId> kEmpty;
+    auto it = successors_.find(id);
+    return it == successors_.end() ? kEmpty : it->second;
+}
+
+const std::set<ComponentId>& ReachabilityClosure::reachable_from(const ComponentId& id) const {
+    static const std::set<ComponentId> kEmpty;
+    auto it = closure_.find(id);
+    return it == closure_.end() ? kEmpty : it->second;
+}
+
+bool ReachabilityClosure::reaches(const ComponentId& source, const ComponentId& target) const {
+    return reachable_from(source).count(target) > 0;
+}
+
+}  // namespace cprisk::analysis

@@ -1,0 +1,41 @@
+// cprisk/analysis/reachability.hpp
+//
+// Precomputed fault-propagation reachability over a SystemModel. The model's
+// own SystemModel::reachable_from re-scans the relation list on every hop,
+// which turns nested asset x source loops (hierarchy/threat_refinement.cpp)
+// into an O(n^2 * R) scan; this closure walks the relation list once per
+// component and memoizes the full reachable set, so repeated queries are a
+// set lookup. Semantics match SystemModel::propagation_successors /
+// reachable_from exactly: propagating relation types only, bidirectional
+// types traversed both ways, refined composites skipped, and a component
+// reaches itself only via a cycle.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "model/system_model.hpp"
+
+namespace cprisk::analysis {
+
+class ReachabilityClosure {
+public:
+    explicit ReachabilityClosure(const model::SystemModel& model);
+
+    /// Propagation successors of `id` (one hop), precomputed.
+    const std::vector<model::ComponentId>& successors(const model::ComponentId& id) const;
+
+    /// Reachable set of `id` along >= 1 propagation hop; contains `id`
+    /// itself only when it sits on a cycle.
+    const std::set<model::ComponentId>& reachable_from(const model::ComponentId& id) const;
+
+    /// True if `target` is reachable from `source` (>= 1 hop).
+    bool reaches(const model::ComponentId& source, const model::ComponentId& target) const;
+
+private:
+    std::map<model::ComponentId, std::vector<model::ComponentId>> successors_;
+    std::map<model::ComponentId, std::set<model::ComponentId>> closure_;
+};
+
+}  // namespace cprisk::analysis

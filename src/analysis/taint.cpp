@@ -1,0 +1,77 @@
+#include "analysis/taint.hpp"
+
+#include <deque>
+
+namespace cprisk::analysis {
+
+using model::ComponentId;
+
+int TaintResult::depth_of(const ComponentId& id) const {
+    auto it = compromise_depth.find(id);
+    return it == compromise_depth.end() ? -1 : it->second;
+}
+
+TaintResult analyze_attack_reachability(const model::SystemModel& model,
+                                        const security::AttackMatrix& matrix,
+                                        const ReachabilityClosure& closure) {
+    TaintResult result;
+
+    for (const model::Component& component : model.components()) {
+        if (model.is_refined(component.id)) continue;
+        if (component.exposure == model::Exposure::None) continue;
+        const auto techniques = matrix.techniques_for(component);
+        if (techniques.empty()) continue;
+
+        AttackEntryPoint entry;
+        entry.component = component.id;
+        entry.technique_id = techniques.front()->id;
+        entry.technique_count = techniques.size();
+        entry.depth = component.exposure == model::Exposure::Public ? 0 : 1;
+        for (const security::Technique* technique : techniques) {
+            for (const model::FaultMode& mode : component.fault_modes) {
+                if (technique->caused_fault == mode.id) {
+                    entry.activated_fault = mode.id;
+                    entry.activating_technique = technique->id;
+                    break;
+                }
+            }
+            if (!entry.activated_fault.empty()) break;
+        }
+        result.entry_points.push_back(std::move(entry));
+    }
+
+    // Multi-source BFS: seeds sorted by depth (0 before 1) keep the queue
+    // monotone, so the first visit of a component is at its minimal depth.
+    std::deque<ComponentId> queue;
+    for (int seed_depth : {0, 1}) {
+        for (const AttackEntryPoint& entry : result.entry_points) {
+            if (entry.depth != seed_depth) continue;
+            if (result.compromise_depth.emplace(entry.component, entry.depth).second) {
+                queue.push_back(entry.component);
+            }
+        }
+    }
+    while (!queue.empty()) {
+        const ComponentId current = std::move(queue.front());
+        queue.pop_front();
+        const int depth = result.compromise_depth.at(current);
+        for (const ComponentId& next : closure.successors(current)) {
+            if (result.compromise_depth.emplace(next, depth + 1).second) {
+                queue.push_back(next);
+            }
+        }
+    }
+
+    for (const model::Component& component : model.components()) {
+        if (model.is_refined(component.id)) continue;
+        if (!result.reached(component.id)) result.unreached.push_back(component.id);
+    }
+    return result;
+}
+
+TaintResult analyze_attack_reachability(const model::SystemModel& model,
+                                        const security::AttackMatrix& matrix) {
+    return analyze_attack_reachability(model, matrix, ReachabilityClosure(model));
+}
+
+}  // namespace cprisk::analysis

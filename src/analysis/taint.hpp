@@ -1,0 +1,59 @@
+// cprisk/analysis/taint.hpp
+//
+// Attacker-reachability taint analysis over a SystemModel and an attack
+// matrix (paper SS IV-A/IV-B: exposed components are where the adversary
+// enters; spurious scenarios involve components no attack can reach).
+//
+// Seeding: a non-refined component is an *entry point* when its exposure is
+// not `none` AND at least one attack-matrix technique applies to its element
+// type. Public entry points start at compromise depth 0; internal ones at
+// depth 1 (the assumed-breach foothold: reachable once the adversary is
+// inside the perimeter). Taint then propagates along fault-propagation
+// relations (ReachabilityClosure semantics) at +1 depth per hop.
+//
+// Consumers: the model-trivially-compromised / model-unreachable-asset lint
+// rules (lint/model_lint.cpp) and the `cprisk graph` taint summary.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/reachability.hpp"
+#include "model/system_model.hpp"
+#include "security/attack_matrix.hpp"
+
+namespace cprisk::analysis {
+
+/// A component where the adversary can gain an initial foothold.
+struct AttackEntryPoint {
+    model::ComponentId component;
+    std::string technique_id;         ///< first applicable technique
+    std::size_t technique_count = 0;  ///< applicable techniques in total
+    int depth = 0;                    ///< 0 = public, 1 = internal (assumed breach)
+    /// Declared fault mode a technique activates directly on this component
+    /// (empty if none): the component is compromised with no lateral steps.
+    std::string activated_fault;
+    std::string activating_technique;
+};
+
+struct TaintResult {
+    std::vector<AttackEntryPoint> entry_points;          ///< model declaration order
+    std::map<model::ComponentId, int> compromise_depth;  ///< reached component -> min depth
+    std::vector<model::ComponentId> unreached;           ///< non-refined, never reached
+
+    bool reached(const model::ComponentId& id) const { return compromise_depth.count(id) > 0; }
+    /// Minimal compromise depth, or -1 if unreached.
+    int depth_of(const model::ComponentId& id) const;
+};
+
+/// Runs the taint pass. The closure must be built over `model`.
+TaintResult analyze_attack_reachability(const model::SystemModel& model,
+                                        const security::AttackMatrix& matrix,
+                                        const ReachabilityClosure& closure);
+
+/// Convenience overload building the closure internally.
+TaintResult analyze_attack_reachability(const model::SystemModel& model,
+                                        const security::AttackMatrix& matrix);
+
+}  // namespace cprisk::analysis

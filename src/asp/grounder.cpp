@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/dependency_graph.hpp"
 #include "asp/eval.hpp"
 #include "asp/safety.hpp"
 #include "common/error.hpp"
@@ -121,6 +122,24 @@ public:
             weaks_.push_back(std::move(weak));
         }
 
+        if (options_.scc_order) {
+            ground_scc_ordered();
+        } else {
+            ground_global_fixpoint();
+        }
+
+        materialize_choices();
+        materialize_aggregate_constraints();
+        for (const Signature& s : program_.shows()) out_.add_show(s);
+        return std::move(out_);
+    }
+
+private:
+    // --- grounding strategies ----------------------------------------------
+
+    /// Reference strategy: every rule and weak constraint is re-grounded on
+    /// every fixpoint round until nothing changes.
+    void ground_global_fixpoint() {
         std::size_t iterations = 0;
         do {
             changed_ = false;
@@ -131,14 +150,66 @@ public:
             for (const WeakConstraint& weak : weaks_) ground_weak(weak);
             recompute_certain();
         } while (changed_);
-
-        materialize_choices();
-        materialize_aggregate_constraints();
-        for (const Signature& s : program_.shows()) out_.add_show(s);
-        return std::move(out_);
     }
 
-private:
+    /// Fast strategy: rules are bucketed by the predicate-dependency SCC of
+    /// their head (for choice rules, the earliest component among the
+    /// elements) and grounded component by component in topological order.
+    /// Every dependency edge runs from an earlier-or-equal component to the
+    /// head's, so when a bucket's local fixpoint converges, the domains its
+    /// later consumers join against are complete; only intra-component
+    /// recursion needs re-grounding. Constraints and weak constraints derive
+    /// no atoms and get a single pass over the converged domain.
+    void ground_scc_ordered() {
+        const analysis::DependencyGraph graph = analysis::DependencyGraph::from_rules(rules_);
+        std::vector<std::vector<std::size_t>> buckets(graph.component_count());
+        std::vector<std::size_t> constraints;
+        for (std::size_t i = 0; i < rules_.size(); ++i) {
+            const Head& head = rules_[i].head;
+            if (head.kind == Head::Kind::Constraint) {
+                constraints.push_back(i);
+                continue;
+            }
+            std::size_t component = graph.component_count();
+            auto consider = [&](const Atom& atom) {
+                const auto node = graph.node_of(Signature{atom.predicate, atom.arity()});
+                component = std::min(component, graph.component_of(*node));
+            };
+            if (head.kind == Head::Kind::Atom) {
+                consider(head.atom);
+            } else {
+                for (const ChoiceElement& element : head.elements) consider(element.atom);
+            }
+            buckets[component].push_back(i);
+        }
+
+        // Only components with an internal dependency edge can feed atoms
+        // back into their own bucket; recursion into a component always comes
+        // from rules bucketed at that component, so every other bucket
+        // converges in a single pass (no verification round needed).
+        std::vector<bool> recursive(graph.component_count(), false);
+        for (std::size_t component : graph.unstratified_components()) recursive[component] = true;
+        for (std::size_t component : graph.positive_loop_components()) recursive[component] = true;
+
+        std::size_t iterations = 0;
+        for (std::size_t component = 0; component < buckets.size(); ++component) {
+            const std::vector<std::size_t>& bucket = buckets[component];
+            if (bucket.empty()) continue;
+            do {
+                changed_ = false;
+                if (++iterations > options_.max_iterations) {
+                    throw GroundError(
+                        "grounder: iteration limit exceeded (non-terminating program?)");
+                }
+                for (std::size_t index : bucket) ground_rule(rules_[index]);
+                recompute_certain();
+            } while (changed_ && recursive[component]);
+        }
+        for (std::size_t index : constraints) ground_rule(rules_[index]);
+        for (const WeakConstraint& weak : weaks_) ground_weak(weak);
+        changed_ = false;
+    }
+
     // --- domain ------------------------------------------------------------
 
     std::string pred_key(const Atom& a) const {

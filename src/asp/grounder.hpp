@@ -19,6 +19,12 @@ struct GrounderOptions {
     /// Safety valve against non-terminating programs (e.g. p(X+1) :- p(X)).
     std::size_t max_atoms = 2'000'000;
     std::size_t max_iterations = 10'000;
+    /// Ground rules grouped by predicate-dependency SCC in topological order
+    /// (analysis/dependency_graph.hpp): each rule is revisited only while its
+    /// own component is still growing, instead of on every global fixpoint
+    /// round. Produces the same GroundProgram as the global fixpoint (same
+    /// atoms, rules, and weak constraints; emission order may differ).
+    bool scc_order = true;
 };
 
 /// Grounds `program`. Temporal programs must be unrolled first (see

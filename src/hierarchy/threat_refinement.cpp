@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "analysis/reachability.hpp"
+
 namespace cprisk::hierarchy {
 
 std::string_view to_string(ThreatAspect aspect) {
@@ -39,6 +41,10 @@ ThreatRefinementResult refine_threats(const model::SystemModel& model,
     ThreatRefinementResult result;
 
     // --- level 1: endangered aspects of OT assets --------------------------
+    // One reachability closure for the whole asset x source sweep; querying
+    // SystemModel::reachable_from per pair re-walked the relation list for
+    // every hop of every pair.
+    const analysis::ReachabilityClosure closure(model);
     for (const model::Component& asset : model.components()) {
         if (!model::is_ot(asset.type)) continue;
         if (model.is_refined(asset.id)) continue;
@@ -53,7 +59,7 @@ ThreatRefinementResult refine_threats(const model::SystemModel& model,
                     [&](const model::FaultMode& mode) { return endangers(mode.effect, aspect); });
                 if (!has_matching_fault) continue;
                 const bool reaches =
-                    source.id == asset.id || model.reachable_from(source.id).count(asset.id) > 0;
+                    source.id == asset.id || closure.reaches(source.id, asset.id);
                 if (reaches) finding.sources.push_back(source.id);
             }
             if (!finding.sources.empty()) result.endangered.push_back(std::move(finding));

@@ -3,6 +3,7 @@
 #include <map>
 #include <string_view>
 
+#include "analysis/dependency_graph.hpp"
 #include "asp/eval.hpp"
 #include "asp/safety.hpp"
 
@@ -47,6 +48,7 @@ public:
         check_arities();
         check_undefined();
         check_unused();
+        check_dependency_graph();
     }
 
 private:
@@ -325,6 +327,82 @@ private:
                    "predicate '" + sig.to_string() + "' is derived but never used",
                    occurrence.source, occurrence.loc,
                    "add '#show " + sig.to_string() + ".' or remove the deriving rules");
+        }
+    }
+
+    /// Where to anchor a component-level (cycle) diagnostic: the first
+    /// derived member signature with a known location, else any member.
+    Occurrence cycle_anchor(const std::vector<Signature>& members) const {
+        for (const Signature& sig : members) {
+            auto it = derived_.find(sig);
+            if (it != derived_.end()) return it->second;
+        }
+        for (const Signature& sig : members) {
+            auto it = used_.find(sig);
+            if (it != used_.end()) return it->second;
+        }
+        return Occurrence{};
+    }
+
+    static std::string signature_list(const std::vector<Signature>& members) {
+        std::string list;
+        for (const Signature& sig : members) {
+            if (!list.empty()) list += ", ";
+            list += sig.to_string();
+        }
+        return list;
+    }
+
+    /// Graph-level rules: recursion through negation, positive recursion,
+    /// and predicates that can never influence an output.
+    void check_dependency_graph() {
+        std::vector<const Program*> programs;
+        for (const ProgramSource& source : sources_) {
+            if (source.program != nullptr) programs.push_back(source.program);
+        }
+        const analysis::DependencyGraph graph = analysis::DependencyGraph::build(programs);
+
+        std::set<std::size_t> unstratified(graph.unstratified_components().begin(),
+                                           graph.unstratified_components().end());
+        for (std::size_t component : graph.unstratified_components()) {
+            const auto members = graph.component_signatures(component);
+            const Occurrence site = cycle_anchor(members);
+            report(Severity::Warning, "asp-unstratified-negation",
+                   "recursion through negation: {" + signature_list(members) +
+                       "} cannot be stratified",
+                   site.source, site.loc,
+                   "break the negative cycle, or confirm the program relies on "
+                   "multiple stable models");
+        }
+        for (std::size_t component : graph.positive_loop_components()) {
+            if (unstratified.count(component) > 0) continue;  // the warning above covers it
+            const auto members = graph.component_signatures(component);
+            const Occurrence site = cycle_anchor(members);
+            report(Severity::Note, "asp-positive-loop",
+                   "positive recursion among {" + signature_list(members) + "}", site.source,
+                   site.loc, "recursive definitions ground to a fixpoint; confirm the cycle is "
+                             "intended");
+        }
+
+        // Predicate-level dead code: derived and consumed somewhere, yet no
+        // chain of rules connects it to a #show output, a constraint, or an
+        // externally consumed signature. Only meaningful when the program
+        // declares outputs at all.
+        if (!graph.has_show_roots() && options_.assume_used.empty()) return;
+        const std::vector<bool> live = graph.reachable_from_outputs(options_.assume_used);
+        for (std::size_t node = 0; node < graph.node_count(); ++node) {
+            if (live[node]) continue;
+            const Signature& sig = graph.node(node);
+            if (is_external(sig.predicate)) continue;
+            auto derived = derived_.find(sig);
+            if (derived == derived_.end()) continue;
+            if (used_.count(sig) == 0) continue;  // asp-unused-pred covers it
+            report(Severity::Note, "asp-unreachable-from-show",
+                   "predicate '" + sig.to_string() +
+                       "' never reaches a #show output or constraint",
+                   derived->second.source, derived->second.loc,
+                   "its derivations cannot influence reported results; remove the rules or "
+                   "show the predicate");
         }
     }
 

@@ -12,13 +12,24 @@
 //   asp-undefined-pred   warning  predicate used in a body but never
 //                                 derivable by any rule or fact
 //   asp-arity-mismatch   warning  same predicate name at different arities
+//   asp-unstratified-negation
+//                        warning  recursion through negation (a dependency
+//                                 SCC with an internal negative edge)
 //   asp-unused-pred      note     predicate derived but never used / shown
 //   asp-constraint-dead  note     constraint guarded by an always-false
 //                                 ground comparison; it can never fire
+//   asp-positive-loop    note     positive recursion (a dependency cycle
+//                                 without negation)
+//   asp-unreachable-from-show
+//                        note     predicate derived and used, but with no
+//                                 rule chain to any #show output or
+//                                 constraint (predicate-level dead code)
 //
-// Cross-program checks (undefined/unused/arity) see the union of all the
-// sources passed in, so a predicate derived in one behaviour fragment and
-// used in another is resolved correctly.
+// Cross-program checks (undefined/unused/arity and the dependency-graph
+// rules) see the union of all the sources passed in, so a predicate derived
+// in one behaviour fragment and used in another is resolved correctly. The
+// graph rules are built on analysis/dependency_graph.hpp; see
+// docs/dependency-analysis.md for the exact semantics.
 #pragma once
 
 #include <set>

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/taint.hpp"
 #include "asp/parser.hpp"
 #include "lint/asp_lint.hpp"
 
@@ -220,6 +221,38 @@ void lint_bundle(const core::Bundle& bundle, const core::BundleSourceMap& source
                          std::string(to_string(component.type)) + "'",
                      loc,
                      "extend the attack matrix or adjust the component's element type/exposure");
+    }
+
+    // Attack-reachability taint (analysis/taint.hpp): seeded at exposed
+    // components the matrix can exercise, propagated along fault-propagation
+    // relations.
+    const analysis::TaintResult taint =
+        analysis::analyze_attack_reachability(bundle.model, matrix);
+    auto component_loc = [&](const model::ComponentId& id) {
+        SourceLoc loc;
+        auto line = source_map.model.component_lines.find(id);
+        if (line != source_map.model.component_lines.end()) loc = SourceLoc{line->second, 1};
+        return loc;
+    };
+    for (const analysis::AttackEntryPoint& entry : taint.entry_points) {
+        if (entry.depth != 0 || entry.activated_fault.empty()) continue;
+        sink.warning("model-trivially-compromised",
+                     "component '" + entry.component + "' is public and technique '" +
+                         entry.activating_technique + "' directly activates its declared fault "
+                         "mode '" + entry.activated_fault + "'",
+                     component_loc(entry.component),
+                     "reduce the exposure or mitigate '" + entry.activating_technique +
+                         "'; every attack scenario will include this compromise");
+    }
+    if (!taint.entry_points.empty()) {
+        for (const model::ComponentId& id : taint.unreached) {
+            sink.warning("model-unreachable-asset",
+                         "component '" + id +
+                             "' is unreachable from every attack entry point",
+                         component_loc(id),
+                         "no modelled attack scenario can involve it; check for missing "
+                         "relations or drop it from the model");
+        }
     }
 
     // Requirements must reference atoms some behaviour fragment (or the

@@ -18,6 +18,16 @@
 //   model-underivable-requirement warning  never/responds requirement whose
 //                                          atom no behaviour fragment (nor
 //                                          the assessment driver) derives
+//   model-trivially-compromised   warning  public entry point where an
+//                                          applicable technique directly
+//                                          activates a declared fault mode:
+//                                          the compromise needs no lateral
+//                                          movement at all
+//   model-unreachable-asset       warning  component no attack entry point
+//                                          can reach along propagation
+//                                          relations (only checked when the
+//                                          model has at least one entry
+//                                          point); see analysis/taint.hpp
 #pragma once
 
 #include "common/diagnostics.hpp"

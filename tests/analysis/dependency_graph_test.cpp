@@ -1,0 +1,230 @@
+// Predicate dependency graph: SCC condensation, topological order,
+// stratification, negative/positive recursion detection, and backward
+// output reachability (including the temporal prev_ idiom).
+#include "analysis/dependency_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "asp/parser.hpp"
+
+namespace cprisk::analysis {
+namespace {
+
+using asp::Signature;
+
+asp::Program parse(const std::string& text) {
+    auto program = asp::parse_program(text);
+    EXPECT_TRUE(program.ok()) << program.error() << "\n" << text;
+    return program.ok() ? std::move(program).value() : asp::Program{};
+}
+
+DependencyGraph graph_of(const std::string& text) {
+    return DependencyGraph::build(parse(text));
+}
+
+std::size_t node(const DependencyGraph& graph, const std::string& predicate, std::size_t arity) {
+    auto index = graph.node_of(Signature{predicate, arity});
+    EXPECT_TRUE(index.has_value()) << predicate << "/" << arity;
+    return index.value_or(0);
+}
+
+bool has_edge(const DependencyGraph& graph, const std::string& from, const std::string& to,
+              bool negative, bool temporal) {
+    for (const DependencyEdge& edge : graph.edges()) {
+        if (graph.node(edge.from).predicate == from && graph.node(edge.to).predicate == to &&
+            edge.negative == negative && edge.temporal == temporal) {
+            return true;
+        }
+    }
+    return false;
+}
+
+TEST(DependencyGraphTest, EmptyProgramHasNoNodesAndIsStratified) {
+    const auto graph = graph_of("");
+    EXPECT_EQ(graph.node_count(), 0u);
+    EXPECT_EQ(graph.component_count(), 0u);
+    EXPECT_EQ(graph.stratum_count(), 0);
+    EXPECT_TRUE(graph.is_stratified());
+}
+
+TEST(DependencyGraphTest, NegationRaisesTheStratum) {
+    const auto graph = graph_of(
+        "p(a). q(X) :- p(X). s(b).\n"
+        "r(X) :- q(X), not s(X).\n"
+        "#show r/1.\n");
+    EXPECT_TRUE(graph.is_stratified());
+    EXPECT_EQ(graph.stratum_of(node(graph, "p", 1)), 0);
+    EXPECT_EQ(graph.stratum_of(node(graph, "q", 1)), 0);
+    EXPECT_EQ(graph.stratum_of(node(graph, "s", 1)), 0);
+    EXPECT_EQ(graph.stratum_of(node(graph, "r", 1)), 1);
+    EXPECT_EQ(graph.stratum_count(), 2);
+}
+
+TEST(DependencyGraphTest, TopologicalOrderRespectsEveryNonTemporalEdge) {
+    const auto graph = graph_of(
+        "base(1). base(2).\n"
+        "mid(X) :- base(X).\n"
+        "top(X) :- mid(X), not base(X).\n"
+        "other(X) :- base(X), mid(X).\n"
+        "#show top/1. #show other/1.\n");
+    for (const DependencyEdge& edge : graph.edges()) {
+        if (edge.temporal) continue;
+        EXPECT_LE(graph.component_of(edge.from), graph.component_of(edge.to))
+            << graph.node(edge.from).to_string() << " -> " << graph.node(edge.to).to_string();
+    }
+}
+
+TEST(DependencyGraphTest, RecursionThroughNegationIsUnstratified) {
+    const auto graph = graph_of("a :- not b.\nb :- not a.\n#show a/0. #show b/0.\n");
+    EXPECT_FALSE(graph.is_stratified());
+    ASSERT_EQ(graph.unstratified_components().size(), 1u);
+    const auto signatures = graph.component_signatures(graph.unstratified_components()[0]);
+    ASSERT_EQ(signatures.size(), 2u);
+    EXPECT_EQ(signatures[0].to_string(), "a/0");
+    EXPECT_EQ(signatures[1].to_string(), "b/0");
+}
+
+TEST(DependencyGraphTest, NegativeSelfLoopIsUnstratified) {
+    const auto graph = graph_of("a :- not a.\n#show a/0.\n");
+    EXPECT_FALSE(graph.is_stratified());
+    ASSERT_EQ(graph.unstratified_components().size(), 1u);
+    EXPECT_EQ(graph.component_signatures(graph.unstratified_components()[0]).size(), 1u);
+}
+
+TEST(DependencyGraphTest, PositiveRecursionIsStratifiedButDetected) {
+    const auto graph = graph_of(
+        "edge(1,2). edge(2,3).\n"
+        "reach(X,Y) :- edge(X,Y).\n"
+        "reach(X,Z) :- reach(X,Y), edge(Y,Z).\n"
+        "#show reach/2.\n");
+    EXPECT_TRUE(graph.is_stratified());
+    ASSERT_EQ(graph.positive_loop_components().size(), 1u);
+    const auto signatures = graph.component_signatures(graph.positive_loop_components()[0]);
+    ASSERT_EQ(signatures.size(), 1u);
+    EXPECT_EQ(signatures[0].to_string(), "reach/2");
+}
+
+TEST(DependencyGraphTest, MixedCycleCountsAsUnstratifiedOnly) {
+    // a <-> c positively, a <-> b through negation: one SCC, internally both
+    // positive and negative edges. It must land in unstratified_components;
+    // positive_loop_components may also list it, callers dedupe.
+    const auto graph = graph_of(
+        "a :- not b, c.\nb :- not a.\nc :- a.\n"
+        "#show a/0. #show b/0. #show c/0.\n");
+    EXPECT_FALSE(graph.is_stratified());
+    ASSERT_EQ(graph.unstratified_components().size(), 1u);
+    EXPECT_EQ(graph.component_signatures(graph.unstratified_components()[0]).size(), 3u);
+}
+
+TEST(DependencyGraphTest, ChoiceConditionFeedsEverySiblingElement) {
+    // The documented over-approximation: item/1 conditions pick/1 but the
+    // edge also reaches alt/1, so the grounder's ordering invariant holds.
+    const auto graph = graph_of(
+        "item(a). other(b).\n"
+        "{ pick(X) : item(X) ; alt(Y) : other(Y) }.\n"
+        "#show pick/1. #show alt/1.\n");
+    EXPECT_TRUE(has_edge(graph, "item", "pick", false, false));
+    EXPECT_TRUE(has_edge(graph, "item", "alt", false, false));
+    EXPECT_TRUE(has_edge(graph, "other", "pick", false, false));
+    EXPECT_TRUE(has_edge(graph, "other", "alt", false, false));
+}
+
+TEST(DependencyGraphTest, ConstraintBodiesAreOutputRoots) {
+    const auto graph = graph_of(
+        "p(a). q(X) :- p(X).\n"
+        ":- q(X), X != a.\n"
+        "helper(X) :- p(X).\n");
+    EXPECT_FALSE(graph.has_show_roots());
+    const auto reached = graph.reachable_from_outputs();
+    EXPECT_TRUE(reached[node(graph, "q", 1)]);
+    EXPECT_TRUE(reached[node(graph, "p", 1)]);
+    EXPECT_FALSE(reached[node(graph, "helper", 1)]);
+}
+
+TEST(DependencyGraphTest, WeakConstraintBodiesAreOutputRoots) {
+    const auto graph = graph_of(
+        "p(a). cost(X) :- p(X). silent(X) :- p(X).\n"
+        ":~ cost(X). [1@1, X]\n");
+    const auto reached = graph.reachable_from_outputs();
+    EXPECT_TRUE(reached[node(graph, "cost", 1)]);
+    EXPECT_TRUE(reached[node(graph, "p", 1)]);
+    EXPECT_FALSE(reached[node(graph, "silent", 1)]);
+}
+
+TEST(DependencyGraphTest, ShowDirectivesRootReachabilityBackwards) {
+    const auto graph = graph_of(
+        "p(a). q(X) :- p(X). dead(X) :- p(X).\n"
+        "#show q/1.\n");
+    EXPECT_TRUE(graph.has_show_roots());
+    const auto reached = graph.reachable_from_outputs();
+    EXPECT_TRUE(reached[node(graph, "q", 1)]);
+    EXPECT_TRUE(reached[node(graph, "p", 1)]);
+    EXPECT_FALSE(reached[node(graph, "dead", 1)]);
+}
+
+TEST(DependencyGraphTest, ExtraRootsReviveOtherwiseDeadPredicates) {
+    const auto graph = graph_of(
+        "p(a). q(X) :- p(X). dead(X) :- p(X).\n"
+        "#show q/1.\n");
+    const auto reached = graph.reachable_from_outputs({Signature{"dead", 1}});
+    EXPECT_TRUE(reached[node(graph, "dead", 1)]);
+}
+
+TEST(DependencyGraphTest, AggregateConditionAtomsRootConstraintReachability) {
+    const auto graph = graph_of(
+        "p(1). p(2). idle(X) :- p(X).\n"
+        ":- #count { X : p(X) } > 5.\n");
+    const auto reached = graph.reachable_from_outputs();
+    EXPECT_TRUE(reached[node(graph, "p", 1)]);
+    EXPECT_FALSE(reached[node(graph, "idle", 1)]);
+}
+
+TEST(DependencyGraphTest, PrevPredicateStaysASeparateNode) {
+    const auto graph = graph_of("level(X) :- prev_level(X).\n#show level/1.\n");
+    // Non-temporal edge prev_level -> level; temporal feedback level -> level.
+    EXPECT_TRUE(has_edge(graph, "prev_level", "level", false, false));
+    EXPECT_TRUE(has_edge(graph, "level", "level", false, true));
+    // The temporal edge must not merge the per-step components or recurse.
+    EXPECT_NE(graph.component_of(node(graph, "prev_level", 1)),
+              graph.component_of(node(graph, "level", 1)));
+    EXPECT_TRUE(graph.is_stratified());
+    EXPECT_TRUE(graph.positive_loop_components().empty());
+}
+
+TEST(DependencyGraphTest, ReachingPrevAlsoReachesTheBasePredicate) {
+    const auto graph = graph_of(
+        "level(a).\n"
+        "q(X) :- prev_level(X).\n"
+        "#show q/1.\n");
+    const auto reached = graph.reachable_from_outputs();
+    EXPECT_TRUE(reached[node(graph, "prev_level", 1)]);
+    EXPECT_TRUE(reached[node(graph, "level", 1)]);
+}
+
+TEST(DependencyGraphTest, UnionBuildResolvesCrossProgramDependencies) {
+    const asp::Program defines = parse("p(a). p(b).\n");
+    const asp::Program uses = parse("q(X) :- p(X).\n#show q/1.\n");
+    const auto graph = DependencyGraph::build({&defines, &uses});
+    EXPECT_TRUE(has_edge(graph, "p", "q", false, false));
+    const auto reached = graph.reachable_from_outputs();
+    EXPECT_TRUE(reached[node(graph, "p", 1)]);
+}
+
+TEST(DependencyGraphTest, NodeOfUnknownSignatureIsNullopt) {
+    const auto graph = graph_of("p(a).\n");
+    EXPECT_FALSE(graph.node_of(Signature{"missing", 3}).has_value());
+}
+
+TEST(DependencyGraphTest, TemporalPrefixHelpers) {
+    EXPECT_TRUE(has_temporal_prefix("prev_level"));
+    EXPECT_FALSE(has_temporal_prefix("prev_"));
+    EXPECT_FALSE(has_temporal_prefix("previous"));
+    EXPECT_FALSE(has_temporal_prefix("level"));
+    EXPECT_EQ(temporal_base("prev_level"), "level");
+}
+
+}  // namespace
+}  // namespace cprisk::analysis

@@ -1,0 +1,206 @@
+// Differential test for the SCC-ordered grounder fast path: for every
+// program the SCC-ordered and the global-fixpoint grounder must produce the
+// same GroundProgram (same atoms, rules, weak constraints and shows). Atom
+// ids and rule emission order may differ between the paths, so both sides
+// are canonicalised to name-based, order-free form before comparison.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "asp/grounder.hpp"
+#include "asp/parser.hpp"
+#include "asp/temporal.hpp"
+#include "core/loader.hpp"
+#include "epa/epa.hpp"
+#include "security/attack_matrix.hpp"
+
+namespace cprisk::asp {
+namespace {
+
+std::vector<std::string> atom_names(const GroundProgram& program, const std::vector<int>& ids) {
+    std::vector<std::string> names;
+    names.reserve(ids.size());
+    for (int id : ids) names.push_back(program.atom(id).to_string());
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+void append_names(std::ostringstream& out, const std::vector<std::string>& names) {
+    for (const std::string& name : names) out << name << ",";
+}
+
+std::string canonical_rule(const GroundProgram& program, const GroundRule& rule) {
+    std::ostringstream out;
+    switch (rule.kind) {
+        case GroundRule::Kind::Normal:
+            out << "rule " << program.atom(rule.head).to_string();
+            break;
+        case GroundRule::Kind::Constraint:
+            out << "constraint";
+            break;
+        case GroundRule::Kind::Choice:
+            out << "choice ";
+            if (rule.lower_bound) out << *rule.lower_bound;
+            out << "{";
+            append_names(out, atom_names(program, rule.choice_heads));
+            out << "}";
+            if (rule.upper_bound) out << *rule.upper_bound;
+            break;
+    }
+    out << " :+ ";
+    append_names(out, atom_names(program, rule.positive_body));
+    out << " :- ";
+    append_names(out, atom_names(program, rule.negative_body));
+    std::vector<std::string> aggregates;
+    for (const GroundAggregate& aggregate : rule.aggregates) {
+        std::ostringstream agg;
+        agg << static_cast<int>(aggregate.op) << "#" << aggregate.bound << "#";
+        std::vector<std::string> elements;
+        for (const GroundAggregateElement& element : aggregate.elements) {
+            std::ostringstream elem;
+            elem << element.weight << "@" << element.tuple << ":";
+            append_names(elem, atom_names(program, element.condition));
+            elements.push_back(elem.str());
+        }
+        std::sort(elements.begin(), elements.end());
+        for (const std::string& element : elements) agg << element << ";";
+        aggregates.push_back(agg.str());
+    }
+    std::sort(aggregates.begin(), aggregates.end());
+    out << " aggs ";
+    for (const std::string& aggregate : aggregates) out << aggregate << "|";
+    return out.str();
+}
+
+/// Order-free, name-based serialization of a whole ground program.
+std::vector<std::string> canonical(const GroundProgram& program) {
+    std::vector<std::string> lines;
+    for (std::size_t id = 0; id < program.atom_count(); ++id) {
+        lines.push_back("atom " + program.atom(static_cast<int>(id)).to_string());
+    }
+    for (const GroundRule& rule : program.rules()) {
+        lines.push_back(canonical_rule(program, rule));
+    }
+    for (const GroundWeak& weak : program.weaks()) {
+        std::ostringstream out;
+        out << "weak [" << weak.weight << "@" << weak.priority << "," << weak.tuple << "] :+ ";
+        append_names(out, atom_names(program, weak.positive_body));
+        out << " :- ";
+        append_names(out, atom_names(program, weak.negative_body));
+        lines.push_back(out.str());
+    }
+    for (const Signature& show : program.shows()) lines.push_back("show " + show.to_string());
+    std::sort(lines.begin(), lines.end());
+    return lines;
+}
+
+void expect_identical_grounding(const Program& program, const std::string& label) {
+    GrounderOptions scc_options;
+    scc_options.scc_order = true;
+    GrounderOptions global_options;
+    global_options.scc_order = false;
+
+    auto scc = ground(program, scc_options);
+    auto global = ground(program, global_options);
+    ASSERT_TRUE(scc.ok()) << label << ": " << scc.error();
+    ASSERT_TRUE(global.ok()) << label << ": " << global.error();
+    EXPECT_EQ(scc.value().atom_count(), global.value().atom_count()) << label;
+    EXPECT_EQ(canonical(scc.value()), canonical(global.value())) << label;
+}
+
+void expect_identical_grounding_text(const std::string& text) {
+    auto program = parse_program(text);
+    ASSERT_TRUE(program.ok()) << program.error() << "\n" << text;
+    expect_identical_grounding(program.value(), text);
+}
+
+TEST(GrounderOrderTest, HandPickedProgramsGroundIdentically) {
+    const char* programs[] = {
+        "p(1). p(2). q(X) :- p(X).",
+        "a :- not b. b :- not a.",
+        "a :- not a.",
+        // Positive recursion inside one SCC.
+        "edge(1,2). edge(2,3). edge(3,1). reach(X,Y) :- edge(X,Y). "
+        "reach(X,Z) :- reach(X,Y), edge(Y,Z).",
+        // Mutual recursion across two predicates.
+        "n(0..3). even(0). odd(Y) :- even(X), Y = X + 1, n(Y). "
+        "even(Y) :- odd(X), Y = X + 1, n(Y).",
+        // Choice feeding later strata.
+        "item(1..4). { pick(X) : item(X) } 2. used(X) :- pick(X). "
+        ":- used(X), X > 3.",
+        // Choice whose condition is derived recursively.
+        "edge(1,2). edge(2,3). reach(X,Y) :- edge(X,Y). "
+        "reach(X,Z) :- reach(X,Y), edge(Y,Z). { cut(X,Y) : reach(X,Y) } 1.",
+        // Negation between recursive components.
+        "base(1..3). in(X) :- base(X), not out(X). out(X) :- base(X), not in(X). "
+        "ok :- in(1). :- not ok.",
+        // Aggregates in constraints over a derived domain.
+        "item(1..3). { pick(X) : item(X) }. :- #count { X : pick(X) } > 2. "
+        ":- #sum { X, X : pick(X) } > 4.",
+        // Weak constraints over choice atoms.
+        "item(1..3). { pick(X) : item(X) }. covered :- pick(X). :- not covered. "
+        ":~ pick(X). [X@1, X]",
+        // Arithmetic heads and comparison filters.
+        "n(1..5). succ(X, X+1) :- n(X). big(X) :- n(X), X > 3. "
+        "r(Y) :- succ(X, Y), big(X).",
+        // Facts only.
+        "p(1..4). q(a). r(f(a), g(b)).",
+        // Deep stratified chain.
+        "l0(1..2). l1(X) :- l0(X). l2(X) :- l1(X), not l0(3). l3(X) :- l2(X). "
+        "l4(X) :- l3(X), not l1(3). #show l4/1.",
+    };
+    for (const char* text : programs) {
+        SCOPED_TRACE(text);
+        expect_identical_grounding_text(text);
+    }
+}
+
+TEST(GrounderOrderTest, TemporalProgramGroundsIdenticallyAfterUnroll) {
+    const std::string text =
+        "#program base. level_value(low). level_value(high).\n"
+        "#program initial. level(low).\n"
+        "#program dynamic. level(X) :- prev_level(X), level_value(X).\n"
+        "#program always. seen(X) :- level(X).\n";
+    auto program = parse_program(text);
+    ASSERT_TRUE(program.ok()) << program.error();
+    UnrollOptions options;
+    options.horizon = 5;
+    auto unrolled = unroll(program.value(), options);
+    ASSERT_TRUE(unrolled.ok()) << unrolled.error();
+    expect_identical_grounding(unrolled.value(), "temporal");
+}
+
+/// Grounds the full EPA base program of a bundle (facts + propagation +
+/// requirement compilation, unrolled to `horizon`) under both paths.
+void expect_identical_bundle_grounding(const std::string& relative_path, int horizon) {
+    auto bundle = core::load_bundle_file(std::string(CPRISK_SOURCE_DIR) + relative_path);
+    ASSERT_TRUE(bundle.ok()) << bundle.error();
+    const auto mitigations = epa::MitigationMap::from_attack_matrix(
+        bundle.value().model, security::AttackMatrix::standard_ics());
+    epa::EpaOptions epa_options;
+    epa_options.focus = epa::AnalysisFocus::Behavioral;
+    epa_options.horizon = horizon;
+    auto analysis = epa::ErrorPropagationAnalysis::create(
+        bundle.value().model, bundle.value().effective_behavioral(), mitigations, epa_options);
+    ASSERT_TRUE(analysis.ok()) << analysis.error();
+
+    UnrollOptions unroll_options;
+    unroll_options.horizon = horizon;
+    auto unrolled = unroll(analysis.value().base_program(), unroll_options);
+    ASSERT_TRUE(unrolled.ok()) << unrolled.error();
+    expect_identical_grounding(unrolled.value(), relative_path);
+}
+
+TEST(GrounderOrderTest, WatertankBundleGroundsIdentically) {
+    expect_identical_bundle_grounding("/examples/models/watertank.cpm", 6);
+}
+
+TEST(GrounderOrderTest, ReactorBundleGroundsIdentically) {
+    expect_identical_bundle_grounding("/examples/models/reactor.cpm", 7);
+}
+
+}  // namespace
+}  // namespace cprisk::asp

@@ -1,0 +1,16 @@
+# Runs the cprisk binary and fails unless it exits with the expected code.
+# Invoked as:
+#   cmake -DCPRISK=<binary> -DARGS="<space-separated args>" -DEXPECT=<code> \
+#         -P expect_exit.cmake
+# The exact code matters: 0 = clean, 1 = findings/invalid input, 2 = usage
+# or I/O error - the distinction scripts and CI pipelines key off.
+separate_arguments(args NATIVE_COMMAND "${ARGS}")
+execute_process(COMMAND "${CPRISK}" ${args}
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT result EQUAL "${EXPECT}")
+  message(FATAL_ERROR
+    "cprisk ${ARGS}\nexpected exit ${EXPECT}, got ${result}\n"
+    "stdout:\n${out}\nstderr:\n${err}")
+endif()

@@ -180,6 +180,80 @@ TEST(AspLintTest, ParseErrorsCarryLocationThroughSink) {
     EXPECT_EQ(syntax[0].loc.line, 2);
 }
 
+TEST(AspLintTest, RecursionThroughNegationIsReportedWithCycleSignatures) {
+    const auto findings = with_rule(lint("a :- not b.\nb :- not a.\n#show a/0.\n#show b/0.\n"),
+                                    "asp-unstratified-negation");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].severity, Severity::Warning);
+    EXPECT_NE(findings[0].message.find("a/0"), std::string::npos);
+    EXPECT_NE(findings[0].message.find("b/0"), std::string::npos);
+    EXPECT_FALSE(findings[0].hint.empty());
+}
+
+TEST(AspLintTest, StratifiedNegationIsNotFlagged) {
+    const auto diagnostics =
+        lint("p(a). q(X) :- p(X), not r(X). r(b).\n#show q/1.\n#show r/1.\n");
+    EXPECT_TRUE(with_rule(diagnostics, "asp-unstratified-negation").empty())
+        << render_text(diagnostics);
+}
+
+TEST(AspLintTest, PositiveRecursionIsANote) {
+    const auto diagnostics = lint(
+        "edge(a,b). edge(b,c).\n"
+        "reach(X,Y) :- edge(X,Y).\n"
+        "reach(X,Z) :- reach(X,Y), edge(Y,Z).\n"
+        "#show reach/2.\n");
+    const auto loops = with_rule(diagnostics, "asp-positive-loop");
+    ASSERT_EQ(loops.size(), 1u);
+    EXPECT_EQ(loops[0].severity, Severity::Note);
+    EXPECT_NE(loops[0].message.find("reach/2"), std::string::npos);
+}
+
+TEST(AspLintTest, UnstratifiedComponentIsNotAlsoAPositiveLoop) {
+    // a <-> c positively plus a <-> b through negation: one component, one
+    // unstratified-negation finding, no duplicate positive-loop note.
+    const auto diagnostics = lint(
+        "a :- not b, c.\nb :- not a.\nc :- a.\n"
+        "#show a/0.\n#show b/0.\n#show c/0.\n");
+    EXPECT_EQ(with_rule(diagnostics, "asp-unstratified-negation").size(), 1u);
+    EXPECT_TRUE(with_rule(diagnostics, "asp-positive-loop").empty());
+}
+
+TEST(AspLintTest, DerivedUsedButUnreachablePredicateIsANote) {
+    // helper feeds r, r feeds nothing shown: helper is used (so not
+    // asp-unused-pred) yet can never influence an output.
+    const auto diagnostics = lint(
+        "p(a).\nq(X) :- p(X).\nhelper(X) :- p(X).\nr(X) :- helper(X).\n#show q/1.\n");
+    const auto dead = with_rule(diagnostics, "asp-unreachable-from-show");
+    ASSERT_EQ(dead.size(), 1u);
+    EXPECT_EQ(dead[0].severity, Severity::Note);
+    EXPECT_NE(dead[0].message.find("helper/1"), std::string::npos);
+    // r itself is plain unused, covered by asp-unused-pred instead.
+    EXPECT_EQ(with_rule(diagnostics, "asp-unused-pred").size(), 1u);
+}
+
+TEST(AspLintTest, UnreachableRuleIsSilentWithoutShowDirectives) {
+    const auto diagnostics = lint("p(a).\nq(X) :- p(X).\n");
+    EXPECT_TRUE(with_rule(diagnostics, "asp-unreachable-from-show").empty());
+}
+
+TEST(AspLintTest, AssumeUsedSignaturesRootReachability) {
+    AspLintOptions options;
+    options.assume_used = {asp::Signature{"q", 1}};
+    const auto diagnostics = lint(
+        "p(a).\nq(X) :- p(X).\ndead(X) :- p(X).\nsink(X) :- dead(X).\n", options);
+    const auto unreachable = with_rule(diagnostics, "asp-unreachable-from-show");
+    ASSERT_EQ(unreachable.size(), 1u);
+    EXPECT_NE(unreachable[0].message.find("dead/1"), std::string::npos);
+}
+
+TEST(AspLintTest, ConstraintBodiesCountAsOutputs) {
+    const auto diagnostics =
+        lint("p(a).\nq(X) :- p(X).\n:- q(b).\n#show p/1.\n");
+    EXPECT_TRUE(with_rule(diagnostics, "asp-unreachable-from-show").empty())
+        << render_text(diagnostics);
+}
+
 TEST(AspLintTest, ChoiceRuleVariablesBoundByConditionAreSafe) {
     const auto diagnostics =
         lint("item(a). item(b).\n{ pick(X) : item(X) }.\n#show pick/1.\n");

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "common/diagnostics.hpp"
@@ -148,6 +149,63 @@ TEST(ModelLintTest, RequirementLinesDoNotShiftModelDiagnostics) {
     EXPECT_EQ(dangling[0].loc.line, 3);
 }
 
+TEST(ModelLintTest, PublicComponentWithDirectlyActivatableFaultIsAWarning) {
+    // A node technique of the standard ICS matrix causes fault "infected";
+    // declaring that fault mode on a public component makes the compromise
+    // a zero-step attack.
+    const auto trivially = with_rule(lint_text("component ws node exposure=public\n"
+                                               "fault ws infected compromise\n"),
+                                     "model-trivially-compromised");
+    ASSERT_EQ(trivially.size(), 1u);
+    EXPECT_EQ(trivially[0].severity, Severity::Warning);
+    EXPECT_NE(trivially[0].message.find("'ws'"), std::string::npos);
+    EXPECT_NE(trivially[0].message.find("'infected'"), std::string::npos);
+    EXPECT_EQ(trivially[0].loc.line, 1);
+}
+
+TEST(ModelLintTest, InternalExposureIsNotTriviallyCompromised) {
+    const auto diagnostics = lint_text(
+        "component ws node exposure=internal\n"
+        "fault ws infected compromise\n");
+    EXPECT_TRUE(with_rule(diagnostics, "model-trivially-compromised").empty());
+}
+
+TEST(ModelLintTest, UnmatchedFaultIsNotTriviallyCompromised) {
+    // No standard-matrix node technique causes a fault named "odd".
+    const auto diagnostics = lint_text(
+        "component ws node exposure=public\n"
+        "fault ws odd omission\n");
+    EXPECT_TRUE(with_rule(diagnostics, "model-trivially-compromised").empty());
+}
+
+TEST(ModelLintTest, AssetUnreachableFromEveryEntryPointIsAWarning) {
+    const auto diagnostics = lint_text(
+        "component ws node exposure=internal\n"
+        "component plc controller\n"
+        "component island equipment\n"
+        "relation ws signal_flow plc\n");
+    const auto unreachable = with_rule(diagnostics, "model-unreachable-asset");
+    ASSERT_EQ(unreachable.size(), 1u);
+    EXPECT_EQ(unreachable[0].severity, Severity::Warning);
+    EXPECT_NE(unreachable[0].message.find("'island'"), std::string::npos);
+    EXPECT_EQ(unreachable[0].loc.line, 3);
+}
+
+TEST(ModelLintTest, UnreachableAssetIsSilentWithoutEntryPoints) {
+    // No exposed component: nothing is reachable, but warning on every
+    // component would be noise - the model simply has no attack surface.
+    const auto diagnostics = lint_text(
+        "component a equipment\n"
+        "component b equipment\n");
+    EXPECT_TRUE(with_rule(diagnostics, "model-unreachable-asset").empty());
+}
+
+TEST(ModelLintTest, ConnectedModelHasNoUnreachableAssets) {
+    const auto diagnostics = lint_text(kCleanBundle);
+    EXPECT_TRUE(with_rule(diagnostics, "model-unreachable-asset").empty());
+    EXPECT_TRUE(with_rule(diagnostics, "model-trivially-compromised").empty());
+}
+
 TEST(ModelLintTest, GoldenDiagnosticsOverBrokenFixture) {
     const std::string dir = std::string(CPRISK_SOURCE_DIR) + "/tests/lint/fixtures";
     std::ifstream input(dir + "/broken.cpm");
@@ -169,6 +227,38 @@ TEST(ModelLintTest, GoldenDiagnosticsOverBrokenFixture) {
 
     EXPECT_EQ(render_text(sink.diagnostics()), expected.str());
     EXPECT_GE(sink.count(Severity::Error), 3u);  // fixture holds >= 3 distinct defects
+}
+
+TEST(ModelLintTest, GoldenJsonSchemaOverGraphFixture) {
+    const std::string dir = std::string(CPRISK_SOURCE_DIR) + "/tests/lint/fixtures";
+    std::ifstream input(dir + "/graph.cpm");
+    ASSERT_TRUE(input.good());
+    std::ostringstream text;
+    text << input.rdbuf();
+
+    DiagnosticSink sink;
+    sink.set_file("graph.cpm");
+    core::BundleSourceMap source_map;
+    const core::Bundle bundle = core::load_bundle_lenient(text.str(), sink, &source_map);
+    lint_bundle(bundle, source_map, security::AttackMatrix::standard_ics(), sink);
+    sink.sort_by_location();
+
+    std::ifstream golden(dir + "/graph.expected.json");
+    ASSERT_TRUE(golden.good());
+    std::ostringstream expected;
+    expected << golden.rdbuf();
+    EXPECT_EQ(render_json(sink.diagnostics()), expected.str());
+
+    // The fixture must exercise both rule packs plus the graph/taint rules,
+    // so the golden pins the JSON schema for each diagnostic shape.
+    std::set<std::string> rules;
+    for (const Diagnostic& d : sink.diagnostics()) rules.insert(d.rule);
+    for (const char* rule :
+         {"asp-unstratified-negation", "asp-positive-loop", "asp-unreachable-from-show",
+          "model-trivially-compromised", "model-unreachable-asset", "model-uncovered-exposure",
+          "model-underivable-requirement"}) {
+        EXPECT_TRUE(rules.count(rule)) << rule;
+    }
 }
 
 }  // namespace

@@ -3,12 +3,19 @@
 //
 //   cprisk check  <bundle>                 parse + validate a model bundle
 //   cprisk lint   <bundle-or-.lp>          run the static-analysis rule packs
+//   cprisk graph  <bundle-or-.lp>          predicate dependency graph + taint summary
 //   cprisk assess <bundle> [options]       run the full 7-step pipeline
 //   cprisk matrix                          print the O-RA and IEC 61508 matrices
 //
 // Lint options:
 //   --json               machine-readable diagnostics
 //   --werror             exit non-zero on warnings too
+//
+// Graph options:
+//   --dot                Graphviz output
+//   --json               machine-readable output
+//
+// Exit codes: 0 clean, 1 findings / invalid input, 2 usage or I/O error.
 //
 // Assess options:
 //   --horizon N          temporal unrolling depth           (default 6)
@@ -28,6 +35,8 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/dependency_graph.hpp"
+#include "analysis/taint.hpp"
 #include "asp/parser.hpp"
 #include "common/diagnostics.hpp"
 #include "core/assessment.hpp"
@@ -44,6 +53,7 @@ int usage() {
     std::fprintf(stderr,
                  "usage: cprisk check <bundle>\n"
                  "       cprisk lint <bundle-or-.lp> [--json] [--werror]\n"
+                 "       cprisk graph <bundle-or-.lp> [--dot|--json]\n"
                  "       cprisk assess <bundle> [--horizon N] [--max-faults K]\n"
                  "                     [--attack-scenarios] [--no-cegar] [--budget N]\n"
                  "                     [--phase-budget N] [--markdown FILE] [--csv FILE]\n"
@@ -63,6 +73,18 @@ bool read_file(const std::string& path, std::string& out) {
 bool ends_with(const std::string& text, const char* suffix) {
     const std::size_t n = std::strlen(suffix);
     return text.size() >= n && text.compare(text.size() - n, n, suffix) == 0;
+}
+
+/// Unreadable input is an I/O problem (exit 2), not a lint failure (exit 1):
+/// scripted callers can tell "findings" from "wrong path" apart.
+int report_unreadable(const std::string& path) {
+    cprisk::Diagnostic diagnostic;
+    diagnostic.severity = cprisk::Severity::Error;
+    diagnostic.rule = "cli-unreadable-input";
+    diagnostic.message = "cannot open '" + path + "'";
+    diagnostic.hint = "check that the path exists and is readable";
+    std::fprintf(stderr, "%s", cprisk::render_text({diagnostic}).c_str());
+    return 2;
 }
 
 int cmd_check(const std::string& path) {
@@ -110,10 +132,7 @@ int cmd_lint(int argc, char** argv) {
     if (path.empty()) return usage();
 
     std::string text;
-    if (!read_file(path, text)) {
-        std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
-        return 1;
-    }
+    if (!read_file(path, text)) return report_unreadable(path);
 
     cprisk::DiagnosticSink sink;
     sink.set_file(path);
@@ -137,6 +156,248 @@ int cmd_lint(int argc, char** argv) {
     }
     if (sink.has_errors()) return 1;
     if (werror && sink.has_warnings()) return 1;
+    return 0;
+}
+
+// --- cprisk graph ----------------------------------------------------------
+
+void collect_requirement_atoms(const cprisk::asp::ltl::Formula& formula,
+                               std::vector<cprisk::asp::Atom>& out) {
+    using Op = cprisk::asp::ltl::Formula::Op;
+    switch (formula.op()) {
+        case Op::Atom: out.push_back(formula.atom_value()); return;
+        case Op::True:
+        case Op::False: return;
+        case Op::Not:
+        case Op::Next:
+        case Op::WeakNext:
+        case Op::Always:
+        case Op::Eventually: collect_requirement_atoms(formula.left(), out); return;
+        case Op::And:
+        case Op::Or:
+        case Op::Implies:
+        case Op::Until:
+        case Op::Release:
+            collect_requirement_atoms(formula.left(), out);
+            collect_requirement_atoms(formula.right(), out);
+            return;
+    }
+}
+
+/// Everything `cprisk graph` renders: the predicate dependency graph of the
+/// program(s), plus (for bundles) the attack-reachability taint summary.
+struct GraphReport {
+    cprisk::analysis::DependencyGraph graph;
+    bool has_taint = false;
+    cprisk::analysis::TaintResult taint;
+    std::vector<std::string> requirements_off_attack_path;
+};
+
+std::string signature_list(const std::vector<cprisk::asp::Signature>& signatures) {
+    std::string list;
+    for (const auto& sig : signatures) {
+        if (!list.empty()) list += ", ";
+        list += sig.to_string();
+    }
+    return list;
+}
+
+void print_graph_text(const GraphReport& report) {
+    const auto& graph = report.graph;
+    std::printf("dependency graph: %zu predicates, %zu dependencies, %zu components, %d strata\n",
+                graph.node_count(), graph.edges().size(), graph.component_count(),
+                graph.stratum_count());
+    const std::set<std::size_t> unstratified(graph.unstratified_components().begin(),
+                                             graph.unstratified_components().end());
+    const std::set<std::size_t> loops(graph.positive_loop_components().begin(),
+                                      graph.positive_loop_components().end());
+    for (std::size_t c = 0; c < graph.component_count(); ++c) {
+        const auto members = graph.component_signatures(c);
+        std::printf("  [%zu] stratum %d: %s%s%s\n", c,
+                    graph.stratum_of(graph.components()[c].front()),
+                    signature_list(members).c_str(),
+                    unstratified.count(c) > 0 ? "  (recursion through negation)" : "",
+                    unstratified.count(c) == 0 && loops.count(c) > 0 ? "  (positive recursion)"
+                                                                     : "");
+    }
+    if (!report.has_taint) return;
+    const auto& taint = report.taint;
+    std::printf("attack taint: %zu entry point(s)\n", taint.entry_points.size());
+    for (const auto& entry : taint.entry_points) {
+        std::printf("  entry %s (depth %d): %zu applicable technique(s), e.g. %s%s%s\n",
+                    entry.component.c_str(), entry.depth, entry.technique_count,
+                    entry.technique_id.c_str(),
+                    entry.activated_fault.empty() ? "" : ", activates fault ",
+                    entry.activated_fault.c_str());
+    }
+    for (const auto& [component, depth] : taint.compromise_depth) {
+        std::printf("  reached %s at depth %d\n", component.c_str(), depth);
+    }
+    for (const auto& component : taint.unreached) {
+        std::printf("  unreached: %s\n", component.c_str());
+    }
+    for (const auto& id : report.requirements_off_attack_path) {
+        std::printf("  requirement off every attack path: %s\n", id.c_str());
+    }
+}
+
+void print_graph_dot(const GraphReport& report) {
+    const auto& graph = report.graph;
+    std::printf("digraph dependencies {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
+    for (std::size_t n = 0; n < graph.node_count(); ++n) {
+        std::printf("  \"%s\" [label=\"%s\\nstratum %d\"];\n",
+                    graph.node(n).to_string().c_str(), graph.node(n).to_string().c_str(),
+                    graph.stratum_of(n));
+    }
+    for (const auto& edge : graph.edges()) {
+        std::string attrs;
+        if (edge.negative) attrs += "color=red, label=\"not\"";
+        if (edge.temporal) attrs += std::string(attrs.empty() ? "" : ", ") + "style=dotted";
+        std::printf("  \"%s\" -> \"%s\"%s%s%s;\n", graph.node(edge.from).to_string().c_str(),
+                    graph.node(edge.to).to_string().c_str(), attrs.empty() ? "" : " [",
+                    attrs.c_str(), attrs.empty() ? "" : "]");
+    }
+    std::printf("}\n");
+}
+
+void print_graph_json(const GraphReport& report) {
+    const auto& graph = report.graph;
+    std::string out = "{\n  \"nodes\": [";
+    for (std::size_t n = 0; n < graph.node_count(); ++n) {
+        out += n == 0 ? "\n" : ",\n";
+        out += "    {\"signature\": \"" + graph.node(n).to_string() + "\", \"component\": " +
+               std::to_string(graph.component_of(n)) + ", \"stratum\": " +
+               std::to_string(graph.stratum_of(n)) + "}";
+    }
+    out += graph.node_count() > 0 ? "\n  ],\n" : "],\n";
+    out += "  \"edges\": [";
+    for (std::size_t e = 0; e < graph.edges().size(); ++e) {
+        const auto& edge = graph.edges()[e];
+        out += e == 0 ? "\n" : ",\n";
+        out += "    {\"from\": \"" + graph.node(edge.from).to_string() + "\", \"to\": \"" +
+               graph.node(edge.to).to_string() + "\", \"negative\": " +
+               (edge.negative ? "true" : "false") + ", \"temporal\": " +
+               (edge.temporal ? "true" : "false") + "}";
+    }
+    out += graph.edges().empty() ? "],\n" : "\n  ],\n";
+    out += "  \"stratified\": " + std::string(graph.is_stratified() ? "true" : "false");
+    if (report.has_taint) {
+        const auto& taint = report.taint;
+        out += ",\n  \"taint\": {\n    \"entry_points\": [";
+        for (std::size_t i = 0; i < taint.entry_points.size(); ++i) {
+            const auto& entry = taint.entry_points[i];
+            out += i == 0 ? "\n" : ",\n";
+            out += "      {\"component\": \"" + entry.component + "\", \"depth\": " +
+                   std::to_string(entry.depth) + ", \"techniques\": " +
+                   std::to_string(entry.technique_count) + ", \"technique\": \"" +
+                   entry.technique_id + "\"";
+            if (!entry.activated_fault.empty()) {
+                out += ", \"activates_fault\": \"" + entry.activated_fault + "\"";
+            }
+            out += "}";
+        }
+        out += taint.entry_points.empty() ? "],\n" : "\n    ],\n";
+        out += "    \"compromise_depth\": {";
+        bool first = true;
+        for (const auto& [component, depth] : taint.compromise_depth) {
+            out += first ? "" : ", ";
+            out += "\"" + component + "\": " + std::to_string(depth);
+            first = false;
+        }
+        out += "},\n    \"unreached\": [";
+        for (std::size_t i = 0; i < taint.unreached.size(); ++i) {
+            out += (i == 0 ? "\"" : ", \"") + taint.unreached[i] + "\"";
+        }
+        out += "],\n    \"requirements_off_attack_path\": [";
+        for (std::size_t i = 0; i < report.requirements_off_attack_path.size(); ++i) {
+            out += (i == 0 ? "\"" : ", \"") + report.requirements_off_attack_path[i] + "\"";
+        }
+        out += "]\n  }";
+    }
+    out += "\n}\n";
+    std::printf("%s", out.c_str());
+}
+
+int cmd_graph(int argc, char** argv) {
+    if (argc < 1) return usage();
+    std::string path;
+    enum class Format { Text, Dot, Json } format = Format::Text;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--dot") {
+            format = Format::Dot;
+        } else if (arg == "--json") {
+            format = Format::Json;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown graph option '%s'\n", arg.c_str());
+            return usage();
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            std::fprintf(stderr, "graph takes exactly one input file\n");
+            return usage();
+        }
+    }
+    if (path.empty()) return usage();
+
+    std::string text;
+    if (!read_file(path, text)) return report_unreadable(path);
+
+    cprisk::DiagnosticSink sink;
+    sink.set_file(path);
+    GraphReport report;
+    if (ends_with(path, ".lp")) {
+        auto program = cprisk::asp::parse_program(text, sink);
+        if (!program.has_value()) {
+            std::fprintf(stderr, "%s", cprisk::render_text(sink.diagnostics()).c_str());
+            return 1;
+        }
+        report.graph = cprisk::analysis::DependencyGraph::build(*program);
+    } else {
+        auto bundle = cprisk::core::load_bundle_lenient(text, sink);
+        std::vector<cprisk::asp::Program> programs;
+        for (const auto& component : bundle.model.components()) {
+            for (const std::string& fragment : bundle.model.behaviors(component.id)) {
+                auto program = cprisk::asp::parse_program(fragment, sink);
+                if (program.has_value()) programs.push_back(std::move(*program));
+            }
+        }
+        if (sink.has_errors()) {
+            sink.sort_by_location();
+            std::fprintf(stderr, "%s", cprisk::render_text(sink.diagnostics()).c_str());
+            return 1;
+        }
+        std::vector<const cprisk::asp::Program*> pointers;
+        pointers.reserve(programs.size());
+        for (const auto& program : programs) pointers.push_back(&program);
+        report.graph = cprisk::analysis::DependencyGraph::build(pointers);
+
+        report.has_taint = true;
+        const auto matrix = cprisk::security::AttackMatrix::standard_ics();
+        report.taint = cprisk::analysis::analyze_attack_reachability(bundle.model, matrix);
+        for (const auto* requirements :
+             {&bundle.behavioral_requirements, &bundle.topology_requirements}) {
+            for (const cprisk::epa::Requirement& requirement : *requirements) {
+                std::vector<cprisk::asp::Atom> atoms;
+                collect_requirement_atoms(requirement.formula, atoms);
+                bool on_path = false;
+                for (const auto& atom : atoms) {
+                    for (const auto& arg : atom.args) {
+                        if (arg.is_symbol() && report.taint.reached(arg.name())) on_path = true;
+                    }
+                }
+                if (!on_path) {
+                    report.requirements_off_attack_path.push_back(requirement.id);
+                }
+            }
+        }
+    }
+
+    switch (format) {
+        case Format::Text: print_graph_text(report); break;
+        case Format::Dot: print_graph_dot(report); break;
+        case Format::Json: print_graph_json(report); break;
+    }
     return 0;
 }
 
@@ -259,6 +520,7 @@ int main(int argc, char** argv) {
     const std::string command = argv[1];
     if (command == "check" && argc >= 3) return cmd_check(argv[2]);
     if (command == "lint") return cmd_lint(argc - 2, argv + 2);
+    if (command == "graph") return cmd_graph(argc - 2, argv + 2);
     if (command == "matrix") return cmd_matrix();
     if (command == "assess") return cmd_assess(argc - 2, argv + 2);
     return usage();
