@@ -137,6 +137,30 @@ void BM_BoundPropagationAblation(benchmark::State& state) {
 }
 BENCHMARK(BM_BoundPropagationAblation)->Arg(1)->Arg(0);
 
+void BM_CancellationCheckOverhead(benchmark::State& state) {
+    // Cost of the cooperative budget checks on the hot search loop: the same
+    // enumeration with no budget attached vs. a generous budget that never
+    // trips (decision charges + strided clock sampling). The delta is the
+    // governance overhead documented in EXPERIMENTS.md (<2% target).
+    const int k = 10;
+    std::string text = "item(1.." + std::to_string(k) + "). { pick(X) : item(X) }.\n";
+    auto grounded = ground(parse_program(text).value()).value();
+    const bool governed = state.range(0) != 0;
+    for (auto _ : state) {
+        cprisk::Budget budget;
+        SolveOptions options;
+        if (governed) {
+            budget.set_deadline_after(std::chrono::hours(1));
+            budget.set_max_decisions(1u << 30);
+            options.budget = &budget;
+        }
+        auto result = solve(grounded, options);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetLabel(governed ? "budget_attached" : "ungoverned");
+}
+BENCHMARK(BM_CancellationCheckOverhead)->Arg(0)->Arg(1);
+
 void BM_ParseLargeProgram(benchmark::State& state) {
     const std::string text = chain_program(static_cast<int>(state.range(0)));
     for (auto _ : state) {

@@ -19,7 +19,20 @@ Result<SolveResult> solve_program(const Program& program, const PipelineOptions&
         effective = &unrolled;
     }
     auto grounded = ground(*effective, options.grounder);
-    if (!grounded.ok()) return Result<SolveResult>::failure(grounded.error());
+    if (!grounded.ok()) {
+        // A budget trip during grounding is an interrupt, not an error: the
+        // caller gets a (model-free) partial result with the structured
+        // reason, same as a search stopped mid-enumeration.
+        if (options.grounder.budget != nullptr && options.grounder.budget->tripped()) {
+            const BudgetExceeded& exceeded = *options.grounder.budget->tripped();
+            SolveResult partial;
+            SolveStats stats;
+            stats.decisions = exceeded.stats.decisions;
+            partial.interrupt = SolveInterrupt{exceeded.reason, stats};
+            return partial;
+        }
+        return Result<SolveResult>::failure(grounded.error());
+    }
     return solve(grounded.value(), options.solve);
 }
 

@@ -11,6 +11,7 @@
 #include "asp/eval.hpp"
 #include "asp/safety.hpp"
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
 
 namespace cprisk::asp {
 
@@ -222,6 +223,7 @@ private:
         const int before = static_cast<int>(out_.atom_count());
         const int id = out_.intern(atom);
         if (id >= before) {
+            charge_budget();
             if (out_.atom_count() > options_.max_atoms) {
                 throw GroundError("grounder: atom limit exceeded (" +
                                   std::to_string(options_.max_atoms) + ")");
@@ -479,6 +481,7 @@ private:
     }
 
     void ground_rule(const Rule& rule) {
+        charge_budget();
         // Aggregates never bind variables; split them off and handle them
         // after the literal body matched.
         std::vector<Literal> normals;
@@ -745,6 +748,7 @@ private:
     // --- weak constraints ----------------------------------------------------
 
     void ground_weak(const WeakConstraint& weak) {
+        charge_budget();
         match(weak.body, {}, {}, {},
               [&](const Binding& binding, std::vector<int> pos, std::vector<int> neg) {
                   normalize(pos);
@@ -797,6 +801,16 @@ private:
         }
     }
 
+    /// One budget step per grounded rule / newly interned atom; a trip
+    /// unwinds the fixpoint promptly via GroundError, and the caller reads
+    /// the structured reason from Budget::tripped().
+    void charge_budget() {
+        if (options_.budget == nullptr) return;
+        if (auto exceeded = options_.budget->charge_steps()) {
+            throw GroundError("grounder: " + exceeded->to_string());
+        }
+    }
+
     const Program& program_;
     const GrounderOptions& options_;
     std::map<std::string, Term> consts_;
@@ -816,6 +830,10 @@ private:
 }  // namespace
 
 Result<GroundProgram> ground(const Program& program, const GrounderOptions& options) {
+    if (fault::should_fail("asp.grounder.ground")) {
+        return Result<GroundProgram>::failure(
+            "grounder: injected fault (site asp.grounder.ground)");
+    }
     try {
         Grounder grounder(program, options);
         return grounder.run();

@@ -11,6 +11,7 @@
 
 #include "asp/ground_program.hpp"
 #include "asp/syntax.hpp"
+#include "common/budget.hpp"
 #include "common/result.hpp"
 
 namespace cprisk::asp {
@@ -19,6 +20,10 @@ struct GrounderOptions {
     /// Safety valve against non-terminating programs (e.g. p(X+1) :- p(X)).
     std::size_t max_atoms = 2'000'000;
     std::size_t max_iterations = 10'000;
+    /// Optional shared resource governor; grounding charges one step per
+    /// grounded rule and per newly interned atom. A tripped budget fails the
+    /// ground() call; the caller classifies via Budget::tripped(). Not owned.
+    Budget* budget = nullptr;
     /// Ground rules grouped by predicate-dependency SCC in topological order
     /// (analysis/dependency_graph.hpp): each rule is revisited only while its
     /// own component is still growing, instead of on every global fixpoint

@@ -5,8 +5,23 @@
 #include <set>
 
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
 
 namespace cprisk::asp {
+
+std::string SolveInterrupt::to_string() const {
+    std::string out(cprisk::to_string(reason));
+    switch (reason) {
+        case BudgetReason::Deadline: out = "wall-clock deadline exceeded"; break;
+        case BudgetReason::DecisionLimit: out = "decision budget exceeded"; break;
+        case BudgetReason::StepLimit: out = "step budget exceeded"; break;
+        case BudgetReason::Cancelled: out = "cancelled"; break;
+    }
+    out += " (decisions=" + std::to_string(stats.decisions) +
+           ", conflicts=" + std::to_string(stats.conflicts) +
+           ", propagations=" + std::to_string(stats.propagations) + ")";
+    return out;
+}
 
 bool AnswerSet::contains(const Atom& atom) const {
     return std::binary_search(atoms.begin(), atoms.end(), atom);
@@ -41,11 +56,6 @@ std::string AnswerSet::to_string() const {
 
 namespace {
 
-class BudgetExceeded : public Error {
-public:
-    using Error::Error;
-};
-
 /// Literal encoding: variable v true -> 2v, false -> 2v+1.
 int pos_lit(int var) { return 2 * var; }
 int neg_lit(int var) { return 2 * var + 1; }
@@ -71,6 +81,9 @@ public:
         result.stats = stats_;
         result.satisfiable = !found_.empty();
         result.best_cost = best_cost_;
+        if (interrupt_reason_) {
+            result.interrupt = SolveInterrupt{*interrupt_reason_, stats_};
+        }
 
         // Optimality filter + projection dedup.
         std::set<std::string> seen;
@@ -431,11 +444,20 @@ private:
     /// Least model of the reduct; compares against the candidate. On failure
     /// records the unfounded set into `unfounded_out`.
     bool stable(std::vector<int>& unfounded_out) const {
+        if (fault::should_fail("asp.solver.stability")) {
+            throw Error("solver: injected fault in stability check (site asp.solver.stability)");
+        }
         const int n_atoms = static_cast<int>(program_.atom_count());
         std::vector<char> derived(static_cast<std::size_t>(n_atoms), false);
         bool progressed = true;
         while (progressed) {
             progressed = false;
+            // Account the round against the shared budget. A trip is sticky:
+            // the check itself runs to completion (it is polynomial), and the
+            // search stops at the next decision point.
+            if (options_.budget != nullptr) {
+                options_.budget->charge_steps(program_.rules().size());
+            }
             for (const GroundRule& rule : program_.rules()) {
                 if (rule.kind == GroundRule::Kind::Constraint) continue;
                 // Reduct keeps the rule if no negative literal is in the model.
@@ -642,7 +664,8 @@ private:
         return -1;
     }
 
-    /// Depth-first enumeration; returns false when the model budget is hit.
+    /// Depth-first enumeration; returns false to stop the search (model
+    /// limit reached, or a resource budget tripped — see interrupt_reason_).
     bool search() {
         if (!propagate_all()) return true;
         if (should_prune_by_cost()) return true;
@@ -661,9 +684,16 @@ private:
             return !model_limit_reached();
         }
 
-        if (++stats_.decisions > options_.max_decisions) {
-            throw BudgetExceeded("solver: decision budget exceeded (" +
-                                 std::to_string(options_.max_decisions) + ")");
+        ++stats_.decisions;
+        if (options_.max_decisions != 0 && stats_.decisions > options_.max_decisions) {
+            interrupt_reason_ = BudgetReason::DecisionLimit;
+            return false;
+        }
+        if (options_.budget != nullptr) {
+            if (auto exceeded = options_.budget->charge_decisions()) {
+                interrupt_reason_ = exceeded->reason;
+                return false;
+            }
         }
 
         for (const int lit : {neg_lit(var), pos_lit(var)}) {
@@ -708,15 +738,19 @@ private:
     std::map<long long, long long> best_cost_;
     bool have_best_ = false;
     SolveStats stats_;
+    std::optional<BudgetReason> interrupt_reason_;
 };
 
 }  // namespace
 
 Result<SolveResult> solve(const GroundProgram& program, const SolveOptions& options) {
+    if (fault::should_fail("asp.solver.solve")) {
+        return Result<SolveResult>::failure("solver: injected fault (site asp.solver.solve)");
+    }
     try {
         SolverImpl solver(program, options);
         return solver.run();
-    } catch (const BudgetExceeded& e) {
+    } catch (const Error& e) {
         return Result<SolveResult>::failure(e.what());
     }
 }

@@ -20,11 +20,13 @@
 
 #include <cstddef>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "asp/ground_program.hpp"
 #include "asp/term.hpp"
+#include "common/budget.hpp"
 #include "common/result.hpp"
 
 namespace cprisk::asp {
@@ -48,12 +50,16 @@ struct SolveOptions {
     std::size_t max_models = 0;
     /// When weak constraints are present, keep only optimal models.
     bool optimize = true;
-    /// Search budget guard; exceeded searches fail.
+    /// Per-solve decision quota; an exceeded search stops and reports a
+    /// SolveInterrupt with the stats at the stopping point (0 = unlimited).
     std::size_t max_decisions = 50'000'000;
     /// Propagate cardinality bounds of choice rules during search (ablation
     /// knob; leaf-only checking remains correct but exponentially slower on
     /// tightly-bounded programs).
     bool propagate_bounds = true;
+    /// Optional shared resource governor (wall-clock deadline, cross-solve
+    /// decision quota, cancellation). Not owned; may be nullptr.
+    Budget* budget = nullptr;
 };
 
 struct SolveStats {
@@ -64,14 +70,35 @@ struct SolveStats {
     std::size_t models_enumerated = 0;  ///< pre-projection, pre-optimality filter
 };
 
+/// Structured record of a search stopped early by a resource budget. The
+/// enumeration below the stopping point was not explored, so a result that
+/// carries an interrupt is a sound *under*-approximation: the models listed
+/// are answer sets, but absence of a model proves nothing.
+struct SolveInterrupt {
+    BudgetReason reason = BudgetReason::DecisionLimit;
+    SolveStats stats;  ///< work done up to the stopping point
+
+    /// e.g. "decision budget exceeded (decisions=50000001, conflicts=1327,
+    /// propagations=...)" — stats ride along in every diagnostic.
+    std::string to_string() const;
+};
+
 struct SolveResult {
     bool satisfiable = false;
     std::vector<AnswerSet> models;          ///< distinct projected answer sets
     std::map<long long, long long> best_cost;  ///< optimum, when optimizing
     SolveStats stats;
+    /// Set when the search stopped early (budget/deadline/cancellation); the
+    /// models above are then a partial enumeration.
+    std::optional<SolveInterrupt> interrupt;
+
+    /// True when the search ran to completion (result is exhaustive).
+    bool complete() const { return !interrupt.has_value(); }
 };
 
-/// Solves `program`. Fails only on exhausted search budget.
+/// Solves `program`. Budget exhaustion is not a failure: the result carries a
+/// SolveInterrupt plus whatever models were found. Fails only on injected or
+/// internal solver errors.
 Result<SolveResult> solve(const GroundProgram& program, const SolveOptions& options = {});
 
 }  // namespace cprisk::asp

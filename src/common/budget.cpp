@@ -1,0 +1,27 @@
+#include "common/budget.hpp"
+
+namespace cprisk {
+
+std::string_view to_string(BudgetReason reason) {
+    switch (reason) {
+        case BudgetReason::Deadline: return "deadline";
+        case BudgetReason::DecisionLimit: return "decision_limit";
+        case BudgetReason::StepLimit: return "step_limit";
+        case BudgetReason::Cancelled: return "cancelled";
+    }
+    return "?";
+}
+
+std::string BudgetExceeded::to_string() const {
+    std::string what;
+    switch (reason) {
+        case BudgetReason::Deadline: what = "wall-clock deadline exceeded"; break;
+        case BudgetReason::DecisionLimit: what = "decision budget exceeded"; break;
+        case BudgetReason::StepLimit: what = "step budget exceeded"; break;
+        case BudgetReason::Cancelled: what = "cancelled"; break;
+    }
+    return what + " after " + std::to_string(stats.elapsed.count()) + "ms (steps=" +
+           std::to_string(stats.steps) + ", decisions=" + std::to_string(stats.decisions) + ")";
+}
+
+}  // namespace cprisk

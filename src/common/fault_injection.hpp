@@ -1,0 +1,39 @@
+// cprisk/common/fault_injection.hpp
+//
+// Deterministic fault-injection harness for robustness testing. Failure
+// seams (grounder entry, solver search, stability check, journal I/O, ...)
+// call `should_fail("<site>")`; sites sit at coarse per-solve/per-scenario
+// seams, never inside hot inner loops, so the uncontended lock taken per
+// call is irrelevant to throughput. Tests arm a site with a count-down
+// trigger — the site reports failure exactly once, on its N-th upcoming hit
+// — and assert that the pipeline survives with a clean diagnostic and a
+// sound partial report (tests/robustness/fault_sweep_test.cpp sweeps every
+// registered site).
+//
+// Sites self-register on first hit, so a clean reference run discovers the
+// complete site list for the sweep; nothing to keep in sync by hand.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cprisk::fault {
+
+/// True when `site` is armed and its count-down reached zero on this hit.
+/// Fires at most once per arm() (the trigger disarms itself). Also registers
+/// the site and counts the hit.
+bool should_fail(const char* site);
+
+/// Arms `site` to fail on its `countdown`-th upcoming hit (1 = next hit).
+void arm(const std::string& site, int countdown = 1);
+
+/// Disarms every site and resets hit counters. Site registration survives.
+void reset();
+
+/// Every site encountered (or armed) so far in this process, sorted.
+std::vector<std::string> registered_sites();
+
+/// Hits recorded for `site` since the last reset(); 0 when never hit.
+std::size_t hits(const std::string& site);
+
+}  // namespace cprisk::fault

@@ -1,0 +1,91 @@
+// cprisk/common/json.hpp
+//
+// Minimal JSON value model, parser and serializer. Exists for the
+// assessment journal (core/journal.hpp): checkpoint/resume needs a lossless
+// machine-readable round trip of per-scenario verdicts, and the journal
+// loader must parse lines written by an earlier (possibly killed) run.
+// Deliberately small: objects, arrays, strings, 64-bit integers, booleans
+// and null — no floats, comments or trailing commas. Object key order is
+// preserved on parse and serialization is deterministic, so a re-serialized
+// line is byte-identical to its source.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace cprisk::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// Insertion-ordered object representation.
+using Object = std::vector<std::pair<std::string, Value>>;
+
+class Value {
+public:
+    enum class Kind : std::uint8_t { Null, Bool, Int, String, Array, Object };
+
+    Value() : kind_(Kind::Null) {}
+    Value(bool b) : kind_(Kind::Bool), bool_(b) {}                    // NOLINT
+    Value(long long i) : kind_(Kind::Int), int_(i) {}                 // NOLINT
+    Value(int i) : kind_(Kind::Int), int_(i) {}                       // NOLINT
+    Value(std::size_t i) : kind_(Kind::Int), int_(static_cast<long long>(i)) {}  // NOLINT
+    Value(std::string s) : kind_(Kind::String), string_(std::move(s)) {}         // NOLINT
+    Value(const char* s) : kind_(Kind::String), string_(s) {}         // NOLINT
+    Value(Array a) : kind_(Kind::Array), array_(std::move(a)) {}      // NOLINT
+    Value(Object o) : kind_(Kind::Object), object_(std::move(o)) {}   // NOLINT
+
+    Kind kind() const { return kind_; }
+    bool is_null() const { return kind_ == Kind::Null; }
+    bool is_bool() const { return kind_ == Kind::Bool; }
+    bool is_int() const { return kind_ == Kind::Int; }
+    bool is_string() const { return kind_ == Kind::String; }
+    bool is_array() const { return kind_ == Kind::Array; }
+    bool is_object() const { return kind_ == Kind::Object; }
+
+    bool as_bool() const { return bool_; }
+    long long as_int() const { return int_; }
+    const std::string& as_string() const { return string_; }
+    const Array& as_array() const { return array_; }
+    const Object& as_object() const { return object_; }
+    Array& as_array() { return array_; }
+    Object& as_object() { return object_; }
+
+    /// Object member lookup; nullptr when absent or not an object.
+    const Value* get(std::string_view key) const;
+
+    /// Convenience typed lookups with fallbacks (for tolerant readers).
+    long long get_int(std::string_view key, long long fallback = 0) const;
+    std::string get_string(std::string_view key, const std::string& fallback = {}) const;
+    bool get_bool(std::string_view key, bool fallback = false) const;
+
+    /// Compact single-line serialization (no whitespace).
+    std::string serialize() const;
+
+private:
+    Kind kind_;
+    bool bool_ = false;
+    long long int_ = 0;
+    std::string string_;
+    Array array_;
+    Object object_;
+};
+
+/// Appends `key: value` to an object under construction.
+inline void set(Object& object, std::string key, Value value) {
+    object.emplace_back(std::move(key), std::move(value));
+}
+
+/// Escapes a string for embedding in a JSON document (without quotes).
+std::string escape(std::string_view text);
+
+/// Parses a complete JSON document; trailing non-whitespace fails.
+Result<Value> parse(std::string_view text);
+
+}  // namespace cprisk::json

@@ -1,7 +1,9 @@
 #include "core/assessment.hpp"
 
 #include <algorithm>
+#include <map>
 
+#include "core/journal.hpp"
 #include "security/threat_actor.hpp"
 
 namespace cprisk::core {
@@ -71,6 +73,20 @@ TextTable AssessmentReport::mitigation_table() const {
     return table;
 }
 
+TextTable AssessmentReport::completeness_table() const {
+    TextTable table({"Scenario", "Reason", "Decisions", "Conflicts", "Detail"});
+    for (const epa::ScenarioVerdict& verdict : undetermined) {
+        table.add_row({verdict.scenario_id,
+                       std::string(verdict.undetermined_reason
+                                       ? epa::to_string(*verdict.undetermined_reason)
+                                       : "unknown"),
+                       std::to_string(verdict.solver_stats.decisions),
+                       std::to_string(verdict.solver_stats.conflicts),
+                       verdict.undetermined_detail});
+    }
+    return table;
+}
+
 RiskAssessment::RiskAssessment(const model::SystemModel& system,
                                std::vector<epa::Requirement> behavioral_requirements,
                                std::vector<epa::Requirement> topology_requirements,
@@ -105,12 +121,71 @@ Result<AssessmentReport> RiskAssessment::run(const AssessmentConfig& config) con
     }
     stages.push_back(hierarchy::CegarStage{"behavioral", system_, epa::AnalysisFocus::Behavioral,
                                            behavioral_requirements_, config.horizon});
-    auto cegar =
-        hierarchy::run_cegar(stages, space, *mitigations_, config.active_mitigations);
+
+    Budget run_budget;
+    if (config.deadline_ms > 0) {
+        run_budget.set_deadline_after(std::chrono::milliseconds(config.deadline_ms));
+    }
+    if (config.cancel) run_budget.set_cancel_token(*config.cancel);
+
+    hierarchy::CegarOptions cegar_options;
+    cegar_options.max_decisions = config.max_decisions;
+    cegar_options.budget = &run_budget;
+
+    // Checkpoint/resume: previously journaled verdicts are replayed instead
+    // of re-evaluated; fresh verdicts are appended as they complete.
+    std::optional<JournalWriter> journal;
+    std::map<std::string, hierarchy::ScenarioRecord> replay;
+    std::vector<hierarchy::ScenarioRecord> replayed_records;  // in journal order
+    if (!config.journal_path.empty()) {
+        const json::Value header = journal_header(config);
+        if (config.resume) {
+            auto loaded = load_journal(config.journal_path);
+            if (!loaded.ok()) return Result<AssessmentReport>::failure(loaded.error());
+            const json::Value* echo = loaded.value().header.get("config");
+            if (echo == nullptr || echo->serialize() != header.get("config")->serialize()) {
+                return Result<AssessmentReport>::failure(
+                    "journal: " + config.journal_path +
+                    " was written under a different configuration; re-run without --resume");
+            }
+            replayed_records = std::move(loaded.value().records);
+            for (const hierarchy::ScenarioRecord& record : replayed_records) {
+                replay[record.scenario_id] = record;
+            }
+        }
+        // Rewriting the journal (header + intact replayed records) compacts
+        // away any torn trailing line the killed run left behind; fresh
+        // appends then always start on a line boundary.
+        auto writer = JournalWriter::open(config.journal_path, header);
+        if (!writer.ok()) return Result<AssessmentReport>::failure(writer.error());
+        journal = std::move(writer).value();
+        for (const hierarchy::ScenarioRecord& record : replayed_records) {
+            auto appended = journal->append(record);
+            if (!appended.ok()) return Result<AssessmentReport>::failure(appended.error());
+        }
+        cegar_options.hooks.lookup =
+            [&](const std::string& scenario_id) -> std::optional<hierarchy::ScenarioRecord> {
+            auto it = replay.find(scenario_id);
+            if (it == replay.end()) return std::nullopt;
+            ++report.resumed_scenarios;
+            return it->second;
+        };
+        cegar_options.hooks.completed = [&](const hierarchy::ScenarioRecord& record) {
+            return journal->append(record);
+        };
+    }
+
+    auto cegar = hierarchy::run_cegar(stages, space, *mitigations_, config.active_mitigations,
+                                      cegar_options);
     if (!cegar.ok()) return Result<AssessmentReport>::failure(cegar.error());
     report.hazards = cegar.value().confirmed;
+    report.undetermined = cegar.value().undetermined;
     report.cegar_iterations = cegar.value().iterations;
     report.spurious_eliminated = cegar.value().total_spurious();
+    for (const hierarchy::ScenarioRecord& record : cegar.value().records) {
+        report.total_decisions += record.verdict.solver_stats.decisions;
+        report.total_conflicts += record.verdict.solver_stats.conflicts;
+    }
 
     // Step 6: quantitative (rough-granular) risk analysis.
     for (const epa::ScenarioVerdict& hazard : report.hazards) {

@@ -16,6 +16,7 @@
 
 #include <optional>
 
+#include "common/budget.hpp"
 #include "common/table.hpp"
 #include "hierarchy/evaluation_matrix.hpp"
 #include "mitigation/optimizer.hpp"
@@ -45,6 +46,16 @@ struct AssessmentConfig {
     long long phase_budget = 0;                 ///< >0 enables multi-phase planning
     long long loss_scale = 10;                  ///< severity -> cost conversion
     std::vector<std::string> active_mitigations;  ///< already-deployed controls
+
+    // Resource governance (see docs/robustness.md). Exhausted budgets do
+    // not fail the run: affected scenarios are reported Undetermined.
+    long long deadline_ms = 0;       ///< wall-clock deadline for steps 3-5 (0 = none)
+    std::size_t max_decisions = 0;   ///< per-solve decision cap (0 = solver default)
+    std::optional<CancelToken> cancel;  ///< external cancellation
+
+    // Checkpoint/resume.
+    std::string journal_path;  ///< non-empty: append one JSONL verdict per scenario
+    bool resume = false;       ///< replay the journal, skipping finished scenarios
 };
 
 struct AssessmentReport {
@@ -56,15 +67,28 @@ struct AssessmentReport {
     std::vector<epa::ScenarioVerdict> hazards;  ///< confirmed violating scenarios
     std::vector<hierarchy::CegarIterationStats> cegar_iterations;
     std::size_t spurious_eliminated = 0;
+    // Completeness: scenarios the engine could not decide within its
+    // resource budget, with the reason on each verdict. A non-empty list
+    // means the hazard identification was NOT exhaustive, and every report
+    // rendering says so.
+    std::vector<epa::ScenarioVerdict> undetermined;
+    std::size_t resumed_scenarios = 0;  ///< verdicts replayed from the journal
+    std::size_t total_decisions = 0;    ///< solver effort across all scenarios
+    std::size_t total_conflicts = 0;
     // Step 6.
     std::vector<ScenarioRisk> risks;  ///< sorted by descending risk
     // Step 7.
     mitigation::Selection selection;
     std::vector<mitigation::Phase> phases;
 
+    /// True when every scenario was decided (the run is exhaustive).
+    bool complete() const { return undetermined.empty(); }
+
     TextTable hazard_table() const;
     TextTable risk_table() const;
     TextTable mitigation_table() const;
+    /// Undetermined scenarios with their reasons and solver stats.
+    TextTable completeness_table() const;
 };
 
 class RiskAssessment {

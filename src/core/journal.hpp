@@ -1,0 +1,70 @@
+// cprisk/core/journal.hpp
+//
+// Assessment checkpoint journal: one JSONL line per finished scenario, so a
+// long exhaustive run that is killed (or runs out of budget) can resume and
+// still produce a report byte-identical to an uninterrupted run. Layout:
+//
+//   {"kind":"cprisk-journal","version":1,"config":{...}}   <- header
+//   {"kind":"scenario","id":"s1","outcome":"confirmed",...}
+//   ...
+//
+// The header echoes every configuration field that influences per-scenario
+// verdicts (horizon, scenario-space knobs, active mitigations, decision
+// cap); resume refuses a journal written under a different configuration.
+// Records are flushed per line, and the loader tolerates exactly one torn
+// trailing line — the line being written when the process died. Verdict
+// traces (EpaOptions::collect_trace) are not journaled; the assessment
+// pipeline never collects them.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/result.hpp"
+#include "core/assessment.hpp"
+#include "hierarchy/cegar.hpp"
+
+namespace cprisk::core {
+
+/// Journal header for a run under `config`: echoes every configuration
+/// field that influences per-scenario verdicts, so resume can refuse a
+/// journal written under a different configuration.
+json::Value journal_header(const AssessmentConfig& config);
+
+/// Lossless round trip for one scenario record (object key order is fixed,
+/// so serialize(record_to_json(r)) is deterministic).
+json::Value record_to_json(const hierarchy::ScenarioRecord& record);
+Result<hierarchy::ScenarioRecord> record_from_json(const json::Value& value);
+
+struct JournalContents {
+    json::Value header;  ///< the full header object
+    std::vector<hierarchy::ScenarioRecord> records;
+    bool torn_tail = false;  ///< an unparseable final line was discarded
+};
+
+/// Loads a journal. Tolerates an unparseable (torn) final line; corruption
+/// anywhere else fails.
+Result<JournalContents> load_journal(const std::string& path);
+
+/// Appends one JSONL line per record, flushing after each so a killed run
+/// loses at most the line in flight.
+class JournalWriter {
+public:
+    /// Truncates and writes the header line. Resume compacts: the caller
+    /// re-appends the replayed records, which also drops any torn trailing
+    /// line left by a killed writer (serialization is deterministic, so the
+    /// rewritten lines are byte-identical to the originals).
+    static Result<JournalWriter> open(const std::string& path, const json::Value& header);
+
+    Result<void> append(const hierarchy::ScenarioRecord& record);
+
+private:
+    explicit JournalWriter(std::string path) : path_(std::move(path)) {}
+
+    std::string path_;
+    std::ofstream out_;
+};
+
+}  // namespace cprisk::core

@@ -1,5 +1,6 @@
 #include "core/report.hpp"
 
+#include "common/json.hpp"
 #include "risk/ora.hpp"
 #include "uncertainty/sensitivity.hpp"
 
@@ -86,6 +87,19 @@ std::string render_markdown(const AssessmentReport& report, const ReportOptions&
     md += markdown_table(report.risk_table());
     md += "\n";
 
+    md += "## Completeness\n\n";
+    if (report.complete()) {
+        md += "- exhaustive: all " + std::to_string(report.scenario_count) +
+              " scenarios decided\n";
+    } else {
+        md += "- **PARTIAL RESULT**: " + std::to_string(report.undetermined.size()) + " of " +
+              std::to_string(report.scenario_count) +
+              " scenarios undetermined — hazard identification is NOT exhaustive\n\n";
+        md += markdown_table(report.completeness_table());
+    }
+    md += "- solver effort: decisions=" + std::to_string(report.total_decisions) +
+          ", conflicts=" + std::to_string(report.total_conflicts) + "\n\n";
+
     if (options.include_sensitivity) {
         md += "## Critical parameter estimates (sensitivity support)\n\n";
         md += "| scenario | rating | severity +/-1 | likelihood +/-1 | review |\n";
@@ -119,7 +133,84 @@ std::string render_markdown(const AssessmentReport& report, const ReportOptions&
 }
 
 std::string render_risk_csv(const AssessmentReport& report) {
-    return report.risk_table().render_csv();
+    TextTable table = report.risk_table();
+    for (const epa::ScenarioVerdict& verdict : report.undetermined) {
+        const std::string reason = verdict.undetermined_reason
+                                       ? std::string(epa::to_string(*verdict.undetermined_reason))
+                                       : "unknown";
+        table.add_row({verdict.scenario_id, "?", "?", "undetermined:" + reason, "-", ""});
+    }
+    return table.render_csv();
+}
+
+std::string render_report_json(const AssessmentReport& report) {
+    json::Object root;
+
+    json::Object system;
+    json::set(system, "components", report.component_count);
+    json::set(system, "relations", report.relation_count);
+    json::set(system, "scenarios", report.scenario_count);
+    json::set(root, "system", std::move(system));
+
+    json::Array cegar;
+    for (const auto& iteration : report.cegar_iterations) {
+        json::Object stage;
+        json::set(stage, "stage", iteration.stage_name);
+        json::set(stage, "candidates_in", iteration.candidates_in);
+        json::set(stage, "hazards_out", iteration.hazards_out);
+        json::set(stage, "spurious_eliminated", iteration.spurious_eliminated);
+        cegar.push_back(std::move(stage));
+    }
+    json::set(root, "cegar", std::move(cegar));
+
+    json::Array risks;
+    for (const ScenarioRisk& risk : report.risks) {
+        json::Object entry;
+        json::set(entry, "scenario_id", risk.scenario_id);
+        json::set(entry, "loss_magnitude", level_str(risk.loss_magnitude));
+        json::set(entry, "loss_event_frequency", level_str(risk.loss_event_frequency));
+        json::set(entry, "risk", level_str(risk.risk));
+        json::set(entry, "iec61508", std::string(risk::to_string(risk.iec_class)));
+        json::Array violated;
+        for (const std::string& requirement : risk.violated_requirements) {
+            violated.push_back(requirement);
+        }
+        json::set(entry, "violated", std::move(violated));
+        risks.push_back(std::move(entry));
+    }
+    json::set(root, "risks", std::move(risks));
+
+    json::Object completeness;
+    json::set(completeness, "complete", report.complete());
+    json::Array undetermined;
+    for (const epa::ScenarioVerdict& verdict : report.undetermined) {
+        json::Object entry;
+        json::set(entry, "scenario_id", verdict.scenario_id);
+        json::set(entry, "reason",
+                  verdict.undetermined_reason
+                      ? std::string(epa::to_string(*verdict.undetermined_reason))
+                      : "unknown");
+        if (!verdict.undetermined_detail.empty()) {
+            json::set(entry, "detail", verdict.undetermined_detail);
+        }
+        json::set(entry, "decisions", verdict.solver_stats.decisions);
+        json::set(entry, "conflicts", verdict.solver_stats.conflicts);
+        undetermined.push_back(std::move(entry));
+    }
+    json::set(completeness, "undetermined", std::move(undetermined));
+    json::set(completeness, "total_decisions", report.total_decisions);
+    json::set(completeness, "total_conflicts", report.total_conflicts);
+    json::set(root, "completeness", std::move(completeness));
+
+    json::Object plan;
+    json::Array chosen;
+    for (const std::string& id : report.selection.chosen) chosen.push_back(id);
+    json::set(plan, "chosen", std::move(chosen));
+    json::set(plan, "mitigation_cost", report.selection.mitigation_cost);
+    json::set(plan, "residual_loss", report.selection.residual_loss);
+    json::set(root, "mitigation", std::move(plan));
+
+    return json::Value(std::move(root)).serialize() + "\n";
 }
 
 }  // namespace cprisk::core

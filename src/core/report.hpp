@@ -38,10 +38,17 @@ struct ReportOptions {
     std::string title = "Preliminary risk assessment";
 };
 
-/// Renders the full report as Markdown.
+/// Renders the full report as Markdown. Always contains a Completeness
+/// section: a partial (budget-limited) run is flagged prominently with the
+/// undetermined scenarios and their reasons.
 std::string render_markdown(const AssessmentReport& report, const ReportOptions& options = {});
 
-/// Renders the risk table as CSV (header + one row per hazard).
+/// Renders the risk table as CSV (header + one row per hazard). Partial
+/// runs append one row per undetermined scenario, marked "undetermined".
 std::string render_risk_csv(const AssessmentReport& report);
+
+/// Renders the report as a deterministic single-document JSON (system
+/// counts, CEGAR trace, risks, completeness, mitigation plan).
+std::string render_report_json(const AssessmentReport& report);
 
 }  // namespace cprisk::core

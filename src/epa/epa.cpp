@@ -38,6 +38,50 @@ bool ScenarioVerdict::violates(const std::string& requirement_id) const {
                      requirement_id) != violated_requirements.end();
 }
 
+std::string_view to_string(VerdictStatus status) {
+    switch (status) {
+        case VerdictStatus::Safe: return "safe";
+        case VerdictStatus::Hazard: return "hazard";
+        case VerdictStatus::Undetermined: return "undetermined";
+    }
+    return "undetermined";
+}
+
+std::string_view to_string(UndeterminedReason reason) {
+    switch (reason) {
+        case UndeterminedReason::Timeout: return "timeout";
+        case UndeterminedReason::DecisionLimit: return "decision_limit";
+        case UndeterminedReason::Cancelled: return "cancelled";
+        case UndeterminedReason::SolverError: return "solver_error";
+    }
+    return "solver_error";
+}
+
+std::optional<VerdictStatus> parse_verdict_status(std::string_view text) {
+    if (text == "safe") return VerdictStatus::Safe;
+    if (text == "hazard") return VerdictStatus::Hazard;
+    if (text == "undetermined") return VerdictStatus::Undetermined;
+    return std::nullopt;
+}
+
+std::optional<UndeterminedReason> parse_undetermined_reason(std::string_view text) {
+    if (text == "timeout") return UndeterminedReason::Timeout;
+    if (text == "decision_limit") return UndeterminedReason::DecisionLimit;
+    if (text == "cancelled") return UndeterminedReason::Cancelled;
+    if (text == "solver_error") return UndeterminedReason::SolverError;
+    return std::nullopt;
+}
+
+UndeterminedReason undetermined_reason_from(BudgetReason reason) {
+    switch (reason) {
+        case BudgetReason::Deadline: return UndeterminedReason::Timeout;
+        case BudgetReason::DecisionLimit:
+        case BudgetReason::StepLimit: return UndeterminedReason::DecisionLimit;
+        case BudgetReason::Cancelled: return UndeterminedReason::Cancelled;
+    }
+    return UndeterminedReason::SolverError;
+}
+
 namespace {
 
 /// Generic propagation semantics shared by both analysis focuses: fault
@@ -138,22 +182,32 @@ Result<ScenarioVerdict> ErrorPropagationAnalysis::evaluate(
 
     asp::PipelineOptions pipeline;
     pipeline.horizon = options_.horizon;
-    auto solved = asp::solve_program(program, pipeline);
-    if (!solved.ok()) {
-        return Result<ScenarioVerdict>::failure("scenario " + scenario.id + ": " +
-                                                solved.error());
-    }
-    const asp::SolveResult& result = solved.value();
-    if (!result.satisfiable) {
-        return Result<ScenarioVerdict>::failure("scenario " + scenario.id +
-                                                ": inconsistent model (no answer set)");
-    }
+    if (options_.max_decisions != 0) pipeline.solve.max_decisions = options_.max_decisions;
+    pipeline.solve.budget = options_.budget;
+    pipeline.grounder.budget = options_.budget;
 
     ScenarioVerdict verdict;
     verdict.scenario_id = scenario.id;
     verdict.mutations = scenario.mutations;
     verdict.active_mitigations = active_mitigations;
     verdict.likelihood = scenario.likelihood;
+
+    auto solved = asp::solve_program(program, pipeline);
+    if (!solved.ok()) {
+        // A grounder/solver error degrades this scenario to Undetermined so
+        // one broken solve cannot abort an otherwise exhaustive run; model
+        // inconsistencies below stay hard failures.
+        verdict.status = VerdictStatus::Undetermined;
+        verdict.undetermined_reason = UndeterminedReason::SolverError;
+        verdict.undetermined_detail = "scenario " + scenario.id + ": " + solved.error();
+        return verdict;
+    }
+    const asp::SolveResult& result = solved.value();
+    verdict.solver_stats = result.stats;
+    if (result.complete() && !result.satisfiable) {
+        return Result<ScenarioVerdict>::failure("scenario " + scenario.id +
+                                                ": inconsistent model (no answer set)");
+    }
 
     // Union over models: over-abstraction may make behaviour
     // non-deterministic; no hazard may be overlooked (paper step 5).
@@ -214,6 +268,18 @@ Result<ScenarioVerdict> ErrorPropagationAnalysis::evaluate(
         if (mode != nullptr) severity = qual::qmax(severity, mode->severity);
     }
     verdict.severity = severity;
+
+    // An interrupted search is still existentially sound: a violation found
+    // in an enumerated model is a real hazard. Only the absence of a
+    // violation is inconclusive under a partial enumeration.
+    if (result.interrupt && !verdict.any_violation()) {
+        verdict.status = VerdictStatus::Undetermined;
+        verdict.undetermined_reason = undetermined_reason_from(result.interrupt->reason);
+        verdict.undetermined_detail =
+            "scenario " + scenario.id + ": " + result.interrupt->to_string();
+        return verdict;
+    }
+    verdict.status = verdict.any_violation() ? VerdictStatus::Hazard : VerdictStatus::Safe;
     return verdict;
 }
 
@@ -228,6 +294,10 @@ Result<std::optional<int>> ErrorPropagationAnalysis::min_violation_horizon(
         auto verdict = analysis.value().evaluate(scenario, active_mitigations);
         if (!verdict.ok()) return Result<std::optional<int>>::failure(verdict.error());
         if (verdict.value().any_violation()) return std::optional<int>(horizon);
+        if (verdict.value().undetermined()) {
+            // "No violation up to horizon h" would not be proven.
+            return Result<std::optional<int>>::failure(verdict.value().undetermined_detail);
+        }
     }
     return std::optional<int>();
 }

@@ -19,9 +19,11 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "asp/asp.hpp"
+#include "common/budget.hpp"
 #include "epa/requirement.hpp"
 #include "model/system_model.hpp"
 #include "security/attack_matrix.hpp"
@@ -66,6 +68,27 @@ struct PropagationStep {
     model::ComponentId component;
 };
 
+/// Outcome class of one scenario evaluation. `Hazard` is existentially sound
+/// even under an interrupted search (a violating trajectory was exhibited);
+/// `Safe` claims exhaustiveness and is only issued by a complete solve;
+/// `Undetermined` records that the engine ran out of resources (or hit a
+/// solver error) before either could be established.
+enum class VerdictStatus : std::uint8_t { Safe, Hazard, Undetermined };
+
+/// Why a scenario ended Undetermined.
+enum class UndeterminedReason : std::uint8_t {
+    Timeout,        ///< wall-clock deadline exceeded
+    DecisionLimit,  ///< decision/step quota exhausted
+    Cancelled,      ///< external cancellation
+    SolverError,    ///< grounder/solver failed (e.g. injected fault)
+};
+
+std::string_view to_string(VerdictStatus status);
+std::string_view to_string(UndeterminedReason reason);
+std::optional<VerdictStatus> parse_verdict_status(std::string_view text);
+std::optional<UndeterminedReason> parse_undetermined_reason(std::string_view text);
+UndeterminedReason undetermined_reason_from(BudgetReason reason);
+
 /// Verdict for one scenario.
 struct ScenarioVerdict {
     std::string scenario_id;
@@ -80,8 +103,18 @@ struct ScenarioVerdict {
     /// populated when EpaOptions::collect_trace is set.
     asp::ltl::Trace trace;
 
+    VerdictStatus status = VerdictStatus::Safe;
+    /// Set iff status == Undetermined.
+    std::optional<UndeterminedReason> undetermined_reason;
+    /// Human-readable diagnostic for an undetermined verdict, including the
+    /// solver stats at the stopping point.
+    std::string undetermined_detail;
+    /// Search effort for this scenario (decisions, conflicts, ...).
+    asp::SolveStats solver_stats;
+
     bool violates(const std::string& requirement_id) const;
     bool any_violation() const { return !violated_requirements.empty(); }
+    bool undetermined() const { return status == VerdictStatus::Undetermined; }
 };
 
 struct EpaOptions {
@@ -90,6 +123,14 @@ struct EpaOptions {
     /// Collect the full qualitative trace into each verdict (projects every
     /// atom instead of the violation summary — slower, for explanation).
     bool collect_trace = false;
+    /// Per-scenario solver decision cap (0 = keep the solver default).
+    std::size_t max_decisions = 0;
+    /// Shared resource governor across every evaluation run through this
+    /// analysis (deadline / global quotas / cancellation). Not owned; the
+    /// pointee must outlive the analysis. Budget exhaustion and solver
+    /// errors degrade the affected scenario to an Undetermined verdict
+    /// instead of failing the evaluation.
+    Budget* budget = nullptr;
 };
 
 class ErrorPropagationAnalysis {

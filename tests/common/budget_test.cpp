@@ -1,0 +1,115 @@
+// Resource-governance primitives: quotas, deadlines, cancellation, sticky
+// trips (common/budget.hpp).
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "common/budget.hpp"
+
+namespace cprisk {
+namespace {
+
+TEST(BudgetTest, UnlimitedBudgetNeverTrips) {
+    Budget budget;
+    EXPECT_FALSE(budget.limited());
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_FALSE(budget.charge_steps().has_value());
+        EXPECT_FALSE(budget.charge_decisions().has_value());
+    }
+    EXPECT_FALSE(budget.check().has_value());
+    EXPECT_FALSE(budget.tripped().has_value());
+    EXPECT_EQ(budget.stats().steps, 10000u);
+    EXPECT_EQ(budget.stats().decisions, 10000u);
+}
+
+TEST(BudgetTest, DecisionQuotaTripsAtLimit) {
+    Budget budget;
+    budget.set_max_decisions(5);
+    EXPECT_TRUE(budget.limited());
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_FALSE(budget.charge_decisions().has_value()) << "charge " << i;
+    }
+    auto exceeded = budget.charge_decisions();
+    ASSERT_TRUE(exceeded.has_value());
+    EXPECT_EQ(exceeded->reason, BudgetReason::DecisionLimit);
+    EXPECT_EQ(exceeded->stats.decisions, 6u);
+}
+
+TEST(BudgetTest, StepQuotaTripsAndSupportsBulkCharges) {
+    Budget budget;
+    budget.set_max_steps(100);
+    EXPECT_FALSE(budget.charge_steps(100).has_value());
+    auto exceeded = budget.charge_steps(50);
+    ASSERT_TRUE(exceeded.has_value());
+    EXPECT_EQ(exceeded->reason, BudgetReason::StepLimit);
+    EXPECT_EQ(exceeded->stats.steps, 150u);
+}
+
+TEST(BudgetTest, TripIsSticky) {
+    Budget budget;
+    budget.set_max_decisions(1);
+    budget.charge_decisions();
+    ASSERT_TRUE(budget.charge_decisions().has_value());
+    // Every later charge of any kind reports the same first trip.
+    auto later = budget.charge_steps();
+    ASSERT_TRUE(later.has_value());
+    EXPECT_EQ(later->reason, BudgetReason::DecisionLimit);
+    ASSERT_TRUE(budget.tripped().has_value());
+    EXPECT_EQ(budget.tripped()->reason, BudgetReason::DecisionLimit);
+}
+
+TEST(BudgetTest, ExpiredDeadlineTripsOnCheck) {
+    Budget budget;
+    budget.set_deadline_after(std::chrono::milliseconds(0));
+    auto exceeded = budget.check();
+    ASSERT_TRUE(exceeded.has_value());
+    EXPECT_EQ(exceeded->reason, BudgetReason::Deadline);
+}
+
+TEST(BudgetTest, DeadlineIsSampledOnStridedCharges) {
+    Budget budget;
+    budget.set_deadline_after(std::chrono::milliseconds(0));
+    // Individual charges sample the clock only every kClockStride hits, but
+    // a long enough run must observe the expired deadline.
+    std::optional<BudgetExceeded> exceeded;
+    for (int i = 0; i < 256 && !exceeded; ++i) exceeded = budget.charge_steps();
+    ASSERT_TRUE(exceeded.has_value());
+    EXPECT_EQ(exceeded->reason, BudgetReason::Deadline);
+}
+
+TEST(BudgetTest, CancelTokenSharedAcrossCopies) {
+    CancelToken token;
+    CancelToken copy = token;
+    EXPECT_FALSE(copy.cancel_requested());
+    token.request_cancel();
+    EXPECT_TRUE(copy.cancel_requested());
+}
+
+TEST(BudgetTest, CancellationTripsBudget) {
+    CancelToken token;
+    Budget budget;
+    budget.set_cancel_token(token);
+    EXPECT_FALSE(budget.check().has_value());
+    token.request_cancel();
+    auto exceeded = budget.check();
+    ASSERT_TRUE(exceeded.has_value());
+    EXPECT_EQ(exceeded->reason, BudgetReason::Cancelled);
+}
+
+TEST(BudgetTest, ReasonStringsAreDistinct) {
+    EXPECT_NE(to_string(BudgetReason::Deadline), to_string(BudgetReason::DecisionLimit));
+    EXPECT_NE(to_string(BudgetReason::StepLimit), to_string(BudgetReason::Cancelled));
+}
+
+TEST(BudgetTest, ExceededToStringCarriesStats) {
+    Budget budget;
+    budget.set_max_decisions(2);
+    budget.charge_decisions(3);
+    ASSERT_TRUE(budget.tripped().has_value());
+    const std::string text = budget.tripped()->to_string();
+    EXPECT_NE(text.find("decision"), std::string::npos);
+    EXPECT_NE(text.find("decisions=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cprisk

@@ -1,0 +1,65 @@
+// Deterministic fault-injection harness (common/fault_injection.hpp).
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.hpp"
+
+namespace cprisk::fault {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+protected:
+    void SetUp() override { reset(); }
+    void TearDown() override { reset(); }
+};
+
+TEST_F(FaultInjectionTest, UnarmedSiteNeverFails) {
+    for (int i = 0; i < 10; ++i) EXPECT_FALSE(should_fail("test.site.a"));
+    EXPECT_EQ(hits("test.site.a"), 10u);
+}
+
+TEST_F(FaultInjectionTest, ArmedSiteFiresExactlyOnceOnNthHit) {
+    arm("test.site.b", 3);
+    EXPECT_FALSE(should_fail("test.site.b"));
+    EXPECT_FALSE(should_fail("test.site.b"));
+    EXPECT_TRUE(should_fail("test.site.b"));
+    // Self-disarming: the trigger never fires a second time.
+    for (int i = 0; i < 5; ++i) EXPECT_FALSE(should_fail("test.site.b"));
+}
+
+TEST_F(FaultInjectionTest, DefaultCountdownFiresOnNextHit) {
+    arm("test.site.c");
+    EXPECT_TRUE(should_fail("test.site.c"));
+    EXPECT_FALSE(should_fail("test.site.c"));
+}
+
+TEST_F(FaultInjectionTest, ResetDisarmsAndClearsHitCounters) {
+    arm("test.site.d", 1);
+    reset();
+    EXPECT_FALSE(should_fail("test.site.d"));
+    EXPECT_EQ(hits("test.site.d"), 1u);
+    reset();
+    EXPECT_EQ(hits("test.site.d"), 0u);
+}
+
+TEST_F(FaultInjectionTest, SitesRegisterOnFirstContactAndListSorted) {
+    should_fail("test.zzz");
+    arm("test.aaa");
+    const auto sites = registered_sites();
+    std::size_t aaa = sites.size(), zzz = sites.size();
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+        if (sites[i] == "test.aaa") aaa = i;
+        if (sites[i] == "test.zzz") zzz = i;
+    }
+    ASSERT_LT(aaa, sites.size());
+    ASSERT_LT(zzz, sites.size());
+    EXPECT_LT(aaa, zzz);
+}
+
+TEST_F(FaultInjectionTest, SitesAreIndependent) {
+    arm("test.left", 1);
+    EXPECT_FALSE(should_fail("test.right"));
+    EXPECT_TRUE(should_fail("test.left"));
+}
+
+}  // namespace
+}  // namespace cprisk::fault

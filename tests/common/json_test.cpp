@@ -1,0 +1,99 @@
+// Journal JSON round trip: deterministic serialization, key-order
+// preservation, strict parsing (common/json.hpp).
+#include <gtest/gtest.h>
+
+#include "common/json.hpp"
+
+namespace cprisk::json {
+namespace {
+
+TEST(JsonTest, SerializeScalars) {
+    EXPECT_EQ(Value().serialize(), "null");
+    EXPECT_EQ(Value(true).serialize(), "true");
+    EXPECT_EQ(Value(false).serialize(), "false");
+    EXPECT_EQ(Value(42).serialize(), "42");
+    EXPECT_EQ(Value(-7LL).serialize(), "-7");
+    EXPECT_EQ(Value("hi").serialize(), "\"hi\"");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+    Object object;
+    set(object, "zebra", 1);
+    set(object, "apple", 2);
+    set(object, "mango", Value("x"));
+    EXPECT_EQ(Value(std::move(object)).serialize(), "{\"zebra\":1,\"apple\":2,\"mango\":\"x\"}");
+}
+
+TEST(JsonTest, RoundTripIsByteIdentical) {
+    const std::string doc =
+        "{\"kind\":\"scenario\",\"id\":\"S3\",\"stages\":[{\"stage\":\"topology\","
+        "\"degraded\":false}],\"stats\":{\"decisions\":12,\"conflicts\":0},\"note\":null}";
+    auto parsed = parse(doc);
+    ASSERT_TRUE(parsed.ok()) << parsed.error();
+    EXPECT_EQ(parsed.value().serialize(), doc);
+}
+
+TEST(JsonTest, EscapesControlCharactersAndQuotes) {
+    EXPECT_EQ(escape("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
+    auto parsed = parse("\"a\\\"b\\\\c\\n\\t\"");
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().as_string(), "a\"b\\c\n\t");
+}
+
+TEST(JsonTest, ParsesUnicodeEscapes) {
+    auto parsed = parse("\"caf\\u00e9\"");
+    ASSERT_TRUE(parsed.ok()) << parsed.error();
+    EXPECT_EQ(parsed.value().as_string(), "caf\xc3\xa9");
+}
+
+TEST(JsonTest, RejectsTrailingGarbage) {
+    EXPECT_FALSE(parse("{} x").ok());
+    EXPECT_FALSE(parse("1 2").ok());
+}
+
+TEST(JsonTest, RejectsTruncatedDocuments) {
+    // The torn-write recovery path depends on half a journal line failing to
+    // parse rather than yielding a plausible partial value.
+    EXPECT_FALSE(parse("{\"kind\":\"scen").ok());
+    EXPECT_FALSE(parse("[1,2,").ok());
+    EXPECT_FALSE(parse("\"unterminated").ok());
+    EXPECT_FALSE(parse("").ok());
+}
+
+TEST(JsonTest, RejectsFloats) {
+    EXPECT_FALSE(parse("1.5").ok());
+    EXPECT_FALSE(parse("1e3").ok());
+}
+
+TEST(JsonTest, TypedLookupsWithFallbacks) {
+    auto parsed = parse("{\"n\":3,\"s\":\"abc\",\"b\":true}");
+    ASSERT_TRUE(parsed.ok());
+    const Value& v = parsed.value();
+    EXPECT_EQ(v.get_int("n"), 3);
+    EXPECT_EQ(v.get_int("missing", -1), -1);
+    EXPECT_EQ(v.get_string("s"), "abc");
+    EXPECT_EQ(v.get_string("missing", "d"), "d");
+    EXPECT_TRUE(v.get_bool("b"));
+    EXPECT_TRUE(v.get_bool("missing", true));
+    EXPECT_EQ(v.get("n")->as_int(), 3);
+    EXPECT_EQ(v.get("missing"), nullptr);
+}
+
+TEST(JsonTest, NestedStructuresRoundTrip) {
+    Object inner;
+    set(inner, "list", Array{Value(1), Value("two"), Value()});
+    Object outer;
+    set(outer, "inner", std::move(inner));
+    set(outer, "flag", false);
+    const std::string doc = Value(std::move(outer)).serialize();
+    auto parsed = parse(doc);
+    ASSERT_TRUE(parsed.ok()) << parsed.error();
+    EXPECT_EQ(parsed.value().serialize(), doc);
+    const Value* list = parsed.value().get("inner")->get("list");
+    ASSERT_NE(list, nullptr);
+    ASSERT_EQ(list->as_array().size(), 3u);
+    EXPECT_TRUE(list->as_array()[2].is_null());
+}
+
+}  // namespace
+}  // namespace cprisk::json

@@ -15,7 +15,8 @@
 //   --dot                Graphviz output
 //   --json               machine-readable output
 //
-// Exit codes: 0 clean, 1 findings / invalid input, 2 usage or I/O error.
+// Exit codes: 0 clean, 1 findings / invalid input, 2 usage or I/O error,
+// 3 partial result (some scenarios undetermined under the resource budget).
 //
 // Assess options:
 //   --horizon N          temporal unrolling depth           (default 6)
@@ -26,6 +27,11 @@
 //   --phase-budget N     enable multi-phase planning
 //   --markdown FILE      write the analyst report as Markdown
 //   --csv FILE           write the risk table as CSV
+//   --json FILE          write the full report as JSON
+//   --deadline-ms N      wall-clock budget for hazard identification
+//   --max-decisions N    per-solve decision budget
+//   --journal FILE       append one JSONL verdict per scenario
+//   --resume             replay the journal, skipping finished scenarios
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -57,6 +63,8 @@ int usage() {
                  "       cprisk assess <bundle> [--horizon N] [--max-faults K]\n"
                  "                     [--attack-scenarios] [--no-cegar] [--budget N]\n"
                  "                     [--phase-budget N] [--markdown FILE] [--csv FILE]\n"
+                 "                     [--json FILE] [--deadline-ms N] [--max-decisions N]\n"
+                 "                     [--journal FILE] [--resume]\n"
                  "       cprisk matrix\n");
     return 2;
 }
@@ -423,6 +431,7 @@ int cmd_assess(int argc, char** argv) {
     config.include_attack_scenarios = false;  // opt-in via --attack-scenarios
     std::optional<std::string> markdown_path;
     std::optional<std::string> csv_path;
+    std::optional<std::string> json_path;
 
     for (int i = 1; i < argc; ++i) {
         const std::string flag = argv[i];
@@ -457,10 +466,20 @@ int cmd_assess(int argc, char** argv) {
             config.budget = value;
         } else if (flag == "--phase-budget" && next_value(value)) {
             config.phase_budget = value;
+        } else if (flag == "--deadline-ms" && next_value(value)) {
+            config.deadline_ms = value;
+        } else if (flag == "--max-decisions" && next_value(value)) {
+            config.max_decisions = static_cast<std::size_t>(value);
+        } else if (flag == "--journal" && i + 1 < argc) {
+            config.journal_path = argv[++i];
+        } else if (flag == "--resume") {
+            config.resume = true;
         } else if (flag == "--markdown" && i + 1 < argc) {
             markdown_path = argv[++i];
         } else if (flag == "--csv" && i + 1 < argc) {
             csv_path = argv[++i];
+        } else if (flag == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
         } else {
             if (!bad_value) {
                 std::fprintf(stderr, "unknown or incomplete option '%s'\n", flag.c_str());
@@ -469,6 +488,13 @@ int cmd_assess(int argc, char** argv) {
         }
     }
 
+    if (config.resume && config.journal_path.empty()) {
+        std::fprintf(stderr, "--resume requires --journal FILE\n");
+        return usage();
+    }
+
+    std::string bundle_text;
+    if (!read_file(path, bundle_text)) return report_unreadable(path);
     auto bundle = cprisk::core::load_bundle_file(path);
     if (!bundle.ok()) {
         std::fprintf(stderr, "error: %s\n", bundle.error().c_str());
@@ -509,6 +535,23 @@ int cmd_assess(int argc, char** argv) {
             return 1;
         }
         std::printf("risk CSV written to %s\n", csv_path->c_str());
+    }
+    if (json_path) {
+        if (!write_file(*json_path, cprisk::core::render_report_json(r))) {
+            std::fprintf(stderr, "cannot write '%s'\n", json_path->c_str());
+            return 1;
+        }
+        std::printf("JSON report written to %s\n", json_path->c_str());
+    }
+    // Exit 3 distinguishes "finished but not exhaustive" from both a clean
+    // run (0) and a hard failure (1): callers scripting the assessment can
+    // retry with a larger budget or --resume instead of discarding output.
+    if (!r.complete()) {
+        std::fprintf(stderr,
+                     "partial result: %zu of %zu scenarios undetermined "
+                     "(see the Completeness section of the report)\n",
+                     r.undetermined.size(), r.scenario_count);
+        return 3;
     }
     return 0;
 }
