@@ -1,11 +1,20 @@
 // EPA scaling: scenario evaluation cost as a function of model size
 // (propagation chain length), temporal horizon, and scenario-space size —
-// plus the DESIGN.md ablation 4 (topology-only vs behavioural focus cost).
+// plus the DESIGN.md ablation 4 (topology-only vs behavioural focus cost)
+// and the ground-once/solve-many + --jobs sweep (docs/performance.md).
+//
+// Besides the google-benchmark suites, the binary times the full sweep
+// configurations directly and writes the speedup table to BENCH_epa.json
+// in the working directory (recorded in EXPERIMENTS.md).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <string>
+#include <vector>
 
 #include "epa/epa.hpp"
+#include "security/scenario.hpp"
 
 namespace {
 
@@ -134,6 +143,110 @@ void BM_FocusAblation_Behavioral(benchmark::State& state) {
 }
 BENCHMARK(BM_FocusAblation_Behavioral);
 
+// --- Ground-once/solve-many + parallel sweep -----------------------------
+
+security::ScenarioSpace sweep_space(int scenarios, int chain) {
+    std::vector<security::AttackScenario> list;
+    list.reserve(static_cast<std::size_t>(scenarios));
+    for (int i = 0; i < scenarios; ++i) {
+        security::AttackScenario s;
+        s.id = "s" + std::to_string(i);
+        s.mutations = {{"c" + std::to_string(i % chain), "fail"}};
+        s.likelihood = qual::Level::Low;
+        list.push_back(std::move(s));
+    }
+    return security::ScenarioSpace(std::move(list));
+}
+
+void BM_SweepConfig(benchmark::State& state) {
+    // range(0): ground_once, range(1): jobs. The (0, 1) point is the
+    // pre-cache sequential engine — the speedup baseline.
+    const int n = 8;
+    auto m = chain_model(n);
+    epa::EpaOptions options;
+    options.focus = epa::AnalysisFocus::Topology;
+    options.horizon = n + 1;
+    options.ground_once = state.range(0) != 0;
+    options.jobs = static_cast<std::size_t>(state.range(1));
+    auto analysis = epa::ErrorPropagationAnalysis::create(
+        m, {epa::Requirement::no_error_reaches("c" + std::to_string(n - 1))}, {}, options);
+    const auto space = sweep_space(48, n);
+    for (auto _ : state) {
+        auto verdicts = analysis.value().evaluate_all(space, {});
+        benchmark::DoNotOptimize(verdicts);
+    }
+    state.counters["ground_once"] = static_cast<double>(state.range(0));
+    state.counters["jobs"] = static_cast<double>(state.range(1));
+}
+BENCHMARK(BM_SweepConfig)
+    ->Args({0, 1})  // seed: full per-scenario reground, sequential
+    ->Args({1, 1})  // cache alone
+    ->Args({1, 2})
+    ->Args({1, 4})
+    ->Args({1, 8});
+
+/// Wall-clock of one exhaustive sweep under the given configuration.
+double sweep_seconds(bool ground_once, std::size_t jobs) {
+    const int n = 8;
+    auto m = chain_model(n);
+    epa::EpaOptions options;
+    options.focus = epa::AnalysisFocus::Topology;
+    options.horizon = n + 1;
+    options.ground_once = ground_once;
+    options.jobs = jobs;
+    auto analysis = epa::ErrorPropagationAnalysis::create(
+        m, {epa::Requirement::no_error_reaches("c" + std::to_string(n - 1))}, {}, options);
+    const auto space = sweep_space(48, n);
+    (void)analysis.value().evaluate_all(space, {});  // warm-up
+    double best = 0.0;
+    for (int round = 0; round < 3; ++round) {
+        const auto start = std::chrono::steady_clock::now();
+        auto verdicts = analysis.value().evaluate_all(space, {});
+        benchmark::DoNotOptimize(verdicts);
+        const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+        if (round == 0 || elapsed.count() < best) best = elapsed.count();
+    }
+    return best;
+}
+
+/// Times every sweep configuration and writes BENCH_epa.json.
+void write_sweep_json() {
+    const double seed = sweep_seconds(false, 1);
+    const double cache_only = sweep_seconds(true, 1);
+    const double jobs2 = sweep_seconds(true, 2);
+    const double jobs4 = sweep_seconds(true, 4);
+    const double jobs8 = sweep_seconds(true, 8);
+
+    std::FILE* out = std::fopen("BENCH_epa.json", "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "bench_perf_epa: cannot write BENCH_epa.json\n");
+        return;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"epa_ground_once_parallel_sweep\",\n"
+                 "  \"workload\": \"chain(8), topology focus, horizon 9, 48 scenarios\",\n"
+                 "  \"seed_reground_jobs1_s\": %.6f,\n"
+                 "  \"ground_once_jobs1_s\": %.6f,\n"
+                 "  \"ground_once_jobs2_s\": %.6f,\n"
+                 "  \"ground_once_jobs4_s\": %.6f,\n"
+                 "  \"ground_once_jobs8_s\": %.6f,\n"
+                 "  \"speedup_ground_once_alone\": %.2f,\n"
+                 "  \"speedup_jobs8_vs_seed\": %.2f\n"
+                 "}\n",
+                 seed, cache_only, jobs2, jobs4, jobs8, seed / cache_only, seed / jobs8);
+    std::fclose(out);
+    std::printf("BENCH_epa.json: ground-once alone %.2fx, jobs=8 vs seed %.2fx\n",
+                seed / cache_only, seed / jobs8);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    write_sweep_json();
+    return 0;
+}

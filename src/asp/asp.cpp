@@ -2,38 +2,47 @@
 
 namespace cprisk::asp {
 
-Result<SolveResult> solve_program(const Program& program, const PipelineOptions& options) {
-    const Program* effective = &program;
+Result<SolveResult> solve_program(const ProgramParts& parts, const PipelineOptions& options) {
+    ProgramParts effective = parts;
     Program unrolled;
-    if (program.is_temporal()) {
+    bool temporal = false;
+    for (const Program* part : parts) temporal = temporal || part->is_temporal();
+    if (temporal) {
         UnrollOptions unroll_options;
         unroll_options.horizon = options.horizon;
-        for (const auto& [name, value] : program.consts()) {
-            if (name == "horizon" && value.is_integer()) {
-                unroll_options.horizon = static_cast<int>(value.as_int());
+        for (const Program* part : parts) {
+            for (const auto& [name, value] : part->consts()) {
+                if (name == "horizon" && value.is_integer()) {
+                    unroll_options.horizon = static_cast<int>(value.as_int());
+                }
             }
         }
-        auto result = unroll(program, unroll_options);
+        auto result = unroll(parts, unroll_options);
         if (!result.ok()) return Result<SolveResult>::failure(result.error());
         unrolled = std::move(result).value();
-        effective = &unrolled;
+        effective = {&unrolled};
     }
-    auto grounded = ground(*effective, options.grounder);
+    auto grounded = ground(effective, options.grounder);
     if (!grounded.ok()) {
         // A budget trip during grounding is an interrupt, not an error: the
         // caller gets a (model-free) partial result with the structured
         // reason, same as a search stopped mid-enumeration.
-        if (options.grounder.budget != nullptr && options.grounder.budget->tripped()) {
-            const BudgetExceeded& exceeded = *options.grounder.budget->tripped();
-            SolveResult partial;
-            SolveStats stats;
-            stats.decisions = exceeded.stats.decisions;
-            partial.interrupt = SolveInterrupt{exceeded.reason, stats};
-            return partial;
+        if (options.grounder.budget != nullptr) {
+            if (const auto exceeded = options.grounder.budget->tripped()) {
+                SolveResult partial;
+                SolveStats stats;
+                stats.decisions = exceeded->stats.decisions;
+                partial.interrupt = SolveInterrupt{exceeded->reason, stats};
+                return partial;
+            }
         }
         return Result<SolveResult>::failure(grounded.error());
     }
     return solve(grounded.value(), options.solve);
+}
+
+Result<SolveResult> solve_program(const Program& program, const PipelineOptions& options) {
+    return solve_program(ProgramParts{&program}, options);
 }
 
 Result<SolveResult> solve_text(std::string_view source, const PipelineOptions& options) {

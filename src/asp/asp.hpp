@@ -30,6 +30,12 @@ struct PipelineOptions {
 /// Solves an already-parsed program, unrolling temporal sections if present.
 Result<SolveResult> solve_program(const Program& program, const PipelineOptions& options = {});
 
+/// Solves the concatenation of `parts` (shared immutable base + per-call
+/// delta) without copying any part. A `#const horizon` in any part overrides
+/// options.horizon, later parts taking precedence — same as if the parts had
+/// been appended into one program.
+Result<SolveResult> solve_program(const ProgramParts& parts, const PipelineOptions& options = {});
+
 /// Parses and solves program text.
 Result<SolveResult> solve_text(std::string_view source, const PipelineOptions& options = {});
 

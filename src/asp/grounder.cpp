@@ -5,11 +5,13 @@
 #include <map>
 #include <set>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "analysis/dependency_graph.hpp"
 #include "asp/eval.hpp"
 #include "asp/safety.hpp"
+#include "asp/symbols.hpp"
 #include "common/error.hpp"
 #include "common/fault_injection.hpp"
 
@@ -73,12 +75,16 @@ Literal substitute_consts(const Literal& lit, const std::map<std::string, Term>&
 
 class Grounder {
 public:
-    Grounder(const Program& program, const GrounderOptions& options)
-        : program_(program), options_(options) {
-        for (const auto& [name, value] : program.consts()) {
-            auto evaluated = eval_term(substitute_consts(value, consts_));
-            if (!evaluated.ok()) throw GroundError("#const " + name + ": " + evaluated.error());
-            consts_.emplace(name, std::move(evaluated).value());
+    Grounder(const ProgramParts& parts, const GrounderOptions& options)
+        : parts_(parts), options_(options) {
+        for (const Program* part : parts_) {
+            for (const auto& [name, value] : part->consts()) {
+                auto evaluated = eval_term(substitute_consts(value, consts_));
+                if (!evaluated.ok()) {
+                    throw GroundError("#const " + name + ": " + evaluated.error());
+                }
+                consts_.emplace(name, std::move(evaluated).value());
+            }
         }
     }
 
@@ -92,35 +98,38 @@ public:
     }
 
     GroundProgram run() {
-        for (const auto& r : program_.rules()) {
-            if (r.section != SectionKind::Base) {
-                throw GroundError(
-                    "grounder: temporal sections must be unrolled before grounding (found "
-                    "#program " +
-                    asp::to_string(r.section) + ")");
-            }
-            Rule rule = r.rule;
-            rule.head = substitute_head_consts(rule.head);
-            for (auto& lit : rule.body) lit = substitute_consts(lit, consts_);
-            require_safe(unsafe_rule_variables(rule));
-            rules_.push_back(std::move(rule));
-        }
-        for (const auto& w : program_.weaks()) {
-            if (w.section != SectionKind::Base) {
-                throw GroundError("grounder: temporal weak constraints must be unrolled first");
-            }
-            WeakConstraint weak = w.weak;
-            for (const Literal& lit : weak.body) {
-                if (lit.kind == Literal::Kind::Aggregate) {
+        for (const Program* part : parts_) {
+            for (const auto& r : part->rules()) {
+                if (r.section != SectionKind::Base) {
                     throw GroundError(
-                        "grounder: aggregates are not supported in weak-constraint bodies");
+                        "grounder: temporal sections must be unrolled before grounding (found "
+                        "#program " +
+                        asp::to_string(r.section) + ")");
                 }
+                Rule rule = r.rule;
+                rule.head = substitute_head_consts(rule.head);
+                for (auto& lit : rule.body) lit = substitute_consts(lit, consts_);
+                require_safe(unsafe_rule_variables(rule));
+                rules_.push_back(std::move(rule));
             }
-            for (auto& lit : weak.body) lit = substitute_consts(lit, consts_);
-            weak.weight = substitute_consts(weak.weight, consts_);
-            for (auto& t : weak.tuple) t = substitute_consts(t, consts_);
-            require_safe(unsafe_weak_variables(weak));
-            weaks_.push_back(std::move(weak));
+            for (const auto& w : part->weaks()) {
+                if (w.section != SectionKind::Base) {
+                    throw GroundError(
+                        "grounder: temporal weak constraints must be unrolled first");
+                }
+                WeakConstraint weak = w.weak;
+                for (const Literal& lit : weak.body) {
+                    if (lit.kind == Literal::Kind::Aggregate) {
+                        throw GroundError(
+                            "grounder: aggregates are not supported in weak-constraint bodies");
+                    }
+                }
+                for (auto& lit : weak.body) lit = substitute_consts(lit, consts_);
+                weak.weight = substitute_consts(weak.weight, consts_);
+                for (auto& t : weak.tuple) t = substitute_consts(t, consts_);
+                require_safe(unsafe_weak_variables(weak));
+                weaks_.push_back(std::move(weak));
+            }
         }
 
         if (options_.scc_order) {
@@ -131,7 +140,9 @@ public:
 
         materialize_choices();
         materialize_aggregate_constraints();
-        for (const Signature& s : program_.shows()) out_.add_show(s);
+        for (const Program* part : parts_) {
+            for (const Signature& s : part->shows()) out_.add_show(s);
+        }
         return std::move(out_);
     }
 
@@ -213,9 +224,9 @@ private:
 
     // --- domain ------------------------------------------------------------
 
-    std::string pred_key(const Atom& a) const {
-        return a.predicate + "/" + std::to_string(a.args.size());
-    }
+    /// Dense predicate-symbol id; interned on first sight. Domain indexing
+    /// by id replaces the old "pred/arity" string keys on the match hot path.
+    int pred_id(const Atom& a) { return symbols_.intern(a.predicate, a.args.size()); }
 
     /// Interns `atom` into the solver program and (optionally) the grounding
     /// domain. Returns the atom id.
@@ -234,7 +245,9 @@ private:
         }
         if (!in_domain_[static_cast<std::size_t>(id)]) {
             in_domain_[static_cast<std::size_t>(id)] = true;
-            by_predicate_[pred_key(atom)].push_back(id);
+            const auto pid = static_cast<std::size_t>(pred_id(atom));
+            if (by_predicate_.size() <= pid) by_predicate_.resize(pid + 1);
+            by_predicate_[pid].push_back(id);
             changed_ = true;
         }
         return id;
@@ -348,11 +361,11 @@ private:
 
         if (lit.kind == Literal::Kind::Atom && !lit.negated) {
             const Atom pattern = substitute(lit.atom, binding);
-            auto it = by_predicate_.find(pred_key(pattern));
-            if (it == by_predicate_.end()) return;
+            const int pid = symbols_.find(pattern.predicate, pattern.args.size());
+            if (pid < 0 || static_cast<std::size_t>(pid) >= by_predicate_.size()) return;
             // Index snapshot: the domain may grow while we iterate; new atoms
             // are picked up in the next fixpoint iteration.
-            const std::vector<int> candidates = it->second;
+            const std::vector<int> candidates = by_predicate_[static_cast<std::size_t>(pid)];
             for (int id : candidates) {
                 Binding extended = binding;
                 if (!unify_atom(pattern, out_.atom(id), extended)) continue;
@@ -811,7 +824,7 @@ private:
         }
     }
 
-    const Program& program_;
+    const ProgramParts& parts_;
     const GrounderOptions& options_;
     std::map<std::string, Term> consts_;
     std::vector<Rule> rules_;
@@ -820,8 +833,11 @@ private:
     GroundProgram out_;
     std::vector<char> in_domain_;
     std::vector<char> certain_;
-    std::map<std::string, std::vector<int>> by_predicate_;
-    std::set<std::string> seen_rules_;
+    SymbolTable symbols_;
+    std::vector<std::vector<int>> by_predicate_;  ///< domain atom ids per symbol id
+    std::unordered_set<std::string> seen_rules_;
+    // Instance maps stay ordered: materialize_choices()/aggregates iterate
+    // them, and their emission order must not depend on hash seeds.
     std::map<std::string, ChoiceInstance> choice_instances_;
     std::map<std::string, AggregateInstance> aggregate_instances_;
     bool changed_ = false;
@@ -829,17 +845,21 @@ private:
 
 }  // namespace
 
-Result<GroundProgram> ground(const Program& program, const GrounderOptions& options) {
+Result<GroundProgram> ground(const ProgramParts& parts, const GrounderOptions& options) {
     if (fault::should_fail("asp.grounder.ground")) {
         return Result<GroundProgram>::failure(
             "grounder: injected fault (site asp.grounder.ground)");
     }
     try {
-        Grounder grounder(program, options);
+        Grounder grounder(parts, options);
         return grounder.run();
     } catch (const GroundError& e) {
         return Result<GroundProgram>::failure(e.what());
     }
+}
+
+Result<GroundProgram> ground(const Program& program, const GrounderOptions& options) {
+    return ground(ProgramParts{&program}, options);
 }
 
 }  // namespace cprisk::asp

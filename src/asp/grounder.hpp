@@ -38,4 +38,9 @@ struct GrounderOptions {
 /// assignment) and on domain explosion past the configured limits.
 Result<GroundProgram> ground(const Program& program, const GrounderOptions& options = {});
 
+/// Grounds the concatenation of `parts` without materializing it — the
+/// ground-once/solve-many entry point: a shared base part plus a small delta
+/// part ground as one program while the base is never copied.
+Result<GroundProgram> ground(const ProgramParts& parts, const GrounderOptions& options = {});
+
 }  // namespace cprisk::asp

@@ -179,6 +179,18 @@ private:
                    occurrence_count[static_cast<std::size_t>(b)];
         });
 
+        // Assumptions: permanent decision-level-0 assignments, applied before
+        // the top-level propagation so their consequences prune the entire
+        // search. They sit at the bottom of the trail, below every search
+        // mark, so backtracking never undoes them.
+        for (const auto& [atom, value] : options_.assumptions) {
+            if (atom < 0 || atom >= n_atoms ||
+                !assign_literal(value ? pos_lit(atom) : neg_lit(atom))) {
+                consistent_ = false;
+                return;
+            }
+        }
+
         // Top-level propagation of unit clauses.
         consistent_ = propagate();
     }

@@ -22,6 +22,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "asp/ground_program.hpp"
@@ -60,6 +61,15 @@ struct SolveOptions {
     /// Optional shared resource governor (wall-clock deadline, cross-solve
     /// decision quota, cancellation). Not owned; may be nullptr.
     Budget* budget = nullptr;
+    /// Assumptions applied as permanent decision-level-0 assignments before
+    /// search: (ground atom id, truth value) pairs. This is the
+    /// ground-once/solve-many idiom (clingo's #external): ground one program
+    /// whose delta domain is left open via singleton choice shells, then pin
+    /// each shell true/false per solve. Pinned-false choice atoms are absent
+    /// from every model, exactly as if their fact had never been grounded.
+    /// Contradictory or out-of-range atom ids make the program trivially
+    /// unsatisfiable.
+    std::vector<std::pair<int, bool>> assumptions;
 };
 
 struct SolveStats {

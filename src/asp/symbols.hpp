@@ -1,0 +1,69 @@
+// cprisk/asp/symbols.hpp
+//
+// Predicate-symbol interning for the grounder's hot lookup paths. Grounding
+// repeatedly keys its domain index by "predicate/arity"; building that string
+// per lookup (and using string-keyed maps) dominated profiles on bundle-sized
+// programs. A SymbolTable maps (name, arity) to a dense non-negative id once,
+// after which domain indexing is plain vector-by-id access.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace cprisk::asp {
+
+/// Interns (predicate name, arity) pairs into dense ids, 0-based in insertion
+/// order. Lookups never allocate: probing uses a transparent hash over
+/// (string_view, arity).
+class SymbolTable {
+public:
+    /// Returns the id of (name, arity), interning it on first sight.
+    int intern(std::string_view name, std::size_t arity) {
+        const Key probe{name, arity};
+        auto it = ids_.find(probe);
+        if (it != ids_.end()) return it->second;
+        const int id = static_cast<int>(symbols_.size());
+        // deque: growth never moves existing strings, so the string_view
+        // keys below stay valid for the table's lifetime (a vector would
+        // relocate SSO buffers on reallocation).
+        symbols_.emplace_back(name);
+        arities_.push_back(arity);
+        ids_.emplace(Key{symbols_.back(), arity}, id);
+        return id;
+    }
+
+    /// Returns the id of (name, arity) or -1 when never interned.
+    int find(std::string_view name, std::size_t arity) const {
+        auto it = ids_.find(Key{name, arity});
+        return it == ids_.end() ? -1 : it->second;
+    }
+
+    std::size_t size() const { return symbols_.size(); }
+    const std::string& name(int id) const { return symbols_[static_cast<std::size_t>(id)]; }
+    std::size_t arity(int id) const { return arities_[static_cast<std::size_t>(id)]; }
+
+private:
+    struct Key {
+        std::string_view name;
+        std::size_t arity = 0;
+        bool operator==(const Key& other) const {
+            return arity == other.arity && name == other.name;
+        }
+    };
+    struct KeyHash {
+        std::size_t operator()(const Key& key) const {
+            return std::hash<std::string_view>{}(key.name) * 31 + key.arity;
+        }
+    };
+
+    std::deque<std::string> symbols_;
+    std::vector<std::size_t> arities_;
+    std::unordered_map<Key, int, KeyHash> ids_;
+};
+
+}  // namespace cprisk::asp

@@ -194,4 +194,11 @@ private:
 
 std::ostream& operator<<(std::ostream& os, const Program& p);
 
+/// Non-owning view of a program split into parts that the pipeline treats as
+/// their concatenation. The point is to avoid copying: a large immutable base
+/// program can be shared across thousands of scenario evaluations while each
+/// evaluation contributes only a tiny delta part (see docs/performance.md).
+/// Pointers must be non-null and outlive the call they are passed to.
+using ProgramParts = std::vector<const Program*>;
+
 }  // namespace cprisk::asp

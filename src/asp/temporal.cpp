@@ -19,15 +19,17 @@ public:
 
 class Unroller {
 public:
-    Unroller(const Program& program, const UnrollOptions& options)
-        : program_(program), options_(options) {
+    Unroller(const ProgramParts& parts, const UnrollOptions& options)
+        : parts_(parts), options_(options) {
         require(options.horizon >= 0, "unroll: horizon must be non-negative");
         classify_predicates();
     }
 
     Program run() {
         Program out;
-        for (const auto& [name, value] : program_.consts()) out.set_const(name, value);
+        for (const Program* part : parts_) {
+            for (const auto& [name, value] : part->consts()) out.set_const(name, value);
+        }
 
         // Time domain facts: __t(0..horizon).
         Rule time_fact;
@@ -36,54 +38,56 @@ public:
             {Term::compound("..", {Term::integer(0), Term::integer(options_.horizon)})}});
         out.add_rule(std::move(time_fact));
 
-        for (const auto& sectioned : program_.rules()) {
-            switch (sectioned.section) {
-                case SectionKind::Base: out.add_rule(sectioned.rule); break;
-                case SectionKind::Initial:
-                    out.add_rule(instantiate(sectioned.rule, 0, SectionKind::Initial));
-                    break;
-                case SectionKind::Final:
-                    out.add_rule(
-                        instantiate(sectioned.rule, options_.horizon, SectionKind::Final));
-                    break;
-                case SectionKind::Always:
-                    for (int t = 0; t <= options_.horizon; ++t) {
-                        out.add_rule(instantiate(sectioned.rule, t, SectionKind::Always));
-                    }
-                    break;
-                case SectionKind::Dynamic:
-                    for (int t = 1; t <= options_.horizon; ++t) {
-                        out.add_rule(instantiate(sectioned.rule, t, SectionKind::Dynamic));
-                    }
-                    break;
+        for (const Program* part : parts_) {
+            for (const auto& sectioned : part->rules()) {
+                switch (sectioned.section) {
+                    case SectionKind::Base: out.add_rule(sectioned.rule); break;
+                    case SectionKind::Initial:
+                        out.add_rule(instantiate(sectioned.rule, 0, SectionKind::Initial));
+                        break;
+                    case SectionKind::Final:
+                        out.add_rule(
+                            instantiate(sectioned.rule, options_.horizon, SectionKind::Final));
+                        break;
+                    case SectionKind::Always:
+                        for (int t = 0; t <= options_.horizon; ++t) {
+                            out.add_rule(instantiate(sectioned.rule, t, SectionKind::Always));
+                        }
+                        break;
+                    case SectionKind::Dynamic:
+                        for (int t = 1; t <= options_.horizon; ++t) {
+                            out.add_rule(instantiate(sectioned.rule, t, SectionKind::Dynamic));
+                        }
+                        break;
+                }
             }
-        }
-        for (const auto& sectioned : program_.weaks()) {
-            switch (sectioned.section) {
-                case SectionKind::Base: out.add_weak(sectioned.weak); break;
-                case SectionKind::Initial:
-                    out.add_weak(instantiate(sectioned.weak, 0));
-                    break;
-                case SectionKind::Final:
-                    out.add_weak(instantiate(sectioned.weak, options_.horizon));
-                    break;
-                case SectionKind::Always:
-                    for (int t = 0; t <= options_.horizon; ++t) {
-                        out.add_weak(instantiate(sectioned.weak, t));
-                    }
-                    break;
-                case SectionKind::Dynamic:
-                    for (int t = 1; t <= options_.horizon; ++t) {
-                        out.add_weak(instantiate(sectioned.weak, t));
-                    }
-                    break;
+            for (const auto& sectioned : part->weaks()) {
+                switch (sectioned.section) {
+                    case SectionKind::Base: out.add_weak(sectioned.weak); break;
+                    case SectionKind::Initial:
+                        out.add_weak(instantiate(sectioned.weak, 0));
+                        break;
+                    case SectionKind::Final:
+                        out.add_weak(instantiate(sectioned.weak, options_.horizon));
+                        break;
+                    case SectionKind::Always:
+                        for (int t = 0; t <= options_.horizon; ++t) {
+                            out.add_weak(instantiate(sectioned.weak, t));
+                        }
+                        break;
+                    case SectionKind::Dynamic:
+                        for (int t = 1; t <= options_.horizon; ++t) {
+                            out.add_weak(instantiate(sectioned.weak, t));
+                        }
+                        break;
+                }
             }
-        }
-        for (const Signature& show : program_.shows()) {
-            if (temporal_.count(show.predicate) > 0) {
-                out.add_show(Signature{show.predicate, show.arity + 1});
-            } else {
-                out.add_show(show);
+            for (const Signature& show : part->shows()) {
+                if (temporal_.count(show.predicate) > 0) {
+                    out.add_show(Signature{show.predicate, show.arity + 1});
+                } else {
+                    out.add_show(show);
+                }
             }
         }
         return out;
@@ -121,22 +125,26 @@ private:
     }
 
     void classify_predicates() {
-        for (const auto& sectioned : program_.rules()) {
-            const Rule& rule = sectioned.rule;
-            switch (rule.head.kind) {
-                case Head::Kind::Atom: note_head_atom(rule.head.atom, sectioned.section); break;
-                case Head::Kind::Constraint: break;
-                case Head::Kind::Choice:
-                    for (const auto& element : rule.head.elements) {
-                        note_head_atom(element.atom, sectioned.section);
-                        for (const auto& lit : element.condition) note_body_literal(lit);
-                    }
-                    break;
+        for (const Program* part : parts_) {
+            for (const auto& sectioned : part->rules()) {
+                const Rule& rule = sectioned.rule;
+                switch (rule.head.kind) {
+                    case Head::Kind::Atom:
+                        note_head_atom(rule.head.atom, sectioned.section);
+                        break;
+                    case Head::Kind::Constraint: break;
+                    case Head::Kind::Choice:
+                        for (const auto& element : rule.head.elements) {
+                            note_head_atom(element.atom, sectioned.section);
+                            for (const auto& lit : element.condition) note_body_literal(lit);
+                        }
+                        break;
+                }
+                for (const auto& lit : rule.body) note_body_literal(lit);
             }
-            for (const auto& lit : rule.body) note_body_literal(lit);
-        }
-        for (const auto& sectioned : program_.weaks()) {
-            for (const auto& lit : sectioned.weak.body) note_body_literal(lit);
+            for (const auto& sectioned : part->weaks()) {
+                for (const auto& lit : sectioned.weak.body) note_body_literal(lit);
+            }
         }
         for (const std::string& predicate : temporal_) {
             if (static_defined_.count(predicate) > 0) {
@@ -222,7 +230,7 @@ private:
         return out;
     }
 
-    const Program& program_;
+    const ProgramParts& parts_;
     const UnrollOptions& options_;
     std::set<std::string> temporal_;
     std::set<std::string> static_defined_;
@@ -230,15 +238,19 @@ private:
 
 }  // namespace
 
-Result<Program> unroll(const Program& program, const UnrollOptions& options) {
+Result<Program> unroll(const ProgramParts& parts, const UnrollOptions& options) {
     try {
-        Unroller unroller(program, options);
+        Unroller unroller(parts, options);
         return unroller.run();
     } catch (const UnrollError& e) {
         return Result<Program>::failure(e.what());
     } catch (const Error& e) {
         return Result<Program>::failure(e.what());
     }
+}
+
+Result<Program> unroll(const Program& program, const UnrollOptions& options) {
+    return unroll(ProgramParts{&program}, options);
 }
 
 }  // namespace cprisk::asp

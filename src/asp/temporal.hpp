@@ -39,4 +39,10 @@ struct UnrollOptions {
 /// temporal (defined in a timed section).
 Result<Program> unroll(const Program& program, const UnrollOptions& options);
 
+/// Unrolls the concatenation of `parts` without first materializing it:
+/// predicate classification sees every part, so a predicate used temporally
+/// in one part stays temporal everywhere. Equivalent to appending the parts
+/// into one program and unrolling that.
+Result<Program> unroll(const ProgramParts& parts, const UnrollOptions& options);
+
 }  // namespace cprisk::asp

@@ -14,6 +14,12 @@
 // The clock is sampled only every kClockStride charges — cancellation-check
 // overhead on the hot search loop stays below the noise floor (see
 // bench_perf_solver / EXPERIMENTS.md).
+//
+// Thread safety: one Budget may be shared by every worker of a parallel
+// scenario sweep (docs/performance.md). Charging and polling are thread-safe
+// (relaxed atomic counters; the sticky trip is published once through an
+// acquire/release flag). The set_* configuration calls are NOT synchronized:
+// configure the budget before handing it to concurrent workers.
 #pragma once
 
 #include <atomic>
@@ -21,6 +27,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -69,11 +76,14 @@ private:
 };
 
 /// Resource governor shared across one solve path (grounder + solver +
-/// stability check). Default-constructed budgets are unlimited and the
-/// charge calls reduce to a counter increment.
+/// stability check), possibly across threads. Default-constructed budgets
+/// are unlimited and the charge calls reduce to a relaxed counter increment.
 class Budget {
 public:
     Budget() : start_(std::chrono::steady_clock::now()) {}
+
+    Budget(const Budget&) = delete;
+    Budget& operator=(const Budget&) = delete;
 
     /// Wall-clock deadline `after` from now.
     void set_deadline_after(std::chrono::milliseconds after) {
@@ -103,9 +113,9 @@ public:
     /// Charges `n` fixpoint work units; returns the (sticky) trip once a
     /// limit is exceeded.
     std::optional<BudgetExceeded> charge_steps(std::size_t n = 1) {
-        steps_ += n;
+        const std::size_t steps = steps_.fetch_add(n, std::memory_order_relaxed) + n;
         if (!limited_) return std::nullopt;
-        if (!tripped_ && max_steps_ != 0 && steps_ > max_steps_) {
+        if (!has_tripped() && max_steps_ != 0 && steps > max_steps_) {
             trip(BudgetReason::StepLimit);
         }
         return strided_check();
@@ -113,9 +123,9 @@ public:
 
     /// Charges `n` solver decisions.
     std::optional<BudgetExceeded> charge_decisions(std::size_t n = 1) {
-        decisions_ += n;
+        const std::size_t decisions = decisions_.fetch_add(n, std::memory_order_relaxed) + n;
         if (!limited_) return std::nullopt;
-        if (!tripped_ && max_decisions_ != 0 && decisions_ > max_decisions_) {
+        if (!has_tripped() && max_decisions_ != 0 && decisions > max_decisions_) {
             trip(BudgetReason::DecisionLimit);
         }
         return strided_check();
@@ -126,17 +136,23 @@ public:
     std::optional<BudgetExceeded> check() {
         if (!limited_) return std::nullopt;
         check_clock_and_cancel();
-        return tripped_;
+        return tripped();
     }
 
     /// The first trip, if any — sticky for the lifetime of the budget.
-    const std::optional<BudgetExceeded>& tripped() const { return tripped_; }
+    /// Returned by value: a reference into the budget would race with a
+    /// concurrent first trip.
+    std::optional<BudgetExceeded> tripped() const {
+        if (!has_tripped()) return std::nullopt;
+        std::lock_guard<std::mutex> lock(trip_mutex_);
+        return tripped_;
+    }
 
     /// Work consumed so far.
     BudgetStats stats() const {
         BudgetStats s;
-        s.steps = steps_;
-        s.decisions = decisions_;
+        s.steps = steps_.load(std::memory_order_relaxed);
+        s.decisions = decisions_.load(std::memory_order_relaxed);
         s.elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
             std::chrono::steady_clock::now() - start_);
         return s;
@@ -146,17 +162,23 @@ private:
     /// Clock/cancellation are sampled every kClockStride charges only.
     static constexpr std::size_t kClockStride = 64;
 
+    bool has_tripped() const { return tripped_flag_.load(std::memory_order_acquire); }
+
     std::optional<BudgetExceeded> strided_check() {
-        if (tripped_) return tripped_;
-        if (++since_clock_ >= kClockStride) {
-            since_clock_ = 0;
-            check_clock_and_cancel();
+        if (!has_tripped()) {
+            // The stride counter is contended under a parallel sweep; exact
+            // periodicity does not matter, only that the clock is sampled
+            // roughly every kClockStride charges per worker.
+            if (since_clock_.fetch_add(1, std::memory_order_relaxed) + 1 >= kClockStride) {
+                since_clock_.store(0, std::memory_order_relaxed);
+                check_clock_and_cancel();
+            }
         }
-        return tripped_;
+        return tripped();
     }
 
     void check_clock_and_cancel() {
-        if (tripped_) return;
+        if (has_tripped()) return;
         if (has_cancel_ && cancel_.cancel_requested()) {
             trip(BudgetReason::Cancelled);
             return;
@@ -166,11 +188,16 @@ private:
         }
     }
 
+    /// First caller wins; later trips (possibly from other workers, possibly
+    /// for a different reason) observe the original one.
     void trip(BudgetReason reason) {
+        std::lock_guard<std::mutex> lock(trip_mutex_);
+        if (tripped_) return;
         BudgetExceeded exceeded;
         exceeded.reason = reason;
         exceeded.stats = stats();
         tripped_ = std::move(exceeded);
+        tripped_flag_.store(true, std::memory_order_release);
     }
 
     std::chrono::steady_clock::time_point start_;
@@ -181,9 +208,11 @@ private:
     bool has_cancel_ = false;
     bool limited_ = false;
 
-    std::size_t steps_ = 0;
-    std::size_t decisions_ = 0;
-    std::size_t since_clock_ = 0;
+    std::atomic<std::size_t> steps_{0};
+    std::atomic<std::size_t> decisions_{0};
+    std::atomic<std::size_t> since_clock_{0};
+    std::atomic<bool> tripped_flag_{false};
+    mutable std::mutex trip_mutex_;
     std::optional<BudgetExceeded> tripped_;
 };
 

@@ -1,0 +1,160 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdint>
+
+namespace cprisk {
+
+// One in-flight batch. Tasks are identified by index; each lane owns a deque
+// seeded with a contiguous slice of the index range. Owners pop from the
+// front, thieves steal from the back, so steals take the work farthest from
+// what the owner touches next. No work is ever added after construction:
+// once a lane observes every queue empty, the batch has no unclaimed tasks.
+struct ThreadPool::Batch {
+    const std::function<void(std::size_t)>* task = nullptr;
+    std::vector<std::deque<std::size_t>> queues;
+    std::vector<std::mutex> queue_mutexes;
+    std::size_t active_workers = 0;  ///< workers inside drain(); guarded by pool mutex_
+
+    std::mutex error_mutex;
+    std::exception_ptr error;
+    std::size_t error_index = 0;
+
+    Batch(std::size_t lanes, std::size_t count, const std::function<void(std::size_t)>& t)
+        : task(&t), queues(lanes), queue_mutexes(lanes) {
+        const std::size_t per_lane = count / lanes;
+        const std::size_t extra = count % lanes;
+        std::size_t next = 0;
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+            const std::size_t take = per_lane + (lane < extra ? 1 : 0);
+            for (std::size_t i = 0; i < take; ++i) queues[lane].push_back(next++);
+        }
+    }
+
+    void record_error(std::size_t index) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error || index < error_index) {
+            error = std::current_exception();
+            error_index = index;
+        }
+    }
+};
+
+ThreadPool::ThreadPool(std::size_t jobs) : jobs_(jobs == 0 ? 1 : jobs) {
+    workers_.reserve(jobs_ - 1);
+    for (std::size_t lane = 1; lane < jobs_; ++lane) {
+        workers_.emplace_back([this, lane] { worker_loop(lane); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::hardware_jobs() {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+void ThreadPool::run_batch(std::size_t count, const std::function<void(std::size_t)>& task) {
+    if (count == 0) return;
+    if (jobs_ == 1 || count == 1) {
+        // Inline path: same ordering as the pre-pool sequential engine. The
+        // whole batch still runs even if a task throws, matching the
+        // parallel path's "no task silently skipped" guarantee.
+        std::exception_ptr error;
+        for (std::size_t i = 0; i < count; ++i) {
+            try {
+                task(i);
+            } catch (...) {
+                if (!error) error = std::current_exception();
+            }
+        }
+        if (error) std::rethrow_exception(error);
+        return;
+    }
+
+    Batch batch(jobs_, count, task);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        batch_ = &batch;
+        ++batch_seq_;
+    }
+    wake_.notify_all();
+
+    drain(batch, 0);  // the caller participates as lane 0
+
+    {
+        // The batch lives on this stack frame: wait until every worker that
+        // entered it has left before tearing it down.
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [&] { return batch.active_workers == 0; });
+        batch_ = nullptr;
+    }
+    if (batch.error) std::rethrow_exception(batch.error);
+}
+
+void ThreadPool::worker_loop(std::size_t lane) {
+    // The sequence number (not the Batch address, which a later batch on the
+    // same caller stack frame could reuse) decides whether a published batch
+    // is new to this worker.
+    unsigned long long seen_seq = 0;
+    for (;;) {
+        Batch* batch = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [&] { return stop_ || (batch_ != nullptr && batch_seq_ != seen_seq); });
+            if (stop_) return;
+            batch = batch_;
+            seen_seq = batch_seq_;
+            ++batch->active_workers;
+        }
+        drain(*batch, lane);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --batch->active_workers;
+            if (batch->active_workers == 0) done_.notify_all();
+        }
+    }
+}
+
+void ThreadPool::drain(Batch& batch, std::size_t lane) {
+    const std::size_t lanes = batch.queues.size();
+    for (;;) {
+        std::size_t index = 0;
+        bool found = false;
+        {
+            std::lock_guard<std::mutex> lock(batch.queue_mutexes[lane]);
+            if (!batch.queues[lane].empty()) {
+                index = batch.queues[lane].front();
+                batch.queues[lane].pop_front();
+                found = true;
+            }
+        }
+        if (!found) {
+            for (std::size_t offset = 1; offset < lanes && !found; ++offset) {
+                const std::size_t victim = (lane + offset) % lanes;
+                std::lock_guard<std::mutex> lock(batch.queue_mutexes[victim]);
+                if (!batch.queues[victim].empty()) {
+                    index = batch.queues[victim].back();
+                    batch.queues[victim].pop_back();
+                    found = true;
+                }
+            }
+        }
+        if (!found) return;
+        try {
+            (*batch.task)(index);
+        } catch (...) {
+            batch.record_error(index);
+        }
+    }
+}
+
+}  // namespace cprisk

@@ -1,0 +1,78 @@
+// cprisk/common/thread_pool.hpp
+//
+// Small work-stealing pool for the parallel scenario sweep
+// (docs/performance.md). Design constraints, in priority order:
+//
+//  1. Determinism of *results* is the caller's job: the pool only promises
+//     that every task of a batch runs exactly once and that run_batch
+//     returns after all of them finished. Callers index results by task id,
+//     never by completion order.
+//  2. jobs == 1 must be byte-for-byte the sequential code path: no worker
+//     threads are created and the tasks run inline on the caller, in order.
+//     `--jobs 1` therefore reproduces the pre-pool engine exactly.
+//  3. Exceptions do not kill workers: the first throwing task (lowest task
+//     index, so the choice is deterministic) is captured and rethrown from
+//     run_batch after the batch drains.
+//
+// The caller participates: run_batch executes tasks on the calling thread
+// alongside the workers, so a pool with N jobs uses N OS threads total
+// (N - 1 workers + the caller), and nested pools degrade gracefully.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cprisk {
+
+class ThreadPool {
+public:
+    /// A pool with `jobs` execution lanes (caller + jobs-1 workers).
+    /// jobs == 0 is normalized to 1; jobs == 1 creates no threads.
+    explicit ThreadPool(std::size_t jobs);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t jobs() const { return jobs_; }
+
+    /// Runs task(i) for every i in [0, count) across the pool's lanes and
+    /// returns when all have finished. If any task throws, the exception of
+    /// the lowest task index is rethrown (after the whole batch drained, so
+    /// no task is silently skipped). Not reentrant: one batch at a time.
+    void run_batch(std::size_t count, const std::function<void(std::size_t)>& task);
+
+    /// Number of hardware threads (never 0).
+    static std::size_t hardware_jobs();
+
+    /// Resolves a user-facing jobs value: 0 means "auto" (hardware_jobs()).
+    static std::size_t resolve(std::size_t jobs) {
+        return jobs == 0 ? hardware_jobs() : jobs;
+    }
+
+private:
+    struct Batch;
+
+    void worker_loop(std::size_t lane);
+    /// Runs tasks from `lane`'s own queue, then steals; returns when the
+    /// batch has no work left for this lane.
+    void drain(Batch& batch, std::size_t lane);
+
+    std::size_t jobs_ = 1;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;     ///< workers wait for a batch or stop
+    std::condition_variable done_;     ///< caller waits for batch completion
+    Batch* batch_ = nullptr;           ///< the in-flight batch, if any
+    unsigned long long batch_seq_ = 0; ///< bumped per batch so a worker never re-enters one
+    bool stop_ = false;
+};
+
+}  // namespace cprisk

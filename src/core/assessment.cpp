@@ -131,6 +131,7 @@ Result<AssessmentReport> RiskAssessment::run(const AssessmentConfig& config) con
     hierarchy::CegarOptions cegar_options;
     cegar_options.max_decisions = config.max_decisions;
     cegar_options.budget = &run_budget;
+    cegar_options.jobs = config.jobs;
 
     // Checkpoint/resume: previously journaled verdicts are replayed instead
     // of re-evaluated; fresh verdicts are appended as they complete.
@@ -219,24 +220,17 @@ Result<AssessmentReport> RiskAssessment::run(const AssessmentConfig& config) con
 
 Result<std::vector<epa::ScenarioVerdict>> RiskAssessment::evaluate_scenarios(
     const std::vector<security::AttackScenario>& scenarios,
-    const std::vector<std::string>& active_mitigations, int horizon) const {
+    const std::vector<std::string>& active_mitigations, int horizon, std::size_t jobs) const {
     epa::EpaOptions options;
     options.focus = epa::AnalysisFocus::Behavioral;
     options.horizon = horizon;
+    options.jobs = jobs;
     auto epa = epa::ErrorPropagationAnalysis::create(*system_, behavioral_requirements_,
                                                      *mitigations_, options);
     if (!epa.ok()) return Result<std::vector<epa::ScenarioVerdict>>::failure(epa.error());
 
-    std::vector<epa::ScenarioVerdict> verdicts;
-    verdicts.reserve(scenarios.size());
-    for (const security::AttackScenario& scenario : scenarios) {
-        auto verdict = epa.value().evaluate(scenario, active_mitigations);
-        if (!verdict.ok()) {
-            return Result<std::vector<epa::ScenarioVerdict>>::failure(verdict.error());
-        }
-        verdicts.push_back(std::move(verdict).value());
-    }
-    return verdicts;
+    security::ScenarioSpace space(scenarios);
+    return epa.value().evaluate_all(space, active_mitigations);
 }
 
 }  // namespace cprisk::core

@@ -56,6 +56,13 @@ struct AssessmentConfig {
     // Checkpoint/resume.
     std::string journal_path;  ///< non-empty: append one JSONL verdict per scenario
     bool resume = false;       ///< replay the journal, skipping finished scenarios
+
+    /// Worker lanes for the scenario sweep (0 = hardware concurrency). The
+    /// value never changes results, reports, or journal bytes — verdicts are
+    /// merged in scenario order — so it is deliberately NOT part of the
+    /// journal's config echo and a journal can be resumed under a different
+    /// job count. See docs/performance.md.
+    std::size_t jobs = 1;
 };
 
 struct AssessmentReport {
@@ -105,9 +112,12 @@ public:
     Result<AssessmentReport> run(const AssessmentConfig& config = {}) const;
 
     /// Steps 4-6 for a fixed scenario list (used by the Table II bench).
+    /// `jobs` as in AssessmentConfig::jobs; verdict order is always the
+    /// scenario order.
     Result<std::vector<epa::ScenarioVerdict>> evaluate_scenarios(
         const std::vector<security::AttackScenario>& scenarios,
-        const std::vector<std::string>& active_mitigations, int horizon) const;
+        const std::vector<std::string>& active_mitigations, int horizon,
+        std::size_t jobs = 1) const;
 
 private:
     const model::SystemModel* system_;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
 
 #include "common/strings.hpp"
+#include "common/thread_pool.hpp"
 #include "model/to_asp.hpp"
 
 namespace cprisk::epa {
@@ -101,6 +103,92 @@ error(C) :- prev_error(C).
 error(C2) :- prev_error(C1), connected(C1, C2).
 )";
 
+/// One singleton choice shell `{ atom }.` — leaves `atom` open in the
+/// grounded domain so a later solve can pin it via assumptions.
+asp::Rule choice_shell(Atom atom) {
+    asp::ChoiceElement element;
+    element.atom = std::move(atom);
+    asp::Rule shell;
+    shell.head = asp::Head::make_choice({std::move(element)}, std::nullopt, std::nullopt);
+    return shell;
+}
+
+}  // namespace
+
+/// Immutable ground-once cache: the base program grounded a single time with
+/// the full scenario-fault/mitigation domain left open via choice shells.
+/// Built at create(); read-only afterwards, so concurrent evaluate() calls
+/// share it without synchronization.
+struct GroundedBase {
+    asp::GroundProgram program;
+    /// Grounded atom id of scenario_fault(c, f) per declared fault mode.
+    std::map<Mutation, int> fault_atoms;
+    /// Grounded atom id of active_mitigation(m) per known mitigation id
+    /// (to_identifier-normalized).
+    std::map<std::string, int> mitigation_atoms;
+};
+
+namespace {
+
+/// Grounds the base + open delta domain once. Returns nullptr when the cache
+/// cannot be built (budget trip, injected grounder fault, missing domain
+/// atom); callers then use the per-scenario grounding path — building the
+/// cache is an optimization, never a correctness requirement.
+std::shared_ptr<const GroundedBase> try_ground_base(const model::SystemModel& model,
+                                                   const MitigationMap& mitigations,
+                                                   const asp::Program& base_program,
+                                                   const EpaOptions& options) {
+    asp::Program delta;
+    std::vector<Mutation> fault_domain;
+    for (const model::Component& component : model.components()) {
+        for (const model::FaultMode& mode : component.fault_modes) {
+            fault_domain.push_back(Mutation{component.id, mode.id});
+            delta.add_rule(choice_shell(Atom{
+                "scenario_fault", {Term::symbol(component.id), Term::symbol(mode.id)}}));
+        }
+    }
+    std::set<std::string> mitigation_ids;
+    for (const MitigationMap::Entry& entry : mitigations.entries()) {
+        mitigation_ids.insert(to_identifier(entry.mitigation_id));
+    }
+    for (const std::string& id : mitigation_ids) {
+        delta.add_rule(choice_shell(Atom{"active_mitigation", {Term::symbol(id)}}));
+    }
+
+    const asp::ProgramParts parts{&base_program, &delta};
+    asp::GrounderOptions grounder_options;
+    grounder_options.budget = options.budget;
+    asp::Program unrolled;
+    asp::ProgramParts effective = parts;
+    if (base_program.is_temporal() || delta.is_temporal()) {
+        asp::UnrollOptions unroll_options;
+        unroll_options.horizon = options.horizon;
+        auto result = asp::unroll(parts, unroll_options);
+        if (!result.ok()) return nullptr;
+        unrolled = std::move(result).value();
+        effective = {&unrolled};
+    }
+    auto grounded = asp::ground(effective, grounder_options);
+    if (!grounded.ok()) return nullptr;
+
+    auto base = std::make_shared<GroundedBase>();
+    base->program = std::move(grounded).value();
+    for (const Mutation& mutation : fault_domain) {
+        const int id = base->program.find(Atom{
+            "scenario_fault",
+            {Term::symbol(mutation.component), Term::symbol(mutation.fault_id)}});
+        if (id < 0) return nullptr;
+        base->fault_atoms.emplace(mutation, id);
+    }
+    for (const std::string& mitigation : mitigation_ids) {
+        const int id =
+            base->program.find(Atom{"active_mitigation", {Term::symbol(mitigation)}});
+        if (id < 0) return nullptr;
+        base->mitigation_atoms.emplace(mitigation, id);
+    }
+    return base;
+}
+
 }  // namespace
 
 Result<ErrorPropagationAnalysis> ErrorPropagationAnalysis::create(
@@ -153,38 +241,51 @@ Result<ErrorPropagationAnalysis> ErrorPropagationAnalysis::create(
         epa.base_program_.add_show(asp::Signature{"error", 1});  // bumped to /2 by unroll
         epa.base_program_.add_show(asp::Signature{"injected_fault", 2});
     }
+    if (options.ground_once) {
+        epa.grounded_base_ = try_ground_base(model, epa.mitigations_, epa.base_program_, options);
+    }
     return epa;
+}
+
+std::optional<std::vector<std::pair<int, bool>>> ErrorPropagationAnalysis::cached_assumptions(
+    const security::AttackScenario& scenario,
+    const std::vector<std::string>& active_mitigations) const {
+    if (grounded_base_ == nullptr) return std::nullopt;
+    const GroundedBase& base = *grounded_base_;
+    const std::set<Mutation> wanted(scenario.mutations.begin(), scenario.mutations.end());
+    for (const Mutation& mutation : scenario.mutations) {
+        if (base.fault_atoms.find(mutation) == base.fault_atoms.end()) return std::nullopt;
+    }
+    std::set<std::string> active_ids;
+    for (const std::string& mitigation : active_mitigations) {
+        std::string id = to_identifier(mitigation);
+        if (base.mitigation_atoms.find(id) == base.mitigation_atoms.end()) return std::nullopt;
+        active_ids.insert(std::move(id));
+    }
+    // Pin the *entire* delta domain: atoms of this scenario true, everything
+    // else false, so the projected answer sets match the fact-based path
+    // exactly.
+    std::vector<std::pair<int, bool>> assumptions;
+    assumptions.reserve(base.fault_atoms.size() + base.mitigation_atoms.size());
+    for (const auto& [mutation, atom] : base.fault_atoms) {
+        assumptions.emplace_back(atom, wanted.count(mutation) > 0);
+    }
+    for (const auto& [id, atom] : base.mitigation_atoms) {
+        assumptions.emplace_back(atom, active_ids.count(id) > 0);
+    }
+    return assumptions;
 }
 
 Result<ScenarioVerdict> ErrorPropagationAnalysis::evaluate(
     const security::AttackScenario& scenario,
     const std::vector<std::string>& active_mitigations) const {
-    asp::Program program = base_program_;
-
     for (const Mutation& mutation : scenario.mutations) {
         if (!model_->has_component(mutation.component)) {
             return Result<ScenarioVerdict>::failure("scenario " + scenario.id +
                                                     ": unknown component '" + mutation.component +
                                                     "'");
         }
-        asp::Rule fact;
-        fact.head = asp::Head::make_atom(
-            Atom{"scenario_fault",
-                 {Term::symbol(mutation.component), Term::symbol(mutation.fault_id)}});
-        program.add_rule(std::move(fact));
     }
-    for (const std::string& mitigation : active_mitigations) {
-        asp::Rule fact;
-        fact.head = asp::Head::make_atom(
-            Atom{"active_mitigation", {Term::symbol(to_identifier(mitigation))}});
-        program.add_rule(std::move(fact));
-    }
-
-    asp::PipelineOptions pipeline;
-    pipeline.horizon = options_.horizon;
-    if (options_.max_decisions != 0) pipeline.solve.max_decisions = options_.max_decisions;
-    pipeline.solve.budget = options_.budget;
-    pipeline.grounder.budget = options_.budget;
 
     ScenarioVerdict verdict;
     verdict.scenario_id = scenario.id;
@@ -192,20 +293,60 @@ Result<ScenarioVerdict> ErrorPropagationAnalysis::evaluate(
     verdict.active_mitigations = active_mitigations;
     verdict.likelihood = scenario.likelihood;
 
-    auto solved = asp::solve_program(program, pipeline);
+    if (auto assumptions = cached_assumptions(scenario, active_mitigations)) {
+        // Cached path: no per-scenario grounding at all — one solve over the
+        // shared ground program with the delta domain pinned.
+        asp::SolveOptions solve_options;
+        if (options_.max_decisions != 0) solve_options.max_decisions = options_.max_decisions;
+        solve_options.budget = options_.budget;
+        solve_options.assumptions = std::move(*assumptions);
+        return finish_verdict(std::move(verdict),
+                              asp::solve(grounded_base_->program, solve_options));
+    }
+
+    // Full-reground path: the shared base program rides along as an
+    // immutable part; only the tiny delta (scenario facts) is built here.
+    asp::Program delta;
+    for (const Mutation& mutation : scenario.mutations) {
+        asp::Rule fact;
+        fact.head = asp::Head::make_atom(
+            Atom{"scenario_fault",
+                 {Term::symbol(mutation.component), Term::symbol(mutation.fault_id)}});
+        delta.add_rule(std::move(fact));
+    }
+    for (const std::string& mitigation : active_mitigations) {
+        asp::Rule fact;
+        fact.head = asp::Head::make_atom(
+            Atom{"active_mitigation", {Term::symbol(to_identifier(mitigation))}});
+        delta.add_rule(std::move(fact));
+    }
+
+    asp::PipelineOptions pipeline;
+    pipeline.horizon = options_.horizon;
+    if (options_.max_decisions != 0) pipeline.solve.max_decisions = options_.max_decisions;
+    pipeline.solve.budget = options_.budget;
+    pipeline.grounder.budget = options_.budget;
+    return finish_verdict(std::move(verdict),
+                          asp::solve_program(asp::ProgramParts{&base_program_, &delta},
+                                             pipeline));
+}
+
+Result<ScenarioVerdict> ErrorPropagationAnalysis::finish_verdict(
+    ScenarioVerdict verdict, const Result<asp::SolveResult>& solved) const {
+    const std::string& scenario_id = verdict.scenario_id;
     if (!solved.ok()) {
         // A grounder/solver error degrades this scenario to Undetermined so
         // one broken solve cannot abort an otherwise exhaustive run; model
         // inconsistencies below stay hard failures.
         verdict.status = VerdictStatus::Undetermined;
         verdict.undetermined_reason = UndeterminedReason::SolverError;
-        verdict.undetermined_detail = "scenario " + scenario.id + ": " + solved.error();
+        verdict.undetermined_detail = "scenario " + scenario_id + ": " + solved.error();
         return verdict;
     }
     const asp::SolveResult& result = solved.value();
     verdict.solver_stats = result.stats;
     if (result.complete() && !result.satisfiable) {
-        return Result<ScenarioVerdict>::failure("scenario " + scenario.id +
+        return Result<ScenarioVerdict>::failure("scenario " + scenario_id +
                                                 ": inconsistent model (no answer set)");
     }
 
@@ -276,7 +417,7 @@ Result<ScenarioVerdict> ErrorPropagationAnalysis::evaluate(
         verdict.status = VerdictStatus::Undetermined;
         verdict.undetermined_reason = undetermined_reason_from(result.interrupt->reason);
         verdict.undetermined_detail =
-            "scenario " + scenario.id + ": " + result.interrupt->to_string();
+            "scenario " + scenario_id + ": " + result.interrupt->to_string();
         return verdict;
     }
     verdict.status = verdict.any_violation() ? VerdictStatus::Hazard : VerdictStatus::Safe;
@@ -289,6 +430,9 @@ Result<std::optional<int>> ErrorPropagationAnalysis::min_violation_horizon(
     for (int horizon = 0; horizon <= options_.horizon; ++horizon) {
         EpaOptions shallow = options_;
         shallow.horizon = horizon;
+        // One scenario per horizon: building the ground-once cache would
+        // cost more than the single evaluation it serves.
+        shallow.ground_once = false;
         auto analysis = create(*model_, requirements_, mitigations_, shallow);
         if (!analysis.ok()) return Result<std::optional<int>>::failure(analysis.error());
         auto verdict = analysis.value().evaluate(scenario, active_mitigations);
@@ -305,12 +449,35 @@ Result<std::optional<int>> ErrorPropagationAnalysis::min_violation_horizon(
 Result<std::vector<ScenarioVerdict>> ErrorPropagationAnalysis::evaluate_all(
     const security::ScenarioSpace& space,
     const std::vector<std::string>& active_mitigations) const {
+    const std::vector<security::AttackScenario>& scenarios = space.scenarios();
+    const std::size_t jobs =
+        std::min(ThreadPool::resolve(options_.jobs), std::max<std::size_t>(scenarios.size(), 1));
+    if (jobs <= 1) {
+        std::vector<ScenarioVerdict> verdicts;
+        verdicts.reserve(scenarios.size());
+        for (const security::AttackScenario& scenario : scenarios) {
+            auto verdict = evaluate(scenario, active_mitigations);
+            if (!verdict.ok()) {
+                return Result<std::vector<ScenarioVerdict>>::failure(verdict.error());
+            }
+            verdicts.push_back(std::move(verdict).value());
+        }
+        return verdicts;
+    }
+
+    // Parallel sweep: workers fill slots indexed by scenario, the merge
+    // walks them in scenario order — results are independent of the job
+    // count and of completion order (docs/performance.md).
+    ThreadPool pool(jobs);
+    std::vector<std::optional<Result<ScenarioVerdict>>> slots(scenarios.size());
+    pool.run_batch(scenarios.size(), [&](std::size_t index) {
+        slots[index] = evaluate(scenarios[index], active_mitigations);
+    });
     std::vector<ScenarioVerdict> verdicts;
-    verdicts.reserve(space.size());
-    for (const security::AttackScenario& scenario : space.scenarios()) {
-        auto verdict = evaluate(scenario, active_mitigations);
-        if (!verdict.ok()) return Result<std::vector<ScenarioVerdict>>::failure(verdict.error());
-        verdicts.push_back(std::move(verdict).value());
+    verdicts.reserve(scenarios.size());
+    for (std::optional<Result<ScenarioVerdict>>& slot : slots) {
+        if (!slot->ok()) return Result<std::vector<ScenarioVerdict>>::failure(slot->error());
+        verdicts.push_back(std::move(*slot).value());
     }
     return verdicts;
 }

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -131,7 +132,22 @@ struct EpaOptions {
     /// errors degrade the affected scenario to an Undetermined verdict
     /// instead of failing the evaluation.
     Budget* budget = nullptr;
+    /// Ground-once/solve-many: ground the base program a single time at
+    /// create() with an *open* scenario-fault/mitigation domain (singleton
+    /// choice shells), then let every evaluate() pin that domain via solver
+    /// assumptions instead of re-grounding from scratch. Scenarios that
+    /// reference atoms outside the precomputed domain, and analyses whose
+    /// base grounding failed (budget trip, injected fault), silently fall
+    /// back to the per-scenario grounding path. See docs/performance.md.
+    bool ground_once = true;
+    /// Worker lanes for evaluate_all (0 = hardware concurrency, 1 = the
+    /// sequential engine). Verdicts always come back in scenario order.
+    std::size_t jobs = 1;
 };
+
+/// Immutable product of grounding the base program once with an open
+/// scenario delta domain (defined in epa.cpp; shared across threads).
+struct GroundedBase;
 
 class ErrorPropagationAnalysis {
 public:
@@ -177,11 +193,27 @@ public:
 private:
     ErrorPropagationAnalysis() = default;
 
+    /// Assumption literals pinning the grounded delta domain to `scenario` +
+    /// `active_mitigations`, or nullopt when the cache is absent or the
+    /// scenario references atoms outside the precomputed domain (legacy
+    /// per-scenario grounding handles those).
+    std::optional<std::vector<std::pair<int, bool>>> cached_assumptions(
+        const security::AttackScenario& scenario,
+        const std::vector<std::string>& active_mitigations) const;
+
+    /// Shared verdict extraction over the solve result (both the cached and
+    /// the full-reground path end here).
+    Result<ScenarioVerdict> finish_verdict(ScenarioVerdict verdict,
+                                           const Result<asp::SolveResult>& solved) const;
+
     const model::SystemModel* model_ = nullptr;
     std::vector<Requirement> requirements_;
     MitigationMap mitigations_;
     EpaOptions options_;
     asp::Program base_program_;
+    /// Non-null iff the ground-once cache was built successfully; never
+    /// mutated after create(), so concurrent evaluate() calls share it.
+    std::shared_ptr<const GroundedBase> grounded_base_;
 };
 
 }  // namespace cprisk::epa

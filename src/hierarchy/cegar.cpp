@@ -1,6 +1,9 @@
 #include "hierarchy/cegar.hpp"
 
 #include <algorithm>
+#include <mutex>
+
+#include "common/thread_pool.hpp"
 
 namespace cprisk::hierarchy {
 
@@ -163,20 +166,93 @@ Result<CegarResult> run_cegar(const std::vector<CegarStage>& stages,
 
     CegarResult result;
     result.records.reserve(space.size());
-    for (const security::AttackScenario& scenario : space.scenarios()) {
-        if (options.hooks.lookup) {
-            if (std::optional<ScenarioRecord> replayed = options.hooks.lookup(scenario.id)) {
-                result.records.push_back(std::move(*replayed));
-                continue;
+    const auto& scenarios = space.scenarios();
+    const std::size_t jobs =
+        std::min(ThreadPool::resolve(options.jobs), std::max<std::size_t>(scenarios.size(), 1));
+    if (jobs <= 1) {
+        for (const security::AttackScenario& scenario : scenarios) {
+            if (options.hooks.lookup) {
+                if (std::optional<ScenarioRecord> replayed = options.hooks.lookup(scenario.id)) {
+                    result.records.push_back(std::move(*replayed));
+                    continue;
+                }
             }
+            auto record = walk_ladder(stages, analyses, scenario, active_mitigations);
+            if (!record.ok()) return Result<CegarResult>::failure(record.error());
+            if (options.hooks.completed) {
+                auto appended = options.hooks.completed(record.value());
+                if (!appended.ok()) return Result<CegarResult>::failure(appended.error());
+            }
+            result.records.push_back(std::move(record).value());
         }
-        auto record = walk_ladder(stages, analyses, scenario, active_mitigations);
-        if (!record.ok()) return Result<CegarResult>::failure(record.error());
-        if (options.hooks.completed) {
-            auto appended = options.hooks.completed(record.value());
-            if (!appended.ok()) return Result<CegarResult>::failure(appended.error());
+    } else {
+        // Parallel walk. The lookup hook mutates caller state (resume
+        // counters), so replays are resolved in a sequential pre-pass; only
+        // the remaining scenarios go to the pool. Finished walks are drained
+        // in strict scenario order — the `completed` hook (journal append)
+        // fires for scenario i only once 0..i-1 are drained — so the journal
+        // is byte-identical to a sequential run at any job count, and on
+        // failure it holds exactly the records preceding the first error.
+        struct Slot {
+            bool replayed = false;
+            std::optional<Result<ScenarioRecord>> record;
+        };
+        std::vector<Slot> slots(scenarios.size());
+        std::vector<std::size_t> pending;
+        pending.reserve(scenarios.size());
+        for (std::size_t i = 0; i < scenarios.size(); ++i) {
+            if (options.hooks.lookup) {
+                if (std::optional<ScenarioRecord> replayed =
+                        options.hooks.lookup(scenarios[i].id)) {
+                    slots[i].replayed = true;
+                    slots[i].record = Result<ScenarioRecord>(std::move(*replayed));
+                    continue;
+                }
+            }
+            pending.push_back(i);
         }
-        result.records.push_back(std::move(record).value());
+
+        // drain_mutex guards the slots, the drain cursor, and first_error;
+        // workers publish their record and drain under one critical section.
+        std::mutex drain_mutex;
+        std::size_t next_to_drain = 0;
+        std::optional<std::string> first_error;
+        const auto drain_ready_prefix_locked = [&] {
+            while (next_to_drain < slots.size() && !first_error &&
+                   slots[next_to_drain].record.has_value()) {
+                Slot& slot = slots[next_to_drain];
+                if (!slot.record->ok()) {
+                    first_error = slot.record->error();
+                    break;
+                }
+                if (!slot.replayed && options.hooks.completed) {
+                    auto appended = options.hooks.completed(slot.record->value());
+                    if (!appended.ok()) {
+                        first_error = appended.error();
+                        break;
+                    }
+                }
+                result.records.push_back(std::move(*slot.record).value());
+                ++next_to_drain;
+            }
+        };
+
+        {
+            // Replayed prefix first: a journalled run may be all-replay.
+            std::lock_guard<std::mutex> lock(drain_mutex);
+            drain_ready_prefix_locked();
+        }
+        ThreadPool pool(jobs);
+        pool.run_batch(pending.size(), [&](std::size_t k) {
+            const std::size_t index = pending[k];
+            auto record = walk_ladder(stages, analyses, scenarios[index], active_mitigations);
+            std::lock_guard<std::mutex> lock(drain_mutex);
+            slots[index].record = std::move(record);
+            drain_ready_prefix_locked();
+        });
+        std::lock_guard<std::mutex> lock(drain_mutex);
+        drain_ready_prefix_locked();
+        if (first_error) return Result<CegarResult>::failure(*first_error);
     }
 
     for (const ScenarioRecord& record : result.records) {

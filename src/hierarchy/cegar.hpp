@@ -106,6 +106,11 @@ struct CegarOptions {
     /// Shared resource governor for the whole refinement run. Not owned.
     Budget* budget = nullptr;
     CegarHooks hooks;
+    /// Worker lanes for the scenario walk (0 = hardware concurrency, 1 = the
+    /// sequential engine). Records, statistics, and the order of `completed`
+    /// hook invocations are independent of the value: finished walks are
+    /// drained to the hook strictly in scenario order (docs/performance.md).
+    std::size_t jobs = 1;
 };
 
 struct CegarResult {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "model/system_model.hpp"
@@ -69,6 +70,12 @@ struct ScenarioSpaceOptions {
 /// Enumerates the scenario space for `model`.
 class ScenarioSpace {
 public:
+    ScenarioSpace() = default;
+    /// Wraps an explicit scenario list (bench and test harnesses that
+    /// evaluate a hand-picked set instead of the enumerated space).
+    explicit ScenarioSpace(std::vector<AttackScenario> scenarios)
+        : scenarios_(std::move(scenarios)) {}
+
     static ScenarioSpace build(const model::SystemModel& model, const AttackMatrix& matrix,
                                const std::vector<ThreatActor>& actors,
                                const ScenarioSpaceOptions& options = {},

@@ -1,10 +1,13 @@
 // Stable-model solver behaviour: facts, negation, loops, choices,
-// constraints, enumeration, projection.
+// constraints, enumeration, projection, assumptions.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "asp/asp.hpp"
+#include "asp/parser.hpp"
 
 namespace cprisk::asp {
 namespace {
@@ -202,6 +205,116 @@ TEST(Solver, StatsAreTracked) {
     auto result = must_solve("{ a }. { b }.");
     EXPECT_EQ(result.models.size(), 4u);
     EXPECT_GT(result.stats.decisions, 0u);
+}
+
+// --- Assumptions (the ground-once/solve-many idiom) ---------------------
+
+GroundProgram must_ground_text(std::string_view text) {
+    auto program = parse_program(text);
+    EXPECT_TRUE(program.ok()) << program.error();
+    auto grounded = ground(program.value());
+    EXPECT_TRUE(grounded.ok()) << grounded.error();
+    return grounded.ok() ? std::move(grounded).value() : GroundProgram{};
+}
+
+int must_atom_id(const GroundProgram& program, std::string_view atom_text) {
+    auto atom = parse_atom(atom_text);
+    EXPECT_TRUE(atom.ok()) << atom.error();
+    const int id = program.find(atom.value());
+    EXPECT_GE(id, 0) << atom_text << " not in ground program";
+    return id;
+}
+
+TEST(Solver, AssumptionPinsChoiceAtomTrue) {
+    auto grounded = must_ground_text("{ a }. b :- a.");
+    SolveOptions options;
+    options.assumptions = {{must_atom_id(grounded, "a"), true}};
+    auto result = solve(grounded, options);
+    ASSERT_TRUE(result.ok()) << result.error();
+    ASSERT_EQ(result.value().models.size(), 1u);
+    EXPECT_TRUE(model_has(result.value().models[0], "a"));
+    EXPECT_TRUE(model_has(result.value().models[0], "b"));
+}
+
+TEST(Solver, AssumptionPinsChoiceAtomFalse) {
+    // A pinned-false choice atom behaves exactly as if its fact had never
+    // been grounded: absent from every model, derivations disabled.
+    auto grounded = must_ground_text("{ a }. b :- a. c :- not a.");
+    SolveOptions options;
+    options.assumptions = {{must_atom_id(grounded, "a"), false}};
+    auto result = solve(grounded, options);
+    ASSERT_TRUE(result.ok()) << result.error();
+    ASSERT_EQ(result.value().models.size(), 1u);
+    EXPECT_FALSE(model_has(result.value().models[0], "a"));
+    EXPECT_FALSE(model_has(result.value().models[0], "b"));
+    EXPECT_TRUE(model_has(result.value().models[0], "c"));
+}
+
+TEST(Solver, AssumptionsPinWholeDomainPerSolve) {
+    // One grounding, many solves — each call re-pins the open domain.
+    auto grounded = must_ground_text("{ f(1) }. { f(2) }. broken :- f(1). broken :- f(2).");
+    const int f1 = must_atom_id(grounded, "f(1)");
+    const int f2 = must_atom_id(grounded, "f(2)");
+    for (const auto& [v1, v2] : std::vector<std::pair<bool, bool>>{
+             {false, false}, {true, false}, {false, true}, {true, true}}) {
+        SolveOptions options;
+        options.assumptions = {{f1, v1}, {f2, v2}};
+        auto result = solve(grounded, options);
+        ASSERT_TRUE(result.ok()) << result.error();
+        ASSERT_EQ(result.value().models.size(), 1u);
+        EXPECT_EQ(model_has(result.value().models[0], "f(1)"), v1);
+        EXPECT_EQ(model_has(result.value().models[0], "f(2)"), v2);
+        EXPECT_EQ(model_has(result.value().models[0], "broken"), v1 || v2);
+    }
+}
+
+TEST(Solver, ContradictoryAssumptionIsUnsatisfiable) {
+    auto grounded = must_ground_text("a.");
+    SolveOptions options;
+    options.assumptions = {{must_atom_id(grounded, "a"), false}};
+    auto result = solve(grounded, options);
+    ASSERT_TRUE(result.ok()) << result.error();
+    EXPECT_TRUE(result.value().models.empty());
+    EXPECT_FALSE(result.value().interrupt.has_value());
+}
+
+TEST(Solver, ConflictingAssumptionPairIsUnsatisfiable) {
+    auto grounded = must_ground_text("{ a }.");
+    const int a = must_atom_id(grounded, "a");
+    SolveOptions options;
+    options.assumptions = {{a, true}, {a, false}};
+    auto result = solve(grounded, options);
+    ASSERT_TRUE(result.ok()) << result.error();
+    EXPECT_TRUE(result.value().models.empty());
+}
+
+TEST(Solver, OutOfRangeAssumptionIsUnsatisfiableNotFatal) {
+    auto grounded = must_ground_text("{ a }.");
+    SolveOptions options;
+    options.assumptions = {{9999, true}};
+    auto result = solve(grounded, options);
+    ASSERT_TRUE(result.ok()) << result.error();
+    EXPECT_TRUE(result.value().models.empty());
+
+    options.assumptions = {{-1, false}};
+    auto negative = solve(grounded, options);
+    ASSERT_TRUE(negative.ok()) << negative.error();
+    EXPECT_TRUE(negative.value().models.empty());
+}
+
+TEST(Solver, AssumptionsDoNotLeakAcrossSolves) {
+    // The ground program is immutable: an assumed solve must not affect a
+    // later unassumed solve on the same grounding.
+    auto grounded = must_ground_text("{ a }.");
+    SolveOptions pinned;
+    pinned.assumptions = {{must_atom_id(grounded, "a"), true}};
+    auto first = solve(grounded, pinned);
+    ASSERT_TRUE(first.ok()) << first.error();
+    ASSERT_EQ(first.value().models.size(), 1u);
+
+    auto open = solve(grounded);
+    ASSERT_TRUE(open.ok()) << open.error();
+    EXPECT_EQ(open.value().models.size(), 2u);
 }
 
 }  // namespace

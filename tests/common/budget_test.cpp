@@ -2,7 +2,10 @@
 // trips (common/budget.hpp).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <thread>
+#include <vector>
 
 #include "common/budget.hpp"
 
@@ -99,6 +102,70 @@ TEST(BudgetTest, CancellationTripsBudget) {
 TEST(BudgetTest, ReasonStringsAreDistinct) {
     EXPECT_NE(to_string(BudgetReason::Deadline), to_string(BudgetReason::DecisionLimit));
     EXPECT_NE(to_string(BudgetReason::StepLimit), to_string(BudgetReason::Cancelled));
+}
+
+TEST(BudgetTest, ConcurrentChargesAreCounted) {
+    // The solver charges a shared budget from every worker lane of the
+    // scenario sweep; counters must not lose increments.
+    Budget budget;
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 5000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&budget] {
+            for (int i = 0; i < kPerThread; ++i) {
+                budget.charge_steps();
+                budget.charge_decisions();
+            }
+        });
+    }
+    for (std::thread& thread : threads) thread.join();
+    EXPECT_EQ(budget.stats().steps, static_cast<std::size_t>(kThreads) * kPerThread);
+    EXPECT_EQ(budget.stats().decisions, static_cast<std::size_t>(kThreads) * kPerThread);
+    EXPECT_FALSE(budget.tripped().has_value());
+}
+
+TEST(BudgetTest, ConcurrentTripIsRecordedOnce) {
+    // Many threads race past the quota; the first trip wins, stays sticky,
+    // and every thread observes the same reason afterwards.
+    Budget budget;
+    budget.set_max_decisions(100);
+    constexpr int kThreads = 8;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&budget] {
+            for (int i = 0; i < 1000; ++i) budget.charge_decisions();
+        });
+    }
+    for (std::thread& thread : threads) thread.join();
+    const auto exceeded = budget.tripped();
+    ASSERT_TRUE(exceeded.has_value());
+    EXPECT_EQ(exceeded->reason, BudgetReason::DecisionLimit);
+    // tripped() returns a snapshot by value, stable across calls.
+    EXPECT_EQ(budget.tripped()->stats.decisions, exceeded->stats.decisions);
+}
+
+TEST(BudgetTest, ConcurrentCancellationObservedByAllThreads) {
+    CancelToken token;
+    Budget budget;
+    budget.set_cancel_token(token);
+    std::atomic<int> tripped_threads{0};
+    constexpr int kThreads = 4;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            while (!budget.check().has_value()) std::this_thread::yield();
+            tripped_threads.fetch_add(1);
+        });
+    }
+    token.request_cancel();
+    for (std::thread& thread : threads) thread.join();
+    EXPECT_EQ(tripped_threads.load(), kThreads);
+    ASSERT_TRUE(budget.tripped().has_value());
+    EXPECT_EQ(budget.tripped()->reason, BudgetReason::Cancelled);
 }
 
 TEST(BudgetTest, ExceededToStringCarriesStats) {

@@ -18,7 +18,11 @@
 namespace cprisk::core {
 namespace {
 
-class FaultSweepFixture : public ::testing::Test {
+/// Parametrized over the worker count: every seam must degrade cleanly in
+/// both the sequential engine and under the thread pool (where the injected
+/// failure lands on a nondeterministic scenario — the soundness assertions
+/// below are schedule-independent by design).
+class FaultSweepFixture : public ::testing::TestWithParam<std::size_t> {
 protected:
     static void SetUpTestSuite() {
         auto built = WaterTankCaseStudy::build();
@@ -38,11 +42,12 @@ protected:
     void SetUp() override { fault::reset(); }
     void TearDown() override { fault::reset(); }
 
-    static AssessmentConfig config(const std::string& journal) {
+    AssessmentConfig config(const std::string& journal) const {
         AssessmentConfig c;
         c.horizon = cs_->horizon;
         c.include_attack_scenarios = false;
         c.journal_path = journal;
+        c.jobs = GetParam();
         return c;
     }
 
@@ -59,7 +64,7 @@ protected:
 WaterTankCaseStudy* FaultSweepFixture::cs_ = nullptr;
 RiskAssessment* FaultSweepFixture::assessment_ = nullptr;
 
-TEST_F(FaultSweepFixture, EveryFailureSeamDegradesCleanly) {
+TEST_P(FaultSweepFixture, EveryFailureSeamDegradesCleanly) {
     // A clean journaled reference run hits (and thereby registers) every
     // site; the sweep below therefore covers seams added later for free.
     const std::string reference_journal = ::testing::TempDir() + "cprisk_sweep_ref.jsonl";
@@ -117,7 +122,7 @@ TEST_F(FaultSweepFixture, EveryFailureSeamDegradesCleanly) {
     }
 }
 
-TEST_F(FaultSweepFixture, SolverFaultMidRunStillDecidesOtherScenarios) {
+TEST_P(FaultSweepFixture, SolverFaultMidRunStillDecidesOtherScenarios) {
     fault::arm("asp.solver.solve", 4);
     auto report = assessment_->run(config(""));
     fault::reset();
@@ -130,6 +135,11 @@ TEST_F(FaultSweepFixture, SolverFaultMidRunStillDecidesOtherScenarios) {
         EXPECT_EQ(*v.undetermined_reason, epa::UndeterminedReason::SolverError);
     }
 }
+
+INSTANTIATE_TEST_SUITE_P(Jobs, FaultSweepFixture, ::testing::Values(1u, 4u),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                             return "jobs" + std::to_string(info.param);
+                         });
 
 }  // namespace
 }  // namespace cprisk::core

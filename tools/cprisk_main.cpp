@@ -30,6 +30,8 @@
 //   --json FILE          write the full report as JSON
 //   --deadline-ms N      wall-clock budget for hazard identification
 //   --max-decisions N    per-solve decision budget
+//   --jobs N             worker threads for the scenario sweep (0 = auto);
+//                        reports and journals are identical for every N
 //   --journal FILE       append one JSONL verdict per scenario
 //   --resume             replay the journal, skipping finished scenarios
 #include <cerrno>
@@ -64,7 +66,7 @@ int usage() {
                  "                     [--attack-scenarios] [--no-cegar] [--budget N]\n"
                  "                     [--phase-budget N] [--markdown FILE] [--csv FILE]\n"
                  "                     [--json FILE] [--deadline-ms N] [--max-decisions N]\n"
-                 "                     [--journal FILE] [--resume]\n"
+                 "                     [--jobs N] [--journal FILE] [--resume]\n"
                  "       cprisk matrix\n");
     return 2;
 }
@@ -470,6 +472,8 @@ int cmd_assess(int argc, char** argv) {
             config.deadline_ms = value;
         } else if (flag == "--max-decisions" && next_value(value)) {
             config.max_decisions = static_cast<std::size_t>(value);
+        } else if (flag == "--jobs" && next_value(value)) {
+            config.jobs = static_cast<std::size_t>(value);  // 0 = hardware concurrency
         } else if (flag == "--journal" && i + 1 < argc) {
             config.journal_path = argv[++i];
         } else if (flag == "--resume") {
