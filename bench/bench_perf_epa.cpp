@@ -185,21 +185,33 @@ BENCHMARK(BM_SweepConfig)
     ->Args({1, 4})
     ->Args({1, 8});
 
-/// Wall-clock of one exhaustive sweep under the given configuration.
-double sweep_seconds(bool ground_once, std::size_t jobs) {
+/// Wall-clock of one exhaustive sweep under the given configuration. When
+/// `ctx` is non-null the run goes through the RunContext path (null trace
+/// and metrics sinks unless the caller attached some) — the configuration
+/// the <2% null-observability overhead budget is measured against.
+/// `legacy_budget` attaches a budget through the deprecated shim field
+/// instead, matching what the assessment pipeline always did pre-context.
+double sweep_seconds(bool ground_once, std::size_t jobs, RunContext* ctx = nullptr,
+                     int rounds = 3, Budget* legacy_budget = nullptr) {
     const int n = 8;
     auto m = chain_model(n);
     epa::EpaOptions options;
     options.focus = epa::AnalysisFocus::Topology;
     options.horizon = n + 1;
     options.ground_once = ground_once;
-    options.jobs = jobs;
+    if (ctx != nullptr) {
+        ctx->jobs = jobs;
+        options.ctx = ctx;
+    } else {
+        options.jobs = jobs;
+        options.budget = legacy_budget;
+    }
     auto analysis = epa::ErrorPropagationAnalysis::create(
         m, {epa::Requirement::no_error_reaches("c" + std::to_string(n - 1))}, {}, options);
     const auto space = sweep_space(48, n);
     (void)analysis.value().evaluate_all(space, {});  // warm-up
     double best = 0.0;
-    for (int round = 0; round < 3; ++round) {
+    for (int round = 0; round < rounds; ++round) {
         const auto start = std::chrono::steady_clock::now();
         auto verdicts = analysis.value().evaluate_all(space, {});
         benchmark::DoNotOptimize(verdicts);
@@ -209,6 +221,27 @@ double sweep_seconds(bool ground_once, std::size_t jobs) {
     return best;
 }
 
+/// Ratio of sweep wall-clock with a null-sink RunContext over the legacy
+/// path (deprecated budget/jobs fields, no context). Both arms charge an
+/// unlimited budget — the pipeline always did that pre-context — so the
+/// delta isolates the observability instrumentation: the Span/metric
+/// enabled() branches and the shim accessors, with nobody listening.
+/// Budget: < 1.02 (docs/observability.md).
+double null_obs_overhead() {
+    // Interleave A/B rounds so drift (thermal, page cache) hits both arms.
+    double plain = 0.0;
+    double with_ctx = 0.0;
+    for (int round = 0; round < 5; ++round) {
+        Budget unlimited;
+        const double p = sweep_seconds(true, 1, nullptr, 1, &unlimited);
+        RunContext ctx;
+        const double c = sweep_seconds(true, 1, &ctx, 1);
+        if (round == 0 || p < plain) plain = p;
+        if (round == 0 || c < with_ctx) with_ctx = c;
+    }
+    return with_ctx / plain;
+}
+
 /// Times every sweep configuration and writes BENCH_epa.json.
 void write_sweep_json() {
     const double seed = sweep_seconds(false, 1);
@@ -216,6 +249,7 @@ void write_sweep_json() {
     const double jobs2 = sweep_seconds(true, 2);
     const double jobs4 = sweep_seconds(true, 4);
     const double jobs8 = sweep_seconds(true, 8);
+    const double obs_overhead = null_obs_overhead();
 
     std::FILE* out = std::fopen("BENCH_epa.json", "w");
     if (out == nullptr) {
@@ -232,12 +266,15 @@ void write_sweep_json() {
                  "  \"ground_once_jobs4_s\": %.6f,\n"
                  "  \"ground_once_jobs8_s\": %.6f,\n"
                  "  \"speedup_ground_once_alone\": %.2f,\n"
-                 "  \"speedup_jobs8_vs_seed\": %.2f\n"
+                 "  \"speedup_jobs8_vs_seed\": %.2f,\n"
+                 "  \"obs_null_overhead\": %.4f\n"
                  "}\n",
-                 seed, cache_only, jobs2, jobs4, jobs8, seed / cache_only, seed / jobs8);
+                 seed, cache_only, jobs2, jobs4, jobs8, seed / cache_only, seed / jobs8,
+                 obs_overhead);
     std::fclose(out);
-    std::printf("BENCH_epa.json: ground-once alone %.2fx, jobs=8 vs seed %.2fx\n",
-                seed / cache_only, seed / jobs8);
+    std::printf("BENCH_epa.json: ground-once alone %.2fx, jobs=8 vs seed %.2fx, "
+                "null-obs overhead %.4fx\n",
+                seed / cache_only, seed / jobs8, obs_overhead);
 }
 
 }  // namespace

@@ -5,10 +5,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "core/watertank.hpp"
-#include "security/attack_graph.hpp"
-#include "security/threat_actor.hpp"
-#include "uncertainty/rough_set.hpp"
+#include "cprisk.hpp"
 
 using namespace cprisk;
 

@@ -14,10 +14,9 @@
 // must be rebuilt per top event.
 #include <cstdio>
 
-#include "core/watertank.hpp"
+#include "cprisk.hpp"
 #include "fta/fault_tree.hpp"
 #include "markov/chain.hpp"
-#include "security/threat_actor.hpp"
 
 using namespace cprisk;
 

@@ -6,7 +6,7 @@
 // Requirement: no error may ever reach the pump.
 #include <cstdio>
 
-#include "epa/epa.hpp"
+#include "cprisk.hpp"
 
 using namespace cprisk;
 

@@ -4,9 +4,7 @@
 // existence the analyst is unsure about.
 #include <cstdio>
 
-#include "core/assessment.hpp"
-#include "core/reactor.hpp"
-#include "epa/uncertain.hpp"
+#include "cprisk.hpp"
 
 using namespace cprisk;
 

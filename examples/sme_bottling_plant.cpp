@@ -7,9 +7,7 @@
 // hardening roadmap an SME would actually execute.
 #include <cstdio>
 
-#include "core/assessment.hpp"
-#include "model/component_library.hpp"
-#include "security/threat_actor.hpp"
+#include "cprisk.hpp"
 
 using namespace cprisk;
 

@@ -4,8 +4,7 @@
 // and the budget-constrained multi-phase mitigation plan.
 #include <cstdio>
 
-#include "core/assessment.hpp"
-#include "core/watertank.hpp"
+#include "cprisk.hpp"
 
 using namespace cprisk;
 

@@ -850,9 +850,16 @@ Result<GroundProgram> ground(const ProgramParts& parts, const GrounderOptions& o
         return Result<GroundProgram>::failure(
             "grounder: injected fault (site asp.grounder.ground)");
     }
+    obs::Span span(options.trace, "asp.ground", "ground");
     try {
         Grounder grounder(parts, options);
-        return grounder.run();
+        GroundProgram program = grounder.run();
+        span.arg("rules", static_cast<long long>(program.rules().size()));
+        span.arg("atoms", static_cast<long long>(program.atom_count()));
+        obs::add_counter(options.metrics, "asp.ground.calls");
+        obs::add_counter(options.metrics, "asp.ground.rules", program.rules().size());
+        obs::add_counter(options.metrics, "asp.ground.atoms", program.atom_count());
+        return program;
     } catch (const GroundError& e) {
         return Result<GroundProgram>::failure(e.what());
     }

@@ -13,6 +13,8 @@
 #include "asp/syntax.hpp"
 #include "common/budget.hpp"
 #include "common/result.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace cprisk::asp {
 
@@ -30,6 +32,12 @@ struct GrounderOptions {
     /// round. Produces the same GroundProgram as the global fixpoint (same
     /// atoms, rules, and weak constraints; emission order may differ).
     bool scc_order = true;
+    /// Observability (docs/observability.md): one "asp.ground" span per
+    /// call plus asp.ground.* counters recorded after the fixpoint — the
+    /// hot grounding loops themselves are never instrumented. Both borrowed;
+    /// nullptr disables. Usually threaded from RunContext by the caller.
+    obs::TraceSink* trace = nullptr;
+    obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Grounds `program`. Temporal programs must be unrolled first (see

@@ -759,9 +759,25 @@ Result<SolveResult> solve(const GroundProgram& program, const SolveOptions& opti
     if (fault::should_fail("asp.solver.solve")) {
         return Result<SolveResult>::failure("solver: injected fault (site asp.solver.solve)");
     }
+    obs::Span span(options.trace, "asp.solve", "solve");
     try {
         SolverImpl solver(program, options);
-        return solver.run();
+        Result<SolveResult> result = solver.run();
+        if (result.ok()) {
+            const SolveStats& stats = result.value().stats;
+            span.arg("decisions", static_cast<long long>(stats.decisions));
+            span.arg("conflicts", static_cast<long long>(stats.conflicts));
+            span.arg("models", static_cast<long long>(result.value().models.size()));
+            obs::add_counter(options.metrics, "asp.solve.calls");
+            obs::add_counter(options.metrics, "asp.solve.decisions", stats.decisions);
+            obs::add_counter(options.metrics, "asp.solve.conflicts", stats.conflicts);
+            obs::add_counter(options.metrics, "asp.solve.propagations", stats.propagations);
+            obs::add_counter(options.metrics, "asp.solve.models", result.value().models.size());
+            if (result.value().interrupt.has_value()) {
+                obs::add_counter(options.metrics, "asp.solve.interrupts");
+            }
+        }
+        return result;
     } catch (const Error& e) {
         return Result<SolveResult>::failure(e.what());
     }

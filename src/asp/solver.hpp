@@ -29,6 +29,8 @@
 #include "asp/term.hpp"
 #include "common/budget.hpp"
 #include "common/result.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace cprisk::asp {
 
@@ -70,6 +72,12 @@ struct SolveOptions {
     /// Contradictory or out-of-range atom ids make the program trivially
     /// unsatisfiable.
     std::vector<std::pair<int, bool>> assumptions;
+    /// Observability (docs/observability.md): one "asp.solve" span per call
+    /// plus asp.solve.* counters recorded from the final SolveStats — the
+    /// DPLL inner loop is never instrumented. Both borrowed; nullptr
+    /// disables. Usually threaded from RunContext by the caller.
+    obs::TraceSink* trace = nullptr;
+    obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct SolveStats {

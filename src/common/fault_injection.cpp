@@ -1,71 +1,55 @@
 #include "common/fault_injection.hpp"
 
-#include <map>
-#include <mutex>
-
 namespace cprisk::fault {
 
-namespace {
-
-struct Site {
-    std::size_t hits = 0;
-    int countdown = 0;  ///< 0 = disarmed; fires when a hit decrements it to 0
-};
-
-struct Registry {
-    std::mutex mutex;
-    std::map<std::string, Site> sites;
-};
-
-Registry& registry() {
-    static Registry instance;
-    return instance;
-}
-
-}  // namespace
-
-bool should_fail(const char* site) {
-    Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
-    Site& s = r.sites[site];
+bool FaultInjectionRegistry::should_fail(const char* site) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Site& s = sites_[site];
     ++s.hits;
     return s.countdown > 0 && --s.countdown == 0;
 }
 
-void arm(const std::string& site, int countdown) {
+void FaultInjectionRegistry::arm(const std::string& site, int countdown) {
     if (countdown <= 0) return;
-    Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
-    r.sites[site].countdown = countdown;
+    std::lock_guard<std::mutex> lock(mutex_);
+    sites_[site].countdown = countdown;
 }
 
-void reset() {
-    Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
-    for (auto& [name, site] : r.sites) {
+void FaultInjectionRegistry::reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, site] : sites_) {
         (void)name;
         site.countdown = 0;
         site.hits = 0;
     }
 }
 
-std::vector<std::string> registered_sites() {
-    Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+std::vector<std::string> FaultInjectionRegistry::registered_sites() const {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::vector<std::string> names;
-    names.reserve(r.sites.size());
-    for (const auto& [name, site] : r.sites) {
+    names.reserve(sites_.size());
+    for (const auto& [name, site] : sites_) {
         (void)site;
         names.push_back(name);
     }
     return names;  // std::map iterates sorted
 }
 
-std::size_t hits(const std::string& site) {
-    Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
-    auto it = r.sites.find(site);
-    return it == r.sites.end() ? 0 : it->second.hits;
+std::size_t FaultInjectionRegistry::hits(const std::string& site) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sites_.find(site);
+    return it == sites_.end() ? 0 : it->second.hits;
 }
+
+FaultInjectionRegistry& global_registry() {
+    static FaultInjectionRegistry instance;
+    return instance;
+}
+
+bool should_fail(const char* site) { return global_registry().should_fail(site); }
+void arm(const std::string& site, int countdown) { global_registry().arm(site, countdown); }
+void reset() { global_registry().reset(); }
+std::vector<std::string> registered_sites() { return global_registry().registered_sites(); }
+std::size_t hits(const std::string& site) { return global_registry().hits(site); }
 
 }  // namespace cprisk::fault

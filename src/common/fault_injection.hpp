@@ -12,28 +12,63 @@
 //
 // Sites self-register on first hit, so a clean reference run discovers the
 // complete site list for the sweep; nothing to keep in sync by hand.
+//
+// The process-wide registry is an ordinary FaultInjectionRegistry instance
+// (global_registry()); RunContext carries a pointer to it so harness code
+// can arm and inspect sites through the same context object that bundles
+// the run's budget and observability sinks (obs/run_context.hpp). The
+// free functions below remain the seam-facing API and always hit the
+// global registry.
 #pragma once
 
+#include <cstddef>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace cprisk::fault {
 
-/// True when `site` is armed and its count-down reached zero on this hit.
-/// Fires at most once per arm() (the trigger disarms itself). Also registers
-/// the site and counts the hit.
+/// Count-down fault triggers keyed by site name. All methods are
+/// thread-safe.
+class FaultInjectionRegistry {
+public:
+    /// True when `site` is armed and its count-down reached zero on this
+    /// hit. Fires at most once per arm() (the trigger disarms itself). Also
+    /// registers the site and counts the hit.
+    bool should_fail(const char* site);
+
+    /// Arms `site` to fail on its `countdown`-th upcoming hit (1 = next hit).
+    void arm(const std::string& site, int countdown = 1);
+
+    /// Disarms every site and resets hit counters. Site registration
+    /// survives.
+    void reset();
+
+    /// Every site encountered (or armed) so far, sorted.
+    std::vector<std::string> registered_sites() const;
+
+    /// Hits recorded for `site` since the last reset(); 0 when never hit.
+    std::size_t hits(const std::string& site) const;
+
+private:
+    struct Site {
+        std::size_t hits = 0;
+        int countdown = 0;  ///< 0 = disarmed; fires when a hit decrements it to 0
+    };
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Site> sites_;
+};
+
+/// The process-wide registry every seam consults.
+FaultInjectionRegistry& global_registry();
+
+/// Seam-facing shorthands over global_registry().
 bool should_fail(const char* site);
-
-/// Arms `site` to fail on its `countdown`-th upcoming hit (1 = next hit).
 void arm(const std::string& site, int countdown = 1);
-
-/// Disarms every site and resets hit counters. Site registration survives.
 void reset();
-
-/// Every site encountered (or armed) so far in this process, sorted.
 std::vector<std::string> registered_sites();
-
-/// Hits recorded for `site` since the last reset(); 0 when never hit.
 std::size_t hits(const std::string& site);
 
 }  // namespace cprisk::fault

@@ -73,6 +73,14 @@ TextTable AssessmentReport::mitigation_table() const {
     return table;
 }
 
+TextTable AssessmentReport::timing_table() const {
+    TextTable table({"Phase", "Wall ms"});
+    for (const PhaseTiming& timing : phase_timings) {
+        table.add_row({timing.phase, std::to_string(timing.ms)});
+    }
+    return table;
+}
+
 TextTable AssessmentReport::completeness_table() const {
     TextTable table({"Scenario", "Reason", "Decisions", "Conflicts", "Detail"});
     for (const epa::ScenarioVerdict& verdict : undetermined) {
@@ -101,17 +109,44 @@ RiskAssessment::RiskAssessment(const model::SystemModel& system,
       catalog_(catalog) {}
 
 Result<AssessmentReport> RiskAssessment::run(const AssessmentConfig& config) const {
+    // Compatibility shim: pre-RunContext callers configure everything on the
+    // config; reproduce that exactly (no tracing, no metrics, own pool).
+    RunContext ctx;
+    ctx.jobs = config.jobs;
+    return run(config, ctx);
+}
+
+Result<AssessmentReport> RiskAssessment::run(const AssessmentConfig& config,
+                                             RunContext& ctx) const {
     AssessmentReport report;
     report.component_count = system_->component_count();
     report.relation_count = system_->relation_count();
+
+    using Clock = std::chrono::steady_clock;
+    const auto record_phase = [&](const char* phase, Clock::time_point since) {
+        const long long ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                 Clock::now() - since)
+                                 .count();
+        report.phase_timings.push_back(PhaseTiming{phase, ms});
+        obs::set_gauge(ctx.metrics, "assess.phase_ms." + std::string(phase), ms);
+    };
 
     // Step 2: candidate mutations / scenario space.
     security::ScenarioSpaceOptions space_options;
     space_options.max_simultaneous_faults = config.max_simultaneous_faults;
     space_options.include_attack_scenarios = config.include_attack_scenarios;
-    const security::ScenarioSpace space = security::ScenarioSpace::build(
-        *system_, *matrix_, security::standard_threat_actors(), space_options, catalog_);
+    auto phase_start = Clock::now();
+    std::optional<security::ScenarioSpace> built_space;
+    {
+        obs::Span span(ctx.trace, "assess.scenario_space", "phase");
+        built_space.emplace(security::ScenarioSpace::build(
+            *system_, *matrix_, security::standard_threat_actors(), space_options, catalog_));
+        span.arg("scenarios", static_cast<long long>(built_space->size()));
+    }
+    record_phase("scenario_space", phase_start);
+    const security::ScenarioSpace& space = *built_space;
     report.scenario_count = space.size();
+    obs::add_counter(ctx.metrics, "assess.scenarios", space.size());
 
     // Steps 3-5: reasoning, hazard identification, CEGAR refinement.
     std::vector<hierarchy::CegarStage> stages;
@@ -122,16 +157,14 @@ Result<AssessmentReport> RiskAssessment::run(const AssessmentConfig& config) con
     stages.push_back(hierarchy::CegarStage{"behavioral", system_, epa::AnalysisFocus::Behavioral,
                                            behavioral_requirements_, config.horizon});
 
-    Budget run_budget;
     if (config.deadline_ms > 0) {
-        run_budget.set_deadline_after(std::chrono::milliseconds(config.deadline_ms));
+        ctx.budget.set_deadline_after(std::chrono::milliseconds(config.deadline_ms));
     }
-    if (config.cancel) run_budget.set_cancel_token(*config.cancel);
+    if (config.cancel) ctx.budget.set_cancel_token(*config.cancel);
 
     hierarchy::CegarOptions cegar_options;
     cegar_options.max_decisions = config.max_decisions;
-    cegar_options.budget = &run_budget;
-    cegar_options.jobs = config.jobs;
+    cegar_options.ctx = &ctx;
 
     // Checkpoint/resume: previously journaled verdicts are replayed instead
     // of re-evaluated; fresh verdicts are appended as they complete.
@@ -176,8 +209,15 @@ Result<AssessmentReport> RiskAssessment::run(const AssessmentConfig& config) con
         };
     }
 
-    auto cegar = hierarchy::run_cegar(stages, space, *mitigations_, config.active_mitigations,
-                                      cegar_options);
+    phase_start = Clock::now();
+    std::optional<Result<hierarchy::CegarResult>> cegar_result;
+    {
+        obs::Span span(ctx.trace, "assess.cegar", "phase");
+        cegar_result.emplace(hierarchy::run_cegar(stages, space, *mitigations_,
+                                                  config.active_mitigations, cegar_options));
+    }
+    record_phase("cegar", phase_start);
+    const Result<hierarchy::CegarResult>& cegar = *cegar_result;
     if (!cegar.ok()) return Result<AssessmentReport>::failure(cegar.error());
     report.hazards = cegar.value().confirmed;
     report.undetermined = cegar.value().undetermined;
@@ -189,6 +229,8 @@ Result<AssessmentReport> RiskAssessment::run(const AssessmentConfig& config) con
     }
 
     // Step 6: quantitative (rough-granular) risk analysis.
+    phase_start = Clock::now();
+    obs::Span risk_span(ctx.trace, "assess.risk", "phase");
     for (const epa::ScenarioVerdict& hazard : report.hazards) {
         ScenarioRisk risk;
         risk.scenario_id = hazard.scenario_id;
@@ -205,32 +247,57 @@ Result<AssessmentReport> RiskAssessment::run(const AssessmentConfig& config) con
                   if (a.risk != b.risk) return b.risk < a.risk;
                   return a.scenario_id < b.scenario_id;
               });
+    risk_span.close();
+    record_phase("risk", phase_start);
 
     // Step 7: mitigation strategy.
-    const mitigation::MitigationProblem problem = mitigation::MitigationProblem::build(
-        space, report.hazards, *matrix_, *mitigations_, config.loss_scale);
-    mitigation::OptimizerOptions optimizer_options;
-    optimizer_options.budget = config.budget;
-    report.selection = mitigation::optimize_exact(problem, optimizer_options);
-    if (config.phase_budget > 0) {
-        report.phases = mitigation::plan_phases(problem, config.phase_budget);
+    phase_start = Clock::now();
+    {
+        obs::Span span(ctx.trace, "assess.mitigation", "phase");
+        const mitigation::MitigationProblem problem = mitigation::MitigationProblem::build(
+            space, report.hazards, *matrix_, *mitigations_, config.loss_scale);
+        mitigation::OptimizerOptions optimizer_options;
+        optimizer_options.budget = config.budget;
+        optimizer_options.ctx = &ctx;
+        report.selection = mitigation::optimize_exact(problem, optimizer_options);
+        if (config.phase_budget > 0) {
+            report.phases = mitigation::plan_phases(problem, config.phase_budget);
+        }
     }
+    record_phase("mitigation", phase_start);
+
+    obs::add_counter(ctx.metrics, "assess.hazards", report.hazards.size());
+    obs::add_counter(ctx.metrics, "assess.undetermined", report.undetermined.size());
+    const BudgetStats budget_stats = ctx.budget.stats();
+    obs::set_gauge(ctx.metrics, "budget.steps", static_cast<long long>(budget_stats.steps));
+    obs::set_gauge(ctx.metrics, "budget.decisions",
+                   static_cast<long long>(budget_stats.decisions));
+    obs::set_gauge(ctx.metrics, "budget.elapsed_ms",
+                   static_cast<long long>(budget_stats.elapsed.count()));
     return report;
 }
 
 Result<std::vector<epa::ScenarioVerdict>> RiskAssessment::evaluate_scenarios(
     const std::vector<security::AttackScenario>& scenarios,
-    const std::vector<std::string>& active_mitigations, int horizon, std::size_t jobs) const {
+    const std::vector<std::string>& active_mitigations, int horizon, RunContext& ctx) const {
     epa::EpaOptions options;
     options.focus = epa::AnalysisFocus::Behavioral;
     options.horizon = horizon;
-    options.jobs = jobs;
+    options.ctx = &ctx;
     auto epa = epa::ErrorPropagationAnalysis::create(*system_, behavioral_requirements_,
                                                      *mitigations_, options);
     if (!epa.ok()) return Result<std::vector<epa::ScenarioVerdict>>::failure(epa.error());
 
     security::ScenarioSpace space(scenarios);
     return epa.value().evaluate_all(space, active_mitigations);
+}
+
+Result<std::vector<epa::ScenarioVerdict>> RiskAssessment::evaluate_scenarios(
+    const std::vector<security::AttackScenario>& scenarios,
+    const std::vector<std::string>& active_mitigations, int horizon, std::size_t jobs) const {
+    RunContext ctx;
+    ctx.jobs = jobs;
+    return evaluate_scenarios(scenarios, active_mitigations, horizon, ctx);
 }
 
 }  // namespace cprisk::core

@@ -20,10 +20,16 @@
 #include "common/table.hpp"
 #include "hierarchy/evaluation_matrix.hpp"
 #include "mitigation/optimizer.hpp"
+#include "obs/run_context.hpp"
 #include "risk/iec61508.hpp"
 #include "risk/ora.hpp"
 
 namespace cprisk::core {
+
+/// RunContext lives in the base `cprisk` namespace (obs/run_context.hpp) so
+/// the lower pipeline layers can use it without depending on core; this
+/// alias makes the documented `core::RunContext` spelling work too.
+using ::cprisk::RunContext;
 
 /// Step-6 output for one confirmed hazard.
 struct ScenarioRisk {
@@ -49,6 +55,9 @@ struct AssessmentConfig {
 
     // Resource governance (see docs/robustness.md). Exhausted budgets do
     // not fail the run: affected scenarios are reported Undetermined.
+    // deadline_ms and cancel are applied to the RunContext's budget at the
+    // start of run(); with the two-argument run() overload they may instead
+    // be configured directly on ctx.budget and left zero here.
     long long deadline_ms = 0;       ///< wall-clock deadline for steps 3-5 (0 = none)
     std::size_t max_decisions = 0;   ///< per-solve decision cap (0 = solver default)
     std::optional<CancelToken> cancel;  ///< external cancellation
@@ -57,12 +66,23 @@ struct AssessmentConfig {
     std::string journal_path;  ///< non-empty: append one JSONL verdict per scenario
     bool resume = false;       ///< replay the journal, skipping finished scenarios
 
-    /// Worker lanes for the scenario sweep (0 = hardware concurrency). The
-    /// value never changes results, reports, or journal bytes — verdicts are
-    /// merged in scenario order — so it is deliberately NOT part of the
-    /// journal's config echo and a journal can be resumed under a different
-    /// job count. See docs/performance.md.
+    /// DEPRECATED — pre-RunContext shim, read only by the one-argument
+    /// run(config) overload to seed the context it builds; the two-argument
+    /// overload uses ctx.jobs. Worker lanes for the scenario sweep (0 =
+    /// hardware concurrency). The value never changes results, reports, or
+    /// journal bytes — verdicts are merged in scenario order — so it is
+    /// deliberately NOT part of the journal's config echo and a journal can
+    /// be resumed under a different job count. See docs/performance.md.
     std::size_t jobs = 1;
+};
+
+/// Wall-clock duration of one pipeline phase (steps 2, 3-5, 6, 7). Timings
+/// are observability data: schedule- and machine-dependent, so report
+/// renderings include them only on request (ReportOptions::include_timings)
+/// and never in the byte-stable JSON export.
+struct PhaseTiming {
+    std::string phase;  ///< "scenario_space", "cegar", "risk", "mitigation"
+    long long ms = 0;
 };
 
 struct AssessmentReport {
@@ -87,6 +107,8 @@ struct AssessmentReport {
     // Step 7.
     mitigation::Selection selection;
     std::vector<mitigation::Phase> phases;
+    /// Per-phase wall-clock timings, in pipeline order (see PhaseTiming).
+    std::vector<PhaseTiming> phase_timings;
 
     /// True when every scenario was decided (the run is exhaustive).
     bool complete() const { return undetermined.empty(); }
@@ -96,6 +118,8 @@ struct AssessmentReport {
     TextTable mitigation_table() const;
     /// Undetermined scenarios with their reasons and solver stats.
     TextTable completeness_table() const;
+    /// Per-phase wall-clock timings (empty table when none were recorded).
+    TextTable timing_table() const;
 };
 
 class RiskAssessment {
@@ -108,12 +132,26 @@ public:
                    const security::AttackMatrix& matrix, const epa::MitigationMap& mitigations,
                    const security::SecurityCatalog* catalog = nullptr);
 
-    /// Runs the full pipeline.
+    /// Runs the full pipeline under `ctx`: ctx carries the budget, worker
+    /// pool, trace sink, and metrics registry for the whole run
+    /// (docs/observability.md). config.deadline_ms / config.cancel, when
+    /// set, are applied to ctx.budget before the pipeline starts. The
+    /// context must outlive the call.
+    Result<AssessmentReport> run(const AssessmentConfig& config, RunContext& ctx) const;
+
+    /// Compatibility overload: builds a RunContext from the config's
+    /// deprecated `jobs` shim (no tracing, no metrics) and delegates.
     Result<AssessmentReport> run(const AssessmentConfig& config = {}) const;
 
     /// Steps 4-6 for a fixed scenario list (used by the Table II bench).
-    /// `jobs` as in AssessmentConfig::jobs; verdict order is always the
-    /// scenario order.
+    /// Verdict order is always the scenario order.
+    Result<std::vector<epa::ScenarioVerdict>> evaluate_scenarios(
+        const std::vector<security::AttackScenario>& scenarios,
+        const std::vector<std::string>& active_mitigations, int horizon,
+        RunContext& ctx) const;
+
+    /// Compatibility overload; `jobs` as the deprecated AssessmentConfig
+    /// shim.
     Result<std::vector<epa::ScenarioVerdict>> evaluate_scenarios(
         const std::vector<security::AttackScenario>& scenarios,
         const std::vector<std::string>& active_mitigations, int horizon,

@@ -129,6 +129,12 @@ std::string render_markdown(const AssessmentReport& report, const ReportOptions&
         md += markdown_table(report.mitigation_table());
         md += "\n";
     }
+
+    if (options.include_timings && !report.phase_timings.empty()) {
+        md += "## Phase timings (wall clock)\n\n";
+        md += markdown_table(report.timing_table());
+        md += "\n";
+    }
     return md;
 }
 

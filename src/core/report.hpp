@@ -35,6 +35,12 @@ std::vector<ParameterCriticality> analyze_parameter_criticality(const Assessment
 struct ReportOptions {
     bool include_sensitivity = true;
     bool include_cegar_trace = true;
+    /// Append the per-phase wall-clock timing section. Default off: timings
+    /// are machine-dependent, and the rendered markdown must stay
+    /// byte-identical across --jobs settings and resumed runs (the CI
+    /// byte-compares reports). The CLI enables this only when observability
+    /// was explicitly requested (--trace/--metrics).
+    bool include_timings = false;
     std::string title = "Preliminary risk assessment";
 };
 

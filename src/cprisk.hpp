@@ -1,0 +1,59 @@
+// cprisk.hpp — umbrella header: the framework's stable public surface.
+//
+// Embedding applications include this one header and work against the
+// documented API (see README "Library use"):
+//
+//   #include "cprisk.hpp"
+//
+//   cprisk::core::RiskAssessment assessment(...);
+//   cprisk::RunContext ctx;                 // budget/jobs/trace/metrics
+//   auto report = assessment.run(config, ctx);
+//   std::string md = cprisk::core::render_markdown(report.value());
+//
+// Everything reachable from here follows the deprecation policy in
+// CHANGES.md: fields and signatures are shimmed for one release before
+// removal. Internal layers (asp solver internals, analysis passes, lint
+// rule packs) are deliberately NOT exported; include their headers directly
+// at your own risk.
+#pragma once
+
+// Model building and the qualitative scale.
+#include "model/component_library.hpp"
+#include "model/system_model.hpp"
+#include "qualitative/level.hpp"
+
+// Security model: attack matrices, scenario spaces, threat actors.
+#include "security/attack_graph.hpp"
+#include "security/attack_matrix.hpp"
+#include "security/scenario.hpp"
+#include "security/threat_actor.hpp"
+
+// Error propagation analysis and requirements.
+#include "epa/epa.hpp"
+#include "epa/requirement.hpp"
+#include "epa/uncertain.hpp"
+
+// Hierarchical refinement and mitigation optimization.
+#include "hierarchy/cegar.hpp"
+#include "mitigation/optimizer.hpp"
+
+// Risk rating (O-RA Table I, IEC 61508) and uncertainty handling.
+#include "risk/iec61508.hpp"
+#include "risk/ora.hpp"
+#include "uncertainty/rough_set.hpp"
+
+// The seven-step pipeline facade, bundle loader, report renderers, and the
+// built-in case studies.
+#include "core/assessment.hpp"
+#include "core/loader.hpp"
+#include "core/reactor.hpp"
+#include "core/report.hpp"
+#include "core/watertank.hpp"
+
+// Cross-cutting run state and observability (RunContext, trace sinks,
+// metrics registry), resource governance, and result/error plumbing.
+#include "common/budget.hpp"
+#include "common/result.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_context.hpp"
+#include "obs/trace.hpp"

@@ -156,8 +156,11 @@ std::shared_ptr<const GroundedBase> try_ground_base(const model::SystemModel& mo
     }
 
     const asp::ProgramParts parts{&base_program, &delta};
+    obs::Span span(options.trace_sink(), "epa.ground_base", "ground");
     asp::GrounderOptions grounder_options;
-    grounder_options.budget = options.budget;
+    grounder_options.budget = options.effective_budget();
+    grounder_options.trace = options.trace_sink();
+    grounder_options.metrics = options.metrics_sink();
     asp::Program unrolled;
     asp::ProgramParts effective = parts;
     if (base_program.is_temporal() || delta.is_temporal()) {
@@ -170,6 +173,7 @@ std::shared_ptr<const GroundedBase> try_ground_base(const model::SystemModel& mo
     }
     auto grounded = asp::ground(effective, grounder_options);
     if (!grounded.ok()) return nullptr;
+    obs::add_counter(options.metrics_sink(), "epa.ground_cache.built");
 
     auto base = std::make_shared<GroundedBase>();
     base->program = std::move(grounded).value();
@@ -293,16 +297,25 @@ Result<ScenarioVerdict> ErrorPropagationAnalysis::evaluate(
     verdict.active_mitigations = active_mitigations;
     verdict.likelihood = scenario.likelihood;
 
+    // Scenario-scoped span: nested asp.ground/asp.solve spans inherit this
+    // scenario id through the thread-local scope stack, so the exported
+    // trace groups per scenario deterministically at any --jobs.
+    obs::Span span(options_.trace_sink(), "epa.evaluate", "scenario", scenario.id);
+
     if (auto assumptions = cached_assumptions(scenario, active_mitigations)) {
         // Cached path: no per-scenario grounding at all — one solve over the
         // shared ground program with the delta domain pinned.
+        obs::add_counter(options_.metrics_sink(), "epa.ground_cache.hits");
         asp::SolveOptions solve_options;
         if (options_.max_decisions != 0) solve_options.max_decisions = options_.max_decisions;
-        solve_options.budget = options_.budget;
+        solve_options.budget = options_.effective_budget();
+        solve_options.trace = options_.trace_sink();
+        solve_options.metrics = options_.metrics_sink();
         solve_options.assumptions = std::move(*assumptions);
         return finish_verdict(std::move(verdict),
                               asp::solve(grounded_base_->program, solve_options));
     }
+    obs::add_counter(options_.metrics_sink(), "epa.ground_cache.misses");
 
     // Full-reground path: the shared base program rides along as an
     // immutable part; only the tiny delta (scenario facts) is built here.
@@ -324,8 +337,12 @@ Result<ScenarioVerdict> ErrorPropagationAnalysis::evaluate(
     asp::PipelineOptions pipeline;
     pipeline.horizon = options_.horizon;
     if (options_.max_decisions != 0) pipeline.solve.max_decisions = options_.max_decisions;
-    pipeline.solve.budget = options_.budget;
-    pipeline.grounder.budget = options_.budget;
+    pipeline.solve.budget = options_.effective_budget();
+    pipeline.solve.trace = options_.trace_sink();
+    pipeline.solve.metrics = options_.metrics_sink();
+    pipeline.grounder.budget = options_.effective_budget();
+    pipeline.grounder.trace = options_.trace_sink();
+    pipeline.grounder.metrics = options_.metrics_sink();
     return finish_verdict(std::move(verdict),
                           asp::solve_program(asp::ProgramParts{&base_program_, &delta},
                                              pipeline));
@@ -341,6 +358,7 @@ Result<ScenarioVerdict> ErrorPropagationAnalysis::finish_verdict(
         verdict.status = VerdictStatus::Undetermined;
         verdict.undetermined_reason = UndeterminedReason::SolverError;
         verdict.undetermined_detail = "scenario " + scenario_id + ": " + solved.error();
+        obs::add_counter(options_.metrics_sink(), "epa.scenarios.undetermined");
         return verdict;
     }
     const asp::SolveResult& result = solved.value();
@@ -413,14 +431,19 @@ Result<ScenarioVerdict> ErrorPropagationAnalysis::finish_verdict(
     // An interrupted search is still existentially sound: a violation found
     // in an enumerated model is a real hazard. Only the absence of a
     // violation is inconclusive under a partial enumeration.
+    obs::observe(options_.metrics_sink(), "epa.solve.decisions", verdict.solver_stats.decisions);
     if (result.interrupt && !verdict.any_violation()) {
         verdict.status = VerdictStatus::Undetermined;
         verdict.undetermined_reason = undetermined_reason_from(result.interrupt->reason);
         verdict.undetermined_detail =
             "scenario " + scenario_id + ": " + result.interrupt->to_string();
+        obs::add_counter(options_.metrics_sink(), "epa.scenarios.undetermined");
         return verdict;
     }
     verdict.status = verdict.any_violation() ? VerdictStatus::Hazard : VerdictStatus::Safe;
+    obs::add_counter(options_.metrics_sink(), verdict.status == VerdictStatus::Hazard
+                                                  ? "epa.scenarios.hazard"
+                                                  : "epa.scenarios.safe");
     return verdict;
 }
 
@@ -450,8 +473,10 @@ Result<std::vector<ScenarioVerdict>> ErrorPropagationAnalysis::evaluate_all(
     const security::ScenarioSpace& space,
     const std::vector<std::string>& active_mitigations) const {
     const std::vector<security::AttackScenario>& scenarios = space.scenarios();
-    const std::size_t jobs =
-        std::min(ThreadPool::resolve(options_.jobs), std::max<std::size_t>(scenarios.size(), 1));
+    const std::size_t jobs = std::min(ThreadPool::resolve(options_.effective_jobs()),
+                                      std::max<std::size_t>(scenarios.size(), 1));
+    obs::set_gauge(options_.metrics_sink(), "epa.pool.batch",
+                   static_cast<long long>(scenarios.size()));
     if (jobs <= 1) {
         std::vector<ScenarioVerdict> verdicts;
         verdicts.reserve(scenarios.size());
@@ -467,8 +492,13 @@ Result<std::vector<ScenarioVerdict>> ErrorPropagationAnalysis::evaluate_all(
 
     // Parallel sweep: workers fill slots indexed by scenario, the merge
     // walks them in scenario order — results are independent of the job
-    // count and of completion order (docs/performance.md).
-    ThreadPool pool(jobs);
+    // count and of completion order (docs/performance.md). With a RunContext
+    // the run's shared pool is reused; the legacy shim path builds its own.
+    std::optional<ThreadPool> local_pool;
+    ThreadPool& pool =
+        options_.ctx != nullptr ? options_.ctx->pool() : local_pool.emplace(jobs);
+    obs::set_gauge(options_.metrics_sink(), "epa.pool.lanes",
+                   static_cast<long long>(pool.jobs()));
     std::vector<std::optional<Result<ScenarioVerdict>>> slots(scenarios.size());
     pool.run_batch(scenarios.size(), [&](std::size_t index) {
         slots[index] = evaluate(scenarios[index], active_mitigations);

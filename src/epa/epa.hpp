@@ -26,6 +26,7 @@
 #include "asp/asp.hpp"
 #include "common/budget.hpp"
 #include "epa/requirement.hpp"
+#include "obs/run_context.hpp"
 #include "model/system_model.hpp"
 #include "security/attack_matrix.hpp"
 #include "security/scenario.hpp"
@@ -126,11 +127,15 @@ struct EpaOptions {
     bool collect_trace = false;
     /// Per-scenario solver decision cap (0 = keep the solver default).
     std::size_t max_decisions = 0;
+    /// Unified run state: budget, worker pool, trace sink, metrics registry
+    /// (obs/run_context.hpp). Borrowed; must outlive the analysis. When set,
+    /// it supersedes the deprecated `budget`/`jobs` fields below. Budget
+    /// exhaustion and solver errors degrade the affected scenario to an
+    /// Undetermined verdict instead of failing the evaluation.
+    RunContext* ctx = nullptr;
+    /// DEPRECATED — pre-RunContext shim, honored only when `ctx` is null.
     /// Shared resource governor across every evaluation run through this
-    /// analysis (deadline / global quotas / cancellation). Not owned; the
-    /// pointee must outlive the analysis. Budget exhaustion and solver
-    /// errors degrade the affected scenario to an Undetermined verdict
-    /// instead of failing the evaluation.
+    /// analysis. Not owned; the pointee must outlive the analysis.
     Budget* budget = nullptr;
     /// Ground-once/solve-many: ground the base program a single time at
     /// create() with an *open* scenario-fault/mitigation domain (singleton
@@ -140,9 +145,17 @@ struct EpaOptions {
     /// base grounding failed (budget trip, injected fault), silently fall
     /// back to the per-scenario grounding path. See docs/performance.md.
     bool ground_once = true;
+    /// DEPRECATED — pre-RunContext shim, honored only when `ctx` is null.
     /// Worker lanes for evaluate_all (0 = hardware concurrency, 1 = the
     /// sequential engine). Verdicts always come back in scenario order.
     std::size_t jobs = 1;
+
+    /// Resolved views over ctx-or-shim (every internal consumer goes through
+    /// these, so the deprecated fields have exactly one reading site each).
+    Budget* effective_budget() const { return ctx != nullptr ? &ctx->budget : budget; }
+    std::size_t effective_jobs() const { return ctx != nullptr ? ctx->jobs : jobs; }
+    obs::TraceSink* trace_sink() const { return ctx != nullptr ? ctx->trace : nullptr; }
+    obs::MetricsRegistry* metrics_sink() const { return ctx != nullptr ? ctx->metrics : nullptr; }
 };
 
 /// Immutable product of grounding the base program once with an open

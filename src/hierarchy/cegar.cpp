@@ -53,9 +53,13 @@ StageOutcome outcome_of(const std::string& stage_name, const epa::ScenarioVerdic
 Result<ScenarioRecord> walk_ladder(const std::vector<CegarStage>& stages,
                                    const std::vector<epa::ErrorPropagationAnalysis>& analyses,
                                    const security::AttackScenario& scenario,
-                                   const std::vector<std::string>& active_mitigations) {
+                                   const std::vector<std::string>& active_mitigations,
+                                   const CegarOptions& options) {
     ScenarioRecord record;
     record.scenario_id = scenario.id;
+    // One scenario-scoped span per ladder walk; the nested epa.evaluate /
+    // asp.* spans inherit the scenario id through the thread-local stack.
+    obs::Span span(options.trace_sink(), "cegar.walk", "scenario", scenario.id);
 
     for (std::size_t k = 0; k < stages.size(); ++k) {
         auto verdict = analyses[k].evaluate(scenario, active_mitigations);
@@ -76,6 +80,7 @@ Result<ScenarioRecord> walk_ladder(const std::vector<CegarStage>& stages,
     // Final stage undetermined: degradation retry on the previous stage.
     const std::size_t last = stages.size() - 1;
     if (last > 0 && record.stages[last - 1].status != epa::VerdictStatus::Hazard) {
+        obs::add_counter(options.metrics_sink(), "cegar.degraded_retries");
         auto retry = analyses[last - 1].evaluate(scenario, active_mitigations);
         if (!retry.ok()) return Result<ScenarioRecord>::failure(retry.error());
         epa::ScenarioVerdict fallback = std::move(retry).value();
@@ -150,10 +155,13 @@ Result<CegarResult> run_cegar(const std::vector<CegarStage>& stages,
         if (stage.model == nullptr) {
             return Result<CegarResult>::failure("CEGAR: stage '" + stage.name + "' has no model");
         }
+        obs::Span setup_span(options.trace_sink(), "cegar.stage_setup", "setup");
+        setup_span.arg("stage", stage.name);
         epa::EpaOptions epa_options;
         epa_options.focus = stage.focus;
         epa_options.horizon = stage.horizon;
         epa_options.max_decisions = options.max_decisions;
+        epa_options.ctx = options.ctx;
         epa_options.budget = options.budget;
         auto epa = epa::ErrorPropagationAnalysis::create(*stage.model, stage.requirements,
                                                          mitigations, epa_options);
@@ -167,8 +175,8 @@ Result<CegarResult> run_cegar(const std::vector<CegarStage>& stages,
     CegarResult result;
     result.records.reserve(space.size());
     const auto& scenarios = space.scenarios();
-    const std::size_t jobs =
-        std::min(ThreadPool::resolve(options.jobs), std::max<std::size_t>(scenarios.size(), 1));
+    const std::size_t jobs = std::min(ThreadPool::resolve(options.effective_jobs()),
+                                      std::max<std::size_t>(scenarios.size(), 1));
     if (jobs <= 1) {
         for (const security::AttackScenario& scenario : scenarios) {
             if (options.hooks.lookup) {
@@ -177,7 +185,7 @@ Result<CegarResult> run_cegar(const std::vector<CegarStage>& stages,
                     continue;
                 }
             }
-            auto record = walk_ladder(stages, analyses, scenario, active_mitigations);
+            auto record = walk_ladder(stages, analyses, scenario, active_mitigations, options);
             if (!record.ok()) return Result<CegarResult>::failure(record.error());
             if (options.hooks.completed) {
                 auto appended = options.hooks.completed(record.value());
@@ -242,10 +250,15 @@ Result<CegarResult> run_cegar(const std::vector<CegarStage>& stages,
             std::lock_guard<std::mutex> lock(drain_mutex);
             drain_ready_prefix_locked();
         }
-        ThreadPool pool(jobs);
+        std::optional<ThreadPool> local_pool;
+        ThreadPool& pool =
+            options.ctx != nullptr ? options.ctx->pool() : local_pool.emplace(jobs);
+        obs::set_gauge(options.metrics_sink(), "cegar.pool.lanes",
+                       static_cast<long long>(pool.jobs()));
         pool.run_batch(pending.size(), [&](std::size_t k) {
             const std::size_t index = pending[k];
-            auto record = walk_ladder(stages, analyses, scenarios[index], active_mitigations);
+            auto record =
+                walk_ladder(stages, analyses, scenarios[index], active_mitigations, options);
             std::lock_guard<std::mutex> lock(drain_mutex);
             slots[index].record = std::move(record);
             drain_ready_prefix_locked();
@@ -261,6 +274,8 @@ Result<CegarResult> run_cegar(const std::vector<CegarStage>& stages,
         } else if (record.outcome == ScenarioOutcome::Undetermined) {
             result.undetermined.push_back(record.verdict);
         }
+        obs::add_counter(options.metrics_sink(),
+                         std::string("cegar.scenarios.") + std::string(to_string(record.outcome)));
     }
     sort_by_scenario_id(result.confirmed);
     sort_by_scenario_id(result.undetermined);

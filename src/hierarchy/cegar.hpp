@@ -103,14 +103,26 @@ struct CegarHooks {
 struct CegarOptions {
     /// Per-solve decision cap applied to every stage (0 = solver default).
     std::size_t max_decisions = 0;
+    /// Unified run state: budget, worker pool, trace sink, metrics registry
+    /// (obs/run_context.hpp). Borrowed; must outlive the run. When set, it
+    /// supersedes the deprecated `budget`/`jobs` fields below.
+    RunContext* ctx = nullptr;
+    /// DEPRECATED — pre-RunContext shim, honored only when `ctx` is null.
     /// Shared resource governor for the whole refinement run. Not owned.
     Budget* budget = nullptr;
     CegarHooks hooks;
+    /// DEPRECATED — pre-RunContext shim, honored only when `ctx` is null.
     /// Worker lanes for the scenario walk (0 = hardware concurrency, 1 = the
     /// sequential engine). Records, statistics, and the order of `completed`
     /// hook invocations are independent of the value: finished walks are
     /// drained to the hook strictly in scenario order (docs/performance.md).
     std::size_t jobs = 1;
+
+    /// Resolved views over ctx-or-shim (see epa::EpaOptions for the idiom).
+    Budget* effective_budget() const { return ctx != nullptr ? &ctx->budget : budget; }
+    std::size_t effective_jobs() const { return ctx != nullptr ? ctx->jobs : jobs; }
+    obs::TraceSink* trace_sink() const { return ctx != nullptr ? ctx->trace : nullptr; }
+    obs::MetricsRegistry* metrics_sink() const { return ctx != nullptr ? ctx->metrics : nullptr; }
 };
 
 struct CegarResult {

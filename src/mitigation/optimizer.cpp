@@ -33,11 +33,15 @@ Selection finalize(const MitigationProblem& problem, std::vector<std::string> ch
 }  // namespace
 
 Selection optimize_exact(const MitigationProblem& problem, const OptimizerOptions& options) {
+    obs::Span span(options.trace_sink(), "mitigation.optimize", "mitigation");
     const std::size_t n = problem.candidates.size();
     std::vector<std::string> chosen;
     std::vector<std::string> best_chosen;
     long long best_total = std::numeric_limits<long long>::max();
     long long chosen_cost = 0;
+    // Nodes are tallied locally and flushed once — the registry lookup is
+    // far too expensive for the search's inner recursion.
+    long long nodes = 0;
 
     // Unavoidable loss lower bound: threats no selection of the remaining
     // candidates (plus current choices) could block.
@@ -72,6 +76,7 @@ Selection optimize_exact(const MitigationProblem& problem, const OptimizerOption
     };
 
     std::function<void(std::size_t)> dfs = [&](std::size_t index) {
+        ++nodes;
         if (chosen_cost + unavoidable(index) >= best_total) return;  // bound
         if (index == n) {
             const long long total = problem.total_cost(chosen);
@@ -94,7 +99,16 @@ Selection optimize_exact(const MitigationProblem& problem, const OptimizerOption
         dfs(index + 1);
     };
     dfs(0);
-    return finalize(problem, best_chosen);
+    Selection selection = finalize(problem, best_chosen);
+    span.arg("nodes", nodes);
+    obs::add_counter(options.metrics_sink(), "mitigation.optimize.calls");
+    obs::add_counter(options.metrics_sink(), "mitigation.optimize.nodes",
+                     static_cast<std::uint64_t>(nodes));
+    obs::set_gauge(options.metrics_sink(), "mitigation.chosen",
+                   static_cast<long long>(selection.chosen.size()));
+    obs::set_gauge(options.metrics_sink(), "mitigation.cost", selection.mitigation_cost);
+    obs::set_gauge(options.metrics_sink(), "mitigation.residual", selection.residual_loss);
+    return selection;
 }
 
 std::string encode_asp(const MitigationProblem& problem) {

@@ -13,6 +13,7 @@
 
 #include "common/result.hpp"
 #include "mitigation/problem.hpp"
+#include "obs/run_context.hpp"
 
 namespace cprisk::mitigation {
 
@@ -27,8 +28,16 @@ struct Selection {
 
 struct OptimizerOptions {
     /// Cap on the sum of chosen mitigation costs; nullopt = unconstrained
-    /// ("constraint on the mitigation budgets", §IV-D).
+    /// ("constraint on the mitigation budgets", §IV-D). Distinct from the
+    /// run's resource Budget, which lives on `ctx`.
     std::optional<long long> budget;
+    /// Unified run state for observability (obs/run_context.hpp): one
+    /// "mitigation.optimize" span plus mitigation.* instruments per call.
+    /// Borrowed; nullptr disables.
+    RunContext* ctx = nullptr;
+
+    obs::TraceSink* trace_sink() const { return ctx != nullptr ? ctx->trace : nullptr; }
+    obs::MetricsRegistry* metrics_sink() const { return ctx != nullptr ? ctx->metrics : nullptr; }
 };
 
 /// Exact branch & bound over mitigation subsets.

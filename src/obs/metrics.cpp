@@ -1,0 +1,82 @@
+#include "obs/metrics.hpp"
+
+#include <fstream>
+
+#include "common/json.hpp"
+
+namespace cprisk::obs {
+
+void MetricsRegistry::Histogram::observe(std::uint64_t sample) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(sample, std::memory_order_relaxed);
+    std::size_t bucket = 0;
+    while (bucket + 1 < kBuckets && sample > (std::uint64_t{1} << bucket)) ++bucket;
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+MetricsRegistry::Counter& MetricsRegistry::counter(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+    }
+    return *it->second;
+}
+
+MetricsRegistry::Histogram& MetricsRegistry::histogram(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+    }
+    return *it->second;
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, long long value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+        gauges_.emplace(std::string(name), value);
+    } else {
+        it->second = value;
+    }
+}
+
+std::string MetricsRegistry::export_json() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    json::Object counters;
+    for (const auto& [name, counter] : counters_) {
+        json::set(counters, name, static_cast<long long>(counter->value()));
+    }
+    json::Object gauges;
+    for (const auto& [name, value] : gauges_) json::set(gauges, name, value);
+    json::Object histograms;
+    for (const auto& [name, histogram] : histograms_) {
+        json::Object entry;
+        json::set(entry, "count", static_cast<long long>(histogram->count()));
+        json::set(entry, "sum", static_cast<long long>(histogram->sum()));
+        json::Object buckets;
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+            const std::uint64_t n = histogram->bucket(i);
+            if (n == 0) continue;  // sparse: empty buckets are omitted
+            json::set(buckets, "le_2^" + std::to_string(i), static_cast<long long>(n));
+        }
+        json::set(entry, "buckets", std::move(buckets));
+        json::set(histograms, name, std::move(entry));
+    }
+    json::Object root;
+    json::set(root, "counters", std::move(counters));
+    json::set(root, "gauges", std::move(gauges));
+    json::set(root, "histograms", std::move(histograms));
+    return json::Value(std::move(root)).serialize() + "\n";
+}
+
+Result<void> MetricsRegistry::write_file(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return Result<void>::failure("metrics: cannot write '" + path + "'");
+    out << export_json();
+    if (!out) return Result<void>::failure("metrics: write to '" + path + "' failed");
+    return {};
+}
+
+}  // namespace cprisk::obs

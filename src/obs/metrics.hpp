@@ -1,0 +1,105 @@
+// cprisk/obs/metrics.hpp
+//
+// Pipeline metrics registry (docs/observability.md). Three instrument kinds:
+//
+//  - counters:   monotonically increasing event/work counts (rules grounded,
+//                cache hits, solver decisions, ...). Counter values are
+//                *deterministic across --jobs settings*: every site counts
+//                work whose total is independent of scheduling.
+//  - gauges:     last-written values for configuration- or wall-clock-
+//                dependent observations (pool lanes, phase wall times,
+//                enqueued batch depth). Excluded from cross-jobs determinism.
+//  - histograms: power-of-two bucketed distributions of per-unit work
+//                (e.g. solver decisions per scenario). Deterministic like
+//                counters — the multiset of samples is schedule-independent.
+//
+// Instrument handles are stable for the registry's lifetime and update via
+// relaxed atomics, so concurrent workers record without coordination; the
+// find-or-create lookup takes a mutex and therefore belongs at coarse sites
+// (per solve / per scenario), never in inner loops. Export is JSON with all
+// three sections sorted by instrument name — byte-deterministic given the
+// same recorded values.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/result.hpp"
+
+namespace cprisk::obs {
+
+class MetricsRegistry {
+public:
+    class Counter {
+    public:
+        void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+        std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+    private:
+        std::atomic<std::uint64_t> value_{0};
+    };
+
+    /// Fixed power-of-two buckets: bucket 0 counts zeros and ones, bucket i
+    /// counts samples in (2^(i-1), 2^i], the last bucket is open-ended.
+    class Histogram {
+    public:
+        static constexpr std::size_t kBuckets = 24;
+
+        void observe(std::uint64_t sample);
+        std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+        std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+        std::uint64_t bucket(std::size_t i) const {
+            return buckets_[i].load(std::memory_order_relaxed);
+        }
+
+    private:
+        std::atomic<std::uint64_t> count_{0};
+        std::atomic<std::uint64_t> sum_{0};
+        std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+    };
+
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /// Find-or-create; the returned reference stays valid for the registry's
+    /// lifetime.
+    Counter& counter(std::string_view name);
+    Histogram& histogram(std::string_view name);
+
+    /// Overwrites the gauge (last writer wins).
+    void set_gauge(std::string_view name, long long value);
+
+    /// {"counters": {...}, "gauges": {...}, "histograms": {...}}, each
+    /// section sorted by name. Histogram buckets are exported sparsely as
+    /// {"le_2^i": count} entries plus count/sum.
+    std::string export_json() const;
+
+    Result<void> write_file(const std::string& path) const;
+
+private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+    std::map<std::string, long long, std::less<>> gauges_;
+};
+
+/// Null-tolerant helpers: every instrumentation site takes a possibly-null
+/// registry pointer, so the disabled path costs one branch.
+inline void add_counter(MetricsRegistry* metrics, std::string_view name,
+                        std::uint64_t n = 1) {
+    if (metrics != nullptr) metrics->counter(name).add(n);
+}
+inline void set_gauge(MetricsRegistry* metrics, std::string_view name, long long value) {
+    if (metrics != nullptr) metrics->set_gauge(name, value);
+}
+inline void observe(MetricsRegistry* metrics, std::string_view name, std::uint64_t sample) {
+    if (metrics != nullptr) metrics->histogram(name).observe(sample);
+}
+
+}  // namespace cprisk::obs

@@ -1,0 +1,13 @@
+#include "obs/run_context.hpp"
+
+namespace cprisk {
+
+ThreadPool& RunContext::pool() {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (pool_ == nullptr) {
+        pool_ = std::make_unique<ThreadPool>(ThreadPool::resolve(jobs));
+    }
+    return *pool_;
+}
+
+}  // namespace cprisk

@@ -1,0 +1,76 @@
+// cprisk/obs/run_context.hpp
+//
+// RunContext: the one bundle of cross-cutting run state threaded by
+// reference through the whole assessment pipeline — resource budget,
+// fault-injection registry, worker pool, trace sink, and metrics registry.
+// It replaces the previous ad-hoc plumbing where `jobs` and `Budget*` were
+// duplicated across AssessmentConfig, EpaOptions, and CegarOptions and each
+// layer re-threaded them by hand (those fields survive as deprecated shims
+// for one release; see CHANGES.md).
+//
+// Layers receive a `RunContext*` inside their options struct and read
+// everything run-scoped from it:
+//
+//   RunContext ctx;
+//   ctx.jobs = 8;
+//   ctx.budget.set_deadline_after(std::chrono::seconds(30));
+//   ctx.trace = &my_chrome_sink;     // optional; nullptr = tracing off
+//   ctx.metrics = &my_registry;      // optional; nullptr = metrics off
+//   report = assessment.run(config, ctx);
+//
+// A default-constructed RunContext reproduces the old defaults exactly:
+// unlimited budget, sequential execution, no observability. The context is
+// borrowed by every layer and must outlive the run; it is non-copyable
+// (the budget's trip state and the lazily-built pool are identity).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+
+#include "common/budget.hpp"
+#include "common/fault_injection.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace cprisk {
+
+class RunContext {
+public:
+    RunContext() = default;
+    RunContext(const RunContext&) = delete;
+    RunContext& operator=(const RunContext&) = delete;
+
+    /// Resource governor shared by every solve of the run (owned; configure
+    /// limits before handing the context to the pipeline).
+    Budget budget;
+
+    /// Trace sink; nullptr (or a disabled sink) turns every Span into a
+    /// single-branch no-op. Borrowed.
+    obs::TraceSink* trace = nullptr;
+
+    /// Metrics registry; nullptr disables all metric recording. Borrowed.
+    obs::MetricsRegistry* metrics = nullptr;
+
+    /// Fault-injection registry for harness code that arms or inspects
+    /// sites through the context. Defaults to the process-wide registry the
+    /// seams consult. Borrowed, never null.
+    fault::FaultInjectionRegistry* faults = &fault::global_registry();
+
+    /// Worker lanes for parallel sweeps (0 = hardware concurrency, 1 = the
+    /// exact sequential engine). Never changes results, reports, or journal
+    /// bytes (docs/performance.md).
+    std::size_t jobs = 1;
+
+    /// The run's shared worker pool, built on first use with
+    /// ThreadPool::resolve(jobs) lanes. One batch at a time (the pipeline's
+    /// sweeps never nest). Jobs changes after the first call have no effect.
+    ThreadPool& pool();
+
+private:
+    std::mutex pool_mutex_;
+    std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace cprisk

@@ -1,0 +1,152 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+
+#include "common/json.hpp"
+
+namespace cprisk::obs {
+
+namespace {
+
+/// Per-thread span context: the innermost explicit scope and the current
+/// nesting depth. Only touched by *active* spans, so the disabled path never
+/// reads thread-local state.
+struct ThreadSpanState {
+    std::vector<std::string> scopes;
+    int depth = 0;
+};
+
+ThreadSpanState& thread_state() {
+    thread_local ThreadSpanState state;
+    return state;
+}
+
+}  // namespace
+
+// --- ChromeTraceSink -------------------------------------------------------
+
+ChromeTraceSink::ChromeTraceSink() : epoch_(std::chrono::steady_clock::now()) {}
+
+void ChromeTraceSink::record(TraceEvent event) {
+    const std::thread::id me = std::this_thread::get_id();
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < buffers_.size(); ++i) {
+        if (buffers_[i].first == me) {
+            event.thread = static_cast<std::uint32_t>(i);
+            buffers_[i].second.push_back(std::move(event));
+            return;
+        }
+    }
+    event.thread = static_cast<std::uint32_t>(buffers_.size());
+    buffers_.emplace_back(me, std::vector<TraceEvent>{});
+    buffers_.back().second.push_back(std::move(event));
+}
+
+std::size_t ChromeTraceSink::event_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (const auto& [id, events] : buffers_) n += events.size();
+    return n;
+}
+
+std::vector<TraceEvent> ChromeTraceSink::drain_ordered() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Group by scope, keeping each scope's single-thread recording order.
+    // The global scope "" sorts first, scenario scopes follow in id order —
+    // the deterministic scenario-order drain (docs/observability.md).
+    std::map<std::string, std::vector<TraceEvent>> by_scope;
+    for (const auto& [id, events] : buffers_) {
+        for (const TraceEvent& event : events) by_scope[event.scope].push_back(event);
+    }
+    std::vector<TraceEvent> ordered;
+    for (auto& [scope, events] : by_scope) {
+        for (TraceEvent& event : events) ordered.push_back(std::move(event));
+    }
+    return ordered;
+}
+
+std::string ChromeTraceSink::export_json() const {
+    json::Array events;
+    for (const TraceEvent& event : drain_ordered()) {
+        json::Object entry;
+        json::set(entry, "name", event.name);
+        json::set(entry, "cat", event.category);
+        json::set(entry, "ph", "X");
+        json::set(entry, "ts", static_cast<long long>(event.start_us));
+        json::set(entry, "dur", static_cast<long long>(event.duration_us));
+        json::set(entry, "pid", 0);
+        json::set(entry, "tid", static_cast<long long>(event.thread));
+        json::Object args;
+        json::set(args, "scope", event.scope);
+        json::set(args, "depth", event.depth);
+        for (const auto& [key, value] : event.args) json::set(args, key, value);
+        json::set(entry, "args", std::move(args));
+        events.push_back(std::move(entry));
+    }
+    json::Object root;
+    json::set(root, "traceEvents", std::move(events));
+    json::set(root, "displayTimeUnit", "ms");
+    return json::Value(std::move(root)).serialize() + "\n";
+}
+
+Result<void> ChromeTraceSink::write_file(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return Result<void>::failure("trace: cannot write '" + path + "'");
+    out << export_json();
+    if (!out) return Result<void>::failure("trace: write to '" + path + "' failed");
+    return {};
+}
+
+// --- Span ------------------------------------------------------------------
+
+Span::Span(TraceSink* sink, std::string_view name, std::string_view category,
+           std::string_view scope) {
+    if (sink == nullptr || !sink->enabled()) return;  // the disabled fast path
+    sink_ = sink;
+    event_.name = std::string(name);
+    event_.category = std::string(category);
+    ThreadSpanState& state = thread_state();
+    if (!scope.empty()) {
+        state.scopes.emplace_back(scope);
+        pushed_scope_ = true;
+        event_.scope = std::string(scope);
+    } else if (!state.scopes.empty()) {
+        event_.scope = state.scopes.back();
+    }
+    event_.depth = state.depth++;
+    start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() { close(); }
+
+void Span::close() {
+    if (sink_ == nullptr) return;
+    const auto now = std::chrono::steady_clock::now();
+    event_.duration_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(now - start_).count();
+    // start_us is relative to the span's own start; ChromeTraceSink rebases
+    // against its epoch lazily on record — keep it simple: export absolute
+    // steady_clock microseconds (Chrome only needs consistency, not origin).
+    event_.start_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          start_.time_since_epoch())
+                          .count();
+    ThreadSpanState& state = thread_state();
+    --state.depth;
+    if (pushed_scope_) state.scopes.pop_back();
+    sink_->record(std::move(event_));
+    sink_ = nullptr;  // idempotent: explicit close() disarms the destructor
+}
+
+void Span::arg(std::string_view key, std::string_view value) {
+    if (sink_ == nullptr) return;
+    event_.args.emplace_back(std::string(key), std::string(value));
+}
+
+void Span::arg(std::string_view key, long long value) {
+    if (sink_ == nullptr) return;
+    event_.args.emplace_back(std::string(key), std::to_string(value));
+}
+
+}  // namespace cprisk::obs

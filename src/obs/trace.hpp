@@ -1,0 +1,124 @@
+// cprisk/obs/trace.hpp
+//
+// Low-overhead hierarchical tracing for the assessment pipeline
+// (docs/observability.md). A TraceSink collects TraceEvents recorded by
+// scoped Span RAII guards placed around the pipeline's coarse units of work
+// (grounding, per-scenario solve, CEGAR ladder steps, mitigation
+// optimization) — never inside hot inner loops, so the enabled cost is a
+// handful of events per scenario and the disabled cost is one branch per
+// span (a null or disabled sink makes every Span inert; see the
+// null-overhead guard in bench_perf_epa).
+//
+// Determinism: every event carries a *scope* — the scenario id for
+// per-scenario work, "" for global pipeline phases — plus its nesting depth
+// within that scope. All events of one scope are recorded by a single
+// thread (a scenario never migrates mid-walk), so grouping events by scope
+// and keeping each scope's recording order yields an export that is
+// byte-identical across --jobs settings once the wall-clock fields
+// (ts/dur/tid) are ignored. ChromeTraceSink exports the Chrome trace-event
+// JSON consumed by chrome://tracing and Perfetto.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace cprisk::obs {
+
+/// One completed span. Wall-clock fields (start_us, duration_us, thread)
+/// are excluded from determinism comparisons; everything else is stable
+/// across job counts.
+struct TraceEvent {
+    std::string name;      ///< span name, e.g. "epa.evaluate"
+    std::string category;  ///< phase bucket: "ground", "solve", "cegar", ...
+    std::string scope;     ///< deterministic grouping key ("" = global phase)
+    int depth = 0;         ///< nesting depth of enclosing active spans
+    /// Extra key/value annotations (stage name, focus, verdict, ...).
+    std::vector<std::pair<std::string, std::string>> args;
+
+    // Wall-clock fields.
+    std::int64_t start_us = 0;     ///< microseconds since sink creation
+    std::int64_t duration_us = 0;
+    std::uint32_t thread = 0;      ///< per-sink worker buffer index
+};
+
+/// Base sink. The base class *is* the compiled-in null sink: it reports
+/// disabled and drops events, so a `TraceSink*` that is null or points at a
+/// plain TraceSink makes every Span constructor bail after one branch.
+class TraceSink {
+public:
+    virtual ~TraceSink() = default;
+    virtual bool enabled() const { return false; }
+    virtual void record(TraceEvent event) { (void)event; }
+};
+
+/// Collecting sink with thread-safe per-worker buffers and Chrome
+/// trace-event JSON export.
+class ChromeTraceSink final : public TraceSink {
+public:
+    ChromeTraceSink();
+
+    bool enabled() const override { return true; }
+    void record(TraceEvent event) override;
+
+    /// Every recorded event, drained in deterministic order: global-scope
+    /// events first (single-threaded pipeline phases, in recording order),
+    /// then per-scenario scopes sorted by scope id, each in its worker's
+    /// recording order.
+    std::vector<TraceEvent> drain_ordered() const;
+
+    /// Chrome trace-event JSON ({"traceEvents": [...]}) over drain_ordered().
+    std::string export_json() const;
+
+    Result<void> write_file(const std::string& path) const;
+
+    std::size_t event_count() const;
+
+private:
+    mutable std::mutex mutex_;
+    /// One buffer per recording thread, registered on first record. The
+    /// buffer *index* is the exported tid.
+    std::vector<std::pair<std::thread::id, std::vector<TraceEvent>>> buffers_;
+    std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII span guard. Construction against a null/disabled sink is inert (one
+/// branch, no allocation); an active span records one TraceEvent on
+/// destruction. Spans nest: an active span without an explicit scope
+/// inherits the innermost enclosing span's scope on the same thread, so
+/// low-level spans (grounder, solver) automatically land in the scenario
+/// scope their caller opened.
+class Span {
+public:
+    Span(TraceSink* sink, std::string_view name, std::string_view category,
+         std::string_view scope = {});
+    ~Span();
+
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    bool active() const { return sink_ != nullptr; }
+
+    /// Attaches a key/value annotation (no-op when inactive).
+    void arg(std::string_view key, std::string_view value);
+    void arg(std::string_view key, long long value);
+
+    /// Ends the span now (records the event); the destructor then does
+    /// nothing. For spans whose lexical scope outlives the measured work.
+    void close();
+
+private:
+    TraceSink* sink_ = nullptr;
+    TraceEvent event_;
+    std::chrono::steady_clock::time_point start_;
+    bool pushed_scope_ = false;
+};
+
+}  // namespace cprisk::obs

@@ -14,3 +14,10 @@ if(NOT result EQUAL "${EXPECT}")
     "cprisk ${ARGS}\nexpected exit ${EXPECT}, got ${result}\n"
     "stdout:\n${out}\nstderr:\n${err}")
 endif()
+# Optional: -DMATCH=<regex> additionally requires the combined output to
+# match (used for the unknown-flag suggestion and observability messages).
+if(MATCH AND NOT "${out}${err}" MATCHES "${MATCH}")
+  message(FATAL_ERROR
+    "cprisk ${ARGS}\noutput does not match '${MATCH}'\n"
+    "stdout:\n${out}\nstderr:\n${err}")
+endif()

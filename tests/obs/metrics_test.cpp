@@ -1,0 +1,139 @@
+// Tests for the MetricsRegistry (docs/observability.md): counter/gauge/
+// histogram semantics, null-tolerant helpers, concurrent updates, and the
+// sorted byte-deterministic JSON export.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cprisk::obs {
+namespace {
+
+TEST(MetricsTest, CounterAccumulates) {
+    MetricsRegistry registry;
+    registry.counter("epa.scenarios.safe").add();
+    registry.counter("epa.scenarios.safe").add(4);
+    EXPECT_EQ(registry.counter("epa.scenarios.safe").value(), 5u);
+    EXPECT_EQ(registry.counter("epa.scenarios.hazard").value(), 0u);
+}
+
+TEST(MetricsTest, CounterHandleStaysStable) {
+    MetricsRegistry registry;
+    MetricsRegistry::Counter& handle = registry.counter("asp.solve.calls");
+    registry.counter("zzz");  // later find-or-create must not invalidate
+    handle.add(3);
+    EXPECT_EQ(registry.counter("asp.solve.calls").value(), 3u);
+}
+
+TEST(MetricsTest, GaugeLastWriterWins) {
+    MetricsRegistry registry;
+    registry.set_gauge("epa.pool.lanes", 4);
+    registry.set_gauge("epa.pool.lanes", 2);
+    const std::string json = registry.export_json();
+    EXPECT_NE(json.find("\"epa.pool.lanes\":2"), std::string::npos);
+    EXPECT_EQ(json.find("\"epa.pool.lanes\":4"), std::string::npos);
+}
+
+TEST(MetricsTest, HistogramPowerOfTwoBuckets) {
+    MetricsRegistry registry;
+    MetricsRegistry::Histogram& h = registry.histogram("epa.solve.decisions");
+    // bucket 0 counts {0, 1}; bucket i counts (2^(i-1), 2^i].
+    h.observe(0);
+    h.observe(1);
+    h.observe(2);
+    h.observe(3);
+    h.observe(4);
+    h.observe(5);
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.sum(), 15u);
+    EXPECT_EQ(h.bucket(0), 2u);  // 0, 1
+    EXPECT_EQ(h.bucket(1), 1u);  // 2
+    EXPECT_EQ(h.bucket(2), 2u);  // 3, 4
+    EXPECT_EQ(h.bucket(3), 1u);  // 5
+}
+
+TEST(MetricsTest, HistogramLastBucketIsOpenEnded) {
+    MetricsRegistry registry;
+    MetricsRegistry::Histogram& h = registry.histogram("big");
+    h.observe(std::uint64_t{1} << 40);  // beyond 2^23
+    EXPECT_EQ(h.bucket(MetricsRegistry::Histogram::kBuckets - 1), 1u);
+}
+
+TEST(MetricsTest, NullTolerantHelpersAreNoOps) {
+    add_counter(nullptr, "x");
+    set_gauge(nullptr, "x", 1);
+    observe(nullptr, "x", 1);
+
+    MetricsRegistry registry;
+    add_counter(&registry, "x", 2);
+    set_gauge(&registry, "g", 7);
+    observe(&registry, "h", 3);
+    EXPECT_EQ(registry.counter("x").value(), 2u);
+    EXPECT_EQ(registry.histogram("h").count(), 1u);
+}
+
+TEST(MetricsTest, ConcurrentCountingIsLossless) {
+    MetricsRegistry registry;
+    auto worker = [&registry]() {
+        for (int i = 0; i < 1000; ++i) {
+            add_counter(&registry, "shared");
+            observe(&registry, "samples", static_cast<std::uint64_t>(i % 7));
+        }
+    };
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) threads.emplace_back(worker);
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(registry.counter("shared").value(), 4000u);
+    EXPECT_EQ(registry.histogram("samples").count(), 4000u);
+}
+
+// --- JSON schema -----------------------------------------------------------
+
+TEST(MetricsTest, ExportGoldenByteExact) {
+    // The export is fully deterministic given the recorded values: sections
+    // in counters/gauges/histograms order, each sorted by instrument name,
+    // histogram buckets sparse.
+    MetricsRegistry registry;
+    registry.counter("b.count").add(2);
+    registry.counter("a.count").add(1);
+    registry.set_gauge("z.gauge", -3);
+    registry.histogram("h.dist").observe(0);
+    registry.histogram("h.dist").observe(4);
+    const std::string expected =
+        "{\"counters\":{\"a.count\":1,\"b.count\":2},"
+        "\"gauges\":{\"z.gauge\":-3},"
+        "\"histograms\":{\"h.dist\":{\"count\":2,\"sum\":4,"
+        "\"buckets\":{\"le_2^0\":1,\"le_2^2\":1}}}}\n";
+    EXPECT_EQ(registry.export_json(), expected);
+}
+
+TEST(MetricsTest, ExportSectionsPresentWhenEmpty) {
+    MetricsRegistry registry;
+    EXPECT_EQ(registry.export_json(),
+              "{\"counters\":{},\"gauges\":{},\"histograms\":{}}\n");
+}
+
+TEST(MetricsTest, WriteFileRoundTrips) {
+    MetricsRegistry registry;
+    registry.counter("x").add();
+    const std::string path = testing::TempDir() + "/metrics_test_out.json";
+    const Result<void> written = registry.write_file(path);
+    ASSERT_TRUE(written.ok()) << written.error();
+    std::ifstream in(path);
+    std::stringstream content;
+    content << in.rdbuf();
+    EXPECT_EQ(content.str(), registry.export_json());
+}
+
+TEST(MetricsTest, WriteFileToBadPathFails) {
+    MetricsRegistry registry;
+    EXPECT_FALSE(registry.write_file("/no/such/dir/metrics.json").ok());
+}
+
+}  // namespace
+}  // namespace cprisk::obs

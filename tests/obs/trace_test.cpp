@@ -1,0 +1,191 @@
+// Tests for the hierarchical trace sink and Span RAII guard
+// (docs/observability.md): null-sink inertness, scope inheritance,
+// deterministic drain order, idempotent close(), and the Chrome
+// trace-event JSON shape.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cprisk::obs {
+namespace {
+
+TEST(SpanTest, NullSinkPointerIsInert) {
+    Span span(nullptr, "work", "solve");
+    EXPECT_FALSE(span.active());
+    span.arg("key", "value");  // no-ops, must not crash
+    span.arg("n", 42LL);
+    span.close();
+}
+
+TEST(SpanTest, BaseTraceSinkIsTheNullSink) {
+    TraceSink null_sink;
+    EXPECT_FALSE(null_sink.enabled());
+    Span span(&null_sink, "work", "solve");
+    EXPECT_FALSE(span.active());
+}
+
+TEST(SpanTest, RecordsOneEventOnDestruction) {
+    ChromeTraceSink sink;
+    EXPECT_TRUE(sink.enabled());
+    {
+        Span span(&sink, "asp.solve", "solve", "s1");
+        EXPECT_TRUE(span.active());
+        span.arg("decisions", 7LL);
+        span.arg("verdict", "safe");
+    }
+    ASSERT_EQ(sink.event_count(), 1u);
+    const std::vector<TraceEvent> events = sink.drain_ordered();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].name, "asp.solve");
+    EXPECT_EQ(events[0].category, "solve");
+    EXPECT_EQ(events[0].scope, "s1");
+    EXPECT_EQ(events[0].depth, 0);
+    ASSERT_EQ(events[0].args.size(), 2u);
+    EXPECT_EQ(events[0].args[0].first, "decisions");
+    EXPECT_EQ(events[0].args[0].second, "7");
+    EXPECT_EQ(events[0].args[1].second, "safe");
+    EXPECT_GE(events[0].duration_us, 0);
+}
+
+TEST(SpanTest, NestedSpansInheritEnclosingScope) {
+    ChromeTraceSink sink;
+    {
+        Span outer(&sink, "epa.evaluate", "scenario", "s7");
+        {
+            Span inner(&sink, "asp.ground", "ground");  // no explicit scope
+            Span innermost(&sink, "asp.solve", "solve");
+            EXPECT_TRUE(inner.active());
+        }
+    }
+    const std::vector<TraceEvent> events = sink.drain_ordered();
+    ASSERT_EQ(events.size(), 3u);
+    // All three land in scope "s7"; recording order is close order.
+    for (const TraceEvent& event : events) EXPECT_EQ(event.scope, "s7");
+    EXPECT_EQ(events[0].name, "asp.solve");
+    EXPECT_EQ(events[0].depth, 2);
+    EXPECT_EQ(events[1].name, "asp.ground");
+    EXPECT_EQ(events[1].depth, 1);
+    EXPECT_EQ(events[2].name, "epa.evaluate");
+    EXPECT_EQ(events[2].depth, 0);
+}
+
+TEST(SpanTest, CloseIsIdempotentAndDisarmsDestructor) {
+    ChromeTraceSink sink;
+    {
+        Span span(&sink, "phase", "pipeline");
+        span.close();
+        EXPECT_FALSE(span.active());
+        span.close();                 // second close: no second event
+        span.arg("late", "ignored");  // args after close are dropped
+    }                                 // destructor: no third event
+    EXPECT_EQ(sink.event_count(), 1u);
+    const std::vector<TraceEvent> events = sink.drain_ordered();
+    EXPECT_TRUE(events[0].args.empty());
+}
+
+TEST(ChromeTraceSinkTest, DrainOrdersGlobalScopeFirstThenScenarioIds) {
+    ChromeTraceSink sink;
+    { Span s(&sink, "scenario.b", "scenario", "b"); }
+    { Span s(&sink, "assess.ground", "pipeline"); }  // global "" scope
+    { Span s(&sink, "scenario.a", "scenario", "a"); }
+    const std::vector<TraceEvent> events = sink.drain_ordered();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].scope, "");
+    EXPECT_EQ(events[0].name, "assess.ground");
+    EXPECT_EQ(events[1].scope, "a");
+    EXPECT_EQ(events[2].scope, "b");
+}
+
+TEST(ChromeTraceSinkTest, ConcurrentRecordingKeepsPerScopeOrder) {
+    ChromeTraceSink sink;
+    auto worker = [&sink](const std::string& scope) {
+        for (int i = 0; i < 16; ++i) {
+            Span span(&sink, "step" + std::to_string(i), "solve", scope);
+        }
+    };
+    std::thread a(worker, "sa");
+    std::thread b(worker, "sb");
+    a.join();
+    b.join();
+    const std::vector<TraceEvent> events = sink.drain_ordered();
+    ASSERT_EQ(events.size(), 32u);
+    // Scope "sa" block precedes "sb", each in its own recording order.
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(events[static_cast<std::size_t>(i)].scope, "sa");
+        EXPECT_EQ(events[static_cast<std::size_t>(i)].name, "step" + std::to_string(i));
+        EXPECT_EQ(events[static_cast<std::size_t>(16 + i)].scope, "sb");
+        EXPECT_EQ(events[static_cast<std::size_t>(16 + i)].name,
+                  "step" + std::to_string(i));
+    }
+}
+
+// --- JSON schema -----------------------------------------------------------
+
+TEST(ChromeTraceSinkTest, ExportMatchesChromeTraceEventSchema) {
+    ChromeTraceSink sink;
+    {
+        Span span(&sink, "epa.evaluate", "scenario", "s1");
+        span.arg("verdict", "hazard");
+    }
+    const std::string json = sink.export_json();
+    EXPECT_NE(json.find("{\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+    // Every event is a complete-duration ("ph":"X") record with the
+    // required chrome://tracing keys.
+    for (const char* key :
+         {"\"name\":", "\"cat\":", "\"ph\":\"X\"", "\"ts\":", "\"dur\":", "\"pid\":",
+          "\"tid\":", "\"args\":"}) {
+        EXPECT_NE(json.find(key), std::string::npos) << "missing key " << key;
+    }
+    EXPECT_NE(json.find("\"scope\":\"s1\""), std::string::npos);
+    EXPECT_NE(json.find("\"depth\":0"), std::string::npos);
+}
+
+/// Masks the wall-clock fields (ts/dur/tid) of a trace export — what the
+/// cross-jobs determinism comparison ignores.
+std::string mask_wall_clock(const std::string& json) {
+    std::string out = std::regex_replace(json, std::regex("\"ts\":-?[0-9]+"), "\"ts\":0");
+    out = std::regex_replace(out, std::regex("\"dur\":-?[0-9]+"), "\"dur\":0");
+    return std::regex_replace(out, std::regex("\"tid\":[0-9]+"), "\"tid\":0");
+}
+
+TEST(ChromeTraceSinkTest, ExportGoldenModuloWallClock) {
+    ChromeTraceSink sink;
+    {
+        Span span(&sink, "asp.solve", "solve", "s1");
+        span.arg("models", 1LL);
+    }
+    const std::string expected =
+        "{\"traceEvents\":[{\"name\":\"asp.solve\",\"cat\":\"solve\",\"ph\":\"X\","
+        "\"ts\":0,\"dur\":0,\"pid\":0,\"tid\":0,\"args\":{\"scope\":\"s1\","
+        "\"depth\":0,\"models\":\"1\"}}],\"displayTimeUnit\":\"ms\"}\n";
+    EXPECT_EQ(mask_wall_clock(sink.export_json()), expected);
+}
+
+TEST(ChromeTraceSinkTest, WriteFileRoundTrips) {
+    ChromeTraceSink sink;
+    { Span span(&sink, "work", "solve", "s1"); }
+    const std::string path = testing::TempDir() + "/trace_test_out.json";
+    const Result<void> written = sink.write_file(path);
+    ASSERT_TRUE(written.ok()) << written.error();
+    std::ifstream in(path);
+    std::stringstream content;
+    content << in.rdbuf();
+    EXPECT_EQ(content.str(), sink.export_json());
+}
+
+TEST(ChromeTraceSinkTest, WriteFileToBadPathFails) {
+    ChromeTraceSink sink;
+    const Result<void> written = sink.write_file("/no/such/dir/trace.json");
+    EXPECT_FALSE(written.ok());
+}
+
+}  // namespace
+}  // namespace cprisk::obs

@@ -34,14 +34,19 @@
 //                        reports and journals are identical for every N
 //   --journal FILE       append one JSONL verdict per scenario
 //   --resume             replay the journal, skipping finished scenarios
+//   --trace FILE         write a Chrome trace-event JSON of the run
+//   --metrics FILE       write the pipeline metrics registry as JSON
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "analysis/dependency_graph.hpp"
 #include "analysis/taint.hpp"
@@ -52,6 +57,9 @@
 #include "core/report.hpp"
 #include "lint/asp_lint.hpp"
 #include "lint/model_lint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_context.hpp"
+#include "obs/trace.hpp"
 #include "risk/iec61508.hpp"
 #include "risk/ora.hpp"
 
@@ -67,6 +75,7 @@ int usage() {
                  "                     [--phase-budget N] [--markdown FILE] [--csv FILE]\n"
                  "                     [--json FILE] [--deadline-ms N] [--max-decisions N]\n"
                  "                     [--jobs N] [--journal FILE] [--resume]\n"
+                 "                     [--trace FILE] [--metrics FILE]\n"
                  "       cprisk matrix\n");
     return 2;
 }
@@ -83,6 +92,45 @@ bool read_file(const std::string& path, std::string& out) {
 bool ends_with(const std::string& text, const char* suffix) {
     const std::size_t n = std::strlen(suffix);
     return text.size() >= n && text.compare(text.size() - n, n, suffix) == 0;
+}
+
+/// Plain Levenshtein distance — small strings, small flag lists, so the
+/// quadratic DP is fine.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diagonal = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t previous = row[j];
+            const std::size_t substitute = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitute});
+            diagonal = previous;
+        }
+    }
+    return row[b.size()];
+}
+
+/// The valid flag closest to `flag` — every unrecognized-flag diagnostic
+/// names it, so a typo ("--jbos") points straight at the fix ("--jobs").
+std::string nearest_flag(const std::string& flag, const std::vector<std::string>& known) {
+    std::string best;
+    std::size_t best_distance = std::numeric_limits<std::size_t>::max();
+    for (const std::string& candidate : known) {
+        const std::size_t distance = edit_distance(flag, candidate);
+        if (distance < best_distance) {
+            best_distance = distance;
+            best = candidate;
+        }
+    }
+    return best;
+}
+
+void report_unknown_flag(const char* command, const std::string& flag,
+                         const std::vector<std::string>& known) {
+    std::fprintf(stderr, "unknown %s option '%s' (nearest valid flag: '%s')\n", command,
+                 flag.c_str(), nearest_flag(flag, known).c_str());
 }
 
 /// Unreadable input is an I/O problem (exit 2), not a lint failure (exit 1):
@@ -130,7 +178,7 @@ int cmd_lint(int argc, char** argv) {
         } else if (arg == "--werror") {
             werror = true;
         } else if (!arg.empty() && arg[0] == '-') {
-            std::fprintf(stderr, "unknown lint option '%s'\n", arg.c_str());
+            report_unknown_flag("lint", arg, {"--json", "--werror"});
             return usage();
         } else if (path.empty()) {
             path = arg;
@@ -339,7 +387,7 @@ int cmd_graph(int argc, char** argv) {
         } else if (arg == "--json") {
             format = Format::Json;
         } else if (!arg.empty() && arg[0] == '-') {
-            std::fprintf(stderr, "unknown graph option '%s'\n", arg.c_str());
+            report_unknown_flag("graph", arg, {"--dot", "--json"});
             return usage();
         } else if (path.empty()) {
             path = arg;
@@ -434,6 +482,13 @@ int cmd_assess(int argc, char** argv) {
     std::optional<std::string> markdown_path;
     std::optional<std::string> csv_path;
     std::optional<std::string> json_path;
+    std::optional<std::string> trace_path;
+    std::optional<std::string> metrics_path;
+    const std::vector<std::string> assess_flags = {
+        "--horizon",   "--max-faults",    "--attack-scenarios", "--no-cegar",
+        "--budget",    "--phase-budget",  "--deadline-ms",      "--max-decisions",
+        "--jobs",      "--journal",       "--resume",           "--markdown",
+        "--csv",       "--json",          "--trace",            "--metrics"};
 
     for (int i = 1; i < argc; ++i) {
         const std::string flag = argv[i];
@@ -484,9 +539,19 @@ int cmd_assess(int argc, char** argv) {
             csv_path = argv[++i];
         } else if (flag == "--json" && i + 1 < argc) {
             json_path = argv[++i];
+        } else if (flag == "--trace" && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else if (flag == "--metrics" && i + 1 < argc) {
+            metrics_path = argv[++i];
         } else {
             if (!bad_value) {
-                std::fprintf(stderr, "unknown or incomplete option '%s'\n", flag.c_str());
+                if (std::find(assess_flags.begin(), assess_flags.end(), flag) !=
+                    assess_flags.end()) {
+                    std::fprintf(stderr, "incomplete option '%s': missing value\n",
+                                 flag.c_str());
+                } else {
+                    report_unknown_flag("assess", flag, assess_flags);
+                }
             }
             return usage();
         }
@@ -513,7 +578,18 @@ int cmd_assess(int argc, char** argv) {
     cprisk::core::RiskAssessment assessment(b.model, b.effective_behavioral(),
                                             b.effective_topology(), matrix, mitigations,
                                             &catalog);
-    auto report = assessment.run(config);
+
+    // Observability is opt-in: without --trace/--metrics the context carries
+    // null sinks and every instrumentation site costs one branch.
+    const bool observing = trace_path.has_value() || metrics_path.has_value();
+    cprisk::obs::ChromeTraceSink trace_sink;
+    cprisk::obs::MetricsRegistry metrics_registry;
+    cprisk::core::RunContext ctx;
+    ctx.jobs = config.jobs;
+    if (trace_path) ctx.trace = &trace_sink;
+    if (metrics_path) ctx.metrics = &metrics_registry;
+
+    auto report = assessment.run(config, ctx);
     if (!report.ok()) {
         std::fprintf(stderr, "assessment failed: %s\n", report.error().c_str());
         return 1;
@@ -525,6 +601,29 @@ int cmd_assess(int argc, char** argv) {
                 r.spurious_eliminated);
     std::printf("%s", r.risk_table().render().c_str());
     std::printf("%s", r.mitigation_table().render().c_str());
+    if (observing) {
+        // Timings are machine-dependent; keep the default output (and the
+        // written reports) byte-stable and show them only on request.
+        std::printf("%s", r.timing_table().render().c_str());
+    }
+
+    if (trace_path) {
+        auto written = trace_sink.write_file(*trace_path);
+        if (!written.ok()) {
+            std::fprintf(stderr, "%s\n", written.error().c_str());
+            return 2;
+        }
+        std::printf("trace written to %s (%zu events)\n", trace_path->c_str(),
+                    trace_sink.event_count());
+    }
+    if (metrics_path) {
+        auto written = metrics_registry.write_file(*metrics_path);
+        if (!written.ok()) {
+            std::fprintf(stderr, "%s\n", written.error().c_str());
+            return 2;
+        }
+        std::printf("metrics written to %s\n", metrics_path->c_str());
+    }
 
     if (markdown_path) {
         if (!write_file(*markdown_path, cprisk::core::render_markdown(r))) {
