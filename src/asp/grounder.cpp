@@ -266,7 +266,8 @@ private:
 
     bool unify(const Term& pattern, const Term& value, Binding& binding) {
         switch (pattern.kind()) {
-            case Term::Kind::Integer: return value.is_integer() && value.as_int() == pattern.as_int();
+            case Term::Kind::Integer:
+                return value.is_integer() && value.as_int() == pattern.as_int();
             case Term::Kind::Symbol: return value.is_symbol() && value.name() == pattern.name();
             case Term::Kind::Variable: {
                 if (pattern.name() == "_") return true;  // anonymous

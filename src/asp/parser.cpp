@@ -291,7 +291,8 @@ private:
             rule.head = Head::make_constraint();
             rule.body = parse_body();
         } else {
-            if (at(TokenKind::LBrace) || (at(TokenKind::Integer) && peek(1).kind == TokenKind::LBrace)) {
+            if (at(TokenKind::LBrace) ||
+                (at(TokenKind::Integer) && peek(1).kind == TokenKind::LBrace)) {
                 rule.head = parse_choice_head();
             } else {
                 rule.head = Head::make_atom(parse_atom());

@@ -144,7 +144,8 @@ private:
         const std::size_t start = pos_;
         if (consume('-') && pos_ >= text_.size()) return fail("bare '-'");
         while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
-        if (pos_ < text_.size() && (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E')) {
+        if (pos_ < text_.size() &&
+            (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E')) {
             return fail("floating-point numbers are not supported");
         }
         const std::string digits(text_.substr(start, pos_ - start));

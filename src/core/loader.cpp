@@ -76,7 +76,9 @@ Bundle load_bundle_lenient(std::string_view text, DiagnosticSink& sink,
             if (line == ">>>") in_behavior_block = false;
             continue;
         }
-        if (starts_with(line, "behavior ")) in_behavior_block = line.find("<<<") != std::string::npos;
+        if (starts_with(line, "behavior ")) {
+            in_behavior_block = line.find("<<<") != std::string::npos;
+        }
         if (!starts_with(line, "requirement ")) {
             model_text += raw + "\n";
             continue;

@@ -30,7 +30,8 @@ model::SystemModel chain_model() {
     model::SystemModel m;
     EXPECT_TRUE(m.add_component(comp("source", ElementType::Node)).ok());
     EXPECT_TRUE(m.add_component(comp("relay", ElementType::Controller)).ok());
-    EXPECT_TRUE(m.add_component(comp("target", ElementType::Equipment, qual::Level::VeryHigh)).ok());
+    EXPECT_TRUE(
+        m.add_component(comp("target", ElementType::Equipment, qual::Level::VeryHigh)).ok());
     EXPECT_TRUE(m.add_relation({"source", "relay", RelationType::SignalFlow, ""}).ok());
     EXPECT_TRUE(m.add_relation({"relay", "target", RelationType::SignalFlow, ""}).ok());
     return m;

@@ -502,7 +502,8 @@ int cmd_assess(int argc, char** argv) {
             errno = 0;
             const long long parsed = std::strtoll(text, &end, 10);
             if (end == text || *end != '\0' || errno == ERANGE || parsed < 0) {
-                std::fprintf(stderr, "invalid value '%s' for '%s': expected a non-negative integer\n",
+                std::fprintf(stderr,
+                             "invalid value '%s' for '%s': expected a non-negative integer\n",
                              text, flag.c_str());
                 bad_value = true;
                 return false;
