@@ -167,7 +167,9 @@ void BM_SweepConfig(benchmark::State& state) {
     options.focus = epa::AnalysisFocus::Topology;
     options.horizon = n + 1;
     options.ground_once = state.range(0) != 0;
-    options.jobs = static_cast<std::size_t>(state.range(1));
+    RunContext ctx;
+    ctx.jobs = static_cast<std::size_t>(state.range(1));
+    options.ctx = &ctx;
     auto analysis = epa::ErrorPropagationAnalysis::create(
         m, {epa::Requirement::no_error_reaches("c" + std::to_string(n - 1))}, {}, options);
     const auto space = sweep_space(48, n);
@@ -186,25 +188,25 @@ BENCHMARK(BM_SweepConfig)
     ->Args({1, 8});
 
 /// Wall-clock of one exhaustive sweep under the given configuration. When
-/// `ctx` is non-null the run goes through the RunContext path (null trace
-/// and metrics sinks unless the caller attached some) — the configuration
-/// the <2% null-observability overhead budget is measured against.
-/// `legacy_budget` attaches a budget through the deprecated shim field
-/// instead, matching what the assessment pipeline always did pre-context.
+/// `ctx` is non-null the run goes through the caller's RunContext (null
+/// trace and metrics sinks unless the caller attached some) — the
+/// configuration the <2% null-observability overhead budget is measured
+/// against. Without one, jobs > 1 builds a local context; jobs == 1 runs on
+/// plain options (no context at all) — the uninstrumented baseline arm.
 double sweep_seconds(bool ground_once, std::size_t jobs, RunContext* ctx = nullptr,
-                     int rounds = 3, Budget* legacy_budget = nullptr) {
+                     int rounds = 3, bool static_prefilter = true) {
     const int n = 8;
     auto m = chain_model(n);
     epa::EpaOptions options;
     options.focus = epa::AnalysisFocus::Topology;
     options.horizon = n + 1;
     options.ground_once = ground_once;
+    options.static_prefilter = static_prefilter;
+    RunContext local;
+    if (ctx == nullptr && jobs != 1) ctx = &local;
     if (ctx != nullptr) {
         ctx->jobs = jobs;
         options.ctx = ctx;
-    } else {
-        options.jobs = jobs;
-        options.budget = legacy_budget;
     }
     auto analysis = epa::ErrorPropagationAnalysis::create(
         m, {epa::Requirement::no_error_reaches("c" + std::to_string(n - 1))}, {}, options);
@@ -221,19 +223,17 @@ double sweep_seconds(bool ground_once, std::size_t jobs, RunContext* ctx = nullp
     return best;
 }
 
-/// Ratio of sweep wall-clock with a null-sink RunContext over the legacy
-/// path (deprecated budget/jobs fields, no context). Both arms charge an
-/// unlimited budget — the pipeline always did that pre-context — so the
-/// delta isolates the observability instrumentation: the Span/metric
-/// enabled() branches and the shim accessors, with nobody listening.
-/// Budget: < 1.02 (docs/observability.md).
+/// Ratio of sweep wall-clock with a null-sink RunContext over plain options
+/// (no context at all). The delta isolates the observability
+/// instrumentation: the Span/metric enabled() branches and the context
+/// accessors, with nobody listening. Budget: < 1.02
+/// (docs/observability.md).
 double null_obs_overhead() {
     // Interleave A/B rounds so drift (thermal, page cache) hits both arms.
     double plain = 0.0;
     double with_ctx = 0.0;
     for (int round = 0; round < 5; ++round) {
-        Budget unlimited;
-        const double p = sweep_seconds(true, 1, nullptr, 1, &unlimited);
+        const double p = sweep_seconds(true, 1, nullptr, 1);
         RunContext ctx;
         const double c = sweep_seconds(true, 1, &ctx, 1);
         if (round == 0 || p < plain) plain = p;
@@ -242,14 +242,33 @@ double null_obs_overhead() {
     return with_ctx / plain;
 }
 
+/// Fraction of the sweep's scenarios the ternary prefilter resolved without
+/// a DPLL solve (docs/static-analysis.md), read off the metrics counters of
+/// one instrumented sweep.
+double static_resolution_fraction() {
+    obs::MetricsRegistry metrics;
+    RunContext ctx;
+    ctx.metrics = &metrics;
+    (void)sweep_seconds(true, 1, &ctx, 1);
+    const double resolved =
+        static_cast<double>(metrics.counter("epa.absint.static_safe").value() +
+                            metrics.counter("epa.absint.static_hazard").value());
+    const double unknown =
+        static_cast<double>(metrics.counter("epa.absint.static_unknown").value());
+    const double total = resolved + unknown;
+    return total > 0.0 ? resolved / total : 0.0;
+}
+
 /// Times every sweep configuration and writes BENCH_epa.json.
 void write_sweep_json() {
     const double seed = sweep_seconds(false, 1);
     const double cache_only = sweep_seconds(true, 1);
+    const double no_prefilter = sweep_seconds(true, 1, nullptr, 3, false);
     const double jobs2 = sweep_seconds(true, 2);
     const double jobs4 = sweep_seconds(true, 4);
     const double jobs8 = sweep_seconds(true, 8);
     const double obs_overhead = null_obs_overhead();
+    const double static_fraction = static_resolution_fraction();
 
     std::FILE* out = std::fopen("BENCH_epa.json", "w");
     if (out == nullptr) {
@@ -267,14 +286,22 @@ void write_sweep_json() {
                  "  \"ground_once_jobs8_s\": %.6f,\n"
                  "  \"speedup_ground_once_alone\": %.2f,\n"
                  "  \"speedup_jobs8_vs_seed\": %.2f,\n"
-                 "  \"obs_null_overhead\": %.4f\n"
+                 "  \"obs_null_overhead\": %.4f,\n"
+                 "  \"absint_prefilter\": {\n"
+                 "    \"prefilter_on_jobs1_s\": %.6f,\n"
+                 "    \"prefilter_off_jobs1_s\": %.6f,\n"
+                 "    \"speedup\": %.2f,\n"
+                 "    \"static_fraction\": %.4f\n"
+                 "  }\n"
                  "}\n",
                  seed, cache_only, jobs2, jobs4, jobs8, seed / cache_only, seed / jobs8,
-                 obs_overhead);
+                 obs_overhead, cache_only, no_prefilter, no_prefilter / cache_only,
+                 static_fraction);
     std::fclose(out);
     std::printf("BENCH_epa.json: ground-once alone %.2fx, jobs=8 vs seed %.2fx, "
-                "null-obs overhead %.4fx\n",
-                seed / cache_only, seed / jobs8, obs_overhead);
+                "null-obs overhead %.4fx, prefilter %.2fx (static fraction %.2f)\n",
+                seed / cache_only, seed / jobs8, obs_overhead, no_prefilter / cache_only,
+                static_fraction);
 }
 
 }  // namespace

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Verifies that every public header reachable from the umbrella header
+# (src/cprisk.hpp) is self-contained: each one must compile as its own
+# translation unit, without relying on includes a previous header happened
+# to pull in. Run from the repository root; exits non-zero naming every
+# header that fails.
+set -u
+
+cxx="${CXX:-g++}"
+flags=(-std=c++20 -Wall -Wextra -Werror -fsyntax-only -Isrc)
+
+# The reachable set = cprisk.hpp itself plus every src/ header the
+# preprocessor visits from it.
+mapfile -t headers < <(
+  "$cxx" -std=c++20 -Isrc -MM -MT x src/cprisk.hpp |
+    tr ' \\' '\n\n' | grep '^src/.*\.hpp$' | sort -u
+)
+
+if [ "${#headers[@]}" -eq 0 ]; then
+  echo "error: could not enumerate headers reachable from src/cprisk.hpp" >&2
+  exit 2
+fi
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+failed=()
+for header in "${headers[@]}"; do
+  tu="$tmpdir/tu.cpp"
+  printf '#include "%s"\n' "${header#src/}" > "$tu"
+  if ! "$cxx" "${flags[@]}" "$tu" 2> "$tmpdir/log"; then
+    failed+=("$header")
+    echo "NOT SELF-CONTAINED: $header"
+    sed 's/^/    /' "$tmpdir/log" | head -20
+  fi
+done
+
+echo "checked ${#headers[@]} headers, ${#failed[@]} failure(s)"
+[ "${#failed[@]}" -eq 0 ]

@@ -1,0 +1,38 @@
+// cprisk/asp/absint/ternary.hpp
+//
+// Three-valued (Kleene) truth domain for the abstract interpreter over
+// ground programs (absint.hpp). `True` and `False` are *must* values — they
+// hold in every answer set of the program — while `Unknown` brackets atoms
+// whose truth differs between answer sets (or could not be decided at this
+// precision). See docs/static-analysis.md for the soundness argument.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace cprisk::asp::absint {
+
+enum class Ternary : std::uint8_t { False, Unknown, True };
+
+/// Kleene negation: swaps the decided values, keeps Unknown.
+constexpr Ternary negate(Ternary value) {
+    switch (value) {
+        case Ternary::False: return Ternary::True;
+        case Ternary::True: return Ternary::False;
+        case Ternary::Unknown: return Ternary::Unknown;
+    }
+    return Ternary::Unknown;
+}
+
+constexpr bool decided(Ternary value) { return value != Ternary::Unknown; }
+
+constexpr std::string_view to_string(Ternary value) {
+    switch (value) {
+        case Ternary::False: return "false";
+        case Ternary::Unknown: return "unknown";
+        case Ternary::True: return "true";
+    }
+    return "unknown";
+}
+
+}  // namespace cprisk::asp::absint

@@ -77,6 +77,12 @@ public:
 
     const std::vector<GroundRule>& rules() const { return rules_; }
     const std::vector<GroundWeak>& weaks() const { return weaks_; }
+
+    /// Mutable access for model-preserving rewrites (absint::simplify). The
+    /// atom table is intentionally not exposed: interned ids must stay valid.
+    std::vector<GroundRule>& mutable_rules() { return rules_; }
+    std::vector<GroundWeak>& mutable_weaks() { return weaks_; }
+
     const std::vector<Signature>& shows() const { return shows_; }
 
     /// True if `id` should appear in projected answer sets (empty show list

@@ -164,6 +164,7 @@ Result<AssessmentReport> RiskAssessment::run(const AssessmentConfig& config,
 
     hierarchy::CegarOptions cegar_options;
     cegar_options.max_decisions = config.max_decisions;
+    cegar_options.static_prefilter = config.static_prefilter;
     cegar_options.ctx = &ctx;
 
     // Checkpoint/resume: previously journaled verdicts are replayed instead
@@ -226,6 +227,9 @@ Result<AssessmentReport> RiskAssessment::run(const AssessmentConfig& config,
     for (const hierarchy::ScenarioRecord& record : cegar.value().records) {
         report.total_decisions += record.verdict.solver_stats.decisions;
         report.total_conflicts += record.verdict.solver_stats.conflicts;
+        if (record.verdict.provenance == epa::VerdictProvenance::Static) {
+            ++report.statically_resolved;
+        }
     }
 
     // Step 6: quantitative (rough-granular) risk analysis.

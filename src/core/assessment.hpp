@@ -60,6 +60,11 @@ struct AssessmentConfig {
     // be configured directly on ctx.budget and left zero here.
     long long deadline_ms = 0;       ///< wall-clock deadline for steps 3-5 (0 = none)
     std::size_t max_decisions = 0;   ///< per-solve decision cap (0 = solver default)
+    /// Static ternary prefilter over the EPA ground-once cache
+    /// (docs/static-analysis.md). Never changes verdicts — only whether the
+    /// DPLL solver runs for statically decidable scenarios — so, like
+    /// `jobs`, it is excluded from the journal's config echo.
+    bool static_prefilter = true;
     std::optional<CancelToken> cancel;  ///< external cancellation
 
     // Checkpoint/resume.
@@ -102,6 +107,9 @@ struct AssessmentReport {
     std::size_t resumed_scenarios = 0;  ///< verdicts replayed from the journal
     std::size_t total_decisions = 0;    ///< solver effort across all scenarios
     std::size_t total_conflicts = 0;
+    /// Scenarios whose final verdict came from the static ternary prefilter
+    /// instead of a DPLL solve (docs/static-analysis.md).
+    std::size_t statically_resolved = 0;
     // Step 6.
     std::vector<ScenarioRisk> risks;  ///< sorted by descending risk
     // Step 7.

@@ -95,6 +95,7 @@ json::Value verdict_to_json(const epa::ScenarioVerdict& verdict) {
     json::set(o, "severity", static_cast<int>(verdict.severity));
     json::set(o, "likelihood", static_cast<int>(verdict.likelihood));
     json::set(o, "stats", stats_to_json(verdict.solver_stats));
+    json::set(o, "provenance", std::string(epa::to_string(verdict.provenance)));
     return o;
 }
 
@@ -138,6 +139,12 @@ Result<epa::ScenarioVerdict> verdict_from_json(const json::Value& value) {
     verdict.likelihood = level_from_int(value.get_int("likelihood"));
     if (const json::Value* stats = value.get("stats")) {
         verdict.solver_stats = stats_from_json(*stats);
+    }
+    // Absent in pre-absint journals: those verdicts all came from the solver.
+    if (const json::Value* provenance = value.get("provenance")) {
+        if (auto parsed = epa::parse_verdict_provenance(provenance->as_string())) {
+            verdict.provenance = *parsed;
+        }
     }
     return verdict;
 }

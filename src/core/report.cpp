@@ -98,7 +98,9 @@ std::string render_markdown(const AssessmentReport& report, const ReportOptions&
         md += markdown_table(report.completeness_table());
     }
     md += "- solver effort: decisions=" + std::to_string(report.total_decisions) +
-          ", conflicts=" + std::to_string(report.total_conflicts) + "\n\n";
+          ", conflicts=" + std::to_string(report.total_conflicts) + "\n";
+    md += "- statically resolved: " + std::to_string(report.statically_resolved) +
+          " scenario evaluations decided without a solver call\n\n";
 
     if (options.include_sensitivity) {
         md += "## Critical parameter estimates (sensitivity support)\n\n";
@@ -206,6 +208,7 @@ std::string render_report_json(const AssessmentReport& report) {
     json::set(completeness, "undetermined", std::move(undetermined));
     json::set(completeness, "total_decisions", report.total_decisions);
     json::set(completeness, "total_conflicts", report.total_conflicts);
+    json::set(completeness, "statically_resolved", report.statically_resolved);
     json::set(root, "completeness", std::move(completeness));
 
     json::Object plan;

@@ -4,6 +4,8 @@
 #include <set>
 #include <utility>
 
+#include "asp/absint/absint.hpp"
+#include "common/fault_injection.hpp"
 #include "common/strings.hpp"
 #include "common/thread_pool.hpp"
 #include "model/to_asp.hpp"
@@ -74,6 +76,20 @@ std::optional<UndeterminedReason> parse_undetermined_reason(std::string_view tex
     return std::nullopt;
 }
 
+std::string_view to_string(VerdictProvenance provenance) {
+    switch (provenance) {
+        case VerdictProvenance::Solver: return "solver";
+        case VerdictProvenance::Static: return "static";
+    }
+    return "solver";
+}
+
+std::optional<VerdictProvenance> parse_verdict_provenance(std::string_view text) {
+    if (text == "solver") return VerdictProvenance::Solver;
+    if (text == "static") return VerdictProvenance::Static;
+    return std::nullopt;
+}
+
 UndeterminedReason undetermined_reason_from(BudgetReason reason) {
     switch (reason) {
         case BudgetReason::Deadline: return UndeterminedReason::Timeout;
@@ -126,6 +142,12 @@ struct GroundedBase {
     /// Grounded atom id of active_mitigation(m) per known mitigation id
     /// (to_identifier-normalized).
     std::map<std::string, int> mitigation_atoms;
+    /// Open (pin-free) ternary analysis of `program` after simplification —
+    /// brackets every answer set under every pin configuration. Valid iff
+    /// `analysis_ok` (the evaluation neither conflicted nor tripped the
+    /// budget at create()).
+    asp::absint::Analysis analysis;
+    bool analysis_ok = false;
 };
 
 namespace {
@@ -177,6 +199,26 @@ std::shared_ptr<const GroundedBase> try_ground_base(const model::SystemModel& mo
 
     auto base = std::make_shared<GroundedBase>();
     base->program = std::move(grounded).value();
+
+    // One-time static simplification: the pin-free ternary analysis brackets
+    // every answer set under every later pin configuration, so decided atoms
+    // propagate, satisfied rules disappear and bodies shrink once — every
+    // subsequent pinned solve works on the smaller program with identical
+    // verdicts (differential-tested). Atom ids are never renumbered, so the
+    // assumption domain resolved below stays valid.
+    asp::absint::AbsintOptions absint_options;
+    absint_options.budget = options.effective_budget();
+    base->analysis = asp::absint::evaluate(base->program, absint_options);
+    if (!base->analysis.conflict && !base->analysis.interrupted) {
+        const auto stats = asp::absint::simplify(base->program, base->analysis);
+        base->analysis_ok = true;
+        obs::add_counter(options.metrics_sink(), "epa.absint.rules_deleted",
+                         stats.rules_deleted);
+        obs::add_counter(options.metrics_sink(), "epa.absint.literals_dropped",
+                         stats.literals_dropped);
+        obs::add_counter(options.metrics_sink(), "epa.absint.atoms_decided",
+                         stats.atoms_decided);
+    }
     for (const Mutation& mutation : fault_domain) {
         const int id = base->program.find(Atom{
             "scenario_fault",
@@ -306,6 +348,43 @@ Result<ScenarioVerdict> ErrorPropagationAnalysis::evaluate(
         // Cached path: no per-scenario grounding at all — one solve over the
         // shared ground program with the delta domain pinned.
         obs::add_counter(options_.metrics_sink(), "epa.ground_cache.hits");
+
+        if (options_.static_prefilter && grounded_base_->analysis_ok &&
+            !fault::should_fail("epa.absint.prefilter")) {
+            // An injected prefilter fault degrades to the DPLL path below —
+            // the verdict is identical, only provenance changes.
+            // Static prefilter: rerun the cheap ternary propagation with the
+            // scenario's assumptions pinned. When the fixpoint certifies a
+            // unique answer set, the verdict is emitted without any DPLL
+            // search — byte-identical to what the solver would report.
+            obs::Span prefilter_span(options_.trace_sink(), "epa.absint_prefilter", "scenario",
+                                     scenario.id);
+            asp::absint::AbsintOptions absint_options;
+            absint_options.pins = &*assumptions;
+            absint_options.budget = options_.effective_budget();
+            const auto analysis =
+                asp::absint::evaluate(grounded_base_->program, absint_options);
+            if (analysis.certified) {
+                asp::SolveResult synthesized;
+                synthesized.satisfiable = true;
+                asp::AnswerSet model;
+                model.atoms = asp::absint::certified_model(grounded_base_->program, analysis);
+                model.cost = asp::absint::certified_cost(grounded_base_->program, analysis);
+                synthesized.best_cost = model.cost;
+                synthesized.models.push_back(std::move(model));
+                verdict.provenance = VerdictProvenance::Static;
+                auto finished = finish_verdict(std::move(verdict), std::move(synthesized));
+                if (finished.ok()) {
+                    obs::add_counter(options_.metrics_sink(),
+                                     finished.value().status == VerdictStatus::Hazard
+                                         ? "epa.absint.static_hazard"
+                                         : "epa.absint.static_safe");
+                }
+                return finished;
+            }
+            obs::add_counter(options_.metrics_sink(), "epa.absint.static_unknown");
+        }
+
         asp::SolveOptions solve_options;
         if (options_.max_decisions != 0) solve_options.max_decisions = options_.max_decisions;
         solve_options.budget = options_.effective_budget();
@@ -445,6 +524,30 @@ Result<ScenarioVerdict> ErrorPropagationAnalysis::finish_verdict(
                                                   ? "epa.scenarios.hazard"
                                                   : "epa.scenarios.safe");
     return verdict;
+}
+
+std::vector<std::string> ErrorPropagationAnalysis::statically_reachable_violations() const {
+    std::vector<std::string> reachable;
+    if (grounded_base_ == nullptr || !grounded_base_->analysis_ok) {
+        // No cache or no trustworthy analysis: claim everything reachable so
+        // the lint stays silent rather than report false positives.
+        for (const Requirement& requirement : requirements_) reachable.push_back(requirement.id);
+        return reachable;
+    }
+    const GroundedBase& base = *grounded_base_;
+    std::set<std::string> possible;
+    for (int id = 0; id < static_cast<int>(base.program.atom_count()); ++id) {
+        if (!base.analysis.possible(id)) continue;
+        const Atom& atom = base.program.atom(id);
+        if (atom.predicate != "violated") continue;
+        if (atom.args.size() == 1 && atom.args[0].is_symbol()) {
+            possible.insert(atom.args[0].name());
+        }
+    }
+    for (const Requirement& requirement : requirements_) {
+        if (possible.count(requirement.id) > 0) reachable.push_back(requirement.id);
+    }
+    return reachable;
 }
 
 Result<std::optional<int>> ErrorPropagationAnalysis::min_violation_horizon(

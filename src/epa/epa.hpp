@@ -85,10 +85,18 @@ enum class UndeterminedReason : std::uint8_t {
     SolverError,    ///< grounder/solver failed (e.g. injected fault)
 };
 
+/// How a verdict was established. `Static` verdicts were decided by the
+/// ternary abstract interpreter (asp/absint) certifying the unique answer
+/// set without running the DPLL search; they are byte-identical to the
+/// verdict the solver would have produced (docs/static-analysis.md).
+enum class VerdictProvenance : std::uint8_t { Solver, Static };
+
 std::string_view to_string(VerdictStatus status);
 std::string_view to_string(UndeterminedReason reason);
+std::string_view to_string(VerdictProvenance provenance);
 std::optional<VerdictStatus> parse_verdict_status(std::string_view text);
 std::optional<UndeterminedReason> parse_undetermined_reason(std::string_view text);
+std::optional<VerdictProvenance> parse_verdict_provenance(std::string_view text);
 UndeterminedReason undetermined_reason_from(BudgetReason reason);
 
 /// Verdict for one scenario.
@@ -111,8 +119,11 @@ struct ScenarioVerdict {
     /// Human-readable diagnostic for an undetermined verdict, including the
     /// solver stats at the stopping point.
     std::string undetermined_detail;
-    /// Search effort for this scenario (decisions, conflicts, ...).
+    /// Search effort for this scenario (decisions, conflicts, ...). All
+    /// zeros for statically resolved verdicts.
     asp::SolveStats solver_stats;
+    /// Whether the DPLL solver or the static prefilter produced the verdict.
+    VerdictProvenance provenance = VerdictProvenance::Solver;
 
     bool violates(const std::string& requirement_id) const;
     bool any_violation() const { return !violated_requirements.empty(); }
@@ -128,15 +139,10 @@ struct EpaOptions {
     /// Per-scenario solver decision cap (0 = keep the solver default).
     std::size_t max_decisions = 0;
     /// Unified run state: budget, worker pool, trace sink, metrics registry
-    /// (obs/run_context.hpp). Borrowed; must outlive the analysis. When set,
-    /// it supersedes the deprecated `budget`/`jobs` fields below. Budget
+    /// (obs/run_context.hpp). Borrowed; must outlive the analysis. Budget
     /// exhaustion and solver errors degrade the affected scenario to an
     /// Undetermined verdict instead of failing the evaluation.
     RunContext* ctx = nullptr;
-    /// DEPRECATED — pre-RunContext shim, honored only when `ctx` is null.
-    /// Shared resource governor across every evaluation run through this
-    /// analysis. Not owned; the pointee must outlive the analysis.
-    Budget* budget = nullptr;
     /// Ground-once/solve-many: ground the base program a single time at
     /// create() with an *open* scenario-fault/mitigation domain (singleton
     /// choice shells), then let every evaluate() pin that domain via solver
@@ -145,15 +151,17 @@ struct EpaOptions {
     /// base grounding failed (budget trip, injected fault), silently fall
     /// back to the per-scenario grounding path. See docs/performance.md.
     bool ground_once = true;
-    /// DEPRECATED — pre-RunContext shim, honored only when `ctx` is null.
-    /// Worker lanes for evaluate_all (0 = hardware concurrency, 1 = the
-    /// sequential engine). Verdicts always come back in scenario order.
-    std::size_t jobs = 1;
+    /// Ternary abstract-interpretation prefilter over the ground-once cache
+    /// (asp/absint, docs/static-analysis.md): pin a scenario's assumption
+    /// domain, rerun the cheap propagation, and emit the verdict without the
+    /// DPLL search whenever the fixpoint certifies a unique answer set.
+    /// Verdicts are identical either way; only `provenance` differs. Only
+    /// effective on the cached (ground_once) path.
+    bool static_prefilter = true;
 
-    /// Resolved views over ctx-or-shim (every internal consumer goes through
-    /// these, so the deprecated fields have exactly one reading site each).
-    Budget* effective_budget() const { return ctx != nullptr ? &ctx->budget : budget; }
-    std::size_t effective_jobs() const { return ctx != nullptr ? ctx->jobs : jobs; }
+    /// Resolved views over the run context (single reading site each).
+    Budget* effective_budget() const { return ctx != nullptr ? &ctx->budget : nullptr; }
+    std::size_t effective_jobs() const { return ctx != nullptr ? ctx->jobs : 1; }
     obs::TraceSink* trace_sink() const { return ctx != nullptr ? ctx->trace : nullptr; }
     obs::MetricsRegistry* metrics_sink() const { return ctx != nullptr ? ctx->metrics : nullptr; }
 };
@@ -202,6 +210,15 @@ public:
     /// The assembled base program (facts + propagation + requirements), for
     /// inspection/debugging.
     const asp::Program& base_program() const { return base_program_; }
+
+    /// Requirement ids whose violation is statically *reachable*: the open
+    /// (pin-free) ternary analysis of the ground-once base left their
+    /// `violated/1` atom possible under at least one fault/mitigation
+    /// configuration. A requirement absent from this list can never be
+    /// violated at this focus/horizon — the `model-hazard-unreachable` lint.
+    /// Conservatively returns every requirement id when the cache or the
+    /// analysis is unavailable.
+    std::vector<std::string> statically_reachable_violations() const;
 
 private:
     ErrorPropagationAnalysis() = default;

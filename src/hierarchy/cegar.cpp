@@ -161,8 +161,8 @@ Result<CegarResult> run_cegar(const std::vector<CegarStage>& stages,
         epa_options.focus = stage.focus;
         epa_options.horizon = stage.horizon;
         epa_options.max_decisions = options.max_decisions;
+        epa_options.static_prefilter = options.static_prefilter;
         epa_options.ctx = options.ctx;
-        epa_options.budget = options.budget;
         auto epa = epa::ErrorPropagationAnalysis::create(*stage.model, stage.requirements,
                                                          mitigations, epa_options);
         if (!epa.ok()) {

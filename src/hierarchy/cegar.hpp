@@ -103,24 +103,22 @@ struct CegarHooks {
 struct CegarOptions {
     /// Per-solve decision cap applied to every stage (0 = solver default).
     std::size_t max_decisions = 0;
+    /// Forwarded to every stage's EpaOptions::static_prefilter
+    /// (docs/static-analysis.md).
+    bool static_prefilter = true;
     /// Unified run state: budget, worker pool, trace sink, metrics registry
-    /// (obs/run_context.hpp). Borrowed; must outlive the run. When set, it
-    /// supersedes the deprecated `budget`/`jobs` fields below.
+    /// (obs/run_context.hpp). Borrowed; must outlive the run. Worker lanes
+    /// come from ctx->jobs (0 = hardware concurrency, 1 = the sequential
+    /// engine); records, statistics, and the order of `completed` hook
+    /// invocations are independent of the value: finished walks are drained
+    /// to the hook strictly in scenario order (docs/performance.md).
     RunContext* ctx = nullptr;
-    /// DEPRECATED — pre-RunContext shim, honored only when `ctx` is null.
-    /// Shared resource governor for the whole refinement run. Not owned.
-    Budget* budget = nullptr;
     CegarHooks hooks;
-    /// DEPRECATED — pre-RunContext shim, honored only when `ctx` is null.
-    /// Worker lanes for the scenario walk (0 = hardware concurrency, 1 = the
-    /// sequential engine). Records, statistics, and the order of `completed`
-    /// hook invocations are independent of the value: finished walks are
-    /// drained to the hook strictly in scenario order (docs/performance.md).
-    std::size_t jobs = 1;
 
-    /// Resolved views over ctx-or-shim (see epa::EpaOptions for the idiom).
-    Budget* effective_budget() const { return ctx != nullptr ? &ctx->budget : budget; }
-    std::size_t effective_jobs() const { return ctx != nullptr ? ctx->jobs : jobs; }
+    /// Resolved views over the run context (see epa::EpaOptions for the
+    /// idiom).
+    Budget* effective_budget() const { return ctx != nullptr ? &ctx->budget : nullptr; }
+    std::size_t effective_jobs() const { return ctx != nullptr ? ctx->jobs : 1; }
     obs::TraceSink* trace_sink() const { return ctx != nullptr ? ctx->trace : nullptr; }
     obs::MetricsRegistry* metrics_sink() const { return ctx != nullptr ? ctx->metrics : nullptr; }
 };

@@ -4,7 +4,9 @@
 #include <string_view>
 
 #include "analysis/dependency_graph.hpp"
+#include "asp/absint/absint.hpp"
 #include "asp/eval.hpp"
+#include "asp/grounder.hpp"
 #include "asp/safety.hpp"
 
 namespace cprisk::lint {
@@ -49,6 +51,7 @@ public:
         check_undefined();
         check_unused();
         check_dependency_graph();
+        check_absint();
     }
 
 private:
@@ -187,19 +190,40 @@ private:
     void lint_source(std::size_t source) {
         const Program& program = *sources_[source].program;
         const bool temporal = program.is_temporal();
+        std::map<std::string, SourceLoc> seen_rules;
 
         for (const auto& sectioned : program.rules()) {
             const Rule& rule = sectioned.rule;
+
+            // Exact duplicates (same head, same body, same order) contribute
+            // nothing: answer sets and costs are unchanged without them.
+            const auto [first, inserted] = seen_rules.emplace(rule.to_string(), rule.loc);
+            if (!inserted) {
+                std::string message = "rule duplicates an identical earlier rule";
+                if (first->second.valid()) {
+                    message += " (line " +
+                               std::to_string(first->second.line + sources_[source].line_offset) +
+                               ")";
+                }
+                report(Severity::Note, "asp-redundant-rule", std::move(message), source, rule.loc,
+                       "remove the duplicate");
+            }
 
             // Definitions and uses.
             switch (rule.head.kind) {
                 case Head::Kind::Atom:
                     note_atom(rule.head.atom, source, rule.loc, /*is_use=*/false, temporal);
+                    if (!rule.body.empty()) {
+                        rule_derived_.insert(
+                            Signature{rule.head.atom.predicate, rule.head.atom.arity()});
+                    }
                     break;
                 case Head::Kind::Constraint: break;
                 case Head::Kind::Choice:
                     for (const auto& element : rule.head.elements) {
                         note_atom(element.atom, source, rule.loc, /*is_use=*/false, temporal);
+                        rule_derived_.insert(
+                            Signature{element.atom.predicate, element.atom.arity()});
                         for (const Literal& cond : element.condition) {
                             note_literal_uses(cond, source, rule.loc, temporal);
                         }
@@ -406,6 +430,75 @@ private:
         }
     }
 
+    /// Whole-program rules backed by the ternary abstract interpretation
+    /// (asp/absint, docs/static-analysis.md): ground body literals whose
+    /// truth the pin-free fixpoint already decides. Only meaningful for
+    /// closed, non-temporal programs — bundle fragments (open external
+    /// vocabulary) and temporal programs (which need an unrolling horizon;
+    /// model-hazard-unreachable covers those at the bundle level) skip it.
+    void check_absint() {
+        if (!options_.external_predicates.empty()) return;
+        asp::ProgramParts parts;
+        for (const ProgramSource& source : sources_) {
+            if (source.program == nullptr) continue;
+            if (source.program->is_temporal()) return;
+            parts.push_back(source.program);
+        }
+        if (parts.empty()) return;
+        auto grounded = asp::ground(parts);
+        if (!grounded.ok()) return;  // unsafe rules are already errors above
+        const asp::absint::Analysis analysis = asp::absint::evaluate(grounded.value());
+        if (analysis.conflict || analysis.interrupted) return;
+
+        for (std::size_t i = 0; i < sources_.size(); ++i) {
+            if (sources_[i].program == nullptr) continue;
+            for (const auto& sectioned : sources_[i].program->rules()) {
+                check_rule_absint(sectioned.rule, grounded.value(), analysis, i);
+            }
+        }
+    }
+
+    void check_rule_absint(const Rule& rule, const asp::GroundProgram& ground,
+                           const asp::absint::Analysis& analysis, std::size_t source) {
+        for (const Literal& lit : rule.body) {
+            if (lit.kind != Literal::Kind::Atom || !lit.atom.is_ground()) continue;
+            // Normalize arithmetic in the arguments the way the grounder
+            // does, so p(1+1) matches the interned p(2).
+            asp::Atom atom;
+            atom.predicate = lit.atom.predicate;
+            for (const Term& arg : lit.atom.args) {
+                auto value = asp::eval_term(arg);
+                atom.args.push_back(value.ok() ? std::move(value).value() : arg);
+            }
+            // Atoms the grounder never interned are underivable, i.e.
+            // statically false.
+            const int id = ground.find(atom);
+            const asp::absint::Ternary value =
+                id < 0 ? asp::absint::Ternary::False : analysis.value(id);
+            if (value == asp::absint::Ternary::Unknown) continue;
+            const bool holds = (value == asp::absint::Ternary::True) != lit.negated;
+            const SourceLoc loc = lit.loc.valid() ? lit.loc : rule.loc;
+            if (!holds) {
+                report(Severity::Note, "asp-redundant-rule",
+                       "body literal '" + lit.to_string() + "' is statically false: the " +
+                           (rule.head.kind == Head::Kind::Constraint ? "constraint" : "rule") +
+                           " can never fire",
+                       source, loc, "remove the rule, or fix the literal");
+                return;  // one finding per rule is enough
+            }
+            // Literals over predicates derived only by facts are idiomatic
+            // flags (`p :- start.`); only rule-derived constants are
+            // surprising enough to report.
+            if (rule_derived_.count(Signature{lit.atom.predicate, lit.atom.arity()}) == 0) {
+                continue;
+            }
+            report(Severity::Note, "asp-constant-atom",
+                   "body literal '" + lit.to_string() +
+                       "' is statically true in every answer set",
+                   source, loc, "the literal is redundant and can be dropped");
+        }
+    }
+
     const std::vector<ProgramSource>& sources_;
     const AspLintOptions& options_;
     DiagnosticSink& sink_;
@@ -413,6 +506,7 @@ private:
     std::map<Signature, Occurrence> derived_;
     std::map<Signature, Occurrence> used_;
     std::set<Signature> frame_synthesized_;
+    std::set<Signature> rule_derived_;
     std::map<std::string, std::map<std::size_t, Occurrence>> arities_;
 };
 

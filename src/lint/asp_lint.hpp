@@ -24,6 +24,17 @@
 //                        note     predicate derived and used, but with no
 //                                 rule chain to any #show output or
 //                                 constraint (predicate-level dead code)
+//   asp-constant-atom    note     ground body literal over a rule-derived
+//                                 atom the ternary analysis (asp/absint)
+//                                 proves true in every answer set
+//   asp-redundant-rule   note     exact duplicate of an earlier rule, or a
+//                                 rule with a statically false body literal
+//                                 (it can never fire)
+//
+// The last two are whole-program rules: they ground the union of the
+// sources and run the pin-free ternary fixpoint (docs/static-analysis.md),
+// so they only fire for closed, non-temporal programs (no external
+// vocabulary). The duplicate-rule check is purely syntactic and always on.
 //
 // Cross-program checks (undefined/unused/arity and the dependency-graph
 // rules) see the union of all the sources passed in, so a predicate derived

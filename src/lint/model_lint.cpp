@@ -8,6 +8,7 @@
 
 #include "analysis/taint.hpp"
 #include "asp/parser.hpp"
+#include "epa/epa.hpp"
 #include "lint/asp_lint.hpp"
 
 namespace cprisk::lint {
@@ -257,6 +258,7 @@ void lint_bundle(const core::Bundle& bundle, const core::BundleSourceMap& source
 
     // Requirements must reference atoms some behaviour fragment (or the
     // assessment driver) can derive.
+    std::set<std::string> underivable_requirements;
     const std::set<Signature> derivable = derivable_signatures(program_ptrs);
     for (const epa::Requirement& requirement : bundle.behavioral_requirements) {
         std::vector<Atom> atoms;
@@ -270,10 +272,46 @@ void lint_bundle(const core::Bundle& bundle, const core::BundleSourceMap& source
             if (int line = requirement_line(source_map, requirement.id); line > 0) {
                 loc = SourceLoc{line, 1};
             }
+            underivable_requirements.insert(requirement.id);
             sink.warning("model-underivable-requirement",
                          "requirement '" + requirement.id + "' references atom '" +
                              atom.to_string() + "' which no behaviour fragment derives",
                          loc, "derive '" + sig.to_string() + "' in a behaviour block");
+        }
+    }
+
+    // Statically unreachable hazards: the open ternary analysis of the
+    // behavioural base (every fault free to fire, no mitigation pinned)
+    // proves the requirement's `violated/1` atom impossible at a horizon
+    // covering the model diameter — no assessment scenario can ever flag it
+    // (asp/absint, docs/static-analysis.md). Requirements already reported
+    // underivable are skipped (they are trivially unreachable); a create()
+    // failure or an unavailable ground-once cache also skips the check, the
+    // reachability list then being conservatively complete.
+    epa::EpaOptions epa_options;
+    epa_options.focus = epa::AnalysisFocus::Behavioral;
+    epa_options.horizon = static_cast<int>(bundle.model.components().size()) + 1;
+    auto epa = epa::ErrorPropagationAnalysis::create(
+        bundle.model, bundle.behavioral_requirements,
+        epa::MitigationMap::from_attack_matrix(bundle.model, matrix), epa_options);
+    if (epa.ok()) {
+        const std::vector<std::string> reachable = epa.value().statically_reachable_violations();
+        const std::set<std::string> reachable_set(reachable.begin(), reachable.end());
+        for (const epa::Requirement& requirement : bundle.behavioral_requirements) {
+            if (reachable_set.count(requirement.id) > 0) continue;
+            if (underivable_requirements.count(requirement.id) > 0) continue;
+            SourceLoc loc;
+            if (int line = requirement_line(source_map, requirement.id); line > 0) {
+                loc = SourceLoc{line, 1};
+            }
+            sink.warning("model-hazard-unreachable",
+                         "requirement '" + requirement.id +
+                             "' can never be violated: no combination of faults reaches its "
+                             "violation at horizon " +
+                             std::to_string(epa_options.horizon),
+                         loc,
+                         "the requirement adds no hazard coverage; check the propagation "
+                         "relations and behaviour fragments, or drop it");
         }
     }
 }

@@ -28,6 +28,11 @@
 //                                          relations (only checked when the
 //                                          model has at least one entry
 //                                          point); see analysis/taint.hpp
+//   model-hazard-unreachable      warning  requirement whose violation the
+//                                          open ternary analysis (asp/absint)
+//                                          proves unreachable under every
+//                                          fault combination at a horizon
+//                                          covering the model diameter
 #pragma once
 
 #include "common/diagnostics.hpp"

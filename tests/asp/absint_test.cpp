@@ -1,0 +1,332 @@
+// Ternary abstract interpretation (asp/absint): bracket property, the
+// well-founded fixpoint on loops, certification against the solver, and the
+// model-preserving simplifier — differentially tested against full solves
+// under every pin configuration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "asp/absint/absint.hpp"
+#include "asp/grounder.hpp"
+#include "asp/parser.hpp"
+#include "asp/solver.hpp"
+#include "common/budget.hpp"
+
+namespace cprisk::asp::absint {
+namespace {
+
+GroundProgram must_ground(std::string_view text) {
+    auto program = parse_program(text);
+    EXPECT_TRUE(program.ok()) << program.error();
+    auto grounded = ground(program.value());
+    EXPECT_TRUE(grounded.ok()) << grounded.error();
+    return grounded.ok() ? std::move(grounded).value() : GroundProgram{};
+}
+
+Ternary value_of(const GroundProgram& program, const Analysis& analysis,
+                 std::string_view atom_text) {
+    auto atom = parse_atom(atom_text);
+    EXPECT_TRUE(atom.ok()) << atom.error();
+    const int id = program.find(atom.value());
+    EXPECT_GE(id, 0) << atom_text << " not interned";
+    return analysis.value(id);
+}
+
+TEST(Absint, StratifiedProgramIsTotalAndCertified) {
+    auto ground = must_ground("r. q :- not r. p :- not q. s :- p, r.");
+    auto analysis = evaluate(ground);
+    EXPECT_TRUE(analysis.total);
+    EXPECT_TRUE(analysis.certified);
+    EXPECT_FALSE(analysis.conflict);
+    EXPECT_EQ(value_of(ground, analysis, "r"), Ternary::True);
+    EXPECT_EQ(value_of(ground, analysis, "q"), Ternary::False);
+    EXPECT_EQ(value_of(ground, analysis, "p"), Ternary::True);
+    EXPECT_EQ(value_of(ground, analysis, "s"), Ternary::True);
+
+    // The certified model is exactly the solver's unique answer set.
+    auto solved = solve(ground);
+    ASSERT_TRUE(solved.ok());
+    ASSERT_EQ(solved.value().models.size(), 1u);
+    EXPECT_EQ(certified_model(ground, analysis), solved.value().models[0].atoms);
+}
+
+// The text pipeline's bottom-up grounder pre-filters underivable rules, so
+// the no-rule and unfounded-loop shapes are built through the GroundProgram
+// API directly — exactly what absint sees after simplify deletes rules.
+TEST(Absint, UnderivableAtomIsFalse) {
+    GroundProgram ground;
+    const int a = ground.intern(parse_atom("a").value());
+    const int b = ground.intern(parse_atom("b").value());
+    const int c = ground.intern(parse_atom("c").value());
+    GroundRule fact;
+    fact.head = a;
+    ground.add_rule(fact);
+    GroundRule rule;
+    rule.head = b;
+    rule.positive_body = {c};
+    ground.add_rule(rule);
+
+    auto analysis = evaluate(ground);
+    EXPECT_TRUE(analysis.total);
+    EXPECT_TRUE(analysis.certified);
+    EXPECT_EQ(analysis.value(a), Ternary::True);
+    EXPECT_EQ(analysis.value(b), Ternary::False);
+    EXPECT_EQ(analysis.value(c), Ternary::False);
+}
+
+TEST(Absint, EvenNegativeLoopStaysUnknown) {
+    auto ground = must_ground("a :- not b. b :- not a. c :- a. c :- b.");
+    auto analysis = evaluate(ground);
+    EXPECT_FALSE(analysis.total);
+    EXPECT_FALSE(analysis.certified);
+    EXPECT_EQ(value_of(ground, analysis, "a"), Ternary::Unknown);
+    EXPECT_EQ(value_of(ground, analysis, "b"), Ternary::Unknown);
+}
+
+TEST(Absint, UnfoundedPositiveLoopIsFalse) {
+    GroundProgram ground;
+    const int a = ground.intern(parse_atom("a").value());
+    const int b = ground.intern(parse_atom("b").value());
+    const int c = ground.intern(parse_atom("c").value());
+    GroundRule r1;  // a :- b.
+    r1.head = a;
+    r1.positive_body = {b};
+    ground.add_rule(r1);
+    GroundRule r2;  // b :- a.
+    r2.head = b;
+    r2.positive_body = {a};
+    ground.add_rule(r2);
+    GroundRule r3;  // c :- not a.
+    r3.head = c;
+    r3.negative_body = {a};
+    ground.add_rule(r3);
+
+    auto analysis = evaluate(ground);
+    EXPECT_TRUE(analysis.total);
+    EXPECT_TRUE(analysis.certified);
+    EXPECT_EQ(analysis.value(a), Ternary::False);
+    EXPECT_EQ(analysis.value(b), Ternary::False);
+    EXPECT_EQ(analysis.value(c), Ternary::True);
+}
+
+TEST(Absint, PinnedOffSupportPrunesPositiveLoop) {
+    // The loop a/b is reachable only through the choice atom; pinning the
+    // choice off must collapse the whole loop to false.
+    auto ground = must_ground("{ seed }. a :- seed. a :- b. b :- a.");
+    const int seed = ground.find(parse_atom("seed").value());
+    ASSERT_GE(seed, 0);
+
+    auto open = evaluate(ground);
+    EXPECT_EQ(value_of(ground, open, "a"), Ternary::Unknown);
+    EXPECT_EQ(value_of(ground, open, "b"), Ternary::Unknown);
+
+    std::vector<std::pair<int, bool>> pins{{seed, false}};
+    AbsintOptions options;
+    options.pins = &pins;
+    auto pinned = evaluate(ground, options);
+    EXPECT_TRUE(pinned.total);
+    EXPECT_TRUE(pinned.certified);
+    EXPECT_EQ(value_of(ground, pinned, "a"), Ternary::False);
+    EXPECT_EQ(value_of(ground, pinned, "b"), Ternary::False);
+}
+
+TEST(Absint, FoundedLoopMemberStaysTrue) {
+    auto ground = must_ground("a :- b. b :- a. b. d :- a.");
+    auto analysis = evaluate(ground);
+    EXPECT_TRUE(analysis.total);
+    EXPECT_TRUE(analysis.certified);
+    EXPECT_EQ(value_of(ground, analysis, "a"), Ternary::True);
+    EXPECT_EQ(value_of(ground, analysis, "d"), Ternary::True);
+}
+
+TEST(Absint, ChoiceHeadsStayUnknownWithoutPins) {
+    auto ground = must_ground("{ a }. b :- a. c :- not a. d.");
+    auto analysis = evaluate(ground);
+    EXPECT_FALSE(analysis.total);
+    EXPECT_EQ(value_of(ground, analysis, "a"), Ternary::Unknown);
+    EXPECT_EQ(value_of(ground, analysis, "b"), Ternary::Unknown);
+    EXPECT_EQ(value_of(ground, analysis, "c"), Ternary::Unknown);
+    EXPECT_EQ(value_of(ground, analysis, "d"), Ternary::True);
+}
+
+TEST(Absint, PinsDecideChoiceAtomsAndCertify) {
+    auto ground = must_ground("{ a }. b :- a. c :- not a.");
+    const int a = ground.find(parse_atom("a").value());
+    ASSERT_GE(a, 0);
+
+    for (bool truth : {true, false}) {
+        std::vector<std::pair<int, bool>> pins{{a, truth}};
+        AbsintOptions options;
+        options.pins = &pins;
+        auto analysis = evaluate(ground, options);
+        EXPECT_TRUE(analysis.total);
+        EXPECT_TRUE(analysis.certified) << "pin a=" << truth;
+        EXPECT_EQ(value_of(ground, analysis, "b"),
+                  truth ? Ternary::True : Ternary::False);
+        EXPECT_EQ(value_of(ground, analysis, "c"),
+                  truth ? Ternary::False : Ternary::True);
+
+        SolveOptions solve_options;
+        solve_options.assumptions = pins;
+        auto solved = solve(ground, solve_options);
+        ASSERT_TRUE(solved.ok());
+        ASSERT_EQ(solved.value().models.size(), 1u);
+        EXPECT_EQ(certified_model(ground, analysis), solved.value().models[0].atoms);
+    }
+}
+
+TEST(Absint, PinnedTrueAtomWithoutSupportIsNotCertified) {
+    // Pinning a true while its only support x is pinned false: the solver
+    // rejects every candidate as unstable (unsatisfiable); the analysis must
+    // refuse to certify rather than invent a model.
+    auto ground = must_ground("{ x }. a :- x. b :- not a.");
+    const int a = ground.find(parse_atom("a").value());
+    const int x = ground.find(parse_atom("x").value());
+    ASSERT_GE(a, 0);
+    ASSERT_GE(x, 0);
+    std::vector<std::pair<int, bool>> pins{{a, true}, {x, false}};
+    AbsintOptions options;
+    options.pins = &pins;
+    auto analysis = evaluate(ground, options);
+    EXPECT_FALSE(analysis.certified);
+
+    SolveOptions solve_options;
+    solve_options.assumptions = pins;
+    auto solved = solve(ground, solve_options);
+    ASSERT_TRUE(solved.ok());
+    EXPECT_FALSE(solved.value().satisfiable);
+}
+
+TEST(Absint, FiringConstraintBlocksCertification) {
+    auto ground = must_ground("a. :- a.");
+    auto analysis = evaluate(ground);
+    EXPECT_FALSE(analysis.certified);
+
+    auto solved = solve(ground);
+    ASSERT_TRUE(solved.ok());
+    EXPECT_FALSE(solved.value().satisfiable);
+}
+
+TEST(Absint, ContradictoryPinsAreAConflict) {
+    auto ground = must_ground("a. b :- a.");
+    const int a = ground.find(parse_atom("a").value());
+    std::vector<std::pair<int, bool>> pins{{a, false}};
+    AbsintOptions options;
+    options.pins = &pins;
+    auto analysis = evaluate(ground, options);
+    EXPECT_TRUE(analysis.conflict);
+    EXPECT_FALSE(analysis.certified);
+}
+
+TEST(Absint, CertifiedCostMatchesSolver) {
+    auto ground = must_ground("a. b :- a. :~ a. [2@1, t1] :~ b. [3@2, t2]");
+    auto analysis = evaluate(ground);
+    ASSERT_TRUE(analysis.certified);
+    auto solved = solve(ground);
+    ASSERT_TRUE(solved.ok());
+    ASSERT_EQ(solved.value().models.size(), 1u);
+    EXPECT_EQ(certified_cost(ground, analysis), solved.value().models[0].cost);
+}
+
+TEST(Absint, TrippedBudgetInterruptsWithAllUnknown) {
+    auto ground = must_ground("a. b :- a. c :- b. d :- c.");
+    Budget budget;
+    budget.set_max_steps(1);
+    AbsintOptions options;
+    options.budget = &budget;
+    auto analysis = evaluate(ground, options);
+    EXPECT_TRUE(analysis.interrupted);
+    EXPECT_FALSE(analysis.certified);
+    EXPECT_TRUE(std::all_of(analysis.values.begin(), analysis.values.end(),
+                            [](Ternary v) { return v == Ternary::Unknown; }));
+}
+
+// --- simplify -------------------------------------------------------------
+
+std::vector<std::vector<Atom>> all_models(const GroundProgram& program,
+                                          const std::vector<std::pair<int, bool>>& pins) {
+    SolveOptions options;
+    options.assumptions = pins;
+    options.optimize = false;
+    auto result = solve(program, options);
+    EXPECT_TRUE(result.ok()) << result.error();
+    std::vector<std::vector<Atom>> models;
+    if (!result.ok()) return models;
+    for (const auto& model : result.value().models) models.push_back(model.atoms);
+    std::sort(models.begin(), models.end());
+    return models;
+}
+
+TEST(Absint, SimplifyPreservesModelsUnderEveryPinConfiguration) {
+    const std::string text =
+        "{ f1 }. { f2 }. base. "
+        "x :- base. y :- x, f1. z :- y, not f2. "
+        "w :- z. w :- f2. dead :- gone. "
+        ":- y, f2, not x.";
+    auto original = must_ground(text);
+    auto simplified = must_ground(text);
+
+    auto analysis = evaluate(simplified);
+    auto stats = simplify(simplified, analysis);
+    EXPECT_TRUE(stats.changed());
+    EXPECT_GT(stats.facts_added, 0u);
+
+    const int f1 = original.find(parse_atom("f1").value());
+    const int f2 = original.find(parse_atom("f2").value());
+    ASSERT_GE(f1, 0);
+    ASSERT_GE(f2, 0);
+    // Atom ids must survive simplification unchanged.
+    EXPECT_EQ(simplified.find(parse_atom("f1").value()), f1);
+    EXPECT_EQ(simplified.find(parse_atom("f2").value()), f2);
+
+    for (bool v1 : {false, true}) {
+        for (bool v2 : {false, true}) {
+            std::vector<std::pair<int, bool>> pins{{f1, v1}, {f2, v2}};
+            EXPECT_EQ(all_models(original, pins), all_models(simplified, pins))
+                << "pins f1=" << v1 << " f2=" << v2;
+        }
+    }
+}
+
+TEST(Absint, SimplifyKeepsUnsatProgramsUnsat) {
+    const std::string text = "a. b :- a. :- b.";
+    auto original = must_ground(text);
+    auto simplified = must_ground(text);
+    auto analysis = evaluate(simplified);
+    simplify(simplified, analysis);
+
+    for (const GroundProgram* program : {&original, &simplified}) {
+        auto solved = solve(*program);
+        ASSERT_TRUE(solved.ok());
+        EXPECT_FALSE(solved.value().satisfiable);
+    }
+}
+
+TEST(Absint, SimplifyPreservesOptimizationCosts) {
+    const std::string text =
+        "{ pick }. cost :- pick. free :- not pick. base. "
+        ":~ cost. [5@1, c] :~ base. [1@1, b]";
+    auto original = must_ground(text);
+    auto simplified = must_ground(text);
+    auto analysis = evaluate(simplified);
+    simplify(simplified, analysis);
+
+    const int pick = original.find(parse_atom("pick").value());
+    ASSERT_GE(pick, 0);
+    for (bool v : {false, true}) {
+        std::vector<std::pair<int, bool>> pins{{pick, v}};
+        SolveOptions options;
+        options.assumptions = pins;
+        auto a = solve(original, options);
+        auto b = solve(simplified, options);
+        ASSERT_TRUE(a.ok());
+        ASSERT_TRUE(b.ok());
+        EXPECT_EQ(a.value().best_cost, b.value().best_cost) << "pick=" << v;
+    }
+}
+
+}  // namespace
+}  // namespace cprisk::asp::absint

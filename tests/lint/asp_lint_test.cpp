@@ -260,5 +260,62 @@ TEST(AspLintTest, ChoiceRuleVariablesBoundByConditionAreSafe) {
     EXPECT_TRUE(with_rule(diagnostics, "asp-unsafe-var").empty()) << render_text(diagnostics);
 }
 
+TEST(AspLintTest, DuplicateRuleIsRedundant) {
+    const auto redundant = with_rule(
+        lint("p(a).\nq(X) :- p(X).\nq(X) :- p(X).\n#show q/1.\n"), "asp-redundant-rule");
+    ASSERT_EQ(redundant.size(), 1u);
+    EXPECT_EQ(redundant[0].severity, Severity::Note);
+    EXPECT_NE(redundant[0].message.find("duplicates"), std::string::npos);
+    EXPECT_EQ(redundant[0].loc.line, 3);
+}
+
+TEST(AspLintTest, StaticallyFalseBodyLiteralIsRedundant) {
+    // `not p(a)` can never hold: p(a) is a fact, so the rule never fires.
+    const auto redundant = with_rule(
+        lint("p(a).\nq(b) :- not p(a).\n#show q/1.\n#show p/1.\n"), "asp-redundant-rule");
+    ASSERT_EQ(redundant.size(), 1u);
+    EXPECT_NE(redundant[0].message.find("statically false"), std::string::npos);
+}
+
+TEST(AspLintTest, ConstantAtomOverRuleDerivedPredicate) {
+    // r(a) is derived by a rule, yet the ternary fixpoint proves it true in
+    // every answer set — the ground literal 'r(a)' in the third rule is
+    // vacuous.
+    const auto diagnostics = lint(
+        "p(a).\nr(X) :- p(X).\n{ c }.\nq(b) :- r(a), not c.\n#show q/1.\n#show c/1.\n");
+    const auto constant = with_rule(diagnostics, "asp-constant-atom");
+    ASSERT_EQ(constant.size(), 1u);
+    EXPECT_EQ(constant[0].severity, Severity::Note);
+    EXPECT_NE(constant[0].message.find("'r(a)'"), std::string::npos);
+}
+
+TEST(AspLintTest, FactReferencesAreNotConstantAtoms) {
+    // Ground literals over plain facts are idiomatic flags; only
+    // rule-derived constants are reported.
+    const auto diagnostics = lint("start.\n{ c }.\nq(b) :- start, not c.\n#show q/1.\n"
+                                  "#show c/1.\n#show start/0.\n");
+    EXPECT_TRUE(with_rule(diagnostics, "asp-constant-atom").empty())
+        << render_text(diagnostics);
+}
+
+TEST(AspLintTest, UnknownLiteralsEscapeTheAbsintRules) {
+    // c is an open choice: 'not c' stays Unknown, so neither rule fires.
+    const auto diagnostics =
+        lint("{ c }.\nq(b) :- not c.\n#show q/1.\n#show c/1.\n");
+    EXPECT_TRUE(with_rule(diagnostics, "asp-constant-atom").empty());
+    EXPECT_TRUE(with_rule(diagnostics, "asp-redundant-rule").empty());
+}
+
+TEST(AspLintTest, AbsintRulesSkipOpenVocabularies) {
+    // With an external vocabulary the program is a fragment of a larger
+    // whole; whole-program conclusions would be unsound.
+    AspLintOptions options;
+    options.external_predicates = {"p"};
+    const auto diagnostics =
+        lint("q(b) :- not p(a).\np(a).\n#show q/1.\n#show p/1.\n", options);
+    EXPECT_TRUE(with_rule(diagnostics, "asp-redundant-rule").empty())
+        << render_text(diagnostics);
+}
+
 }  // namespace
 }  // namespace cprisk::lint

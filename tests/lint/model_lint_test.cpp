@@ -40,7 +40,7 @@ constexpr const char* kCleanBundle =
     "running(pump) :- component(pump), not eff_fault(pump, stuck).\n"
     "eff_fault(C, F) :- active_fault(C, F).\n"
     ">>>\n"
-    "requirement r1 never \"eff_fault(pump, stuck)\"\n"
+    "requirement r1 never \"active_fault(pump, stuck)\"\n"
     "requirement r2 protects pump\n";
 
 TEST(ModelLintTest, CleanBundleHasNoErrorsOrWarnings) {
@@ -48,6 +48,37 @@ TEST(ModelLintTest, CleanBundleHasNoErrorsOrWarnings) {
     for (const Diagnostic& d : diagnostics) {
         EXPECT_EQ(d.severity, Severity::Note) << d.to_string();
     }
+}
+
+TEST(ModelLintTest, StaticallyUnviolableRequirementIsFlagged) {
+    // eff_fault is derivable (so model-underivable-requirement stays quiet),
+    // yet the open ternary analysis proves its violation unreachable under
+    // every fault combination — the engine would never confirm a hazard for
+    // r1.
+    const auto diagnostics = lint_text(
+        "component plc controller exposure=internal\n"
+        "component pump actuator\n"
+        "fault pump stuck stuck_at\n"
+        "relation plc triggering pump\n"
+        "behavior plc <<<\n"
+        "eff_fault(C, F) :- active_fault(C, F).\n"
+        ">>>\n"
+        "requirement r1 never \"eff_fault(pump, stuck)\"\n");
+    EXPECT_TRUE(with_rule(diagnostics, "model-underivable-requirement").empty());
+    const auto unreachable = with_rule(diagnostics, "model-hazard-unreachable");
+    ASSERT_EQ(unreachable.size(), 1u) << render_text(diagnostics);
+    EXPECT_EQ(unreachable[0].severity, Severity::Warning);
+    EXPECT_NE(unreachable[0].message.find("'r1'"), std::string::npos);
+}
+
+TEST(ModelLintTest, UnderivableRequirementIsNotAlsoReportedUnreachable) {
+    const auto diagnostics = lint_text(
+        "component plc controller exposure=internal\n"
+        "fault plc crash omission\n"
+        "requirement r1 never \"meltdown(plc)\"\n");
+    EXPECT_EQ(with_rule(diagnostics, "model-underivable-requirement").size(), 1u);
+    EXPECT_TRUE(with_rule(diagnostics, "model-hazard-unreachable").empty())
+        << render_text(diagnostics);
 }
 
 TEST(ModelLintTest, LenientLoaderReportsAllStructuralProblemsAtOnce) {

@@ -126,10 +126,14 @@ TEST(ObsDeterminismTest, SweepRecordsTheExpectedInstruments) {
     const ObservedSweep run = observed_sweep(2);
     // Spot-check the instrument taxonomy (docs/observability.md).
     EXPECT_NE(run.trace_json.find("\"name\":\"epa.evaluate\""), std::string::npos);
+    EXPECT_NE(run.trace_json.find("\"name\":\"epa.absint_prefilter\""), std::string::npos);
     EXPECT_NE(run.metrics_json.find("\"epa.ground_cache.hits\":"), std::string::npos);
-    EXPECT_NE(run.metrics_json.find("\"asp.solve.calls\":"), std::string::npos);
+    // The static prefilter decides every scenario of this model, so the
+    // solver counters are absent; the ground and absint instruments replace
+    // them (docs/static-analysis.md).
+    EXPECT_NE(run.metrics_json.find("\"asp.ground.calls\":"), std::string::npos);
+    EXPECT_NE(run.metrics_json.find("\"epa.absint.atoms_decided\":"), std::string::npos);
     EXPECT_NE(run.metrics_json.find("\"epa.pool.lanes\":"), std::string::npos);
-    EXPECT_NE(run.metrics_json.find("\"epa.solve.decisions\":"), std::string::npos);
 }
 
 }  // namespace

@@ -1,7 +1,7 @@
 // RunContext tests (docs/observability.md): defaults reproduce the old
-// behaviour exactly, the pool is built lazily and shared, and the deprecated
-// jobs/budget shim fields in EpaOptions/CegarOptions are superseded by the
-// context when one is attached.
+// behaviour exactly, the pool is built lazily and shared, and the EpaOptions/
+// CegarOptions accessors resolve everything through the attached context
+// (plain options without one run sequential and unbudgeted).
 #include "obs/run_context.hpp"
 
 #include <gtest/gtest.h>
@@ -36,18 +36,14 @@ TEST(RunContextTest, PoolIsLazyAndSticky) {
     EXPECT_EQ(ctx.pool().jobs(), 2u);
 }
 
-TEST(RunContextTest, EpaOptionsShimPrefersContext) {
+TEST(RunContextTest, EpaOptionsResolveThroughContext) {
     epa::EpaOptions options;
-    // No context: the deprecated fields are honoured.
-    options.jobs = 4;
-    Budget legacy;
-    options.budget = &legacy;
-    EXPECT_EQ(options.effective_jobs(), 4u);
-    EXPECT_EQ(options.effective_budget(), &legacy);
+    // No context: sequential, unbudgeted, uninstrumented.
+    EXPECT_EQ(options.effective_jobs(), 1u);
+    EXPECT_EQ(options.effective_budget(), nullptr);
     EXPECT_EQ(options.trace_sink(), nullptr);
     EXPECT_EQ(options.metrics_sink(), nullptr);
 
-    // Context attached: it wins over the shim fields.
     RunContext ctx;
     ctx.jobs = 2;
     obs::MetricsRegistry metrics;
@@ -58,20 +54,20 @@ TEST(RunContextTest, EpaOptionsShimPrefersContext) {
     EXPECT_EQ(options.metrics_sink(), &metrics);
 }
 
-TEST(RunContextTest, CegarOptionsShimPrefersContext) {
+TEST(RunContextTest, CegarOptionsResolveThroughContext) {
     hierarchy::CegarOptions options;
-    options.jobs = 3;
-    EXPECT_EQ(options.effective_jobs(), 3u);
+    EXPECT_EQ(options.effective_jobs(), 1u);
+    EXPECT_EQ(options.effective_budget(), nullptr);
     RunContext ctx;
-    ctx.jobs = 1;
+    ctx.jobs = 3;
     obs::ChromeTraceSink trace;
     ctx.trace = &trace;
     options.ctx = &ctx;
-    EXPECT_EQ(options.effective_jobs(), 1u);
+    EXPECT_EQ(options.effective_jobs(), 3u);
     EXPECT_EQ(options.trace_sink(), &trace);
 }
 
-// --- shim equivalence on a real sweep --------------------------------------
+// --- context-vs-plain equivalence on a real sweep ---------------------------
 
 model::SystemModel chain_model(int n) {
     model::SystemModel m;
@@ -114,10 +110,8 @@ std::vector<epa::ScenarioVerdict> run_sweep(epa::EpaOptions options) {
     return analysis.value().evaluate_all(single_fault_space(8, n), {}).value();
 }
 
-TEST(RunContextTest, ContextSweepMatchesDeprecatedFieldSweep) {
-    epa::EpaOptions legacy;
-    legacy.jobs = 2;
-    const auto legacy_verdicts = run_sweep(legacy);
+TEST(RunContextTest, ContextSweepMatchesPlainSweep) {
+    const auto plain_verdicts = run_sweep(epa::EpaOptions{});
 
     RunContext ctx;
     ctx.jobs = 2;
@@ -125,13 +119,13 @@ TEST(RunContextTest, ContextSweepMatchesDeprecatedFieldSweep) {
     bundled.ctx = &ctx;
     const auto ctx_verdicts = run_sweep(bundled);
 
-    ASSERT_EQ(legacy_verdicts.size(), ctx_verdicts.size());
-    for (std::size_t i = 0; i < legacy_verdicts.size(); ++i) {
-        EXPECT_EQ(legacy_verdicts[i].scenario_id, ctx_verdicts[i].scenario_id);
-        EXPECT_EQ(legacy_verdicts[i].status, ctx_verdicts[i].status);
-        EXPECT_EQ(legacy_verdicts[i].violated_requirements,
+    ASSERT_EQ(plain_verdicts.size(), ctx_verdicts.size());
+    for (std::size_t i = 0; i < plain_verdicts.size(); ++i) {
+        EXPECT_EQ(plain_verdicts[i].scenario_id, ctx_verdicts[i].scenario_id);
+        EXPECT_EQ(plain_verdicts[i].status, ctx_verdicts[i].status);
+        EXPECT_EQ(plain_verdicts[i].violated_requirements,
                   ctx_verdicts[i].violated_requirements);
-        EXPECT_EQ(legacy_verdicts[i].severity, ctx_verdicts[i].severity);
+        EXPECT_EQ(plain_verdicts[i].severity, ctx_verdicts[i].severity);
     }
 }
 

@@ -48,6 +48,10 @@ protected:
         c.include_attack_scenarios = false;
         c.journal_path = journal;
         c.jobs = GetParam();
+        // The static prefilter decides every watertank scenario without a
+        // solver call, which would leave the asp.solver.* seams unregistered
+        // and unswept. The prefilter's own seam has a dedicated test below.
+        c.static_prefilter = false;
         return c;
     }
 
@@ -133,6 +137,34 @@ TEST_P(FaultSweepFixture, SolverFaultMidRunStillDecidesOtherScenarios) {
     for (const auto& v : r.undetermined) {
         ASSERT_TRUE(v.undetermined_reason.has_value());
         EXPECT_EQ(*v.undetermined_reason, epa::UndeterminedReason::SolverError);
+    }
+}
+
+TEST_P(FaultSweepFixture, PrefilterFaultFallsBackToTheSolver) {
+    AssessmentConfig prefiltered = config("");
+    prefiltered.static_prefilter = true;
+
+    auto clean = assessment_->run(prefiltered);
+    ASSERT_TRUE(clean.ok()) << clean.error();
+    ASSERT_GT(clean.value().statically_resolved, 0u);
+    const std::vector<std::string> sites = fault::registered_sites();
+    ASSERT_NE(std::find(sites.begin(), sites.end(), "epa.absint.prefilter"), sites.end())
+        << "prefilter seam not exercised by the reference run";
+
+    // A failing prefilter is invisible except for provenance: the scenario
+    // falls back to the DPLL path and gets the same verdict.
+    for (int countdown : {1, 4}) {
+        SCOPED_TRACE("countdown=" + std::to_string(countdown));
+        fault::reset();
+        fault::arm("epa.absint.prefilter", countdown);
+        auto report = assessment_->run(prefiltered);
+        fault::reset();
+        ASSERT_TRUE(report.ok()) << report.error();
+        EXPECT_TRUE(report.value().complete());
+        EXPECT_EQ(hazard_ids(report.value()), hazard_ids(clean.value()));
+        // The faulted evaluation may not be the one backing a final verdict
+        // (an earlier CEGAR stage), so the count can only stay or drop.
+        EXPECT_LE(report.value().statically_resolved, clean.value().statically_resolved);
     }
 }
 

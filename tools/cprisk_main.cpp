@@ -23,6 +23,7 @@
 //   --max-faults K       simultaneous-fault bound           (default 2)
 //   --attack-scenarios   include actor-driven attack scenarios
 //   --no-cegar           run the behavioural analysis directly
+//   --no-static-prefilter  disable the ternary verdict prefilter
 //   --budget N           mitigation budget constraint
 //   --phase-budget N     enable multi-phase planning
 //   --markdown FILE      write the analyst report as Markdown
@@ -75,6 +76,7 @@ int usage() {
                  "                     [--phase-budget N] [--markdown FILE] [--csv FILE]\n"
                  "                     [--json FILE] [--deadline-ms N] [--max-decisions N]\n"
                  "                     [--jobs N] [--journal FILE] [--resume]\n"
+                 "                     [--no-static-prefilter]\n"
                  "                     [--trace FILE] [--metrics FILE]\n"
                  "       cprisk matrix\n");
     return 2;
@@ -488,7 +490,8 @@ int cmd_assess(int argc, char** argv) {
         "--horizon",   "--max-faults",    "--attack-scenarios", "--no-cegar",
         "--budget",    "--phase-budget",  "--deadline-ms",      "--max-decisions",
         "--jobs",      "--journal",       "--resume",           "--markdown",
-        "--csv",       "--json",          "--trace",            "--metrics"};
+        "--csv",       "--json",          "--trace",            "--metrics",
+        "--no-static-prefilter"};
 
     for (int i = 1; i < argc; ++i) {
         const std::string flag = argv[i];
@@ -520,6 +523,8 @@ int cmd_assess(int argc, char** argv) {
             config.include_attack_scenarios = true;
         } else if (flag == "--no-cegar") {
             config.use_cegar = false;
+        } else if (flag == "--no-static-prefilter") {
+            config.static_prefilter = false;
         } else if (flag == "--budget" && next_value(value)) {
             config.budget = value;
         } else if (flag == "--phase-budget" && next_value(value)) {
