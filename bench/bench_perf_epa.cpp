@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "epa/epa.hpp"
+#include "epa/frontier.hpp"
 #include "security/scenario.hpp"
 
 namespace {
@@ -259,6 +260,47 @@ double static_resolution_fraction() {
     return total > 0.0 ? resolved / total : 0.0;
 }
 
+/// One pruned exhaustive frontier over the full 2^n fault lattice of a
+/// negation-free chain (docs/exhaustive-search.md). The chain certifies
+/// monotone, so the sweep evaluates the empty set plus the n singletons and
+/// prunes everything above them: the pruning ratio candidates/evaluated is
+/// 2^n/(n+1), ~3855x at n=16 — the number EXPERIMENTS.md records.
+struct FrontierNumbers {
+    double seconds = 0.0;
+    std::size_t candidates = 0;
+    std::size_t evaluated = 0;
+    std::size_t pruned = 0;
+    std::size_t minimal = 0;
+    bool monotone = false;
+};
+
+FrontierNumbers frontier_numbers(int n) {
+    auto m = chain_model(n);
+    epa::EpaOptions options;
+    options.focus = epa::AnalysisFocus::Topology;
+    options.horizon = n + 1;
+    auto analysis = epa::ErrorPropagationAnalysis::create(
+        m, {epa::Requirement::no_error_reaches("c" + std::to_string(n - 1))}, {}, options);
+    FrontierNumbers numbers;
+    for (int round = 0; round < 3; ++round) {
+        const auto start = std::chrono::steady_clock::now();
+        auto result = epa::run_frontier(analysis.value(), {});
+        const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+        if (!result.ok()) {
+            std::fprintf(stderr, "bench_perf_epa: frontier failed: %s\n", result.error().c_str());
+            return numbers;
+        }
+        const epa::FrontierResult& frontier = result.value();
+        if (round == 0 || elapsed.count() < numbers.seconds) numbers.seconds = elapsed.count();
+        numbers.candidates = frontier.candidates;
+        numbers.evaluated = frontier.evaluated;
+        numbers.pruned = frontier.pruned;
+        numbers.minimal = frontier.minimal_hazards.size();
+        numbers.monotone = frontier.certificate.has_value() && frontier.certificate->monotone;
+    }
+    return numbers;
+}
+
 /// Times every sweep configuration and writes BENCH_epa.json.
 void write_sweep_json() {
     const double seed = sweep_seconds(false, 1);
@@ -269,6 +311,11 @@ void write_sweep_json() {
     const double jobs8 = sweep_seconds(true, 8);
     const double obs_overhead = null_obs_overhead();
     const double static_fraction = static_resolution_fraction();
+    const FrontierNumbers frontier = frontier_numbers(16);
+    const double pruning_ratio =
+        frontier.evaluated > 0
+            ? static_cast<double>(frontier.candidates) / static_cast<double>(frontier.evaluated)
+            : 0.0;
 
     std::FILE* out = std::fopen("BENCH_epa.json", "w");
     if (out == nullptr) {
@@ -292,16 +339,29 @@ void write_sweep_json() {
                  "    \"prefilter_off_jobs1_s\": %.6f,\n"
                  "    \"speedup\": %.2f,\n"
                  "    \"static_fraction\": %.4f\n"
+                 "  },\n"
+                 "  \"exhaustive_frontier\": {\n"
+                 "    \"workload\": \"chain(16), topology focus, horizon 17, full lattice\",\n"
+                 "    \"certificate\": \"%s\",\n"
+                 "    \"candidates\": %zu,\n"
+                 "    \"evaluated\": %zu,\n"
+                 "    \"pruned\": %zu,\n"
+                 "    \"minimal_hazards\": %zu,\n"
+                 "    \"wall_s\": %.6f,\n"
+                 "    \"pruning_ratio\": %.2f\n"
                  "  }\n"
                  "}\n",
                  seed, cache_only, jobs2, jobs4, jobs8, seed / cache_only, seed / jobs8,
                  obs_overhead, cache_only, no_prefilter, no_prefilter / cache_only,
-                 static_fraction);
+                 static_fraction, frontier.monotone ? "monotone" : "mixed", frontier.candidates,
+                 frontier.evaluated, frontier.pruned, frontier.minimal, frontier.seconds,
+                 pruning_ratio);
     std::fclose(out);
     std::printf("BENCH_epa.json: ground-once alone %.2fx, jobs=8 vs seed %.2fx, "
-                "null-obs overhead %.4fx, prefilter %.2fx (static fraction %.2f)\n",
+                "null-obs overhead %.4fx, prefilter %.2fx (static fraction %.2f), "
+                "frontier pruning %.0fx (%zu/%zu)\n",
                 seed / cache_only, seed / jobs8, obs_overhead, no_prefilter / cache_only,
-                static_fraction);
+                static_fraction, pruning_ratio, frontier.candidates, frontier.evaluated);
 }
 
 }  // namespace

@@ -1,0 +1,332 @@
+#include "asp/polarity.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace cprisk::asp::polarity {
+
+std::string_view to_string(Sign sign) {
+    switch (sign) {
+        case Sign::None: return "none";
+        case Sign::Positive: return "positive";
+        case Sign::Negative: return "negative";
+        case Sign::Mixed: return "mixed";
+    }
+    return "none";
+}
+
+Sign join(Sign a, Sign b) {
+    if (a == b) return a;
+    if (a == Sign::None) return b;
+    if (b == Sign::None) return a;
+    return Sign::Mixed;
+}
+
+std::string_view to_string(Offender::Kind kind) {
+    switch (kind) {
+        case Offender::Kind::OddNegation: return "odd-negation";
+        case Offender::Kind::NegativeCycle: return "negative-cycle";
+        case Offender::Kind::Constraint: return "constraint";
+        case Offender::Kind::Aggregate: return "aggregate";
+        case Offender::Kind::WeakConstraint: return "weak-constraint";
+        case Offender::Kind::ChoiceBody: return "choice-body";
+    }
+    return "odd-negation";
+}
+
+namespace {
+
+/// One ground dependency edge: body atom -> head atom, sign-flipping when
+/// the body literal is negated.
+struct Edge {
+    int to = -1;
+    bool negative = false;
+};
+
+/// A site that must not depend on the inputs at all for the certificate to
+/// hold: integrity constraint, aggregate guard, weak constraint, or
+/// choice-rule body (conditions the sign calculus cannot order).
+struct SensitiveSite {
+    Offender::Kind kind = Offender::Kind::Constraint;
+    /// Undecided (atom, negated) literals of the site.
+    std::vector<std::pair<int, bool>> literals;
+};
+
+}  // namespace
+
+MonotonicityCertificate certify_monotone(const GroundProgram& program,
+                                         const std::vector<int>& input_atoms,
+                                         const std::vector<int>& hazard_atoms,
+                                         const PolarityOptions& options) {
+    const std::size_t n = program.atom_count();
+    const absint::Analysis* analysis = options.analysis;
+    const auto decided = [&](int atom) {
+        return analysis != nullptr && static_cast<std::size_t>(atom) < analysis->values.size() &&
+               analysis->value(atom) != absint::Ternary::Unknown;
+    };
+    // A decided literal that falsifies the body makes the whole rule dead
+    // under every completion of the open domain.
+    const auto body_alive = [&](const std::vector<int>& pos, const std::vector<int>& neg) {
+        for (int b : pos) {
+            if (decided(b) && !analysis->must(b)) return false;
+        }
+        for (int b : neg) {
+            if (decided(b) && analysis->must(b)) return false;
+        }
+        return true;
+    };
+    const auto collect_undecided = [&](const std::vector<int>& pos, const std::vector<int>& neg,
+                                       std::vector<std::pair<int, bool>>& out) {
+        for (int b : pos) {
+            if (!decided(b)) out.emplace_back(b, false);
+        }
+        for (int b : neg) {
+            if (!decided(b)) out.emplace_back(b, true);
+        }
+    };
+
+    // Ground dependency graph over undecided atoms; decided atoms are
+    // constants and contribute no edges.
+    std::vector<std::vector<Edge>> out(n);
+    std::vector<SensitiveSite> sites;
+    for (const GroundRule& rule : program.rules()) {
+        if (!body_alive(rule.positive_body, rule.negative_body)) continue;
+        switch (rule.kind) {
+            case GroundRule::Kind::Normal: {
+                if (decided(rule.head)) break;
+                std::vector<std::pair<int, bool>> literals;
+                collect_undecided(rule.positive_body, rule.negative_body, literals);
+                for (const auto& [atom, negated] : literals) {
+                    out[static_cast<std::size_t>(atom)].push_back(Edge{rule.head, negated});
+                }
+                break;
+            }
+            case GroundRule::Kind::Constraint: {
+                SensitiveSite site{Offender::Kind::Constraint, {}};
+                collect_undecided(rule.positive_body, rule.negative_body, site.literals);
+                if (!site.literals.empty()) sites.push_back(std::move(site));
+                for (const GroundAggregate& aggregate : rule.aggregates) {
+                    SensitiveSite guard{Offender::Kind::Aggregate, {}};
+                    for (const GroundAggregateElement& element : aggregate.elements) {
+                        for (int condition : element.condition) {
+                            if (!decided(condition)) guard.literals.emplace_back(condition, false);
+                        }
+                    }
+                    if (!guard.literals.empty()) sites.push_back(std::move(guard));
+                }
+                break;
+            }
+            case GroundRule::Kind::Choice: {
+                SensitiveSite site{Offender::Kind::ChoiceBody, {}};
+                collect_undecided(rule.positive_body, rule.negative_body, site.literals);
+                if (!site.literals.empty()) sites.push_back(std::move(site));
+                break;
+            }
+        }
+    }
+    for (const GroundWeak& weak : program.weaks()) {
+        if (!body_alive(weak.positive_body, weak.negative_body)) continue;
+        SensitiveSite site{Offender::Kind::WeakConstraint, {}};
+        collect_undecided(weak.positive_body, weak.negative_body, site.literals);
+        if (!site.literals.empty()) sites.push_back(std::move(site));
+    }
+
+    // Multi-source parity BFS from the open inputs over (atom, parity)
+    // nodes: parity flips across negative edges. The parities reachable at
+    // an atom are exactly its sign-join fixpoint (even -> Positive, odd ->
+    // Negative, both -> Mixed); parent pointers give witness paths.
+    constexpr int kNone = -1;
+    const auto node_of = [](int atom, int parity) { return atom * 2 + parity; };
+    std::vector<char> visited(2 * n, 0);
+    std::vector<int> parent(2 * n, kNone);
+    std::vector<int> origin(2 * n, kNone);
+    std::deque<int> queue;
+    for (int input : input_atoms) {
+        if (decided(input)) continue;  // pinned/derived constant, not an open input
+        const int node = node_of(input, 0);
+        if (visited[static_cast<std::size_t>(node)] != 0) continue;
+        visited[static_cast<std::size_t>(node)] = 1;
+        origin[static_cast<std::size_t>(node)] = input;
+        queue.push_back(node);
+    }
+    while (!queue.empty()) {
+        const int node = queue.front();
+        queue.pop_front();
+        const int atom = node / 2;
+        const int parity = node % 2;
+        for (const Edge& edge : out[static_cast<std::size_t>(atom)]) {
+            const int next = node_of(edge.to, edge.negative ? 1 - parity : parity);
+            if (visited[static_cast<std::size_t>(next)] != 0) continue;
+            visited[static_cast<std::size_t>(next)] = 1;
+            parent[static_cast<std::size_t>(next)] = node;
+            origin[static_cast<std::size_t>(next)] = origin[static_cast<std::size_t>(node)];
+            queue.push_back(next);
+        }
+    }
+    const auto reached = [&](int atom) {
+        return visited[static_cast<std::size_t>(node_of(atom, 0))] != 0 ||
+               visited[static_cast<std::size_t>(node_of(atom, 1))] != 0;
+    };
+    const auto witness_input = [&](int atom) {
+        const int even = node_of(atom, 0);
+        return visited[static_cast<std::size_t>(even)] != 0
+                   ? origin[static_cast<std::size_t>(even)]
+                   : origin[static_cast<std::size_t>(node_of(atom, 1))];
+    };
+
+    MonotonicityCertificate cert;
+    cert.input_count = input_atoms.size();
+    cert.hazard_count = hazard_atoms.size();
+
+    // (3) Hazard signs; odd-parity reachability is the headline offender.
+    for (int hazard : hazard_atoms) {
+        Sign sign = Sign::None;
+        if (visited[static_cast<std::size_t>(node_of(hazard, 0))] != 0) {
+            sign = join(sign, Sign::Positive);
+        }
+        if (visited[static_cast<std::size_t>(node_of(hazard, 1))] != 0) {
+            sign = join(sign, Sign::Negative);
+        }
+        cert.hazard_sign[hazard] = sign;
+        if (sign != Sign::Negative && sign != Sign::Mixed) continue;
+        Offender offender;
+        offender.kind = Offender::Kind::OddNegation;
+        offender.hazard_atom = hazard;
+        int node = node_of(hazard, 1);
+        offender.input_atom = origin[static_cast<std::size_t>(node)];
+        while (node != kNone) {
+            const int prev = parent[static_cast<std::size_t>(node)];
+            if (prev != kNone && prev % 2 != node % 2) {
+                offender.negative_edges.emplace_back(prev / 2, node / 2);
+            }
+            node = prev;
+        }
+        std::reverse(offender.negative_edges.begin(), offender.negative_edges.end());
+        offender.detail = "input '" + program.atom(offender.input_atom).to_string() +
+                          "' reaches hazard '" + program.atom(hazard).to_string() +
+                          "' through an odd number of negations (" +
+                          std::to_string(offender.negative_edges.size()) + ")";
+        cert.offenders.push_back(std::move(offender));
+    }
+
+    // (2) Recursion through negation among input-dependent atoms: SCCs of
+    // the reachable subgraph (iterative Tarjan, the absint.cpp idiom); a
+    // negative edge inside a component breaks stratification of the
+    // input-dependent slice.
+    {
+        constexpr int kUnvisited = -1;
+        std::vector<int> index(n, kUnvisited);
+        std::vector<int> lowlink(n, 0);
+        std::vector<int> comp_of(n, -1);
+        std::vector<char> on_stack(n, 0);
+        std::vector<int> stack;
+        std::vector<std::vector<int>> components;
+        int next_index = 0;
+
+        struct Frame {
+            int atom;
+            std::size_t pos = 0;
+        };
+        std::vector<Frame> frames;
+        for (std::size_t root = 0; root < n; ++root) {
+            if (!reached(static_cast<int>(root)) || index[root] != kUnvisited) continue;
+            frames.push_back(Frame{static_cast<int>(root)});
+            index[root] = lowlink[root] = next_index++;
+            stack.push_back(static_cast<int>(root));
+            on_stack[root] = 1;
+            while (!frames.empty()) {
+                Frame& frame = frames.back();
+                const std::size_t a = static_cast<std::size_t>(frame.atom);
+                int successor = -1;
+                while (frame.pos < out[a].size()) {
+                    const int candidate = out[a][frame.pos++].to;
+                    if (reached(candidate)) {
+                        successor = candidate;
+                        break;
+                    }
+                }
+                if (successor >= 0) {
+                    const std::size_t s = static_cast<std::size_t>(successor);
+                    if (index[s] == kUnvisited) {
+                        index[s] = lowlink[s] = next_index++;
+                        stack.push_back(successor);
+                        on_stack[s] = 1;
+                        frames.push_back(Frame{successor});
+                    } else if (on_stack[s] != 0) {
+                        lowlink[a] = std::min(lowlink[a], index[s]);
+                    }
+                    continue;
+                }
+                const int atom = frame.atom;
+                frames.pop_back();
+                if (!frames.empty()) {
+                    const std::size_t p = static_cast<std::size_t>(frames.back().atom);
+                    lowlink[p] = std::min(lowlink[p], lowlink[atom]);
+                }
+                if (lowlink[atom] == index[atom]) {
+                    std::vector<int> members;
+                    while (true) {
+                        const int member = stack.back();
+                        stack.pop_back();
+                        on_stack[static_cast<std::size_t>(member)] = 0;
+                        comp_of[static_cast<std::size_t>(member)] =
+                            static_cast<int>(components.size());
+                        members.push_back(member);
+                        if (member == atom) break;
+                    }
+                    components.push_back(std::move(members));
+                }
+            }
+        }
+
+        std::vector<std::vector<std::pair<int, int>>> internal(components.size());
+        for (std::size_t a = 0; a < n; ++a) {
+            if (!reached(static_cast<int>(a))) continue;
+            for (const Edge& edge : out[a]) {
+                if (!edge.negative || !reached(edge.to)) continue;
+                if (comp_of[a] == comp_of[static_cast<std::size_t>(edge.to)]) {
+                    internal[static_cast<std::size_t>(comp_of[a])].emplace_back(
+                        static_cast<int>(a), edge.to);
+                }
+            }
+        }
+        for (std::size_t c = 0; c < components.size(); ++c) {
+            if (internal[c].empty()) continue;
+            Offender offender;
+            offender.kind = Offender::Kind::NegativeCycle;
+            offender.input_atom = witness_input(components[c].front());
+            offender.negative_edges = internal[c];
+            std::string members;
+            for (int member : components[c]) {
+                if (!members.empty()) members += ", ";
+                members += program.atom(member).to_string();
+            }
+            offender.detail = "recursion through negation among input-dependent atoms: " + members;
+            cert.offenders.push_back(std::move(offender));
+        }
+    }
+
+    // (1) Input-reachable conditions outside the sign calculus, one
+    // offender per (kind, atom) cause.
+    std::set<std::pair<int, int>> seen_sites;
+    for (const SensitiveSite& site : sites) {
+        for (const auto& [atom, negated] : site.literals) {
+            (void)negated;
+            if (!reached(atom)) continue;
+            if (!seen_sites.emplace(static_cast<int>(site.kind), atom).second) continue;
+            Offender offender;
+            offender.kind = site.kind;
+            offender.input_atom = witness_input(atom);
+            offender.detail = std::string(to_string(site.kind)) + " over '" +
+                              program.atom(atom).to_string() + "' depends on input '" +
+                              program.atom(offender.input_atom).to_string() + "'";
+            cert.offenders.push_back(std::move(offender));
+        }
+    }
+
+    cert.monotone = cert.offenders.empty();
+    return cert;
+}
+
+}  // namespace cprisk::asp::polarity

@@ -1,0 +1,113 @@
+// cprisk/asp/polarity.hpp
+//
+// Polarity (sign) propagation over ground programs: classifies every atom
+// as positive / negative / mixed with respect to a set of *open inputs*
+// (choice-shell atoms such as the EPA's scenario_fault domain), by walking
+// the ground dependency graph and flipping the sign across default
+// negation. The product is a MonotonicityCertificate: either a proof that
+// every hazard indicator is monotone non-decreasing in the input domain —
+// so a superset of a hazardous input set is again hazardous, and an
+// exhaustive lattice sweep may prune supersets (epa/frontier.hpp) — or the
+// offending paths/rules that break the proof.
+//
+// Soundness argument (docs/exhaustive-search.md). Fix any valuation of the
+// open atoms that are *not* inputs (free choices). If
+//  (1) no integrity constraint, aggregate guard, weak constraint, or
+//      choice-rule body is reachable from an input,
+//  (2) no strongly connected component reachable from an input contains a
+//      negative edge (no recursion through negation on input-dependent
+//      atoms), and
+//  (3) every hazard atom's propagated sign is None or Positive,
+// then the input-dependent slice of the program is stratified and
+// deterministic, each atom's truth value is a monotone boolean function of
+// the inputs (an even number of antitone steps composes to monotone), and
+// answer-set existence does not depend on the inputs. The existential
+// hazard check — "some answer set violates a requirement" — is then a
+// supremum of monotone functions over the free choices, hence monotone.
+// Everything outside these conditions conservatively fails certification.
+//
+// Atoms decided by a ternary pre-analysis (asp/absint) are constants under
+// every completion of the open domain and contribute no edges; passing the
+// pinned analysis in PolarityOptions is what removes e.g. the EPA's
+// built-in `injected_fault :- scenario_fault, not suppressed` odd path
+// once the active-mitigation set is fixed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "asp/absint/absint.hpp"
+#include "asp/ground_program.hpp"
+
+namespace cprisk::asp::polarity {
+
+/// Sign of an atom's dependence on the open inputs. Join lattice:
+/// None < Positive/Negative < Mixed.
+enum class Sign : std::uint8_t { None, Positive, Negative, Mixed };
+
+std::string_view to_string(Sign sign);
+
+/// Join (least upper bound) of two signs.
+Sign join(Sign a, Sign b);
+
+struct PolarityOptions {
+    /// Ternary pre-analysis of the same program (typically pinned to the
+    /// run's non-input choice atoms). Decided atoms are constants: dead
+    /// rules are skipped and decided literals contribute no edges.
+    /// Borrowed; may be null (every atom treated as undecided).
+    const absint::Analysis* analysis = nullptr;
+};
+
+/// One reason the certificate failed.
+struct Offender {
+    enum class Kind : std::uint8_t {
+        OddNegation,     ///< an input reaches a hazard with odd negation parity
+        NegativeCycle,   ///< negation inside an input-reachable SCC
+        Constraint,      ///< input-reachable integrity constraint
+        Aggregate,       ///< input-reachable aggregate guard
+        WeakConstraint,  ///< input-reachable weak constraint (optimization)
+        ChoiceBody,      ///< input-reachable non-shell choice-rule body
+    };
+
+    Kind kind = Kind::OddNegation;
+    int input_atom = -1;   ///< witnessing open input, -1 when unattributed
+    int hazard_atom = -1;  ///< affected hazard indicator, -1 for structural kinds
+    /// Negative ground dependency edges (body atom, head atom) on the
+    /// witnessing path / cycle — enough to map the failure back to the
+    /// `not p(...)` literals of the source rules.
+    std::vector<std::pair<int, int>> negative_edges;
+    std::string detail;  ///< human-readable one-liner
+};
+
+std::string_view to_string(Offender::Kind kind);
+
+/// The outcome of certify_monotone.
+struct MonotonicityCertificate {
+    /// True: every hazard atom is monotone non-decreasing in the inputs
+    /// (conditions (1)-(3) above all hold).
+    bool monotone = false;
+    std::size_t input_count = 0;
+    std::size_t hazard_count = 0;
+    /// Propagated sign of each hazard atom (keyed by ground atom id).
+    std::map<int, Sign> hazard_sign;
+    /// Empty iff monotone. One offender per odd-parity hazard path,
+    /// negation-carrying component, or sensitive site; deterministic order
+    /// (odd-negation first, then cycles, then sites in program order).
+    std::vector<Offender> offenders;
+};
+
+/// Runs sign propagation over `program` treating `input_atoms` as the open
+/// positive inputs and reports whether every atom in `hazard_atoms` is
+/// certifiably monotone in them. Inputs decided by options.analysis are
+/// constants and drop out of the certificate (input_count still counts
+/// them). Ids must be valid for `program`.
+MonotonicityCertificate certify_monotone(const GroundProgram& program,
+                                         const std::vector<int>& input_atoms,
+                                         const std::vector<int>& hazard_atoms,
+                                         const PolarityOptions& options = {});
+
+}  // namespace cprisk::asp::polarity

@@ -1,0 +1,66 @@
+// cprisk/common/antichain.hpp
+//
+// Minimal-set antichain under subset inclusion. Two consumers share the
+// absorption logic:
+//  * fta::FaultTree::minimal_cut_sets — drops non-minimal cut sets after
+//    the top-down gate expansion;
+//  * epa::run_frontier — maintains the antichain of minimal hazardous
+//    fault sets while sweeping the 2^n subset lattice in cardinality
+//    order (docs/exhaustive-search.md).
+//
+// A set S is *dominated* when the antichain already holds a subset of S;
+// dominated sets are absorbed (never stored). Inserting in
+// size-then-lexicographic order keeps every stored set minimal without a
+// second pass: a later set can never be a strict subset of an earlier one.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+namespace cprisk {
+
+/// An antichain of minimal sets. `Set` must be an ordered, sorted-unique
+/// container with begin/end/size and lexicographic operator< —
+/// std::set<T> and sorted std::vector<T> both qualify.
+template <typename Set>
+class Antichain {
+public:
+    /// True when `candidate` is a (non-strict) superset of a stored set.
+    bool dominates(const Set& candidate) const {
+        return std::any_of(sets_.begin(), sets_.end(), [&](const Set& kept) {
+            return std::includes(candidate.begin(), candidate.end(), kept.begin(), kept.end());
+        });
+    }
+
+    /// Inserts unless dominated. Callers feeding sets in non-decreasing
+    /// size order get a true antichain; out-of-order feeds should use
+    /// minimal_sets() instead. Returns false when absorbed.
+    bool insert(Set candidate) {
+        if (dominates(candidate)) return false;
+        sets_.push_back(std::move(candidate));
+        return true;
+    }
+
+    const std::vector<Set>& sets() const { return sets_; }
+    std::size_t size() const { return sets_.size(); }
+    bool empty() const { return sets_.empty(); }
+
+private:
+    std::vector<Set> sets_;
+};
+
+/// Batch absorption: the minimal sets of an arbitrary collection, sorted
+/// smaller-first then lexicographically (duplicates collapse — a duplicate
+/// is a non-strict superset of its twin).
+template <typename Set>
+std::vector<Set> minimal_sets(std::vector<Set> raw) {
+    std::sort(raw.begin(), raw.end(), [](const Set& a, const Set& b) {
+        if (a.size() != b.size()) return a.size() < b.size();
+        return a < b;
+    });
+    Antichain<Set> antichain;
+    for (Set& candidate : raw) antichain.insert(std::move(candidate));
+    return antichain.sets();
+}
+
+}  // namespace cprisk

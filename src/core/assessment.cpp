@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <map>
 
+#include <set>
+
+#include "analysis/taint.hpp"
 #include "core/journal.hpp"
+#include "epa/frontier.hpp"
 #include "security/threat_actor.hpp"
 
 namespace cprisk::core {
@@ -131,44 +135,35 @@ Result<AssessmentReport> RiskAssessment::run(const AssessmentConfig& config,
         obs::set_gauge(ctx.metrics, "assess.phase_ms." + std::string(phase), ms);
     };
 
-    // Step 2: candidate mutations / scenario space.
-    security::ScenarioSpaceOptions space_options;
-    space_options.max_simultaneous_faults = config.max_simultaneous_faults;
-    space_options.include_attack_scenarios = config.include_attack_scenarios;
+    // Step 2: candidate mutations / scenario space. Exhaustive mode skips
+    // the enumerated space — the frontier sweeps the fault-subset lattice
+    // directly and the step-7 space is rebuilt from the minimal hazards.
     auto phase_start = Clock::now();
     std::optional<security::ScenarioSpace> built_space;
-    {
-        obs::Span span(ctx.trace, "assess.scenario_space", "phase");
-        built_space.emplace(security::ScenarioSpace::build(
-            *system_, *matrix_, security::standard_threat_actors(), space_options, catalog_));
-        span.arg("scenarios", static_cast<long long>(built_space->size()));
+    if (!config.exhaustive) {
+        security::ScenarioSpaceOptions space_options;
+        space_options.max_simultaneous_faults = config.max_simultaneous_faults;
+        space_options.include_attack_scenarios = config.include_attack_scenarios;
+        {
+            obs::Span span(ctx.trace, "assess.scenario_space", "phase");
+            built_space.emplace(security::ScenarioSpace::build(
+                *system_, *matrix_, security::standard_threat_actors(), space_options, catalog_));
+            span.arg("scenarios", static_cast<long long>(built_space->size()));
+        }
+        record_phase("scenario_space", phase_start);
+        report.scenario_count = built_space->size();
+        obs::add_counter(ctx.metrics, "assess.scenarios", built_space->size());
     }
-    record_phase("scenario_space", phase_start);
-    const security::ScenarioSpace& space = *built_space;
-    report.scenario_count = space.size();
-    obs::add_counter(ctx.metrics, "assess.scenarios", space.size());
-
-    // Steps 3-5: reasoning, hazard identification, CEGAR refinement.
-    std::vector<hierarchy::CegarStage> stages;
-    if (config.use_cegar) {
-        stages.push_back(hierarchy::CegarStage{"topology", system_, epa::AnalysisFocus::Topology,
-                                               topology_requirements_, config.horizon});
-    }
-    stages.push_back(hierarchy::CegarStage{"behavioral", system_, epa::AnalysisFocus::Behavioral,
-                                           behavioral_requirements_, config.horizon});
 
     if (config.deadline_ms > 0) {
         ctx.budget.set_deadline_after(std::chrono::milliseconds(config.deadline_ms));
     }
     if (config.cancel) ctx.budget.set_cancel_token(*config.cancel);
 
-    hierarchy::CegarOptions cegar_options;
-    cegar_options.max_decisions = config.max_decisions;
-    cegar_options.static_prefilter = config.static_prefilter;
-    cegar_options.ctx = &ctx;
-
     // Checkpoint/resume: previously journaled verdicts are replayed instead
-    // of re-evaluated; fresh verdicts are appended as they complete.
+    // of re-evaluated; fresh verdicts are appended as they complete. The
+    // hooks serve both the CEGAR and the exhaustive-frontier paths.
+    hierarchy::CegarHooks hooks;
     std::optional<JournalWriter> journal;
     std::map<std::string, hierarchy::ScenarioRecord> replay;
     std::vector<hierarchy::ScenarioRecord> replayed_records;  // in journal order
@@ -198,37 +193,139 @@ Result<AssessmentReport> RiskAssessment::run(const AssessmentConfig& config,
             auto appended = journal->append(record);
             if (!appended.ok()) return Result<AssessmentReport>::failure(appended.error());
         }
-        cegar_options.hooks.lookup =
+        hooks.lookup =
             [&](const std::string& scenario_id) -> std::optional<hierarchy::ScenarioRecord> {
             auto it = replay.find(scenario_id);
             if (it == replay.end()) return std::nullopt;
             ++report.resumed_scenarios;
             return it->second;
         };
-        cegar_options.hooks.completed = [&](const hierarchy::ScenarioRecord& record) {
+        hooks.completed = [&](const hierarchy::ScenarioRecord& record) {
             return journal->append(record);
         };
     }
 
     phase_start = Clock::now();
-    std::optional<Result<hierarchy::CegarResult>> cegar_result;
-    {
-        obs::Span span(ctx.trace, "assess.cegar", "phase");
-        cegar_result.emplace(hierarchy::run_cegar(stages, space, *mitigations_,
-                                                  config.active_mitigations, cegar_options));
-    }
-    record_phase("cegar", phase_start);
-    const Result<hierarchy::CegarResult>& cegar = *cegar_result;
-    if (!cegar.ok()) return Result<AssessmentReport>::failure(cegar.error());
-    report.hazards = cegar.value().confirmed;
-    report.undetermined = cegar.value().undetermined;
-    report.cegar_iterations = cegar.value().iterations;
-    report.spurious_eliminated = cegar.value().total_spurious();
-    for (const hierarchy::ScenarioRecord& record : cegar.value().records) {
-        report.total_decisions += record.verdict.solver_stats.decisions;
-        report.total_conflicts += record.verdict.solver_stats.conflicts;
-        if (record.verdict.provenance == epa::VerdictProvenance::Static) {
-            ++report.statically_resolved;
+    if (config.exhaustive) {
+        // Steps 3-5, exhaustive variant (docs/exhaustive-search.md): a
+        // cardinality-layered sweep of the fault-subset lattice on the
+        // behavioural EPA, pruning supersets of known hazards when the
+        // polarity certifier proves the model monotone.
+        epa::EpaOptions epa_options;
+        epa_options.focus = epa::AnalysisFocus::Behavioral;
+        epa_options.horizon = config.horizon;
+        epa_options.max_decisions = config.max_decisions;
+        epa_options.static_prefilter = config.static_prefilter;
+        epa_options.ctx = &ctx;
+        auto frontier_epa = epa::ErrorPropagationAnalysis::create(
+            *system_, behavioral_requirements_, *mitigations_, epa_options);
+        if (!frontier_epa.ok()) return Result<AssessmentReport>::failure(frontier_epa.error());
+
+        std::optional<std::set<model::ComponentId>> reachable;
+        if (config.attack_reachable_only) {
+            const analysis::TaintResult taint =
+                analysis::analyze_attack_reachability(*system_, *matrix_);
+            reachable.emplace();
+            for (const auto& [component, depth] : taint.compromise_depth) {
+                reachable->insert(component);
+            }
+        }
+
+        epa::FrontierOptions frontier_options;
+        frontier_options.max_card = config.max_card;
+        frontier_options.active_mitigations = config.active_mitigations;
+        if (reachable) frontier_options.component_filter = &*reachable;
+        frontier_options.hooks = hooks;
+        frontier_options.ctx = &ctx;
+        std::optional<Result<epa::FrontierResult>> frontier_result;
+        {
+            obs::Span span(ctx.trace, "assess.frontier", "phase");
+            frontier_result.emplace(epa::run_frontier(frontier_epa.value(), frontier_options));
+        }
+        record_phase("frontier", phase_start);
+        if (!frontier_result->ok()) {
+            return Result<AssessmentReport>::failure(frontier_result->error());
+        }
+        epa::FrontierResult& frontier = frontier_result->value();
+        report.scenario_count = frontier.candidates;
+        obs::add_counter(ctx.metrics, "assess.scenarios", frontier.candidates);
+        report.hazards = std::move(frontier.minimal_hazards);
+        report.undetermined = std::move(frontier.undetermined);
+        for (const hierarchy::ScenarioRecord& record : frontier.records) {
+            report.total_decisions += record.verdict.solver_stats.decisions;
+            report.total_conflicts += record.verdict.solver_stats.conflicts;
+            if (record.verdict.provenance == epa::VerdictProvenance::Static) {
+                ++report.statically_resolved;
+            }
+        }
+        report.exhaustive.enabled = true;
+        report.exhaustive.pruning = frontier.pruning;
+        report.exhaustive.certificate =
+            !frontier.certificate.has_value()
+                ? "unavailable"
+                : (frontier.certificate->monotone ? "monotone" : "mixed");
+        report.exhaustive.universe_size = frontier.universe_size;
+        report.exhaustive.skipped_faults = frontier.skipped_faults;
+        report.exhaustive.max_card = frontier.max_card;
+        report.exhaustive.candidates = frontier.candidates;
+        // Journal replays count as evaluations: a resumed run must render
+        // byte-identically to the uninterrupted one.
+        report.exhaustive.evaluated = frontier.evaluated + frontier.replayed;
+        report.exhaustive.pruned = frontier.pruned;
+        report.exhaustive.minimal_hazards = report.hazards.size();
+        if (frontier.certificate.has_value()) {
+            constexpr std::size_t kMaxOffenders = 3;
+            for (const asp::polarity::Offender& offender : frontier.certificate->offenders) {
+                if (report.exhaustive.offenders.size() >= kMaxOffenders) break;
+                report.exhaustive.offenders.push_back(offender.detail);
+            }
+        }
+
+        // Step 7 consumes a scenario space; rebuild the minimal hazards'
+        // scenarios (ids match the frontier verdicts by construction).
+        std::vector<security::AttackScenario> hazard_scenarios;
+        hazard_scenarios.reserve(report.hazards.size());
+        for (const epa::ScenarioVerdict& hazard : report.hazards) {
+            hazard_scenarios.push_back(epa::frontier_scenario(*system_, hazard.mutations));
+        }
+        built_space.emplace(std::move(hazard_scenarios));
+    } else {
+        // Steps 3-5: reasoning, hazard identification, CEGAR refinement.
+        std::vector<hierarchy::CegarStage> stages;
+        if (config.use_cegar) {
+            stages.push_back(hierarchy::CegarStage{
+                "topology", system_, epa::AnalysisFocus::Topology, topology_requirements_,
+                config.horizon});
+        }
+        stages.push_back(hierarchy::CegarStage{"behavioral", system_,
+                                               epa::AnalysisFocus::Behavioral,
+                                               behavioral_requirements_, config.horizon});
+
+        hierarchy::CegarOptions cegar_options;
+        cegar_options.max_decisions = config.max_decisions;
+        cegar_options.static_prefilter = config.static_prefilter;
+        cegar_options.ctx = &ctx;
+        cegar_options.hooks = hooks;
+
+        std::optional<Result<hierarchy::CegarResult>> cegar_result;
+        {
+            obs::Span span(ctx.trace, "assess.cegar", "phase");
+            cegar_result.emplace(hierarchy::run_cegar(stages, *built_space, *mitigations_,
+                                                      config.active_mitigations, cegar_options));
+        }
+        record_phase("cegar", phase_start);
+        const Result<hierarchy::CegarResult>& cegar = *cegar_result;
+        if (!cegar.ok()) return Result<AssessmentReport>::failure(cegar.error());
+        report.hazards = cegar.value().confirmed;
+        report.undetermined = cegar.value().undetermined;
+        report.cegar_iterations = cegar.value().iterations;
+        report.spurious_eliminated = cegar.value().total_spurious();
+        for (const hierarchy::ScenarioRecord& record : cegar.value().records) {
+            report.total_decisions += record.verdict.solver_stats.decisions;
+            report.total_conflicts += record.verdict.solver_stats.conflicts;
+            if (record.verdict.provenance == epa::VerdictProvenance::Static) {
+                ++report.statically_resolved;
+            }
         }
     }
 
@@ -259,7 +356,7 @@ Result<AssessmentReport> RiskAssessment::run(const AssessmentConfig& config,
     {
         obs::Span span(ctx.trace, "assess.mitigation", "phase");
         const mitigation::MitigationProblem problem = mitigation::MitigationProblem::build(
-            space, report.hazards, *matrix_, *mitigations_, config.loss_scale);
+            *built_space, report.hazards, *matrix_, *mitigations_, config.loss_scale);
         mitigation::OptimizerOptions optimizer_options;
         optimizer_options.budget = config.budget;
         optimizer_options.ctx = &ctx;

@@ -67,6 +67,21 @@ struct AssessmentConfig {
     bool static_prefilter = true;
     std::optional<CancelToken> cancel;  ///< external cancellation
 
+    // Exhaustive hazard frontier (epa/frontier.hpp, docs/exhaustive-search.md).
+    /// Replace the enumerated scenario space + CEGAR with a cardinality-
+    /// layered sweep over the fault-subset lattice, reporting the antichain
+    /// of minimal hazardous scenarios. Superset pruning is enabled when the
+    /// polarity certifier proves the model monotone; otherwise the sweep
+    /// degrades to sound per-layer enumeration (same verdicts, no pruning).
+    bool exhaustive = false;
+    /// Largest fault-subset cardinality swept in exhaustive mode (0 = the
+    /// full lattice up to the universe size).
+    std::size_t max_card = 0;
+    /// Exhaustive mode: drop fault modes on components the attack
+    /// reachability taint pass (analysis/taint.hpp) proves unreachable.
+    /// Changes the enumerated universe, so it is part of the journal echo.
+    bool attack_reachable_only = false;
+
     // Checkpoint/resume.
     std::string journal_path;  ///< non-empty: append one JSONL verdict per scenario
     bool resume = false;       ///< replay the journal, skipping finished scenarios
@@ -88,6 +103,26 @@ struct AssessmentConfig {
 struct PhaseTiming {
     std::string phase;  ///< "scenario_space", "cegar", "risk", "mitigation"
     long long ms = 0;
+};
+
+/// Summary of an exhaustive frontier run (AssessmentConfig::exhaustive);
+/// mirrors epa::FrontierResult minus the per-candidate records.
+struct ExhaustiveStats {
+    bool enabled = false;
+    /// Certificate outcome: "monotone" (pruning licensed), "mixed"
+    /// (offenders found, degraded sweep), or "unavailable" (no claim —
+    /// ground-once cache or seeding analysis missing, degraded sweep).
+    std::string certificate = "unavailable";
+    bool pruning = false;
+    std::size_t universe_size = 0;
+    std::size_t skipped_faults = 0;  ///< dropped by --attack-reachable-only
+    std::size_t max_card = 0;        ///< effective layer bound
+    std::size_t candidates = 0;
+    std::size_t evaluated = 0;
+    std::size_t pruned = 0;
+    std::size_t minimal_hazards = 0;
+    /// First few certificate offender diagnostics (mixed polarity only).
+    std::vector<std::string> offenders;
 };
 
 struct AssessmentReport {
@@ -117,6 +152,8 @@ struct AssessmentReport {
     std::vector<mitigation::Phase> phases;
     /// Per-phase wall-clock timings, in pipeline order (see PhaseTiming).
     std::vector<PhaseTiming> phase_timings;
+    /// Exhaustive-frontier summary; `enabled` iff the run used --exhaustive.
+    ExhaustiveStats exhaustive;
 
     /// True when every scenario was decided (the run is exhaustive).
     bool complete() const { return undetermined.empty(); }

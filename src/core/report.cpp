@@ -70,6 +70,26 @@ std::string render_markdown(const AssessmentReport& report, const ReportOptions&
     md += "- confirmed hazards: " + std::to_string(report.hazards.size()) + " (spurious "
           "eliminated: " + std::to_string(report.spurious_eliminated) + ")\n\n";
 
+    if (report.exhaustive.enabled) {
+        const ExhaustiveStats& ex = report.exhaustive;
+        md += "## Exhaustive frontier\n\n";
+        md += "- universe: " + std::to_string(ex.universe_size) + " fault modes";
+        if (ex.skipped_faults > 0) {
+            md += " (" + std::to_string(ex.skipped_faults) + " skipped as attack-unreachable)";
+        }
+        md += "\n";
+        md += "- layers: cardinality 0.." + std::to_string(ex.max_card) + "\n";
+        md += "- monotonicity certificate: " + ex.certificate +
+              (ex.pruning ? " (superset pruning active)" : " (no pruning)") + "\n";
+        md += "- candidates: " + std::to_string(ex.candidates) + " (evaluated " +
+              std::to_string(ex.evaluated) + ", pruned " + std::to_string(ex.pruned) + ")\n";
+        md += "- minimal hazardous scenarios: " + std::to_string(ex.minimal_hazards) + "\n";
+        for (const std::string& offender : ex.offenders) {
+            md += "  - offender: " + offender + "\n";
+        }
+        md += "\n";
+    }
+
     if (options.include_cegar_trace && !report.cegar_iterations.empty()) {
         md += "## Refinement trace (CEGAR)\n\n";
         md += "| stage | candidates in | hazards out | spurious eliminated |\n";
@@ -96,6 +116,12 @@ std::string render_markdown(const AssessmentReport& report, const ReportOptions&
               std::to_string(report.scenario_count) +
               " scenarios undetermined — hazard identification is NOT exhaustive\n\n";
         md += markdown_table(report.completeness_table());
+    }
+    if (report.exhaustive.enabled && !report.exhaustive.pruning) {
+        md += "- degraded sweep: monotonicity not certified (" + report.exhaustive.certificate +
+              "); superset pruning disabled, every candidate up to cardinality " +
+              std::to_string(report.exhaustive.max_card) +
+              " was enumerated individually (sound, slower)\n";
     }
     md += "- solver effort: decisions=" + std::to_string(report.total_decisions) +
           ", conflicts=" + std::to_string(report.total_conflicts) + "\n";
@@ -210,6 +236,24 @@ std::string render_report_json(const AssessmentReport& report) {
     json::set(completeness, "total_conflicts", report.total_conflicts);
     json::set(completeness, "statically_resolved", report.statically_resolved);
     json::set(root, "completeness", std::move(completeness));
+
+    if (report.exhaustive.enabled) {
+        const ExhaustiveStats& stats = report.exhaustive;
+        json::Object ex;
+        json::set(ex, "certificate", stats.certificate);
+        json::set(ex, "pruning", stats.pruning);
+        json::set(ex, "universe", stats.universe_size);
+        json::set(ex, "skipped_faults", stats.skipped_faults);
+        json::set(ex, "max_card", stats.max_card);
+        json::set(ex, "candidates", stats.candidates);
+        json::set(ex, "evaluated", stats.evaluated);
+        json::set(ex, "pruned", stats.pruned);
+        json::set(ex, "minimal_hazards", stats.minimal_hazards);
+        json::Array offenders;
+        for (const std::string& offender : stats.offenders) offenders.push_back(offender);
+        json::set(ex, "offenders", std::move(offenders));
+        json::set(root, "exhaustive", std::move(ex));
+    }
 
     json::Object plan;
     json::Array chosen;

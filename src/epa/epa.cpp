@@ -550,6 +550,45 @@ std::vector<std::string> ErrorPropagationAnalysis::statically_reachable_violatio
     return reachable;
 }
 
+std::optional<asp::polarity::MonotonicityCertificate>
+ErrorPropagationAnalysis::certify_monotonicity(
+    const std::vector<std::string>& active_mitigations) const {
+    if (grounded_base_ == nullptr || !grounded_base_->analysis_ok) return std::nullopt;
+    const GroundedBase& base = *grounded_base_;
+    std::set<std::string> active_ids;
+    for (const std::string& mitigation : active_mitigations) {
+        std::string id = to_identifier(mitigation);
+        if (base.mitigation_atoms.find(id) == base.mitigation_atoms.end()) return std::nullopt;
+        active_ids.insert(std::move(id));
+    }
+    // Pin only the mitigation shells — the fault domain stays open. The
+    // pinned ternary analysis then decides everything the fixed mitigation
+    // set determines; decided atoms are constants to the sign propagation,
+    // so e.g. the built-in `injected_fault :- scenario_fault, not
+    // suppressed` odd path disappears when no mitigation covers the fault.
+    std::vector<std::pair<int, bool>> pins;
+    pins.reserve(base.mitigation_atoms.size());
+    for (const auto& [id, atom] : base.mitigation_atoms) {
+        pins.emplace_back(atom, active_ids.count(id) > 0);
+    }
+    asp::absint::AbsintOptions absint_options;
+    absint_options.pins = &pins;
+    absint_options.budget = options_.effective_budget();
+    const asp::absint::Analysis analysis = asp::absint::evaluate(base.program, absint_options);
+    if (analysis.conflict || analysis.interrupted) return std::nullopt;
+
+    std::vector<int> inputs;
+    inputs.reserve(base.fault_atoms.size());
+    for (const auto& [mutation, atom] : base.fault_atoms) inputs.push_back(atom);
+    std::vector<int> hazards;
+    for (int id = 0; id < static_cast<int>(base.program.atom_count()); ++id) {
+        if (base.program.atom(id).predicate == "violated") hazards.push_back(id);
+    }
+    asp::polarity::PolarityOptions polarity_options;
+    polarity_options.analysis = &analysis;
+    return asp::polarity::certify_monotone(base.program, inputs, hazards, polarity_options);
+}
+
 Result<std::optional<int>> ErrorPropagationAnalysis::min_violation_horizon(
     const security::AttackScenario& scenario,
     const std::vector<std::string>& active_mitigations) const {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "asp/asp.hpp"
+#include "asp/polarity.hpp"
 #include "common/budget.hpp"
 #include "epa/requirement.hpp"
 #include "obs/run_context.hpp"
@@ -219,6 +220,18 @@ public:
     /// Conservatively returns every requirement id when the cache or the
     /// analysis is unavailable.
     std::vector<std::string> statically_reachable_violations() const;
+
+    /// Monotonicity certificate for the grounded scenario-fault domain under
+    /// a fixed active-mitigation set (asp/polarity.hpp): sign propagation
+    /// over the ground-once cache, seeded with a ternary analysis that pins
+    /// only the mitigation shells (faults stay open). A monotone certificate
+    /// licenses superset pruning in the exhaustive frontier sweep
+    /// (epa/frontier.hpp, docs/exhaustive-search.md). Returns nullopt — no
+    /// claim either way — when the cache is unavailable, a mitigation is
+    /// outside the grounded domain, or the seeding analysis conflicts or
+    /// runs out of budget.
+    std::optional<asp::polarity::MonotonicityCertificate> certify_monotonicity(
+        const std::vector<std::string>& active_mitigations) const;
 
 private:
     ErrorPropagationAnalysis() = default;

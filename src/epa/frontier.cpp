@@ -1,0 +1,258 @@
+#include "epa/frontier.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "common/antichain.hpp"
+#include "common/thread_pool.hpp"
+
+namespace cprisk::epa {
+
+using hierarchy::ScenarioOutcome;
+using hierarchy::ScenarioRecord;
+using security::Mutation;
+
+std::string frontier_scenario_id(const std::vector<Mutation>& subset) {
+    if (subset.empty()) return "exh:none";
+    std::string id = "exh:";
+    for (std::size_t i = 0; i < subset.size(); ++i) {
+        if (i > 0) id += "+";
+        id += subset[i].to_string();
+    }
+    return id;
+}
+
+security::AttackScenario frontier_scenario(const model::SystemModel& model,
+                                           std::vector<Mutation> subset) {
+    security::AttackScenario scenario;
+    scenario.id = frontier_scenario_id(subset);
+    scenario.origin = security::ScenarioOrigin::FaultCombination;
+    std::vector<qual::Level> likelihoods;
+    likelihoods.reserve(subset.size());
+    for (const Mutation& mutation : subset) {
+        const model::FaultMode* mode =
+            model.component(mutation.component).find_fault_mode(mutation.fault_id);
+        likelihoods.push_back(mode != nullptr ? mode->likelihood : qual::Level::Medium);
+    }
+    scenario.likelihood = security::combined_likelihood(likelihoods);
+    scenario.mutations = std::move(subset);
+    return scenario;
+}
+
+namespace {
+
+ScenarioOutcome outcome_of(const ScenarioVerdict& verdict) {
+    switch (verdict.status) {
+        case VerdictStatus::Hazard: return ScenarioOutcome::Confirmed;
+        case VerdictStatus::Safe: return ScenarioOutcome::Safe;
+        case VerdictStatus::Undetermined: return ScenarioOutcome::Undetermined;
+    }
+    return ScenarioOutcome::Undetermined;
+}
+
+/// Calls `consume` with every size-`card` subset of `universe`, as a sorted
+/// mutation vector, in lexicographic index order.
+template <typename Consume>
+void for_each_subset(const std::vector<Mutation>& universe, std::size_t card, Consume&& consume) {
+    if (card > universe.size()) return;
+    std::vector<std::size_t> pick(card);
+    for (std::size_t i = 0; i < card; ++i) pick[i] = i;
+    bool more = true;
+    while (more) {
+        std::vector<Mutation> subset;
+        subset.reserve(card);
+        for (std::size_t i : pick) subset.push_back(universe[i]);
+        consume(std::move(subset));
+        more = false;
+        for (std::size_t i = card; i-- > 0;) {
+            if (pick[i] + (card - i) < universe.size()) {
+                ++pick[i];
+                for (std::size_t j = i + 1; j < card; ++j) pick[j] = pick[j - 1] + 1;
+                more = true;
+                break;
+            }
+        }
+    }
+}
+
+}  // namespace
+
+Result<FrontierResult> run_frontier(const ErrorPropagationAnalysis& epa,
+                                    const FrontierOptions& options) {
+    FrontierResult result;
+    const model::SystemModel& model = epa.system_model();
+
+    std::vector<Mutation> universe;
+    for (const model::Component& component : model.components()) {
+        for (const model::FaultMode& mode : component.fault_modes) {
+            if (options.component_filter != nullptr &&
+                options.component_filter->count(component.id) == 0) {
+                ++result.skipped_faults;
+                continue;
+            }
+            universe.push_back(Mutation{component.id, mode.id});
+        }
+    }
+    std::sort(universe.begin(), universe.end());
+    result.universe_size = universe.size();
+    result.max_card =
+        options.max_card == 0 ? universe.size() : std::min(options.max_card, universe.size());
+
+    // The certificate decides the sweep mode once, up front: monotone ->
+    // superset pruning; mixed or unavailable -> sound per-layer enumeration
+    // of every candidate (same verdicts, more solves).
+    result.certificate = epa.certify_monotonicity(options.active_mitigations);
+    result.pruning = result.certificate.has_value() && result.certificate->monotone;
+
+    obs::Span span(options.trace_sink(), "epa.frontier", "phase");
+    span.arg("universe", static_cast<long long>(result.universe_size));
+    span.arg("pruning", static_cast<long long>(result.pruning ? 1 : 0));
+
+    Antichain<std::vector<Mutation>> hazardous;
+    const std::size_t jobs = ThreadPool::resolve(options.effective_jobs());
+    std::optional<ThreadPool> local_pool;
+
+    for (std::size_t card = 0; card <= result.max_card; ++card) {
+        // Layer barrier: pruning consults only hazards from strictly
+        // smaller layers (same-size sets cannot dominate each other), so
+        // the layer's candidates are independent and may run in parallel.
+        std::vector<security::AttackScenario> layer;
+        for_each_subset(universe, card, [&](std::vector<Mutation> subset) {
+            ++result.candidates;
+            if (result.pruning && hazardous.dominates(subset)) {
+                ++result.pruned;
+                return;
+            }
+            layer.push_back(frontier_scenario(model, std::move(subset)));
+        });
+
+        const auto evaluate_one =
+            [&](const security::AttackScenario& scenario) -> Result<ScenarioRecord> {
+            auto verdict = epa.evaluate(scenario, options.active_mitigations);
+            if (!verdict.ok()) return Result<ScenarioRecord>::failure(verdict.error());
+            ScenarioRecord record;
+            record.scenario_id = scenario.id;
+            record.verdict = std::move(verdict).value();
+            record.outcome = outcome_of(record.verdict);
+            hierarchy::StageOutcome stage;
+            stage.stage = "frontier";
+            stage.status = record.verdict.status;
+            stage.undetermined_reason = record.verdict.undetermined_reason;
+            record.stages.push_back(std::move(stage));
+            return record;
+        };
+
+        const std::size_t layer_start = result.records.size();
+        if (jobs <= 1 || layer.size() <= 1) {
+            for (const security::AttackScenario& scenario : layer) {
+                if (options.hooks.lookup) {
+                    std::optional<ScenarioRecord> replayed = options.hooks.lookup(scenario.id);
+                    if (replayed) {
+                        ++result.replayed;
+                        result.records.push_back(std::move(*replayed));
+                        continue;
+                    }
+                }
+                auto record = evaluate_one(scenario);
+                if (!record.ok()) return Result<FrontierResult>::failure(record.error());
+                if (options.hooks.completed) {
+                    auto appended = options.hooks.completed(record.value());
+                    if (!appended.ok()) return Result<FrontierResult>::failure(appended.error());
+                }
+                ++result.evaluated;
+                result.records.push_back(std::move(record).value());
+            }
+        } else {
+            // Parallel layer, the run_cegar drain idiom: replays resolve in
+            // a sequential pre-pass (the lookup hook mutates caller state);
+            // workers publish into slots and drain finished candidates to
+            // the `completed` hook in strict candidate order, so journals
+            // are byte-identical at any job count.
+            struct Slot {
+                bool replayed = false;
+                std::optional<Result<ScenarioRecord>> record;
+            };
+            std::vector<Slot> slots(layer.size());
+            std::vector<std::size_t> pending;
+            pending.reserve(layer.size());
+            for (std::size_t i = 0; i < layer.size(); ++i) {
+                if (options.hooks.lookup) {
+                    if (std::optional<ScenarioRecord> replayed =
+                            options.hooks.lookup(layer[i].id)) {
+                        ++result.replayed;
+                        slots[i].replayed = true;
+                        slots[i].record = Result<ScenarioRecord>(std::move(*replayed));
+                        continue;
+                    }
+                }
+                pending.push_back(i);
+            }
+
+            std::mutex drain_mutex;
+            std::size_t next_to_drain = 0;
+            std::optional<std::string> first_error;
+            const auto drain_ready_prefix_locked = [&] {
+                while (next_to_drain < slots.size() && !first_error &&
+                       slots[next_to_drain].record.has_value()) {
+                    Slot& slot = slots[next_to_drain];
+                    if (!slot.record->ok()) {
+                        first_error = slot.record->error();
+                        break;
+                    }
+                    if (!slot.replayed && options.hooks.completed) {
+                        auto appended = options.hooks.completed(slot.record->value());
+                        if (!appended.ok()) {
+                            first_error = appended.error();
+                            break;
+                        }
+                    }
+                    if (!slot.replayed) ++result.evaluated;
+                    result.records.push_back(std::move(*slot.record).value());
+                    ++next_to_drain;
+                }
+            };
+            {
+                std::lock_guard<std::mutex> lock(drain_mutex);
+                drain_ready_prefix_locked();
+            }
+            ThreadPool& pool =
+                options.ctx != nullptr ? options.ctx->pool() : local_pool.emplace(jobs);
+            pool.run_batch(pending.size(), [&](std::size_t k) {
+                const std::size_t index = pending[k];
+                auto record = evaluate_one(layer[index]);
+                std::lock_guard<std::mutex> lock(drain_mutex);
+                slots[index].record = std::move(record);
+                drain_ready_prefix_locked();
+            });
+            std::lock_guard<std::mutex> lock(drain_mutex);
+            drain_ready_prefix_locked();
+            if (first_error) return Result<FrontierResult>::failure(*first_error);
+        }
+
+        // Fold the layer's outcomes into the antichain; layers ascend, so
+        // an inserted hazard is minimal by construction (everything it
+        // would dominate was already evaluated or pruned).
+        for (std::size_t i = layer_start; i < result.records.size(); ++i) {
+            const ScenarioRecord& record = result.records[i];
+            if (record.outcome == ScenarioOutcome::Confirmed) {
+                if (hazardous.insert(record.verdict.mutations)) {
+                    result.minimal_hazards.push_back(record.verdict);
+                }
+            } else if (record.outcome == ScenarioOutcome::Undetermined) {
+                result.undetermined.push_back(record.verdict);
+            }
+        }
+    }
+
+    span.arg("candidates", static_cast<long long>(result.candidates));
+    span.arg("pruned", static_cast<long long>(result.pruned));
+    obs::add_counter(options.metrics_sink(), "epa.frontier.candidates", result.candidates);
+    obs::add_counter(options.metrics_sink(), "epa.frontier.evaluated", result.evaluated);
+    obs::add_counter(options.metrics_sink(), "epa.frontier.pruned", result.pruned);
+    obs::add_counter(options.metrics_sink(), "epa.frontier.minimal_hazards",
+                     result.minimal_hazards.size());
+    return result;
+}
+
+}  // namespace cprisk::epa

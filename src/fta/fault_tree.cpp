@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "common/antichain.hpp"
+
 namespace cprisk::fta {
 
 std::string_view to_string(GateType type) {
@@ -109,22 +111,8 @@ Result<std::vector<CutSet>> FaultTree::minimal_cut_sets() const {
         return result;
     };
 
-    std::vector<CutSet> raw = expand(top_);
-    // Absorption: drop supersets and duplicates; smaller sets first.
-    std::sort(raw.begin(), raw.end(), [](const CutSet& a, const CutSet& b) {
-        if (a.size() != b.size()) return a.size() < b.size();
-        return a < b;
-    });
-    std::vector<CutSet> minimal;
-    for (const CutSet& candidate : raw) {
-        const bool absorbed = std::any_of(
-            minimal.begin(), minimal.end(), [&](const CutSet& kept) {
-                return std::includes(candidate.begin(), candidate.end(), kept.begin(),
-                                     kept.end());
-            });
-        if (!absorbed) minimal.push_back(candidate);
-    }
-    return minimal;
+    // Absorption: drop supersets and duplicates (common/antichain.hpp).
+    return minimal_sets(expand(top_));
 }
 
 qual::Level cut_set_likelihood(const CutSet& cut, const FaultTree& tree,

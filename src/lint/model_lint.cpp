@@ -294,6 +294,31 @@ void lint_bundle(const core::Bundle& bundle, const core::BundleSourceMap& source
     auto epa = epa::ErrorPropagationAnalysis::create(
         bundle.model, bundle.behavioral_requirements,
         epa::MitigationMap::from_attack_matrix(bundle.model, matrix), epa_options);
+    // Polarity certificate (asp/polarity.hpp): when the certifier cannot
+    // prove hazard verdicts monotone non-decreasing in the fault set, the
+    // exhaustive frontier (`assess --exhaustive`) must enumerate without
+    // superset pruning. Informational only — conservative failures are
+    // common (any `not eff_fault(..)` in a behaviour fragment trips the
+    // odd-negation check) — so a Note, never an exit-code change.
+    if (epa.ok()) {
+        const std::optional<asp::polarity::MonotonicityCertificate> certificate =
+            epa.value().certify_monotonicity({});
+        if (certificate.has_value() && !certificate->monotone) {
+            constexpr std::size_t kMaxOffenders = 8;
+            std::size_t shown = 0;
+            for (const asp::polarity::Offender& offender : certificate->offenders) {
+                if (shown++ >= kMaxOffenders) break;
+                sink.note("model-nonmonotone-fault",
+                          std::string(asp::polarity::to_string(offender.kind)) + ": " +
+                              offender.detail,
+                          SourceLoc{},
+                          "hazard verdicts are not provably monotone in the fault set; "
+                          "'cprisk assess --exhaustive' will enumerate without superset "
+                          "pruning (docs/exhaustive-search.md)");
+            }
+        }
+    }
+
     if (epa.ok()) {
         const std::vector<std::string> reachable = epa.value().statically_reachable_violations();
         const std::set<std::string> reachable_set(reachable.begin(), reachable.end());

@@ -33,6 +33,15 @@
 //                                          proves unreachable under every
 //                                          fault combination at a horizon
 //                                          covering the model diameter
+//   model-nonmonotone-fault       note     the polarity certifier
+//                                          (asp/polarity.hpp) could not prove
+//                                          hazard verdicts monotone in the
+//                                          fault set — a fault atom reaches a
+//                                          hazard through an odd number of
+//                                          negations (or a negative cycle /
+//                                          sensitive site depends on it), so
+//                                          `assess --exhaustive` enumerates
+//                                          without superset pruning
 #pragma once
 
 #include "common/diagnostics.hpp"

@@ -1,0 +1,155 @@
+// Polarity/monotonicity certifier (asp/polarity): sign propagation over the
+// ground dependency graph, the three rejection conditions (odd negation
+// paths, input-reachable negative cycles, input-reachable sensitive sites),
+// and the decided-atom refinement from a seeding ternary analysis.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "asp/absint/absint.hpp"
+#include "asp/grounder.hpp"
+#include "asp/parser.hpp"
+#include "asp/polarity.hpp"
+
+namespace cprisk::asp::polarity {
+namespace {
+
+GroundProgram must_ground(std::string_view text) {
+    auto program = parse_program(text);
+    EXPECT_TRUE(program.ok()) << program.error();
+    auto grounded = ground(program.value());
+    EXPECT_TRUE(grounded.ok()) << grounded.error();
+    return grounded.ok() ? std::move(grounded).value() : GroundProgram{};
+}
+
+int atom_id(const GroundProgram& program, std::string_view text) {
+    auto atom = parse_atom(text);
+    EXPECT_TRUE(atom.ok()) << atom.error();
+    const int id = program.find(atom.value());
+    EXPECT_GE(id, 0) << text << " not interned";
+    return id;
+}
+
+TEST(Polarity, PositiveChainIsMonotone) {
+    const GroundProgram program = must_ground("{f}. a :- f. hazard :- a.");
+    const int f = atom_id(program, "f");
+    const int hazard = atom_id(program, "hazard");
+    const MonotonicityCertificate cert = certify_monotone(program, {f}, {hazard});
+    EXPECT_TRUE(cert.monotone);
+    EXPECT_TRUE(cert.offenders.empty());
+    ASSERT_EQ(cert.hazard_sign.count(hazard), 1u);
+    EXPECT_EQ(cert.hazard_sign.at(hazard), Sign::Positive);
+}
+
+TEST(Polarity, UnreachableHazardHasNoSignAndIsMonotone) {
+    const GroundProgram program = must_ground("{f}. t. hazard :- t.");
+    const int f = atom_id(program, "f");
+    const int hazard = atom_id(program, "hazard");
+    const MonotonicityCertificate cert = certify_monotone(program, {f}, {hazard});
+    EXPECT_TRUE(cert.monotone);
+    EXPECT_EQ(cert.hazard_sign.at(hazard), Sign::None);
+}
+
+TEST(Polarity, OddNegationPathIsAnOffender) {
+    const GroundProgram program = must_ground("{f}. blocked :- not f. hazard :- blocked.");
+    const int f = atom_id(program, "f");
+    const int hazard = atom_id(program, "hazard");
+    const MonotonicityCertificate cert = certify_monotone(program, {f}, {hazard});
+    EXPECT_FALSE(cert.monotone);
+    EXPECT_EQ(cert.hazard_sign.at(hazard), Sign::Negative);
+    ASSERT_FALSE(cert.offenders.empty());
+    EXPECT_EQ(cert.offenders[0].kind, Offender::Kind::OddNegation);
+    EXPECT_EQ(cert.offenders[0].input_atom, f);
+    EXPECT_EQ(cert.offenders[0].hazard_atom, hazard);
+    EXPECT_NE(cert.offenders[0].detail.find("odd number"), std::string::npos);
+}
+
+TEST(Polarity, EvenNegationPathStaysPositive) {
+    // hazard = not(not f) is monotone non-decreasing in f.
+    const GroundProgram program = must_ground("{f}. a :- not f. hazard :- not a.");
+    const int f = atom_id(program, "f");
+    const int hazard = atom_id(program, "hazard");
+    const MonotonicityCertificate cert = certify_monotone(program, {f}, {hazard});
+    EXPECT_TRUE(cert.monotone);
+    EXPECT_EQ(cert.hazard_sign.at(hazard), Sign::Positive);
+}
+
+TEST(Polarity, BothParitiesYieldMixedSign) {
+    const GroundProgram program = must_ground("{f}. hazard :- f. hazard :- not f.");
+    const int f = atom_id(program, "f");
+    const int hazard = atom_id(program, "hazard");
+    const MonotonicityCertificate cert = certify_monotone(program, {f}, {hazard});
+    EXPECT_FALSE(cert.monotone);
+    EXPECT_EQ(cert.hazard_sign.at(hazard), Sign::Mixed);
+}
+
+TEST(Polarity, InputReachableNegativeCycleIsRejectedEvenWithPositiveHazardSign) {
+    // a/b form a negative cycle fed by f; every path f ~> hazard has even
+    // parity, but the cycle makes the input-dependent slice nondeterministic.
+    const GroundProgram program =
+        must_ground("{f}. a :- f. a :- not b. b :- not a. hazard :- a.");
+    const int f = atom_id(program, "f");
+    const int hazard = atom_id(program, "hazard");
+    const MonotonicityCertificate cert = certify_monotone(program, {f}, {hazard});
+    EXPECT_FALSE(cert.monotone);
+    bool found_cycle = false;
+    for (const Offender& offender : cert.offenders) {
+        if (offender.kind == Offender::Kind::NegativeCycle) found_cycle = true;
+    }
+    EXPECT_TRUE(found_cycle);
+}
+
+TEST(Polarity, InputReachableConstraintIsRejected) {
+    // Adding f can *remove* the only model via the constraint, flipping an
+    // existential hazard verdict downward.
+    const GroundProgram program = must_ground("{f}. g :- f. x. :- g, x. hazard :- x.");
+    const int f = atom_id(program, "f");
+    const int hazard = atom_id(program, "hazard");
+    const MonotonicityCertificate cert = certify_monotone(program, {f}, {hazard});
+    EXPECT_FALSE(cert.monotone);
+    bool found_site = false;
+    for (const Offender& offender : cert.offenders) {
+        if (offender.kind == Offender::Kind::Constraint) found_site = true;
+    }
+    EXPECT_TRUE(found_site);
+}
+
+TEST(Polarity, DecidedLiteralFromSeedingAnalysisDropsTheOddPath) {
+    // Without pinning: f -> sup -> (odd) -> inj makes the hazard Mixed. With
+    // m pinned False the sup rule is dead, `not sup` is decided True, and
+    // the only surviving path is positive — the exact shape of the EPA's
+    // fault-activation rule under a fixed mitigation set.
+    const GroundProgram program = must_ground(
+        "{f}. {m}. sup :- f, m. inj :- f, not sup. hazard :- inj.");
+    const int f = atom_id(program, "f");
+    const int m = atom_id(program, "m");
+    const int hazard = atom_id(program, "hazard");
+
+    const MonotonicityCertificate open_cert = certify_monotone(program, {f}, {hazard});
+    EXPECT_FALSE(open_cert.monotone);
+    EXPECT_EQ(open_cert.hazard_sign.at(hazard), Sign::Mixed);
+
+    const std::vector<std::pair<int, bool>> pins = {{m, false}};
+    absint::AbsintOptions absint_options;
+    absint_options.pins = &pins;
+    const absint::Analysis analysis = absint::evaluate(program, absint_options);
+    ASSERT_FALSE(analysis.conflict);
+
+    PolarityOptions options;
+    options.analysis = &analysis;
+    const MonotonicityCertificate pinned_cert = certify_monotone(program, {f}, {hazard}, options);
+    EXPECT_TRUE(pinned_cert.monotone) << pinned_cert.offenders.size() << " offenders";
+    EXPECT_EQ(pinned_cert.hazard_sign.at(hazard), Sign::Positive);
+}
+
+TEST(Polarity, SignJoinLattice) {
+    EXPECT_EQ(join(Sign::None, Sign::Positive), Sign::Positive);
+    EXPECT_EQ(join(Sign::Positive, Sign::Negative), Sign::Mixed);
+    EXPECT_EQ(join(Sign::Mixed, Sign::None), Sign::Mixed);
+    EXPECT_EQ(join(Sign::Negative, Sign::Negative), Sign::Negative);
+}
+
+}  // namespace
+}  // namespace cprisk::asp::polarity

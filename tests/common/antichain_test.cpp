@@ -1,0 +1,77 @@
+// Antichain of ⊆-minimal sets (common/antichain.hpp): dominance, insert
+// semantics, and the minimal_sets absorption helper shared by FTA cut-set
+// minimization and the exhaustive hazard frontier.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/antichain.hpp"
+
+namespace cprisk {
+namespace {
+
+TEST(Antichain, EmptyDominatesNothing) {
+    Antichain<std::set<std::string>> chain;
+    EXPECT_TRUE(chain.empty());
+    EXPECT_FALSE(chain.dominates({"a"}));
+    EXPECT_FALSE(chain.dominates({}));
+}
+
+TEST(Antichain, SupersetsAreDominatedAndRejected) {
+    Antichain<std::set<std::string>> chain;
+    EXPECT_TRUE(chain.insert({"a", "b"}));
+    EXPECT_TRUE(chain.dominates({"a", "b"}));        // non-strict: equal set
+    EXPECT_TRUE(chain.dominates({"a", "b", "c"}));   // strict superset
+    EXPECT_FALSE(chain.dominates({"a"}));            // subset is NOT dominated
+    EXPECT_FALSE(chain.dominates({"a", "c"}));       // incomparable
+    EXPECT_FALSE(chain.insert({"a", "b", "c"}));     // absorbed
+    EXPECT_FALSE(chain.insert({"a", "b"}));          // duplicate absorbed
+    EXPECT_TRUE(chain.insert({"a", "c"}));
+    EXPECT_EQ(chain.size(), 2u);
+}
+
+TEST(Antichain, EmptySetDominatesEverything) {
+    Antichain<std::vector<int>> chain;
+    EXPECT_TRUE(chain.insert({}));
+    EXPECT_TRUE(chain.dominates({1, 2, 3}));
+    EXPECT_TRUE(chain.dominates({}));
+    EXPECT_FALSE(chain.insert({1}));
+}
+
+TEST(Antichain, WorksOnSortedVectors) {
+    Antichain<std::vector<int>> chain;
+    EXPECT_TRUE(chain.insert({1, 3}));
+    EXPECT_TRUE(chain.dominates({1, 2, 3}));
+    EXPECT_FALSE(chain.dominates({1, 2}));
+}
+
+TEST(MinimalSets, AbsorbsSupersetsAndDuplicates) {
+    const std::vector<std::set<std::string>> raw = {
+        {"a", "b", "c"}, {"a", "b"}, {"c"}, {"a", "b"}, {"b", "c"}};
+    const std::vector<std::set<std::string>> minimal = minimal_sets(raw);
+    // {c} absorbs {a,b,c} and {b,c}; {a,b} absorbs its duplicate.
+    ASSERT_EQ(minimal.size(), 2u);
+    EXPECT_EQ(minimal[0], (std::set<std::string>{"c"}));
+    EXPECT_EQ(minimal[1], (std::set<std::string>{"a", "b"}));
+}
+
+TEST(MinimalSets, EmptySetAbsorbsAll) {
+    const std::vector<std::vector<int>> raw = {{1, 2}, {}, {3}};
+    const std::vector<std::vector<int>> minimal = minimal_sets(raw);
+    ASSERT_EQ(minimal.size(), 1u);
+    EXPECT_TRUE(minimal[0].empty());
+}
+
+TEST(MinimalSets, AntichainInputIsPreservedInSizeLexOrder) {
+    const std::vector<std::vector<int>> raw = {{2, 3}, {1}, {4}};
+    const std::vector<std::vector<int>> minimal = minimal_sets(raw);
+    ASSERT_EQ(minimal.size(), 3u);
+    EXPECT_EQ(minimal[0], (std::vector<int>{1}));
+    EXPECT_EQ(minimal[1], (std::vector<int>{4}));
+    EXPECT_EQ(minimal[2], (std::vector<int>{2, 3}));
+}
+
+}  // namespace
+}  // namespace cprisk

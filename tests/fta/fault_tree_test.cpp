@@ -2,6 +2,10 @@
 // likelihood, and the EPA -> FTA bridge on the case study.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
+#include "common/antichain.hpp"
+
 #include "core/watertank.hpp"
 #include "fta/fault_tree.hpp"
 #include "security/threat_actor.hpp"
@@ -224,6 +228,39 @@ TEST_F(FtaBridgeFixture, TopLikelihoodMatchesDominantCause) {
 
 TEST_F(FtaBridgeFixture, UnviolatedRequirementYieldsNoTree) {
     EXPECT_FALSE(from_verdicts("nonexistent", *verdicts_, cs_->system).ok());
+}
+
+TEST(FaultTree, MinimalCutSetsMatchSharedAntichainAbsorption) {
+    // Differential for the extracted absorption (common/antichain.hpp): an
+    // OR-of-ANDs tree expands to exactly its gate family, so its minimal
+    // cut sets must equal minimal_sets() applied to the family directly.
+    std::uint32_t state = 0x9e3779b9u;
+    const auto next = [&state] {
+        state = state * 1664525u + 1013904223u;
+        return state >> 16;
+    };
+    FaultTree tree;
+    for (int e = 0; e < 8; ++e) {
+        ASSERT_TRUE(tree.add_event({"e" + std::to_string(e), "", qual::Level::Low}).ok());
+    }
+    std::vector<CutSet> family;
+    Gate top{"top", GateType::Or, {}};
+    for (int g = 0; g < 12; ++g) {
+        CutSet members;
+        const std::size_t size = 1 + next() % 3;
+        while (members.size() < size) members.insert("e" + std::to_string(next() % 8));
+        Gate gate{"g" + std::to_string(g), GateType::And,
+                  std::vector<std::string>(members.begin(), members.end())};
+        ASSERT_TRUE(tree.add_gate(std::move(gate)).ok());
+        top.inputs.push_back("g" + std::to_string(g));
+        family.push_back(std::move(members));
+    }
+    ASSERT_TRUE(tree.add_gate(std::move(top)).ok());
+    ASSERT_TRUE(tree.set_top("top").ok());
+
+    auto cut_sets = tree.minimal_cut_sets();
+    ASSERT_TRUE(cut_sets.ok()) << cut_sets.error();
+    EXPECT_EQ(cut_sets.value(), minimal_sets(family));
 }
 
 }  // namespace

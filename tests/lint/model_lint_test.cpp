@@ -260,6 +260,36 @@ TEST(ModelLintTest, GoldenDiagnosticsOverBrokenFixture) {
     EXPECT_GE(sink.count(Severity::Error), 3u);  // fixture holds >= 3 distinct defects
 }
 
+TEST(ModelLintTest, GoldenDiagnosticsOverNonmonotoneFixture) {
+    const std::string dir = std::string(CPRISK_SOURCE_DIR) + "/tests/lint/fixtures";
+    std::ifstream input(dir + "/nonmonotone.cpm");
+    ASSERT_TRUE(input.good());
+    std::ostringstream text;
+    text << input.rdbuf();
+
+    DiagnosticSink sink;
+    sink.set_file("nonmonotone.cpm");
+    core::BundleSourceMap source_map;
+    const core::Bundle bundle = core::load_bundle_lenient(text.str(), sink, &source_map);
+    lint_bundle(bundle, source_map, security::AttackMatrix::standard_ics(), sink);
+    sink.sort_by_location();
+
+    std::ifstream golden(dir + "/nonmonotone.expected");
+    ASSERT_TRUE(golden.good());
+    std::ostringstream expected;
+    expected << golden.rdbuf();
+    EXPECT_EQ(render_text(sink.diagnostics()), expected.str());
+
+    // Exactly the certifier note: the fixture is otherwise clean, and the
+    // note severity keeps `--werror` runs passing over nonmonotone models.
+    const auto notes = with_rule(sink.diagnostics(), "model-nonmonotone-fault");
+    ASSERT_EQ(notes.size(), 1u);
+    EXPECT_EQ(notes[0].severity, Severity::Note);
+    EXPECT_NE(notes[0].message.find("scenario_fault(pump,seized)"), std::string::npos);
+    EXPECT_EQ(sink.count(Severity::Error), 0u);
+    EXPECT_EQ(sink.count(Severity::Warning), 0u);
+}
+
 TEST(ModelLintTest, GoldenJsonSchemaOverGraphFixture) {
     const std::string dir = std::string(CPRISK_SOURCE_DIR) + "/tests/lint/fixtures";
     std::ifstream input(dir + "/graph.cpm");

@@ -37,6 +37,12 @@
 //   --resume             replay the journal, skipping finished scenarios
 //   --trace FILE         write a Chrome trace-event JSON of the run
 //   --metrics FILE       write the pipeline metrics registry as JSON
+//   --exhaustive         sweep the fault-subset lattice for the antichain of
+//                        minimal hazardous scenarios (docs/exhaustive-search.md);
+//                        superset pruning when the monotonicity certificate holds
+//   --max-card K         cardinality bound for --exhaustive (0 = full lattice)
+//   --attack-reachable-only  drop faults on components the attack taint pass
+//                        proves unreachable (--exhaustive only)
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
@@ -77,6 +83,7 @@ int usage() {
                  "                     [--json FILE] [--deadline-ms N] [--max-decisions N]\n"
                  "                     [--jobs N] [--journal FILE] [--resume]\n"
                  "                     [--no-static-prefilter]\n"
+                 "                     [--exhaustive] [--max-card K] [--attack-reachable-only]\n"
                  "                     [--trace FILE] [--metrics FILE]\n"
                  "       cprisk matrix\n");
     return 2;
@@ -491,7 +498,8 @@ int cmd_assess(int argc, char** argv) {
         "--budget",    "--phase-budget",  "--deadline-ms",      "--max-decisions",
         "--jobs",      "--journal",       "--resume",           "--markdown",
         "--csv",       "--json",          "--trace",            "--metrics",
-        "--no-static-prefilter"};
+        "--no-static-prefilter",          "--exhaustive",       "--max-card",
+        "--attack-reachable-only"};
 
     for (int i = 1; i < argc; ++i) {
         const std::string flag = argv[i];
@@ -535,6 +543,12 @@ int cmd_assess(int argc, char** argv) {
             config.max_decisions = static_cast<std::size_t>(value);
         } else if (flag == "--jobs" && next_value(value)) {
             config.jobs = static_cast<std::size_t>(value);  // 0 = hardware concurrency
+        } else if (flag == "--exhaustive") {
+            config.exhaustive = true;
+        } else if (flag == "--max-card" && next_value(value)) {
+            config.max_card = static_cast<std::size_t>(value);  // 0 = full lattice
+        } else if (flag == "--attack-reachable-only") {
+            config.attack_reachable_only = true;
         } else if (flag == "--journal" && i + 1 < argc) {
             config.journal_path = argv[++i];
         } else if (flag == "--resume") {
@@ -565,6 +579,11 @@ int cmd_assess(int argc, char** argv) {
 
     if (config.resume && config.journal_path.empty()) {
         std::fprintf(stderr, "--resume requires --journal FILE\n");
+        return usage();
+    }
+    if (!config.exhaustive && (config.max_card != 0 || config.attack_reachable_only)) {
+        std::fprintf(stderr, "%s requires --exhaustive\n",
+                     config.max_card != 0 ? "--max-card" : "--attack-reachable-only");
         return usage();
     }
 
@@ -605,6 +624,12 @@ int cmd_assess(int argc, char** argv) {
     std::printf("components=%zu relations=%zu scenarios=%zu hazards=%zu spurious=%zu\n",
                 r.component_count, r.relation_count, r.scenario_count, r.hazards.size(),
                 r.spurious_eliminated);
+    if (r.exhaustive.enabled) {
+        std::printf("exhaustive: certificate=%s candidates=%zu evaluated=%zu pruned=%zu "
+                    "minimal=%zu\n",
+                    r.exhaustive.certificate.c_str(), r.exhaustive.candidates,
+                    r.exhaustive.evaluated, r.exhaustive.pruned, r.exhaustive.minimal_hazards);
+    }
     std::printf("%s", r.risk_table().render().c_str());
     std::printf("%s", r.mitigation_table().render().c_str());
     if (observing) {
