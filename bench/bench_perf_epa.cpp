@@ -13,9 +13,12 @@
 #include <string>
 #include <vector>
 
+#include "core/assessment.hpp"
 #include "epa/epa.hpp"
 #include "epa/frontier.hpp"
+#include "obs/metrics.hpp"
 #include "security/scenario.hpp"
+#include "serve/model_cache.hpp"
 
 namespace {
 
@@ -301,6 +304,82 @@ FrontierNumbers frontier_numbers(int n) {
     return numbers;
 }
 
+// --- Daemon hot cache: cold vs warm requests, eviction under the cap -----
+
+/// Latency of one daemon-style assess request: ModelCache::acquire plus a
+/// RiskAssessment run through the entry's shared ground-once bases — the
+/// path `cprisk serve` executes per request (src/serve/server.cpp).
+double request_seconds(serve::ModelCache& cache, const std::string& path,
+                       const core::AssessmentConfig& config) {
+    const auto start = std::chrono::steady_clock::now();
+    auto model = cache.acquire(path);
+    if (!model.ok()) {
+        std::fprintf(stderr, "bench_perf_epa: acquire failed: %s\n", model.error().c_str());
+        return 0.0;
+    }
+    RunContext ctx;
+    ctx.base_cache = &model.value()->bases;
+    auto report = model.value()->assessment->run(config, ctx);
+    benchmark::DoNotOptimize(report);
+    if (!report.ok()) {
+        std::fprintf(stderr, "bench_perf_epa: assess failed: %s\n", report.error().c_str());
+        return 0.0;
+    }
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+    return elapsed.count();
+}
+
+struct ServeNumbers {
+    double cold_s = 0.0;    ///< first request on a fresh cache: load + ground + solve
+    double warm_s = 0.0;    ///< steady state: cache hit, warm ground-once bases
+    double thrash_s = 0.0;  ///< per-request cost while two tenants thrash a 1-entry cap
+    std::size_t evictions = 0;
+    std::size_t misses = 0;
+    std::size_t hits = 0;
+};
+
+/// The serve block of BENCH_epa.json (docs/serve.md): warm-hit speedup of
+/// the daemon's hot-model cache against a cold request, and the cost of
+/// running over the cap (two tenants alternating through `--hot-models 1` —
+/// every request is a miss that evicts the other tenant, and all of them
+/// still succeed).
+ServeNumbers serve_numbers() {
+    const std::string watertank =
+        std::string(CPRISK_SOURCE_DIR) + "/examples/models/watertank.cpm";
+    const std::string reactor = std::string(CPRISK_SOURCE_DIR) + "/examples/models/reactor.cpm";
+    core::AssessmentConfig config;
+    config.horizon = 6;
+    config.max_simultaneous_faults = 1;
+
+    ServeNumbers numbers;
+    // Cold = first request against a fresh cache; warm = repeat requests on
+    // the resident entry. Best of three fresh caches / three repeats each.
+    for (int round = 0; round < 3; ++round) {
+        serve::ModelCache cache(1, 0, nullptr);
+        const double cold = request_seconds(cache, watertank, config);
+        if (round == 0 || cold < numbers.cold_s) numbers.cold_s = cold;
+        for (int repeat = 0; repeat < 3; ++repeat) {
+            const double warm = request_seconds(cache, watertank, config);
+            if ((round == 0 && repeat == 0) || warm < numbers.warm_s) numbers.warm_s = warm;
+        }
+    }
+
+    obs::MetricsRegistry metrics;
+    serve::ModelCache cache(1, 0, &metrics);
+    const auto start = std::chrono::steady_clock::now();
+    for (int round = 0; round < 3; ++round) {
+        (void)request_seconds(cache, watertank, config);
+        (void)request_seconds(cache, reactor, config);
+    }
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+    numbers.thrash_s = elapsed.count() / 6.0;
+    numbers.evictions =
+        static_cast<std::size_t>(metrics.counter("serve.cache.evictions").value());
+    numbers.misses = static_cast<std::size_t>(metrics.counter("serve.cache.misses").value());
+    numbers.hits = static_cast<std::size_t>(metrics.counter("serve.cache.hits").value());
+    return numbers;
+}
+
 /// Times every sweep configuration and writes BENCH_epa.json.
 void write_sweep_json() {
     const double seed = sweep_seconds(false, 1);
@@ -311,6 +390,8 @@ void write_sweep_json() {
     const double jobs8 = sweep_seconds(true, 8);
     const double obs_overhead = null_obs_overhead();
     const double static_fraction = static_resolution_fraction();
+    const ServeNumbers serve = serve_numbers();
+    const double warm_speedup = serve.warm_s > 0.0 ? serve.cold_s / serve.warm_s : 0.0;
     const FrontierNumbers frontier = frontier_numbers(16);
     const double pruning_ratio =
         frontier.evaluated > 0
@@ -349,19 +430,33 @@ void write_sweep_json() {
                  "    \"minimal_hazards\": %zu,\n"
                  "    \"wall_s\": %.6f,\n"
                  "    \"pruning_ratio\": %.2f\n"
+                 "  },\n"
+                 "  \"serve\": {\n"
+                 "    \"workload\": \"watertank.cpm + reactor.cpm, horizon 6, single-fault\",\n"
+                 "    \"cold_request_s\": %.6f,\n"
+                 "    \"warm_request_s\": %.6f,\n"
+                 "    \"warm_speedup\": %.2f,\n"
+                 "    \"hot_models_cap\": 1,\n"
+                 "    \"thrash_request_s\": %.6f,\n"
+                 "    \"evictions\": %zu,\n"
+                 "    \"misses\": %zu,\n"
+                 "    \"hits\": %zu\n"
                  "  }\n"
                  "}\n",
                  seed, cache_only, jobs2, jobs4, jobs8, seed / cache_only, seed / jobs8,
                  obs_overhead, cache_only, no_prefilter, no_prefilter / cache_only,
                  static_fraction, frontier.monotone ? "monotone" : "mixed", frontier.candidates,
                  frontier.evaluated, frontier.pruned, frontier.minimal, frontier.seconds,
-                 pruning_ratio);
+                 pruning_ratio, serve.cold_s, serve.warm_s, warm_speedup, serve.thrash_s,
+                 serve.evictions, serve.misses, serve.hits);
     std::fclose(out);
     std::printf("BENCH_epa.json: ground-once alone %.2fx, jobs=8 vs seed %.2fx, "
                 "null-obs overhead %.4fx, prefilter %.2fx (static fraction %.2f), "
-                "frontier pruning %.0fx (%zu/%zu)\n",
+                "frontier pruning %.0fx (%zu/%zu), serve warm hit %.2fx "
+                "(%zu evictions under a 1-model cap)\n",
                 seed / cache_only, seed / jobs8, obs_overhead, no_prefilter / cache_only,
-                static_fraction, pruning_ratio, frontier.candidates, frontier.evaluated);
+                static_fraction, pruning_ratio, frontier.candidates, frontier.evaluated,
+                warm_speedup, serve.evictions);
 }
 
 }  // namespace

@@ -29,7 +29,9 @@ cprisk_add_bench(bench_ablation_baselines bench/bench_ablation_baselines.cpp
 cprisk_add_bench(bench_perf_solver bench/bench_perf_solver.cpp
   LIBS cprisk_asp benchmark::benchmark)
 cprisk_add_bench(bench_perf_epa bench/bench_perf_epa.cpp
-  LIBS cprisk_epa benchmark::benchmark)
+  LIBS cprisk_epa cprisk_serve benchmark::benchmark)
+target_compile_definitions(bench_perf_epa PRIVATE
+  CPRISK_SOURCE_DIR="${CMAKE_SOURCE_DIR}")
 cprisk_add_bench(bench_perf_grounder bench/bench_perf_grounder.cpp
   LIBS cprisk_asp cprisk_core cprisk_epa benchmark::benchmark)
 target_compile_definitions(bench_perf_grounder PRIVATE

@@ -1,0 +1,290 @@
+#!/usr/bin/env python3
+"""Chaos harness for the cprisk assessment daemon (docs/serve.md).
+
+Drives a real `cprisk serve` process — not the in-process Server used by the
+unit tests — through the failure modes the daemon promises to survive:
+
+  * every serve.* fault seam armed while concurrent clients hammer it,
+  * SIGTERM landing mid-flight (graceful drain) and a second SIGTERM
+    escalating to hard cancellation,
+  * a client that vanishes with requests still in flight.
+
+Invariants checked on every round: each reply any client receives is one
+well-formed JSON object that echoes the request id and carries an `ok`
+flag (failures also carry error.code); the daemon exits 0 within the
+timeout; the socket file is gone afterwards.
+
+Usage: serve_chaos.py /path/to/cprisk [--model bundle.cpm]
+"""
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+CLIENTS = 4
+REQUESTS = 6
+FAULT_SITES = [
+    None,  # baseline: no fault armed
+    "serve.accept",
+    "serve.read",
+    "serve.dispatch",
+    "serve.evict",
+    "serve.drain",
+    "asp.solver.solve",
+]
+
+
+class Failure(Exception):
+    pass
+
+
+def default_model():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    return os.path.join(root, "examples", "models", "watertank.cpm")
+
+
+class Daemon:
+    """One `cprisk serve` process bound to a throwaway socket."""
+
+    def __init__(self, binary, workdir, chaos=True, drain_ms=10000):
+        self.socket_path = os.path.join(workdir, "cprisk.sock")
+        argv = [
+            binary, "serve", "--socket", self.socket_path,
+            "--executors", "2", "--max-inflight", "4", "--hot-models", "1",
+            "--drain-ms", str(drain_ms),
+        ]
+        if chaos:
+            argv.append("--chaos")
+        self.proc = subprocess.Popen(
+            argv, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        # cmd_serve prints (and flushes) the readiness marker once bound.
+        line = self.proc.stdout.readline()
+        if "listening on" not in line:
+            raise Failure(f"daemon did not come up: {line!r}")
+
+    def signal(self, sig):
+        self.proc.send_signal(sig)
+
+    def finish(self, timeout=30):
+        """Waits for exit; returns the process exit code."""
+        try:
+            self.proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            raise Failure("daemon did not exit within the drain timeout")
+        finally:
+            self.proc.stdout.close()
+        return self.proc.returncode
+
+
+class Client:
+    def __init__(self, path):
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.settimeout(30)
+        self.sock.connect(path)
+        self.buffer = b""
+
+    def send(self, obj):
+        try:
+            self.sock.sendall((json.dumps(obj) + "\n").encode())
+            return True
+        except OSError:
+            return False  # daemon hung up: allowed under chaos
+
+    def read_line(self):
+        """Next reply line, or None on clean close/timeout."""
+        while b"\n" not in self.buffer:
+            try:
+                chunk = self.sock.recv(4096)
+            except OSError:
+                return None
+            if not chunk:
+                return None
+            self.buffer += chunk
+        line, self.buffer = self.buffer.split(b"\n", 1)
+        return line.decode()
+
+    def close(self):
+        self.sock.close()
+
+
+def validate_reply(line, sent_ids):
+    reply = json.loads(line)  # raises on malformed output = test failure
+    if not isinstance(reply, dict):
+        raise Failure(f"reply is not an object: {line}")
+    if "ok" not in reply:
+        raise Failure(f"reply lacks ok flag: {line}")
+    if reply.get("id") and reply["id"] not in sent_ids:
+        raise Failure(f"reply echoes an id never sent: {line}")
+    if reply["ok"] is False:
+        code = reply.get("error", {}).get("code")
+        if not code:
+            raise Failure(f"failure reply lacks error.code: {line}")
+
+
+def client_round(tag, path, model, replies, errors):
+    """One client: mixed ops, collect every reply until close."""
+    try:
+        client = Client(path)
+    except OSError:
+        return  # connection refused mid-drain / accept fault: allowed
+    sent = []
+    for r in range(REQUESTS):
+        rid = f"{tag}-{r}"
+        if r % 3 == 1:
+            request = {"id": rid, "op": "ping"}
+        elif r % 3 == 2:
+            request = {"id": rid, "op": "metrics"}
+        else:
+            request = {"id": rid, "op": "assess", "model": model,
+                       "config": {"horizon": 4}}
+        if not client.send(request):
+            break
+        sent.append(rid)
+    try:
+        for _ in sent:
+            line = client.read_line()
+            if line is None:
+                break  # clean close: allowed
+            validate_reply(line, set(sent))
+            replies.append(line)
+    except Exception as error:  # validation failures propagate to main
+        errors.append(f"{tag}: {error}")
+    finally:
+        client.close()
+
+
+def run_clients(daemon, model, prefix):
+    replies, errors, threads = [], [], []
+    for c in range(CLIENTS):
+        thread = threading.Thread(
+            target=client_round,
+            args=(f"{prefix}-c{c}", daemon.socket_path, model, replies, errors))
+        thread.start()
+        threads.append(thread)
+    return replies, errors, threads
+
+
+def arm(daemon, site):
+    client = Client(daemon.socket_path)
+    client.send({"id": "arm", "op": "fault", "site": site, "countdown": 3})
+    line = client.read_line()
+    client.close()
+    reply = json.loads(line)
+    if not reply.get("ok"):
+        raise Failure(f"arming {site} failed: {line}")
+
+
+def expect_gone(daemon):
+    if os.path.exists(daemon.socket_path):
+        raise Failure("socket file survived shutdown")
+
+
+def scenario_fault_sweep(binary, model, workdir, site):
+    daemon = Daemon(binary, workdir)
+    if site:
+        arm(daemon, site)
+    replies, errors, threads = run_clients(daemon, model, site or "baseline")
+    time.sleep(0.05)  # land the signal while requests are in flight
+    daemon.signal(signal.SIGTERM)
+    for thread in threads:
+        thread.join()
+    code = daemon.finish()
+    if errors:
+        raise Failure("; ".join(errors))
+    if code != 0:
+        raise Failure(f"daemon exited {code}")
+    expect_gone(daemon)
+    return len(replies)
+
+
+def scenario_double_sigterm(binary, model, workdir):
+    # A generous drain deadline that the second signal must cut short.
+    daemon = Daemon(binary, workdir, drain_ms=60000)
+    replies, errors, threads = run_clients(daemon, model, "hard")
+    time.sleep(0.05)
+    daemon.signal(signal.SIGTERM)
+    time.sleep(0.05)
+    daemon.signal(signal.SIGTERM)  # escalates to hard cancel
+    for thread in threads:
+        thread.join()
+    code = daemon.finish()
+    if errors:
+        raise Failure("; ".join(errors))
+    if code != 0:
+        raise Failure(f"daemon exited {code}")
+    expect_gone(daemon)
+    return len(replies)
+
+
+def scenario_abrupt_disconnect(binary, model, workdir):
+    daemon = Daemon(binary, workdir)
+    # The vanishing client leaves a deep request in flight and hangs up.
+    vanishing = Client(daemon.socket_path)
+    vanishing.send({"id": "gone", "op": "assess", "model": model,
+                    "config": {"horizon": 10}})
+    vanishing.close()
+    # The daemon must keep serving others afterwards.
+    survivor = Client(daemon.socket_path)
+    survivor.send({"id": "alive", "op": "ping"})
+    line = survivor.read_line()
+    survivor.close()
+    if line is None or not json.loads(line).get("ok"):
+        raise Failure(f"daemon unresponsive after abrupt disconnect: {line!r}")
+    daemon.signal(signal.SIGTERM)
+    code = daemon.finish()
+    if code != 0:
+        raise Failure(f"daemon exited {code}")
+    expect_gone(daemon)
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("binary", help="path to the cprisk binary")
+    parser.add_argument("--model", default=default_model(),
+                        help="model bundle assess requests load")
+    args = parser.parse_args()
+
+    failures = 0
+    for site in FAULT_SITES:
+        name = f"fault-sweep[{site or 'baseline'}]"
+        workdir = tempfile.mkdtemp(prefix="cprisk-chaos-")
+        try:
+            count = scenario_fault_sweep(args.binary, args.model, workdir, site)
+            print(f"PASS {name} ({count} replies validated)")
+        except Failure as error:
+            failures += 1
+            print(f"FAIL {name}: {error}")
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    for name, scenario in [("double-sigterm", scenario_double_sigterm),
+                           ("abrupt-disconnect", scenario_abrupt_disconnect)]:
+        workdir = tempfile.mkdtemp(prefix="cprisk-chaos-")
+        try:
+            count = scenario(args.binary, args.model, workdir)
+            print(f"PASS {name} ({count} replies validated)")
+        except Failure as error:
+            failures += 1
+            print(f"FAIL {name}: {error}")
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    if failures:
+        print(f"{failures} scenario(s) failed")
+        return 1
+    print("all chaos scenarios passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

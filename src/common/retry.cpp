@@ -1,0 +1,37 @@
+#include "common/retry.hpp"
+
+namespace cprisk {
+
+std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a64(std::string_view text) {
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x00000100000001b3ULL;
+    }
+    return hash;
+}
+
+std::chrono::milliseconds RetryPolicy::backoff(std::size_t attempt, std::uint64_t salt) const {
+    using std::chrono::milliseconds;
+    milliseconds step = base_backoff;
+    for (std::size_t i = 0; i < attempt && step < max_backoff; ++i) step *= 2;
+    if (step > max_backoff) step = max_backoff;
+    if (step <= milliseconds::zero()) return milliseconds::zero();
+    // Jitter into [ceil(step/2), step] so concurrent retries decorrelate
+    // while the floor keeps the schedule genuinely exponential.
+    const auto span = static_cast<std::uint64_t>(step.count());
+    const std::uint64_t half = (span + 1) / 2;
+    const std::uint64_t jitter =
+        mix64(jitter_seed ^ mix64(salt) ^ static_cast<std::uint64_t>(attempt)) %
+        (span - half + 1);
+    return milliseconds(static_cast<milliseconds::rep>(half + jitter));
+}
+
+}  // namespace cprisk

@@ -1,0 +1,45 @@
+// cprisk/common/retry.hpp
+//
+// Bounded retry with deterministic jittered exponential backoff
+// (docs/serve.md). Scenarios that land in Undetermined{solver_error} from a
+// *transient* fault (I/O hiccups, injected faults at the solver seams) are
+// retried up to `max_retries` times before the degraded verdict is accepted;
+// budget trips (deadline/decision/step/cancel) are permanent and never
+// retried. The jitter stream is a pure function of (seed, salt, attempt) so
+// backoff schedules — and therefore traces — are reproducible run to run.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace cprisk {
+
+/// splitmix64: tiny, well-mixed 64-bit permutation (public-domain algorithm
+/// by Sebastiano Vigna). Used for deterministic backoff jitter only.
+std::uint64_t mix64(std::uint64_t x);
+
+/// FNV-1a 64-bit hash, used to derive a per-scenario jitter salt from its id.
+std::uint64_t fnv1a64(std::string_view text);
+
+struct RetryPolicy {
+    /// Maximum number of *re*-attempts after the first try. 0 disables retry
+    /// entirely (the default, preserving batch-mode byte-identity).
+    std::size_t max_retries = 0;
+    /// Backoff before the first retry; doubles per subsequent attempt.
+    std::chrono::milliseconds base_backoff{10};
+    /// Backoff ceiling after exponential growth.
+    std::chrono::milliseconds max_backoff{1000};
+    /// Seed of the deterministic jitter stream.
+    std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ULL;
+
+    bool enabled() const { return max_retries > 0; }
+
+    /// Backoff before retry number `attempt` (0-based), jittered into
+    /// [50%, 100%] of the exponential step. Deterministic in
+    /// (jitter_seed, salt, attempt).
+    std::chrono::milliseconds backoff(std::size_t attempt, std::uint64_t salt) const;
+};
+
+}  // namespace cprisk

@@ -40,14 +40,29 @@ struct ThreadPool::Batch {
     }
 };
 
-ThreadPool::ThreadPool(std::size_t jobs) : jobs_(jobs == 0 ? 1 : jobs) {
-    workers_.reserve(jobs_ - 1);
-    for (std::size_t lane = 1; lane < jobs_; ++lane) {
-        workers_.emplace_back([this, lane] { worker_loop(lane); });
+ThreadPool::ThreadPool(std::size_t jobs) : ThreadPool(jobs, PoolMode::Batch) {}
+
+ThreadPool::ThreadPool(std::size_t jobs, PoolMode mode)
+    : jobs_(jobs == 0 ? 1 : jobs), mode_(mode) {
+    if (mode_ == PoolMode::Batch) {
+        workers_.reserve(jobs_ - 1);
+        for (std::size_t lane = 1; lane < jobs_; ++lane) {
+            workers_.emplace_back([this, lane] { worker_loop(lane); });
+        }
+    } else {
+        accepting_ = true;
+        workers_.reserve(jobs_);
+        for (std::size_t i = 0; i < jobs_; ++i) {
+            workers_.emplace_back([this] { service_loop(); });
+        }
     }
 }
 
 ThreadPool::~ThreadPool() {
+    if (mode_ == PoolMode::Service) {
+        stop();
+        return;
+    }
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stop_ = true;
@@ -56,12 +71,61 @@ ThreadPool::~ThreadPool() {
     for (std::thread& worker : workers_) worker.join();
 }
 
+Result<void> ThreadPool::submit(std::function<void()> task) {
+    if (mode_ != PoolMode::Service) {
+        return Result<void>::failure("ThreadPool::submit: not a service-mode pool");
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!accepting_) {
+            return Result<void>::failure("thread pool is stopped; task rejected");
+        }
+        service_queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+    return {};
+}
+
+void ThreadPool::stop() {
+    if (mode_ != PoolMode::Service) return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        accepting_ = false;
+        stop_ = true;
+        if (joined_) return;  // a previous stop() already joined (or is joining)
+        joined_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::service_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&] { return stop_ || !service_queue_.empty(); });
+            if (service_queue_.empty()) return;  // stop_ set and the queue drained
+            task = std::move(service_queue_.front());
+            service_queue_.pop_front();
+        }
+        // Service tasks own their error handling (the daemon replies
+        // `internal` itself); this guard is a last resort so a stray
+        // exception cannot take every connection down with the worker.
+        try {
+            task();
+        } catch (...) {  // NOLINT(bugprone-empty-catch)
+        }
+    }
+}
+
 std::size_t ThreadPool::hardware_jobs() {
     const unsigned n = std::thread::hardware_concurrency();
     return n == 0 ? 1 : static_cast<std::size_t>(n);
 }
 
 void ThreadPool::run_batch(std::size_t count, const std::function<void(std::size_t)>& task) {
+    require(mode_ == PoolMode::Batch, "ThreadPool::run_batch called on a service-mode pool");
     if (count == 0) return;
     if (jobs_ == 1 || count == 1) {
         // Inline path: same ordering as the pre-pool sequential engine. The

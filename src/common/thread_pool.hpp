@@ -17,6 +17,11 @@
 // The caller participates: run_batch executes tasks on the calling thread
 // alongside the workers, so a pool with N jobs uses N OS threads total
 // (N - 1 workers + the caller), and nested pools degrade gracefully.
+// A second construction mode (PoolMode::Service) turns the pool into a
+// long-lived task executor for the assessment daemon (docs/serve.md):
+// submit() enqueues detached tasks onto `jobs` dedicated workers and stop()
+// drains everything already accepted before joining. The two modes never
+// mix: a Batch pool has no queue and a Service pool rejects run_batch.
 #pragma once
 
 #include <condition_variable>
@@ -28,13 +33,24 @@
 #include <thread>
 #include <vector>
 
+#include "common/result.hpp"
+
 namespace cprisk {
 
 class ThreadPool {
 public:
+    enum class PoolMode : std::uint8_t {
+        Batch,    ///< run_batch() only; the caller participates as a lane
+        Service,  ///< submit()/stop(); `jobs` dedicated workers, caller never runs tasks
+    };
+
     /// A pool with `jobs` execution lanes (caller + jobs-1 workers).
     /// jobs == 0 is normalized to 1; jobs == 1 creates no threads.
     explicit ThreadPool(std::size_t jobs);
+    /// Mode-selecting constructor. In Service mode the pool spawns `jobs`
+    /// dedicated workers (jobs == 0 normalized to 1) that sleep until
+    /// submit() hands them work.
+    ThreadPool(std::size_t jobs, PoolMode mode);
     ~ThreadPool();
 
     ThreadPool(const ThreadPool&) = delete;
@@ -48,6 +64,19 @@ public:
     /// no task is silently skipped). Not reentrant: one batch at a time.
     void run_batch(std::size_t count, const std::function<void(std::size_t)>& task);
 
+    /// Service mode only: enqueues a detached task for the workers. Fails —
+    /// instead of silently dropping the task — once stop() has begun or on a
+    /// Batch-mode pool; a rejected task never runs, so the caller must
+    /// answer for it (the daemon replies `shutting_down`).
+    Result<void> submit(std::function<void()> task);
+
+    /// Service mode only: stops admissions (submit() fails from this point
+    /// on), runs every task accepted before the call to completion, then
+    /// joins the workers. Idempotent; safe to call from any non-worker
+    /// thread. The destructor calls it implicitly so accepted tasks are
+    /// never dropped.
+    void stop();
+
     /// Number of hardware threads (never 0).
     static std::size_t hardware_jobs();
 
@@ -60,19 +89,25 @@ private:
     struct Batch;
 
     void worker_loop(std::size_t lane);
+    void service_loop();
     /// Runs tasks from `lane`'s own queue, then steals; returns when the
     /// batch has no work left for this lane.
     void drain(Batch& batch, std::size_t lane);
 
     std::size_t jobs_ = 1;
+    PoolMode mode_ = PoolMode::Batch;
     std::vector<std::thread> workers_;
 
     std::mutex mutex_;
-    std::condition_variable wake_;     ///< workers wait for a batch or stop
+    std::condition_variable wake_;     ///< workers wait for a batch/task or stop
     std::condition_variable done_;     ///< caller waits for batch completion
     Batch* batch_ = nullptr;           ///< the in-flight batch, if any
     unsigned long long batch_seq_ = 0; ///< bumped per batch so a worker never re-enters one
     bool stop_ = false;
+
+    std::deque<std::function<void()>> service_queue_;  ///< guarded by mutex_
+    bool accepting_ = false;  ///< Service mode: submit() allowed; guarded by mutex_
+    bool joined_ = false;     ///< Service mode: stop() already ran; guarded by mutex_
 };
 
 }  // namespace cprisk

@@ -159,6 +159,7 @@ Result<AssessmentReport> RiskAssessment::run(const AssessmentConfig& config,
         ctx.budget.set_deadline_after(std::chrono::milliseconds(config.deadline_ms));
     }
     if (config.cancel) ctx.budget.set_cancel_token(*config.cancel);
+    if (config.retries > 0) ctx.retry.max_retries = config.retries;
 
     // Checkpoint/resume: previously journaled verdicts are replayed instead
     // of re-evaluated; fresh verdicts are appended as they complete. The
@@ -179,6 +180,20 @@ Result<AssessmentReport> RiskAssessment::run(const AssessmentConfig& config,
                     " was written under a different configuration; re-run without --resume");
             }
             replayed_records = std::move(loaded.value().records);
+            // Cancellation interrupts the *run*, not the scenario: verdicts
+            // recorded as Undetermined{cancelled} are dropped from the
+            // replay (and the compacted journal below) so the resumed run
+            // re-evaluates them and converges to the uninterrupted report.
+            // Other Undetermined reasons replay as before — they document a
+            // configured resource limit, not an outside interruption.
+            replayed_records.erase(
+                std::remove_if(replayed_records.begin(), replayed_records.end(),
+                               [](const hierarchy::ScenarioRecord& record) {
+                                   return record.verdict.undetermined() &&
+                                          record.verdict.undetermined_reason ==
+                                              epa::UndeterminedReason::Cancelled;
+                               }),
+                replayed_records.end());
             for (const hierarchy::ScenarioRecord& record : replayed_records) {
                 replay[record.scenario_id] = record;
             }
@@ -186,7 +201,8 @@ Result<AssessmentReport> RiskAssessment::run(const AssessmentConfig& config,
         // Rewriting the journal (header + intact replayed records) compacts
         // away any torn trailing line the killed run left behind; fresh
         // appends then always start on a line boundary.
-        auto writer = JournalWriter::open(config.journal_path, header);
+        auto writer =
+            JournalWriter::open(config.journal_path, header, JournalOptions{config.journal_sync});
         if (!writer.ok()) return Result<AssessmentReport>::failure(writer.error());
         journal = std::move(writer).value();
         for (const hierarchy::ScenarioRecord& record : replayed_records) {

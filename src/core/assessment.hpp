@@ -66,6 +66,12 @@ struct AssessmentConfig {
     /// `jobs`, it is excluded from the journal's config echo.
     bool static_prefilter = true;
     std::optional<CancelToken> cancel;  ///< external cancellation
+    /// Bounded retry for transient Undetermined{solver_error} verdicts
+    /// (docs/serve.md): applied to ctx.retry.max_retries at the start of
+    /// run(). 0 (the default) disables retry and preserves byte-identity
+    /// with earlier releases. Like `jobs`, a robustness knob that never
+    /// changes successful verdicts, so excluded from the journal echo.
+    std::size_t retries = 0;
 
     // Exhaustive hazard frontier (epa/frontier.hpp, docs/exhaustive-search.md).
     /// Replace the enumerated scenario space + CEGAR with a cardinality-
@@ -85,6 +91,10 @@ struct AssessmentConfig {
     // Checkpoint/resume.
     std::string journal_path;  ///< non-empty: append one JSONL verdict per scenario
     bool resume = false;       ///< replay the journal, skipping finished scenarios
+    /// fsync the journal after every record (`--journal-sync`,
+    /// core::JournalOptions::sync). Durability only — journal bytes are
+    /// identical either way — so excluded from the journal echo.
+    bool journal_sync = false;
 
     /// DEPRECATED — pre-RunContext shim, read only by the one-argument
     /// run(config) overload to seed the context it builds; the two-argument

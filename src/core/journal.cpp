@@ -1,5 +1,13 @@
 #include "core/journal.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
 #include "common/fault_injection.hpp"
 
 namespace cprisk::core {
@@ -290,20 +298,60 @@ Result<JournalContents> load_journal(const std::string& path) {
     return contents;
 }
 
-Result<JournalWriter> JournalWriter::open(const std::string& path, const json::Value& header) {
+JournalWriter::JournalWriter(JournalWriter&& other) noexcept
+    : path_(std::move(other.path_)), fd_(other.fd_), sync_(other.sync_) {
+    other.fd_ = -1;
+}
+
+JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
+    if (this != &other) {
+        if (fd_ >= 0) ::close(fd_);
+        path_ = std::move(other.path_);
+        fd_ = other.fd_;
+        sync_ = other.sync_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+JournalWriter::~JournalWriter() {
+    if (fd_ >= 0) ::close(fd_);
+}
+
+Result<void> JournalWriter::write_all(const char* data, std::size_t size) {
+    while (size > 0) {
+        const ::ssize_t wrote = ::write(fd_, data, size);
+        if (wrote < 0) {
+            if (errno == EINTR) continue;
+            return Result<void>::failure("journal: write failed: " + path_ + ": " +
+                                         std::strerror(errno));
+        }
+        data += wrote;
+        size -= static_cast<std::size_t>(wrote);
+    }
+    if (sync_ && ::fsync(fd_) != 0) {
+        return Result<void>::failure("journal: fsync failed: " + path_ + ": " +
+                                     std::strerror(errno));
+    }
+    return {};
+}
+
+Result<JournalWriter> JournalWriter::open(const std::string& path, const json::Value& header,
+                                          JournalOptions options) {
     if (fault::should_fail("core.journal.open")) {
         return Result<JournalWriter>::failure("journal: injected I/O fault (site "
                                               "core.journal.open)");
     }
     JournalWriter writer(path);
-    writer.out_.open(path, std::ios::trunc);
-    if (!writer.out_) {
-        return Result<JournalWriter>::failure("journal: cannot open " + path + " for writing");
+    writer.sync_ = options.sync;
+    writer.fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (writer.fd_ < 0) {
+        return Result<JournalWriter>::failure("journal: cannot open " + path + " for writing: " +
+                                              std::strerror(errno));
     }
-    writer.out_ << header.serialize() << '\n';
-    writer.out_.flush();
-    if (!writer.out_) {
-        return Result<JournalWriter>::failure("journal: write failed: " + path);
+    const std::string line = header.serialize() + '\n';
+    if (auto written = writer.write_all(line.data(), line.size()); !written.ok()) {
+        return Result<JournalWriter>::failure(written.error());
     }
     return writer;
 }
@@ -312,15 +360,13 @@ Result<void> JournalWriter::append(const hierarchy::ScenarioRecord& record) {
     const std::string line = record_to_json(record).serialize();
     if (fault::should_fail("core.journal.append")) {
         // Simulate a torn write: half the line, no newline, then the
-        // "crash". Resume must discard exactly this line.
-        out_ << line.substr(0, line.size() / 2);
-        out_.flush();
+        // "crash". Resume must discard exactly this line. The torn bytes go
+        // through the same write (and fsync) path a real crash would race.
+        (void)write_all(line.data(), line.size() / 2);
         return Result<void>::failure("journal: injected I/O fault (site core.journal.append)");
     }
-    out_ << line << '\n';
-    out_.flush();
-    if (!out_) return Result<void>::failure("journal: write failed: " + path_);
-    return {};
+    const std::string full = line + '\n';
+    return write_all(full.data(), full.size());
 }
 
 }  // namespace cprisk::core

@@ -17,7 +17,6 @@
 // pipeline never collects them.
 #pragma once
 
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -48,23 +47,42 @@ struct JournalContents {
 /// anywhere else fails.
 Result<JournalContents> load_journal(const std::string& path);
 
+struct JournalOptions {
+    /// fsync after the header and every appended record (`--journal-sync`):
+    /// a power loss mid-run then loses at most the record in flight, not
+    /// records the OS still held in its page cache. Off by default — the
+    /// bytes written are identical either way, only durability changes.
+    bool sync = false;
+};
+
 /// Appends one JSONL line per record, flushing after each so a killed run
-/// loses at most the line in flight.
+/// loses at most the line in flight. Writes through a raw file descriptor
+/// so the sync option can reach fsync(2); the emitted bytes are unchanged.
 class JournalWriter {
 public:
     /// Truncates and writes the header line. Resume compacts: the caller
     /// re-appends the replayed records, which also drops any torn trailing
     /// line left by a killed writer (serialization is deterministic, so the
     /// rewritten lines are byte-identical to the originals).
-    static Result<JournalWriter> open(const std::string& path, const json::Value& header);
+    static Result<JournalWriter> open(const std::string& path, const json::Value& header,
+                                      JournalOptions options = {});
 
     Result<void> append(const hierarchy::ScenarioRecord& record);
+
+    JournalWriter(JournalWriter&& other) noexcept;
+    JournalWriter& operator=(JournalWriter&& other) noexcept;
+    JournalWriter(const JournalWriter&) = delete;
+    JournalWriter& operator=(const JournalWriter&) = delete;
+    ~JournalWriter();
 
 private:
     explicit JournalWriter(std::string path) : path_(std::move(path)) {}
 
+    Result<void> write_all(const char* data, std::size_t size);
+
     std::string path_;
-    std::ofstream out_;
+    int fd_ = -1;
+    bool sync_ = false;
 };
 
 }  // namespace cprisk::core

@@ -54,6 +54,13 @@
 // metrics registry), resource governance, and result/error plumbing.
 #include "common/budget.hpp"
 #include "common/result.hpp"
+#include "common/retry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_context.hpp"
 #include "obs/trace.hpp"
+
+// The assessment daemon (docs/serve.md): wire protocol, hot-model cache,
+// and the multi-tenant server behind `cprisk serve`.
+#include "serve/model_cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"

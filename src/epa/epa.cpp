@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <thread>
 #include <utility>
 
 #include "asp/absint/absint.hpp"
@@ -150,7 +151,59 @@ struct GroundedBase {
     bool analysis_ok = false;
 };
 
+GroundedBaseCache::GroundedBaseCache() = default;
+GroundedBaseCache::~GroundedBaseCache() = default;
+
+std::size_t GroundedBaseCache::entries() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::size_t GroundedBaseCache::approx_bytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bytes_;
+}
+
+std::shared_ptr<const GroundedBase> GroundedBaseCache::find(const Key& key) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : it->second.first;
+}
+
+void GroundedBaseCache::insert(const Key& key, std::shared_ptr<const GroundedBase> base,
+                               std::size_t bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = entries_[key];
+    if (slot.first != nullptr) return;  // a concurrent create() won the race; keep its entry
+    slot = {std::move(base), bytes};
+    bytes_ += bytes;
+}
+
 namespace {
+
+/// Rough resident-size estimate of a ground-once base, for the daemon's
+/// approximate memory cap. Counts the dominant vectors (atoms, rule bodies)
+/// at container-overhead granularity; exactness is not the point — the cap
+/// only needs a monotone, stable measure of model size.
+std::size_t grounded_base_bytes(const GroundedBase& base) {
+    std::size_t bytes = base.program.atom_count() * 96;  // interned atom + id-map node
+    for (const asp::GroundRule& rule : base.program.rules()) {
+        bytes += sizeof(asp::GroundRule);
+        bytes += (rule.positive_body.size() + rule.negative_body.size() +
+                  rule.choice_heads.size()) *
+                 sizeof(int);
+        for (const asp::GroundAggregate& aggregate : rule.aggregates) {
+            bytes += sizeof(asp::GroundAggregate);
+            for (const asp::GroundAggregateElement& element : aggregate.elements) {
+                bytes += sizeof(element) + element.tuple.size() +
+                         element.condition.size() * sizeof(int);
+            }
+        }
+    }
+    bytes += (base.fault_atoms.size() + base.mitigation_atoms.size()) * 96;
+    bytes += base.program.atom_count() / 2;  // ternary analysis bit-pair planes
+    return bytes;
+}
 
 /// Grounds the base + open delta domain once. Returns nullptr when the cache
 /// cannot be built (budget trip, injected grounder fault, missing domain
@@ -288,7 +341,27 @@ Result<ErrorPropagationAnalysis> ErrorPropagationAnalysis::create(
         epa.base_program_.add_show(asp::Signature{"injected_fault", 2});
     }
     if (options.ground_once) {
-        epa.grounded_base_ = try_ground_base(model, epa.mitigations_, epa.base_program_, options);
+        GroundedBaseCache* cache = options.ctx != nullptr ? options.ctx->base_cache : nullptr;
+        const GroundedBaseCache::Key key{static_cast<int>(options.focus), options.horizon,
+                                         options.collect_trace};
+        if (cache != nullptr) {
+            epa.grounded_base_ = cache->find(key);
+            obs::add_counter(options.metrics_sink(), epa.grounded_base_ != nullptr
+                                                         ? "epa.base_cache.hits"
+                                                         : "epa.base_cache.misses");
+        }
+        if (epa.grounded_base_ == nullptr) {
+            epa.grounded_base_ =
+                try_ground_base(model, epa.mitigations_, epa.base_program_, options);
+            // Only fully-built bases are shared: a base degraded by a budget
+            // trip or injected fault at create() stays request-local, so one
+            // starved request cannot poison the warm cache for its model.
+            if (cache != nullptr && epa.grounded_base_ != nullptr &&
+                epa.grounded_base_->analysis_ok) {
+                cache->insert(key, epa.grounded_base_,
+                              grounded_base_bytes(*epa.grounded_base_));
+            }
+        }
     }
     return epa;
 }
@@ -325,6 +398,42 @@ std::optional<std::vector<std::pair<int, bool>>> ErrorPropagationAnalysis::cache
 Result<ScenarioVerdict> ErrorPropagationAnalysis::evaluate(
     const security::AttackScenario& scenario,
     const std::vector<std::string>& active_mitigations) const {
+    auto verdict = evaluate_once(scenario, active_mitigations);
+    const RetryPolicy* policy = options_.ctx != nullptr ? &options_.ctx->retry : nullptr;
+    if (policy == nullptr || !policy->enabled()) return verdict;
+
+    // Retry only the transient class: solver_error covers I/O-level faults
+    // (the fault-injection seams model them) that a fresh attempt can clear.
+    // Hard failures (unknown component, inconsistent model) and budget trips
+    // are permanent. The jitter salt is the scenario id, so concurrent
+    // retries decorrelate while the schedule stays reproducible.
+    const std::uint64_t salt = fnv1a64(scenario.id);
+    bool retried = false;
+    for (std::size_t attempt = 0; attempt < policy->max_retries; ++attempt) {
+        if (!verdict.ok()) return verdict;
+        const ScenarioVerdict& v = verdict.value();
+        if (v.status != VerdictStatus::Undetermined ||
+            v.undetermined_reason != UndeterminedReason::SolverError) {
+            return verdict;
+        }
+        Budget* budget = options_.effective_budget();
+        if (budget != nullptr && budget->tripped()) return verdict;
+        std::this_thread::sleep_for(policy->backoff(attempt, salt));
+        obs::add_counter(options_.metrics_sink(), "epa.retry.attempts");
+        retried = true;
+        verdict = evaluate_once(scenario, active_mitigations);
+    }
+    if (retried && verdict.ok() &&
+        verdict.value().status == VerdictStatus::Undetermined &&
+        verdict.value().undetermined_reason == UndeterminedReason::SolverError) {
+        obs::add_counter(options_.metrics_sink(), "epa.retry.exhausted");
+    }
+    return verdict;
+}
+
+Result<ScenarioVerdict> ErrorPropagationAnalysis::evaluate_once(
+    const security::AttackScenario& scenario,
+    const std::vector<std::string>& active_mitigations) const {
     for (const Mutation& mutation : scenario.mutations) {
         if (!model_->has_component(mutation.component)) {
             return Result<ScenarioVerdict>::failure("scenario " + scenario.id +
@@ -338,6 +447,23 @@ Result<ScenarioVerdict> ErrorPropagationAnalysis::evaluate(
     verdict.mutations = scenario.mutations;
     verdict.active_mitigations = active_mitigations;
     verdict.likelihood = scenario.likelihood;
+
+    // Cooperative cancellation point: a tripped budget (cancel, deadline,
+    // quota) stops new evaluations before any grounding or solving. Without
+    // this, scenarios a propagation-only solve can decide would still
+    // complete after cancellation — with solver provenance, breaking
+    // resume byte-identity — because the solver only polls the budget at
+    // decision points.
+    if (Budget* budget = options_.effective_budget(); budget != nullptr) {
+        if (const auto trip = budget->check()) {
+            verdict.status = VerdictStatus::Undetermined;
+            verdict.undetermined_reason = undetermined_reason_from(trip->reason);
+            verdict.undetermined_detail =
+                "scenario " + scenario.id + ": not started: " + trip->to_string();
+            obs::add_counter(options_.metrics_sink(), "epa.scenarios.undetermined");
+            return verdict;
+        }
+    }
 
     // Scenario-scoped span: nested asp.ground/asp.solve spans inherit this
     // scenario id through the thread-local scope stack, so the exported
@@ -383,6 +509,21 @@ Result<ScenarioVerdict> ErrorPropagationAnalysis::evaluate(
                 return finished;
             }
             obs::add_counter(options_.metrics_sink(), "epa.absint.static_unknown");
+            // A trip that lands mid-prefilter aborts the fixpoint before it
+            // can certify. Falling through to DPLL here would complete the
+            // scenario with solver provenance — a timing artifact a clean
+            // rerun would not reproduce — so the scenario degrades to
+            // Undetermined and a resume re-evaluates it.
+            if (Budget* budget = options_.effective_budget(); budget != nullptr) {
+                if (const auto trip = budget->tripped()) {
+                    verdict.status = VerdictStatus::Undetermined;
+                    verdict.undetermined_reason = undetermined_reason_from(trip->reason);
+                    verdict.undetermined_detail =
+                        "scenario " + scenario.id + ": prefilter aborted: " + trip->to_string();
+                    obs::add_counter(options_.metrics_sink(), "epa.scenarios.undetermined");
+                    return verdict;
+                }
+            }
         }
 
         asp::SolveOptions solve_options;

@@ -18,9 +18,12 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "asp/asp.hpp"
@@ -171,6 +174,41 @@ struct EpaOptions {
 /// scenario delta domain (defined in epa.cpp; shared across threads).
 struct GroundedBase;
 
+/// Thread-safe cache of ground-once bases, keyed by (focus, horizon,
+/// collect_trace), so repeated analyses of the SAME model + requirements +
+/// mitigation map skip the base grounding entirely — the daemon keeps one
+/// per served model (src/serve/model_cache.hpp) and wires it through
+/// RunContext::base_cache. Sharing a cache across different models or
+/// requirement sets is undefined: the key does not capture them. Entries
+/// are immutable GroundedBase snapshots, safe to hand to concurrent
+/// evaluations; eviction happens at whole-model granularity in the daemon's
+/// LRU, never per entry.
+class GroundedBaseCache {
+public:
+    GroundedBaseCache();
+    ~GroundedBaseCache();
+    GroundedBaseCache(const GroundedBaseCache&) = delete;
+    GroundedBaseCache& operator=(const GroundedBaseCache&) = delete;
+
+    std::size_t entries() const;
+    /// Approximate resident size of the cached ground programs, for the
+    /// daemon's memory-cap accounting (estimated at insert; docs/serve.md).
+    std::size_t approx_bytes() const;
+
+private:
+    friend class ErrorPropagationAnalysis;
+    /// Key: (focus, horizon, collect_trace) — everything else that shapes
+    /// the grounded base is fixed per cache by the contract above.
+    using Key = std::tuple<int, int, bool>;
+
+    std::shared_ptr<const GroundedBase> find(const Key& key) const;
+    void insert(const Key& key, std::shared_ptr<const GroundedBase> base, std::size_t bytes);
+
+    mutable std::mutex mutex_;
+    std::map<Key, std::pair<std::shared_ptr<const GroundedBase>, std::size_t>> entries_;
+    std::size_t bytes_ = 0;
+};
+
 class ErrorPropagationAnalysis {
 public:
     /// Fails if the model does not validate or a behaviour fragment does not
@@ -182,7 +220,11 @@ public:
                                                    const MitigationMap& mitigations,
                                                    const EpaOptions& options = {});
 
-    /// Evaluates one scenario under a set of active mitigations.
+    /// Evaluates one scenario under a set of active mitigations. When the
+    /// run context carries an enabled RetryPolicy (common/retry.hpp), a
+    /// transient Undetermined{solver_error} verdict is re-attempted with
+    /// jittered backoff before the degraded verdict is accepted; budget
+    /// trips (deadline/decision/cancel) are permanent and never retried.
     Result<ScenarioVerdict> evaluate(const security::AttackScenario& scenario,
                                      const std::vector<std::string>& active_mitigations) const;
 
@@ -235,6 +277,12 @@ public:
 
 private:
     ErrorPropagationAnalysis() = default;
+
+    /// One evaluation attempt (the pre-retry evaluate body): cached
+    /// assumptions path, static prefilter, or full reground.
+    Result<ScenarioVerdict> evaluate_once(
+        const security::AttackScenario& scenario,
+        const std::vector<std::string>& active_mitigations) const;
 
     /// Assumption literals pinning the grounded delta domain to `scenario` +
     /// `active_mitigations`, or nullopt when the cache is absent or the

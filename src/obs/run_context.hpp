@@ -30,11 +30,16 @@
 
 #include "common/budget.hpp"
 #include "common/fault_injection.hpp"
+#include "common/retry.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace cprisk {
+
+namespace epa {
+class GroundedBaseCache;  // epa/epa.hpp; held by pointer only, no obs->epa dependency
+}  // namespace epa
 
 class RunContext {
 public:
@@ -62,6 +67,17 @@ public:
     /// exact sequential engine). Never changes results, reports, or journal
     /// bytes (docs/performance.md).
     std::size_t jobs = 1;
+
+    /// Bounded retry with jittered backoff for transient
+    /// Undetermined{solver_error} verdicts (common/retry.hpp,
+    /// docs/serve.md). Disabled by default; budget trips never retry.
+    RetryPolicy retry;
+
+    /// Warm ground-once base cache shared across runs over the SAME model,
+    /// requirements, and mitigation map (epa/epa.hpp; the daemon wires one
+    /// per served model). nullptr — the default — grounds per analysis as
+    /// before. Borrowed.
+    epa::GroundedBaseCache* base_cache = nullptr;
 
     /// The run's shared worker pool, built on first use with
     /// ThreadPool::resolve(jobs) lanes. One batch at a time (the pipeline's

@@ -1,0 +1,109 @@
+#include "serve/model_cache.hpp"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "common/fault_injection.hpp"
+
+namespace cprisk::serve {
+
+namespace {
+
+/// Fixed per-entry overhead: matrices, catalog, requirement vectors and the
+/// assessment façade are small and roughly constant per model.
+constexpr std::size_t kEntryOverheadBytes = 64 * 1024;
+
+std::size_t file_size_bytes(const std::string& path) {
+    struct ::stat info {};
+    if (::stat(path.c_str(), &info) != 0 || info.st_size < 0) return 0;
+    return static_cast<std::size_t>(info.st_size);
+}
+
+}  // namespace
+
+std::size_t ServedModel::cost_bytes() const {
+    return kEntryOverheadBytes + bundle_bytes + bases.approx_bytes();
+}
+
+ModelCache::ModelCache(std::size_t max_models, std::size_t max_bytes,
+                       obs::MetricsRegistry* metrics)
+    : max_models_(max_models), max_bytes_(max_bytes), metrics_(metrics) {}
+
+Result<std::shared_ptr<ServedModel>> ModelCache::acquire(const std::string& path) {
+    using R = Result<std::shared_ptr<ServedModel>>;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = std::find_if(entries_.begin(), entries_.end(),
+                                 [&](const auto& entry) { return entry->path == path; });
+    if (it != entries_.end()) {
+        std::shared_ptr<ServedModel> model = *it;
+        entries_.erase(it);
+        entries_.push_back(model);  // most recently used
+        obs::add_counter(metrics_, "serve.cache.hits");
+        return model;
+    }
+    obs::add_counter(metrics_, "serve.cache.misses");
+
+    // Load under the lock: concurrent requests for the same cold model would
+    // otherwise duplicate the (expensive) load; serializing cold loads is
+    // the simpler trade and warm hits dominate in steady state.
+    auto bundle = core::load_bundle_file(path);
+    if (!bundle.ok()) return R::failure(bundle.error());
+
+    auto model = std::make_shared<ServedModel>();
+    model->path = path;
+    model->bundle = std::move(bundle).value();
+    model->bundle_bytes = file_size_bytes(path);
+    model->mitigations = epa::MitigationMap::from_attack_matrix(model->bundle.model,
+                                                                model->matrix);
+    // Constructed last: RiskAssessment borrows the bundle's model and the
+    // matrix/mitigations members by address, which are final by now (the
+    // ServedModel itself lives behind the shared_ptr and never moves).
+    model->assessment = std::make_unique<core::RiskAssessment>(
+        model->bundle.model, model->bundle.effective_behavioral(),
+        model->bundle.effective_topology(), model->matrix, model->mitigations, &model->catalog);
+
+    entries_.push_back(model);
+    evict_locked();
+    return model;
+}
+
+void ModelCache::enforce_caps() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    evict_locked();
+}
+
+std::size_t ModelCache::resident() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::size_t ModelCache::resident_bytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return resident_bytes_locked();
+}
+
+std::size_t ModelCache::resident_bytes_locked() const {
+    std::size_t total = 0;
+    for (const auto& entry : entries_) total += entry->cost_bytes();
+    return total;
+}
+
+void ModelCache::evict_locked() {
+    while (entries_.size() > 1 &&
+           ((max_models_ != 0 && entries_.size() > max_models_) ||
+            (max_bytes_ != 0 && resident_bytes_locked() > max_bytes_))) {
+        if (fault::should_fail("serve.evict")) {
+            // Injected eviction failure: degrade gracefully — keep the entry
+            // resident (over the cap) and make the miss observable instead
+            // of corrupting the LRU order.
+            obs::add_counter(metrics_, "serve.cache.evict_failed");
+            return;
+        }
+        entries_.erase(entries_.begin());  // front = least recently used
+        obs::add_counter(metrics_, "serve.cache.evictions");
+    }
+}
+
+}  // namespace cprisk::serve

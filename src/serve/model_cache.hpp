@@ -1,0 +1,83 @@
+// cprisk/serve/model_cache.hpp
+//
+// Hot-cache governance for the assessment daemon (docs/serve.md): the
+// daemon keeps the last N served models resident — bundle, assessment
+// façade, and the warm ground-once base cache — and evicts least-recently
+// used entries once the entry count or the approximate memory cap is
+// exceeded. Eviction is whole-model: a ServedModel and its GroundedBase
+// caches leave together (in-flight requests holding the shared_ptr finish
+// unaffected; the memory is reclaimed when the last holder drops it).
+// Hits, misses, and evictions are reported through the daemon's
+// MetricsRegistry (serve.cache.*).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/assessment.hpp"
+#include "core/loader.hpp"
+#include "epa/epa.hpp"
+#include "obs/metrics.hpp"
+#include "security/attack_matrix.hpp"
+#include "security/catalog.hpp"
+
+namespace cprisk::serve {
+
+/// One resident model: everything a request needs, loaded once. The object
+/// is heap-allocated and never moved — RiskAssessment borrows the bundle's
+/// model and the matrix/mitigations members by address.
+struct ServedModel {
+    std::string path;
+    core::Bundle bundle;
+    security::AttackMatrix matrix = security::AttackMatrix::standard_ics();
+    security::SecurityCatalog catalog = security::SecurityCatalog::standard_ics();
+    epa::MitigationMap mitigations;
+    std::unique_ptr<core::RiskAssessment> assessment;
+    /// Warm ground-once bases, shared by every request for this model via
+    /// RunContext::base_cache.
+    epa::GroundedBaseCache bases;
+    std::size_t bundle_bytes = 0;  ///< source text size, part of the cost estimate
+
+    /// Approximate resident cost, for the memory cap.
+    std::size_t cost_bytes() const;
+};
+
+class ModelCache {
+public:
+    /// `max_models` / `max_bytes` of 0 mean "unbounded" on that axis.
+    /// `metrics` is borrowed and may be nullptr.
+    ModelCache(std::size_t max_models, std::size_t max_bytes, obs::MetricsRegistry* metrics);
+
+    /// Returns the resident entry for `path`, loading (and possibly
+    /// evicting) on miss. Load failures are returned verbatim — the daemon
+    /// maps them to `bad_request`. The returned model is alive for as long
+    /// as the caller holds the pointer, even if evicted meanwhile.
+    Result<std::shared_ptr<ServedModel>> acquire(const std::string& path);
+
+    /// Re-applies the caps: the ground-once caches grow as requests run, so
+    /// the daemon calls this after each assessment completes.
+    void enforce_caps();
+
+    std::size_t resident() const;
+    std::size_t resident_bytes() const;
+
+private:
+    /// Drops LRU entries while over either cap, keeping at least the MRU
+    /// entry. The serve.evict fault seam makes an eviction round fail
+    /// gracefully (counted, cache unchanged).
+    void evict_locked();
+    std::size_t resident_bytes_locked() const;
+
+    const std::size_t max_models_;
+    const std::size_t max_bytes_;
+    obs::MetricsRegistry* metrics_;
+
+    mutable std::mutex mutex_;
+    /// LRU order: front = coldest, back = most recently used.
+    std::vector<std::shared_ptr<ServedModel>> entries_;
+};
+
+}  // namespace cprisk::serve

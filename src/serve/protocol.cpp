@@ -1,0 +1,140 @@
+#include "serve/protocol.hpp"
+
+namespace cprisk::serve {
+
+namespace {
+
+using R = Result<Request>;
+
+/// Reads a non-negative integer field, rejecting negatives and non-integers.
+Result<long long> read_count(const json::Value& object, const char* key, long long fallback) {
+    const json::Value* field = object.get(key);
+    if (field == nullptr) return fallback;
+    if (!field->is_int() || field->as_int() < 0) {
+        return Result<long long>::failure(std::string(key) +
+                                          " must be a non-negative integer");
+    }
+    return field->as_int();
+}
+
+Result<void> parse_config(const json::Value& value, core::AssessmentConfig& config) {
+    if (!value.is_object()) return Result<void>::failure("config must be an object");
+
+    auto horizon = read_count(value, "horizon", config.horizon);
+    if (!horizon.ok()) return Result<void>::failure(horizon.error());
+    config.horizon = static_cast<int>(horizon.value());
+
+    auto max_faults = read_count(value, "max_faults",
+                                 static_cast<long long>(config.max_simultaneous_faults));
+    if (!max_faults.ok()) return Result<void>::failure(max_faults.error());
+    config.max_simultaneous_faults = static_cast<std::size_t>(max_faults.value());
+
+    config.include_attack_scenarios =
+        value.get_bool("attack_scenarios", config.include_attack_scenarios);
+    config.use_cegar = value.get_bool("use_cegar", config.use_cegar);
+    config.static_prefilter = value.get_bool("static_prefilter", config.static_prefilter);
+
+    auto deadline = read_count(value, "deadline_ms", config.deadline_ms);
+    if (!deadline.ok()) return Result<void>::failure(deadline.error());
+    config.deadline_ms = deadline.value();
+
+    auto decisions = read_count(value, "max_decisions",
+                                static_cast<long long>(config.max_decisions));
+    if (!decisions.ok()) return Result<void>::failure(decisions.error());
+    config.max_decisions = static_cast<std::size_t>(decisions.value());
+
+    config.exhaustive = value.get_bool("exhaustive", config.exhaustive);
+    auto max_card = read_count(value, "max_card", static_cast<long long>(config.max_card));
+    if (!max_card.ok()) return Result<void>::failure(max_card.error());
+    config.max_card = static_cast<std::size_t>(max_card.value());
+    config.attack_reachable_only =
+        value.get_bool("attack_reachable_only", config.attack_reachable_only);
+
+    if (const json::Value* active = value.get("active_mitigations")) {
+        if (!active->is_array()) {
+            return Result<void>::failure("config.active_mitigations must be an array of strings");
+        }
+        for (const json::Value& item : active->as_array()) {
+            if (!item.is_string()) {
+                return Result<void>::failure(
+                    "config.active_mitigations must be an array of strings");
+            }
+            config.active_mitigations.push_back(item.as_string());
+        }
+    }
+    return {};
+}
+
+}  // namespace
+
+Result<Request> parse_request(const std::string& line, std::string* id_out) {
+    if (id_out != nullptr) id_out->clear();
+    auto parsed = json::parse(line);
+    if (!parsed.ok()) return R::failure("request is not valid JSON: " + parsed.error());
+    const json::Value& value = parsed.value();
+    if (!value.is_object()) return R::failure("request must be a JSON object");
+
+    Request request;
+    if (const json::Value* id = value.get("id")) {
+        if (!id->is_string()) return R::failure("id must be a string");
+        request.id = id->as_string();
+        if (id_out != nullptr) *id_out = request.id;
+    }
+
+    const std::string op = value.get_string("op");
+    if (op == "ping") {
+        request.op = Op::Ping;
+    } else if (op == "assess") {
+        request.op = Op::Assess;
+    } else if (op == "metrics") {
+        request.op = Op::Metrics;
+    } else if (op == "shutdown") {
+        request.op = Op::Shutdown;
+    } else if (op == "fault") {
+        request.op = Op::Fault;
+    } else if (op.empty()) {
+        return R::failure("request has no op");
+    } else {
+        return R::failure("unknown op '" + op + "'");
+    }
+
+    if (request.op == Op::Assess) {
+        request.model = value.get_string("model");
+        if (request.model.empty()) return R::failure("assess requires a non-empty model path");
+        if (const json::Value* config = value.get("config")) {
+            auto ok = parse_config(*config, request.config);
+            if (!ok.ok()) return R::failure(ok.error());
+        }
+    }
+    if (request.op == Op::Fault) {
+        request.site = value.get_string("site");
+        if (request.site.empty()) return R::failure("fault requires a site name");
+        auto countdown = read_count(value, "countdown", 1);
+        if (!countdown.ok() || countdown.value() == 0) {
+            return R::failure("countdown must be a positive integer");
+        }
+        request.countdown = countdown.value();
+    }
+    return request;
+}
+
+json::Object ok_reply(const std::string& id, const char* op) {
+    json::Object reply;
+    json::set(reply, "id", id);
+    json::set(reply, "ok", true);
+    json::set(reply, "op", op);
+    return reply;
+}
+
+json::Value error_reply(const std::string& id, const char* code, const std::string& message) {
+    json::Object error;
+    json::set(error, "code", code);
+    json::set(error, "message", message);
+    json::Object reply;
+    json::set(reply, "id", id);
+    json::set(reply, "ok", false);
+    json::set(reply, "error", std::move(error));
+    return reply;
+}
+
+}  // namespace cprisk::serve

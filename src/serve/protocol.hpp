@@ -1,0 +1,64 @@
+// cprisk/serve/protocol.hpp
+//
+// Wire protocol of the assessment daemon (docs/serve.md): newline-delimited
+// JSON over a Unix-domain stream socket. One request object per line, one
+// reply object per request. Every reply carries the echoed request `id` and
+// an `ok` flag; failures add {"error":{"code","message"}} with a stable
+// machine-readable code. Parsing is tolerant of unknown keys (they are
+// ignored) but strict about types and ranges, so a malformed request is a
+// structured `bad_request` instead of undefined daemon behaviour.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.hpp"
+#include "common/result.hpp"
+#include "core/assessment.hpp"
+
+namespace cprisk::serve {
+
+/// Stable error codes of the wire protocol.
+namespace error_code {
+inline constexpr const char* kBadRequest = "bad_request";      ///< malformed request
+inline constexpr const char* kOverloaded = "overloaded";       ///< admission control shed it
+inline constexpr const char* kShuttingDown = "shutting_down";  ///< daemon is draining
+inline constexpr const char* kInternal = "internal";           ///< daemon-side failure
+}  // namespace error_code
+
+enum class Op : std::uint8_t {
+    Ping,      ///< liveness probe
+    Assess,    ///< run a full assessment of a model bundle
+    Metrics,   ///< dump the daemon's metrics registry
+    Shutdown,  ///< begin a graceful drain (same path as SIGTERM)
+    Fault,     ///< arm a fault-injection site (only with ServeOptions::allow_fault_injection)
+};
+
+struct Request {
+    std::string id;  ///< client-chosen correlation id, echoed verbatim (may be empty)
+    Op op = Op::Ping;
+
+    // op == Assess.
+    std::string model;  ///< bundle path, resolved by the daemon process
+    /// Request-scoped subset of the assessment configuration; fields absent
+    /// on the wire keep their AssessmentConfig defaults. Journals and resume
+    /// are batch-mode features and deliberately not exposed.
+    core::AssessmentConfig config;
+
+    // op == Fault.
+    std::string site;   ///< fault-injection site name
+    long long countdown = 1;  ///< fires on the countdown-th hit
+};
+
+/// Parses one request line. `id_out` receives the best-effort request id
+/// even when parsing fails, so the error reply can still correlate.
+Result<Request> parse_request(const std::string& line, std::string* id_out);
+
+/// Reply skeleton: {"id": id, "ok": true, "op": op}. Callers append
+/// op-specific fields before serializing.
+json::Object ok_reply(const std::string& id, const char* op);
+
+/// {"id": id, "ok": false, "error": {"code": code, "message": message}}.
+json::Value error_reply(const std::string& id, const char* code, const std::string& message);
+
+}  // namespace cprisk::serve

@@ -1,0 +1,482 @@
+#include "serve/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/fault_injection.hpp"
+#include "core/report.hpp"
+#include "obs/run_context.hpp"
+
+namespace cprisk::serve {
+
+namespace {
+
+/// A request line may not exceed this without a newline; past it the daemon
+/// answers bad_request and closes the connection instead of buffering an
+/// unbounded stream.
+constexpr std::size_t kMaxLineBytes = 1024 * 1024;
+
+/// Per-connection send timeout: a client that stops reading its replies is
+/// treated as gone instead of wedging an executor.
+constexpr long kSendTimeoutSeconds = 5;
+
+std::string errno_message(const char* what) {
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Server::Server(ServeOptions options)
+    : options_(std::move(options)),
+      metrics_(options_.metrics != nullptr ? options_.metrics : &owned_metrics_),
+      cache_(options_.hot_models, options_.cache_bytes, metrics_),
+      pool_(options_.executors, ThreadPool::PoolMode::Service) {}
+
+Result<std::unique_ptr<Server>> Server::start(ServeOptions options) {
+    using R = Result<std::unique_ptr<Server>>;
+    if (options.socket_path.empty()) return R::failure("serve: socket path is required");
+    sockaddr_un addr{};
+    if (options.socket_path.size() >= sizeof(addr.sun_path)) {
+        return R::failure("serve: socket path exceeds the AF_UNIX limit of " +
+                          std::to_string(sizeof(addr.sun_path) - 1) + " bytes");
+    }
+    if (options.executors == 0) options.executors = 1;
+    if (options.max_inflight == 0) options.max_inflight = 1;
+
+    const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd < 0) return R::failure(errno_message("serve: socket"));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, options.socket_path.c_str(), options.socket_path.size() + 1);
+    ::unlink(options.socket_path.c_str());  // a stale socket from a dead daemon
+    if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        const std::string message = errno_message("serve: bind");
+        ::close(listen_fd);
+        return R::failure(message);
+    }
+    if (::listen(listen_fd, 64) != 0) {
+        const std::string message = errno_message("serve: listen");
+        ::close(listen_fd);
+        ::unlink(options.socket_path.c_str());
+        return R::failure(message);
+    }
+    int wake[2] = {-1, -1};
+    if (::pipe2(wake, O_CLOEXEC) != 0) {
+        const std::string message = errno_message("serve: pipe");
+        ::close(listen_fd);
+        ::unlink(options.socket_path.c_str());
+        return R::failure(message);
+    }
+
+    std::unique_ptr<Server> server(new Server(std::move(options)));
+    server->listen_fd_ = listen_fd;
+    server->wake_read_fd_ = wake[0];
+    server->wake_write_fd_ = wake[1];
+    server->refresh_gauges();
+    server->accept_thread_ = std::thread([raw = server.get()] { raw->accept_loop(); });
+    return server;
+}
+
+Server::~Server() {
+    if (!waited_) {
+        begin_drain(true);
+        wait();
+    }
+}
+
+void Server::accept_loop() {
+    for (;;) {
+        pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_read_fd_, POLLIN, 0}};
+        const int ready = ::poll(fds, 2, -1);
+        if (ready < 0) {
+            if (errno == EINTR) continue;
+            break;  // unrecoverable poll failure: stop accepting, daemon drains
+        }
+        if ((fds[1].revents & POLLIN) != 0) break;  // drain broadcast
+        if ((fds[0].revents & POLLIN) == 0) continue;
+
+        const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+        if (fd < 0) continue;  // EINTR / ECONNABORTED / transient — keep serving
+        if (fault::should_fail("serve.accept")) {
+            // Injected accept failure: the connection closes cleanly before a
+            // single byte is exchanged — an allowed outcome for the client.
+            obs::add_counter(metrics_, "serve.accept.faults");
+            ::close(fd);
+            continue;
+        }
+        timeval send_timeout{};
+        send_timeout.tv_sec = kSendTimeoutSeconds;
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout, sizeof(send_timeout));
+
+        auto connection = std::make_shared<Connection>();
+        connection->fd = fd;
+        {
+            std::lock_guard<std::mutex> lock(state_mutex_);
+            if (draining_.load(std::memory_order_acquire)) {
+                ::close(fd);
+                continue;
+            }
+            connections_.push_back(connection);
+            readers_.emplace_back([this, connection] { reader_loop(connection); });
+        }
+        obs::add_counter(metrics_, "serve.connections.accepted");
+    }
+    {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        accept_exited_ = true;
+    }
+    state_cv_.notify_all();
+}
+
+void Server::reader_loop(const std::shared_ptr<Connection>& connection) {
+    std::string buffer;
+    bool client_gone = false;
+    for (;;) {
+        pollfd fds[2] = {{connection->fd, POLLIN, 0}, {wake_read_fd_, POLLIN, 0}};
+        const int ready = ::poll(fds, 2, -1);
+        if (ready < 0) {
+            if (errno == EINTR) continue;
+            client_gone = true;
+            break;
+        }
+        if ((fds[1].revents & POLLIN) != 0) break;  // drain: stop reading, finish in-flight
+        if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+
+        char chunk[4096];
+        const ssize_t n = ::recv(connection->fd, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            client_gone = true;
+            break;
+        }
+        if (n == 0 || fault::should_fail("serve.read")) {
+            // EOF, or an injected read failure: both mean the client is gone
+            // from the daemon's point of view.
+            client_gone = true;
+            break;
+        }
+        buffer.append(chunk, static_cast<std::size_t>(n));
+
+        std::size_t start = 0;
+        for (std::size_t newline = buffer.find('\n', start); newline != std::string::npos;
+             newline = buffer.find('\n', start)) {
+            std::string line = buffer.substr(start, newline - start);
+            start = newline + 1;
+            if (!line.empty()) handle_line(connection, line);
+        }
+        buffer.erase(0, start);
+        if (buffer.size() > kMaxLineBytes) {
+            write_reply(*connection, error_reply("", error_code::kBadRequest,
+                                                 "request line exceeds 1 MiB"));
+            client_gone = true;
+            break;
+        }
+    }
+
+    if (client_gone) {
+        // The client cannot receive replies any more: cancel its in-flight
+        // requests cooperatively and drop future writes.
+        {
+            std::lock_guard<std::mutex> lock(connection->token_mutex);
+            for (auto& entry : connection->tokens) entry.second.request_cancel();
+        }
+        std::lock_guard<std::mutex> lock(connection->write_mutex);
+        connection->write_closed = true;
+        obs::add_counter(metrics_, "serve.connections.dropped");
+    }
+    {
+        // Executors may still hold this connection; close only once the last
+        // in-flight request has written (or skipped) its reply.
+        std::unique_lock<std::mutex> lock(state_mutex_);
+        state_cv_.wait(lock, [&] { return connection->inflight.load() == 0; });
+    }
+    {
+        std::lock_guard<std::mutex> lock(connection->write_mutex);
+        ::close(connection->fd);
+        connection->fd = -1;
+    }
+}
+
+void Server::handle_line(const std::shared_ptr<Connection>& connection, const std::string& line) {
+    std::string id;
+    auto parsed = parse_request(line, &id);
+    if (!parsed.ok()) {
+        obs::add_counter(metrics_, "serve.requests.bad");
+        write_reply(*connection, error_reply(id, error_code::kBadRequest, parsed.error()));
+        return;
+    }
+    Request request = std::move(parsed).value();
+    switch (request.op) {
+        case Op::Ping: {
+            write_reply(*connection, json::Value(ok_reply(request.id, "ping")));
+            return;
+        }
+        case Op::Metrics: {
+            refresh_gauges();
+            json::Object reply = ok_reply(request.id, "metrics");
+            auto exported = json::parse(metrics_->export_json());
+            json::set(reply, "metrics",
+                      exported.ok() ? std::move(exported).value() : json::Value());
+            write_reply(*connection, json::Value(std::move(reply)));
+            return;
+        }
+        case Op::Shutdown: {
+            json::Object reply = ok_reply(request.id, "shutdown");
+            json::set(reply, "draining", true);
+            write_reply(*connection, json::Value(std::move(reply)));
+            begin_drain(false);
+            return;
+        }
+        case Op::Fault: {
+            if (!options_.allow_fault_injection) {
+                write_reply(*connection,
+                            error_reply(request.id, error_code::kBadRequest,
+                                        "fault injection disabled; start the daemon with --chaos"));
+                return;
+            }
+            fault::arm(request.site, static_cast<int>(request.countdown));
+            json::Object reply = ok_reply(request.id, "fault");
+            json::set(reply, "site", request.site);
+            write_reply(*connection, json::Value(std::move(reply)));
+            return;
+        }
+        case Op::Assess:
+            admit_assess(connection, std::move(request));
+            return;
+    }
+}
+
+void Server::admit_assess(const std::shared_ptr<Connection>& connection, Request request) {
+    if (draining_.load(std::memory_order_acquire)) {
+        obs::add_counter(metrics_, "serve.requests.rejected_draining");
+        write_reply(*connection, error_reply(request.id, error_code::kShuttingDown,
+                                             "daemon is draining; no new work accepted"));
+        return;
+    }
+    // Admission control: shed immediately past the high-water mark instead of
+    // queueing without bound.
+    if (inflight_.fetch_add(1, std::memory_order_acq_rel) + 1 > options_.max_inflight) {
+        inflight_.fetch_sub(1, std::memory_order_acq_rel);
+        obs::add_counter(metrics_, "serve.requests.overloaded");
+        write_reply(*connection,
+                    error_reply(request.id, error_code::kOverloaded,
+                                "daemon at capacity (" + std::to_string(options_.max_inflight) +
+                                    " in flight); retry later"));
+        return;
+    }
+
+    const std::uint64_t serial = next_serial_.fetch_add(1, std::memory_order_relaxed);
+    CancelToken token;
+    {
+        std::lock_guard<std::mutex> lock(connection->token_mutex);
+        connection->tokens.emplace_back(serial, token);
+    }
+    // A hard drain that raced this admission must not strand the token.
+    if (hard_cancelled_.load(std::memory_order_acquire)) token.request_cancel();
+    connection->inflight.fetch_add(1);
+    queued_.fetch_add(1, std::memory_order_relaxed);
+    obs::add_counter(metrics_, "serve.requests.accepted");
+    refresh_gauges();
+
+    auto submitted = pool_.submit(
+        [this, connection, request = std::move(request), token, serial]() mutable {
+            queued_.fetch_sub(1, std::memory_order_relaxed);
+            if (fault::should_fail("serve.dispatch")) {
+                write_reply(*connection, error_reply(request.id, error_code::kInternal,
+                                                     "injected dispatch fault"));
+            } else {
+                execute_assess(connection, request, token);
+            }
+            obs::add_counter(metrics_, "serve.requests.completed");
+            finish_request(*connection, serial);
+        });
+    if (!submitted.ok()) {
+        // The pool stopped between the draining check and the submit: undo the
+        // admission and report the drain.
+        queued_.fetch_sub(1, std::memory_order_relaxed);
+        obs::add_counter(metrics_, "serve.requests.rejected_draining");
+        write_reply(*connection, error_reply(request.id, error_code::kShuttingDown,
+                                             "daemon is draining; no new work accepted"));
+        finish_request(*connection, serial);
+    }
+}
+
+void Server::execute_assess(const std::shared_ptr<Connection>& connection, const Request& request,
+                            const CancelToken& token) {
+    live_.fetch_add(1, std::memory_order_relaxed);
+    refresh_gauges();
+    json::Value reply;
+    try {
+        auto model = cache_.acquire(request.model);
+        if (!model.ok()) {
+            reply = error_reply(request.id, error_code::kBadRequest, model.error());
+        } else {
+            RunContext ctx;
+            ctx.jobs = options_.request_jobs;
+            ctx.metrics = metrics_;
+            ctx.retry.max_retries = options_.retries;
+            ctx.base_cache = &model.value()->bases;
+            core::AssessmentConfig config = request.config;
+            config.cancel = token;
+            auto report = model.value()->assessment->run(config, ctx);
+            if (!report.ok()) {
+                reply = error_reply(request.id, error_code::kInternal, report.error());
+            } else {
+                json::Object body = ok_reply(request.id, "assess");
+                json::set(body, "partial", !report.value().complete());
+                auto rendered = json::parse(core::render_report_json(report.value()));
+                json::set(body, "report",
+                          rendered.ok() ? std::move(rendered).value() : json::Value());
+                reply = json::Value(std::move(body));
+            }
+        }
+    } catch (const std::exception& e) {
+        // A throwing assessment must not take the executor down: the client
+        // still gets exactly one well-formed reply.
+        reply = error_reply(request.id, error_code::kInternal,
+                            std::string("assessment failed: ") + e.what());
+    }
+    cache_.enforce_caps();
+    write_reply(*connection, reply);
+    live_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Server::finish_request(Connection& connection, std::uint64_t serial) {
+    {
+        std::lock_guard<std::mutex> lock(connection.token_mutex);
+        for (auto it = connection.tokens.begin(); it != connection.tokens.end(); ++it) {
+            if (it->first == serial) {
+                connection.tokens.erase(it);
+                break;
+            }
+        }
+    }
+    connection.inflight.fetch_sub(1);
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    refresh_gauges();
+    {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+    }
+    state_cv_.notify_all();
+}
+
+void Server::write_reply(Connection& connection, const json::Value& reply) {
+    std::string line = reply.serialize();
+    line += '\n';
+    std::lock_guard<std::mutex> lock(connection.write_mutex);
+    if (connection.write_closed || connection.fd < 0) return;
+    const char* data = line.data();
+    std::size_t remaining = line.size();
+    while (remaining > 0) {
+        const ssize_t n = ::send(connection.fd, data, remaining, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            // Timeout or broken pipe: the client stopped reading; every
+            // further reply on this connection is dropped.
+            connection.write_closed = true;
+            return;
+        }
+        data += n;
+        remaining -= static_cast<std::size_t>(n);
+    }
+}
+
+void Server::refresh_gauges() {
+    obs::set_gauge(metrics_, "serve.queue.depth",
+                   static_cast<long long>(queued_.load(std::memory_order_relaxed)));
+    obs::set_gauge(metrics_, "serve.requests.live",
+                   static_cast<long long>(live_.load(std::memory_order_relaxed)));
+    obs::set_gauge(metrics_, "serve.cache.resident", static_cast<long long>(cache_.resident()));
+    obs::set_gauge(metrics_, "serve.cache.resident_bytes",
+                   static_cast<long long>(cache_.resident_bytes()));
+}
+
+void Server::begin_drain(bool hard) {
+    const bool first = !draining_.exchange(true, std::memory_order_acq_rel);
+    if (hard && !hard_cancelled_.exchange(true, std::memory_order_acq_rel)) {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        for (const auto& connection : connections_) {
+            std::lock_guard<std::mutex> tokens(connection->token_mutex);
+            for (auto& entry : connection->tokens) entry.second.request_cancel();
+        }
+    }
+    if (first) {
+        // One byte, never consumed: the wake pipe stays level-triggered so
+        // every poll() — accept loop and all readers — sees the drain.
+        const char byte = 1;
+        while (::write(wake_write_fd_, &byte, 1) < 0 && errno == EINTR) {
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+    }
+    state_cv_.notify_all();
+}
+
+void Server::wait() {
+    if (waited_) return;
+    {
+        std::unique_lock<std::mutex> lock(state_mutex_);
+        state_cv_.wait(lock, [&] { return draining_.load(std::memory_order_acquire); });
+    }
+
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(options_.drain_ms);
+    if (fault::should_fail("serve.drain")) {
+        // Injected drain stall: skip the graceful window and escalate now.
+        obs::add_counter(metrics_, "serve.drain.faults");
+        deadline = std::chrono::steady_clock::now();
+    }
+    bool drained = false;
+    {
+        std::unique_lock<std::mutex> lock(state_mutex_);
+        drained = state_cv_.wait_until(lock, deadline, [&] { return inflight_.load() == 0; });
+    }
+    if (!drained) {
+        // Graceful window expired: cancel everything still in flight, then
+        // give the cancellations one more bounded window to propagate.
+        begin_drain(true);
+        obs::add_counter(metrics_, "serve.drain.escalations");
+        std::unique_lock<std::mutex> lock(state_mutex_);
+        drained = state_cv_.wait_for(lock, std::chrono::milliseconds(options_.drain_ms),
+                                     [&] { return inflight_.load() == 0; });
+        if (!drained) {
+            // Last resort: sever the sockets so no reply can block a writer,
+            // and wait out the cooperative cancellation (budgets trip within
+            // one clock stride).
+            for (const auto& connection : connections_) {
+                std::lock_guard<std::mutex> writes(connection->write_mutex);
+                connection->write_closed = true;
+                if (connection->fd >= 0) ::shutdown(connection->fd, SHUT_RDWR);
+            }
+            state_cv_.wait(lock, [&] { return inflight_.load() == 0; });
+        }
+    }
+
+    {
+        std::unique_lock<std::mutex> lock(state_mutex_);
+        state_cv_.wait(lock, [&] { return accept_exited_; });
+    }
+    accept_thread_.join();
+    for (auto& reader : readers_) reader.join();  // stable: the accept thread has exited
+    pool_.stop();
+
+    ::close(listen_fd_);
+    ::close(wake_read_fd_);
+    ::close(wake_write_fd_);
+    listen_fd_ = wake_read_fd_ = wake_write_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+    connections_.clear();
+    readers_.clear();
+    refresh_gauges();
+    waited_ = true;
+}
+
+}  // namespace cprisk::serve

@@ -1,0 +1,142 @@
+// cprisk/serve/server.hpp
+//
+// The fault-tolerant multi-tenant assessment daemon behind `cprisk serve`
+// (docs/serve.md). Transport: newline-delimited JSON over a Unix-domain
+// stream socket. Threading model:
+//
+//   accept thread  — poll()s the listen socket plus a wake pipe; spawns one
+//                    reader thread per connection.
+//   reader threads — split the byte stream into request lines; cheap ops
+//                    (ping/metrics/fault/shutdown) answer inline, assess
+//                    requests pass admission control and are submitted to
+//                    the executor pool. A client disconnect cancels the
+//                    connection's in-flight requests cooperatively.
+//   executor pool  — a service-mode ThreadPool running one assessment per
+//                    task under its own RunContext (request Budget +
+//                    CancelToken, shared MetricsRegistry, per-model warm
+//                    GroundedBaseCache).
+//
+// Robustness invariants, chaos-tested (tests/serve/chaos_test.cpp): the
+// daemon never crashes or deadlocks under any registered serve.* fault
+// site; every accepted request gets exactly one well-formed JSON reply or
+// its connection closes cleanly; past the admission high-water mark
+// requests shed immediately with a structured `overloaded` error; drain
+// (SIGTERM / `shutdown` op) stops admissions, finishes in-flight work
+// within the drain deadline, then hard-cancels whatever is left.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "serve/model_cache.hpp"
+#include "serve/protocol.hpp"
+
+namespace cprisk::serve {
+
+struct ServeOptions {
+    std::string socket_path;      ///< Unix-domain socket path (required)
+    std::size_t executors = 2;    ///< worker threads running assessments
+    std::size_t max_inflight = 8; ///< admission high-water mark (queued + running)
+    std::size_t request_jobs = 1; ///< RunContext::jobs per request
+    std::size_t hot_models = 4;   ///< model-cache entry cap (0 = unbounded)
+    std::size_t cache_bytes = 64ULL * 1024 * 1024;  ///< approximate memory cap (0 = unbounded)
+    long long drain_ms = 5000;    ///< graceful-drain deadline before hard cancel
+    std::size_t retries = 0;      ///< RetryPolicy::max_retries per request
+    /// Enable the `fault` op so chaos harnesses can arm fault-injection
+    /// sites over the wire (`--chaos`). Never enable outside testing.
+    bool allow_fault_injection = false;
+    /// Metrics registry served by the `metrics` op. Borrowed; nullptr makes
+    /// the server own a private registry.
+    obs::MetricsRegistry* metrics = nullptr;
+};
+
+class Server {
+public:
+    /// Binds the socket and starts the accept thread. On failure nothing is
+    /// left running and the error names the cause.
+    static Result<std::unique_ptr<Server>> start(ServeOptions options);
+    ~Server();
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Stops admissions and wakes every thread. `hard` additionally cancels
+    /// all in-flight requests through their CancelTokens (second signal).
+    /// Idempotent; callable from any thread, including reader threads.
+    void begin_drain(bool hard);
+
+    /// Blocks until a drain begins, then until the daemon is fully drained:
+    /// waits out the drain deadline, escalates to a hard cancel when it
+    /// expires (or when the serve.drain fault fires), joins every thread,
+    /// stops the pool, and removes the socket. Call exactly once, from the
+    /// thread that owns the server.
+    void wait();
+
+    bool draining() const { return draining_.load(std::memory_order_acquire); }
+    const std::string& socket_path() const { return options_.socket_path; }
+    obs::MetricsRegistry& metrics() { return *metrics_; }
+
+    /// Admitted-but-unfinished assess requests (queued + executing).
+    std::size_t inflight() const { return inflight_.load(std::memory_order_relaxed); }
+
+private:
+    struct Connection {
+        int fd = -1;
+        std::mutex write_mutex;
+        bool write_closed = false;  ///< guarded by write_mutex
+        std::atomic<std::size_t> inflight{0};
+        std::mutex token_mutex;
+        /// CancelTokens of this connection's in-flight requests, keyed by a
+        /// server-wide request serial (CancelToken has no identity of its
+        /// own). Guarded by token_mutex.
+        std::vector<std::pair<std::uint64_t, CancelToken>> tokens;
+    };
+
+    explicit Server(ServeOptions options);
+
+    void accept_loop();
+    void reader_loop(const std::shared_ptr<Connection>& connection);
+    void handle_line(const std::shared_ptr<Connection>& connection, const std::string& line);
+    void admit_assess(const std::shared_ptr<Connection>& connection, Request request);
+    void execute_assess(const std::shared_ptr<Connection>& connection, const Request& request,
+                        const CancelToken& token);
+    void finish_request(Connection& connection, std::uint64_t serial);
+    void write_reply(Connection& connection, const json::Value& reply);
+    void refresh_gauges();
+
+    ServeOptions options_;
+    obs::MetricsRegistry owned_metrics_;  ///< used when options.metrics == nullptr
+    obs::MetricsRegistry* metrics_ = nullptr;
+    ModelCache cache_;
+    ThreadPool pool_;
+
+    int listen_fd_ = -1;
+    int wake_read_fd_ = -1;   ///< level-triggered drain signal: written once,
+    int wake_write_fd_ = -1;  ///< never drained, so every poll() sees it
+    std::thread accept_thread_;
+
+    std::atomic<bool> draining_{false};
+    std::atomic<bool> hard_cancelled_{false};
+    std::atomic<std::size_t> inflight_{0};
+    std::atomic<std::size_t> queued_{0};
+    std::atomic<std::size_t> live_{0};
+    std::atomic<std::uint64_t> next_serial_{0};
+
+    mutable std::mutex state_mutex_;
+    std::condition_variable state_cv_;
+    std::vector<std::shared_ptr<Connection>> connections_;  ///< guarded by state_mutex_
+    std::vector<std::thread> readers_;  ///< appended by accept thread under state_mutex_
+    bool accept_exited_ = false;        ///< guarded by state_mutex_
+    bool waited_ = false;               ///< wait() already completed
+};
+
+}  // namespace cprisk::serve

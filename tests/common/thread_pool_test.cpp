@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/thread_pool.hpp"
 
 namespace cprisk {
@@ -98,6 +99,67 @@ TEST(ThreadPoolTest, LanesActuallyRunConcurrently) {
         }
     });
     EXPECT_TRUE(peer_ran.load());
+}
+
+TEST(ThreadPoolServiceTest, SubmittedTasksAllRun) {
+    ThreadPool pool(4, ThreadPool::PoolMode::Service);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 200; ++i) {
+        auto submitted = pool.submit([&] { ran.fetch_add(1); });
+        ASSERT_TRUE(submitted.ok()) << submitted.error();
+    }
+    pool.stop();  // drains every accepted task before joining
+    EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPoolServiceTest, StopDrainsAcceptedTasksThenRejectsNewOnes) {
+    ThreadPool pool(2, ThreadPool::PoolMode::Service);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 50; ++i) {
+        ASSERT_TRUE(pool.submit([&] { ran.fetch_add(1); }).ok());
+    }
+    pool.stop();
+    EXPECT_EQ(ran.load(), 50);
+
+    // Post-stop submission is a structured rejection, not a silent drop.
+    auto rejected = pool.submit([&] { ran.fetch_add(1); });
+    ASSERT_FALSE(rejected.ok());
+    EXPECT_NE(rejected.error().find("stopped"), std::string::npos) << rejected.error();
+    EXPECT_EQ(ran.load(), 50);
+    pool.stop();  // idempotent
+}
+
+TEST(ThreadPoolServiceTest, SubmitOnBatchPoolIsRejected) {
+    ThreadPool pool(2);
+    auto rejected = pool.submit([] {});
+    ASSERT_FALSE(rejected.ok());
+    EXPECT_NE(rejected.error().find("service"), std::string::npos) << rejected.error();
+}
+
+TEST(ThreadPoolServiceTest, RunBatchOnServicePoolThrows) {
+    ThreadPool pool(2, ThreadPool::PoolMode::Service);
+    EXPECT_THROW(pool.run_batch(4, [](std::size_t) {}), Error);
+    pool.stop();
+}
+
+TEST(ThreadPoolServiceTest, TaskExceptionDoesNotKillTheWorker) {
+    ThreadPool pool(1, ThreadPool::PoolMode::Service);
+    std::atomic<int> ran{0};
+    ASSERT_TRUE(pool.submit([] { throw std::runtime_error("task failure"); }).ok());
+    ASSERT_TRUE(pool.submit([&] { ran.fetch_add(1); }).ok());
+    pool.stop();
+    EXPECT_EQ(ran.load(), 1);  // the worker survived the throwing predecessor
+}
+
+TEST(ThreadPoolServiceTest, DestructorStopsAnActivePool) {
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(3, ThreadPool::PoolMode::Service);
+        for (int i = 0; i < 30; ++i) {
+            ASSERT_TRUE(pool.submit([&] { ran.fetch_add(1); }).ok());
+        }
+    }  // ~ThreadPool drains and joins
+    EXPECT_EQ(ran.load(), 30);
 }
 
 TEST(ThreadPoolTest, SharedCounterSeesAllIncrements) {

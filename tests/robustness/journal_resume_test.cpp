@@ -108,6 +108,39 @@ TEST_P(JournalResumeTest, ResumeAfterMidRunKillReproducesCleanReport) {
     std::remove(journal.c_str());
 }
 
+TEST_P(JournalResumeTest, SyncedJournalTearsAndResumesIdentically) {
+    // --journal-sync fsyncs after every record; the torn-tail tolerance and
+    // resume semantics are unchanged, and the bytes match the unsynced path.
+    Bundle bundle = GetParam()();
+    ASSERT_NE(bundle.assessment, nullptr);
+    const std::string journal =
+        ::testing::TempDir() + "cprisk_" + bundle.name + "_sync.jsonl";
+    std::remove(journal.c_str());
+
+    auto clean = bundle.assessment->run(bundle.config);
+    ASSERT_TRUE(clean.ok()) << clean.error();
+
+    AssessmentConfig journaled = bundle.config;
+    journaled.journal_path = journal;
+    journaled.journal_sync = true;
+    fault::arm("core.journal.append", 3);
+    auto killed = bundle.assessment->run(journaled);
+    fault::reset();
+    ASSERT_FALSE(killed.ok());
+
+    auto contents = load_journal(journal);
+    ASSERT_TRUE(contents.ok()) << contents.error();
+    EXPECT_TRUE(contents.value().torn_tail);
+    EXPECT_EQ(contents.value().records.size(), 2u);
+
+    journaled.resume = true;
+    auto resumed = bundle.assessment->run(journaled);
+    ASSERT_TRUE(resumed.ok()) << resumed.error();
+    EXPECT_EQ(resumed.value().resumed_scenarios, 2u);
+    EXPECT_EQ(renderings(resumed.value()), renderings(clean.value()));
+    std::remove(journal.c_str());
+}
+
 TEST_P(JournalResumeTest, ResumeRefusesJournalFromDifferentConfiguration) {
     Bundle bundle = GetParam()();
     ASSERT_NE(bundle.assessment, nullptr);

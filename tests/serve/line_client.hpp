@@ -1,0 +1,80 @@
+// Minimal blocking NDJSON client over AF_UNIX for the serve test suites: a
+// poll() timeout turns a wedged daemon into a test failure instead of a
+// hang, and EOF surfaces as an empty line (a clean close is an allowed
+// outcome under chaos).
+#pragma once
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace cprisk::serve {
+
+class LineClient {
+public:
+    LineClient() = default;
+    LineClient(const LineClient&) = delete;
+    LineClient& operator=(const LineClient&) = delete;
+    ~LineClient() { close(); }
+
+    bool connect_to(const std::string& path) {
+        fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (fd_ < 0) return false;
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (path.size() >= sizeof(addr.sun_path)) return false;
+        std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+        return ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0;
+    }
+
+    bool send_line(const std::string& line) {
+        const std::string full = line + "\n";
+        const char* data = full.data();
+        std::size_t remaining = full.size();
+        while (remaining > 0) {
+            const ssize_t n = ::send(fd_, data, remaining, MSG_NOSIGNAL);
+            if (n < 0) {
+                if (errno == EINTR) continue;
+                return false;
+            }
+            data += n;
+            remaining -= static_cast<std::size_t>(n);
+        }
+        return true;
+    }
+
+    /// Next reply line, or empty on EOF/error/timeout.
+    std::string read_line(int timeout_ms = 30000) {
+        for (;;) {
+            const std::size_t newline = buffer_.find('\n');
+            if (newline != std::string::npos) {
+                std::string line = buffer_.substr(0, newline);
+                buffer_.erase(0, newline + 1);
+                return line;
+            }
+            pollfd pfd{fd_, POLLIN, 0};
+            const int ready = ::poll(&pfd, 1, timeout_ms);
+            if (ready <= 0) return "";
+            char chunk[4096];
+            const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+            if (n <= 0) return "";
+            buffer_.append(chunk, static_cast<std::size_t>(n));
+        }
+    }
+
+    void close() {
+        if (fd_ >= 0) ::close(fd_);
+        fd_ = -1;
+    }
+
+private:
+    int fd_ = -1;
+    std::string buffer_;
+};
+
+}  // namespace cprisk::serve

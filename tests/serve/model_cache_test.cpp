@@ -1,0 +1,131 @@
+// Hot-cache governance (serve/model_cache.hpp): LRU order, whole-model
+// eviction under both caps, graceful behaviour of the serve.evict fault
+// seam, and hit/miss/eviction accounting.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.hpp"
+#include "obs/metrics.hpp"
+#include "serve/model_cache.hpp"
+
+namespace cprisk::serve {
+namespace {
+
+/// Copies the shipped watertank bundle to `name` under TempDir so the cache
+/// sees distinct model paths with identical (valid) content.
+std::string bundle_copy(const std::string& name) {
+    const std::string source = std::string(CPRISK_SOURCE_DIR) + "/examples/models/watertank.cpm";
+    const std::string target = ::testing::TempDir() + name;
+    std::ifstream in(source);
+    EXPECT_TRUE(in.good()) << source;
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::ofstream out(target);
+    out << text.str();
+    return target;
+}
+
+long long counter(obs::MetricsRegistry& metrics, const std::string& name) {
+    const std::string json = metrics.export_json();
+    const std::string needle = "\"" + name + "\":";
+    const std::size_t at = json.find(needle);
+    if (at == std::string::npos) return 0;
+    return std::atoll(json.c_str() + at + needle.size());
+}
+
+class ServeModelCacheTest : public ::testing::Test {
+protected:
+    void SetUp() override { fault::reset(); }
+    void TearDown() override { fault::reset(); }
+};
+
+TEST_F(ServeModelCacheTest, HitsAndMissesAreCountedAndInstancesAreStable) {
+    obs::MetricsRegistry metrics;
+    ModelCache cache(0, 0, &metrics);
+    const std::string path = bundle_copy("mc_a.cpm");
+
+    auto first = cache.acquire(path);
+    ASSERT_TRUE(first.ok()) << first.error();
+    auto second = cache.acquire(path);
+    ASSERT_TRUE(second.ok()) << second.error();
+    EXPECT_EQ(first.value().get(), second.value().get());  // same resident entry
+    EXPECT_EQ(counter(metrics, "serve.cache.misses"), 1);
+    EXPECT_EQ(counter(metrics, "serve.cache.hits"), 1);
+    EXPECT_EQ(cache.resident(), 1u);
+    EXPECT_GT(cache.resident_bytes(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST_F(ServeModelCacheTest, LoadFailureIsReturnedNotCached) {
+    obs::MetricsRegistry metrics;
+    ModelCache cache(0, 0, &metrics);
+    auto missing = cache.acquire(::testing::TempDir() + "mc_missing.cpm");
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(cache.resident(), 0u);
+}
+
+TEST_F(ServeModelCacheTest, EntryCapEvictsLeastRecentlyUsed) {
+    obs::MetricsRegistry metrics;
+    ModelCache cache(2, 0, &metrics);
+    const std::string a = bundle_copy("mc_lru_a.cpm");
+    const std::string b = bundle_copy("mc_lru_b.cpm");
+    const std::string c = bundle_copy("mc_lru_c.cpm");
+
+    ASSERT_TRUE(cache.acquire(a).ok());
+    ASSERT_TRUE(cache.acquire(b).ok());
+    ASSERT_TRUE(cache.acquire(a).ok());  // touch: b is now the LRU entry
+    ASSERT_TRUE(cache.acquire(c).ok());  // evicts b, not a
+    EXPECT_EQ(cache.resident(), 2u);
+    EXPECT_EQ(counter(metrics, "serve.cache.evictions"), 1);
+
+    const long long misses_before = counter(metrics, "serve.cache.misses");
+    ASSERT_TRUE(cache.acquire(a).ok());  // still resident: a hit
+    EXPECT_EQ(counter(metrics, "serve.cache.misses"), misses_before);
+    ASSERT_TRUE(cache.acquire(b).ok());  // was evicted: a miss
+    EXPECT_EQ(counter(metrics, "serve.cache.misses"), misses_before + 1);
+    for (const auto& path : {a, b, c}) std::remove(path.c_str());
+}
+
+TEST_F(ServeModelCacheTest, ByteCapEvictsDownToTheMostRecentEntry) {
+    obs::MetricsRegistry metrics;
+    // 1-byte cap: always over budget, but the MRU entry is never evicted, so
+    // the cache degrades to single-entry instead of thrashing to empty.
+    ModelCache cache(0, 1, &metrics);
+    const std::string a = bundle_copy("mc_bytes_a.cpm");
+    const std::string b = bundle_copy("mc_bytes_b.cpm");
+    ASSERT_TRUE(cache.acquire(a).ok());
+    EXPECT_EQ(cache.resident(), 1u);
+    ASSERT_TRUE(cache.acquire(b).ok());
+    EXPECT_EQ(cache.resident(), 1u);
+    EXPECT_EQ(counter(metrics, "serve.cache.evictions"), 1);
+    for (const auto& path : {a, b}) std::remove(path.c_str());
+}
+
+TEST_F(ServeModelCacheTest, EvictFaultDegradesGracefully) {
+    obs::MetricsRegistry metrics;
+    ModelCache cache(1, 0, &metrics);
+    const std::string a = bundle_copy("mc_fault_a.cpm");
+    const std::string b = bundle_copy("mc_fault_b.cpm");
+    ASSERT_TRUE(cache.acquire(a).ok());
+
+    fault::arm("serve.evict", 1);
+    ASSERT_TRUE(cache.acquire(b).ok());
+    // The injected failure keeps the over-cap entry resident and counts it.
+    EXPECT_EQ(cache.resident(), 2u);
+    EXPECT_EQ(counter(metrics, "serve.cache.evict_failed"), 1);
+    EXPECT_EQ(counter(metrics, "serve.cache.evictions"), 0);
+
+    // The next enforcement round (the seam fires at most once) recovers.
+    cache.enforce_caps();
+    EXPECT_EQ(cache.resident(), 1u);
+    EXPECT_EQ(counter(metrics, "serve.cache.evictions"), 1);
+    for (const auto& path : {a, b}) std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cprisk::serve

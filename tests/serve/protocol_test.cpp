@@ -1,0 +1,99 @@
+// Wire-protocol parsing (serve/protocol.hpp): strict types, tolerant
+// unknown keys, best-effort id echo on malformed requests, stable error
+// shapes.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace cprisk::serve {
+namespace {
+
+TEST(ServeProtocolTest, ParsesEveryOp) {
+    std::string id;
+    auto ping = parse_request(R"({"id":"a","op":"ping"})", &id);
+    ASSERT_TRUE(ping.ok()) << ping.error();
+    EXPECT_EQ(ping.value().op, Op::Ping);
+    EXPECT_EQ(ping.value().id, "a");
+    EXPECT_EQ(id, "a");
+
+    auto metrics = parse_request(R"({"op":"metrics"})", &id);
+    ASSERT_TRUE(metrics.ok()) << metrics.error();
+    EXPECT_EQ(metrics.value().op, Op::Metrics);
+    EXPECT_TRUE(id.empty());
+
+    auto shutdown = parse_request(R"({"op":"shutdown"})", &id);
+    ASSERT_TRUE(shutdown.ok()) << shutdown.error();
+    EXPECT_EQ(shutdown.value().op, Op::Shutdown);
+
+    auto fault = parse_request(R"({"op":"fault","site":"serve.read","countdown":3})", &id);
+    ASSERT_TRUE(fault.ok()) << fault.error();
+    EXPECT_EQ(fault.value().op, Op::Fault);
+    EXPECT_EQ(fault.value().site, "serve.read");
+    EXPECT_EQ(fault.value().countdown, 3);
+}
+
+TEST(ServeProtocolTest, AssessParsesConfigSubset) {
+    std::string id;
+    auto parsed = parse_request(
+        R"({"id":"r1","op":"assess","model":"m.cpm","config":{)"
+        R"("horizon":9,"max_faults":1,"attack_scenarios":true,"use_cegar":false,)"
+        R"("static_prefilter":false,"deadline_ms":250,"max_decisions":10,)"
+        R"("exhaustive":true,"max_card":2,"attack_reachable_only":true,)"
+        R"("active_mitigations":["M-A","M-B"]}})",
+        &id);
+    ASSERT_TRUE(parsed.ok()) << parsed.error();
+    const Request& request = parsed.value();
+    EXPECT_EQ(request.model, "m.cpm");
+    EXPECT_EQ(request.config.horizon, 9);
+    EXPECT_EQ(request.config.max_simultaneous_faults, 1u);
+    EXPECT_TRUE(request.config.include_attack_scenarios);
+    EXPECT_FALSE(request.config.use_cegar);
+    EXPECT_FALSE(request.config.static_prefilter);
+    EXPECT_EQ(request.config.deadline_ms, 250);
+    EXPECT_EQ(request.config.max_decisions, 10u);
+    EXPECT_TRUE(request.config.exhaustive);
+    EXPECT_EQ(request.config.max_card, 2u);
+    EXPECT_TRUE(request.config.attack_reachable_only);
+    ASSERT_EQ(request.config.active_mitigations.size(), 2u);
+    EXPECT_EQ(request.config.active_mitigations[0], "M-A");
+}
+
+TEST(ServeProtocolTest, UnknownKeysAreIgnored) {
+    std::string id;
+    auto parsed = parse_request(R"({"op":"ping","future_extension":42})", &id);
+    EXPECT_TRUE(parsed.ok()) << parsed.error();
+}
+
+TEST(ServeProtocolTest, MalformedRequestsFailWithIdStillEchoed) {
+    std::string id;
+    EXPECT_FALSE(parse_request("not json at all", &id).ok());
+    EXPECT_FALSE(parse_request("[1,2,3]", &id).ok());
+    EXPECT_FALSE(parse_request(R"({"op":"fly"})", &id).ok());
+    EXPECT_FALSE(parse_request(R"({"id":"x"})", &id).ok());  // no op
+    EXPECT_EQ(id, "x");  // best-effort echo survives the failure
+
+    // Assess without a model, fault without a site, bad numeric types.
+    EXPECT_FALSE(parse_request(R"({"op":"assess"})", &id).ok());
+    EXPECT_FALSE(parse_request(R"({"op":"fault"})", &id).ok());
+    EXPECT_FALSE(parse_request(R"({"op":"fault","site":"s","countdown":0})", &id).ok());
+    EXPECT_FALSE(
+        parse_request(R"({"op":"assess","model":"m","config":{"horizon":-1}})", &id).ok());
+    EXPECT_FALSE(
+        parse_request(R"({"op":"assess","model":"m","config":{"horizon":"six"}})", &id).ok());
+    EXPECT_FALSE(
+        parse_request(R"({"op":"assess","model":"m","config":{"active_mitigations":[1]}})", &id)
+            .ok());
+}
+
+TEST(ServeProtocolTest, ReplyShapesAreStable) {
+    json::Object ok = ok_reply("r9", "ping");
+    EXPECT_EQ(json::Value(std::move(ok)).serialize(),
+              R"({"id":"r9","ok":true,"op":"ping"})");
+    EXPECT_EQ(error_reply("r9", error_code::kOverloaded, "busy").serialize(),
+              R"({"id":"r9","ok":false,"error":{"code":"overloaded","message":"busy"}})");
+}
+
+}  // namespace
+}  // namespace cprisk::serve

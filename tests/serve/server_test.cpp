@@ -1,0 +1,233 @@
+// End-to-end daemon behaviour over a real Unix-domain socket
+// (serve/server.hpp): request/reply correlation, warm-cache reuse,
+// structured errors, admission control, graceful drain, and client
+// disconnect cancelling in-flight work.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <map>
+#include <string>
+
+#include "common/fault_injection.hpp"
+#include "common/json.hpp"
+#include "line_client.hpp"
+#include "serve/server.hpp"
+
+namespace cprisk::serve {
+namespace {
+
+std::string watertank_path() {
+    return std::string(CPRISK_SOURCE_DIR) + "/examples/models/watertank.cpm";
+}
+
+/// Parses a reply line; fails the test on malformed JSON.
+json::Value reply_of(const std::string& line) {
+    auto parsed = json::parse(line);
+    EXPECT_TRUE(parsed.ok()) << "unparseable reply: " << line;
+    return parsed.ok() ? std::move(parsed).value() : json::Value();
+}
+
+std::string socket_path(const std::string& name) {
+    const std::string path = ::testing::TempDir() + name;
+    ::unlink(path.c_str());
+    return path;
+}
+
+class ServeServerTest : public ::testing::Test {
+protected:
+    void SetUp() override { fault::reset(); }
+    void TearDown() override { fault::reset(); }
+};
+
+TEST_F(ServeServerTest, PingEchoesIdAndMetricsCarriesDaemonGauges) {
+    ServeOptions options;
+    options.socket_path = socket_path("srv_ping.sock");
+    auto server = Server::start(options);
+    ASSERT_TRUE(server.ok()) << server.error();
+
+    LineClient client;
+    ASSERT_TRUE(client.connect_to(options.socket_path));
+    ASSERT_TRUE(client.send_line(R"({"id":"p1","op":"ping"})"));
+    const json::Value pong = reply_of(client.read_line());
+    EXPECT_EQ(pong.get_string("id"), "p1");
+    EXPECT_TRUE(pong.get_bool("ok", false));
+
+    ASSERT_TRUE(client.send_line(R"({"id":"m1","op":"metrics"})"));
+    const json::Value metrics = reply_of(client.read_line());
+    ASSERT_NE(metrics.get("metrics"), nullptr);
+    const json::Value* gauges = metrics.get("metrics")->get("gauges");
+    ASSERT_NE(gauges, nullptr);
+    EXPECT_NE(gauges->get("serve.queue.depth"), nullptr);
+    EXPECT_NE(gauges->get("serve.requests.live"), nullptr);
+    EXPECT_NE(gauges->get("serve.cache.resident"), nullptr);
+    EXPECT_NE(gauges->get("serve.cache.resident_bytes"), nullptr);
+
+    client.close();
+    server.value()->begin_drain(false);
+    server.value()->wait();
+}
+
+TEST_F(ServeServerTest, AssessColdThenWarmReusesResidentModelAndBases) {
+    ServeOptions options;
+    options.socket_path = socket_path("srv_warm.sock");
+    auto server = Server::start(options);
+    ASSERT_TRUE(server.ok()) << server.error();
+
+    LineClient client;
+    ASSERT_TRUE(client.connect_to(options.socket_path));
+    const std::string assess =
+        R"({"id":"a","op":"assess","model":")" + watertank_path() + R"("})";
+    for (int round = 0; round < 2; ++round) {
+        ASSERT_TRUE(client.send_line(assess));
+        const json::Value reply = reply_of(client.read_line());
+        ASSERT_TRUE(reply.get_bool("ok", false)) << reply.serialize();
+        EXPECT_FALSE(reply.get_bool("partial", true));
+        ASSERT_NE(reply.get("report"), nullptr);
+        EXPECT_NE(reply.get("report")->get("risks"), nullptr);
+    }
+
+    ASSERT_TRUE(client.send_line(R"({"id":"m","op":"metrics"})"));
+    const json::Value metrics = reply_of(client.read_line());
+    const json::Value* counters = metrics.get("metrics")->get("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_EQ(counters->get_int("serve.cache.misses", 0), 1);
+    EXPECT_EQ(counters->get_int("serve.cache.hits", 0), 1);
+    // The second request reuses the warm ground-once bases of the first.
+    EXPECT_GT(counters->get_int("epa.base_cache.hits", 0), 0);
+
+    client.close();
+    server.value()->begin_drain(false);
+    server.value()->wait();
+}
+
+TEST_F(ServeServerTest, MalformedAndInvalidRequestsGetStructuredErrors) {
+    ServeOptions options;
+    options.socket_path = socket_path("srv_bad.sock");
+    options.allow_fault_injection = false;
+    auto server = Server::start(options);
+    ASSERT_TRUE(server.ok()) << server.error();
+
+    LineClient client;
+    ASSERT_TRUE(client.connect_to(options.socket_path));
+
+    ASSERT_TRUE(client.send_line("this is not json"));
+    json::Value reply = reply_of(client.read_line());
+    EXPECT_FALSE(reply.get_bool("ok", true));
+    EXPECT_EQ(reply.get("error")->get_string("code"), "bad_request");
+
+    ASSERT_TRUE(client.send_line(R"({"id":"q","op":"assess","model":"/no/such.cpm"})"));
+    reply = reply_of(client.read_line());
+    EXPECT_EQ(reply.get_string("id"), "q");
+    EXPECT_EQ(reply.get("error")->get_string("code"), "bad_request");
+
+    // The fault op is gated behind ServeOptions::allow_fault_injection.
+    ASSERT_TRUE(client.send_line(R"({"id":"f","op":"fault","site":"serve.read"})"));
+    reply = reply_of(client.read_line());
+    EXPECT_FALSE(reply.get_bool("ok", true));
+    EXPECT_EQ(reply.get("error")->get_string("code"), "bad_request");
+
+    client.close();
+    server.value()->begin_drain(false);
+    server.value()->wait();
+}
+
+TEST_F(ServeServerTest, AdmissionControlShedsPastHighWaterMark) {
+    ServeOptions options;
+    options.socket_path = socket_path("srv_shed.sock");
+    options.executors = 1;
+    options.max_inflight = 1;
+    auto server = Server::start(options);
+    ASSERT_TRUE(server.ok()) << server.error();
+
+    LineClient client;
+    ASSERT_TRUE(client.connect_to(options.socket_path));
+    // Both requests arrive in one burst: the first is admitted (deep horizon,
+    // so it is still running when the reader reaches the second line), the
+    // second exceeds max_inflight and is shed immediately.
+    const std::string deep = R"({"id":"slow","op":"assess","model":")" + watertank_path() +
+                             R"(","config":{"horizon":10}})";
+    const std::string quick =
+        R"({"id":"shed","op":"assess","model":")" + watertank_path() + R"("})";
+    ASSERT_TRUE(client.send_line(deep + "\n" + quick));
+
+    std::map<std::string, json::Value> replies;
+    for (int i = 0; i < 2; ++i) {
+        const json::Value reply = reply_of(client.read_line());
+        replies[reply.get_string("id")] = reply;
+    }
+    ASSERT_EQ(replies.count("slow"), 1u);
+    ASSERT_EQ(replies.count("shed"), 1u);
+    EXPECT_TRUE(replies["slow"].get_bool("ok", false)) << replies["slow"].serialize();
+    EXPECT_FALSE(replies["shed"].get_bool("ok", true));
+    EXPECT_EQ(replies["shed"].get("error")->get_string("code"), "overloaded");
+
+    client.close();
+    server.value()->begin_drain(false);
+    server.value()->wait();
+}
+
+TEST_F(ServeServerTest, ShutdownOpDrainsAndRejectsTrailingWork) {
+    ServeOptions options;
+    options.socket_path = socket_path("srv_drain.sock");
+    auto server = Server::start(options);
+    ASSERT_TRUE(server.ok()) << server.error();
+
+    LineClient client;
+    ASSERT_TRUE(client.connect_to(options.socket_path));
+    // Shutdown and a trailing assess arrive in the same chunk: the reader
+    // processes the drain first, so the assess gets a shutting_down error.
+    const std::string assess =
+        R"({"id":"late","op":"assess","model":")" + watertank_path() + R"("})";
+    ASSERT_TRUE(client.send_line(std::string(R"({"id":"s","op":"shutdown"})") + "\n" + assess));
+
+    const json::Value ack = reply_of(client.read_line());
+    EXPECT_TRUE(ack.get_bool("ok", false));
+    EXPECT_TRUE(ack.get_bool("draining", false));
+    const json::Value rejected = reply_of(client.read_line());
+    EXPECT_EQ(rejected.get_string("id"), "late");
+    EXPECT_EQ(rejected.get("error")->get_string("code"), "shutting_down");
+    EXPECT_TRUE(client.read_line().empty());  // daemon closes the connection
+
+    server.value()->wait();
+    EXPECT_TRUE(server.value()->draining());
+    EXPECT_EQ(server.value()->inflight(), 0u);
+    // The socket file is removed on exit.
+    LineClient probe;
+    EXPECT_FALSE(probe.connect_to(options.socket_path));
+}
+
+TEST_F(ServeServerTest, ClientDisconnectCancelsItsInflightRequests) {
+    ServeOptions options;
+    options.socket_path = socket_path("srv_gone.sock");
+    options.drain_ms = 30000;
+    auto server = Server::start(options);
+    ASSERT_TRUE(server.ok()) << server.error();
+
+    {
+        LineClient vanishing;
+        ASSERT_TRUE(vanishing.connect_to(options.socket_path));
+        ASSERT_TRUE(vanishing.send_line(R"({"id":"v","op":"assess","model":")" +
+                                        watertank_path() + R"(","config":{"horizon":10}})"));
+    }  // closes mid-flight: the daemon cancels the request cooperatively
+
+    LineClient observer;
+    ASSERT_TRUE(observer.connect_to(options.socket_path));
+    long long completed = 0;
+    for (int attempt = 0; attempt < 600 && completed < 1; ++attempt) {
+        ASSERT_TRUE(observer.send_line(R"({"id":"m","op":"metrics"})"));
+        const json::Value metrics = reply_of(observer.read_line());
+        completed =
+            metrics.get("metrics")->get("counters")->get_int("serve.requests.completed", 0);
+        if (completed < 1) ::usleep(50 * 1000);
+    }
+    EXPECT_EQ(completed, 1);
+    EXPECT_EQ(server.value()->inflight(), 0u);
+
+    observer.close();
+    server.value()->begin_drain(false);
+    server.value()->wait();
+}
+
+}  // namespace
+}  // namespace cprisk::serve

@@ -5,6 +5,7 @@
 //   cprisk lint   <bundle-or-.lp>          run the static-analysis rule packs
 //   cprisk graph  <bundle-or-.lp>          predicate dependency graph + taint summary
 //   cprisk assess <bundle> [options]       run the full 7-step pipeline
+//   cprisk serve  --socket PATH [options]  multi-tenant assessment daemon
 //   cprisk matrix                          print the O-RA and IEC 61508 matrices
 //
 // Lint options:
@@ -34,7 +35,10 @@
 //   --jobs N             worker threads for the scenario sweep (0 = auto);
 //                        reports and journals are identical for every N
 //   --journal FILE       append one JSONL verdict per scenario
+//   --journal-sync       fsync the journal after every record (requires --journal)
 //   --resume             replay the journal, skipping finished scenarios
+//   --retry N            retry transient solver errors up to N times with
+//                        jittered exponential backoff (default 0 = off)
 //   --trace FILE         write a Chrome trace-event JSON of the run
 //   --metrics FILE       write the pipeline metrics registry as JSON
 //   --exhaustive         sweep the fault-subset lattice for the antichain of
@@ -43,7 +47,24 @@
 //   --max-card K         cardinality bound for --exhaustive (0 = full lattice)
 //   --attack-reachable-only  drop faults on components the attack taint pass
 //                        proves unreachable (--exhaustive only)
+//
+// Serve options (docs/serve.md):
+//   --socket PATH        Unix-domain socket to listen on (required)
+//   --executors N        assessment worker threads            (default 2)
+//   --max-inflight N     admission high-water mark            (default 8)
+//   --request-jobs N     worker lanes per request             (default 1)
+//   --hot-models N       resident model cap, 0 = unbounded    (default 4)
+//   --cache-mb N         approximate memory cap in MiB        (default 64)
+//   --drain-ms N         graceful-drain deadline              (default 5000)
+//   --retry N            per-request transient-error retries  (default 0)
+//   --chaos              enable the fault-injection op (testing only)
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -53,6 +74,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/dependency_graph.hpp"
@@ -69,6 +91,7 @@
 #include "obs/trace.hpp"
 #include "risk/iec61508.hpp"
 #include "risk/ora.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
@@ -81,10 +104,13 @@ int usage() {
                  "                     [--attack-scenarios] [--no-cegar] [--budget N]\n"
                  "                     [--phase-budget N] [--markdown FILE] [--csv FILE]\n"
                  "                     [--json FILE] [--deadline-ms N] [--max-decisions N]\n"
-                 "                     [--jobs N] [--journal FILE] [--resume]\n"
-                 "                     [--no-static-prefilter]\n"
+                 "                     [--jobs N] [--journal FILE] [--journal-sync] [--resume]\n"
+                 "                     [--no-static-prefilter] [--retry N]\n"
                  "                     [--exhaustive] [--max-card K] [--attack-reachable-only]\n"
                  "                     [--trace FILE] [--metrics FILE]\n"
+                 "       cprisk serve --socket PATH [--executors N] [--max-inflight N]\n"
+                 "                     [--request-jobs N] [--hot-models N] [--cache-mb N]\n"
+                 "                     [--drain-ms N] [--retry N] [--chaos]\n"
                  "       cprisk matrix\n");
     return 2;
 }
@@ -496,10 +522,10 @@ int cmd_assess(int argc, char** argv) {
     const std::vector<std::string> assess_flags = {
         "--horizon",   "--max-faults",    "--attack-scenarios", "--no-cegar",
         "--budget",    "--phase-budget",  "--deadline-ms",      "--max-decisions",
-        "--jobs",      "--journal",       "--resume",           "--markdown",
-        "--csv",       "--json",          "--trace",            "--metrics",
-        "--no-static-prefilter",          "--exhaustive",       "--max-card",
-        "--attack-reachable-only"};
+        "--jobs",      "--journal",       "--journal-sync",     "--resume",
+        "--retry",     "--markdown",      "--csv",              "--json",
+        "--trace",     "--metrics",       "--no-static-prefilter",
+        "--exhaustive", "--max-card",     "--attack-reachable-only"};
 
     for (int i = 1; i < argc; ++i) {
         const std::string flag = argv[i];
@@ -551,8 +577,12 @@ int cmd_assess(int argc, char** argv) {
             config.attack_reachable_only = true;
         } else if (flag == "--journal" && i + 1 < argc) {
             config.journal_path = argv[++i];
+        } else if (flag == "--journal-sync") {
+            config.journal_sync = true;
         } else if (flag == "--resume") {
             config.resume = true;
+        } else if (flag == "--retry" && next_value(value)) {
+            config.retries = static_cast<std::size_t>(value);
         } else if (flag == "--markdown" && i + 1 < argc) {
             markdown_path = argv[++i];
         } else if (flag == "--csv" && i + 1 < argc) {
@@ -579,6 +609,10 @@ int cmd_assess(int argc, char** argv) {
 
     if (config.resume && config.journal_path.empty()) {
         std::fprintf(stderr, "--resume requires --journal FILE\n");
+        return usage();
+    }
+    if (config.journal_sync && config.journal_path.empty()) {
+        std::fprintf(stderr, "--journal-sync requires --journal FILE\n");
         return usage();
     }
     if (!config.exhaustive && (config.max_card != 0 || config.attack_reachable_only)) {
@@ -690,6 +724,135 @@ int cmd_assess(int argc, char** argv) {
     return 0;
 }
 
+// --- cprisk serve ----------------------------------------------------------
+
+/// Written by the SIGTERM/SIGINT handler; the watcher thread polls it. A
+/// self-pipe keeps the handler async-signal-safe (write() only).
+int g_signal_pipe_write = -1;
+
+extern "C" void on_shutdown_signal(int) {
+    const char byte = 1;
+    // The pipe is never full (one byte per signal); the cast mutes
+    // warn_unused_result, and there is no recovery in a handler anyway.
+    (void)!::write(g_signal_pipe_write, &byte, 1);
+}
+
+int cmd_serve(int argc, char** argv) {
+    cprisk::serve::ServeOptions options;
+    const std::vector<std::string> serve_flags = {
+        "--socket",    "--executors", "--max-inflight", "--request-jobs", "--hot-models",
+        "--cache-mb",  "--drain-ms",  "--retry",        "--chaos"};
+    for (int i = 0; i < argc; ++i) {
+        const std::string flag = argv[i];
+        bool bad_value = false;
+        auto next_value = [&](long long& out) {
+            if (i + 1 >= argc) return false;
+            const char* text = argv[++i];
+            char* end = nullptr;
+            errno = 0;
+            const long long parsed = std::strtoll(text, &end, 10);
+            if (end == text || *end != '\0' || errno == ERANGE || parsed < 0) {
+                std::fprintf(stderr,
+                             "invalid value '%s' for '%s': expected a non-negative integer\n",
+                             text, flag.c_str());
+                bad_value = true;
+                return false;
+            }
+            out = parsed;
+            return true;
+        };
+        long long value = 0;
+        if (flag == "--socket" && i + 1 < argc) {
+            options.socket_path = argv[++i];
+        } else if (flag == "--executors" && next_value(value)) {
+            options.executors = static_cast<std::size_t>(value);
+        } else if (flag == "--max-inflight" && next_value(value)) {
+            options.max_inflight = static_cast<std::size_t>(value);
+        } else if (flag == "--request-jobs" && next_value(value)) {
+            options.request_jobs = static_cast<std::size_t>(value);
+        } else if (flag == "--hot-models" && next_value(value)) {
+            options.hot_models = static_cast<std::size_t>(value);
+        } else if (flag == "--cache-mb" && next_value(value)) {
+            options.cache_bytes = static_cast<std::size_t>(value) * 1024 * 1024;
+        } else if (flag == "--drain-ms" && next_value(value)) {
+            options.drain_ms = value;
+        } else if (flag == "--retry" && next_value(value)) {
+            options.retries = static_cast<std::size_t>(value);
+        } else if (flag == "--chaos") {
+            options.allow_fault_injection = true;
+        } else {
+            if (!bad_value) {
+                if (std::find(serve_flags.begin(), serve_flags.end(), flag) !=
+                    serve_flags.end()) {
+                    std::fprintf(stderr, "incomplete option '%s': missing value\n",
+                                 flag.c_str());
+                } else {
+                    report_unknown_flag("serve", flag, serve_flags);
+                }
+            }
+            return usage();
+        }
+    }
+    if (options.socket_path.empty()) {
+        std::fprintf(stderr, "serve requires --socket PATH\n");
+        return usage();
+    }
+
+    // Clients that vanish mid-reply must not kill the daemon.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    int signal_pipe[2] = {-1, -1};
+    int stop_pipe[2] = {-1, -1};
+    if (::pipe2(signal_pipe, O_CLOEXEC) != 0 || ::pipe2(stop_pipe, O_CLOEXEC) != 0) {
+        std::fprintf(stderr, "error: cannot create signal pipe: %s\n", std::strerror(errno));
+        return 1;
+    }
+    g_signal_pipe_write = signal_pipe[1];
+
+    auto started = cprisk::serve::Server::start(std::move(options));
+    if (!started.ok()) {
+        std::fprintf(stderr, "error: %s\n", started.error().c_str());
+        return 1;
+    }
+    cprisk::serve::Server& server = *started.value();
+
+    struct sigaction action {};
+    action.sa_handler = on_shutdown_signal;
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+
+    // First signal: graceful drain. Second: hard cancel of in-flight work.
+    std::thread watcher([&server, &signal_pipe, &stop_pipe] {
+        int signals_seen = 0;
+        for (;;) {
+            pollfd fds[2] = {{signal_pipe[0], POLLIN, 0}, {stop_pipe[0], POLLIN, 0}};
+            if (::poll(fds, 2, -1) < 0) {
+                if (errno == EINTR) continue;
+                break;
+            }
+            if ((fds[1].revents & POLLIN) != 0) break;
+            if ((fds[0].revents & POLLIN) != 0) {
+                char byte = 0;
+                if (::read(signal_pipe[0], &byte, 1) <= 0) continue;
+                ++signals_seen;
+                server.begin_drain(signals_seen >= 2);
+            }
+        }
+    });
+
+    std::printf("listening on %s\n", server.socket_path().c_str());
+    std::fflush(stdout);  // scripted callers wait for this line before connecting
+
+    server.wait();
+
+    const char stop = 1;
+    (void)!::write(stop_pipe[1], &stop, 1);
+    watcher.join();
+    for (const int fd : {signal_pipe[0], signal_pipe[1], stop_pipe[0], stop_pipe[1]}) ::close(fd);
+    std::printf("drained\n");
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -700,5 +863,6 @@ int main(int argc, char** argv) {
     if (command == "graph") return cmd_graph(argc - 2, argv + 2);
     if (command == "matrix") return cmd_matrix();
     if (command == "assess") return cmd_assess(argc - 2, argv + 2);
+    if (command == "serve") return cmd_serve(argc - 2, argv + 2);
     return usage();
 }
