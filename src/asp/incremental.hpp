@@ -1,0 +1,107 @@
+// cprisk/asp/incremental.hpp
+//
+// Persistent incremental solving across scenario sweeps (docs/solver.md).
+// The ground-once/solve-many pipeline grounds one base program per
+// (model, horizon, stage) and pins each scenario's delta via
+// `SolveOptions::assumptions`. An IncrementalSolver keeps a warm CdclSolver
+// bound to that shared base: the Clark completion is built once, each solve
+// pushes its assumptions as decision levels and retracts them on completion,
+// and every *entailed* clause learned along the way (loop-formula cuts,
+// bound explanations, assumption-free 1UIP clauses) persists — so the 48th
+// scenario, or the 65,536th frontier candidate, benefits from conflicts
+// discovered earlier.
+//
+// A SolverPool hands one IncrementalSolver per concurrent worker (leases are
+// checked out under a mutex, solved on without locks, and returned), keeping
+// the warm-solver idiom safe under `--jobs N` without serializing solves.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "asp/cdcl.hpp"
+#include "asp/ground_program.hpp"
+#include "asp/solver.hpp"
+
+namespace cprisk::asp {
+
+class IncrementalSolver {
+public:
+    explicit IncrementalSolver(const GroundProgram& program) : engine_(program) {}
+
+    /// Warm solve: reuses the built completion and retained entailed clauses.
+    /// Not thread-safe; callers synchronize (see SolverPool).
+    SolveResult solve(const SolveOptions& options) { return engine_.solve(options); }
+
+    const GroundProgram* program() const { return engine_.program(); }
+    std::size_t retained_learned() const { return engine_.retained_learned(); }
+    std::size_t solve_generation() const { return engine_.solve_generation(); }
+
+private:
+    CdclSolver engine_;
+};
+
+/// Lazily-grown pool of warm solvers over one shared ground program: one per
+/// worker that ever solves concurrently. Scenario verdicts stay
+/// jobs-invariant because each solve is a deterministic function of
+/// (program, assumptions) plus retained entailed clauses — and entailed
+/// clauses never change which answer sets exist.
+class SolverPool {
+public:
+    explicit SolverPool(const GroundProgram& program) : program_(&program) {}
+
+    class Lease {
+    public:
+        Lease(SolverPool* pool, IncrementalSolver* solver) : pool_(pool), solver_(solver) {}
+        Lease(Lease&& other) noexcept : pool_(other.pool_), solver_(other.solver_) {
+            other.pool_ = nullptr;
+            other.solver_ = nullptr;
+        }
+        Lease& operator=(Lease&&) = delete;
+        Lease(const Lease&) = delete;
+        Lease& operator=(const Lease&) = delete;
+        ~Lease() {
+            if (pool_ != nullptr && solver_ != nullptr) pool_->release(solver_);
+        }
+
+        IncrementalSolver* solver() const { return solver_; }
+
+    private:
+        SolverPool* pool_;
+        IncrementalSolver* solver_;
+    };
+
+    /// Checks out a warm solver, constructing one if all are busy.
+    Lease acquire() {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!idle_.empty()) {
+            IncrementalSolver* solver = idle_.back();
+            idle_.pop_back();
+            return Lease(this, solver);
+        }
+        owned_.push_back(std::make_unique<IncrementalSolver>(*program_));
+        return Lease(this, owned_.back().get());
+    }
+
+    std::size_t size() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return owned_.size();
+    }
+
+private:
+    friend class Lease;
+
+    void release(IncrementalSolver* solver) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        idle_.push_back(solver);
+    }
+
+    const GroundProgram* program_;
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<IncrementalSolver>> owned_;
+    std::vector<IncrementalSolver*> idle_;
+};
+
+}  // namespace cprisk::asp

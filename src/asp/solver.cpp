@@ -4,6 +4,8 @@
 #include <limits>
 #include <set>
 
+#include "asp/cdcl.hpp"
+#include "asp/incremental.hpp"
 #include "common/error.hpp"
 #include "common/fault_injection.hpp"
 
@@ -94,6 +96,9 @@ public:
             if (!seen.insert(key).second) continue;
             result.models.push_back(std::move(model));
         }
+        // Same canonical order as the CDCL engine, so `models.front()` is
+        // engine-invariant for downstream consumers.
+        sort_models_canonically(result.models);
         return result;
     }
 
@@ -761,23 +766,41 @@ Result<SolveResult> solve(const GroundProgram& program, const SolveOptions& opti
     }
     obs::Span span(options.trace, "asp.solve", "solve");
     try {
-        SolverImpl solver(program, options);
-        Result<SolveResult> result = solver.run();
-        if (result.ok()) {
-            const SolveStats& stats = result.value().stats;
-            span.arg("decisions", static_cast<long long>(stats.decisions));
-            span.arg("conflicts", static_cast<long long>(stats.conflicts));
-            span.arg("models", static_cast<long long>(result.value().models.size()));
-            obs::add_counter(options.metrics, "asp.solve.calls");
-            obs::add_counter(options.metrics, "asp.solve.decisions", stats.decisions);
-            obs::add_counter(options.metrics, "asp.solve.conflicts", stats.conflicts);
-            obs::add_counter(options.metrics, "asp.solve.propagations", stats.propagations);
-            obs::add_counter(options.metrics, "asp.solve.models", result.value().models.size());
-            if (result.value().interrupt.has_value()) {
-                obs::add_counter(options.metrics, "asp.solve.interrupts");
+        SolveResult solved;
+        if (options.engine == SolverEngine::Cdcl) {
+            if (options.incremental != nullptr &&
+                options.incremental->program() == &program) {
+                // Warm path: reuse the built completion and retained clauses.
+                solved = options.incremental->solve(options);
+            } else {
+                CdclSolver solver(program);
+                solved = solver.solve(options);
             }
+        } else {
+            SolverImpl solver(program, options);
+            solved = solver.run();
         }
-        return result;
+        const SolveStats& stats = solved.stats;
+        span.arg("decisions", static_cast<long long>(stats.decisions));
+        span.arg("conflicts", static_cast<long long>(stats.conflicts));
+        span.arg("models", static_cast<long long>(solved.models.size()));
+        obs::add_counter(options.metrics, "asp.solve.calls");
+        obs::add_counter(options.metrics, "asp.solve.decisions", stats.decisions);
+        obs::add_counter(options.metrics, "asp.solve.conflicts", stats.conflicts);
+        obs::add_counter(options.metrics, "asp.solve.propagations", stats.propagations);
+        obs::add_counter(options.metrics, "asp.solve.models", solved.models.size());
+        obs::add_counter(options.metrics, "asp.solve.restarts", stats.restarts);
+        obs::add_counter(options.metrics, "asp.solve.learned_clauses", stats.learned_clauses);
+        obs::add_counter(options.metrics, "asp.solve.reused_propagations",
+                         stats.reused_clause_propagations);
+        if (solved.interrupt.has_value()) {
+            obs::add_counter(options.metrics, "asp.solve.interrupts");
+        }
+        if (solved.assumption_core.has_value()) {
+            obs::add_counter(options.metrics, "asp.solve.core_size",
+                             solved.assumption_core->size());
+        }
+        return solved;
     } catch (const Error& e) {
         return Result<SolveResult>::failure(e.what());
     }

@@ -34,6 +34,22 @@
 
 namespace cprisk::asp {
 
+/// Search engine selection (docs/solver.md). Both engines enumerate the
+/// same projected answer sets, costs, and optima — differential-tested —
+/// and differ only in search strategy and SolveStats:
+///
+///  - Cdcl (default): two-watched-literal propagation, 1UIP conflict
+///    analysis with clause learning, EVSIDS decision heuristic with phase
+///    saving, Luby restarts, and LBD-based learned-clause reduction. Under
+///    an IncrementalSolver (incremental.hpp), entailed learned clauses
+///    persist across solves on the same ground program.
+///  - Dpll: the original counter-based chronological search, retained as
+///    the escape hatch (`cprisk assess --solver dpll`) and as the
+///    differential-testing reference.
+enum class SolverEngine { Cdcl, Dpll };
+
+class IncrementalSolver;  // incremental.hpp
+
 /// One answer set, projected onto the #show signatures.
 struct AnswerSet {
     std::vector<Atom> atoms;               ///< shown atoms, sorted
@@ -49,6 +65,16 @@ struct AnswerSet {
 };
 
 struct SolveOptions {
+    /// Search engine (docs/solver.md). Cdcl is the default; Dpll is the
+    /// differential reference and CLI escape hatch. Both produce identical
+    /// projected answer sets, costs, and optima.
+    SolverEngine engine = SolverEngine::Cdcl;
+    /// Optional warm solver (Cdcl only; borrowed, caller synchronizes). When
+    /// set and bound to the same ground program, the solve reuses the already
+    /// built completion and every entailed clause learned by earlier solves
+    /// instead of rebuilding from scratch. Ignored by the Dpll engine; a
+    /// program mismatch falls back to a cold solve.
+    IncrementalSolver* incremental = nullptr;
     /// Stop after this many (projected, distinct) models; 0 = no limit.
     std::size_t max_models = 0;
     /// When weak constraints are present, keep only optimal models.
@@ -86,6 +112,16 @@ struct SolveStats {
     std::size_t conflicts = 0;
     std::size_t stability_rejects = 0;
     std::size_t models_enumerated = 0;  ///< pre-projection, pre-optimality filter
+    // CDCL-only fields (always 0 under the Dpll engine). Deliberately NOT
+    // serialized into journal verdicts, so journals written under either
+    // engine stay byte-identical and resumable across engines.
+    std::size_t restarts = 0;         ///< Luby restarts performed
+    std::size_t learned_clauses = 0;  ///< clauses learned this solve
+    std::size_t learned_literals = 0; ///< total literals across learned clauses
+    std::size_t db_reductions = 0;    ///< learned-clause DB reduction passes
+    /// Propagations whose reason was a clause learned by an *earlier* solve
+    /// on the same IncrementalSolver — the cross-scenario reuse signal.
+    std::size_t reused_clause_propagations = 0;
 };
 
 /// Structured record of a search stopped early by a resource budget. The
@@ -109,6 +145,13 @@ struct SolveResult {
     /// Set when the search stopped early (budget/deadline/cancellation); the
     /// models above are then a partial enumeration.
     std::optional<SolveInterrupt> interrupt;
+    /// CDCL only: when the program is UNSAT under `options.assumptions` and
+    /// the search completed, the subset of assumptions that participated in
+    /// the final conflict (MiniSat's analyzeFinal). Any assignment extending
+    /// this core is also unsatisfiable, so over scenario-fault pins a core is
+    /// a hazardous sub-scenario (frontier seeding, docs/exhaustive-search.md).
+    /// Unset for SAT results, interrupted searches, and the Dpll engine.
+    std::optional<std::vector<std::pair<int, bool>>> assumption_core;
 
     /// True when the search ran to completion (result is exhaustive).
     bool complete() const { return !interrupt.has_value(); }

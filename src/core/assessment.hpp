@@ -65,6 +65,12 @@ struct AssessmentConfig {
     /// DPLL solver runs for statically decidable scenarios — so, like
     /// `jobs`, it is excluded from the journal's config echo.
     bool static_prefilter = true;
+    /// Scenario-solve search engine (`--solver`, docs/solver.md). Both
+    /// engines produce identical verdicts, reports, and journal bytes —
+    /// differential-tested — so, like `static_prefilter`, the choice is
+    /// excluded from the journal's config echo and a journal written under
+    /// one engine resumes under the other.
+    asp::SolverEngine solver = asp::SolverEngine::Cdcl;
     std::optional<CancelToken> cancel;  ///< external cancellation
     /// Bounded retry for transient Undetermined{solver_error} verdicts
     /// (docs/serve.md): applied to ctx.retry.max_retries at the start of

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "asp/absint/absint.hpp"
+#include "asp/incremental.hpp"
 #include "common/fault_injection.hpp"
 #include "common/strings.hpp"
 #include "common/thread_pool.hpp"
@@ -149,6 +150,22 @@ struct GroundedBase {
     /// budget at create()).
     asp::absint::Analysis analysis;
     bool analysis_ok = false;
+    /// Grounded atom id of the `__hazard_probe` guard: a free choice atom
+    /// with one constraint `:- violated(R), __hazard_probe.` per grounded
+    /// requirement-violation atom. Every regular path pins it false (the
+    /// constraints are then vacuous and verdicts are unchanged); pinning it
+    /// true instead asks for a violation-free answer set, so an UNSAT
+    /// outcome proves the pinned faults force a hazard and the assumption
+    /// core names the faults that matter (hazard_core()). -1 when absent.
+    int probe_atom = -1;
+    /// Warm CDCL solvers over `program`, one per concurrent worker: the
+    /// Clark completion is built once and entailed clauses learned by one
+    /// scenario's solve carry over to the next (asp/incremental.hpp).
+    /// Internally synchronized, so sharing the const base across threads
+    /// stays sound; entailed clauses never change which answer sets exist,
+    /// so verdicts stay jobs-invariant even though per-solve search stats
+    /// on learning workloads may depend on lease order.
+    std::unique_ptr<asp::SolverPool> solver_pool;
 };
 
 GroundedBaseCache::GroundedBaseCache() = default;
@@ -253,6 +270,27 @@ std::shared_ptr<const GroundedBase> try_ground_base(const model::SystemModel& mo
     auto base = std::make_shared<GroundedBase>();
     base->program = std::move(grounded).value();
 
+    // Hazard-probe instrumentation, injected straight into the ground
+    // program (after grounding, so temporal unrolling never sees it): a free
+    // guard atom plus one constraint per grounded violation atom. Added
+    // before the ternary analysis below so the analysis brackets the guarded
+    // program it will later be asked to certify slices of.
+    base->probe_atom = base->program.intern(Atom{"__hazard_probe", {}});
+    {
+        asp::GroundRule shell;
+        shell.kind = asp::GroundRule::Kind::Choice;
+        shell.choice_heads.push_back(base->probe_atom);
+        base->program.add_rule(std::move(shell));
+    }
+    const int atom_count = static_cast<int>(base->program.atom_count());
+    for (int id = 0; id < atom_count; ++id) {
+        if (base->program.atom(id).predicate != "violated") continue;
+        asp::GroundRule guard;
+        guard.kind = asp::GroundRule::Kind::Constraint;
+        guard.positive_body = {id, base->probe_atom};
+        base->program.add_rule(std::move(guard));
+    }
+
     // One-time static simplification: the pin-free ternary analysis brackets
     // every answer set under every later pin configuration, so decided atoms
     // propagate, satisfied rules disappear and bodies shrink once — every
@@ -285,6 +323,9 @@ std::shared_ptr<const GroundedBase> try_ground_base(const model::SystemModel& mo
         if (id < 0) return nullptr;
         base->mitigation_atoms.emplace(mitigation, id);
     }
+    // The pool only records the program's (heap-stable) address; warm
+    // solvers are constructed lazily, one per worker that ever leases.
+    base->solver_pool = std::make_unique<asp::SolverPool>(base->program);
     return base;
 }
 
@@ -385,13 +426,17 @@ std::optional<std::vector<std::pair<int, bool>>> ErrorPropagationAnalysis::cache
     // else false, so the projected answer sets match the fact-based path
     // exactly.
     std::vector<std::pair<int, bool>> assumptions;
-    assumptions.reserve(base.fault_atoms.size() + base.mitigation_atoms.size());
+    assumptions.reserve(base.fault_atoms.size() + base.mitigation_atoms.size() + 1);
     for (const auto& [mutation, atom] : base.fault_atoms) {
         assumptions.emplace_back(atom, wanted.count(mutation) > 0);
     }
     for (const auto& [id, atom] : base.mitigation_atoms) {
         assumptions.emplace_back(atom, active_ids.count(id) > 0);
     }
+    // The hazard probe stays off on the regular path: its guard constraints
+    // are vacuous and the answer sets match the fact-based path exactly.
+    // hazard_core() flips this one pin to true.
+    if (base.probe_atom >= 0) assumptions.emplace_back(base.probe_atom, false);
     return assumptions;
 }
 
@@ -527,11 +572,21 @@ Result<ScenarioVerdict> ErrorPropagationAnalysis::evaluate_once(
         }
 
         asp::SolveOptions solve_options;
+        solve_options.engine = options_.solver;
         if (options_.max_decisions != 0) solve_options.max_decisions = options_.max_decisions;
         solve_options.budget = options_.effective_budget();
         solve_options.trace = options_.trace_sink();
         solve_options.metrics = options_.metrics_sink();
         solve_options.assumptions = std::move(*assumptions);
+        // Warm path: lease a persistent solver bound to the shared base, so
+        // the completion is built once and entailed clauses learned by
+        // earlier scenarios short-circuit this one's search.
+        std::optional<asp::SolverPool::Lease> lease;
+        if (options_.solver == asp::SolverEngine::Cdcl &&
+            grounded_base_->solver_pool != nullptr) {
+            lease.emplace(grounded_base_->solver_pool->acquire());
+            solve_options.incremental = lease->solver();
+        }
         return finish_verdict(std::move(verdict),
                               asp::solve(grounded_base_->program, solve_options));
     }
@@ -556,6 +611,7 @@ Result<ScenarioVerdict> ErrorPropagationAnalysis::evaluate_once(
 
     asp::PipelineOptions pipeline;
     pipeline.horizon = options_.horizon;
+    pipeline.solve.engine = options_.solver;
     if (options_.max_decisions != 0) pipeline.solve.max_decisions = options_.max_decisions;
     pipeline.solve.budget = options_.effective_budget();
     pipeline.solve.trace = options_.trace_sink();
@@ -708,10 +764,15 @@ ErrorPropagationAnalysis::certify_monotonicity(
     // so e.g. the built-in `injected_fault :- scenario_fault, not
     // suppressed` odd path disappears when no mitigation covers the fault.
     std::vector<std::pair<int, bool>> pins;
-    pins.reserve(base.mitigation_atoms.size());
+    pins.reserve(base.mitigation_atoms.size() + 1);
     for (const auto& [id, atom] : base.mitigation_atoms) {
         pins.emplace_back(atom, active_ids.count(id) > 0);
     }
+    // Pin the hazard probe off, as every scenario solve does: a decided
+    // probe is a constant to the sign propagation, so its guard constraints
+    // cannot introduce a spurious negative violated->probe path and flip
+    // the certificate to mixed.
+    if (base.probe_atom >= 0) pins.emplace_back(base.probe_atom, false);
     asp::absint::AbsintOptions absint_options;
     absint_options.pins = &pins;
     absint_options.budget = options_.effective_budget();
@@ -728,6 +789,57 @@ ErrorPropagationAnalysis::certify_monotonicity(
     asp::polarity::PolarityOptions polarity_options;
     polarity_options.analysis = &analysis;
     return asp::polarity::certify_monotone(base.program, inputs, hazards, polarity_options);
+}
+
+std::optional<std::vector<Mutation>> ErrorPropagationAnalysis::hazard_core(
+    const security::AttackScenario& scenario,
+    const std::vector<std::string>& active_mitigations) const {
+    if (grounded_base_ == nullptr || grounded_base_->probe_atom < 0) return std::nullopt;
+    auto assumptions = cached_assumptions(scenario, active_mitigations);
+    if (!assumptions) return std::nullopt;
+    // Flip the probe on: now only violation-free answer sets remain, so an
+    // UNSAT outcome proves every answer set under these pins violates some
+    // requirement — the final-conflict assumption core then names the pins
+    // the refutation actually rests on.
+    for (auto& [atom, value] : *assumptions) {
+        if (atom == grounded_base_->probe_atom) value = true;
+    }
+    obs::Span span(options_.trace_sink(), "epa.hazard_core", "scenario", scenario.id);
+    asp::SolveOptions solve_options;
+    // Always a cold CDCL solve: cores require analyzeFinal (Dpll has none),
+    // and bypassing the warm pool keeps probe-side learning out of the
+    // scenario solvers, whose per-solve stats land in journals and reports.
+    solve_options.engine = asp::SolverEngine::Cdcl;
+    solve_options.max_models = 1;
+    solve_options.optimize = false;
+    if (options_.max_decisions != 0) solve_options.max_decisions = options_.max_decisions;
+    solve_options.budget = options_.effective_budget();
+    solve_options.trace = options_.trace_sink();
+    solve_options.metrics = options_.metrics_sink();
+    solve_options.assumptions = std::move(*assumptions);
+    auto solved = asp::solve(grounded_base_->program, solve_options);
+    if (!solved.ok()) return std::nullopt;
+    const asp::SolveResult& result = solved.value();
+    if (!result.complete() || result.satisfiable || !result.assumption_core) {
+        return std::nullopt;
+    }
+    // Keep only the true-pinned fault atoms. Any pin set extending the core
+    // is UNSAT, and the sub-scenario injecting exactly these faults (all
+    // other domain atoms pinned false) is such an extension — so it is
+    // hazardous on its own.
+    std::vector<Mutation> core;
+    for (const auto& [atom, value] : *result.assumption_core) {
+        if (!value) continue;
+        for (const auto& [mutation, id] : grounded_base_->fault_atoms) {
+            if (id == atom) {
+                core.push_back(mutation);
+                break;
+            }
+        }
+    }
+    std::sort(core.begin(), core.end());
+    obs::add_counter(options_.metrics_sink(), "epa.hazard_core.extracted");
+    return core;
 }
 
 Result<std::optional<int>> ErrorPropagationAnalysis::min_violation_horizon(

@@ -162,6 +162,12 @@ struct EpaOptions {
     /// Verdicts are identical either way; only `provenance` differs. Only
     /// effective on the cached (ground_once) path.
     bool static_prefilter = true;
+    /// Search engine for scenario solves (docs/solver.md). Both engines
+    /// produce identical verdicts; Cdcl additionally leases warm solvers
+    /// from the ground-once base so entailed clauses learned by one
+    /// scenario's search carry over to the next. Dpll is the escape hatch
+    /// (`cprisk assess --solver dpll`) and the differential reference.
+    asp::SolverEngine solver = asp::SolverEngine::Cdcl;
 
     /// Resolved views over the run context (single reading site each).
     Budget* effective_budget() const { return ctx != nullptr ? &ctx->budget : nullptr; }
@@ -273,6 +279,23 @@ public:
     /// outside the grounded domain, or the seeding analysis conflicts or
     /// runs out of budget.
     std::optional<asp::polarity::MonotonicityCertificate> certify_monotonicity(
+        const std::vector<std::string>& active_mitigations) const;
+
+    /// UNSAT-core explanation of a hazard: the subset of `scenario`'s faults
+    /// that *forces* a requirement violation, extracted from the
+    /// final-conflict assumption core of a CDCL probe solve that pins the
+    /// ground-once base's `__hazard_probe` guard true (every answer set must
+    /// then be violation-free; UNSAT proves none is). The returned set is
+    /// hazardous on its own — any pin extension of the core stays UNSAT —
+    /// and under a monotone certificate so is each of its supersets, which
+    /// is how the exhaustive frontier seeds its pruning antichain
+    /// (epa/frontier.cpp, docs/exhaustive-search.md). Returns nullopt when
+    /// no claim can be made: cache unavailable, scenario outside the
+    /// grounded domain, probe solve interrupted or failed, or the probe is
+    /// satisfiable (some trajectory avoids every violation, so the hazard
+    /// is existential rather than forced).
+    std::optional<std::vector<security::Mutation>> hazard_core(
+        const security::AttackScenario& scenario,
         const std::vector<std::string>& active_mitigations) const;
 
 private:

@@ -239,6 +239,24 @@ Result<FrontierResult> run_frontier(const ErrorPropagationAnalysis& epa,
                 if (hazardous.insert(record.verdict.mutations)) {
                     result.minimal_hazards.push_back(record.verdict);
                 }
+                // UNSAT-core seeding: when pruning is licensed, ask the
+                // probe solver which sub-scenario of this hazard already
+                // forces a violation; a strictly smaller core widens the
+                // pruning cone over every later layer. Probes run
+                // sequentially here (after the layer barrier) and for
+                // replayed records too, so fresh and resumed sweeps prune
+                // the same candidates at any job count. Seeded sets are
+                // pruning state only — minimal_hazards keeps evaluated
+                // verdicts exclusively.
+                if (result.pruning) {
+                    auto core = epa.hazard_core(
+                        frontier_scenario(model, record.verdict.mutations),
+                        options.active_mitigations);
+                    if (core && core->size() < record.verdict.mutations.size() &&
+                        hazardous.insert(*core)) {
+                        ++result.core_seeded;
+                    }
+                }
             } else if (record.outcome == ScenarioOutcome::Undetermined) {
                 result.undetermined.push_back(record.verdict);
             }
@@ -247,6 +265,8 @@ Result<FrontierResult> run_frontier(const ErrorPropagationAnalysis& epa,
 
     span.arg("candidates", static_cast<long long>(result.candidates));
     span.arg("pruned", static_cast<long long>(result.pruned));
+    span.arg("core_seeded", static_cast<long long>(result.core_seeded));
+    obs::add_counter(options.metrics_sink(), "epa.frontier.core_seeds", result.core_seeded);
     obs::add_counter(options.metrics_sink(), "epa.frontier.candidates", result.candidates);
     obs::add_counter(options.metrics_sink(), "epa.frontier.evaluated", result.evaluated);
     obs::add_counter(options.metrics_sink(), "epa.frontier.pruned", result.pruned);

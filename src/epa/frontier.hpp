@@ -73,6 +73,11 @@ struct FrontierResult {
     std::size_t evaluated = 0;       ///< fresh epa.evaluate() calls
     std::size_t replayed = 0;        ///< records replayed from the journal
     std::size_t pruned = 0;          ///< superset-pruned without a solve
+    /// Strictly-smaller UNSAT cores of confirmed hazards seeded into the
+    /// pruning antichain (epa::hazard_core; only under a monotone
+    /// certificate). Seeds widen the pruning cone but are never reported as
+    /// minimal_hazards themselves — those stay evaluated verdicts.
+    std::size_t core_seeded = 0;
 
     /// Minimal hazardous fault sets — an antichain, in layer order. With
     /// pruning these are exactly the sets evaluated Hazard; without, the

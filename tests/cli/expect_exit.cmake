@@ -21,3 +21,19 @@ if(MATCH AND NOT "${out}${err}" MATCHES "${MATCH}")
     "cprisk ${ARGS}\noutput does not match '${MATCH}'\n"
     "stdout:\n${out}\nstderr:\n${err}")
 endif()
+# Optional: -DREAD_FILE=<path> -DFILE_MATCH=<;-separated regexes> requires a
+# file the run wrote (--metrics, --trace exports) to match every regex —
+# the schema checks docs/observability.md promises to downstream dashboards.
+if(READ_FILE)
+  if(NOT EXISTS "${READ_FILE}")
+    message(FATAL_ERROR "cprisk ${ARGS}\ndid not write '${READ_FILE}'")
+  endif()
+  file(READ "${READ_FILE}" content)
+  foreach(pattern IN LISTS FILE_MATCH)
+    if(NOT content MATCHES "${pattern}")
+      message(FATAL_ERROR
+        "cprisk ${ARGS}\n'${READ_FILE}' does not match '${pattern}'\n"
+        "content:\n${content}")
+    endif()
+  endforeach()
+endif()

@@ -1,0 +1,153 @@
+// Engine neutrality end to end: the CDCL and DPLL engines must produce
+// byte-identical reports and journals over the case-study bundles, and a
+// journal written under one engine must resume under the other — the
+// `--solver` escape hatch may never strand a checkpointed run. (SolveStats
+// fields that only the CDCL engine fills are deliberately not serialized
+// into journals; see asp/solver.hpp.)
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/fault_injection.hpp"
+#include "core/assessment.hpp"
+#include "core/journal.hpp"
+#include "core/reactor.hpp"
+#include "core/report.hpp"
+#include "core/watertank.hpp"
+
+namespace cprisk::core {
+namespace {
+
+struct Bundle {
+    std::string name;
+    std::unique_ptr<RiskAssessment> assessment;
+    AssessmentConfig config;
+    std::shared_ptr<void> owner;
+};
+
+Bundle make_watertank() {
+    auto built = WaterTankCaseStudy::build();
+    EXPECT_TRUE(built.ok()) << built.error();
+    auto cs = std::make_shared<WaterTankCaseStudy>(std::move(built).value());
+    Bundle bundle;
+    bundle.name = "watertank";
+    bundle.assessment = std::make_unique<RiskAssessment>(
+        cs->system, cs->requirements, cs->topology_requirements, cs->matrix, cs->mitigations);
+    bundle.config.horizon = cs->horizon;
+    bundle.config.include_attack_scenarios = false;
+    bundle.owner = cs;
+    return bundle;
+}
+
+Bundle make_reactor() {
+    auto built = ReactorCaseStudy::build();
+    EXPECT_TRUE(built.ok()) << built.error();
+    auto cs = std::make_shared<ReactorCaseStudy>(std::move(built).value());
+    Bundle bundle;
+    bundle.name = "reactor";
+    bundle.assessment = std::make_unique<RiskAssessment>(
+        cs->system, cs->requirements, cs->topology_requirements, cs->matrix, cs->mitigations);
+    bundle.config.horizon = cs->horizon;
+    bundle.config.include_attack_scenarios = false;
+    bundle.config.max_simultaneous_faults = 1;
+    bundle.owner = cs;
+    return bundle;
+}
+
+std::string renderings(const AssessmentReport& report) {
+    return render_markdown(report) + "\n===\n" + render_risk_csv(report) + "\n===\n" +
+           render_report_json(report);
+}
+
+std::string file_bytes(const std::string& path) {
+    std::ifstream file(path, std::ios::binary);
+    EXPECT_TRUE(file.good()) << path;
+    std::ostringstream content;
+    content << file.rdbuf();
+    return content.str();
+}
+
+class EngineDifferentialTest : public ::testing::TestWithParam<Bundle (*)()> {
+protected:
+    void SetUp() override { fault::reset(); }
+    void TearDown() override { fault::reset(); }
+};
+
+TEST_P(EngineDifferentialTest, CdclAndDpllReportsAndJournalsAreByteIdentical) {
+    Bundle bundle = GetParam()();
+    ASSERT_NE(bundle.assessment, nullptr);
+
+    const std::string journal_cdcl =
+        ::testing::TempDir() + "cprisk_" + bundle.name + "_cdcl.jsonl";
+    const std::string journal_dpll =
+        ::testing::TempDir() + "cprisk_" + bundle.name + "_dpll.jsonl";
+    std::remove(journal_cdcl.c_str());
+    std::remove(journal_dpll.c_str());
+
+    AssessmentConfig cdcl = bundle.config;
+    cdcl.solver = asp::SolverEngine::Cdcl;
+    cdcl.journal_path = journal_cdcl;
+    auto cdcl_report = bundle.assessment->run(cdcl);
+    ASSERT_TRUE(cdcl_report.ok()) << cdcl_report.error();
+
+    AssessmentConfig dpll = bundle.config;
+    dpll.solver = asp::SolverEngine::Dpll;
+    dpll.journal_path = journal_dpll;
+    auto dpll_report = bundle.assessment->run(dpll);
+    ASSERT_TRUE(dpll_report.ok()) << dpll_report.error();
+
+    EXPECT_EQ(renderings(cdcl_report.value()), renderings(dpll_report.value()));
+    EXPECT_EQ(file_bytes(journal_cdcl), file_bytes(journal_dpll));
+
+    std::remove(journal_cdcl.c_str());
+    std::remove(journal_dpll.c_str());
+}
+
+TEST_P(EngineDifferentialTest, JournalWrittenUnderOneEngineResumesUnderTheOther) {
+    Bundle bundle = GetParam()();
+    ASSERT_NE(bundle.assessment, nullptr);
+    const std::string journal =
+        ::testing::TempDir() + "cprisk_" + bundle.name + "_xengine.jsonl";
+    std::remove(journal.c_str());
+
+    AssessmentConfig plain = bundle.config;
+    plain.solver = asp::SolverEngine::Cdcl;
+    auto clean = bundle.assessment->run(plain);
+    ASSERT_TRUE(clean.ok()) << clean.error();
+
+    // Kill a CDCL run on its 3rd journal append, then resume the journal
+    // under the DPLL engine. The engine is deliberately not part of the
+    // journal's config echo, so the resume must replay the two surviving
+    // records and finish byte-identically to the clean run.
+    AssessmentConfig journaled = bundle.config;
+    journaled.solver = asp::SolverEngine::Cdcl;
+    journaled.journal_path = journal;
+    fault::arm("core.journal.append", 3);
+    ASSERT_FALSE(bundle.assessment->run(journaled).ok());
+    fault::reset();
+    auto contents = load_journal(journal);
+    ASSERT_TRUE(contents.ok()) << contents.error();
+    ASSERT_EQ(contents.value().records.size(), 2u);
+
+    journaled.solver = asp::SolverEngine::Dpll;
+    journaled.resume = true;
+    auto resumed = bundle.assessment->run(journaled);
+    ASSERT_TRUE(resumed.ok()) << resumed.error();
+    EXPECT_EQ(resumed.value().resumed_scenarios, 2u);
+    EXPECT_EQ(renderings(resumed.value()), renderings(clean.value()));
+
+    std::remove(journal.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Bundles, EngineDifferentialTest,
+                         ::testing::Values(&make_watertank, &make_reactor),
+                         [](const ::testing::TestParamInfo<Bundle (*)()>& info) {
+                             return info.index == 0 ? "watertank" : "reactor";
+                         });
+
+}  // namespace
+}  // namespace cprisk::core

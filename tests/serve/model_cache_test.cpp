@@ -91,6 +91,29 @@ TEST_F(ServeModelCacheTest, EntryCapEvictsLeastRecentlyUsed) {
     for (const auto& path : {a, b, c}) std::remove(path.c_str());
 }
 
+TEST_F(ServeModelCacheTest, TwoTenantBurstsThroughOneEntryCapStillHit) {
+    // The bench_perf_epa serve-thrash shape: two tenants share a 1-entry
+    // cache, each issuing two consecutive requests per turn. The first
+    // request of a turn misses and evicts the other tenant, the second must
+    // hit the freshly resident entry — a cap of one degrades cost, it never
+    // degrades a burst to all-misses.
+    obs::MetricsRegistry metrics;
+    ModelCache cache(1, 0, &metrics);
+    const std::string a = bundle_copy("mc_burst_a.cpm");
+    const std::string b = bundle_copy("mc_burst_b.cpm");
+    for (int round = 0; round < 3; ++round) {
+        for (const auto& path : {a, b}) {
+            ASSERT_TRUE(cache.acquire(path).ok());
+            ASSERT_TRUE(cache.acquire(path).ok());
+        }
+    }
+    EXPECT_EQ(counter(metrics, "serve.cache.misses"), 6);
+    EXPECT_EQ(counter(metrics, "serve.cache.hits"), 6);
+    EXPECT_EQ(counter(metrics, "serve.cache.evictions"), 5);
+    EXPECT_GT(counter(metrics, "serve.cache.hits"), 0);
+    for (const auto& path : {a, b}) std::remove(path.c_str());
+}
+
 TEST_F(ServeModelCacheTest, ByteCapEvictsDownToTheMostRecentEntry) {
     obs::MetricsRegistry metrics;
     // 1-byte cap: always over budget, but the MRU entry is never evicted, so

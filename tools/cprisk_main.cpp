@@ -25,6 +25,9 @@
 //   --attack-scenarios   include actor-driven attack scenarios
 //   --no-cegar           run the behavioural analysis directly
 //   --no-static-prefilter  disable the ternary verdict prefilter
+//   --solver ENGINE      scenario-solve search engine: cdcl (default,
+//                        clause-learning with warm solver reuse) or dpll
+//                        (the escape hatch); verdicts are identical
 //   --budget N           mitigation budget constraint
 //   --phase-budget N     enable multi-phase planning
 //   --markdown FILE      write the analyst report as Markdown
@@ -105,7 +108,7 @@ int usage() {
                  "                     [--phase-budget N] [--markdown FILE] [--csv FILE]\n"
                  "                     [--json FILE] [--deadline-ms N] [--max-decisions N]\n"
                  "                     [--jobs N] [--journal FILE] [--journal-sync] [--resume]\n"
-                 "                     [--no-static-prefilter] [--retry N]\n"
+                 "                     [--no-static-prefilter] [--solver cdcl|dpll] [--retry N]\n"
                  "                     [--exhaustive] [--max-card K] [--attack-reachable-only]\n"
                  "                     [--trace FILE] [--metrics FILE]\n"
                  "       cprisk serve --socket PATH [--executors N] [--max-inflight N]\n"
@@ -525,7 +528,7 @@ int cmd_assess(int argc, char** argv) {
         "--jobs",      "--journal",       "--journal-sync",     "--resume",
         "--retry",     "--markdown",      "--csv",              "--json",
         "--trace",     "--metrics",       "--no-static-prefilter",
-        "--exhaustive", "--max-card",     "--attack-reachable-only"};
+        "--solver",    "--exhaustive",    "--max-card",         "--attack-reachable-only"};
 
     for (int i = 1; i < argc; ++i) {
         const std::string flag = argv[i];
@@ -559,6 +562,18 @@ int cmd_assess(int argc, char** argv) {
             config.use_cegar = false;
         } else if (flag == "--no-static-prefilter") {
             config.static_prefilter = false;
+        } else if (flag == "--solver" && i + 1 < argc) {
+            const std::string engine = argv[++i];
+            if (engine == "cdcl") {
+                config.solver = cprisk::asp::SolverEngine::Cdcl;
+            } else if (engine == "dpll") {
+                config.solver = cprisk::asp::SolverEngine::Dpll;
+            } else {
+                std::fprintf(stderr,
+                             "invalid value '%s' for '--solver': expected 'cdcl' or 'dpll'\n",
+                             engine.c_str());
+                return usage();
+            }
         } else if (flag == "--budget" && next_value(value)) {
             config.budget = value;
         } else if (flag == "--phase-budget" && next_value(value)) {
