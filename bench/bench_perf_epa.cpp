@@ -15,9 +15,11 @@
 
 #include "asp/asp.hpp"
 #include "core/assessment.hpp"
+#include "core/loader.hpp"
 #include "epa/epa.hpp"
 #include "epa/frontier.hpp"
 #include "obs/metrics.hpp"
+#include "risk/prior.hpp"
 #include "security/scenario.hpp"
 #include "serve/model_cache.hpp"
 
@@ -529,6 +531,66 @@ ServeNumbers serve_numbers() {
     return numbers;
 }
 
+// --- Anytime priors: coverage at a 50% evaluation budget -------------------
+
+struct PriorNumbers {
+    std::size_t scenarios = 0;
+    long long total_micros = 0;        ///< expected-risk mass of the whole space
+    long long enumeration_micros = 0;  ///< decided mass at half budget, generation order
+    long long priority_micros = 0;     ///< same budget, expected-risk order
+    double ratio = 0.0;                ///< priority / enumeration coverage
+};
+
+/// The priors block of BENCH_epa.json (docs/quantitative-risk.md): how much
+/// expected-risk mass a run interrupted at half the watertank fault space
+/// has decided, in generation order vs the expected-risk priority order.
+/// Pure scoring arithmetic — no solves — so the ratio is deterministic.
+PriorNumbers prior_numbers() {
+    PriorNumbers numbers;
+    const std::string watertank =
+        std::string(CPRISK_SOURCE_DIR) + "/examples/models/watertank.cpm";
+    auto bundle = core::load_bundle_file(watertank);
+    if (!bundle.ok()) {
+        std::fprintf(stderr, "bench_perf_epa: %s\n", bundle.error().c_str());
+        return numbers;
+    }
+    const model::SystemModel& model = bundle.value().model;
+    security::ScenarioSpaceOptions options;
+    options.include_attack_scenarios = false;
+    options.include_vulnerability_scenarios = false;
+    options.max_simultaneous_faults = 2;
+    const auto matrix = security::AttackMatrix::standard_ics();
+    const auto space = security::ScenarioSpace::build(model, matrix, {}, options);
+    const risk::ScenarioPriority priority(model, risk::PriorityPolicy::ExpectedRisk);
+    std::vector<security::AttackScenario> ordered = space.scenarios();
+    priority.order(ordered);
+
+    const std::size_t budget = (space.size() + 1) / 2;
+    const auto covered = [&](const std::vector<security::AttackScenario>& scenarios) {
+        long long sum = 0;
+        for (std::size_t i = 0; i < budget && i < scenarios.size(); ++i) {
+            sum += priority.score_micros(scenarios[i]);
+        }
+        return sum;
+    };
+    numbers.scenarios = space.size();
+    for (const auto& scenario : space.scenarios()) {
+        numbers.total_micros += priority.score_micros(scenario);
+    }
+    numbers.enumeration_micros = covered(space.scenarios());
+    numbers.priority_micros = covered(ordered);
+    numbers.ratio = numbers.enumeration_micros > 0
+                        ? static_cast<double>(numbers.priority_micros) /
+                              static_cast<double>(numbers.enumeration_micros)
+                        : 0.0;
+    if (numbers.ratio < 2.0) {
+        std::fprintf(stderr,
+                     "bench_perf_epa: priority coverage ratio %.2f below the expected 2x\n",
+                     numbers.ratio);
+    }
+    return numbers;
+}
+
 /// Times every sweep configuration and writes BENCH_epa.json.
 void write_sweep_json() {
     const double seed = sweep_seconds(false, 1);
@@ -548,6 +610,7 @@ void write_sweep_json() {
         frontier.evaluated > 0
             ? static_cast<double>(frontier.candidates) / static_cast<double>(frontier.evaluated)
             : 0.0;
+    const PriorNumbers priors = prior_numbers();
 
     std::FILE* out = std::fopen("BENCH_epa.json", "w");
     if (out == nullptr) {
@@ -593,6 +656,15 @@ void write_sweep_json() {
                  "    \"wall_s\": %.6f,\n"
                  "    \"pruning_ratio\": %.2f\n"
                  "  },\n"
+                 "  \"priors\": {\n"
+                 "    \"workload\": \"watertank.cpm fault combinations, max_faults 2, "
+                 "50%% evaluation budget\",\n"
+                 "    \"scenarios\": %zu,\n"
+                 "    \"total_risk_micros\": %lld,\n"
+                 "    \"enumeration_covered_micros\": %lld,\n"
+                 "    \"priority_covered_micros\": %lld,\n"
+                 "    \"coverage_ratio\": %.2f\n"
+                 "  },\n"
                  "  \"serve\": {\n"
                  "    \"workload\": \"watertank.cpm + reactor.cpm, horizon 6, single-fault\",\n"
                  "    \"cold_request_s\": %.6f,\n"
@@ -611,19 +683,22 @@ void write_sweep_json() {
                  cdcl.reused, cdcl.static_fraction, cdcl.verdicts_match ? "true" : "false",
                  frontier.monotone ? "monotone" : "mixed", frontier.candidates,
                  frontier.evaluated, frontier.pruned, frontier.minimal, frontier.seconds,
-                 pruning_ratio, serve.cold_s, serve.warm_s, warm_speedup, serve.thrash_s,
-                 serve.evictions, serve.misses, serve.hits);
+                 pruning_ratio, priors.scenarios, priors.total_micros,
+                 priors.enumeration_micros, priors.priority_micros, priors.ratio,
+                 serve.cold_s, serve.warm_s, warm_speedup, serve.thrash_s, serve.evictions,
+                 serve.misses, serve.hits);
     std::fclose(out);
     std::printf("BENCH_epa.json: ground-once alone %.2fx, jobs=8 vs seed %.2fx, "
                 "null-obs overhead %.4fx, prefilter %.2fx (static fraction %.2f), "
                 "cdcl vs dpll %.2fx (%zu reused propagations, verdicts %s), "
-                "frontier pruning %.0fx (%zu/%zu), serve warm hit %.2fx "
+                "frontier pruning %.0fx (%zu/%zu), priority coverage %.2fx at half "
+                "budget, serve warm hit %.2fx "
                 "(%zu evictions, %zu hits under a 1-model cap)\n",
                 seed / cache_only, seed / jobs8, obs_overhead, no_prefilter / cache_only,
                 static_fraction, cdcl_speedup, cdcl.reused,
                 cdcl.verdicts_match ? "match" : "MISMATCH", pruning_ratio,
-                frontier.candidates, frontier.evaluated, warm_speedup, serve.evictions,
-                serve.hits);
+                frontier.candidates, frontier.evaluated, priors.ratio, warm_speedup,
+                serve.evictions, serve.hits);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/schema.hpp"
+
 namespace cprisk {
 
 std::string SourceLoc::to_string() const {
@@ -139,7 +141,8 @@ std::string render_text(const std::vector<Diagnostic>& diagnostics) {
 }
 
 std::string render_json(const std::vector<Diagnostic>& diagnostics) {
-    std::string out = "{\n  \"diagnostics\": [";
+    std::string out = "{\n  \"schema_version\": " + std::to_string(kSchemaVersion) +
+                      ",\n  \"diagnostics\": [";
     for (std::size_t i = 0; i < diagnostics.size(); ++i) {
         const Diagnostic& d = diagnostics[i];
         out += i == 0 ? "\n" : ",\n";

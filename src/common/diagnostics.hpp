@@ -79,8 +79,8 @@ private:
 /// a "N error(s), M warning(s), K note(s)" summary when non-empty.
 std::string render_text(const std::vector<Diagnostic>& diagnostics);
 
-/// Renders a JSON document: {"diagnostics": [...], "errors": N,
-/// "warnings": M, "notes": K}.
+/// Renders a JSON document: {"schema_version": V, "diagnostics": [...],
+/// "errors": N, "warnings": M, "notes": K}.
 std::string render_json(const std::vector<Diagnostic>& diagnostics);
 
 }  // namespace cprisk

@@ -77,6 +77,24 @@ TextTable AssessmentReport::mitigation_table() const {
     return table;
 }
 
+TextTable AssessmentReport::pareto_table() const {
+    TextTable table({"option", "chosen", "mitigation cost", "residual loss", "coverage", "knee"});
+    if (!pareto.has_value()) return table;
+    const mitigation::ParetoPoint* knee = pareto->empty() ? nullptr : &pareto->knee();
+    for (std::size_t i = 0; i < pareto->points().size(); ++i) {
+        const mitigation::ParetoPoint& point = pareto->points()[i];
+        std::string chosen;
+        for (const auto& id : point.selection.chosen) {
+            if (!chosen.empty()) chosen += ", ";
+            chosen += id;
+        }
+        table.add_row({std::to_string(i + 1), "{" + chosen + "}", std::to_string(point.cost()),
+                       std::to_string(point.residual()), std::to_string(point.coverage),
+                       &point == knee ? "*" : ""});
+    }
+    return table;
+}
+
 TextTable AssessmentReport::timing_table() const {
     TextTable table({"Phase", "Wall ms"});
     for (const PhaseTiming& timing : phase_timings) {
@@ -135,6 +153,13 @@ Result<AssessmentReport> RiskAssessment::run(const AssessmentConfig& config,
         obs::set_gauge(ctx.metrics, "assess.phase_ms." + std::string(phase), ms);
     };
 
+    // Anytime prioritization (risk/prior.hpp): fault-mode Beta priors from
+    // the model bundle score every scenario; under the default ExpectedRisk
+    // policy the sweeps below evaluate high scores first, so a deadline
+    // interruption decides the riskiest scenarios before the long tail.
+    const risk::ScenarioPriority priority(*system_, config.priority_policy);
+    const bool scoring = config.priority_policy == risk::PriorityPolicy::ExpectedRisk;
+
     // Step 2: candidate mutations / scenario space. Exhaustive mode skips
     // the enumerated space — the frontier sweeps the fault-subset lattice
     // directly and the step-7 space is rebuilt from the minimal hazards.
@@ -149,6 +174,15 @@ Result<AssessmentReport> RiskAssessment::run(const AssessmentConfig& config,
             built_space.emplace(security::ScenarioSpace::build(
                 *system_, *matrix_, security::standard_threat_actors(), space_options, catalog_));
             span.arg("scenarios", static_cast<long long>(built_space->size()));
+        }
+        if (scoring) {
+            // Reordering the space is the whole prioritization lever: the
+            // CEGAR sweep, the journal, and the drain order all follow
+            // space order, so everything downstream stays byte-identical
+            // at any --jobs and across kill/resume.
+            std::vector<security::AttackScenario> ordered = built_space->scenarios();
+            priority.order(ordered);
+            built_space.emplace(std::move(ordered));
         }
         record_phase("scenario_space", phase_start);
         report.scenario_count = built_space->size();
@@ -205,8 +239,19 @@ Result<AssessmentReport> RiskAssessment::run(const AssessmentConfig& config,
             JournalWriter::open(config.journal_path, header, JournalOptions{config.journal_sync});
         if (!writer.ok()) return Result<AssessmentReport>::failure(writer.error());
         journal = std::move(writer).value();
+        // Journal records carry the expected-risk score under a scoring
+        // policy, so an interrupted journal shows the risk mass already
+        // covered. Stamping is idempotent: replayed records re-stamp to the
+        // same value (the score is a pure function of model + mutations),
+        // keeping compaction byte-identical.
+        const auto stamped = [&](hierarchy::ScenarioRecord record) {
+            if (scoring) {
+                record.expected_risk_micros = priority.score_micros(record.verdict.mutations);
+            }
+            return record;
+        };
         for (const hierarchy::ScenarioRecord& record : replayed_records) {
-            auto appended = journal->append(record);
+            auto appended = journal->append(stamped(record));
             if (!appended.ok()) return Result<AssessmentReport>::failure(appended.error());
         }
         hooks.lookup =
@@ -216,10 +261,25 @@ Result<AssessmentReport> RiskAssessment::run(const AssessmentConfig& config,
             ++report.resumed_scenarios;
             return it->second;
         };
-        hooks.completed = [&](const hierarchy::ScenarioRecord& record) {
-            return journal->append(record);
+        hooks.completed = [&, stamped](const hierarchy::ScenarioRecord& record) {
+            return journal->append(stamped(record));
         };
     }
+
+    // The evaluated universe and which of it was decided, for the anytime
+    // coverage estimate below (exhaustive mode: pruned candidates never get
+    // records — coverage is measured over the evaluated sweep).
+    std::vector<security::AttackScenario> scored_universe;
+    std::vector<bool> decided_flags;
+    const auto collect_scored = [&](const std::vector<hierarchy::ScenarioRecord>& records) {
+        for (const hierarchy::ScenarioRecord& record : records) {
+            security::AttackScenario scenario;
+            scenario.id = record.scenario_id;
+            scenario.mutations = record.verdict.mutations;
+            scored_universe.push_back(std::move(scenario));
+            decided_flags.push_back(record.outcome != hierarchy::ScenarioOutcome::Undetermined);
+        }
+    };
 
     phase_start = Clock::now();
     if (config.exhaustive) {
@@ -252,6 +312,7 @@ Result<AssessmentReport> RiskAssessment::run(const AssessmentConfig& config,
         frontier_options.max_card = config.max_card;
         frontier_options.active_mitigations = config.active_mitigations;
         if (reachable) frontier_options.component_filter = &*reachable;
+        frontier_options.priority = &priority;
         frontier_options.hooks = hooks;
         frontier_options.ctx = &ctx;
         std::optional<Result<epa::FrontierResult>> frontier_result;
@@ -275,6 +336,7 @@ Result<AssessmentReport> RiskAssessment::run(const AssessmentConfig& config,
                 ++report.statically_resolved;
             }
         }
+        collect_scored(frontier.records);
         report.exhaustive.enabled = true;
         report.exhaustive.pruning = frontier.pruning;
         report.exhaustive.certificate =
@@ -345,6 +407,23 @@ Result<AssessmentReport> RiskAssessment::run(const AssessmentConfig& config,
                 ++report.statically_resolved;
             }
         }
+        collect_scored(cegar.value().records);
+    }
+
+    // Anytime coverage: how much of the space's expected-risk mass the
+    // decided scenarios account for, with a posterior lower bound. Pure
+    // function of (model, records, seed) — byte-identical at any --jobs.
+    if (scoring) {
+        report.priority.enabled = true;
+        report.priority.policy = std::string(risk::to_string(config.priority_policy));
+        report.priority.explicit_priors = priority.priors().any_explicit();
+        report.priority.prior_count = priority.priors().size();
+        report.priority.prior_seed = config.prior_seed;
+        const risk::CoverageEstimate estimate =
+            priority.coverage(scored_universe, decided_flags, config.prior_seed);
+        report.priority.total_risk_micros = estimate.total_micros;
+        report.priority.covered_risk_micros = estimate.covered_micros;
+        report.priority.coverage_lower_bound_micros = estimate.lower_bound_micros;
     }
 
     // Step 6: quantitative (rough-granular) risk analysis.
@@ -359,6 +438,10 @@ Result<AssessmentReport> RiskAssessment::run(const AssessmentConfig& config,
         risk.iec_class = risk::iec61508_class(risk::likelihood_from_level(hazard.likelihood),
                                               risk::consequence_from_level(hazard.severity));
         risk.violated_requirements = hazard.violated_requirements;
+        security::AttackScenario shaped;
+        shaped.id = hazard.scenario_id;
+        shaped.mutations = hazard.mutations;
+        risk.likelihood_band_radius = priority.likelihood_band_radius(shaped);
         report.risks.push_back(std::move(risk));
     }
     std::sort(report.risks.begin(), report.risks.end(),
@@ -381,6 +464,11 @@ Result<AssessmentReport> RiskAssessment::run(const AssessmentConfig& config,
         report.selection = mitigation::optimize_exact(problem, optimizer_options);
         if (config.phase_budget > 0) {
             report.phases = mitigation::plan_phases(problem, config.phase_budget);
+        }
+        if (config.pareto) {
+            auto front = mitigation::pareto_front(problem, optimizer_options);
+            if (!front.ok()) return Result<AssessmentReport>::failure(front.error());
+            report.pareto = std::move(front).value();
         }
     }
     record_phase("mitigation", phase_start);

@@ -23,6 +23,7 @@
 #include "obs/run_context.hpp"
 #include "risk/iec61508.hpp"
 #include "risk/ora.hpp"
+#include "risk/prior.hpp"
 
 namespace cprisk::core {
 
@@ -39,6 +40,12 @@ struct ScenarioRisk {
     qual::Level risk = qual::Level::VeryLow;                 ///< O-RA Table I
     risk::RiskClass iec_class = risk::RiskClass::IV;
     std::vector<std::string> violated_requirements;
+    /// Half-width (in qualitative levels) of the likelihood band the
+    /// sensitivity analysis sweeps: derived from the widest Beta-prior
+    /// standard deviation among the scenario's mutations when the bundle
+    /// carries explicit `prior=` parameters, 1 (the pre-prior +/-1 sweep)
+    /// otherwise. See risk::ScenarioPriority::likelihood_band_radius.
+    int likelihood_band_radius = 1;
 };
 
 struct AssessmentConfig {
@@ -94,6 +101,26 @@ struct AssessmentConfig {
     /// Changes the enumerated universe, so it is part of the journal echo.
     bool attack_reachable_only = false;
 
+    // Anytime Bayesian prioritization (risk/prior.hpp, ROADMAP item 4).
+    /// Order scenarios are evaluated in: ExpectedRisk (the default) sweeps
+    /// by descending expected-risk score (Beta priors from the model bundle
+    /// times dependency-reach impact; ties by ascending scenario id) so a
+    /// --deadline-ms interruption decides the highest-risk scenarios first.
+    /// Enumeration restores generation order. The choice fixes the journal
+    /// record order, so it is part of the journal echo; either way reports
+    /// and journals stay byte-identical at any --jobs and across resume.
+    risk::PriorityPolicy priority_policy = risk::PriorityPolicy::ExpectedRisk;
+    /// Seed for the posterior coverage bound rendered in the Completeness
+    /// section (`--prior-seed`). Render-only — never changes a verdict or a
+    /// journal byte — so excluded from the journal echo like `jobs`.
+    unsigned long long prior_seed = 1;
+    /// Step 7: additionally compute the mitigation Pareto front over
+    /// (cost, residual risk, coverage) — mitigation::ParetoFront, rendered
+    /// in all report formats and selectable via `cprisk mitigate --pareto`.
+    /// Off by default: the front costs extra solves and the single
+    /// cost-optimal selection stays the primary plan either way.
+    bool pareto = false;
+
     // Checkpoint/resume.
     std::string journal_path;  ///< non-empty: append one JSONL verdict per scenario
     bool resume = false;       ///< replay the journal, skipping finished scenarios
@@ -141,6 +168,23 @@ struct ExhaustiveStats {
     std::vector<std::string> offenders;
 };
 
+/// Anytime-coverage summary under a scoring priority policy: how much of
+/// the scenario space's expected-risk mass the decided scenarios cover
+/// (risk/prior.hpp). Rendered in the Completeness section so an
+/// interrupted run quantifies what its partial answer is worth.
+struct PriorityStats {
+    bool enabled = false;  ///< policy scored the space (ExpectedRisk)
+    std::string policy = "enumeration";
+    bool explicit_priors = false;  ///< any `prior=` option in the bundle
+    std::size_t prior_count = 0;   ///< fault modes carrying a prior
+    long long total_risk_micros = 0;    ///< summed score of the space
+    long long covered_risk_micros = 0;  ///< summed score of decided scenarios
+    /// Posterior 5th-percentile lower bound on the covered fraction
+    /// (micro-units of probability; -1 when the space carries no risk).
+    long long coverage_lower_bound_micros = -1;
+    unsigned long long prior_seed = 1;  ///< seed behind the bound
+};
+
 struct AssessmentReport {
     // Step 1-2.
     std::size_t component_count = 0;
@@ -163,9 +207,14 @@ struct AssessmentReport {
     std::size_t statically_resolved = 0;
     // Step 6.
     std::vector<ScenarioRisk> risks;  ///< sorted by descending risk
+    /// Anytime-coverage summary (Completeness section).
+    PriorityStats priority;
     // Step 7.
     mitigation::Selection selection;
     std::vector<mitigation::Phase> phases;
+    /// Pareto front over (cost, residual risk, coverage); engaged only when
+    /// AssessmentConfig::pareto is set (`cprisk mitigate --pareto`).
+    std::optional<mitigation::ParetoFront> pareto;
     /// Per-phase wall-clock timings, in pipeline order (see PhaseTiming).
     std::vector<PhaseTiming> phase_timings;
     /// Exhaustive-frontier summary; `enabled` iff the run used --exhaustive.
@@ -177,6 +226,9 @@ struct AssessmentReport {
     TextTable hazard_table() const;
     TextTable risk_table() const;
     TextTable mitigation_table() const;
+    /// Pareto front, one row per nondominated point, the knee marked "*"
+    /// (empty table when no front was computed).
+    TextTable pareto_table() const;
     /// Undetermined scenarios with their reasons and solver stats.
     TextTable completeness_table() const;
     /// Per-phase wall-clock timings (empty table when none were recorded).

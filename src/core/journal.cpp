@@ -173,6 +173,12 @@ json::Value journal_header(const AssessmentConfig& config) {
     json::set(echo, "exhaustive", config.exhaustive);
     json::set(echo, "max_card", config.max_card);
     json::set(echo, "attack_reachable_only", config.attack_reachable_only);
+    // The priority policy fixes the order records are appended in, so a
+    // journal must not resume under a different one (the compacted journal
+    // would interleave two orders and break byte-identical resume).
+    // `prior_seed` stays excluded: it only shapes the rendered confidence
+    // bound, never a verdict or a journal byte.
+    json::set(echo, "priority_policy", std::string(risk::to_string(config.priority_policy)));
     json::Object header;
     json::set(header, "kind", "cprisk-journal");
     json::set(header, "version", 1);
@@ -198,6 +204,11 @@ json::Value record_to_json(const ScenarioRecord& record) {
     }
     json::set(o, "stages", std::move(stages));
     json::set(o, "verdict", verdict_to_json(record.verdict));
+    // Only stamped under a scoring priority policy; omitted (not zero) when
+    // absent so enumeration-policy journals keep their pre-prior bytes.
+    if (record.expected_risk_micros >= 0) {
+        json::set(o, "expected_risk", record.expected_risk_micros);
+    }
     return o;
 }
 
@@ -244,6 +255,9 @@ Result<ScenarioRecord> record_from_json(const json::Value& value) {
     auto parsed = verdict_from_json(*verdict);
     if (!parsed.ok()) return Result<ScenarioRecord>::failure(parsed.error());
     record.verdict = std::move(parsed).value();
+    if (const json::Value* score = value.get("expected_risk")) {
+        record.expected_risk_micros = score->as_int();
+    }
     return record;
 }
 

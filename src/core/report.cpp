@@ -1,6 +1,7 @@
 #include "core/report.hpp"
 
 #include "common/json.hpp"
+#include "common/schema.hpp"
 #include "risk/ora.hpp"
 #include "uncertainty/sensitivity.hpp"
 
@@ -17,6 +18,14 @@ std::string join_list(const std::vector<std::string>& items) {
         out += item;
     }
     return out;
+}
+
+/// Probability expressed in micro-units (0..1000000) as a fixed "0.dddddd"
+/// decimal, without touching floating point (the renderings must be
+/// byte-stable).
+std::string prob_str(long long micros) {
+    std::string frac = std::to_string(micros % 1000000);
+    return std::to_string(micros / 1000000) + "." + std::string(6 - frac.size(), '0') + frac;
 }
 
 /// Markdown table from a TextTable.
@@ -45,8 +54,13 @@ std::vector<ParameterCriticality> analyze_parameter_criticality(const Assessment
         c.rating = risk.risk;
         const qual::LevelRange severity_band(qual::shift(risk.loss_magnitude, -1),
                                              qual::shift(risk.loss_magnitude, 1));
-        const qual::LevelRange likelihood_band(qual::shift(risk.loss_event_frequency, -1),
-                                               qual::shift(risk.loss_event_frequency, 1));
+        // Likelihood band width follows the prior evidence: explicit sharp
+        // priors narrow the sweep to the point estimate, weak ones widen it;
+        // without explicit priors the radius is 1, the pre-prior behaviour.
+        const int radius = risk.likelihood_band_radius;
+        c.likelihood_band_radius = radius;
+        const qual::LevelRange likelihood_band(qual::shift(risk.loss_event_frequency, -radius),
+                                               qual::shift(risk.loss_event_frequency, radius));
         c.rating_range_severity = uncertainty::sweep(
             [&](qual::Level lm) { return risk::ora_risk(lm, risk.loss_event_frequency); },
             severity_band);
@@ -123,6 +137,20 @@ std::string render_markdown(const AssessmentReport& report, const ReportOptions&
               std::to_string(report.exhaustive.max_card) +
               " was enumerated individually (sound, slower)\n";
     }
+    if (report.priority.enabled) {
+        const PriorityStats& priority = report.priority;
+        md += "- priority policy: " + priority.policy + " (" +
+              std::to_string(priority.prior_count) + " fault priors, " +
+              (priority.explicit_priors ? "explicit parameters present" : "likelihood defaults") +
+              ")\n";
+        md += "- expected-risk coverage: " + std::to_string(priority.covered_risk_micros) + "/" +
+              std::to_string(priority.total_risk_micros) + " micro-units\n";
+        if (priority.coverage_lower_bound_micros >= 0) {
+            md += "- posterior coverage lower bound (p5, seed " +
+                  std::to_string(priority.prior_seed) +
+                  "): " + prob_str(priority.coverage_lower_bound_micros) + "\n";
+        }
+    }
     md += "- solver effort: decisions=" + std::to_string(report.total_decisions) +
           ", conflicts=" + std::to_string(report.total_conflicts) + "\n";
     md += "- statically resolved: " + std::to_string(report.statically_resolved) +
@@ -130,7 +158,7 @@ std::string render_markdown(const AssessmentReport& report, const ReportOptions&
 
     if (options.include_sensitivity) {
         md += "## Critical parameter estimates (sensitivity support)\n\n";
-        md += "| scenario | rating | severity +/-1 | likelihood +/-1 | review |\n";
+        md += "| scenario | rating | severity +/-1 | likelihood band | review |\n";
         md += "|---|---|---|---|---|\n";
         for (const auto& c : analyze_parameter_criticality(report)) {
             const bool review = c.sensitive_to_severity || c.sensitive_to_likelihood;
@@ -138,7 +166,8 @@ std::string render_markdown(const AssessmentReport& report, const ReportOptions&
                   level_str(c.rating_range_severity.lo) + ".." +
                   level_str(c.rating_range_severity.hi) + " | " +
                   level_str(c.rating_range_likelihood.lo) + ".." +
-                  level_str(c.rating_range_likelihood.hi) + " | " +
+                  level_str(c.rating_range_likelihood.hi) + " (+/-" +
+                  std::to_string(c.likelihood_band_radius) + ") | " +
                   (review ? "**yes**" : "no") + " |\n";
         }
         md += "\n";
@@ -152,6 +181,17 @@ std::string render_markdown(const AssessmentReport& report, const ReportOptions&
         md += "- unblocked scenarios: " + join_list(report.selection.unblocked) + "\n";
     }
     md += "\n";
+    if (report.pareto.has_value()) {
+        md += "### Pareto front (cost / residual risk / coverage)\n\n";
+        if (report.pareto->empty()) {
+            md += "- no nondominated portfolio (no mitigation candidates)\n\n";
+        } else {
+            md += markdown_table(report.pareto_table());
+            md += "\n";
+            md += "The knee (*) is the minimum-total-cost portfolio — the single plan the "
+                  "deprecated single-result API reports.\n\n";
+        }
+    }
     if (!report.phases.empty()) {
         md += "### Phased roll-out\n\n";
         md += markdown_table(report.mitigation_table());
@@ -179,6 +219,7 @@ std::string render_risk_csv(const AssessmentReport& report) {
 
 std::string render_report_json(const AssessmentReport& report) {
     json::Object root;
+    json::set(root, "schema_version", kSchemaVersion);
 
     json::Object system;
     json::set(system, "components", report.component_count);
@@ -235,6 +276,18 @@ std::string render_report_json(const AssessmentReport& report) {
     json::set(completeness, "total_decisions", report.total_decisions);
     json::set(completeness, "total_conflicts", report.total_conflicts);
     json::set(completeness, "statically_resolved", report.statically_resolved);
+    if (report.priority.enabled) {
+        json::Object priority;
+        json::set(priority, "policy", report.priority.policy);
+        json::set(priority, "explicit_priors", report.priority.explicit_priors);
+        json::set(priority, "prior_count", report.priority.prior_count);
+        json::set(priority, "covered_risk_micros", report.priority.covered_risk_micros);
+        json::set(priority, "total_risk_micros", report.priority.total_risk_micros);
+        json::set(priority, "coverage_lower_bound_micros",
+                  report.priority.coverage_lower_bound_micros);
+        json::set(priority, "prior_seed", static_cast<long long>(report.priority.prior_seed));
+        json::set(completeness, "priority", std::move(priority));
+    }
     json::set(root, "completeness", std::move(completeness));
 
     if (report.exhaustive.enabled) {
@@ -263,7 +316,35 @@ std::string render_report_json(const AssessmentReport& report) {
     json::set(plan, "residual_loss", report.selection.residual_loss);
     json::set(root, "mitigation", std::move(plan));
 
+    if (report.pareto.has_value()) {
+        const mitigation::ParetoFront& front = *report.pareto;
+        json::Object pareto;
+        json::Array points;
+        long long knee_index = -1;
+        const mitigation::ParetoPoint* knee = front.empty() ? nullptr : &front.knee();
+        for (std::size_t i = 0; i < front.points().size(); ++i) {
+            const mitigation::ParetoPoint& point = front.points()[i];
+            if (&point == knee) knee_index = static_cast<long long>(i);
+            json::Object entry;
+            json::Array chosen_ids;
+            for (const std::string& id : point.selection.chosen) chosen_ids.push_back(id);
+            json::set(entry, "chosen", std::move(chosen_ids));
+            json::set(entry, "mitigation_cost", point.cost());
+            json::set(entry, "residual_loss", point.residual());
+            json::set(entry, "coverage", point.coverage);
+            points.push_back(std::move(entry));
+        }
+        json::set(pareto, "points", std::move(points));
+        json::set(pareto, "knee", knee_index);
+        json::set(root, "pareto", std::move(pareto));
+    }
+
     return json::Value(std::move(root)).serialize() + "\n";
+}
+
+std::string render_pareto_csv(const AssessmentReport& report) {
+    if (!report.pareto.has_value()) return "";
+    return report.pareto_table().render_csv();
 }
 
 }  // namespace cprisk::core

@@ -26,7 +26,11 @@ struct ParameterCriticality {
     bool sensitive_to_severity = false;
     bool sensitive_to_likelihood = false;
     qual::LevelRange rating_range_severity;    ///< rating across severity +/-1
-    qual::LevelRange rating_range_likelihood;  ///< rating across likelihood +/-1
+    qual::LevelRange rating_range_likelihood;  ///< rating across the likelihood band
+    /// Half-width of the likelihood band swept: the scenario's prior-derived
+    /// radius (ScenarioRisk::likelihood_band_radius) — 1 unless the model
+    /// bundle carries explicit `prior=` parameters for its mutations.
+    int likelihood_band_radius = 1;
 };
 
 /// Analyzes every rated hazard of the report.
@@ -54,7 +58,14 @@ std::string render_markdown(const AssessmentReport& report, const ReportOptions&
 std::string render_risk_csv(const AssessmentReport& report);
 
 /// Renders the report as a deterministic single-document JSON (system
-/// counts, CEGAR trace, risks, completeness, mitigation plan).
+/// counts, CEGAR trace, risks, completeness, mitigation plan, and — when
+/// engaged — the priority/coverage block and the mitigation Pareto front).
+/// The root object leads with `schema_version` (common/schema.hpp).
 std::string render_report_json(const AssessmentReport& report);
+
+/// Renders the mitigation Pareto front as CSV (one row per nondominated
+/// point, the knee marked). Empty string when the report carries no front
+/// (AssessmentConfig::pareto was off).
+std::string render_pareto_csv(const AssessmentReport& report);
 
 }  // namespace cprisk::core

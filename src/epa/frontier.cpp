@@ -126,6 +126,11 @@ Result<FrontierResult> run_frontier(const ErrorPropagationAnalysis& epa,
             }
             layer.push_back(frontier_scenario(model, std::move(subset)));
         });
+        // Priority ordering applies *within* the layer: pruning soundness
+        // only needs layers to ascend by cardinality, the order inside one
+        // layer is free. The sort is deterministic (score desc, id asc), so
+        // journals stay byte-identical at any job count.
+        if (options.priority != nullptr) options.priority->order(layer);
 
         const auto evaluate_one =
             [&](const security::AttackScenario& scenario) -> Result<ScenarioRecord> {

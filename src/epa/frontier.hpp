@@ -33,6 +33,7 @@
 #include "epa/epa.hpp"
 #include "hierarchy/cegar.hpp"
 #include "obs/run_context.hpp"
+#include "risk/prior.hpp"
 
 namespace cprisk::epa {
 
@@ -50,6 +51,13 @@ struct FrontierOptions {
     /// journaled record instead of evaluating, `completed` receives fresh
     /// records in strict candidate order.
     hierarchy::CegarHooks hooks;
+    /// Evaluation order within each cardinality layer (risk/prior.hpp):
+    /// under PriorityPolicy::ExpectedRisk the layer's candidates are sorted
+    /// by descending expected risk (ties by ascending id) before
+    /// evaluation, so a deadline interruption decides the highest-risk
+    /// candidates first. Layers still ascend by cardinality — minimality
+    /// of the antichain requires it. Borrowed; null = enumeration order.
+    const risk::ScenarioPriority* priority = nullptr;
     /// Unified run state (budget, pool, trace, metrics); borrowed.
     RunContext* ctx = nullptr;
 

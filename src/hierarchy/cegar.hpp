@@ -88,6 +88,11 @@ struct ScenarioRecord {
     /// the eliminating verdict for Safe/Spurious; the last undetermined
     /// verdict otherwise).
     epa::ScenarioVerdict verdict;
+    /// Expected-risk score in micro-units (risk/prior.hpp) under the run's
+    /// priority policy; -1 = not scored (PriorityPolicy::Enumeration).
+    /// Stamped by the assessment pipeline when journaling, so an anytime
+    /// interruption's journal shows the risk mass already covered.
+    long long expected_risk_micros = -1;
 };
 
 /// Checkpoint/resume seams. Both hooks are optional.

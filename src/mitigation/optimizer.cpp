@@ -170,7 +170,174 @@ Result<Selection> optimize_asp(const MitigationProblem& problem,
     return finalize(problem, std::move(chosen));
 }
 
-HardeningResult harden_attack_cost(const MitigationProblem& problem, long long budget) {
+ParetoFront::ParetoFront(std::vector<ParetoPoint> points) {
+    // Canonical order first: (cost asc, residual asc, coverage desc, chosen
+    // lex) — ties on the objective tuple then dedup toward the first, i.e.
+    // lexicographically smallest, chosen set.
+    std::sort(points.begin(), points.end(), [](const ParetoPoint& a, const ParetoPoint& b) {
+        if (a.cost() != b.cost()) return a.cost() < b.cost();
+        if (a.residual() != b.residual()) return a.residual() < b.residual();
+        if (a.coverage != b.coverage) return a.coverage > b.coverage;
+        return a.selection.chosen < b.selection.chosen;
+    });
+    points.erase(std::unique(points.begin(), points.end(),
+                             [](const ParetoPoint& a, const ParetoPoint& b) {
+                                 return a.cost() == b.cost() && a.residual() == b.residual() &&
+                                        a.coverage == b.coverage;
+                             }),
+                 points.end());
+    const auto dominates = [](const ParetoPoint& a, const ParetoPoint& b) {
+        return a.cost() <= b.cost() && a.residual() <= b.residual() &&
+               a.coverage >= b.coverage &&
+               (a.cost() < b.cost() || a.residual() < b.residual() || a.coverage > b.coverage);
+    };
+    for (const ParetoPoint& point : points) {
+        const bool dominated = std::any_of(
+            points.begin(), points.end(),
+            [&](const ParetoPoint& other) { return dominates(other, point); });
+        if (!dominated) points_.push_back(point);
+    }
+}
+
+const ParetoPoint& ParetoFront::knee() const {
+    const ParetoPoint* best = &points_.front();
+    for (const ParetoPoint& point : points_) {
+        const long long point_total = point.selection.total_cost();
+        const long long best_total = best->selection.total_cost();
+        if (point_total != best_total) {
+            if (point_total < best_total) best = &point;
+        } else if (point.coverage != best->coverage) {
+            if (point.coverage > best->coverage) best = &point;
+        } else if (point.selection.chosen < best->selection.chosen) {
+            best = &point;
+        }
+    }
+    return *best;
+}
+
+std::string encode_pareto_asp(const MitigationProblem& problem) {
+    // The shared base encoding with the objectives split across priority
+    // levels (lexicographic, higher level first): minimize residual loss,
+    // then mitigation cost, then the number of unblocked threats (i.e.
+    // maximize coverage among cost/residual ties).
+    std::string program = encode_asp(problem);
+    const std::string base_objectives =
+        ":~ active(M), cost(M, C). [C@1, M]\n"
+        ":~ unblocked(S), loss(S, L). [L@1, S]\n";
+    const auto at = program.find(base_objectives);
+    program.replace(at, base_objectives.size(),
+                    ":~ unblocked(S), loss(S, L). [L@3, S]\n"
+                    ":~ active(M), cost(M, C). [C@2, M]\n"
+                    ":~ unblocked(S). [1@1, S]\n");
+    return program;
+}
+
+Result<ParetoFront> pareto_front(const MitigationProblem& problem,
+                                 const OptimizerOptions& options) {
+    obs::Span span(options.trace_sink(), "mitigation.pareto", "mitigation");
+    std::map<std::string, std::string> id_map;
+    for (const Candidate& candidate : problem.candidates) {
+        id_map.emplace(to_identifier(candidate.id), candidate.id);
+    }
+
+    std::vector<ParetoPoint> points;
+    const std::size_t threat_count = problem.threats.size();
+    long long solves = 0;
+    // Outer sweep over coverage floors recovers front points that trade
+    // *more* cost for *more* coverage at equal residual — the staircase
+    // alone (min residual, then cost) cannot see those.
+    for (std::size_t floor = 0; floor <= threat_count; ++floor) {
+        std::optional<long long> bound = options.budget;
+        while (true) {
+            std::string program = encode_pareto_asp(problem);
+            if (floor > 0) {
+                program += ":- #sum { 1, S : unblocked(S) } > " +
+                           std::to_string(threat_count - floor) + ".\n";
+            }
+            if (bound) {
+                program += ":- #sum { C, M : active(M), cost(M, C) } > " +
+                           std::to_string(*bound) + ".\n";
+            }
+            auto solved = asp::solve_text(program);
+            if (!solved.ok()) return Result<ParetoFront>::failure(solved.error());
+            ++solves;
+            if (!solved.value().satisfiable || solved.value().models.empty()) break;
+            const asp::AnswerSet& model = solved.value().models.front();
+            std::vector<std::string> chosen;
+            for (const asp::Atom& atom : model.with_predicate("active")) {
+                if (atom.args.size() == 1 && atom.args[0].is_symbol()) {
+                    auto it = id_map.find(atom.args[0].name());
+                    if (it != id_map.end()) chosen.push_back(it->second);
+                }
+            }
+            ParetoPoint point;
+            point.selection = finalize(problem, std::move(chosen));
+            point.coverage = threat_count - point.selection.unblocked.size();
+            const long long cost = point.selection.mitigation_cost;
+            points.push_back(std::move(point));
+            if (cost == 0) break;  // cheapest end of this floor's staircase
+            bound = cost - 1;      // iterated bound cut
+        }
+    }
+    ParetoFront front(std::move(points));
+    span.arg("solves", solves);
+    span.arg("points", static_cast<long long>(front.size()));
+    obs::add_counter(options.metrics_sink(), "mitigation.pareto.calls");
+    obs::add_counter(options.metrics_sink(), "mitigation.pareto.solves",
+                     static_cast<std::uint64_t>(solves));
+    obs::set_gauge(options.metrics_sink(), "mitigation.pareto.points",
+                   static_cast<long long>(front.size()));
+    return front;
+}
+
+ParetoFront pareto_front_exact(const MitigationProblem& problem,
+                               const OptimizerOptions& options) {
+    const std::size_t n = problem.candidates.size();
+    std::vector<ParetoPoint> points;
+    std::vector<std::string> chosen;
+    long long chosen_cost = 0;
+    std::function<void(std::size_t)> dfs = [&](std::size_t index) {
+        if (index == n) {
+            ParetoPoint point;
+            point.selection = finalize(problem, chosen);
+            point.coverage = problem.threats.size() - point.selection.unblocked.size();
+            points.push_back(std::move(point));
+            return;
+        }
+        const Candidate& candidate = problem.candidates[index];
+        if (!options.budget || chosen_cost + candidate.cost <= *options.budget) {
+            chosen.push_back(candidate.id);
+            chosen_cost += candidate.cost;
+            dfs(index + 1);
+            chosen_cost -= candidate.cost;
+            chosen.pop_back();
+        }
+        dfs(index + 1);
+    };
+    dfs(0);
+    return ParetoFront(std::move(points));
+}
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+HardeningResult harden(const MitigationProblem& problem, const OptimizerOptions& options) {
+    const ParetoFront front = pareto_front_exact(problem, options);
+    HardeningResult result;
+    if (front.empty()) return result;
+    result.selection = front.knee().selection;
+    long long floor = std::numeric_limits<long long>::max();
+    for (const Threat& threat : problem.threats) {
+        if (MitigationProblem::blocks(threat, result.selection.chosen)) continue;
+        if (threat.attack_cost > 0) floor = std::min(floor, threat.attack_cost);
+    }
+    if (floor != std::numeric_limits<long long>::max()) {
+        result.cheapest_remaining_attack = floor;
+    }
+    return result;
+}
+#pragma GCC diagnostic pop
+
+AttackFloorResult harden_attack_cost(const MitigationProblem& problem, long long budget) {
     const std::size_t n = problem.candidates.size();
     std::vector<std::string> chosen;
     long long chosen_cost = 0;
@@ -231,7 +398,7 @@ HardeningResult harden_attack_cost(const MitigationProblem& problem, long long b
     };
     dfs(0);
 
-    HardeningResult result;
+    AttackFloorResult result;
     result.selection = finalize(problem, best_chosen);
     if (best.floor != std::numeric_limits<long long>::max()) {
         result.cheapest_remaining_attack = best.floor;

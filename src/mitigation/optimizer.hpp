@@ -52,6 +52,59 @@ Result<Selection> optimize_asp(const MitigationProblem& problem,
 /// Renders the ASP encoding of `problem` (for inspection and tests).
 std::string encode_asp(const MitigationProblem& problem);
 
+/// One nondominated mitigation portfolio on the (cost, residual risk,
+/// coverage) trade-off surface. Coverage counts the threats the selection
+/// blocks.
+struct ParetoPoint {
+    Selection selection;
+    std::size_t coverage = 0;
+
+    long long cost() const { return selection.mitigation_cost; }
+    long long residual() const { return selection.residual_loss; }
+};
+
+/// The nondominated set over (mitigation cost asc, residual loss asc,
+/// coverage desc). Construction filters dominated points, deduplicates
+/// equal objective tuples toward the lexicographically smallest chosen
+/// set, and sorts by ascending cost — the front is a pure function of the
+/// input points, so reports render it deterministically.
+class ParetoFront {
+public:
+    ParetoFront() = default;
+    explicit ParetoFront(std::vector<ParetoPoint> points);
+
+    const std::vector<ParetoPoint>& points() const { return points_; }
+    bool empty() const { return points_.empty(); }
+    std::size_t size() const { return points_.size(); }
+
+    /// The recommended single plan: minimum total cost (mitigation +
+    /// residual), ties toward higher coverage, then the lexicographically
+    /// smallest chosen set. The deprecated HardeningResult shim reports
+    /// exactly this point. Requires a non-empty front.
+    const ParetoPoint& knee() const;
+
+private:
+    std::vector<ParetoPoint> points_;
+};
+
+/// Primary Pareto engine: the solver's weak-constraint optimization —
+/// residual@3, cost@2, uncovered count@1 — swept under iterated bound
+/// cuts. For each coverage floor the encoding is re-solved with the
+/// mitigation budget cut below the last optimum until unsatisfiable; the
+/// union of optima, filtered by ParetoFront, is the exact nondominated
+/// set (property-tested against pareto_front_exact).
+/// `options.budget`, when set, caps the mitigation cost of every point.
+Result<ParetoFront> pareto_front(const MitigationProblem& problem,
+                                 const OptimizerOptions& options = {});
+
+/// Exhaustive subset-enumeration reference engine (exponential in the
+/// candidate count; for tests and small problems).
+ParetoFront pareto_front_exact(const MitigationProblem& problem,
+                               const OptimizerOptions& options = {});
+
+/// Renders the Pareto ASP encoding of `problem` (inspection and tests).
+std::string encode_pareto_asp(const MitigationProblem& problem);
+
 /// "Raise the bar" hardening (paper §IV-D "most efficient attack"): choose
 /// mitigations, within `budget`, that maximize the attacker's cheapest
 /// remaining option — the minimum `attack_cost` over unblocked attacker
@@ -59,13 +112,32 @@ std::string encode_asp(const MitigationProblem& problem);
 /// ignored by this objective). Ties break toward lower residual loss, then
 /// lower mitigation cost. When every attacker threat can be blocked within
 /// budget, the result reports `hardened_floor == nullopt` (no attack left).
-struct HardeningResult {
+struct AttackFloorResult {
     Selection selection;
     /// Cheapest attack still available, if any.
     std::optional<long long> cheapest_remaining_attack;
 };
 
-HardeningResult harden_attack_cost(const MitigationProblem& problem, long long budget);
+AttackFloorResult harden_attack_cost(const MitigationProblem& problem, long long budget);
+
+/// DEPRECATED one-release shim (the PR 6 deprecation pattern; removal next
+/// release — see docs/quantitative-risk.md for the migration note). The
+/// pre-Pareto single-plan surface: `selection` is exactly
+/// `pareto_front_exact(problem).knee().selection`, and
+/// `cheapest_remaining_attack` is the attack-cost floor that plan leaves
+/// open. New code should consume mitigation::ParetoFront directly.
+struct [[deprecated(
+    "single-plan hardening is superseded by mitigation::ParetoFront; "
+    "use pareto_front(problem) and take front.knee()")]] HardeningResult {
+    Selection selection;
+    std::optional<long long> cheapest_remaining_attack;
+};
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+[[deprecated("use pareto_front(problem) and take front.knee()")]] HardeningResult harden(
+    const MitigationProblem& problem, const OptimizerOptions& options = {});
+#pragma GCC diagnostic pop
 
 /// Multi-phase security consolidation (paper §IV-D: "a multi-phase strategy
 /// where the actions can be prioritized"): repeatedly solve under the

@@ -40,6 +40,18 @@ enum class FaultEffect : std::uint8_t {
 
 std::string_view to_string(FaultEffect effect);
 
+/// Optional explicit Beta prior over a fault mode's activation probability,
+/// as written in the model bundle (`prior=A/B` pseudo-counts or
+/// `prior=logodds:X`). Plain data here; the Bayesian semantics live in
+/// risk/prior.hpp. `spec` keeps the verbatim source text so serialization
+/// round-trips byte-identically.
+struct FaultPrior {
+    bool present = false;
+    double alpha = 0.0;  ///< Beta pseudo-count of activation
+    double beta = 0.0;   ///< Beta pseudo-count of non-activation
+    std::string spec;    ///< source text after "prior=", verbatim
+};
+
 /// A fault mode attached to a component type or instance. `forced_value` is
 /// meaningful for StuckAt faults (e.g. "open", "closed").
 struct FaultMode {
@@ -48,6 +60,7 @@ struct FaultMode {
     std::string forced_value;  ///< StuckAt target state, if any
     qual::Level severity = qual::Level::Medium;   ///< local severity estimate
     qual::Level likelihood = qual::Level::Medium; ///< occurrence likelihood
+    FaultPrior prior{};        ///< optional explicit likelihood prior
 };
 
 /// A component instance in the system model.

@@ -1,5 +1,9 @@
 #include "model/dsl.hpp"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <optional>
 #include <sstream>
 
 #include "common/strings.hpp"
@@ -67,6 +71,40 @@ Result<std::map<std::string, std::string>> parse_options(
         options[fields[i].substr(0, eq)] = fields[i].substr(eq + 1);
     }
     return options;
+}
+
+/// Parses a `prior=` fault option: "A/B" Beta pseudo-counts (both positive)
+/// or "logodds:X" (converted to a strength-10 Beta around mean
+/// 1/(1+e^-X)). Returns (alpha, beta), or nullopt on malformed input.
+std::optional<std::pair<double, double>> parse_prior_spec(const std::string& spec) {
+    auto parse_double = [](const std::string& text, double* out) {
+        if (text.empty()) return false;
+        errno = 0;
+        char* end = nullptr;
+        const double value = std::strtod(text.c_str(), &end);
+        if (errno != 0 || end != text.c_str() + text.size() || !std::isfinite(value)) {
+            return false;
+        }
+        *out = value;
+        return true;
+    };
+    if (spec.rfind("logodds:", 0) == 0) {
+        double log_odds = 0.0;
+        if (!parse_double(spec.substr(8), &log_odds)) return std::nullopt;
+        const double mean = 1.0 / (1.0 + std::exp(-log_odds));
+        constexpr double kStrength = 10.0;
+        return std::make_pair(mean * kStrength, kStrength - mean * kStrength);
+    }
+    const auto slash = spec.find('/');
+    if (slash == std::string::npos || slash == 0 || slash + 1 >= spec.size()) {
+        return std::nullopt;
+    }
+    double alpha = 0.0;
+    double beta = 0.0;
+    if (!parse_double(spec.substr(0, slash), &alpha)) return std::nullopt;
+    if (!parse_double(spec.substr(slash + 1), &beta)) return std::nullopt;
+    if (!(alpha > 0.0) || !(beta > 0.0)) return std::nullopt;
+    return std::make_pair(alpha, beta);
 }
 
 }  // namespace
@@ -209,6 +247,22 @@ SystemModel parse_model_lenient(std::string_view text, DiagnosticSink& sink,
                     mode.likelihood = level.value();
                 } else if (key == "forced") {
                     mode.forced_value = value;
+                } else if (key == "prior") {
+                    // Lenient: a malformed prior degrades to the likelihood
+                    // default with a warning instead of rejecting the fault.
+                    auto parsed = parse_prior_spec(value);
+                    if (!parsed.has_value()) {
+                        sink.warning("model-bad-prior",
+                                     "malformed prior '" + value +
+                                         "' (expected A/B pseudo-counts or logodds:X); "
+                                         "falling back to the likelihood default",
+                                     SourceLoc{line_no, 1});
+                    } else {
+                        mode.prior.present = true;
+                        mode.prior.alpha = parsed->first;
+                        mode.prior.beta = parsed->second;
+                        mode.prior.spec = value;
+                    }
                 } else {
                     report("cpm-syntax", line_no, "unknown fault option '" + key + "'");
                     options_ok = false;
@@ -323,6 +377,7 @@ std::string serialize_model(const SystemModel& model) {
                 out += " likelihood=" + std::string(qual::to_short_string(mode.likelihood));
             }
             if (!mode.forced_value.empty()) out += " forced=" + mode.forced_value;
+            if (mode.prior.present) out += " prior=" + mode.prior.spec;
             out += "\n";
         }
     }

@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "common/json.hpp"
+#include "common/schema.hpp"
 
 namespace cprisk::obs {
 
@@ -65,6 +66,7 @@ std::string MetricsRegistry::export_json() const {
         json::set(histograms, name, std::move(entry));
     }
     json::Object root;
+    json::set(root, "schema_version", kSchemaVersion);
     json::set(root, "counters", std::move(counters));
     json::set(root, "gauges", std::move(gauges));
     json::set(root, "histograms", std::move(histograms));

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/json.hpp"
+#include "common/schema.hpp"
 
 namespace cprisk::obs {
 
@@ -86,6 +87,7 @@ std::string ChromeTraceSink::export_json() const {
         events.push_back(std::move(entry));
     }
     json::Object root;
+    json::set(root, "schema_version", kSchemaVersion);
     json::set(root, "traceEvents", std::move(events));
     json::set(root, "displayTimeUnit", "ms");
     return json::Value(std::move(root)).serialize() + "\n";

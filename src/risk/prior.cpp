@@ -1,0 +1,232 @@
+#include "risk/prior.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <set>
+
+namespace cprisk::risk {
+
+std::string_view to_string(PriorityPolicy policy) {
+    switch (policy) {
+        case PriorityPolicy::Enumeration: return "enumeration";
+        case PriorityPolicy::ExpectedRisk: return "expected_risk";
+    }
+    return "enumeration";
+}
+
+std::optional<PriorityPolicy> parse_priority_policy(std::string_view text) {
+    if (text == "enumeration") return PriorityPolicy::Enumeration;
+    // The journal echo spells it "expected_risk"; the CLI flag prefers the
+    // hyphenated form. Accept both so echoes parse back.
+    if (text == "expected_risk" || text == "expected-risk") return PriorityPolicy::ExpectedRisk;
+    return std::nullopt;
+}
+
+BetaPrior BetaPrior::from_likelihood(qual::Level likelihood) {
+    // Five-point scale anchored to occurrence-probability means; pseudo-count
+    // strength 10 keeps the defaults deliberately vague (sd ~ 0.1) so that
+    // explicit `prior=` parameters visibly sharpen or widen the bands.
+    static constexpr double kMeans[] = {0.02, 0.08, 0.2, 0.45, 0.8};
+    const double mean = kMeans[qual::index_of(likelihood)];
+    constexpr double kStrength = 10.0;
+    BetaPrior prior;
+    prior.alpha = mean * kStrength;
+    prior.beta = kStrength - prior.alpha;
+    prior.explicit_spec = false;
+    return prior;
+}
+
+BetaPrior BetaPrior::from_fault(const model::FaultMode& fault) {
+    if (fault.prior.present) {
+        BetaPrior prior;
+        prior.alpha = fault.prior.alpha;
+        prior.beta = fault.prior.beta;
+        prior.explicit_spec = true;
+        return prior;
+    }
+    return from_likelihood(fault.likelihood);
+}
+
+PriorSet PriorSet::from_model(const model::SystemModel& model) {
+    PriorSet set;
+    for (const model::Component& component : model.components()) {
+        for (const model::FaultMode& mode : component.fault_modes) {
+            BetaPrior prior = BetaPrior::from_fault(mode);
+            set.any_explicit_ = set.any_explicit_ || prior.explicit_spec;
+            set.priors_.emplace(std::make_pair(component.id, mode.id), prior);
+        }
+    }
+    return set;
+}
+
+const BetaPrior* PriorSet::find(const model::ComponentId& component,
+                                const std::string& fault_id) const {
+    auto it = priors_.find(std::make_pair(component, fault_id));
+    return it == priors_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/// Forward closure of the dependency relations from `root`; impact is the
+/// worst asset value an activated fault can propagate to.
+int reach_impact_index(const model::SystemModel& model, const model::ComponentId& root) {
+    std::set<model::ComponentId> visited{root};
+    std::deque<model::ComponentId> frontier{root};
+    int impact = qual::index_of(model.component(root).asset_value);
+    while (!frontier.empty()) {
+        model::ComponentId current = frontier.front();
+        frontier.pop_front();
+        for (const model::Relation& relation : model.relations()) {
+            if (relation.source != current) continue;
+            if (!visited.insert(relation.target).second) continue;
+            if (model.has_component(relation.target)) {
+                impact = std::max(impact,
+                                  qual::index_of(model.component(relation.target).asset_value));
+            }
+            frontier.push_back(relation.target);
+        }
+    }
+    return impact;
+}
+
+}  // namespace
+
+ScenarioPriority::ScenarioPriority(const model::SystemModel& model, PriorityPolicy policy)
+    : model_(&model), policy_(policy), priors_(PriorSet::from_model(model)) {
+    for (const model::Component& component : model.components()) {
+        reach_impact_.emplace(component.id, reach_impact_index(model, component.id));
+    }
+}
+
+double ScenarioPriority::joint_mean(const std::vector<security::Mutation>& mutations,
+                                    int* weight_index) const {
+    double joint = 1.0;
+    int weight = 0;
+    for (const security::Mutation& mutation : mutations) {
+        const BetaPrior* prior = priors_.find(mutation.component, mutation.fault_id);
+        const double mean =
+            prior != nullptr ? prior->mean()
+                             : BetaPrior::from_likelihood(qual::Level::Medium).mean();
+        joint *= mean;
+        int impact = 0;
+        auto reach = reach_impact_.find(mutation.component);
+        if (reach != reach_impact_.end()) impact = reach->second;
+        if (model_->has_component(mutation.component)) {
+            const model::FaultMode* mode =
+                model_->component(mutation.component).find_fault_mode(mutation.fault_id);
+            if (mode != nullptr) impact = std::max(impact, qual::index_of(mode->severity));
+        }
+        weight = std::max(weight, impact);
+    }
+    if (weight_index != nullptr) *weight_index = weight;
+    return joint;
+}
+
+long long ScenarioPriority::score_micros(const std::vector<security::Mutation>& mutations) const {
+    if (mutations.empty()) return 0;
+    int weight_index = 0;
+    const double joint = joint_mean(mutations, &weight_index);
+    return std::llround(joint * static_cast<double>(1LL << weight_index) * 1e6);
+}
+
+long long ScenarioPriority::score_micros(const security::AttackScenario& scenario) const {
+    return score_micros(scenario.mutations);
+}
+
+void ScenarioPriority::order(std::vector<security::AttackScenario>& scenarios) const {
+    if (policy_ != PriorityPolicy::ExpectedRisk) return;
+    std::vector<std::pair<long long, std::size_t>> keyed;
+    keyed.reserve(scenarios.size());
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        keyed.emplace_back(score_micros(scenarios[i]), i);
+    }
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [&scenarios](const auto& a, const auto& b) {
+                         if (a.first != b.first) return a.first > b.first;
+                         return scenarios[a.second].id < scenarios[b.second].id;
+                     });
+    std::vector<security::AttackScenario> ordered;
+    ordered.reserve(scenarios.size());
+    for (const auto& [score, index] : keyed) ordered.push_back(std::move(scenarios[index]));
+    scenarios = std::move(ordered);
+}
+
+int ScenarioPriority::likelihood_band_radius(const security::AttackScenario& scenario) const {
+    bool any_explicit = false;
+    double max_sd = 0.0;
+    for (const security::Mutation& mutation : scenario.mutations) {
+        const BetaPrior* prior = priors_.find(mutation.component, mutation.fault_id);
+        if (prior == nullptr) continue;
+        any_explicit = any_explicit || prior->explicit_spec;
+        max_sd = std::max(max_sd, std::sqrt(prior->variance()));
+    }
+    if (!any_explicit) return 1;  // pre-prior +/-1 sweep
+    if (max_sd <= 0.05) return 0;
+    if (max_sd <= 0.15) return 1;
+    return 2;
+}
+
+CoverageEstimate ScenarioPriority::coverage(const std::vector<security::AttackScenario>& scenarios,
+                                            const std::vector<bool>& decided,
+                                            unsigned long long seed) const {
+    CoverageEstimate estimate;
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        const long long score = score_micros(scenarios[i]);
+        estimate.total_micros += score;
+        if (i < decided.size() && decided[i]) estimate.covered_micros += score;
+    }
+    if (estimate.total_micros <= 0) return estimate;
+
+    // 64 posterior draws: every fault prior is sampled once per draw (normal
+    // approximation of the Beta posterior), scenario scores recomputed with
+    // the sampled activation probabilities, and the covered fraction
+    // collected. The LCG makes the bound a pure function of (model, seed).
+    constexpr int kDraws = 64;
+    unsigned long long state = seed * 0x9E3779B97F4A7C15ull + 0x2545F4914F6CDD1Dull;
+    auto next_uniform = [&state]() {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return static_cast<double>(state >> 11) / 9007199254740992.0;
+    };
+    std::vector<double> fractions;
+    fractions.reserve(kDraws);
+    for (int draw = 0; draw < kDraws; ++draw) {
+        std::map<std::pair<model::ComponentId, std::string>, double> sampled;
+        for (const model::Component& component : model_->components()) {
+            for (const model::FaultMode& mode : component.fault_modes) {
+                const BetaPrior prior = BetaPrior::from_fault(mode);
+                const double u1 = std::max(next_uniform(), 1e-12);
+                const double u2 = next_uniform();
+                const double z =
+                    std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * 3.141592653589793 * u2);
+                const double p = std::clamp(prior.mean() + z * std::sqrt(prior.variance()),
+                                            1e-9, 1.0);
+                sampled.emplace(std::make_pair(component.id, mode.id), p);
+            }
+        }
+        double covered = 0.0;
+        double total = 0.0;
+        for (std::size_t i = 0; i < scenarios.size(); ++i) {
+            if (scenarios[i].mutations.empty()) continue;
+            double joint = 1.0;
+            int weight_index = 0;
+            joint_mean(scenarios[i].mutations, &weight_index);  // reuse weight derivation
+            for (const security::Mutation& mutation : scenarios[i].mutations) {
+                auto it = sampled.find(std::make_pair(mutation.component, mutation.fault_id));
+                joint *= it != sampled.end()
+                             ? it->second
+                             : BetaPrior::from_likelihood(qual::Level::Medium).mean();
+            }
+            const double score = joint * static_cast<double>(1LL << weight_index);
+            total += score;
+            if (i < decided.size() && decided[i]) covered += score;
+        }
+        fractions.push_back(total > 0.0 ? covered / total : 1.0);
+    }
+    std::sort(fractions.begin(), fractions.end());
+    const std::size_t index = (fractions.size() * 5) / 100;  // 5th percentile
+    estimate.lower_bound_micros = std::llround(fractions[index] * 1e6);
+    return estimate;
+}
+
+}  // namespace cprisk::risk

@@ -1,0 +1,135 @@
+// cprisk/risk/prior.hpp
+//
+// Bayesian likelihood priors and the anytime priority policy (ROADMAP item
+// 4, following Huang et al., arXiv:2509.00770). Each catalog fault mode
+// carries a Beta prior over its activation probability — explicit
+// `prior=A/B` or `prior=logodds:X` parameters from the model bundle, or a
+// deterministic default derived from the qualitative likelihood level.
+// Priors propagate through the dependency graph to a per-scenario
+// *expected-risk score*: the joint activation probability of the scenario's
+// mutations times an impact weight taken from the worst asset reachable
+// from the faulted components.
+//
+// Scores are fixed to integer micro-units so they can ride in JSON journals
+// (common/json.hpp is float-free) and order scenarios deterministically:
+// descending expected risk, ties broken by ascending scenario id. A
+// `--deadline-ms` interruption under PriorityPolicy::ExpectedRisk therefore
+// reports the highest-risk coverage first, with a posterior confidence
+// bound on the covered risk mass in the Completeness section.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/system_model.hpp"
+#include "qualitative/level.hpp"
+#include "security/scenario.hpp"
+
+namespace cprisk::risk {
+
+/// Order in which sweeps evaluate the scenario space.
+enum class PriorityPolicy : std::uint8_t {
+    Enumeration,   ///< generation order (pre-PR-10 behaviour)
+    ExpectedRisk,  ///< descending expected risk, ties by ascending id
+};
+
+std::string_view to_string(PriorityPolicy policy);
+std::optional<PriorityPolicy> parse_priority_policy(std::string_view text);
+
+/// Beta(alpha, beta) prior over a fault mode's activation probability.
+struct BetaPrior {
+    double alpha = 1.0;
+    double beta = 1.0;
+    bool explicit_spec = false;  ///< came from a `prior=` model option
+
+    double mean() const { return alpha / (alpha + beta); }
+    double variance() const {
+        const double n = alpha + beta;
+        return alpha * beta / (n * n * (n + 1.0));
+    }
+
+    /// Deterministic default for a fault without explicit parameters: the
+    /// five-point likelihood scale mapped to pseudo-count strength 10.
+    static BetaPrior from_likelihood(qual::Level likelihood);
+    /// Explicit parameters when present, `from_likelihood` otherwise.
+    static BetaPrior from_fault(const model::FaultMode& fault);
+};
+
+/// All fault-mode priors of one model, keyed by (component, fault id).
+class PriorSet {
+public:
+    static PriorSet from_model(const model::SystemModel& model);
+
+    /// Null when the component/fault pair is unknown to the model.
+    const BetaPrior* find(const model::ComponentId& component, const std::string& fault_id) const;
+    /// True when any entry carries explicit `prior=` parameters.
+    bool any_explicit() const { return any_explicit_; }
+    std::size_t size() const { return priors_.size(); }
+
+private:
+    std::map<std::pair<model::ComponentId, std::string>, BetaPrior> priors_;
+    bool any_explicit_ = false;
+};
+
+/// Point and interval estimate of the covered share of expected risk.
+struct CoverageEstimate {
+    long long covered_micros = 0;  ///< summed score of decided scenarios
+    long long total_micros = 0;    ///< summed score of the whole space
+    /// Posterior 5th-percentile lower bound on the covered fraction, in
+    /// micro-units of probability (0..1000000); -1 when total risk is zero.
+    long long lower_bound_micros = -1;
+};
+
+/// Scores and orders scenarios for one model under one policy. Construction
+/// precomputes the reachability-based impact weights; scoring is pure.
+class ScenarioPriority {
+public:
+    ScenarioPriority(const model::SystemModel& model, PriorityPolicy policy);
+
+    PriorityPolicy policy() const { return policy_; }
+    const PriorSet& priors() const { return priors_; }
+
+    /// Expected-risk score in micro-units: joint prior mean of the
+    /// scenario's mutations times 2^(impact level index). Zero for the
+    /// empty (no-mutation) scenario.
+    long long score_micros(const security::AttackScenario& scenario) const;
+
+    /// Same score for a raw mutation set (frontier candidates that have no
+    /// scenario id yet).
+    long long score_micros(const std::vector<security::Mutation>& mutations) const;
+
+    /// Stable in-place reorder: descending score, ties by ascending id.
+    /// No-op under PriorityPolicy::Enumeration.
+    void order(std::vector<security::AttackScenario>& scenarios) const;
+
+    /// Sensitivity band half-width (in qualitative levels, 0..2) for the
+    /// scenario's likelihood, derived from the widest prior standard
+    /// deviation among its mutations. 1 reproduces the pre-prior +/-1
+    /// sweep; sharp explicit priors narrow it to 0, weak ones widen to 2.
+    int likelihood_band_radius(const security::AttackScenario& scenario) const;
+
+    /// Covered-risk estimate over `scenarios` where `decided[i]` marks the
+    /// scenarios with a definitive verdict. The lower bound is the 5th
+    /// percentile of the coverage fraction over 64 posterior draws from the
+    /// fault priors, generated by a seeded deterministic LCG.
+    CoverageEstimate coverage(const std::vector<security::AttackScenario>& scenarios,
+                              const std::vector<bool>& decided,
+                              unsigned long long seed) const;
+
+private:
+    double joint_mean(const std::vector<security::Mutation>& mutations, int* weight_index) const;
+
+    const model::SystemModel* model_;
+    PriorityPolicy policy_;
+    PriorSet priors_;
+    /// Per-component impact level index: max asset value over the forward
+    /// closure of the dependency relations (the faulted component itself
+    /// included).
+    std::map<model::ComponentId, int> reach_impact_;
+};
+
+}  // namespace cprisk::risk

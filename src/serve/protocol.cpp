@@ -1,5 +1,7 @@
 #include "serve/protocol.hpp"
 
+#include "common/schema.hpp"
+
 namespace cprisk::serve {
 
 namespace {
@@ -120,6 +122,7 @@ Result<Request> parse_request(const std::string& line, std::string* id_out) {
 
 json::Object ok_reply(const std::string& id, const char* op) {
     json::Object reply;
+    json::set(reply, "schema_version", kSchemaVersion);
     json::set(reply, "id", id);
     json::set(reply, "ok", true);
     json::set(reply, "op", op);
@@ -131,6 +134,7 @@ json::Value error_reply(const std::string& id, const char* code, const std::stri
     json::set(error, "code", code);
     json::set(error, "message", message);
     json::Object reply;
+    json::set(reply, "schema_version", kSchemaVersion);
     json::set(reply, "id", id);
     json::set(reply, "ok", false);
     json::set(reply, "error", std::move(error));

@@ -1,6 +1,7 @@
 // Report emitters and §II-A parameter-criticality support.
 #include <gtest/gtest.h>
 
+#include "common/schema.hpp"
 #include "core/report.hpp"
 #include "core/watertank.hpp"
 
@@ -68,6 +69,107 @@ TEST(Report, CriticalityMatchesOraMatrix) {
         EXPECT_EQ(c.sensitive_to_severity, !c.rating_range_severity.is_exact());
         EXPECT_EQ(c.sensitive_to_likelihood, !c.rating_range_likelihood.is_exact());
     }
+}
+
+TEST(Report, JsonExportLeadsWithTheSchemaVersion) {
+    const std::string json = render_report_json(sample_report());
+    const std::string expected =
+        "{\"schema_version\":" + std::to_string(kSchemaVersion) + ",";
+    EXPECT_EQ(json.rfind(expected, 0), 0u) << json.substr(0, 60);
+}
+
+TEST(Report, CompletenessCarriesThePriorityCoverageSummary) {
+    // sample_report runs under the default ExpectedRisk policy.
+    ASSERT_TRUE(sample_report().priority.enabled);
+    const std::string md = render_markdown(sample_report());
+    EXPECT_NE(md.find("- priority policy: expected_risk"), std::string::npos);
+    EXPECT_NE(md.find("- expected-risk coverage: "), std::string::npos);
+    // A complete run covers the whole mass and bounds near certainty.
+    EXPECT_EQ(sample_report().priority.covered_risk_micros,
+              sample_report().priority.total_risk_micros);
+
+    const std::string json = render_report_json(sample_report());
+    EXPECT_NE(json.find("\"priority\":{\"policy\":\"expected_risk\""), std::string::npos);
+    EXPECT_NE(json.find("\"covered_risk_micros\":"), std::string::npos);
+    EXPECT_NE(json.find("\"coverage_lower_bound_micros\":"), std::string::npos);
+}
+
+TEST(Report, ParetoSectionRendersOnlyWhenComputed) {
+    // The base report was run without --pareto: no section, empty table,
+    // empty CSV, knee index -1.
+    EXPECT_FALSE(sample_report().pareto.has_value());
+    EXPECT_EQ(render_markdown(sample_report()).find("### Pareto front"),
+              std::string::npos);
+    EXPECT_TRUE(render_pareto_csv(sample_report()).empty());
+    EXPECT_EQ(render_report_json(sample_report()).find("\"pareto\""), std::string::npos);
+
+    auto built = WaterTankCaseStudy::build();
+    ASSERT_TRUE(built.ok()) << built.error();
+    RiskAssessment assessment(built.value().system, built.value().requirements,
+                              built.value().topology_requirements, built.value().matrix,
+                              built.value().mitigations);
+    AssessmentConfig config;
+    config.horizon = built.value().horizon;
+    config.include_attack_scenarios = false;
+    config.pareto = true;
+    auto run = assessment.run(config);
+    ASSERT_TRUE(run.ok()) << run.error();
+    const AssessmentReport& report = run.value();
+    ASSERT_TRUE(report.pareto.has_value());
+    ASSERT_FALSE(report.pareto->empty());
+
+    const std::string md = render_markdown(report);
+    EXPECT_NE(md.find("### Pareto front (cost / residual risk / coverage)"),
+              std::string::npos);
+    // Exactly one row wears the knee marker.
+    const std::string csv = render_pareto_csv(report);
+    EXPECT_FALSE(csv.empty());
+    std::size_t knees = 0;
+    std::size_t from = 0;
+    while ((from = csv.find("*", from)) != std::string::npos) {
+        ++knees;
+        ++from;
+    }
+    EXPECT_EQ(knees, 1u);
+
+    const std::string json = render_report_json(report);
+    EXPECT_NE(json.find("\"pareto\":{\"points\":["), std::string::npos);
+    EXPECT_NE(json.find("\"knee\":"), std::string::npos);
+    // The knee the JSON names is the front's knee() point.
+    const auto knee_pos = json.find("\"knee\":", json.find("\"pareto\":"));
+    ASSERT_NE(knee_pos, std::string::npos);
+    const long long knee_index = std::stoll(json.substr(knee_pos + 7));
+    ASSERT_GE(knee_index, 0);
+    ASSERT_LT(static_cast<std::size_t>(knee_index), report.pareto->size());
+    EXPECT_EQ(&report.pareto->points()[static_cast<std::size_t>(knee_index)],
+              &report.pareto->knee());
+}
+
+TEST(Report, SensitivityBandWidthFollowsThePriorRadius) {
+    AssessmentReport report;
+    for (const int radius : {0, 1, 2}) {
+        ScenarioRisk risk;
+        risk.scenario_id = "r" + std::to_string(radius);
+        risk.loss_magnitude = qual::Level::Medium;
+        risk.loss_event_frequency = qual::Level::Medium;
+        risk.risk = risk::ora_risk(risk.loss_magnitude, risk.loss_event_frequency);
+        risk.likelihood_band_radius = radius;
+        report.risks.push_back(risk);
+    }
+    const auto criticality = analyze_parameter_criticality(report);
+    ASSERT_EQ(criticality.size(), 3u);
+    // Radius 0: the likelihood sweep is a point — never sensitive.
+    EXPECT_EQ(criticality[0].likelihood_band_radius, 0);
+    EXPECT_TRUE(criticality[0].rating_range_likelihood.is_exact());
+    EXPECT_FALSE(criticality[0].sensitive_to_likelihood);
+    // Wider radii sweep wider level bands (M±1 vs M±2 on the LEF axis).
+    EXPECT_EQ(criticality[1].likelihood_band_radius, 1);
+    EXPECT_EQ(criticality[2].likelihood_band_radius, 2);
+    // The markdown table spells the band out per row.
+    const std::string md = render_markdown(report);
+    EXPECT_NE(md.find("| likelihood band |"), std::string::npos);
+    EXPECT_NE(md.find("(+/-0)"), std::string::npos);
+    EXPECT_NE(md.find("(+/-2)"), std::string::npos);
 }
 
 TEST(Report, SaturatedEstimatesAreRobust) {

@@ -82,6 +82,7 @@ TEST(DiagnosticsTest, RenderJsonEscapesAndCounts) {
     EXPECT_NE(json.find("quote \\\" backslash \\\\ newline \\n end"), std::string::npos);
     EXPECT_NE(json.find("\"errors\": 1"), std::string::npos);
     EXPECT_NE(json.find("\"warnings\": 0"), std::string::npos);
+    EXPECT_EQ(json.rfind("{\n  \"schema_version\": 2,", 0), 0u);
 }
 
 TEST(SourceLocTest, ValidityAndToString) {

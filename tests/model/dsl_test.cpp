@@ -102,6 +102,51 @@ TEST(Dsl, RoundTrip) {
     EXPECT_EQ(second.value().behaviors("ctrl"), first.value().behaviors("ctrl"));
 }
 
+TEST(Dsl, PriorOptionsParseAndRoundTripVerbatim) {
+    const char* text =
+        "component pump actuator\n"
+        "fault pump stuck stuck_at prior=3/7\n"
+        "fault pump leak corruption prior=logodds:1.5\n";
+    auto model = parse_model(text);
+    ASSERT_TRUE(model.ok()) << model.error();
+    const auto& modes = model.value().component("pump").fault_modes;
+    ASSERT_EQ(modes.size(), 2u);
+    EXPECT_TRUE(modes[0].prior.present);
+    EXPECT_DOUBLE_EQ(modes[0].prior.alpha, 3.0);
+    EXPECT_DOUBLE_EQ(modes[0].prior.beta, 7.0);
+    EXPECT_TRUE(modes[1].prior.present);
+
+    // The spec is stored verbatim, so serialization round-trips byte-exactly
+    // (logodds is NOT rewritten to pseudo-counts).
+    const std::string serialized = serialize_model(model.value());
+    EXPECT_NE(serialized.find("prior=3/7"), std::string::npos);
+    EXPECT_NE(serialized.find("prior=logodds:1.5"), std::string::npos);
+    auto reparsed = parse_model(serialized);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.error();
+    EXPECT_EQ(serialized, serialize_model(reparsed.value()));
+}
+
+TEST(Dsl, MalformedPriorDegradesToALikelihoodDefaultWithAWarning) {
+    const char* text =
+        "component pump actuator\n"
+        "fault pump stuck stuck_at likelihood=H prior=banana\n";
+    DiagnosticSink sink;
+    const SystemModel model = parse_model_lenient(text, sink);
+    // Lenient: the fault survives, only its prior is dropped.
+    ASSERT_EQ(model.component("pump").fault_modes.size(), 1u);
+    EXPECT_FALSE(model.component("pump").fault_modes[0].prior.present);
+    EXPECT_EQ(model.component("pump").fault_modes[0].likelihood, qual::Level::High);
+    ASSERT_EQ(sink.diagnostics().size(), 1u);
+    EXPECT_EQ(sink.diagnostics()[0].severity, Severity::Warning);
+    EXPECT_EQ(sink.diagnostics()[0].rule, "model-bad-prior");
+
+    // Degenerate numeric specs are malformed too: zero or negative
+    // pseudo-counts never produce a prior.
+    DiagnosticSink zeros;
+    parse_model_lenient("component p node\nfault p f omission prior=0/5\n", zeros);
+    EXPECT_TRUE(zeros.has_warnings());
+}
+
 TEST(Dsl, TypeParsersRoundTrip) {
     for (int i = 0; i <= static_cast<int>(ElementType::Material); ++i) {
         const auto type = static_cast<ElementType>(i);

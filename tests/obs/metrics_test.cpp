@@ -105,7 +105,8 @@ TEST(MetricsTest, ExportGoldenByteExact) {
     registry.histogram("h.dist").observe(0);
     registry.histogram("h.dist").observe(4);
     const std::string expected =
-        "{\"counters\":{\"a.count\":1,\"b.count\":2},"
+        "{\"schema_version\":2,"
+        "\"counters\":{\"a.count\":1,\"b.count\":2},"
         "\"gauges\":{\"z.gauge\":-3},"
         "\"histograms\":{\"h.dist\":{\"count\":2,\"sum\":4,"
         "\"buckets\":{\"le_2^0\":1,\"le_2^2\":1}}}}\n";
@@ -115,7 +116,7 @@ TEST(MetricsTest, ExportGoldenByteExact) {
 TEST(MetricsTest, ExportSectionsPresentWhenEmpty) {
     MetricsRegistry registry;
     EXPECT_EQ(registry.export_json(),
-              "{\"counters\":{},\"gauges\":{},\"histograms\":{}}\n");
+              "{\"schema_version\":2,\"counters\":{},\"gauges\":{},\"histograms\":{}}\n");
 }
 
 TEST(MetricsTest, WriteFileRoundTrips) {

@@ -135,7 +135,7 @@ TEST(ChromeTraceSinkTest, ExportMatchesChromeTraceEventSchema) {
         span.arg("verdict", "hazard");
     }
     const std::string json = sink.export_json();
-    EXPECT_NE(json.find("{\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("{\"schema_version\":2,\"traceEvents\":["), std::string::npos);
     EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
     // Every event is a complete-duration ("ph":"X") record with the
     // required chrome://tracing keys.
@@ -163,7 +163,8 @@ TEST(ChromeTraceSinkTest, ExportGoldenModuloWallClock) {
         span.arg("models", 1LL);
     }
     const std::string expected =
-        "{\"traceEvents\":[{\"name\":\"asp.solve\",\"cat\":\"solve\",\"ph\":\"X\","
+        "{\"schema_version\":2,"
+        "\"traceEvents\":[{\"name\":\"asp.solve\",\"cat\":\"solve\",\"ph\":\"X\","
         "\"ts\":0,\"dur\":0,\"pid\":0,\"tid\":0,\"args\":{\"scope\":\"s1\","
         "\"depth\":0,\"models\":\"1\"}}],\"displayTimeUnit\":\"ms\"}\n";
     EXPECT_EQ(mask_wall_clock(sink.export_json()), expected);

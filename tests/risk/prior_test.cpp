@@ -1,0 +1,189 @@
+// Bayesian likelihood priors and the anytime priority policy
+// (risk/prior.hpp, docs/quantitative-risk.md): policy parsing, default and
+// explicit Beta parameters, expected-risk scoring, deterministic ordering,
+// sensitivity band radii, and the posterior coverage bound.
+#include "risk/prior.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "model/dsl.hpp"
+
+namespace cprisk::risk {
+namespace {
+
+constexpr const char* kChain = R"(
+component sensor sensor asset=L
+component ctrl controller asset=M
+component pump actuator asset=VH
+
+fault sensor drift corruption severity=L likelihood=H
+fault ctrl crash omission severity=M likelihood=L
+fault pump stuck stuck_at forced=open severity=H likelihood=VL
+
+relation sensor signal_flow ctrl
+relation ctrl triggering pump
+)";
+
+model::SystemModel chain_model(const std::string& extra = "") {
+    auto parsed = model::parse_model(std::string(kChain) + extra);
+    EXPECT_TRUE(parsed.ok()) << parsed.error();
+    return std::move(parsed).value();
+}
+
+security::AttackScenario scenario(std::string id,
+                                  std::vector<security::Mutation> mutations) {
+    security::AttackScenario s;
+    s.id = std::move(id);
+    s.mutations = std::move(mutations);
+    return s;
+}
+
+TEST(PriorityPolicy, NamesRoundTripAndAcceptTheCliSpelling) {
+    EXPECT_EQ(to_string(PriorityPolicy::Enumeration), "enumeration");
+    EXPECT_EQ(to_string(PriorityPolicy::ExpectedRisk), "expected_risk");
+    // The journal echo parses back, and so does the hyphenated CLI form.
+    EXPECT_EQ(parse_priority_policy("enumeration"), PriorityPolicy::Enumeration);
+    EXPECT_EQ(parse_priority_policy("expected_risk"), PriorityPolicy::ExpectedRisk);
+    EXPECT_EQ(parse_priority_policy("expected-risk"), PriorityPolicy::ExpectedRisk);
+    EXPECT_FALSE(parse_priority_policy("fifo").has_value());
+    EXPECT_FALSE(parse_priority_policy("").has_value());
+}
+
+TEST(BetaPrior, LikelihoodDefaultsAreTheFivePointScale) {
+    const double expected[] = {0.02, 0.08, 0.2, 0.45, 0.8};
+    for (int i = 0; i < 5; ++i) {
+        const BetaPrior prior = BetaPrior::from_likelihood(qual::kAllLevels[i]);
+        EXPECT_NEAR(prior.mean(), expected[i], 1e-9);
+        EXPECT_NEAR(prior.alpha + prior.beta, 10.0, 1e-9);  // strength 10
+        EXPECT_FALSE(prior.explicit_spec);
+    }
+}
+
+TEST(BetaPrior, ExplicitParametersWinOverTheLikelihoodLevel) {
+    const model::SystemModel model =
+        chain_model("fault pump leak corruption likelihood=VL prior=9/1\n");
+    const PriorSet priors = PriorSet::from_model(model);
+    EXPECT_TRUE(priors.any_explicit());
+    const BetaPrior* leak = priors.find("pump", "leak");
+    ASSERT_NE(leak, nullptr);
+    EXPECT_TRUE(leak->explicit_spec);
+    EXPECT_NEAR(leak->mean(), 0.9, 1e-9);
+    // The sibling fault without prior= keeps its likelihood default.
+    const BetaPrior* stuck = priors.find("pump", "stuck");
+    ASSERT_NE(stuck, nullptr);
+    EXPECT_FALSE(stuck->explicit_spec);
+    EXPECT_NEAR(stuck->mean(), 0.02, 1e-9);
+}
+
+TEST(ScenarioPriority, EmptyMutationSetScoresZero) {
+    const model::SystemModel model = chain_model();
+    const ScenarioPriority priority(model, PriorityPolicy::ExpectedRisk);
+    EXPECT_EQ(priority.score_micros(scenario("S0", {})), 0);
+}
+
+TEST(ScenarioPriority, ImpactWeightFollowsTheDependencyReach) {
+    // sensor drift: mean 0.45, and the forward closure sensor->ctrl->pump
+    // reaches the VH pump, so the weight index is 4: 0.45 * 16 = 7.2.
+    const model::SystemModel model = chain_model();
+    const ScenarioPriority priority(model, PriorityPolicy::ExpectedRisk);
+    EXPECT_EQ(priority.score_micros(scenario("S1", {{"sensor", "drift"}})), 7200000);
+    // A joint scenario multiplies activation means: 0.45 * 0.08 * 16.
+    const long long joint =
+        priority.score_micros(scenario("S2", {{"sensor", "drift"}, {"ctrl", "crash"}}));
+    EXPECT_EQ(joint, 576000);
+}
+
+TEST(ScenarioPriority, OrderSortsByDescendingScoreTiesById) {
+    const model::SystemModel model = chain_model();
+    const ScenarioPriority priority(model, PriorityPolicy::ExpectedRisk);
+    std::vector<security::AttackScenario> scenarios = {
+        scenario("S3", {{"ctrl", "crash"}}),
+        scenario("S2", {{"sensor", "drift"}}),
+        scenario("S4", {{"pump", "stuck"}}),
+        scenario("S1", {{"sensor", "drift"}}),  // ties with S2, id breaks it
+    };
+    priority.order(scenarios);
+    ASSERT_EQ(scenarios.size(), 4u);
+    EXPECT_EQ(scenarios[0].id, "S1");
+    EXPECT_EQ(scenarios[1].id, "S2");
+    for (std::size_t i = 1; i < scenarios.size(); ++i) {
+        EXPECT_GE(priority.score_micros(scenarios[i - 1]),
+                  priority.score_micros(scenarios[i]));
+    }
+}
+
+TEST(ScenarioPriority, EnumerationPolicyNeverReorders) {
+    const model::SystemModel model = chain_model();
+    const ScenarioPriority priority(model, PriorityPolicy::Enumeration);
+    std::vector<security::AttackScenario> scenarios = {
+        scenario("S9", {{"ctrl", "crash"}}),
+        scenario("S1", {{"sensor", "drift"}}),
+    };
+    priority.order(scenarios);
+    EXPECT_EQ(scenarios[0].id, "S9");
+    EXPECT_EQ(scenarios[1].id, "S1");
+}
+
+TEST(ScenarioPriority, BandRadiusWidensWithPriorVariance) {
+    // No explicit prior anywhere: the pre-prior +/-1 sweep.
+    const model::SystemModel plain = chain_model();
+    const ScenarioPriority plain_priority(plain, PriorityPolicy::ExpectedRisk);
+    EXPECT_EQ(plain_priority.likelihood_band_radius(scenario("S1", {{"sensor", "drift"}})),
+              1);
+
+    // Sharp explicit prior (Beta(180,20): sd ~ 0.02) narrows the band to 0.
+    const model::SystemModel sharp =
+        chain_model("fault ctrl wedge omission prior=180/20\n");
+    const ScenarioPriority sharp_priority(sharp, PriorityPolicy::ExpectedRisk);
+    EXPECT_EQ(sharp_priority.likelihood_band_radius(scenario("S1", {{"ctrl", "wedge"}})),
+              0);
+
+    // Vague explicit prior (Beta(1,1): sd ~ 0.29) widens it to 2.
+    const model::SystemModel vague = chain_model("fault ctrl wedge omission prior=1/1\n");
+    const ScenarioPriority vague_priority(vague, PriorityPolicy::ExpectedRisk);
+    EXPECT_EQ(vague_priority.likelihood_band_radius(scenario("S1", {{"ctrl", "wedge"}})),
+              2);
+}
+
+TEST(ScenarioPriority, CoverageBoundIsDeterministicPerSeed) {
+    const model::SystemModel model = chain_model();
+    const ScenarioPriority priority(model, PriorityPolicy::ExpectedRisk);
+    const std::vector<security::AttackScenario> scenarios = {
+        scenario("S1", {{"sensor", "drift"}}),
+        scenario("S2", {{"ctrl", "crash"}}),
+        scenario("S3", {{"pump", "stuck"}}),
+    };
+    const std::vector<bool> decided = {true, false, true};
+
+    const CoverageEstimate a = priority.coverage(scenarios, decided, 1);
+    const CoverageEstimate b = priority.coverage(scenarios, decided, 1);
+    EXPECT_EQ(a.covered_micros, b.covered_micros);
+    EXPECT_EQ(a.total_micros, b.total_micros);
+    EXPECT_EQ(a.lower_bound_micros, b.lower_bound_micros);
+
+    EXPECT_GT(a.total_micros, 0);
+    EXPECT_GT(a.covered_micros, 0);
+    EXPECT_LE(a.covered_micros, a.total_micros);
+    // The bound is a probability in micro-units.
+    EXPECT_GE(a.lower_bound_micros, 0);
+    EXPECT_LE(a.lower_bound_micros, 1000000);
+}
+
+TEST(ScenarioPriority, FullCoverageBoundsNearOne) {
+    const model::SystemModel model = chain_model();
+    const ScenarioPriority priority(model, PriorityPolicy::ExpectedRisk);
+    const std::vector<security::AttackScenario> scenarios = {
+        scenario("S1", {{"sensor", "drift"}}),
+        scenario("S2", {{"ctrl", "crash"}}),
+    };
+    const CoverageEstimate full = priority.coverage(scenarios, {true, true}, 7);
+    EXPECT_EQ(full.covered_micros, full.total_micros);
+    EXPECT_EQ(full.lower_bound_micros, 1000000);  // every draw covers 100%
+}
+
+}  // namespace
+}  // namespace cprisk::risk

@@ -90,9 +90,10 @@ TEST(ServeProtocolTest, MalformedRequestsFailWithIdStillEchoed) {
 TEST(ServeProtocolTest, ReplyShapesAreStable) {
     json::Object ok = ok_reply("r9", "ping");
     EXPECT_EQ(json::Value(std::move(ok)).serialize(),
-              R"({"id":"r9","ok":true,"op":"ping"})");
-    EXPECT_EQ(error_reply("r9", error_code::kOverloaded, "busy").serialize(),
-              R"({"id":"r9","ok":false,"error":{"code":"overloaded","message":"busy"}})");
+              R"({"schema_version":2,"id":"r9","ok":true,"op":"ping"})");
+    EXPECT_EQ(
+        error_reply("r9", error_code::kOverloaded, "busy").serialize(),
+        R"({"schema_version":2,"id":"r9","ok":false,"error":{"code":"overloaded","message":"busy"}})");
 }
 
 }  // namespace

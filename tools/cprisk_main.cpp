@@ -5,6 +5,7 @@
 //   cprisk lint   <bundle-or-.lp>          run the static-analysis rule packs
 //   cprisk graph  <bundle-or-.lp>          predicate dependency graph + taint summary
 //   cprisk assess <bundle> [options]       run the full 7-step pipeline
+//   cprisk mitigate <bundle> [options]     step-7 mitigation planning only
 //   cprisk serve  --socket PATH [options]  multi-tenant assessment daemon
 //   cprisk matrix                          print the O-RA and IEC 61508 matrices
 //
@@ -50,6 +51,20 @@
 //   --max-card K         cardinality bound for --exhaustive (0 = full lattice)
 //   --attack-reachable-only  drop faults on components the attack taint pass
 //                        proves unreachable (--exhaustive only)
+//   --priority POLICY    sweep order: expected-risk (default; descending
+//                        Bayesian expected-risk score, so a deadline
+//                        interruption covers the highest-risk scenarios
+//                        first) or enumeration (generation order)
+//   --prior-seed N       seed for the posterior coverage bound in the
+//                        Completeness section (render-only, default 1)
+//
+// Mitigate options (docs/quantitative-risk.md): --horizon, --max-faults,
+// --attack-scenarios, --budget, --phase-budget, --jobs as for assess, plus
+//   --pareto             compute the full (cost, residual risk, coverage)
+//                        Pareto front instead of just the cost-optimal plan
+//   --markdown FILE      write the analyst report as Markdown
+//   --csv FILE           write the Pareto front as CSV (requires --pareto)
+//   --json FILE          write the full report as JSON
 //
 // Serve options (docs/serve.md):
 //   --socket PATH        Unix-domain socket to listen on (required)
@@ -84,6 +99,7 @@
 #include "analysis/taint.hpp"
 #include "asp/parser.hpp"
 #include "common/diagnostics.hpp"
+#include "common/schema.hpp"
 #include "core/assessment.hpp"
 #include "core/loader.hpp"
 #include "core/report.hpp"
@@ -94,7 +110,9 @@
 #include "obs/trace.hpp"
 #include "risk/iec61508.hpp"
 #include "risk/ora.hpp"
+#include "risk/prior.hpp"
 #include "serve/server.hpp"
+#include "flag_parser.hpp"
 
 namespace {
 
@@ -110,7 +128,11 @@ int usage() {
                  "                     [--jobs N] [--journal FILE] [--journal-sync] [--resume]\n"
                  "                     [--no-static-prefilter] [--solver cdcl|dpll] [--retry N]\n"
                  "                     [--exhaustive] [--max-card K] [--attack-reachable-only]\n"
+                 "                     [--priority expected-risk|enumeration] [--prior-seed N]\n"
                  "                     [--trace FILE] [--metrics FILE]\n"
+                 "       cprisk mitigate <bundle> [--pareto] [--horizon N] [--max-faults K]\n"
+                 "                     [--attack-scenarios] [--budget N] [--phase-budget N]\n"
+                 "                     [--jobs N] [--markdown FILE] [--csv FILE] [--json FILE]\n"
                  "       cprisk serve --socket PATH [--executors N] [--max-inflight N]\n"
                  "                     [--request-jobs N] [--hot-models N] [--cache-mb N]\n"
                  "                     [--drain-ms N] [--retry N] [--chaos]\n"
@@ -130,45 +152,6 @@ bool read_file(const std::string& path, std::string& out) {
 bool ends_with(const std::string& text, const char* suffix) {
     const std::size_t n = std::strlen(suffix);
     return text.size() >= n && text.compare(text.size() - n, n, suffix) == 0;
-}
-
-/// Plain Levenshtein distance — small strings, small flag lists, so the
-/// quadratic DP is fine.
-std::size_t edit_distance(const std::string& a, const std::string& b) {
-    std::vector<std::size_t> row(b.size() + 1);
-    for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
-    for (std::size_t i = 1; i <= a.size(); ++i) {
-        std::size_t diagonal = row[0];
-        row[0] = i;
-        for (std::size_t j = 1; j <= b.size(); ++j) {
-            const std::size_t previous = row[j];
-            const std::size_t substitute = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
-            row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitute});
-            diagonal = previous;
-        }
-    }
-    return row[b.size()];
-}
-
-/// The valid flag closest to `flag` — every unrecognized-flag diagnostic
-/// names it, so a typo ("--jbos") points straight at the fix ("--jobs").
-std::string nearest_flag(const std::string& flag, const std::vector<std::string>& known) {
-    std::string best;
-    std::size_t best_distance = std::numeric_limits<std::size_t>::max();
-    for (const std::string& candidate : known) {
-        const std::size_t distance = edit_distance(flag, candidate);
-        if (distance < best_distance) {
-            best_distance = distance;
-            best = candidate;
-        }
-    }
-    return best;
-}
-
-void report_unknown_flag(const char* command, const std::string& flag,
-                         const std::vector<std::string>& known) {
-    std::fprintf(stderr, "unknown %s option '%s' (nearest valid flag: '%s')\n", command,
-                 flag.c_str(), nearest_flag(flag, known).c_str());
 }
 
 /// Unreadable input is an I/O problem (exit 2), not a lint failure (exit 1):
@@ -209,22 +192,22 @@ int cmd_lint(int argc, char** argv) {
     std::string path;
     bool json = false;
     bool werror = false;
-    for (int i = 0; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--json") {
+    cprisk::cli::FlagParser parser("lint", argc, argv, {"--json", "--werror"});
+    while (parser.next()) {
+        if (parser.is("--json")) {
             json = true;
-        } else if (arg == "--werror") {
+        } else if (parser.is("--werror")) {
             werror = true;
-        } else if (!arg.empty() && arg[0] == '-') {
-            report_unknown_flag("lint", arg, {"--json", "--werror"});
-            return usage();
+        } else if (parser.looks_like_flag()) {
+            parser.reject();
         } else if (path.empty()) {
-            path = arg;
+            path = parser.flag();
         } else {
             std::fprintf(stderr, "lint takes exactly one input file\n");
-            return usage();
+            parser.fail();
         }
     }
+    if (parser.failed()) return usage();
     if (path.empty()) return usage();
 
     std::string text;
@@ -358,7 +341,8 @@ void print_graph_dot(const GraphReport& report) {
 
 void print_graph_json(const GraphReport& report) {
     const auto& graph = report.graph;
-    std::string out = "{\n  \"nodes\": [";
+    std::string out =
+        "{\n  \"schema_version\": " + std::to_string(cprisk::kSchemaVersion) + ",\n  \"nodes\": [";
     for (std::size_t n = 0; n < graph.node_count(); ++n) {
         out += n == 0 ? "\n" : ",\n";
         out += "    {\"signature\": \"" + graph.node(n).to_string() + "\", \"component\": " +
@@ -418,22 +402,22 @@ int cmd_graph(int argc, char** argv) {
     if (argc < 1) return usage();
     std::string path;
     enum class Format { Text, Dot, Json } format = Format::Text;
-    for (int i = 0; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--dot") {
+    cprisk::cli::FlagParser parser("graph", argc, argv, {"--dot", "--json"});
+    while (parser.next()) {
+        if (parser.is("--dot")) {
             format = Format::Dot;
-        } else if (arg == "--json") {
+        } else if (parser.is("--json")) {
             format = Format::Json;
-        } else if (!arg.empty() && arg[0] == '-') {
-            report_unknown_flag("graph", arg, {"--dot", "--json"});
-            return usage();
+        } else if (parser.looks_like_flag()) {
+            parser.reject();
         } else if (path.empty()) {
-            path = arg;
+            path = parser.flag();
         } else {
             std::fprintf(stderr, "graph takes exactly one input file\n");
-            return usage();
+            parser.fail();
         }
     }
+    if (parser.failed()) return usage();
     if (path.empty()) return usage();
 
     std::string text;
@@ -528,99 +512,90 @@ int cmd_assess(int argc, char** argv) {
         "--jobs",      "--journal",       "--journal-sync",     "--resume",
         "--retry",     "--markdown",      "--csv",              "--json",
         "--trace",     "--metrics",       "--no-static-prefilter",
-        "--solver",    "--exhaustive",    "--max-card",         "--attack-reachable-only"};
+        "--solver",    "--exhaustive",    "--max-card",         "--attack-reachable-only",
+        "--priority",  "--prior-seed"};
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string flag = argv[i];
-        bool bad_value = false;
-        // Numeric flag values must parse fully and be non-negative; atoll's
-        // silent 0 on garbage ("--horizon abc") hid typos.
-        auto next_value = [&](long long& out) {
-            if (i + 1 >= argc) return false;
-            const char* text = argv[++i];
-            char* end = nullptr;
-            errno = 0;
-            const long long parsed = std::strtoll(text, &end, 10);
-            if (end == text || *end != '\0' || errno == ERANGE || parsed < 0) {
-                std::fprintf(stderr,
-                             "invalid value '%s' for '%s': expected a non-negative integer\n",
-                             text, flag.c_str());
-                bad_value = true;
-                return false;
-            }
-            out = parsed;
-            return true;
-        };
+    cprisk::cli::FlagParser parser("assess", argc - 1, argv + 1, assess_flags);
+    while (parser.next()) {
         long long value = 0;
-        if (flag == "--horizon" && next_value(value)) {
-            config.horizon = static_cast<int>(value);
-        } else if (flag == "--max-faults" && next_value(value)) {
-            config.max_simultaneous_faults = static_cast<std::size_t>(value);
-        } else if (flag == "--attack-scenarios") {
+        std::string text;
+        if (parser.is("--horizon")) {
+            if (parser.value(value)) config.horizon = static_cast<int>(value);
+        } else if (parser.is("--max-faults")) {
+            if (parser.value(value)) config.max_simultaneous_faults = static_cast<std::size_t>(value);
+        } else if (parser.is("--attack-scenarios")) {
             config.include_attack_scenarios = true;
-        } else if (flag == "--no-cegar") {
+        } else if (parser.is("--no-cegar")) {
             config.use_cegar = false;
-        } else if (flag == "--no-static-prefilter") {
+        } else if (parser.is("--no-static-prefilter")) {
             config.static_prefilter = false;
-        } else if (flag == "--solver" && i + 1 < argc) {
-            const std::string engine = argv[++i];
-            if (engine == "cdcl") {
+        } else if (parser.is("--solver")) {
+            if (!parser.value(text)) continue;
+            if (text == "cdcl") {
                 config.solver = cprisk::asp::SolverEngine::Cdcl;
-            } else if (engine == "dpll") {
+            } else if (text == "dpll") {
                 config.solver = cprisk::asp::SolverEngine::Dpll;
             } else {
                 std::fprintf(stderr,
                              "invalid value '%s' for '--solver': expected 'cdcl' or 'dpll'\n",
-                             engine.c_str());
-                return usage();
+                             text.c_str());
+                parser.fail();
             }
-        } else if (flag == "--budget" && next_value(value)) {
-            config.budget = value;
-        } else if (flag == "--phase-budget" && next_value(value)) {
-            config.phase_budget = value;
-        } else if (flag == "--deadline-ms" && next_value(value)) {
-            config.deadline_ms = value;
-        } else if (flag == "--max-decisions" && next_value(value)) {
-            config.max_decisions = static_cast<std::size_t>(value);
-        } else if (flag == "--jobs" && next_value(value)) {
-            config.jobs = static_cast<std::size_t>(value);  // 0 = hardware concurrency
-        } else if (flag == "--exhaustive") {
+        } else if (parser.is("--priority")) {
+            if (!parser.value(text)) continue;
+            const auto policy = cprisk::risk::parse_priority_policy(text);
+            if (policy.has_value()) {
+                config.priority_policy = *policy;
+            } else {
+                std::fprintf(stderr,
+                             "invalid value '%s' for '--priority': expected 'expected-risk' or "
+                             "'enumeration'\n",
+                             text.c_str());
+                parser.fail();
+            }
+        } else if (parser.is("--prior-seed")) {
+            if (parser.value(value)) config.prior_seed = static_cast<unsigned long long>(value);
+        } else if (parser.is("--budget")) {
+            if (parser.value(value)) config.budget = value;
+        } else if (parser.is("--phase-budget")) {
+            if (parser.value(value)) config.phase_budget = value;
+        } else if (parser.is("--deadline-ms")) {
+            if (parser.value(value)) config.deadline_ms = value;
+        } else if (parser.is("--max-decisions")) {
+            if (parser.value(value)) config.max_decisions = static_cast<std::size_t>(value);
+        } else if (parser.is("--jobs")) {
+            // 0 = hardware concurrency
+            if (parser.value(value)) config.jobs = static_cast<std::size_t>(value);
+        } else if (parser.is("--exhaustive")) {
             config.exhaustive = true;
-        } else if (flag == "--max-card" && next_value(value)) {
-            config.max_card = static_cast<std::size_t>(value);  // 0 = full lattice
-        } else if (flag == "--attack-reachable-only") {
+        } else if (parser.is("--max-card")) {
+            // 0 = full lattice
+            if (parser.value(value)) config.max_card = static_cast<std::size_t>(value);
+        } else if (parser.is("--attack-reachable-only")) {
             config.attack_reachable_only = true;
-        } else if (flag == "--journal" && i + 1 < argc) {
-            config.journal_path = argv[++i];
-        } else if (flag == "--journal-sync") {
+        } else if (parser.is("--journal")) {
+            parser.value(config.journal_path);
+        } else if (parser.is("--journal-sync")) {
             config.journal_sync = true;
-        } else if (flag == "--resume") {
+        } else if (parser.is("--resume")) {
             config.resume = true;
-        } else if (flag == "--retry" && next_value(value)) {
-            config.retries = static_cast<std::size_t>(value);
-        } else if (flag == "--markdown" && i + 1 < argc) {
-            markdown_path = argv[++i];
-        } else if (flag == "--csv" && i + 1 < argc) {
-            csv_path = argv[++i];
-        } else if (flag == "--json" && i + 1 < argc) {
-            json_path = argv[++i];
-        } else if (flag == "--trace" && i + 1 < argc) {
-            trace_path = argv[++i];
-        } else if (flag == "--metrics" && i + 1 < argc) {
-            metrics_path = argv[++i];
+        } else if (parser.is("--retry")) {
+            if (parser.value(value)) config.retries = static_cast<std::size_t>(value);
+        } else if (parser.is("--markdown")) {
+            if (parser.value(text)) markdown_path = text;
+        } else if (parser.is("--csv")) {
+            if (parser.value(text)) csv_path = text;
+        } else if (parser.is("--json")) {
+            if (parser.value(text)) json_path = text;
+        } else if (parser.is("--trace")) {
+            if (parser.value(text)) trace_path = text;
+        } else if (parser.is("--metrics")) {
+            if (parser.value(text)) metrics_path = text;
         } else {
-            if (!bad_value) {
-                if (std::find(assess_flags.begin(), assess_flags.end(), flag) !=
-                    assess_flags.end()) {
-                    std::fprintf(stderr, "incomplete option '%s': missing value\n",
-                                 flag.c_str());
-                } else {
-                    report_unknown_flag("assess", flag, assess_flags);
-                }
-            }
-            return usage();
+            parser.reject();
         }
     }
+    if (parser.failed()) return usage();
 
     if (config.resume && config.journal_path.empty()) {
         std::fprintf(stderr, "--resume requires --journal FILE\n");
@@ -739,6 +714,114 @@ int cmd_assess(int argc, char** argv) {
     return 0;
 }
 
+// --- cprisk mitigate -------------------------------------------------------
+
+/// Step-7-focused front end (docs/quantitative-risk.md): runs the same
+/// pipeline as `assess` but reports the mitigation strategy — and, with
+/// --pareto, the full (cost, residual risk, coverage) nondominated front
+/// instead of just the single cost-optimal plan.
+int cmd_mitigate(int argc, char** argv) {
+    if (argc < 1) return usage();
+    const std::string path = argv[0];
+    cprisk::core::AssessmentConfig config;
+    config.include_attack_scenarios = false;  // opt-in via --attack-scenarios
+    std::optional<std::string> markdown_path;
+    std::optional<std::string> csv_path;
+    std::optional<std::string> json_path;
+    const std::vector<std::string> mitigate_flags = {
+        "--pareto",       "--horizon", "--max-faults", "--attack-scenarios", "--budget",
+        "--phase-budget", "--jobs",    "--markdown",   "--csv",              "--json"};
+    cprisk::cli::FlagParser parser("mitigate", argc - 1, argv + 1, mitigate_flags);
+    while (parser.next()) {
+        long long value = 0;
+        std::string text;
+        if (parser.is("--pareto")) {
+            config.pareto = true;
+        } else if (parser.is("--horizon")) {
+            if (parser.value(value)) config.horizon = static_cast<int>(value);
+        } else if (parser.is("--max-faults")) {
+            if (parser.value(value)) {
+                config.max_simultaneous_faults = static_cast<std::size_t>(value);
+            }
+        } else if (parser.is("--attack-scenarios")) {
+            config.include_attack_scenarios = true;
+        } else if (parser.is("--budget")) {
+            if (parser.value(value)) config.budget = value;
+        } else if (parser.is("--phase-budget")) {
+            if (parser.value(value)) config.phase_budget = value;
+        } else if (parser.is("--jobs")) {
+            if (parser.value(value)) config.jobs = static_cast<std::size_t>(value);
+        } else if (parser.is("--markdown")) {
+            if (parser.value(text)) markdown_path = text;
+        } else if (parser.is("--csv")) {
+            if (parser.value(text)) csv_path = text;
+        } else if (parser.is("--json")) {
+            if (parser.value(text)) json_path = text;
+        } else {
+            parser.reject();
+        }
+    }
+    if (parser.failed()) return usage();
+    if (csv_path && !config.pareto) {
+        std::fprintf(stderr, "--csv requires --pareto (the Pareto front is the CSV payload)\n");
+        return usage();
+    }
+
+    std::string bundle_text;
+    if (!read_file(path, bundle_text)) return report_unreadable(path);
+    auto bundle = cprisk::core::load_bundle_file(path);
+    if (!bundle.ok()) {
+        std::fprintf(stderr, "error: %s\n", bundle.error().c_str());
+        return 1;
+    }
+    const auto& b = bundle.value();
+    const auto matrix = cprisk::security::AttackMatrix::standard_ics();
+    const auto catalog = cprisk::security::SecurityCatalog::standard_ics();
+    const auto mitigations = cprisk::epa::MitigationMap::from_attack_matrix(b.model, matrix);
+    cprisk::core::RiskAssessment assessment(b.model, b.effective_behavioral(),
+                                            b.effective_topology(), matrix, mitigations,
+                                            &catalog);
+    auto report = assessment.run(config);
+    if (!report.ok()) {
+        std::fprintf(stderr, "assessment failed: %s\n", report.error().c_str());
+        return 1;
+    }
+    const auto& r = report.value();
+
+    std::printf("%s", r.mitigation_table().render().c_str());
+    if (config.pareto) std::printf("%s", r.pareto_table().render().c_str());
+
+    if (markdown_path) {
+        if (!write_file(*markdown_path, cprisk::core::render_markdown(r))) {
+            std::fprintf(stderr, "cannot write '%s'\n", markdown_path->c_str());
+            return 1;
+        }
+        std::printf("markdown report written to %s\n", markdown_path->c_str());
+    }
+    if (csv_path) {
+        if (!write_file(*csv_path, cprisk::core::render_pareto_csv(r))) {
+            std::fprintf(stderr, "cannot write '%s'\n", csv_path->c_str());
+            return 1;
+        }
+        std::printf("Pareto CSV written to %s\n", csv_path->c_str());
+    }
+    if (json_path) {
+        if (!write_file(*json_path, cprisk::core::render_report_json(r))) {
+            std::fprintf(stderr, "cannot write '%s'\n", json_path->c_str());
+            return 1;
+        }
+        std::printf("JSON report written to %s\n", json_path->c_str());
+    }
+    if (!r.complete()) {
+        std::fprintf(stderr,
+                     "partial result: %zu of %zu scenarios undetermined "
+                     "(see the Completeness section of the report)\n",
+                     r.undetermined.size(), r.scenario_count);
+        return 3;
+    }
+    return 0;
+}
+
 // --- cprisk serve ----------------------------------------------------------
 
 /// Written by the SIGTERM/SIGINT handler; the watcher thread polls it. A
@@ -757,57 +840,34 @@ int cmd_serve(int argc, char** argv) {
     const std::vector<std::string> serve_flags = {
         "--socket",    "--executors", "--max-inflight", "--request-jobs", "--hot-models",
         "--cache-mb",  "--drain-ms",  "--retry",        "--chaos"};
-    for (int i = 0; i < argc; ++i) {
-        const std::string flag = argv[i];
-        bool bad_value = false;
-        auto next_value = [&](long long& out) {
-            if (i + 1 >= argc) return false;
-            const char* text = argv[++i];
-            char* end = nullptr;
-            errno = 0;
-            const long long parsed = std::strtoll(text, &end, 10);
-            if (end == text || *end != '\0' || errno == ERANGE || parsed < 0) {
-                std::fprintf(stderr,
-                             "invalid value '%s' for '%s': expected a non-negative integer\n",
-                             text, flag.c_str());
-                bad_value = true;
-                return false;
-            }
-            out = parsed;
-            return true;
-        };
+    cprisk::cli::FlagParser parser("serve", argc, argv, serve_flags);
+    while (parser.next()) {
         long long value = 0;
-        if (flag == "--socket" && i + 1 < argc) {
-            options.socket_path = argv[++i];
-        } else if (flag == "--executors" && next_value(value)) {
-            options.executors = static_cast<std::size_t>(value);
-        } else if (flag == "--max-inflight" && next_value(value)) {
-            options.max_inflight = static_cast<std::size_t>(value);
-        } else if (flag == "--request-jobs" && next_value(value)) {
-            options.request_jobs = static_cast<std::size_t>(value);
-        } else if (flag == "--hot-models" && next_value(value)) {
-            options.hot_models = static_cast<std::size_t>(value);
-        } else if (flag == "--cache-mb" && next_value(value)) {
-            options.cache_bytes = static_cast<std::size_t>(value) * 1024 * 1024;
-        } else if (flag == "--drain-ms" && next_value(value)) {
-            options.drain_ms = value;
-        } else if (flag == "--retry" && next_value(value)) {
-            options.retries = static_cast<std::size_t>(value);
-        } else if (flag == "--chaos") {
+        if (parser.is("--socket")) {
+            parser.value(options.socket_path);
+        } else if (parser.is("--executors")) {
+            if (parser.value(value)) options.executors = static_cast<std::size_t>(value);
+        } else if (parser.is("--max-inflight")) {
+            if (parser.value(value)) options.max_inflight = static_cast<std::size_t>(value);
+        } else if (parser.is("--request-jobs")) {
+            if (parser.value(value)) options.request_jobs = static_cast<std::size_t>(value);
+        } else if (parser.is("--hot-models")) {
+            if (parser.value(value)) options.hot_models = static_cast<std::size_t>(value);
+        } else if (parser.is("--cache-mb")) {
+            if (parser.value(value)) {
+                options.cache_bytes = static_cast<std::size_t>(value) * 1024 * 1024;
+            }
+        } else if (parser.is("--drain-ms")) {
+            if (parser.value(value)) options.drain_ms = value;
+        } else if (parser.is("--retry")) {
+            if (parser.value(value)) options.retries = static_cast<std::size_t>(value);
+        } else if (parser.is("--chaos")) {
             options.allow_fault_injection = true;
         } else {
-            if (!bad_value) {
-                if (std::find(serve_flags.begin(), serve_flags.end(), flag) !=
-                    serve_flags.end()) {
-                    std::fprintf(stderr, "incomplete option '%s': missing value\n",
-                                 flag.c_str());
-                } else {
-                    report_unknown_flag("serve", flag, serve_flags);
-                }
-            }
-            return usage();
+            parser.reject();
         }
     }
+    if (parser.failed()) return usage();
     if (options.socket_path.empty()) {
         std::fprintf(stderr, "serve requires --socket PATH\n");
         return usage();
@@ -878,6 +938,7 @@ int main(int argc, char** argv) {
     if (command == "graph") return cmd_graph(argc - 2, argv + 2);
     if (command == "matrix") return cmd_matrix();
     if (command == "assess") return cmd_assess(argc - 2, argv + 2);
+    if (command == "mitigate") return cmd_mitigate(argc - 2, argv + 2);
     if (command == "serve") return cmd_serve(argc - 2, argv + 2);
     return usage();
 }
